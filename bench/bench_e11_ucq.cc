@@ -1,0 +1,93 @@
+/// \file bench_e11_ucq.cc
+/// \brief Experiment E11 — unions of itemwise CQs (§6 extension): exactness
+/// of the per-session inclusion–exclusion evaluator against world
+/// enumeration, and its cost as the number of disjuncts grows (2^q
+/// conjunction terms per session, each a polynomial DP).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "ppref/ppd/ucq_evaluator.h"
+#include "ppref/query/ucq.h"
+
+namespace {
+
+/// A PPD with `sessions` Mallows sessions over 6 named candidates.
+ppref::ppd::RimPpd MakePpd(unsigned sessions) {
+  using namespace ppref;
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("Candidates", db::RelationSignature({"candidate",
+                                                         "party"}));
+  schema.AddPSymbol("Polls", db::PreferenceSignature(
+                                 db::RelationSignature({"voter"}), "l", "r"));
+  ppd::RimPpd ppd(std::move(schema));
+  std::vector<db::Value> names;
+  for (unsigned c = 0; c < 6; ++c) {
+    const db::Value name("c" + std::to_string(c));
+    names.push_back(name);
+    ppd.AddFact("Candidates", {name, c % 2 == 0 ? "D" : "R"});
+  }
+  for (unsigned v = 0; v < sessions; ++v) {
+    ppd.AddSession("Polls", {db::Value("v" + std::to_string(v))},
+                   ppd::SessionModel::Mallows(names, 0.2));
+  }
+  return ppd;
+}
+
+/// A union of q single-p-atom disjuncts, each asking for a rare long-range
+/// inversion of the (concentrated) reference, so confidences stay
+/// informative even across many sessions.
+std::string UnionText(unsigned disjuncts) {
+  static constexpr std::pair<int, int> kPairs[] = {
+      {5, 0}, {4, 0}, {5, 1}, {3, 0}, {4, 1}};
+  std::string text;
+  for (unsigned i = 0; i < disjuncts; ++i) {
+    if (i > 0) text += " UNION ";
+    text += "Q() :- Polls(v; 'c" + std::to_string(kPairs[i].first) + "'; 'c" +
+            std::to_string(kPairs[i].second) + "')";
+  }
+  return text;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E11", "unions of itemwise CQs: inclusion-exclusion evaluator");
+  std::printf("Part 1: exactness vs world enumeration (2 sessions of 6 "
+              "items).\n");
+  std::printf("%10s %14s %14s %12s\n", "disjuncts", "exact", "enumeration",
+              "|diff|");
+  {
+    const auto ppd = MakePpd(2);
+    for (unsigned q = 1; q <= 4; ++q) {
+      const auto ucq = query::ParseUnionQuery(UnionText(q), ppd.schema());
+      const double exact = ppd::EvaluateBooleanUnion(ppd, ucq);
+      const double brute = ppd::EvaluateBooleanUnionByEnumeration(ppd, ucq);
+      std::printf("%10u %14.9f %14.9f %12.2e\n", q, exact, brute,
+                  std::abs(exact - brute));
+    }
+  }
+
+  std::printf("\nPart 2: cost growth in the number of disjuncts "
+              "(100 sessions).\n");
+  std::printf("%10s %14s %14s\n", "disjuncts", "conf", "time [ms]");
+  {
+    const auto ppd = MakePpd(100);
+    for (unsigned q = 1; q <= 5; ++q) {
+      const auto ucq = query::ParseUnionQuery(UnionText(q), ppd.schema());
+      double conf = 0.0;
+      const double elapsed =
+          TimeMs([&] { conf = ppd::EvaluateBooleanUnion(ppd, ucq); });
+      std::printf("%10u %14.9f %14.2f\n", q, conf, elapsed);
+    }
+  }
+  std::printf("\nCost grows with the 2^q inclusion-exclusion terms and the\n"
+              "conjoined pattern sizes — polynomial in the data (sessions),\n"
+              "exponential only in the fixed query size, as in Thm 4.4.\n");
+  return 0;
+}

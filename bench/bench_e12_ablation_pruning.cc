@@ -1,0 +1,70 @@
+/// \file bench_e12_ablation_pruning.cc
+/// \brief Experiment E12 — ablation of the candidate-matching pruning rule
+/// (DESIGN.md): the TopProb driver skips γ mapping two path-connected
+/// pattern nodes to the same item, since such γ provably have p_γ = 0.
+///
+/// The ablation quantifies both the number of candidate matchings removed
+/// and the wall-clock effect. Honest finding: because infeasible γ are also
+/// rejected by the DP's O(k²) feasibility pre-check before any state is
+/// built, pruning saves only that pre-check — results are identical and the
+/// time gap is small unless overlap is extreme.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ppref/infer/internal/dp_engine.h"
+#include "ppref/infer/top_prob.h"
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E12", "ablation: candidate pruning in the TopProb driver");
+  std::printf("Chain pattern k=3 whose three labels all sit on the same\n"
+              "item subset (maximal overlap); Mallows phi = 0.7.\n\n");
+  std::printf("%4s %8s %10s %12s %14s %14s %12s\n", "m", "shared",
+              "pruned #g", "unpruned #g", "pruned [ms]", "unpruned [ms]",
+              "|diff|");
+
+  for (unsigned m : {8u, 12u, 16u}) {
+    // Labels 0, 1, 2 all on items 0..shared-1.
+    infer::ItemLabeling labeling(m);
+    const unsigned shared = m / 2;
+    for (unsigned i = 0; i < shared; ++i) {
+      for (infer::LabelId label = 0; label < 3; ++label) {
+        labeling.AddLabel(i, label);
+      }
+    }
+    const auto model = LabeledMallows(m, 0.7, labeling);
+    const auto pattern = ChainPattern(3);
+
+    const auto pruned_candidates =
+        infer::internal::EnumerateCandidates(model, pattern, true);
+    const auto unpruned_candidates =
+        infer::internal::EnumerateCandidates(model, pattern, false);
+
+    infer::PatternProbOptions unpruned_options;
+    unpruned_options.prune_candidates = false;
+    double with_pruning = 0, without_pruning = 0;
+    const double pruned_ms = TimeMsAveraged(
+        [&] { with_pruning = infer::PatternProb(model, pattern); }, 5.0);
+    const double unpruned_ms = TimeMsAveraged(
+        [&] {
+          without_pruning =
+              infer::PatternProb(model, pattern, unpruned_options);
+        },
+        5.0);
+    std::printf("%4u %8u %10zu %12zu %14.2f %14.2f %12.2e\n", m, shared,
+                pruned_candidates.size(), unpruned_candidates.size(),
+                pruned_ms, unpruned_ms,
+                std::abs(with_pruning - without_pruning));
+  }
+  std::printf("\nPruning removes the strictly-ordered duplicate matchings\n"
+              "(#g drops from s^3 to s(s-1)(s-2) on a 3-chain with one\n"
+              "shared item pool) but each removed candidate would anyway\n"
+              "fail the DP's cheap feasibility pre-check, so the wall-clock\n"
+              "effect is minor: the rule is a correctness-preserving\n"
+              "shortcut, not a performance lever.\n");
+  return 0;
+}

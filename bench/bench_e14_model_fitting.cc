@@ -1,0 +1,82 @@
+/// \file bench_e14_model_fitting.cc
+/// \brief Experiment E14 — Mallows model recovery: fitting accuracy vs
+/// sample size (Borda reference + dispersion MLE) and fitting throughput.
+/// Complements the inference experiments: a PPD built from fitted session
+/// models is only as good as the fit.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ppref/common/random.h"
+#include "ppref/fit/mallows_fit.h"
+#include "ppref/rim/kendall.h"
+#include "ppref/rim/sampler.h"
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E14", "Mallows fitting: recovery vs sample size");
+  const unsigned m = 10;
+  const double planted_phi = 0.5;
+  std::printf("planted: m = %u, phi = %.2f, random reference; 20 repetitions "
+              "per row.\n\n",
+              m, planted_phi);
+  std::printf("%9s %16s %12s %14s %12s\n", "samples", "ref recovered",
+              "E|phi err|", "E[ref dist]", "fit [ms]");
+
+  Rng rng(2017);
+  for (unsigned n : {10u, 30u, 100u, 300u, 1000u, 3000u}) {
+    unsigned recovered = 0;
+    double phi_error = 0.0;
+    double ref_distance = 0.0;
+    double total_ms = 0.0;
+    const int reps = 20;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<rim::ItemId> order(m);
+      for (unsigned i = 0; i < m; ++i) order[i] = i;
+      for (unsigned i = m; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextIndex(i)]);
+      }
+      const rim::Ranking reference(order);
+      const rim::MallowsModel planted(reference, planted_phi);
+      std::vector<rim::Ranking> samples;
+      samples.reserve(n);
+      for (unsigned s = 0; s < n; ++s) {
+        samples.push_back(rim::SampleRanking(planted.rim(), rng));
+      }
+      fit::MallowsFitResult result;
+      total_ms += TimeMs([&] { result = fit::FitMallows(samples); });
+      if (result.reference == reference) ++recovered;
+      phi_error += std::abs(result.phi - planted_phi);
+      ref_distance +=
+          static_cast<double>(rim::KendallTau(result.reference, reference));
+    }
+    std::printf("%9u %13u/%d %12.4f %14.3f %12.3f\n", n, recovered, reps,
+                phi_error / reps, ref_distance / reps, total_ms / reps);
+  }
+  std::printf("\nReference recovery sharpens with samples (Borda is\n"
+              "consistent); the dispersion MLE error decays ~1/sqrt(n).\n");
+
+  std::printf("\nGeneralized-Mallows per-step recovery (m = 8, 3000 "
+              "samples):\n");
+  {
+    const std::vector<double> planted = {1.0, 0.15, 0.9, 0.35, 0.75, 0.25,
+                                         0.55, 0.45};
+    const rim::RimModel model(
+        rim::Ranking::Identity(8),
+        rim::InsertionFunction::GeneralizedMallows(planted));
+    std::vector<rim::Ranking> samples;
+    for (unsigned s = 0; s < 3000; ++s) {
+      samples.push_back(rim::SampleRanking(model, rng));
+    }
+    const auto fitted =
+        fit::FitGeneralizedMallows(samples, rim::Ranking::Identity(8));
+    std::printf("%6s %10s %10s\n", "step", "planted", "fitted");
+    for (unsigned t = 1; t < 8; ++t) {
+      std::printf("%6u %10.2f %10.3f\n", t, planted[t], fitted[t]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file bench_e16_splitting.cc
+/// \brief Experiment E16 — exact evaluation beyond the itemwise class via
+/// join-variable grounding (splitting.h): the paper's hard query Q2 becomes
+/// a union of itemwise CQs, so cost scales with sessions like Thm 4.4
+/// instead of factorially like world enumeration. The dichotomy's wall is
+/// the *domain* of the join variable, which part 2 sweeps.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/ppd/splitting.h"
+#include "ppref/query/parser.h"
+
+namespace {
+
+/// `sessions` Mallows sessions over 6 candidates split across `parties`.
+ppref::ppd::RimPpd PartyPolls(unsigned sessions, unsigned parties) {
+  using namespace ppref;
+  ppd::RimPpd ppd(db::ElectionSchema());
+  std::vector<db::Value> names;
+  for (unsigned c = 0; c < 6; ++c) {
+    const db::Value name("cand" + std::to_string(c));
+    names.push_back(name);
+    // Sex alternates *within* each party (c/parties), so same-party
+    // male/female pairs exist and Q2 is satisfiable.
+    ppd.AddFact("Candidates",
+                {name, "p" + std::to_string(c % parties),
+                 (c / parties) % 2 == 0 ? "M" : "F", "BS"});
+  }
+  for (unsigned v = 0; v < sessions; ++v) {
+    const db::Value voter("voter" + std::to_string(v));
+    ppd.AddFact("Voters", {voter, "BS", "F", 30});
+    ppd.AddSession("Polls", {voter, "Oct-5"},
+                   ppd::SessionModel::Mallows(names, 0.4));
+  }
+  return ppd;
+}
+
+constexpr const char* kQ2 =
+    "Q() :- Polls(_, _; l; r), Candidates(l, p, 'M', _), "
+    "Candidates(r, p, 'F', _)";
+
+}  // namespace
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E16", "beyond the dichotomy: splitting vs world enumeration");
+  std::printf("Part 1: Q2 (non-itemwise), 2 parties, growing sessions.\n");
+  std::printf("%10s %14s %16s %18s\n", "sessions", "conf", "split [ms]",
+              "enumeration [ms]");
+  for (unsigned sessions : {1u, 2u, 3u, 20u, 200u}) {
+    const auto ppd = PartyPolls(sessions, 2);
+    const auto q2 = query::ParseQuery(kQ2, ppd.schema());
+    double split_conf = 0.0;
+    const double split_ms = TimeMs(
+        [&] { split_conf = ppd::EvaluateBooleanBySplitting(ppd, q2); });
+    if (sessions <= 2) {  // 6!^s worlds
+      double enum_conf = 0.0;
+      const double enum_ms = TimeMs([&] {
+        enum_conf = ppd::EvaluateBooleanByEnumeration(ppd, q2, 1e8);
+      });
+      std::printf("%10u %14.9f %16.2f %18.2f   |diff| = %.1e\n", sessions,
+                  split_conf, split_ms, enum_ms,
+                  std::abs(split_conf - enum_conf));
+    } else {
+      std::printf("%10u %14.9f %16.2f %18s\n", sessions, split_conf, split_ms,
+                  "(intractable)");
+    }
+  }
+
+  std::printf("\nPart 2: cost vs join-domain size (#parties), 3 sessions.\n");
+  std::printf("%10s %12s %16s\n", "parties", "disjuncts", "split [ms]");
+  for (unsigned parties : {1u, 2u, 3u, 4u}) {
+    const auto ppd = PartyPolls(3, parties);
+    const auto q2 = query::ParseQuery(kQ2, ppd.schema());
+    const auto disjuncts = ppd::SplitIntoItemwise(ppd, q2);
+    double conf = 0.0;
+    const double elapsed =
+        TimeMs([&] { conf = ppd::EvaluateBooleanBySplitting(ppd, q2); });
+    std::printf("%10u %12zu %16.2f   (conf %.6f)\n", parties, disjuncts.size(),
+                elapsed, conf);
+  }
+  std::printf("\nThe 2^parties inclusion-exclusion terms per session are the\n"
+              "price of exactness: polynomial in the data only while the\n"
+              "join domain stays bounded — exactly the boundary Thm 4.5's\n"
+              "unbounded-domain reduction exploits.\n");
+  return 0;
+}

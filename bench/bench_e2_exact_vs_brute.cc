@@ -1,0 +1,52 @@
+/// \file bench_e2_exact_vs_brute.cc
+/// \brief Experiment E2 — exactness and cost of TopProb against the
+/// defining sum (enumeration of all m! rankings): the two agree to floating-
+/// point precision while enumeration's cost explodes factorially.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ppref/common/random.h"
+#include "ppref/infer/brute_force.h"
+#include "ppref/infer/top_prob.h"
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E2", "TopProb vs exhaustive enumeration (Thm 5.10 exactness)");
+  std::printf("Random 2-label DAG patterns, random labelings, Mallows "
+              "phi = 0.6.\n");
+  std::printf("%4s %14s %14s %12s %14s\n", "m", "TopProb [ms]", "brute [ms]",
+              "speedup", "max |diff|");
+
+  Rng rng(20260706);
+  for (unsigned m = 5; m <= 9; ++m) {
+    double max_diff = 0.0;
+    double exact_ms = 0.0, brute_ms = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      infer::ItemLabeling labeling(m);
+      for (rim::ItemId item = 0; item < m; ++item) {
+        for (infer::LabelId label = 0; label < 2; ++label) {
+          if (rng.NextUnit() < 0.4) labeling.AddLabel(item, label);
+        }
+      }
+      infer::LabelPattern pattern;
+      pattern.AddNode(0);
+      pattern.AddNode(1);
+      pattern.AddEdge(0, 1);
+      const auto model = LabeledMallows(m, 0.6, labeling);
+      double exact = 0.0, brute = 0.0;
+      exact_ms += TimeMs([&] { exact = infer::PatternProb(model, pattern); });
+      brute_ms +=
+          TimeMs([&] { brute = infer::PatternProbBruteForce(model, pattern); });
+      max_diff = std::max(max_diff, std::abs(exact - brute));
+    }
+    std::printf("%4u %14.3f %14.3f %11.1fx %14.2e\n", m, exact_ms / 3,
+                brute_ms / 3, brute_ms / std::max(exact_ms, 1e-9), max_diff);
+  }
+  std::printf("\nEnumeration scales as m! (each m multiplies its cost by m);\n"
+              "TopProb stays polynomial and exact.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file bench_e4_cq_sessions.cc
+/// \brief Experiment E4 — Thm 4.4 in the data dimension: itemwise CQ
+/// evaluation over a RIM-PPD scales linearly with the number of sessions
+/// (each session contributes one independent TopProb instance).
+///
+/// Workload: a synthetic polling database in the running example's schema —
+/// 10 candidates with party/sex attributes, n voters, each with one Mallows
+/// session over all candidates.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppref/common/random.h"
+#include "ppref/ppd/evaluator.h"
+#include "ppref/query/parser.h"
+
+namespace {
+
+/// Every voter's reference ranks the lone female Democrat (cand0) first and
+/// the lone male Democrat (the last candidate) last, so the Q1 witness event
+/// is rare per session and the combined confidence grows visibly with the
+/// session count instead of saturating at 1.
+ppref::ppd::RimPpd SyntheticPolls(unsigned sessions, unsigned candidates,
+                                  ppref::Rng& rng) {
+  using namespace ppref;
+  ppd::RimPpd ppd(db::ElectionSchema());
+  std::vector<db::Value> names;
+  for (unsigned c = 0; c < candidates; ++c) {
+    const db::Value name("cand" + std::to_string(c));
+    names.push_back(name);
+    const bool first = c == 0;
+    const bool last = c + 1 == candidates;
+    ppd.AddFact("Candidates",
+                {name, (first || last) ? "D" : "R", first ? "F" : "M",
+                 c % 4 == 0 ? "BS" : "JD"});
+  }
+  for (unsigned v = 0; v < sessions; ++v) {
+    const db::Value voter("voter" + std::to_string(v));
+    ppd.AddFact("Voters", {voter, "BS", v % 3 == 0 ? "F" : "M",
+                           static_cast<std::int64_t>(20 + v % 50)});
+    ppd.AddSession(
+        "Polls", {voter, "Oct-5"},
+        ppd::SessionModel::Mallows(names, 0.3 + 0.1 * rng.NextUnit()));
+  }
+  return ppd;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E4", "itemwise CQ evaluation scales linearly in #sessions");
+  const char* query_text =
+      "Q() :- Polls(v, _; l; r), Voters(v, 'BS', _, _), "
+      "Candidates(l, 'D', 'M', _), Candidates(r, 'D', 'F', _)";
+  std::printf("Query (paper Q1): %s\n", query_text);
+  std::printf("10 candidates per session, Mallows sessions.\n\n");
+  std::printf("%10s %14s %16s %14s\n", "sessions", "conf", "time [ms]",
+              "ms/session");
+
+  Rng rng(99);
+  std::vector<double> ns, ts;
+  for (unsigned sessions : {10u, 30u, 100u, 300u, 1000u, 3000u}) {
+    const auto ppd = SyntheticPolls(sessions, 10, rng);
+    const auto q = query::ParseQuery(query_text, ppd.schema());
+    double conf = 0.0;
+    const double elapsed =
+        TimeMs([&] { conf = ppd::EvaluateBoolean(ppd, q); });
+    std::printf("%10u %14.9f %16.2f %14.4f\n", sessions, conf, elapsed,
+                elapsed / sessions);
+    ns.push_back(sessions);
+    ts.push_back(elapsed);
+  }
+  std::printf("\nFitted log-log slope in #sessions: %.2f (expected ~1.0).\n"
+              "Note how conf approaches 1: with thousands of independent\n"
+              "sessions, *some* voter almost surely witnesses the pattern.\n",
+              FitLogLogSlope(ns, ts));
+  return 0;
+}

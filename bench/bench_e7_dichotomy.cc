@@ -1,0 +1,88 @@
+/// \file bench_e7_dichotomy.cc
+/// \brief Experiment E7 — the Thm 4.4/4.5 dichotomy in action: an itemwise
+/// query evaluates in polynomial time via the §4.4 reduction, while a
+/// non-itemwise query (the Q2 shape) is served only by possible-world
+/// enumeration, whose cost grows factorially with the session size.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "ppref/common/check.h"
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/query/classify.h"
+#include "ppref/query/parser.h"
+
+namespace {
+
+/// One session over m candidates with party/sex attributes.
+ppref::ppd::RimPpd OneSession(unsigned m) {
+  using namespace ppref;
+  ppd::RimPpd ppd(db::ElectionSchema());
+  std::vector<db::Value> names;
+  for (unsigned c = 0; c < m; ++c) {
+    const db::Value name("cand" + std::to_string(c));
+    names.push_back(name);
+    ppd.AddFact("Candidates", {name, c % 2 == 0 ? "D" : "R",
+                               c % 3 == 0 ? "F" : "M", "BS"});
+  }
+  ppd.AddFact("Voters", {"Ann", "BS", "F", 34});
+  ppd.AddSession("Polls", {"Ann", "Oct-5"},
+                 ppd::SessionModel::Mallows(names, 0.5));
+  return ppd;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E7", "dichotomy: itemwise PTIME vs non-itemwise enumeration");
+  const char* easy_text =
+      "Q() :- Polls(v, d; l; r), Candidates(l, 'D', 'F', _), "
+      "Candidates(r, 'R', _, _)";
+  const char* hard_text =
+      "Q() :- Polls(v, d; l; r), Candidates(l, p, 'M', _), "
+      "Candidates(r, p, 'F', _)";
+  std::printf("easy (itemwise):     %s\n", easy_text);
+  std::printf("hard (non-itemwise): %s\n\n", hard_text);
+  std::printf("%4s %16s %16s %16s %16s\n", "m", "easy exact[ms]",
+              "easy enum[ms]", "hard enum[ms]", "hard conf");
+
+  for (unsigned m : {3u, 4u, 5u, 6u, 7u, 8u}) {
+    const auto ppd = OneSession(m);
+    const auto easy = query::ParseQuery(easy_text, ppd.schema());
+    const auto hard = query::ParseQuery(hard_text, ppd.schema());
+    PPREF_CHECK(query::IsItemwise(easy));
+    PPREF_CHECK(!query::IsItemwise(hard));
+
+    double easy_conf = 0, easy_brute = 0, hard_conf = 0;
+    const double easy_ms =
+        TimeMs([&] { easy_conf = ppd::EvaluateBoolean(ppd, easy); });
+    const double easy_enum_ms = TimeMs(
+        [&] { easy_brute = ppd::EvaluateBooleanByEnumeration(ppd, easy); });
+    const double hard_enum_ms = TimeMs(
+        [&] { hard_conf = ppd::EvaluateBooleanByEnumeration(ppd, hard); });
+    PPREF_CHECK(std::abs(easy_conf - easy_brute) < 1e-9);
+    std::printf("%4u %16.3f %16.2f %16.2f %16.6f\n", m, easy_ms, easy_enum_ms,
+                hard_enum_ms, hard_conf);
+  }
+
+  // The itemwise evaluator refuses the hard query: the dichotomy is visible
+  // in the API itself.
+  const auto ppd = OneSession(4);
+  const auto hard = query::ParseQuery(hard_text, ppd.schema());
+  bool threw = false;
+  try {
+    ppd::EvaluateBoolean(ppd, hard);
+  } catch (const SchemaError&) {
+    threw = true;
+  }
+  std::printf("\nEvaluateBoolean(hard query) raises SchemaError: %s\n",
+              threw ? "yes" : "NO (bug!)");
+  std::printf("Enumeration columns grow ~(m+1)x per row (m! worlds), while\n"
+              "the itemwise evaluator stays in the millisecond range.\n");
+  return 0;
+}

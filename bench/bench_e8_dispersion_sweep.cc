@@ -1,0 +1,53 @@
+/// \file bench_e8_dispersion_sweep.cc
+/// \brief Experiment E8 — semantics of the dispersion parameter (§2.4.1):
+/// pattern probabilities sweep from reference-determined (φ → 0) to the
+/// uniform closed forms (φ = 1), monotonically.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ppref/infer/top_prob.h"
+
+int main() {
+  using namespace ppref;
+  using namespace ppref::bench;
+
+  PrintHeader("E8", "pattern probability vs Mallows dispersion");
+  const unsigned m = 10;
+  // Singleton labels on the reference's top item (0), a middle item, and
+  // the bottom item.
+  infer::ItemLabeling labeling(m);
+  labeling.AddLabel(0, 0);
+  labeling.AddLabel(m / 2, 1);
+  labeling.AddLabel(m - 1, 2);
+
+  // "Agreeing" chain follows the reference order; "inverted" reverses it.
+  infer::LabelPattern agreeing;
+  agreeing.AddNode(0);
+  agreeing.AddNode(1);
+  agreeing.AddNode(2);
+  agreeing.AddEdge(0, 1);
+  agreeing.AddEdge(1, 2);
+  infer::LabelPattern inverted;
+  inverted.AddNode(2);
+  inverted.AddNode(1);
+  inverted.AddNode(0);
+  inverted.AddEdge(0, 1);
+  inverted.AddEdge(1, 2);
+
+  std::printf("m = %u; singleton labels at reference positions 0, %u, %u.\n\n",
+              m, m / 2, m - 1);
+  std::printf("%8s %18s %18s\n", "phi", "Pr(agree chain)", "Pr(inverted)");
+  for (double phi :
+       {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    const auto model = LabeledMallows(m, phi, labeling);
+    std::printf("%8.2f %18.6f %18.6f\n", phi,
+                infer::PatternProb(model, agreeing),
+                infer::PatternProb(model, inverted));
+  }
+  std::printf("\nAt phi = 1 both tend to the uniform value 1/3! = %.6f;\n"
+              "as phi -> 0 the agreeing chain is certain and the inverted\n"
+              "one impossible — the crossover shape of the Mallows family.\n",
+              1.0 / 6.0);
+  return 0;
+}

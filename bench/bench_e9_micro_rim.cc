@@ -1,0 +1,115 @@
+/// \file bench_e9_micro_rim.cc
+/// \brief Experiment E9 — google-benchmark microbenchmarks of the RIM
+/// substrate and the inference primitives: the per-operation costs behind
+/// the experiment-level numbers of E1–E8.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ppref/common/random.h"
+#include "ppref/infer/marginals.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/rim/kendall.h"
+#include "ppref/rim/mallows.h"
+#include "ppref/rim/sampler.h"
+
+namespace {
+
+using namespace ppref;
+using namespace ppref::bench;
+
+rim::Ranking ShuffledRanking(unsigned m, Rng& rng) {
+  std::vector<rim::ItemId> order;
+  for (unsigned i = 0; i < m; ++i) order.push_back(i);
+  for (unsigned i = m; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextIndex(i)]);
+  }
+  return rim::Ranking(std::move(order));
+}
+
+void BM_KendallTau(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  Rng rng(1);
+  const rim::Ranking a = ShuffledRanking(m, rng);
+  const rim::Ranking b = ShuffledRanking(m, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rim::KendallTau(a, b));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_KendallTau)->Range(16, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_MallowsInsertionBuild(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rim::InsertionFunction::Mallows(m, 0.5));
+  }
+}
+BENCHMARK(BM_MallowsInsertionBuild)->Range(16, 1024);
+
+void BM_RimPmf(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  Rng rng(2);
+  const rim::RimModel model(ShuffledRanking(m, rng),
+                            rim::InsertionFunction::Mallows(m, 0.5));
+  const rim::Ranking tau = ShuffledRanking(m, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Probability(tau));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_RimPmf)->Range(8, 512)->Complexity(benchmark::oNSquared);
+
+void BM_SampleRanking(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  Rng rng(3);
+  const rim::RimModel model(rim::Ranking::Identity(m),
+                            rim::InsertionFunction::Mallows(m, 0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rim::SampleRanking(model, rng));
+  }
+}
+BENCHMARK(BM_SampleRanking)->Range(8, 512);
+
+void BM_PairwiseMarginal(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const rim::RimModel model(rim::Ranking::Identity(m),
+                            rim::InsertionFunction::Mallows(m, 0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::PairwiseMarginal(model, 0, m - 1));
+  }
+}
+BENCHMARK(BM_PairwiseMarginal)->Range(8, 512);
+
+void BM_PositionDistribution(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const rim::RimModel model(rim::Ranking::Identity(m),
+                            rim::InsertionFunction::Mallows(m, 0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::PositionDistribution(model, m / 2));
+  }
+}
+BENCHMARK(BM_PositionDistribution)->Range(8, 512);
+
+void BM_PatternProbChain2(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const auto model = LabeledMallows(m, 0.7, SpreadLabeling(m, 2, 3));
+  const auto pattern = ChainPattern(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::PatternProb(model, pattern));
+  }
+}
+BENCHMARK(BM_PatternProbChain2)->Range(8, 64);
+
+void BM_MallowsZ(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const rim::MallowsModel model(rim::Ranking::Identity(m), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.NormalizationConstant());
+  }
+}
+BENCHMARK(BM_MallowsZ)->Range(8, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment harness: wall-clock timing,
+/// log-log slope fitting, and workload generators.
+
+#ifndef PPREF_BENCH_BENCH_UTIL_H_
+#define PPREF_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ppref/common/random.h"
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/labeling.h"
+#include "ppref/infer/pattern.h"
+#include "ppref/rim/mallows.h"
+
+namespace ppref::bench {
+
+/// Milliseconds elapsed while running `body` once.
+inline double TimeMs(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Runs `body` repeatedly until ~`min_ms` elapsed; returns ms per run.
+inline double TimeMsAveraged(const std::function<void()>& body,
+                             double min_ms = 20.0) {
+  double total = 0.0;
+  unsigned runs = 0;
+  while (total < min_ms) {
+    total += TimeMs(body);
+    ++runs;
+    if (runs >= 1000) break;
+  }
+  return total / runs;
+}
+
+/// Least-squares slope of log(y) against log(x): the empirical polynomial
+/// degree of a runtime curve.
+inline double FitLogLogSlope(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log(x[i]);
+    const double ly = std::log(std::max(y[i], 1e-9));
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+/// A chain pattern over labels 0 -> 1 -> ... -> k-1.
+inline infer::LabelPattern ChainPattern(unsigned k) {
+  infer::LabelPattern pattern;
+  for (infer::LabelId label = 0; label < k; ++label) pattern.AddNode(label);
+  for (unsigned i = 0; i + 1 < k; ++i) pattern.AddEdge(i, i + 1);
+  return pattern;
+}
+
+/// Labels 0..k-1 assigned to `per_label` evenly spread items each, so the
+/// candidate-matching count stays per_label^k across model sizes.
+inline infer::ItemLabeling SpreadLabeling(unsigned m, unsigned k,
+                                          unsigned per_label) {
+  infer::ItemLabeling labeling(m);
+  for (infer::LabelId label = 0; label < k; ++label) {
+    for (unsigned i = 0; i < per_label; ++i) {
+      // Deterministic spread with label-dependent offset.
+      const rim::ItemId item = (label + 1 + i * (m / per_label)) % m;
+      labeling.AddLabel(item, label);
+    }
+  }
+  return labeling;
+}
+
+/// A labeled Mallows model with the identity reference ranking.
+inline infer::LabeledRimModel LabeledMallows(unsigned m, double phi,
+                                             infer::ItemLabeling labeling) {
+  const rim::MallowsModel mallows(rim::Ranking::Identity(m), phi);
+  return infer::LabeledRimModel(mallows.rim(), std::move(labeling));
+}
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+}  // namespace ppref::bench
+
+#endif  // PPREF_BENCH_BENCH_UTIL_H_

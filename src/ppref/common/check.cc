@@ -1,0 +1,21 @@
+#include "ppref/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppref {
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::fprintf(stderr, "PPREF_CHECK failed: %s at %s:%d", expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ppref

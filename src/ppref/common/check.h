@@ -1,0 +1,62 @@
+/// \file check.h
+/// \brief Checked assertions and error types used throughout the library.
+///
+/// Library invariants and API preconditions are enforced with PPREF_CHECK,
+/// which aborts with a readable message; it is always on (including release
+/// builds) because the library is the reference implementation of an exact
+/// inference algorithm and silent corruption would invalidate results.
+/// Errors caused by malformed *user input* (query text, schema mismatches)
+/// are reported by throwing ppref::ParseError / ppref::SchemaError so that
+/// callers embedding the library can recover.
+
+#ifndef PPREF_COMMON_CHECK_H_
+#define PPREF_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppref {
+
+/// Thrown when query or schema text cannot be parsed.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Thrown when a query, tuple, or instance is inconsistent with its schema.
+class SchemaError : public std::runtime_error {
+ public:
+  explicit SchemaError(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace internal {
+
+/// Prints a fatal-check failure and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace internal
+}  // namespace ppref
+
+/// Aborts with a diagnostic if `condition` is false. Always enabled.
+#define PPREF_CHECK(condition)                                                  \
+  do {                                                                          \
+    if (!(condition)) {                                                         \
+      ::ppref::internal::CheckFailed(#condition, __FILE__, __LINE__, "");       \
+    }                                                                           \
+  } while (false)
+
+/// Like PPREF_CHECK but appends a streamed message, e.g.
+/// `PPREF_CHECK_MSG(i < n, "index " << i << " out of range " << n)`.
+#define PPREF_CHECK_MSG(condition, stream_expr)                                 \
+  do {                                                                          \
+    if (!(condition)) {                                                         \
+      std::ostringstream ppref_check_msg_stream;                                \
+      ppref_check_msg_stream << stream_expr;                                    \
+      ::ppref::internal::CheckFailed(#condition, __FILE__, __LINE__,            \
+                                     ppref_check_msg_stream.str());             \
+    }                                                                           \
+  } while (false)
+
+#endif  // PPREF_COMMON_CHECK_H_

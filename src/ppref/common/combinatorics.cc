@@ -1,0 +1,32 @@
+#include "ppref/common/combinatorics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ppref/common/check.h"
+
+namespace ppref {
+
+std::uint64_t Factorial(unsigned n) {
+  PPREF_CHECK_MSG(n <= 20, "Factorial(" << n << ") overflows 64 bits");
+  std::uint64_t result = 1;
+  for (unsigned i = 2; i <= n; ++i) result *= i;
+  return result;
+}
+
+double FactorialAsDouble(unsigned n) {
+  double result = 1.0;
+  for (unsigned i = 2; i <= n; ++i) result *= static_cast<double>(i);
+  return result;
+}
+
+void ForEachPermutation(
+    unsigned n, const std::function<void(const std::vector<unsigned>&)>& visit) {
+  std::vector<unsigned> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  do {
+    visit(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+}  // namespace ppref

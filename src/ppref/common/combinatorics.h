@@ -1,0 +1,26 @@
+/// \file combinatorics.h
+/// \brief Small combinatorial helpers: factorials, permutation enumeration.
+
+#ifndef PPREF_COMMON_COMBINATORICS_H_
+#define PPREF_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ppref {
+
+/// Exact n! as a 64-bit unsigned integer. Checked for n <= 20 (21! overflows).
+std::uint64_t Factorial(unsigned n);
+
+/// n! as a double, valid for any n representable in double range.
+double FactorialAsDouble(unsigned n);
+
+/// Invokes `visit` on every permutation of {0, ..., n-1}, in lexicographic
+/// order. Intended for exhaustive oracles; callers should keep n small.
+void ForEachPermutation(unsigned n,
+                        const std::function<void(const std::vector<unsigned>&)>& visit);
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_COMBINATORICS_H_

@@ -1,0 +1,31 @@
+/// \file parallel.h
+/// \brief Minimal data-parallel helper for embarrassingly parallel loops.
+///
+/// The PPD evaluators are products of independent per-session quantities
+/// (§3.2 session independence), which the paper's §6 singles out for CPU
+/// parallelism. `ParallelFor` fans a loop body out over a fixed number of
+/// worker threads with static chunking — deterministic work assignment, so
+/// results are bit-identical across runs.
+
+#ifndef PPREF_COMMON_PARALLEL_H_
+#define PPREF_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace ppref {
+
+/// Invokes `body(i)` for every i in [0, count), distributing iterations
+/// over `threads` workers (static block partition). `threads <= 1` or
+/// `count <= 1` runs inline. `body` must be safe to call concurrently for
+/// distinct i; exceptions thrown by `body` are rethrown on the caller
+/// thread (the first one encountered by worker order).
+void ParallelFor(std::size_t count, unsigned threads,
+                 const std::function<void(std::size_t)>& body);
+
+/// A reasonable default worker count: hardware concurrency capped at 8.
+unsigned DefaultThreadCount();
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_PARALLEL_H_

@@ -1,0 +1,33 @@
+#include "ppref/common/random.h"
+
+#include "ppref/common/check.h"
+
+namespace ppref {
+
+std::uint64_t Rng::NextIndex(std::uint64_t bound) {
+  PPREF_CHECK(bound > 0);
+  return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+}
+
+double Rng::NextUnit() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  PPREF_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    PPREF_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  PPREF_CHECK_MSG(total > 0.0, "weights sum to zero");
+  double draw = NextUnit() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (draw < cumulative) return i;
+  }
+  return weights.size() - 1;  // Numerical slack: land on the last bucket.
+}
+
+}  // namespace ppref

@@ -1,0 +1,167 @@
+#include "ppref/db/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+namespace {
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+/// Types an unquoted field: integer, decimal, or string; empty is NULL.
+Value SniffValue(const std::string& raw) {
+  const std::string field = Trim(raw);
+  if (field.empty()) return Value();
+  char* end = nullptr;
+  const long long as_int = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() + field.size() && !field.empty()) {
+    return Value(static_cast<std::int64_t>(as_int));
+  }
+  const double as_double = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() + field.size()) {
+    return Value(as_double);
+  }
+  return Value(field);
+}
+
+/// Parses a single CSV line into values.
+// GCC 12's -Wmaybe-uninitialized fires a false positive on the moved
+// std::variant temporaries inlined into push_back (GCC PR 105562).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+Tuple ParseLine(const std::string& line, std::size_t line_number) {
+  Tuple tuple;
+  std::size_t i = 0;
+  while (true) {
+    // Skip leading spaces.
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '"') {
+      // Quoted string field; doubled quotes escape.
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        if (line[i] == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            value += '"';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += line[i++];
+      }
+      if (!closed) {
+        throw ParseError("unterminated quote on CSV line " +
+                         std::to_string(line_number));
+      }
+      tuple.push_back(Value(value));
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i < line.size() && line[i] != ',') {
+        throw ParseError("unexpected text after quoted field on line " +
+                         std::to_string(line_number));
+      }
+    } else {
+      const std::size_t comma = line.find(',', i);
+      const std::string field =
+          line.substr(i, comma == std::string::npos ? std::string::npos
+                                                    : comma - i);
+      tuple.push_back(SniffValue(field));
+      i = comma == std::string::npos ? line.size() : comma;
+    }
+    if (i >= line.size()) break;
+    ++i;  // skip the comma
+    if (i == line.size()) {
+      tuple.push_back(Value());  // trailing comma: final NULL field
+      break;
+    }
+  }
+  return tuple;
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+std::vector<Tuple> ParseCsv(const std::string& text) {
+  std::vector<Tuple> tuples;
+  std::size_t line_number = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(begin, end - begin);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (!trimmed.empty() && trimmed[0] != '#') {
+      tuples.push_back(ParseLine(line, line_number));
+    }
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return tuples;
+}
+
+void LoadCsv(Relation& relation, const std::string& text) {
+  for (Tuple& tuple : ParseCsv(text)) {
+    if (tuple.size() != relation.arity()) {
+      throw ParseError("CSV row " + ToString(tuple) + " has " +
+                       std::to_string(tuple.size()) + " fields; relation " +
+                       relation.signature().ToString() + " expects " +
+                       std::to_string(relation.arity()));
+    }
+    relation.Add(std::move(tuple));
+  }
+}
+
+std::string WriteCsv(const Relation& relation) {
+  std::string out;
+  for (const Tuple& tuple : relation) {
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out += ",";
+      const Value& value = tuple[i];
+      switch (value.kind()) {
+        case Value::Kind::kNull:
+          break;
+        case Value::Kind::kInt:
+          out += std::to_string(value.AsInt());
+          break;
+        case Value::Kind::kDouble: {
+          char buffer[32];
+          std::snprintf(buffer, sizeof(buffer), "%.17g", value.AsDouble());
+          out += buffer;
+          break;
+        }
+        case Value::Kind::kString: {
+          out += '"';
+          for (char c : value.AsString()) {
+            if (c == '"') out += '"';
+            out += c;
+          }
+          out += '"';
+          break;
+        }
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ppref::db

@@ -1,0 +1,35 @@
+/// \file csv.h
+/// \brief Loading and saving relation instances as CSV text — the practical
+/// ingestion path for poll/preference datasets.
+///
+/// Typing is sniffed per field: double-quoted fields are strings; unquoted
+/// fields parse as integers, then decimals, and fall back to strings; empty
+/// fields are NULL. `WriteCsv` quotes every string so round-trips preserve
+/// value kinds. Blank lines and lines starting with '#' are skipped.
+
+#ifndef PPREF_DB_CSV_H_
+#define PPREF_DB_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "ppref/db/relation.h"
+#include "ppref/db/value.h"
+
+namespace ppref::db {
+
+/// Parses CSV text into tuples. Throws ParseError on unterminated quotes.
+std::vector<Tuple> ParseCsv(const std::string& text);
+
+/// Parses and appends rows into `relation`; every row must match its arity.
+void LoadCsv(Relation& relation, const std::string& text);
+
+/// Renders the relation as CSV (no header). Strings are double-quoted with
+/// internal quotes doubled; NULL is the empty field. Caveat: an
+/// integral-valued double (e.g. 3.0) prints as "3" and loads back as an
+/// integer.
+std::string WriteCsv(const Relation& relation);
+
+}  // namespace ppref::db
+
+#endif  // PPREF_DB_CSV_H_

@@ -1,0 +1,66 @@
+#include "ppref/db/database.h"
+
+#include "ppref/common/check.h"
+#include "ppref/db/preference_instance.h"
+
+namespace ppref::db {
+
+Database::Database(PreferenceSchema schema) : schema_(std::move(schema)) {
+  for (const std::string& name : schema_.OSymbols()) {
+    instances_.emplace(name, Relation(schema_.OSignature(name)));
+  }
+  for (const std::string& name : schema_.PSymbols()) {
+    instances_.emplace(name, Relation(schema_.PSignature(name).Flattened()));
+  }
+}
+
+const Relation& Database::Instance(const std::string& symbol) const {
+  const auto it = instances_.find(symbol);
+  if (it == instances_.end()) {
+    throw SchemaError("unknown symbol '" + symbol + "'");
+  }
+  return it->second;
+}
+
+Relation& Database::MutableInstance(const std::string& symbol) {
+  const auto it = instances_.find(symbol);
+  if (it == instances_.end()) {
+    throw SchemaError("unknown symbol '" + symbol + "'");
+  }
+  return it->second;
+}
+
+void Database::Add(const std::string& symbol, Tuple tuple) {
+  MutableInstance(symbol).Add(std::move(tuple));
+}
+
+void Database::Add(const std::string& symbol,
+                   std::initializer_list<Value> values) {
+  Add(symbol, Tuple(values));
+}
+
+Database ElectionDatabase() {
+  Database db(ElectionSchema());
+  // Candidates(candidate, party, sex, edu): attributes chosen so that the
+  // paper's worked examples hold — Clinton is the only female (Example 4.9),
+  // Trump holds a BS (Example 4.7), and Sanders shares Ann's BS education
+  // (Example 4.9 gives {Trump, Sanders} as Ann's education matches).
+  db.Add("Candidates", {"Clinton", "D", "F", "JD"});
+  db.Add("Candidates", {"Sanders", "D", "M", "BS"});
+  db.Add("Candidates", {"Rubio", "R", "M", "JD"});
+  db.Add("Candidates", {"Trump", "R", "M", "BS"});
+  // Voters(voter, edu, sex, age).
+  db.Add("Voters", {"Ann", "BS", "F", 34});
+  db.Add("Voters", {"Bob", "JD", "M", 51});
+  db.Add("Voters", {"Dave", "BS", "M", 27});
+  // Polls (Figure 1): three sessions, each a full ranking stored pairwise.
+  AddRankingAsPairs(db, "Polls", {"Ann", "Oct-5"},
+                    {"Sanders", "Clinton", "Rubio", "Trump"});
+  AddRankingAsPairs(db, "Polls", {"Bob", "Oct-5"},
+                    {"Sanders", "Rubio", "Clinton", "Trump"});
+  AddRankingAsPairs(db, "Polls", {"Dave", "Nov-5"},
+                    {"Clinton", "Rubio", "Sanders", "Trump"});
+  return db;
+}
+
+}  // namespace ppref::db

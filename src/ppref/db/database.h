@@ -1,0 +1,49 @@
+/// \file database.h
+/// \brief Deterministic preference databases — §3.1.
+///
+/// A `Database` assigns an instance to every symbol of a preference schema.
+/// P-instances are stored as plain relations over the flattened signature
+/// (β attributes, then lhs, then rhs) — the paper's "conceptual"
+/// representation listing all pairwise preferences.
+
+#ifndef PPREF_DB_DATABASE_H_
+#define PPREF_DB_DATABASE_H_
+
+#include <map>
+#include <string>
+
+#include "ppref/db/relation.h"
+#include "ppref/db/schema.h"
+
+namespace ppref::db {
+
+/// A database over a preference schema.
+class Database {
+ public:
+  explicit Database(PreferenceSchema schema);
+
+  const PreferenceSchema& schema() const { return schema_; }
+
+  /// The instance of `symbol` (o- or p-symbol); throws SchemaError when the
+  /// symbol is not declared.
+  const Relation& Instance(const std::string& symbol) const;
+
+  /// Mutable access for population.
+  Relation& MutableInstance(const std::string& symbol);
+
+  /// Adds a tuple to `symbol`'s instance (p-symbols take flattened tuples:
+  /// session values, then lhs item, then rhs item).
+  void Add(const std::string& symbol, Tuple tuple);
+  void Add(const std::string& symbol, std::initializer_list<Value> values);
+
+ private:
+  PreferenceSchema schema_;
+  std::map<std::string, Relation> instances_;
+};
+
+/// The running example's deterministic database (Figure 1).
+Database ElectionDatabase();
+
+}  // namespace ppref::db
+
+#endif  // PPREF_DB_DATABASE_H_

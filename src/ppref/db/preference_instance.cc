@@ -1,0 +1,135 @@
+#include "ppref/db/preference_instance.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+namespace {
+
+void CheckInstanceShape(const Relation& instance,
+                        const PreferenceSignature& signature) {
+  PPREF_CHECK_MSG(instance.arity() == signature.arity(),
+                  "p-instance arity " << instance.arity()
+                                      << " does not match signature arity "
+                                      << signature.arity());
+}
+
+Tuple SessionPart(const Tuple& tuple, const PreferenceSignature& signature) {
+  return Tuple(tuple.begin(), tuple.begin() + signature.session_arity());
+}
+
+}  // namespace
+
+std::vector<Tuple> Sessions(const Relation& instance,
+                            const PreferenceSignature& signature) {
+  CheckInstanceShape(instance, signature);
+  std::vector<Tuple> sessions;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Tuple& tuple : instance) {
+    Tuple session = SessionPart(tuple, signature);
+    if (seen.insert(session).second) sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+std::vector<Value> Items(const Relation& instance,
+                         const PreferenceSignature& signature) {
+  CheckInstanceShape(instance, signature);
+  std::vector<Value> items;
+  std::unordered_set<Tuple, TupleHash> seen;  // singleton tuples as keys
+  const unsigned lhs = signature.session_arity();
+  const unsigned rhs = lhs + 1;
+  for (const Tuple& tuple : instance) {
+    for (unsigned index : {lhs, rhs}) {
+      if (seen.insert({tuple[index]}).second) items.push_back(tuple[index]);
+    }
+  }
+  return items;
+}
+
+std::vector<std::pair<Value, Value>> SessionPairs(
+    const Relation& instance, const PreferenceSignature& signature,
+    const Tuple& session) {
+  CheckInstanceShape(instance, signature);
+  PPREF_CHECK(session.size() == signature.session_arity());
+  std::vector<std::pair<Value, Value>> pairs;
+  const unsigned lhs = signature.session_arity();
+  for (const Tuple& tuple : instance) {
+    if (SessionPart(tuple, signature) == session) {
+      pairs.emplace_back(tuple[lhs], tuple[lhs + 1]);
+    }
+  }
+  return pairs;
+}
+
+std::optional<std::vector<Value>> SessionRanking(
+    const Relation& instance, const PreferenceSignature& signature,
+    const Tuple& session) {
+  const auto pairs = SessionPairs(instance, signature, session);
+  // Collect the session's items.
+  std::vector<Value> items;
+  for (const auto& [a, b] : pairs) {
+    for (const Value& v : {a, b}) {
+      if (std::find(items.begin(), items.end(), v) == items.end()) {
+        items.push_back(v);
+      }
+    }
+  }
+  const std::size_t n = items.size();
+  if (pairs.size() != n * (n - 1) / 2) return std::nullopt;
+  // Sort by out-degree: in a strict linear order over n items, the i-th item
+  // from the top beats exactly n-1-i others.
+  std::vector<std::size_t> wins(n, 0);
+  auto index_of = [&](const Value& v) {
+    return static_cast<std::size_t>(
+        std::find(items.begin(), items.end(), v) - items.begin());
+  };
+  for (const auto& [a, b] : pairs) {
+    if (a == b) return std::nullopt;  // irreflexivity
+    ++wins[index_of(a)];
+  }
+  std::vector<Value> ranking(n);
+  std::vector<bool> used(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t expected = n - 1 - i;
+    bool found = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!used[j] && wins[j] == expected) {
+        ranking[i] = items[j];
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;  // not a linear order
+  }
+  // Verify every pair agrees with the ranking (catches non-transitive sets
+  // that happen to have linear win counts).
+  auto rank_of = [&](const Value& v) {
+    return std::find(ranking.begin(), ranking.end(), v) - ranking.begin();
+  };
+  for (const auto& [a, b] : pairs) {
+    if (rank_of(a) >= rank_of(b)) return std::nullopt;
+  }
+  return ranking;
+}
+
+void AddRankingAsPairs(Database& database, const std::string& symbol,
+                       const Tuple& session,
+                       const std::vector<Value>& items_in_order) {
+  const PreferenceSignature& signature =
+      database.schema().PSignature(symbol);
+  PPREF_CHECK(session.size() == signature.session_arity());
+  for (std::size_t i = 0; i < items_in_order.size(); ++i) {
+    for (std::size_t j = i + 1; j < items_in_order.size(); ++j) {
+      Tuple tuple = session;
+      tuple.push_back(items_in_order[i]);
+      tuple.push_back(items_in_order[j]);
+      database.Add(symbol, std::move(tuple));
+    }
+  }
+}
+
+}  // namespace ppref::db

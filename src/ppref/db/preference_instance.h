@@ -1,0 +1,47 @@
+/// \file preference_instance.h
+/// \brief Utilities over p-instances: sessions, items, per-session orders,
+/// and conversions between rankings and pairwise representations — §3.1.
+
+#ifndef PPREF_DB_PREFERENCE_INSTANCE_H_
+#define PPREF_DB_PREFERENCE_INSTANCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "ppref/db/database.h"
+#include "ppref/db/relation.h"
+#include "ppref/db/signature.h"
+
+namespace ppref::db {
+
+/// The distinct sessions of a p-instance `r`: π_β(r), in first-seen order.
+std::vector<Tuple> Sessions(const Relation& instance,
+                            const PreferenceSignature& signature);
+
+/// items(r): every value occurring in the lhs or rhs attribute.
+std::vector<Value> Items(const Relation& instance,
+                         const PreferenceSignature& signature);
+
+/// The preference pairs (lhs, rhs) of one session.
+std::vector<std::pair<Value, Value>> SessionPairs(
+    const Relation& instance, const PreferenceSignature& signature,
+    const Tuple& session);
+
+/// If the session's pairs form a strict linear order over the given items,
+/// returns the items from most to least preferred; otherwise nullopt. Pairs
+/// must be exactly the full order relation (all C(n,2) comparisons), as in
+/// the paper's conceptual representation.
+std::optional<std::vector<Value>> SessionRanking(
+    const Relation& instance, const PreferenceSignature& signature,
+    const Tuple& session);
+
+/// Appends to `database[symbol]` the complete pairwise encoding of the
+/// ranking `items_in_order` (most preferred first) for `session`: tuples
+/// (session; items[i]; items[j]) for every i < j.
+void AddRankingAsPairs(Database& database, const std::string& symbol,
+                       const Tuple& session,
+                       const std::vector<Value>& items_in_order);
+
+}  // namespace ppref::db
+
+#endif  // PPREF_DB_PREFERENCE_INSTANCE_H_

@@ -1,0 +1,80 @@
+#include "ppref/db/relation.h"
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+
+Relation::Relation(const Relation& other)
+    : signature_(other.signature_),
+      tuples_(other.tuples_),
+      dedup_(other.dedup_) {}  // indexes rebuild lazily in the copy
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  signature_ = other.signature_;
+  tuples_ = other.tuples_;
+  dedup_ = other.dedup_;
+  indexed_.store(false, std::memory_order_relaxed);
+  attribute_index_.clear();
+  return *this;
+}
+
+bool Relation::Add(Tuple tuple) {
+  PPREF_CHECK_MSG(tuple.size() == signature_.size(),
+                  "tuple " << db::ToString(tuple) << " has arity "
+                           << tuple.size() << ", relation expects "
+                           << signature_.size());
+  if (dedup_.contains(tuple)) return false;
+  dedup_.insert(tuple);
+  tuples_.push_back(std::move(tuple));
+  // Invalidate point indexes (mutation is single-threaded by contract).
+  indexed_.store(false, std::memory_order_relaxed);
+  attribute_index_.clear();
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return dedup_.contains(tuple);
+}
+
+std::vector<Tuple> Relation::Project(
+    const std::vector<unsigned>& indices) const {
+  std::vector<Tuple> result;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Tuple& tuple : tuples_) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (unsigned index : indices) {
+      PPREF_CHECK(index < tuple.size());
+      projected.push_back(tuple[index]);
+    }
+    if (seen.insert(projected).second) result.push_back(std::move(projected));
+  }
+  return result;
+}
+
+void Relation::EnsureIndexes() const {
+  if (indexed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (indexed_.load(std::memory_order_relaxed)) return;
+  attribute_index_.assign(signature_.size(), {});
+  for (std::size_t position = 0; position < tuples_.size(); ++position) {
+    for (unsigned attribute = 0; attribute < signature_.size(); ++attribute) {
+      attribute_index_[attribute][tuples_[position][attribute]].push_back(
+          position);
+    }
+  }
+  indexed_.store(true, std::memory_order_release);
+}
+
+const std::vector<std::size_t>& Relation::MatchingIndices(
+    unsigned attribute, const Value& value) const {
+  PPREF_CHECK(attribute < signature_.size());
+  EnsureIndexes();
+  static const std::vector<std::size_t> kEmpty;
+  const auto& index = attribute_index_[attribute];
+  const auto it = index.find(value);
+  return it == index.end() ? kEmpty : it->second;
+}
+
+}  // namespace ppref::db

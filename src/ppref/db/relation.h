@@ -1,0 +1,78 @@
+/// \file relation.h
+/// \brief Relation instances: finite sets of tuples over a signature — §2.1.
+
+#ifndef PPREF_DB_RELATION_H_
+#define PPREF_DB_RELATION_H_
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ppref/db/signature.h"
+#include "ppref/db/value.h"
+
+namespace ppref::db {
+
+/// A finite set of tuples over a relation signature. Insertion order is
+/// preserved for deterministic iteration; duplicates are silently dropped
+/// (set semantics, as in the paper).
+///
+/// Point lookups are served by per-attribute hash indexes, built lazily on
+/// first probe and invalidated by mutation. Const operations (including the
+/// lazy build) are safe to call concurrently; mutation is not.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelationSignature signature)
+      : signature_(std::move(signature)) {}
+
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+
+  const RelationSignature& signature() const { return signature_; }
+  unsigned arity() const { return signature_.size(); }
+
+  /// Adds `tuple`; returns true if it was new. The arity must match.
+  bool Add(Tuple tuple);
+
+  /// Convenience for initializer-list style population.
+  bool Add(std::initializer_list<Value> values) {
+    return Add(Tuple(values));
+  }
+
+  bool Contains(const Tuple& tuple) const;
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+  /// Projection onto attribute indices, deduplicated, in first-seen order.
+  std::vector<Tuple> Project(const std::vector<unsigned>& indices) const;
+
+  /// Indices (into tuples()) of the tuples whose `attribute` equals
+  /// `value`, in insertion order. O(1) expected after the first probe.
+  const std::vector<std::size_t>& MatchingIndices(unsigned attribute,
+                                                  const Value& value) const;
+
+ private:
+  void EnsureIndexes() const;
+
+  RelationSignature signature_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+
+  // Lazily built per-attribute point indexes (value -> tuple positions).
+  mutable std::atomic<bool> indexed_{false};
+  mutable std::mutex index_mutex_;
+  mutable std::vector<std::unordered_map<Value, std::vector<std::size_t>,
+                                         ValueHash>>
+      attribute_index_;
+};
+
+}  // namespace ppref::db
+
+#endif  // PPREF_DB_RELATION_H_

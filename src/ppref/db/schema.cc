@@ -1,0 +1,75 @@
+#include "ppref/db/schema.h"
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+
+void PreferenceSchema::AddOSymbol(const std::string& name,
+                                  RelationSignature signature) {
+  if (HasSymbol(name)) throw SchemaError("symbol '" + name + "' already declared");
+  o_symbols_.emplace(name, std::move(signature));
+}
+
+void PreferenceSchema::AddPSymbol(const std::string& name,
+                                  PreferenceSignature signature) {
+  if (HasSymbol(name)) throw SchemaError("symbol '" + name + "' already declared");
+  p_symbols_.emplace(name, std::move(signature));
+}
+
+bool PreferenceSchema::HasSymbol(const std::string& name) const {
+  return IsOSymbol(name) || IsPSymbol(name);
+}
+
+bool PreferenceSchema::IsOSymbol(const std::string& name) const {
+  return o_symbols_.contains(name);
+}
+
+bool PreferenceSchema::IsPSymbol(const std::string& name) const {
+  return p_symbols_.contains(name);
+}
+
+const RelationSignature& PreferenceSchema::OSignature(
+    const std::string& name) const {
+  const auto it = o_symbols_.find(name);
+  if (it == o_symbols_.end()) throw SchemaError("unknown o-symbol '" + name + "'");
+  return it->second;
+}
+
+const PreferenceSignature& PreferenceSchema::PSignature(
+    const std::string& name) const {
+  const auto it = p_symbols_.find(name);
+  if (it == p_symbols_.end()) throw SchemaError("unknown p-symbol '" + name + "'");
+  return it->second;
+}
+
+unsigned PreferenceSchema::Arity(const std::string& name) const {
+  if (IsOSymbol(name)) return OSignature(name).size();
+  if (IsPSymbol(name)) return PSignature(name).arity();
+  throw SchemaError("unknown symbol '" + name + "'");
+}
+
+std::vector<std::string> PreferenceSchema::OSymbols() const {
+  std::vector<std::string> names;
+  for (const auto& [name, signature] : o_symbols_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PreferenceSchema::PSymbols() const {
+  std::vector<std::string> names;
+  for (const auto& [name, signature] : p_symbols_) names.push_back(name);
+  return names;
+}
+
+PreferenceSchema ElectionSchema() {
+  PreferenceSchema schema;
+  schema.AddOSymbol("Candidates", RelationSignature({"candidate", "party",
+                                                     "sex", "edu"}));
+  schema.AddOSymbol("Voters",
+                    RelationSignature({"voter", "edu", "sex", "age"}));
+  schema.AddPSymbol("Polls",
+                    PreferenceSignature(RelationSignature({"voter", "date"}),
+                                        "lcand", "rcand"));
+  return schema;
+}
+
+}  // namespace ppref::db

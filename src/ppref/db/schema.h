@@ -1,0 +1,52 @@
+/// \file schema.h
+/// \brief Preference schemas: o-symbols and p-symbols — §3.1.
+
+#ifndef PPREF_DB_SCHEMA_H_
+#define PPREF_DB_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ppref/db/signature.h"
+
+namespace ppref::db {
+
+/// A relational schema whose relation symbols are either ordinary
+/// (o-symbols) or preference symbols (p-symbols).
+class PreferenceSchema {
+ public:
+  /// Declares an o-symbol. Throws SchemaError when the name is taken.
+  void AddOSymbol(const std::string& name, RelationSignature signature);
+
+  /// Declares a p-symbol. Throws SchemaError when the name is taken.
+  void AddPSymbol(const std::string& name, PreferenceSignature signature);
+
+  bool HasSymbol(const std::string& name) const;
+  bool IsOSymbol(const std::string& name) const;
+  bool IsPSymbol(const std::string& name) const;
+
+  /// Signature of an o-symbol; throws SchemaError if absent.
+  const RelationSignature& OSignature(const std::string& name) const;
+
+  /// Signature of a p-symbol; throws SchemaError if absent.
+  const PreferenceSignature& PSignature(const std::string& name) const;
+
+  /// Arity of any symbol (p-symbols: |β| + 2); throws SchemaError if absent.
+  unsigned Arity(const std::string& name) const;
+
+  std::vector<std::string> OSymbols() const;
+  std::vector<std::string> PSymbols() const;
+
+ private:
+  std::map<std::string, RelationSignature> o_symbols_;
+  std::map<std::string, PreferenceSignature> p_symbols_;
+};
+
+/// The running example's schema (Figure 1): Candidates(candidate, party,
+/// sex, edu), Voters(voter, edu, sex, age), Polls(voter, date; lcand; rcand).
+PreferenceSchema ElectionSchema();
+
+}  // namespace ppref::db
+
+#endif  // PPREF_DB_SCHEMA_H_

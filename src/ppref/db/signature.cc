@@ -1,0 +1,69 @@
+#include "ppref/db/signature.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+
+RelationSignature::RelationSignature(std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    PPREF_CHECK_MSG(!attributes_[i].empty(), "empty attribute name");
+    for (std::size_t j = i + 1; j < attributes_.size(); ++j) {
+      PPREF_CHECK_MSG(attributes_[i] != attributes_[j],
+                      "duplicate attribute '" << attributes_[i] << "'");
+    }
+  }
+}
+
+const std::string& RelationSignature::Attribute(unsigned index) const {
+  PPREF_CHECK(index < attributes_.size());
+  return attributes_[index];
+}
+
+std::optional<unsigned> RelationSignature::IndexOf(
+    const std::string& name) const {
+  const auto it = std::find(attributes_.begin(), attributes_.end(), name);
+  if (it == attributes_.end()) return std::nullopt;
+  return static_cast<unsigned>(it - attributes_.begin());
+}
+
+std::string RelationSignature::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i];
+  }
+  return out + ")";
+}
+
+PreferenceSignature::PreferenceSignature(RelationSignature session,
+                                         std::string lhs, std::string rhs)
+    : session_(std::move(session)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+  PPREF_CHECK_MSG(!lhs_.empty() && !rhs_.empty(), "empty item attribute name");
+  PPREF_CHECK_MSG(lhs_ != rhs_, "lhs and rhs attributes must differ");
+  PPREF_CHECK_MSG(!session_.IndexOf(lhs_).has_value(),
+                  "lhs attribute '" << lhs_ << "' collides with session");
+  PPREF_CHECK_MSG(!session_.IndexOf(rhs_).has_value(),
+                  "rhs attribute '" << rhs_ << "' collides with session");
+}
+
+RelationSignature PreferenceSignature::Flattened() const {
+  std::vector<std::string> attributes = session_.attributes();
+  attributes.push_back(lhs_);
+  attributes.push_back(rhs_);
+  return RelationSignature(std::move(attributes));
+}
+
+std::string PreferenceSignature::ToString() const {
+  std::string out = "(";
+  for (unsigned i = 0; i < session_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += session_.Attribute(i);
+  }
+  out += "; " + lhs_ + "; " + rhs_ + ")";
+  return out;
+}
+
+}  // namespace ppref::db

@@ -1,0 +1,77 @@
+/// \file signature.h
+/// \brief Relation signatures and preference signatures — §2.1 and §3.1.
+///
+/// An ordinary relation signature is a sequence of distinct attribute names.
+/// A preference signature is (β; A_l; A_r): a session signature β plus the
+/// left-hand-side and right-hand-side item attributes, written in the paper
+/// as e.g. Polls(voter, date; lcand; rcand).
+
+#ifndef PPREF_DB_SIGNATURE_H_
+#define PPREF_DB_SIGNATURE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppref::db {
+
+/// A finite sequence of distinct attribute names.
+class RelationSignature {
+ public:
+  RelationSignature() = default;
+  explicit RelationSignature(std::vector<std::string> attributes);
+
+  unsigned size() const { return static_cast<unsigned>(attributes_.size()); }
+  const std::string& Attribute(unsigned index) const;
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, if present.
+  std::optional<unsigned> IndexOf(const std::string& name) const;
+
+  /// Renders as "(a, b, c)".
+  std::string ToString() const;
+
+  friend bool operator==(const RelationSignature& a,
+                         const RelationSignature& b) {
+    return a.attributes_ == b.attributes_;
+  }
+
+ private:
+  std::vector<std::string> attributes_;
+};
+
+/// A preference signature (β; A_l; A_r).
+class PreferenceSignature {
+ public:
+  PreferenceSignature() = default;
+  /// `session` is β; `lhs`/`rhs` must be distinct from each other and from
+  /// every session attribute.
+  PreferenceSignature(RelationSignature session, std::string lhs,
+                      std::string rhs);
+
+  const RelationSignature& session() const { return session_; }
+  const std::string& lhs() const { return lhs_; }
+  const std::string& rhs() const { return rhs_; }
+
+  /// Number of session attributes |β| (may be zero).
+  unsigned session_arity() const { return session_.size(); }
+
+  /// Total arity |β| + 2, the arity of tuples stored in a p-instance.
+  unsigned arity() const { return session_.size() + 2; }
+
+  /// The flattened ordinary signature (β attributes, then lhs, then rhs),
+  /// used to store p-instances as plain relations.
+  RelationSignature Flattened() const;
+
+  /// Renders as "(a, b; l; r)".
+  std::string ToString() const;
+
+ private:
+  RelationSignature session_;
+  std::string lhs_;
+  std::string rhs_;
+};
+
+}  // namespace ppref::db
+
+#endif  // PPREF_DB_SIGNATURE_H_

@@ -1,0 +1,78 @@
+#include "ppref/db/value.h"
+
+#include <functional>
+#include <sstream>
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+
+std::int64_t Value::AsInt() const {
+  PPREF_CHECK_MSG(kind() == Kind::kInt, "value " << ToString() << " is not int");
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  PPREF_CHECK_MSG(kind() == Kind::kDouble,
+                  "value " << ToString() << " is not double");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  PPREF_CHECK_MSG(kind() == Kind::kString,
+                  "value " << ToString() << " is not string");
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case Kind::kDouble: {
+      std::ostringstream out;
+      out << std::get<double>(data_);
+      return out.str();
+    }
+    case Kind::kString:
+      return "'" + std::get<std::string>(data_) + "'";
+  }
+  return "?";
+}
+
+std::size_t Value::Hash() const {
+  const std::size_t kind_salt = static_cast<std::size_t>(kind()) * 0x9E3779B97F4A7C15ull;
+  switch (kind()) {
+    case Kind::kNull:
+      return kind_salt;
+    case Kind::kInt:
+      return kind_salt ^ std::hash<std::int64_t>{}(std::get<std::int64_t>(data_));
+    case Kind::kDouble:
+      return kind_salt ^ std::hash<double>{}(std::get<double>(data_));
+    case Kind::kString:
+      return kind_salt ^ std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  return kind_salt;
+}
+
+std::string ToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::size_t TupleHash::operator()(const Tuple& tuple) const {
+  std::size_t hash = 1469598103934665603ull;
+  for (const Value& value : tuple) {
+    hash ^= value.Hash();
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace ppref::db

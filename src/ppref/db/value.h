@@ -1,0 +1,75 @@
+/// \file value.h
+/// \brief Atomic values and tuples for the relational substrate — §2.1.
+///
+/// Values are nulls, 64-bit integers, doubles, or strings. Tuples are value
+/// sequences. Equality and ordering are defined across kinds (kind first,
+/// then payload) so values can key ordered and hashed containers.
+
+#ifndef PPREF_DB_VALUE_H_
+#define PPREF_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ppref::db {
+
+/// An atomic database value.
+class Value {
+ public:
+  enum class Kind { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+  /// The null value.
+  Value() : data_(std::monostate{}) {}
+  Value(std::int64_t v) : data_(v) {}          // NOLINT(runtime/explicit)
+  Value(int v) : data_(std::int64_t{v}) {}     // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  Kind kind() const { return static_cast<Kind>(data_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  /// Typed accessors; the kind must match.
+  std::int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Renders for diagnostics: strings quoted, null as "NULL".
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.data_ < b.data_;
+  }
+
+  /// Hash for unordered containers.
+  std::size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+/// A tuple over some relation signature.
+using Tuple = std::vector<Value>;
+
+/// Renders a tuple as "(v1, v2, ...)".
+std::string ToString(const Tuple& tuple);
+
+/// Hash functor for values (unordered containers keyed by Value).
+struct ValueHash {
+  std::size_t operator()(const Value& value) const { return value.Hash(); }
+};
+
+/// Hash functor for tuples.
+struct TupleHash {
+  std::size_t operator()(const Tuple& tuple) const;
+};
+
+}  // namespace ppref::db
+
+#endif  // PPREF_DB_VALUE_H_

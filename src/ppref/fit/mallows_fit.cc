@@ -1,0 +1,140 @@
+#include "ppref/fit/mallows_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ppref/common/check.h"
+#include "ppref/rim/kendall.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::fit {
+namespace {
+
+/// Expected insertion displacement at step t (0-based) under dispersion φ:
+/// E[e] with Pr(e) ∝ φ^e, e in [0, t].
+double ExpectedDisplacement(unsigned t, double phi) {
+  double numerator = 0.0;
+  double denominator = 0.0;
+  double power = 1.0;
+  for (unsigned e = 0; e <= t; ++e) {
+    numerator += e * power;
+    denominator += power;
+    power *= phi;
+  }
+  return numerator / denominator;
+}
+
+/// Finds φ in (0, 1] with ExpectedDisplacement(t, φ) = target, by bisection
+/// (the expectation is strictly increasing in φ for t >= 1).
+double SolveDisplacement(unsigned t, double target) {
+  const double max_target = ExpectedDisplacement(t, 1.0);
+  if (target >= max_target) return 1.0;
+  if (target <= 0.0) return 1e-9;
+  double lo = 1e-9, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedDisplacement(t, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+void CheckSamples(const std::vector<rim::Ranking>& samples) {
+  PPREF_CHECK_MSG(!samples.empty(), "cannot fit a model from zero samples");
+  for (const rim::Ranking& sample : samples) {
+    PPREF_CHECK_MSG(sample.size() == samples.front().size(),
+                    "samples rank different item sets");
+  }
+}
+
+}  // namespace
+
+rim::Ranking BordaConsensus(const std::vector<rim::Ranking>& samples) {
+  CheckSamples(samples);
+  const unsigned m = samples.front().size();
+  std::vector<double> mean_position(m, 0.0);
+  for (const rim::Ranking& sample : samples) {
+    for (rim::ItemId item = 0; item < m; ++item) {
+      mean_position[item] += sample.PositionOf(item);
+    }
+  }
+  std::vector<rim::ItemId> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](rim::ItemId a, rim::ItemId b) {
+                     return mean_position[a] < mean_position[b];
+                   });
+  return rim::Ranking(std::move(order));
+}
+
+double MallowsExpectedDistance(unsigned m, double phi) {
+  PPREF_CHECK(phi > 0.0 && phi <= 1.0);
+  // d(τ, σ) = Σ_t (displacement of step t); steps are independent.
+  double expected = 0.0;
+  for (unsigned t = 1; t < m; ++t) expected += ExpectedDisplacement(t, phi);
+  return expected;
+}
+
+double FitDispersion(unsigned m, double target_mean_distance) {
+  PPREF_CHECK(m >= 1);
+  PPREF_CHECK(target_mean_distance >= 0.0);
+  if (m == 1) return 1.0;
+  const double uniform_mean = MallowsExpectedDistance(m, 1.0);
+  if (target_mean_distance >= uniform_mean) return 1.0;
+  if (target_mean_distance <= 0.0) return 1e-9;
+  double lo = 1e-9, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (MallowsExpectedDistance(m, mid) < target_mean_distance) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+MallowsFitResult FitMallows(const std::vector<rim::Ranking>& samples) {
+  CheckSamples(samples);
+  MallowsFitResult result;
+  result.reference = BordaConsensus(samples);
+  double total = 0.0;
+  for (const rim::Ranking& sample : samples) {
+    total += static_cast<double>(rim::KendallTau(sample, result.reference));
+  }
+  result.mean_distance = total / samples.size();
+  result.phi = std::max(FitDispersion(samples.front().size(),
+                                      result.mean_distance),
+                        1e-9);
+  return result;
+}
+
+std::vector<double> FitGeneralizedMallows(
+    const std::vector<rim::Ranking>& samples, const rim::Ranking& reference) {
+  CheckSamples(samples);
+  const unsigned m = reference.size();
+  PPREF_CHECK(samples.front().size() == m);
+  // Mean displacement per insertion step, read off each sample via the
+  // slot-reconstruction of the RIM view (slot j at step t = displacement
+  // t - j).
+  const rim::RimModel probe(reference, rim::InsertionFunction::Uniform(m));
+  std::vector<double> mean_displacement(m, 0.0);
+  for (const rim::Ranking& sample : samples) {
+    const std::vector<unsigned> slots = probe.InsertionSlots(sample);
+    for (unsigned t = 0; t < m; ++t) {
+      mean_displacement[t] += static_cast<double>(t - slots[t]);
+    }
+  }
+  std::vector<double> phis(m, 1.0);
+  for (unsigned t = 1; t < m; ++t) {
+    phis[t] = std::max(SolveDisplacement(t, mean_displacement[t] / samples.size()),
+                       1e-9);
+  }
+  return phis;
+}
+
+}  // namespace ppref::fit

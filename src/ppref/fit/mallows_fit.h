@@ -1,0 +1,53 @@
+/// \file mallows_fit.h
+/// \brief Fitting Mallows / generalized-Mallows models from observed
+/// rankings — the statistics-side counterpart of the PPD framework (§1
+/// motivates PPDs with models learned from noisy preference data).
+///
+/// Reference ranking: Borda consensus (sort items by mean observed
+/// position), the standard consistent estimator; the Kemeny optimum is
+/// NP-hard. Dispersion: for a fixed reference, Mallows is an exponential
+/// family in d(τ, σ), so the MLE of φ solves E_φ[d] = mean observed d —
+/// a monotone equation solved here by bisection.
+
+#ifndef PPREF_FIT_MALLOWS_FIT_H_
+#define PPREF_FIT_MALLOWS_FIT_H_
+
+#include <vector>
+
+#include "ppref/rim/mallows.h"
+#include "ppref/rim/ranking.h"
+
+namespace ppref::fit {
+
+/// Result of fitting MAL(σ, φ).
+struct MallowsFitResult {
+  rim::Ranking reference;
+  double phi = 1.0;
+  /// Mean Kendall distance of the samples to the fitted reference.
+  double mean_distance = 0.0;
+};
+
+/// Borda consensus: items ordered by increasing mean observed position
+/// (ties by item id). All samples must rank the same m items.
+rim::Ranking BordaConsensus(const std::vector<rim::Ranking>& samples);
+
+/// E_φ[d(τ, σ)] under MAL(σ, φ) — closed form via per-step displacement
+/// expectations, O(m²).
+double MallowsExpectedDistance(unsigned m, double phi);
+
+/// The φ solving E_φ[d] = `target_mean_distance` (clamped to (0, 1];
+/// targets at or above the uniform mean m(m-1)/4 return 1).
+double FitDispersion(unsigned m, double target_mean_distance);
+
+/// Full fit: Borda reference + dispersion MLE given that reference.
+MallowsFitResult FitMallows(const std::vector<rim::Ranking>& samples);
+
+/// Fits a generalized-Mallows (multistage) model for a *given* reference:
+/// an independent dispersion φ_t per insertion step, each matching that
+/// step's mean observed displacement. Returns the per-step dispersions.
+std::vector<double> FitGeneralizedMallows(
+    const std::vector<rim::Ranking>& samples, const rim::Ranking& reference);
+
+}  // namespace ppref::fit
+
+#endif  // PPREF_FIT_MALLOWS_FIT_H_

@@ -1,0 +1,76 @@
+#include "ppref/infer/aggregates.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ppref/common/check.h"
+#include "ppref/infer/marginals.h"
+
+namespace ppref::infer {
+
+double ExpectedKendallTau(const rim::RimModel& model,
+                          const rim::Ranking& sigma) {
+  PPREF_CHECK(sigma.size() == model.size());
+  double expected = 0.0;
+  for (rim::Position i = 0; i < sigma.size(); ++i) {
+    for (rim::Position j = i + 1; j < sigma.size(); ++j) {
+      // sigma ranks At(i) above At(j); a disagreement inverts them.
+      expected += PairwiseMarginal(model, sigma.At(j), sigma.At(i));
+    }
+  }
+  return expected;
+}
+
+rim::Ranking ModalRanking(const rim::RimModel& model) {
+  std::vector<rim::ItemId> order;
+  order.reserve(model.size());
+  for (unsigned t = 0; t < model.size(); ++t) {
+    const std::vector<double>& row = model.insertion().Row(t);
+    const auto best = std::max_element(row.begin(), row.end());
+    const auto slot = static_cast<std::ptrdiff_t>(best - row.begin());
+    order.insert(order.begin() + slot, model.reference().At(t));
+  }
+  return rim::Ranking(std::move(order));
+}
+
+std::vector<double> ExpectedPositions(const rim::RimModel& model) {
+  std::vector<double> expected(model.size(), 0.0);
+  for (rim::ItemId item = 0; item < model.size(); ++item) {
+    const std::vector<double> dist = PositionDistribution(model, item);
+    for (unsigned p = 0; p < dist.size(); ++p) {
+      expected[item] += p * dist[p];
+    }
+  }
+  return expected;
+}
+
+rim::Ranking ConsensusByExpectedPosition(const rim::RimModel& model) {
+  const std::vector<double> expected = ExpectedPositions(model);
+  std::vector<rim::ItemId> order(model.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](rim::ItemId a, rim::ItemId b) {
+                     return expected[a] < expected[b];
+                   });
+  return rim::Ranking(std::move(order));
+}
+
+std::vector<double> KendallDistanceDistribution(const rim::RimModel& model) {
+  const unsigned m = model.size();
+  std::vector<double> distribution = {1.0};  // Pr(d = 0) before any step
+  for (unsigned t = 1; t < m; ++t) {
+    // Step t contributes displacement e = t - slot with probability
+    // Π(t, t - e), e in [0, t].
+    std::vector<double> next(distribution.size() + t, 0.0);
+    for (std::size_t d = 0; d < distribution.size(); ++d) {
+      if (distribution[d] == 0.0) continue;
+      for (unsigned e = 0; e <= t; ++e) {
+        next[d + e] += distribution[d] * model.insertion().Prob(t, t - e);
+      }
+    }
+    distribution.swap(next);
+  }
+  return distribution;
+}
+
+}  // namespace ppref::infer

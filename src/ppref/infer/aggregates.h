@@ -1,0 +1,42 @@
+/// \file aggregates.h
+/// \brief Exact rank-aggregation statistics over RIM models — the
+/// "preference-to-preference" operations motivated in §1 (and the vision
+/// paper the framework builds on), computed in closed form from the
+/// polynomial-time marginal DPs.
+
+#ifndef PPREF_INFER_AGGREGATES_H_
+#define PPREF_INFER_AGGREGATES_H_
+
+#include <vector>
+
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::infer {
+
+/// E[d(τ, sigma)]: the expected Kendall tau distance between a random
+/// ranking of the model and a fixed ranking `sigma`, computed exactly as the
+/// sum of pairwise disagreement probabilities. O(m²) pairwise DPs.
+double ExpectedKendallTau(const rim::RimModel& model, const rim::Ranking& sigma);
+
+/// The single most probable ranking of the model. Insertion slots are
+/// chosen independently, so the mode simply takes each row's argmax slot
+/// (ties broken toward the earlier slot).
+rim::Ranking ModalRanking(const rim::RimModel& model);
+
+/// E[position of each item] (0-based), from the exact position
+/// distributions; the per-item "expected Borda score" is (m-1) minus this.
+std::vector<double> ExpectedPositions(const rim::RimModel& model);
+
+/// A consensus ranking: items sorted by increasing expected position (ties
+/// by item id). For Mallows models this recovers the reference ranking.
+rim::Ranking ConsensusByExpectedPosition(const rim::RimModel& model);
+
+/// The exact distribution of d(τ, σ) for the model's *own* reference σ:
+/// result[d] = Pr(Kendall distance d), d = 0 .. m(m-1)/2. The per-step
+/// insertion displacements are independent and sum to the distance, so a
+/// convolution over the Π rows computes this in O(m³).
+std::vector<double> KendallDistanceDistribution(const rim::RimModel& model);
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_AGGREGATES_H_

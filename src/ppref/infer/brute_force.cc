@@ -1,0 +1,37 @@
+#include "ppref/infer/brute_force.h"
+
+namespace ppref::infer {
+
+double PatternProbBruteForce(const LabeledRimModel& model,
+                             const LabelPattern& pattern) {
+  double total = 0.0;
+  model.model().ForEachRanking([&](const rim::Ranking& tau, double prob) {
+    if (Matches(pattern, model.labeling(), tau)) total += prob;
+  });
+  return total;
+}
+
+double TopMatchingProbBruteForce(const LabeledRimModel& model,
+                                 const LabelPattern& pattern,
+                                 const Matching& gamma) {
+  double total = 0.0;
+  model.model().ForEachRanking([&](const rim::Ranking& tau, double prob) {
+    const auto top = TopMatching(pattern, model.labeling(), tau);
+    if (top.has_value() && *top == gamma) total += prob;
+  });
+  return total;
+}
+
+double PatternMinMaxProbBruteForce(const LabeledRimModel& model,
+                                   const LabelPattern& pattern,
+                                   const std::vector<LabelId>& tracked,
+                                   const MinMaxCondition& condition) {
+  double total = 0.0;
+  model.model().ForEachRanking([&](const rim::Ranking& tau, double prob) {
+    if (!Matches(pattern, model.labeling(), tau)) return;
+    if (condition(RealizedMinMax(model.labeling(), tau, tracked))) total += prob;
+  });
+  return total;
+}
+
+}  // namespace ppref::infer

@@ -1,0 +1,37 @@
+/// \file brute_force.h
+/// \brief Exhaustive-enumeration oracles for labeled-RIM inference.
+///
+/// These evaluate the defining sums of §4.3/§5 directly by enumerating all
+/// m! rankings. They are exponential and exist to validate the polynomial
+/// algorithms (tests) and to exhibit the cost gap (benchmarks); keep m <= ~9.
+
+#ifndef PPREF_INFER_BRUTE_FORCE_H_
+#define PPREF_INFER_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/matching.h"
+#include "ppref/infer/minmax_condition.h"
+#include "ppref/infer/pattern.h"
+
+namespace ppref::infer {
+
+/// Pr(g | σ, Π, λ) by direct summation over rnk(items(σ)) — Eq. (1).
+double PatternProbBruteForce(const LabeledRimModel& model,
+                             const LabelPattern& pattern);
+
+/// p_γ by direct summation: mass of rankings whose top matching is `gamma`.
+double TopMatchingProbBruteForce(const LabeledRimModel& model,
+                                 const LabelPattern& pattern,
+                                 const Matching& gamma);
+
+/// Pr(g ∧ φ) by direct summation — the quantity of Thm 5.11.
+double PatternMinMaxProbBruteForce(const LabeledRimModel& model,
+                                   const LabelPattern& pattern,
+                                   const std::vector<LabelId>& tracked,
+                                   const MinMaxCondition& condition);
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_BRUTE_FORCE_H_

@@ -1,0 +1,48 @@
+/// \file dp_engine.h
+/// \brief Internal: the shared dynamic program behind TopProb (Fig. 5) and
+/// TopProbMinMax (Fig. 6).
+///
+/// Not part of the public API; include top_prob.h / top_prob_minmax.h
+/// instead.
+
+#ifndef PPREF_INFER_INTERNAL_DP_ENGINE_H_
+#define PPREF_INFER_INTERNAL_DP_ENGINE_H_
+
+#include <vector>
+
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/matching.h"
+#include "ppref/infer/minmax_condition.h"
+#include "ppref/infer/pattern.h"
+
+namespace ppref::infer::internal {
+
+/// Runs the per-γ dynamic program. When `tracked` is empty and `condition`
+/// is null this is exactly TopProb (Fig. 5); otherwise it is TopProbMinMax
+/// (Fig. 6), returning p_{γ,φ}. Returns 0 for infeasible γ (label mismatch,
+/// cyclic pattern, or equal items on connected nodes).
+double RunTopProbDp(const LabeledRimModel& model, const LabelPattern& pattern,
+                    const Matching& gamma, const std::vector<LabelId>& tracked,
+                    const MinMaxCondition* condition);
+
+/// Like RunTopProbDp but instead of filtering by a condition, invokes
+/// `visit(values, probability)` for every final aggregated (α, β)
+/// combination with positive mass — the joint distribution of the tracked
+/// labels' min/max positions restricted to rankings whose top matching is
+/// `gamma`.
+void RunTopProbDpDistribution(
+    const LabeledRimModel& model, const LabelPattern& pattern,
+    const Matching& gamma, const std::vector<LabelId>& tracked,
+    const std::function<void(const MinMaxValues&, double)>& visit);
+
+/// Enumerates label-consistent γ; with `prune` set (the default), γ with
+/// γ(u) == γ(v) for v reachable from u are skipped (they can never be top
+/// matchings). The pruned set is still a superset of all top matchings over
+/// all rankings; the unpruned variant exists for the ablation benchmark.
+std::vector<Matching> EnumerateCandidates(const LabeledRimModel& model,
+                                          const LabelPattern& pattern,
+                                          bool prune = true);
+
+}  // namespace ppref::infer::internal
+
+#endif  // PPREF_INFER_INTERNAL_DP_ENGINE_H_

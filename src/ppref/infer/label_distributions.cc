@@ -1,0 +1,63 @@
+#include "ppref/infer/label_distributions.h"
+
+#include "ppref/common/check.h"
+#include "ppref/infer/internal/dp_engine.h"
+
+namespace ppref::infer {
+
+namespace {
+
+/// Accumulates one DP distribution run into `result`.
+void Accumulate(const LabeledRimModel& model, const LabelPattern& pattern,
+                const Matching& gamma, LabelId label,
+                LabelPositionDistributions& result) {
+  internal::RunTopProbDpDistribution(
+      model, pattern, gamma, {label},
+      [&](const MinMaxValues& values, double prob) {
+        const auto& alpha = values.min_position[0];
+        const auto& beta = values.max_position[0];
+        if (!alpha.has_value()) {
+          result.absent_prob += prob;
+          return;
+        }
+        PPREF_CHECK(beta.has_value());
+        result.joint[*alpha][*beta] += prob;
+        result.min_marginal[*alpha] += prob;
+        result.max_marginal[*beta] += prob;
+      });
+}
+
+LabelPositionDistributions EmptyDistributions(unsigned m) {
+  LabelPositionDistributions result;
+  result.joint.assign(m, std::vector<double>(m, 0.0));
+  result.min_marginal.assign(m, 0.0);
+  result.max_marginal.assign(m, 0.0);
+  return result;
+}
+
+}  // namespace
+
+LabelPositionDistributions LabelPositions(const LabeledRimModel& model,
+                                          LabelId label) {
+  LabelPositionDistributions result = EmptyDistributions(model.size());
+  Accumulate(model, LabelPattern{}, /*gamma=*/{}, label, result);
+  return result;
+}
+
+LabelPositionDistributions PatternLabelPositions(const LabeledRimModel& model,
+                                                 const LabelPattern& pattern,
+                                                 LabelId label) {
+  LabelPositionDistributions result = EmptyDistributions(model.size());
+  if (pattern.NodeCount() == 0) {
+    Accumulate(model, pattern, {}, label, result);
+    return result;
+  }
+  // Candidate top matchings partition the pattern-matching rankings
+  // (Lemma 5.3), so their distributions add up.
+  for (const Matching& gamma : internal::EnumerateCandidates(model, pattern)) {
+    Accumulate(model, pattern, gamma, label, result);
+  }
+  return result;
+}
+
+}  // namespace ppref::infer

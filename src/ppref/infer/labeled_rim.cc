@@ -1,0 +1,14 @@
+#include "ppref/infer/labeled_rim.h"
+
+#include "ppref/common/check.h"
+
+namespace ppref::infer {
+
+LabeledRimModel::LabeledRimModel(rim::RimModel model, ItemLabeling labeling)
+    : model_(std::move(model)), labeling_(std::move(labeling)) {
+  PPREF_CHECK_MSG(model_.size() == labeling_.item_count(),
+                  "model has " << model_.size() << " items but labeling covers "
+                               << labeling_.item_count());
+}
+
+}  // namespace ppref::infer

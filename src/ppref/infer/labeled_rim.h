@@ -1,0 +1,35 @@
+/// \file labeled_rim.h
+/// \brief Labeled RIM models RIM_L(σ, Π, λ) — §4.3 of the paper.
+
+#ifndef PPREF_INFER_LABELED_RIM_H_
+#define PPREF_INFER_LABELED_RIM_H_
+
+#include "ppref/infer/labeling.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::infer {
+
+/// A RIM model whose items carry label sets: the object the paper's
+/// inference problem (computing Pr(g | σ, Π, λ)) is defined over.
+class LabeledRimModel {
+ public:
+  /// The labeling must cover exactly the model's items.
+  LabeledRimModel(rim::RimModel model, ItemLabeling labeling);
+
+  /// Number of items m.
+  unsigned size() const { return model_.size(); }
+
+  /// The underlying RIM(σ, Π) model.
+  const rim::RimModel& model() const { return model_; }
+
+  /// The labeling λ.
+  const ItemLabeling& labeling() const { return labeling_; }
+
+ private:
+  rim::RimModel model_;
+  ItemLabeling labeling_;
+};
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_LABELED_RIM_H_

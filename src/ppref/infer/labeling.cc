@@ -1,0 +1,47 @@
+#include "ppref/infer/labeling.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+
+namespace ppref::infer {
+
+ItemLabeling::ItemLabeling(unsigned item_count) : item_labels_(item_count) {}
+
+void ItemLabeling::AddLabel(rim::ItemId item, LabelId label) {
+  PPREF_CHECK(item < item_labels_.size());
+  auto& labels = item_labels_[item];
+  if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+    labels.push_back(label);
+  }
+}
+
+const std::vector<LabelId>& ItemLabeling::LabelsOf(rim::ItemId item) const {
+  PPREF_CHECK(item < item_labels_.size());
+  return item_labels_[item];
+}
+
+std::vector<rim::ItemId> ItemLabeling::ItemsWith(LabelId label) const {
+  std::vector<rim::ItemId> items;
+  for (rim::ItemId item = 0; item < item_labels_.size(); ++item) {
+    if (HasLabel(item, label)) items.push_back(item);
+  }
+  return items;
+}
+
+bool ItemLabeling::HasLabel(rim::ItemId item, LabelId label) const {
+  const auto& labels = LabelsOf(item);
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
+}
+
+std::vector<LabelId> ItemLabeling::LabelUniverse() const {
+  std::vector<LabelId> universe;
+  for (const auto& labels : item_labels_) {
+    universe.insert(universe.end(), labels.begin(), labels.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  return universe;
+}
+
+}  // namespace ppref::infer

@@ -1,0 +1,51 @@
+/// \file labeling.h
+/// \brief Item labelings λ for labeled RIM models — §4.3 of the paper.
+///
+/// λ maps every item to a finite set of labels. The labeling also maintains
+/// the reverse index (label -> items), which the inference algorithms use to
+/// enumerate candidate matchings.
+
+#ifndef PPREF_INFER_LABELING_H_
+#define PPREF_INFER_LABELING_H_
+
+#include <vector>
+
+#include "ppref/infer/pattern.h"
+#include "ppref/rim/ranking.h"
+
+namespace ppref::infer {
+
+/// λ: items(σ) -> finite sets of labels.
+class ItemLabeling {
+ public:
+  /// A labeling over `item_count` items with no labels assigned.
+  explicit ItemLabeling(unsigned item_count);
+
+  /// Assigns `label` to `item` (idempotent).
+  void AddLabel(rim::ItemId item, LabelId label);
+
+  /// Number of items m.
+  unsigned item_count() const {
+    return static_cast<unsigned>(item_labels_.size());
+  }
+
+  /// λ(item): the labels of `item`, in insertion order.
+  const std::vector<LabelId>& LabelsOf(rim::ItemId item) const;
+
+  /// Items carrying `label`, in increasing item id order; empty when the
+  /// label occurs nowhere.
+  std::vector<rim::ItemId> ItemsWith(LabelId label) const;
+
+  /// True iff `item` carries `label`.
+  bool HasLabel(rim::ItemId item, LabelId label) const;
+
+  /// All labels that occur in the image of λ (the paper's Λ_λ), sorted.
+  std::vector<LabelId> LabelUniverse() const;
+
+ private:
+  std::vector<std::vector<LabelId>> item_labels_;
+};
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_LABELING_H_

@@ -1,0 +1,118 @@
+#include "ppref/infer/linear_extensions.h"
+
+#include <unordered_map>
+
+#include "ppref/common/check.h"
+#include "ppref/common/combinatorics.h"
+
+namespace ppref::infer {
+
+PartialOrder::PartialOrder(unsigned item_count)
+    : item_count_(item_count),
+      precedes_(item_count, std::vector<bool>(item_count, false)) {
+  PPREF_CHECK_MSG(item_count <= 20, "PartialOrder supports at most 20 items");
+}
+
+void PartialOrder::Add(rim::ItemId before, rim::ItemId after) {
+  PPREF_CHECK(before < item_count_ && after < item_count_);
+  PPREF_CHECK_MSG(before != after, "irreflexivity violated on item " << before);
+  precedes_[before][after] = true;
+}
+
+void PartialOrder::Close() {
+  for (unsigned k = 0; k < item_count_; ++k) {
+    for (unsigned i = 0; i < item_count_; ++i) {
+      if (!precedes_[i][k]) continue;
+      for (unsigned j = 0; j < item_count_; ++j) {
+        if (precedes_[k][j]) precedes_[i][j] = true;
+      }
+    }
+  }
+  for (unsigned i = 0; i < item_count_; ++i) {
+    PPREF_CHECK_MSG(!precedes_[i][i], "cycle through item " << i);
+  }
+}
+
+bool PartialOrder::Precedes(rim::ItemId before, rim::ItemId after) const {
+  PPREF_CHECK(before < item_count_ && after < item_count_);
+  return precedes_[before][after];
+}
+
+std::vector<std::pair<rim::ItemId, rim::ItemId>> PartialOrder::Pairs() const {
+  std::vector<std::pair<rim::ItemId, rim::ItemId>> pairs;
+  for (rim::ItemId a = 0; a < item_count_; ++a) {
+    for (rim::ItemId b = 0; b < item_count_; ++b) {
+      if (precedes_[a][b]) pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+bool PartialOrder::IsLinearExtension(const rim::Ranking& ranking) const {
+  PPREF_CHECK(ranking.size() == item_count_);
+  for (rim::ItemId a = 0; a < item_count_; ++a) {
+    for (rim::ItemId b = 0; b < item_count_; ++b) {
+      if (precedes_[a][b] && !ranking.Prefers(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t CountLinearExtensions(const PartialOrder& order) {
+  const unsigned n = order.size();
+  // Bitmask of predecessors per item (everything that must precede it).
+  std::vector<std::uint32_t> predecessors(n, 0);
+  for (rim::ItemId a = 0; a < n; ++a) {
+    for (rim::ItemId b = 0; b < n; ++b) {
+      if (order.Precedes(a, b)) predecessors[b] |= (1u << a);
+    }
+  }
+  // f(S) = number of ways to order the items of S so that each item appears
+  // after all its predecessors; defined for downsets S (predecessor-closed).
+  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  memo.emplace(0u, 1u);
+  // Iterate masks in increasing order; any downset's sub-downsets have
+  // smaller masks, so a single pass suffices — but visiting all 2^n masks
+  // and filtering to downsets keeps the code simple and exact.
+  const std::uint32_t full = (n == 32) ? 0xFFFFFFFFu : ((1u << n) - 1);
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    // Check S = mask is a downset: every member's predecessors are inside.
+    bool downset = true;
+    for (unsigned i = 0; i < n && downset; ++i) {
+      if ((mask & (1u << i)) && (predecessors[i] & ~mask)) downset = false;
+    }
+    if (!downset) continue;
+    std::uint64_t count = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      // Item i can come last in S iff i is maximal in S: no member of S
+      // requires i as a predecessor. Then S \ {i} is again a downset, whose
+      // count is already memoized (smaller mask).
+      bool i_is_maximal = true;
+      for (unsigned j = 0; j < n; ++j) {
+        if (j != i && (mask & (1u << j)) && (predecessors[j] & (1u << i))) {
+          i_is_maximal = false;
+          break;
+        }
+      }
+      if (!i_is_maximal) continue;
+      const std::uint32_t rest = mask & ~(1u << i);
+      const auto it = memo.find(rest);
+      PPREF_CHECK_MSG(it != memo.end(), "sub-downset missing from memo");
+      count += it->second;
+    }
+    memo.emplace(mask, count);
+  }
+  return memo.at(full);
+}
+
+std::uint64_t CountLinearExtensionsBruteForce(const PartialOrder& order) {
+  std::uint64_t count = 0;
+  ForEachPermutation(order.size(), [&](const std::vector<unsigned>& perm) {
+    rim::Ranking ranking(std::vector<rim::ItemId>(perm.begin(), perm.end()));
+    if (order.IsLinearExtension(ranking)) ++count;
+  });
+  return count;
+}
+
+}  // namespace ppref::infer

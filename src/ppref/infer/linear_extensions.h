@@ -1,0 +1,60 @@
+/// \file linear_extensions.h
+/// \brief Counting linear extensions of a partial order — the #P-hard
+/// problem behind the paper's hardness reduction (Lemma 4.6).
+///
+/// The reduction shows conf_{Q_h}([E]) = (m! − |rnk(A|≻)|) / m! when the
+/// single session carries the uniform RIM model MAL(σ, 1). The exact
+/// counter here (exponential-time DP over downsets) lets tests and bench E6
+/// verify that identity end-to-end.
+
+#ifndef PPREF_INFER_LINEAR_EXTENSIONS_H_
+#define PPREF_INFER_LINEAR_EXTENSIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ppref/rim/ranking.h"
+
+namespace ppref::infer {
+
+/// A strict partial order over items {0, ..., n-1}, n <= 20.
+class PartialOrder {
+ public:
+  explicit PartialOrder(unsigned item_count);
+
+  /// Asserts `before` ≻ `after` (before precedes after). The stored relation
+  /// keeps direct pairs; Close() takes the transitive closure.
+  void Add(rim::ItemId before, rim::ItemId after);
+
+  /// Takes the transitive closure in place. PPREF_CHECKs irreflexivity
+  /// (a cycle would make the relation reflexive after closure).
+  void Close();
+
+  /// True iff `before` ≻ `after` holds (direct pairs only unless Close()d).
+  bool Precedes(rim::ItemId before, rim::ItemId after) const;
+
+  /// Number of items n.
+  unsigned size() const { return item_count_; }
+
+  /// All pairs (before, after) currently stored.
+  std::vector<std::pair<rim::ItemId, rim::ItemId>> Pairs() const;
+
+  /// True iff `ranking` is a linear extension: a ≻ b implies a ranked
+  /// above b.
+  bool IsLinearExtension(const rim::Ranking& ranking) const;
+
+ private:
+  unsigned item_count_;
+  std::vector<std::vector<bool>> precedes_;
+};
+
+/// |rnk(A|≻)|: the number of linear extensions, via DP over downsets
+/// (O(2^n · n) time/space). Requires n <= 20.
+std::uint64_t CountLinearExtensions(const PartialOrder& order);
+
+/// Reference implementation enumerating all n! permutations; test oracle.
+std::uint64_t CountLinearExtensionsBruteForce(const PartialOrder& order);
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_LINEAR_EXTENSIONS_H_

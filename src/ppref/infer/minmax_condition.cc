@@ -1,0 +1,105 @@
+#include "ppref/infer/minmax_condition.h"
+
+#include "ppref/common/check.h"
+
+namespace ppref::infer {
+
+MinMaxCondition AllBefore(unsigned earlier, unsigned later) {
+  return [earlier, later](const MinMaxValues& values) {
+    PPREF_CHECK(earlier < values.max_position.size());
+    PPREF_CHECK(later < values.min_position.size());
+    const auto& beta = values.max_position[earlier];
+    const auto& alpha = values.min_position[later];
+    if (!beta.has_value() || !alpha.has_value()) return true;  // vacuous
+    return *beta < *alpha;
+  };
+}
+
+MinMaxCondition TopK(unsigned index, unsigned k) {
+  return [index, k](const MinMaxValues& values) {
+    PPREF_CHECK(index < values.min_position.size());
+    const auto& alpha = values.min_position[index];
+    return alpha.has_value() && *alpha + 1 <= k;
+  };
+}
+
+MinMaxCondition BottomK(unsigned index, unsigned k, unsigned m) {
+  return [index, k, m](const MinMaxValues& values) {
+    PPREF_CHECK(index < values.max_position.size());
+    const auto& beta = values.max_position[index];
+    return beta.has_value() && *beta + k >= m;
+  };
+}
+
+MinMaxCondition AllWithinTopK(unsigned index, unsigned k) {
+  return [index, k](const MinMaxValues& values) {
+    PPREF_CHECK(index < values.max_position.size());
+    const auto& beta = values.max_position[index];
+    return !beta.has_value() || *beta + 1 <= k;
+  };
+}
+
+MinMaxCondition BestBeforeBest(unsigned first, unsigned second) {
+  return [first, second](const MinMaxValues& values) {
+    PPREF_CHECK(first < values.min_position.size());
+    PPREF_CHECK(second < values.min_position.size());
+    const auto& a = values.min_position[first];
+    const auto& b = values.min_position[second];
+    return a.has_value() && b.has_value() && *a < *b;
+  };
+}
+
+MinMaxCondition WorstBeforeWorst(unsigned first, unsigned second) {
+  return [first, second](const MinMaxValues& values) {
+    PPREF_CHECK(first < values.max_position.size());
+    PPREF_CHECK(second < values.max_position.size());
+    const auto& a = values.max_position[first];
+    const auto& b = values.max_position[second];
+    return a.has_value() && b.has_value() && *a < *b;
+  };
+}
+
+MinMaxCondition And(std::vector<MinMaxCondition> conditions) {
+  return [conditions = std::move(conditions)](const MinMaxValues& values) {
+    for (const auto& condition : conditions) {
+      if (!condition(values)) return false;
+    }
+    return true;
+  };
+}
+
+MinMaxCondition Or(std::vector<MinMaxCondition> conditions) {
+  return [conditions = std::move(conditions)](const MinMaxValues& values) {
+    for (const auto& condition : conditions) {
+      if (condition(values)) return true;
+    }
+    return false;
+  };
+}
+
+MinMaxCondition Not(MinMaxCondition condition) {
+  return [condition = std::move(condition)](const MinMaxValues& values) {
+    return !condition(values);
+  };
+}
+
+MinMaxValues RealizedMinMax(const ItemLabeling& labeling,
+                            const rim::Ranking& ranking,
+                            const std::vector<LabelId>& tracked) {
+  MinMaxValues values;
+  values.min_position.resize(tracked.size());
+  values.max_position.resize(tracked.size());
+  for (rim::Position pos = 0; pos < ranking.size(); ++pos) {
+    const rim::ItemId item = ranking.At(pos);
+    for (std::size_t ti = 0; ti < tracked.size(); ++ti) {
+      if (!labeling.HasLabel(item, tracked[ti])) continue;
+      auto& alpha = values.min_position[ti];
+      auto& beta = values.max_position[ti];
+      if (!alpha.has_value() || pos < *alpha) alpha = pos;
+      if (!beta.has_value() || pos > *beta) beta = pos;
+    }
+  }
+  return values;
+}
+
+}  // namespace ppref::infer

@@ -1,0 +1,79 @@
+/// \file minmax_condition.h
+/// \brief Min/max label-position conditions φ — §5.5 of the paper.
+///
+/// For a set of *tracked* labels, α(l) is the position of the highest-ranked
+/// item carrying l and β(l) the position of the lowest-ranked one (0-based).
+/// A `MinMaxCondition` is any computable predicate over these values
+/// (the paper's computable min/max condition); `TopProbMinMax` computes the
+/// probability that a random ranking matches a pattern *and* realizes
+/// mappings α, β satisfying the condition.
+
+#ifndef PPREF_INFER_MINMAX_CONDITION_H_
+#define PPREF_INFER_MINMAX_CONDITION_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ppref/infer/labeling.h"
+#include "ppref/rim/ranking.h"
+
+namespace ppref::infer {
+
+/// Realized α/β values for the tracked labels of a ranking. Entry i
+/// corresponds to the i-th tracked label; `nullopt` means no item carries
+/// that label.
+struct MinMaxValues {
+  /// α: position of the highest-ranked item with the label (0-based).
+  std::vector<std::optional<unsigned>> min_position;
+  /// β: position of the lowest-ranked item with the label (0-based).
+  std::vector<std::optional<unsigned>> max_position;
+};
+
+/// A computable condition φ over the α/β mappings.
+using MinMaxCondition = std::function<bool(const MinMaxValues&)>;
+
+/// φ: "every item with tracked label `earlier` is preferred to every item
+/// with tracked label `later`" — β(earlier) < α(later). Vacuously true when
+/// either label is absent (universal quantification), matching first-order
+/// semantics of the §5.5 example events.
+MinMaxCondition AllBefore(unsigned earlier, unsigned later);
+
+/// φ: "some item with tracked label `index` is among the top k positions" —
+/// α(index) <= k-1. False when the label is absent.
+MinMaxCondition TopK(unsigned index, unsigned k);
+
+/// φ: "some item with tracked label `index` is among the bottom k positions
+/// of an m-item ranking" — β(index) >= m-k. False when the label is absent.
+MinMaxCondition BottomK(unsigned index, unsigned k, unsigned m);
+
+/// φ: "every item with tracked label `index` is among the top k" —
+/// β(index) <= k-1. Vacuously true when the label is absent.
+MinMaxCondition AllWithinTopK(unsigned index, unsigned k);
+
+/// φ: "the best item of label `first` precedes the best item of label
+/// `second`" — α(first) < α(second). False when either label is absent.
+MinMaxCondition BestBeforeBest(unsigned first, unsigned second);
+
+/// φ: "the worst item of label `first` precedes the worst item of label
+/// `second`" — β(first) < β(second). False when either label is absent.
+MinMaxCondition WorstBeforeWorst(unsigned first, unsigned second);
+
+/// Conjunction of conditions.
+MinMaxCondition And(std::vector<MinMaxCondition> conditions);
+
+/// Disjunction of conditions.
+MinMaxCondition Or(std::vector<MinMaxCondition> conditions);
+
+/// Negation of a condition.
+MinMaxCondition Not(MinMaxCondition condition);
+
+/// Computes the realized α/β of `ranking` for `tracked` labels — the
+/// reference implementation used by oracles and Monte-Carlo estimators.
+MinMaxValues RealizedMinMax(const ItemLabeling& labeling,
+                            const rim::Ranking& ranking,
+                            const std::vector<LabelId>& tracked);
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_MINMAX_CONDITION_H_

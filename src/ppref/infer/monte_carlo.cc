@@ -1,0 +1,51 @@
+#include "ppref/infer/monte_carlo.h"
+
+#include <cmath>
+
+#include "ppref/common/check.h"
+#include "ppref/infer/matching.h"
+#include "ppref/rim/sampler.h"
+
+namespace ppref::infer {
+namespace {
+
+McEstimate FromBernoulliCount(unsigned hits, unsigned samples) {
+  McEstimate result;
+  const double p = static_cast<double>(hits) / samples;
+  result.estimate = p;
+  result.std_error = std::sqrt(p * (1.0 - p) / samples);
+  return result;
+}
+
+}  // namespace
+
+McEstimate PatternProbMonteCarlo(const LabeledRimModel& model,
+                                 const LabelPattern& pattern, unsigned samples,
+                                 Rng& rng) {
+  PPREF_CHECK(samples > 0);
+  unsigned hits = 0;
+  for (unsigned s = 0; s < samples; ++s) {
+    const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+    if (Matches(pattern, model.labeling(), tau)) ++hits;
+  }
+  return FromBernoulliCount(hits, samples);
+}
+
+McEstimate PatternMinMaxProbMonteCarlo(const LabeledRimModel& model,
+                                       const LabelPattern& pattern,
+                                       const std::vector<LabelId>& tracked,
+                                       const MinMaxCondition& condition,
+                                       unsigned samples, Rng& rng) {
+  PPREF_CHECK(samples > 0);
+  unsigned hits = 0;
+  for (unsigned s = 0; s < samples; ++s) {
+    const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+    if (Matches(pattern, model.labeling(), tau) &&
+        condition(RealizedMinMax(model.labeling(), tau, tracked))) {
+      ++hits;
+    }
+  }
+  return FromBernoulliCount(hits, samples);
+}
+
+}  // namespace ppref::infer

@@ -1,0 +1,38 @@
+/// \file monte_carlo.h
+/// \brief Monte-Carlo estimators for labeled-RIM inference.
+///
+/// Samples rankings via the RIM generative process and averages indicators.
+/// Used in benchmarks (E3) to contrast the exact TopProb algorithm with the
+/// sampling alternative the paper's §6 alludes to for approximate answering.
+
+#ifndef PPREF_INFER_MONTE_CARLO_H_
+#define PPREF_INFER_MONTE_CARLO_H_
+
+#include "ppref/common/random.h"
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/minmax_condition.h"
+#include "ppref/infer/pattern.h"
+
+namespace ppref::infer {
+
+/// A sampling estimate with its standard error.
+struct McEstimate {
+  double estimate = 0.0;
+  double std_error = 0.0;
+};
+
+/// Estimates Pr(g | σ, Π, λ) from `samples` draws.
+McEstimate PatternProbMonteCarlo(const LabeledRimModel& model,
+                                 const LabelPattern& pattern, unsigned samples,
+                                 Rng& rng);
+
+/// Estimates Pr(g ∧ φ) from `samples` draws.
+McEstimate PatternMinMaxProbMonteCarlo(const LabeledRimModel& model,
+                                       const LabelPattern& pattern,
+                                       const std::vector<LabelId>& tracked,
+                                       const MinMaxCondition& condition,
+                                       unsigned samples, Rng& rng);
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_MONTE_CARLO_H_

@@ -1,0 +1,124 @@
+#include "ppref/infer/pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ppref/common/check.h"
+
+namespace ppref::infer {
+
+unsigned LabelPattern::AddNode(LabelId label) {
+  PPREF_CHECK_MSG(!NodeOf(label).has_value(),
+                  "label " << label << " is already a node of the pattern");
+  labels_.push_back(label);
+  parents_.emplace_back();
+  children_.emplace_back();
+  return static_cast<unsigned>(labels_.size() - 1);
+}
+
+void LabelPattern::AddEdge(unsigned from, unsigned to) {
+  PPREF_CHECK(from < NodeCount() && to < NodeCount());
+  PPREF_CHECK_MSG(from != to, "self-loop on node " << from);
+  if (HasEdge(from, to)) return;
+  children_[from].push_back(to);
+  parents_[to].push_back(from);
+}
+
+unsigned LabelPattern::EdgeCount() const {
+  unsigned count = 0;
+  for (const auto& ch : children_) count += static_cast<unsigned>(ch.size());
+  return count;
+}
+
+LabelId LabelPattern::NodeLabel(unsigned node) const {
+  PPREF_CHECK(node < NodeCount());
+  return labels_[node];
+}
+
+std::optional<unsigned> LabelPattern::NodeOf(LabelId label) const {
+  for (unsigned node = 0; node < NodeCount(); ++node) {
+    if (labels_[node] == label) return node;
+  }
+  return std::nullopt;
+}
+
+const std::vector<unsigned>& LabelPattern::Parents(unsigned node) const {
+  PPREF_CHECK(node < NodeCount());
+  return parents_[node];
+}
+
+const std::vector<unsigned>& LabelPattern::Children(unsigned node) const {
+  PPREF_CHECK(node < NodeCount());
+  return children_[node];
+}
+
+bool LabelPattern::HasEdge(unsigned from, unsigned to) const {
+  PPREF_CHECK(from < NodeCount() && to < NodeCount());
+  const auto& ch = children_[from];
+  return std::find(ch.begin(), ch.end(), to) != ch.end();
+}
+
+std::vector<unsigned> LabelPattern::TopologicalOrder() const {
+  std::vector<unsigned> indegree(NodeCount());
+  for (unsigned node = 0; node < NodeCount(); ++node) {
+    indegree[node] = static_cast<unsigned>(parents_[node].size());
+  }
+  std::vector<unsigned> order;
+  std::vector<unsigned> frontier;
+  for (unsigned node = 0; node < NodeCount(); ++node) {
+    if (indegree[node] == 0) frontier.push_back(node);
+  }
+  while (!frontier.empty()) {
+    const unsigned node = frontier.back();
+    frontier.pop_back();
+    order.push_back(node);
+    for (unsigned child : children_[node]) {
+      if (--indegree[child] == 0) frontier.push_back(child);
+    }
+  }
+  if (order.size() != NodeCount()) order.clear();  // cycle
+  return order;
+}
+
+bool LabelPattern::IsAcyclic() const {
+  return NodeCount() == 0 || !TopologicalOrder().empty();
+}
+
+std::vector<std::vector<bool>> LabelPattern::Reachability() const {
+  const unsigned k = NodeCount();
+  std::vector<std::vector<bool>> reach(k, std::vector<bool>(k, false));
+  for (unsigned from = 0; from < k; ++from) {
+    // DFS from `from`.
+    std::vector<unsigned> stack = children_[from];
+    while (!stack.empty()) {
+      const unsigned node = stack.back();
+      stack.pop_back();
+      if (reach[from][node]) continue;
+      reach[from][node] = true;
+      for (unsigned child : children_[node]) stack.push_back(child);
+    }
+  }
+  return reach;
+}
+
+std::string LabelPattern::ToString() const {
+  std::ostringstream out;
+  out << "pattern(nodes=[";
+  for (unsigned node = 0; node < NodeCount(); ++node) {
+    if (node > 0) out << ", ";
+    out << labels_[node];
+  }
+  out << "], edges=[";
+  bool first = true;
+  for (unsigned from = 0; from < NodeCount(); ++from) {
+    for (unsigned to : children_[from]) {
+      if (!first) out << ", ";
+      first = false;
+      out << labels_[from] << "->" << labels_[to];
+    }
+  }
+  out << "])";
+  return out.str();
+}
+
+}  // namespace ppref::infer

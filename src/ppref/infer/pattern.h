@@ -1,0 +1,88 @@
+/// \file pattern.h
+/// \brief Label patterns — §4.3 of the paper.
+///
+/// A label pattern g is a directed graph whose nodes are labels; an edge
+/// l -> l' asserts that (the item matched to) l is preferred to (the item
+/// matched to) l'. Nodes are identified by dense `LabelId`s; each label
+/// appears at most once as a node, so "node" and "label" are used
+/// interchangeably, exactly as in the paper.
+///
+/// Internally nodes are indexed 0..k-1 in insertion order; every algorithm
+/// in `ppref/infer/` works with node indices and uses `NodeLabel()` to map
+/// back to labels.
+
+#ifndef PPREF_INFER_PATTERN_H_
+#define PPREF_INFER_PATTERN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppref::infer {
+
+/// Dense label identifier. The universe Δ of the paper is infinite; any
+/// 32-bit id may be used. Dictionaries mapping names to ids live in the
+/// layers above (see ppd::reduction).
+using LabelId = std::uint32_t;
+
+/// A directed graph over labels. Matching semantics are defined in
+/// matching.h; probability computations in top_prob.h.
+class LabelPattern {
+ public:
+  /// Adds a node carrying `label` and returns its index. The label must not
+  /// already be a node of the pattern.
+  unsigned AddNode(LabelId label);
+
+  /// Adds the edge from node `from` to node `to` (both node indices):
+  /// "from's item is preferred to to's item". Parallel edges are ignored;
+  /// self-loops are rejected (they are unsatisfiable and the paper's
+  /// patterns never need them — a cyclic pattern has probability 0 anyway,
+  /// which callers detect via IsAcyclic()).
+  void AddEdge(unsigned from, unsigned to);
+
+  /// Number of nodes k = |nodes(g)|.
+  unsigned NodeCount() const { return static_cast<unsigned>(labels_.size()); }
+
+  /// Number of (distinct) edges.
+  unsigned EdgeCount() const;
+
+  /// The label carried by node `node`.
+  LabelId NodeLabel(unsigned node) const;
+
+  /// Index of the node carrying `label`, if present.
+  std::optional<unsigned> NodeOf(LabelId label) const;
+
+  /// Parent node indices of `node` (paper's pa_g).
+  const std::vector<unsigned>& Parents(unsigned node) const;
+
+  /// Child node indices of `node` (paper's ch_g).
+  const std::vector<unsigned>& Children(unsigned node) const;
+
+  /// True iff the edge from -> to is present.
+  bool HasEdge(unsigned from, unsigned to) const;
+
+  /// True iff the pattern has no directed cycle. Cyclic patterns match no
+  /// ranking (probability 0).
+  bool IsAcyclic() const;
+
+  /// A topological order of node indices; empty when cyclic.
+  std::vector<unsigned> TopologicalOrder() const;
+
+  /// reach[u][v] = true iff v is reachable from u via one or more edges.
+  /// Used by the TopProb driver to prune candidate matchings (an edge path
+  /// u ->* v forces strictly distinct, strictly ordered items).
+  std::vector<std::vector<bool>> Reachability() const;
+
+  /// Renders nodes and edges for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<LabelId> labels_;                // labels_[node] = label
+  std::vector<std::vector<unsigned>> parents_;
+  std::vector<std::vector<unsigned>> children_;
+};
+
+}  // namespace ppref::infer
+
+#endif  // PPREF_INFER_PATTERN_H_

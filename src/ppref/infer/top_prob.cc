@@ -1,0 +1,46 @@
+#include "ppref/infer/top_prob.h"
+
+#include "ppref/infer/internal/dp_engine.h"
+
+namespace ppref::infer {
+
+double TopMatchingProb(const LabeledRimModel& model, const LabelPattern& pattern,
+                       const Matching& gamma) {
+  return internal::RunTopProbDp(model, pattern, gamma, /*tracked=*/{},
+                                /*condition=*/nullptr);
+}
+
+std::vector<Matching> CandidateTopMatchings(const LabeledRimModel& model,
+                                            const LabelPattern& pattern) {
+  return internal::EnumerateCandidates(model, pattern);
+}
+
+double PatternProb(const LabeledRimModel& model, const LabelPattern& pattern) {
+  return PatternProb(model, pattern, PatternProbOptions{});
+}
+
+double PatternProb(const LabeledRimModel& model, const LabelPattern& pattern,
+                   const PatternProbOptions& options) {
+  if (pattern.NodeCount() == 0) return 1.0;  // The empty pattern always matches.
+  double total = 0.0;
+  for (const Matching& gamma : internal::EnumerateCandidates(
+           model, pattern, options.prune_candidates)) {
+    total += TopMatchingProb(model, pattern, gamma);
+  }
+  return total;
+}
+
+std::optional<std::pair<Matching, double>> MostProbableTopMatching(
+    const LabeledRimModel& model, const LabelPattern& pattern) {
+  if (pattern.NodeCount() == 0) return std::make_pair(Matching{}, 1.0);
+  std::optional<std::pair<Matching, double>> best;
+  for (const Matching& gamma : internal::EnumerateCandidates(model, pattern)) {
+    const double prob = TopMatchingProb(model, pattern, gamma);
+    if (prob > 0.0 && (!best.has_value() || prob > best->second)) {
+      best = std::make_pair(gamma, prob);
+    }
+  }
+  return best;
+}
+
+}  // namespace ppref::infer

@@ -1,0 +1,38 @@
+#include "ppref/infer/top_prob_minmax.h"
+
+#include "ppref/common/check.h"
+#include "ppref/infer/internal/dp_engine.h"
+
+namespace ppref::infer {
+
+double TopMatchingMinMaxProb(const LabeledRimModel& model,
+                             const LabelPattern& pattern, const Matching& gamma,
+                             const std::vector<LabelId>& tracked,
+                             const MinMaxCondition& condition) {
+  PPREF_CHECK(condition != nullptr);
+  return internal::RunTopProbDp(model, pattern, gamma, tracked, &condition);
+}
+
+double PatternMinMaxProb(const LabeledRimModel& model,
+                         const LabelPattern& pattern,
+                         const std::vector<LabelId>& tracked,
+                         const MinMaxCondition& condition) {
+  PPREF_CHECK(condition != nullptr);
+  if (pattern.NodeCount() == 0) {
+    return internal::RunTopProbDp(model, pattern, /*gamma=*/{}, tracked,
+                                  &condition);
+  }
+  double total = 0.0;
+  for (const Matching& gamma : internal::EnumerateCandidates(model, pattern)) {
+    total += internal::RunTopProbDp(model, pattern, gamma, tracked, &condition);
+  }
+  return total;
+}
+
+double MinMaxProb(const LabeledRimModel& model,
+                  const std::vector<LabelId>& tracked,
+                  const MinMaxCondition& condition) {
+  return PatternMinMaxProb(model, LabelPattern{}, tracked, condition);
+}
+
+}  // namespace ppref::infer

@@ -1,0 +1,85 @@
+#include "ppref/ppd/analytics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ppref/infer/aggregates.h"
+#include "ppref/infer/marginals.h"
+
+namespace ppref::ppd {
+namespace {
+
+/// Accumulates (sum, count) per item value across sessions.
+struct Accumulator {
+  double sum = 0.0;
+  unsigned count = 0;
+};
+
+std::vector<ItemStat> Finalize(const std::map<db::Value, Accumulator>& totals,
+                               std::size_t session_count, bool divide_by_all) {
+  std::vector<ItemStat> stats;
+  for (const auto& [item, acc] : totals) {
+    ItemStat stat;
+    stat.item = item;
+    stat.supporting_sessions = acc.count;
+    const double denominator =
+        divide_by_all ? static_cast<double>(session_count)
+                      : static_cast<double>(acc.count);
+    stat.value = denominator > 0 ? acc.sum / denominator : 0.0;
+    stats.push_back(std::move(stat));
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<ItemStat> WinnerDistribution(
+    const RimPreferenceInstance& instance) {
+  std::map<db::Value, Accumulator> totals;
+  for (const auto& [session, model] : instance.sessions()) {
+    for (rim::ItemId id = 0; id < model.size(); ++id) {
+      Accumulator& acc = totals[model.ItemOf(id)];
+      acc.sum += infer::TopKProb(model.model(), id, 1);
+      ++acc.count;
+    }
+  }
+  std::vector<ItemStat> stats =
+      Finalize(totals, instance.session_count(), /*divide_by_all=*/true);
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const ItemStat& a, const ItemStat& b) {
+                     return a.value > b.value;
+                   });
+  return stats;
+}
+
+std::vector<ItemStat> MeanExpectedPositions(
+    const RimPreferenceInstance& instance) {
+  std::map<db::Value, Accumulator> totals;
+  for (const auto& [session, model] : instance.sessions()) {
+    const std::vector<double> expected =
+        infer::ExpectedPositions(model.model());
+    for (rim::ItemId id = 0; id < model.size(); ++id) {
+      Accumulator& acc = totals[model.ItemOf(id)];
+      acc.sum += expected[id];
+      ++acc.count;
+    }
+  }
+  std::vector<ItemStat> stats =
+      Finalize(totals, instance.session_count(), /*divide_by_all=*/false);
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const ItemStat& a, const ItemStat& b) {
+                     return a.value < b.value;
+                   });
+  return stats;
+}
+
+std::vector<db::Value> CrossSessionConsensus(
+    const RimPreferenceInstance& instance) {
+  std::vector<db::Value> order;
+  for (const ItemStat& stat : MeanExpectedPositions(instance)) {
+    order.push_back(stat.item);
+  }
+  return order;
+}
+
+}  // namespace ppref::ppd

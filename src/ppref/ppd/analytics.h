@@ -1,0 +1,42 @@
+/// \file analytics.h
+/// \brief Cross-session preference analytics over one p-instance — the
+/// "preference-to-preference" operations (rank aggregation, winner
+/// analysis) that §1 motivates on top of the probabilistic representation.
+///
+/// All statistics are exact, built from the per-session polynomial DPs
+/// (position distributions) and averaged across sessions.
+
+#ifndef PPREF_PPD_ANALYTICS_H_
+#define PPREF_PPD_ANALYTICS_H_
+
+#include <vector>
+
+#include "ppref/ppd/ppd.h"
+
+namespace ppref::ppd {
+
+/// A per-item statistic aggregated across sessions.
+struct ItemStat {
+  db::Value item;
+  double value = 0.0;
+  /// Number of sessions whose model ranks this item.
+  unsigned supporting_sessions = 0;
+};
+
+/// Mean over sessions of Pr(item ranked first); sessions not ranking the
+/// item contribute probability 0. Sorted by decreasing probability.
+std::vector<ItemStat> WinnerDistribution(const RimPreferenceInstance& instance);
+
+/// Mean expected (0-based) position per item, averaged over the sessions
+/// that rank it. Sorted by increasing expected position.
+std::vector<ItemStat> MeanExpectedPositions(
+    const RimPreferenceInstance& instance);
+
+/// A consensus order over the union of all session items: sorted by the
+/// mean expected position (ties by value order).
+std::vector<db::Value> CrossSessionConsensus(
+    const RimPreferenceInstance& instance);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_ANALYTICS_H_

@@ -1,0 +1,82 @@
+#include "ppref/ppd/approx.h"
+
+#include <cmath>
+
+#include "ppref/common/check.h"
+#include "ppref/db/preference_instance.h"
+#include "ppref/query/eval.h"
+#include "ppref/rim/sampler.h"
+
+namespace ppref::ppd {
+namespace {
+
+/// Samples one possible world of the PPD.
+db::Database SampleWorld(const RimPpd& ppd, Rng& rng) {
+  db::Database world(ppd.schema());
+  for (const std::string& symbol : ppd.schema().OSymbols()) {
+    for (const db::Tuple& tuple : ppd.OInstance(symbol)) {
+      world.Add(symbol, tuple);
+    }
+  }
+  for (const std::string& symbol : ppd.schema().PSymbols()) {
+    for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
+      const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+      std::vector<db::Value> order;
+      order.reserve(tau.size());
+      for (rim::Position p = 0; p < tau.size(); ++p) {
+        order.push_back(model.ItemOf(tau.At(p)));
+      }
+      db::AddRankingAsPairs(world, symbol, session, order);
+    }
+  }
+  return world;
+}
+
+ApproxResult RunSampler(const RimPpd& ppd, double epsilon, double delta,
+                        Rng& rng,
+                        const std::function<bool(const db::Database&)>& holds) {
+  ApproxResult result;
+  result.epsilon = epsilon;
+  result.delta = delta;
+  result.samples = HoeffdingSamples(epsilon, delta);
+  unsigned hits = 0;
+  for (unsigned s = 0; s < result.samples; ++s) {
+    if (holds(SampleWorld(ppd, rng))) ++hits;
+  }
+  result.estimate = static_cast<double>(hits) / result.samples;
+  return result;
+}
+
+}  // namespace
+
+unsigned HoeffdingSamples(double epsilon, double delta) {
+  PPREF_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0,
+                  "epsilon must be in (0, 1), got " << epsilon);
+  PPREF_CHECK_MSG(delta > 0.0 && delta < 1.0,
+                  "delta must be in (0, 1), got " << delta);
+  return static_cast<unsigned>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * epsilon * epsilon)));
+}
+
+ApproxResult ApproximateBoolean(const RimPpd& ppd,
+                                const query::ConjunctiveQuery& query,
+                                double epsilon, double delta, Rng& rng) {
+  PPREF_CHECK(query.IsBoolean());
+  return RunSampler(ppd, epsilon, delta, rng, [&](const db::Database& world) {
+    return query::IsSatisfiable(query, world);
+  });
+}
+
+ApproxResult ApproximateBooleanUnion(const RimPpd& ppd,
+                                     const query::UnionQuery& ucq,
+                                     double epsilon, double delta, Rng& rng) {
+  PPREF_CHECK(ucq.IsBoolean());
+  return RunSampler(ppd, epsilon, delta, rng, [&](const db::Database& world) {
+    for (const query::ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+      if (query::IsSatisfiable(disjunct, world)) return true;
+    }
+    return false;
+  });
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,44 @@
+/// \file approx.h
+/// \brief Additive (ε, δ)-approximation of Boolean query confidence — the
+/// §6 "approximate query evaluation" direction.
+///
+/// For any Boolean CQ or UCQ (itemwise or not — including the #P-hard side
+/// of the dichotomy), sampling N = ⌈ln(2/δ) / (2ε²)⌉ possible worlds yields
+/// an estimate within ε of conf_Q([E]) with probability at least 1 − δ
+/// (Hoeffding). Polynomial in 1/ε, ln(1/δ), and the data.
+
+#ifndef PPREF_PPD_APPROX_H_
+#define PPREF_PPD_APPROX_H_
+
+#include "ppref/common/random.h"
+#include "ppref/ppd/ppd.h"
+#include "ppref/query/cq.h"
+#include "ppref/query/ucq.h"
+
+namespace ppref::ppd {
+
+/// An (ε, δ) additive approximation result.
+struct ApproxResult {
+  double estimate = 0.0;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  unsigned samples = 0;
+};
+
+/// Number of Hoeffding samples guaranteeing additive error ε with
+/// probability 1 − δ.
+unsigned HoeffdingSamples(double epsilon, double delta);
+
+/// Approximates conf_Q([E]) for a Boolean CQ within ±ε w.p. ≥ 1 − δ.
+ApproxResult ApproximateBoolean(const RimPpd& ppd,
+                                const query::ConjunctiveQuery& query,
+                                double epsilon, double delta, Rng& rng);
+
+/// The same guarantee for Boolean UCQs.
+ApproxResult ApproximateBooleanUnion(const RimPpd& ppd,
+                                     const query::UnionQuery& ucq,
+                                     double epsilon, double delta, Rng& rng);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_APPROX_H_

@@ -1,0 +1,31 @@
+#include "ppref/ppd/conditional.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/ucq_evaluator.h"
+
+namespace ppref::ppd {
+
+double EvaluateBooleanConjunction(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& first,
+                                  const query::ConjunctiveQuery& second) {
+  const double p_first = EvaluateBoolean(ppd, first);
+  const double p_second = EvaluateBoolean(ppd, second);
+  const double p_union =
+      EvaluateBooleanUnion(ppd, query::UnionQuery({first, second}));
+  // Clamp tiny negative slack from the subtraction.
+  return std::max(0.0, p_first + p_second - p_union);
+}
+
+double ConditionalConfidence(const RimPpd& ppd,
+                             const query::ConjunctiveQuery& target,
+                             const query::ConjunctiveQuery& evidence) {
+  const double p_evidence = EvaluateBoolean(ppd, evidence);
+  if (p_evidence <= 0.0) return 0.0;
+  return std::min(1.0, EvaluateBooleanConjunction(ppd, target, evidence) /
+                           p_evidence);
+}
+
+}  // namespace ppref::ppd

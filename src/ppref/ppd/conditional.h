@@ -1,0 +1,32 @@
+/// \file conditional.h
+/// \brief Conjunctions and conditional confidences of Boolean itemwise CQs.
+///
+/// For Boolean events A, B over the same PPD,
+///   Pr(A ∧ B) = Pr(A) + Pr(B) − Pr(A ∨ B),
+/// and the disjunction is exactly what the UCQ evaluator computes. This
+/// yields exact conditioning Pr(A | B) = Pr(A ∧ B)/Pr(B) for itemwise CQs —
+/// e.g. "how likely is Q1 given that some voter put Trump last?".
+
+#ifndef PPREF_PPD_CONDITIONAL_H_
+#define PPREF_PPD_CONDITIONAL_H_
+
+#include "ppref/ppd/ppd.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::ppd {
+
+/// Pr(both Boolean queries hold). Each query must be itemwise (or p-atom
+/// free); throws SchemaError otherwise.
+double EvaluateBooleanConjunction(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& first,
+                                  const query::ConjunctiveQuery& second);
+
+/// Pr(`target` | `evidence`) over possible worlds; 0 when the evidence has
+/// probability 0.
+double ConditionalConfidence(const RimPpd& ppd,
+                             const query::ConjunctiveQuery& target,
+                             const query::ConjunctiveQuery& evidence);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_CONDITIONAL_H_

@@ -1,0 +1,96 @@
+#include "ppref/ppd/evaluator.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+#include "ppref/common/parallel.h"
+#include "ppref/ppd/reduction.h"
+#include "ppref/query/classify.h"
+#include "ppref/query/eval.h"
+
+namespace ppref::ppd {
+
+double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query) {
+  if (!query.IsBoolean()) {
+    throw SchemaError("EvaluateBoolean expects a Boolean query");
+  }
+  if (query.PAtoms().empty()) {
+    return query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0;
+  }
+  double none_matches = 1.0;
+  for (const SessionReduction& reduction : ReduceItemwise(ppd, query)) {
+    none_matches *= 1.0 - SessionProb(reduction);
+  }
+  return 1.0 - none_matches;
+}
+
+double EvaluateBooleanParallel(const RimPpd& ppd,
+                               const query::ConjunctiveQuery& query,
+                               unsigned threads) {
+  if (!query.IsBoolean()) {
+    throw SchemaError("EvaluateBooleanParallel expects a Boolean query");
+  }
+  if (query.PAtoms().empty()) {
+    return query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0;
+  }
+  const std::vector<SessionReduction> reductions = ReduceItemwise(ppd, query);
+  std::vector<double> session_probs(reductions.size(), 0.0);
+  ParallelFor(reductions.size(), threads, [&](std::size_t i) {
+    session_probs[i] = SessionProb(reductions[i]);
+  });
+  // Combine in session order so the float result matches the serial path.
+  double none_matches = 1.0;
+  for (double prob : session_probs) none_matches *= 1.0 - prob;
+  return 1.0 - none_matches;
+}
+
+db::Database PossibilityDatabase(const RimPpd& ppd) {
+  db::Database database(ppd.schema());
+  // Copy o-instances.
+  for (const std::string& symbol : ppd.schema().OSymbols()) {
+    for (const db::Tuple& tuple : ppd.OInstance(symbol)) {
+      database.Add(symbol, tuple);
+    }
+  }
+  // Saturate p-instances with every ordered pair of distinct items.
+  for (const std::string& symbol : ppd.schema().PSymbols()) {
+    for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
+      for (rim::ItemId a = 0; a < model.size(); ++a) {
+        for (rim::ItemId b = 0; b < model.size(); ++b) {
+          if (a == b) continue;
+          db::Tuple tuple = session;
+          tuple.push_back(model.ItemOf(a));
+          tuple.push_back(model.ItemOf(b));
+          database.Add(symbol, std::move(tuple));
+        }
+      }
+    }
+  }
+  return database;
+}
+
+std::vector<Answer> EvaluateQuery(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& query) {
+  std::vector<Answer> answers;
+  if (query.IsBoolean()) {
+    const double confidence = EvaluateBoolean(ppd, query);
+    if (confidence > 0.0) answers.push_back({db::Tuple{}, confidence});
+    return answers;
+  }
+  const db::Database possibility = PossibilityDatabase(ppd);
+  for (const db::Tuple& candidate : query::Evaluate(query, possibility)) {
+    query::ConjunctiveQuery bound = query;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      bound = bound.Substitute(query.head()[i], candidate[i]);
+    }
+    const double confidence = EvaluateBoolean(ppd, bound);
+    if (confidence > 0.0) answers.push_back({candidate, confidence});
+  }
+  std::stable_sort(answers.begin(), answers.end(),
+                   [](const Answer& a, const Answer& b) {
+                     return a.confidence > b.confidence;
+                   });
+  return answers;
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,56 @@
+/// \file evaluator.h
+/// \brief Query evaluation over RIM-PPDs — §3.3 semantics, Thm 4.4 algorithm.
+///
+/// `EvaluateBoolean` computes conf_Q([E]) for itemwise Boolean CQs in
+/// polynomial data complexity by combining the §4.4 reduction with TopProb
+/// and session independence:
+///   conf = 1 − Π_{s ∈ r_Q} (1 − Pr(s ⊨ Q^s)).
+/// `EvaluateQuery` handles non-Boolean CQs by enumerating possible answers
+/// and computing each answer's confidence.
+
+#ifndef PPREF_PPD_EVALUATOR_H_
+#define PPREF_PPD_EVALUATOR_H_
+
+#include <vector>
+
+#include "ppref/db/database.h"
+#include "ppref/ppd/ppd.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::ppd {
+
+/// A possible answer with its confidence (marginal probability).
+struct Answer {
+  db::Tuple tuple;
+  double confidence = 0.0;
+};
+
+/// conf_Q([E]) for a Boolean CQ. Queries without p-atoms evaluate
+/// deterministically over the o-instances (0 or 1). Throws SchemaError when
+/// the query has p-atoms but is not itemwise — use the possible-worlds or
+/// Monte-Carlo evaluators for those.
+double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query);
+
+/// EvaluateBoolean with the independent per-session TopProb instances
+/// computed on `threads` workers (§6's CPU-parallelism direction). Work
+/// assignment is static, so the result is bit-identical to the serial
+/// evaluator.
+double EvaluateBooleanParallel(const RimPpd& ppd,
+                               const query::ConjunctiveQuery& query,
+                               unsigned threads);
+
+/// Q(E): every possible answer with positive confidence, sorted by
+/// decreasing confidence (ties: first-found order). The query must be
+/// itemwise under every head substitution, which holds whenever the query
+/// itself is itemwise.
+std::vector<Answer> EvaluateQuery(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& query);
+
+/// The "possibility database": o-instances plus, per session, every ordered
+/// pair of distinct items. Every possible world's p-relations are subsets,
+/// so evaluating a CQ here enumerates a superset of the possible answers.
+db::Database PossibilityDatabase(const RimPpd& ppd);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_EVALUATOR_H_

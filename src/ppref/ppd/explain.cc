@@ -1,0 +1,71 @@
+#include "ppref/ppd/explain.h"
+
+#include <sstream>
+
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/ppd/reduction.h"
+#include "ppref/query/classify.h"
+
+namespace ppref::ppd {
+
+std::string ExplainQuery(const RimPpd& ppd,
+                         const query::ConjunctiveQuery& query) {
+  std::ostringstream out;
+  out << "query: " << query.ToString() << "\n";
+  out << "sessionwise: " << (query::IsSessionwise(query) ? "yes" : "no")
+      << ", itemwise: " << (query::IsItemwise(query) ? "yes" : "no")
+      << ", complexity: " << query::ToString(query::Classify(query)) << "\n";
+
+  if (!query.IsBoolean()) {
+    out << "plan: enumerate candidate answers over the possibility database,"
+           "\n      then evaluate the Boolean substitution of each\n";
+    return out.str();
+  }
+  if (query.PAtoms().empty()) {
+    out << "plan: deterministic evaluation over the o-instances\n";
+    out << "result: conf = " << EvaluateBoolean(ppd, query) << "\n";
+    return out.str();
+  }
+  if (!query::IsItemwise(query)) {
+    out << "plan: no polynomial algorithm (Thm 4.5 side); fall back to\n"
+           "      possible-world enumeration ("
+        << WorldCount(ppd) << " worlds) or sampling\n";
+    return out.str();
+  }
+
+  out << "plan: Section 4.4 reduction; conf = 1 - prod_s (1 - Pr(s |= Q^s))\n";
+  double none = 1.0;
+  for (const SessionReduction& reduction : ReduceItemwise(ppd, query)) {
+    out << "  session " << db::ToString(reduction.session) << " over "
+        << reduction.model->ToString() << "\n";
+    if (!reduction.satisfiable) {
+      out << "    o-atoms unsatisfiable -> Pr = 0\n";
+      continue;
+    }
+    if (reduction.reflexive_preference) {
+      out << "    reflexive item term -> Pr = 0\n";
+      continue;
+    }
+    for (unsigned node = 0; node < reduction.pattern.NodeCount(); ++node) {
+      out << "    node " << node << " <- term " << reduction.node_terms[node]
+          << ", potential matches {";
+      bool first = true;
+      for (rim::ItemId id :
+           reduction.labeling.ItemsWith(reduction.pattern.NodeLabel(node))) {
+        if (!first) out << ", ";
+        first = false;
+        out << reduction.model->ItemOf(id).ToString();
+      }
+      out << "}\n";
+    }
+    out << "    pattern " << reduction.pattern.ToString() << "\n";
+    const double prob = SessionProb(reduction);
+    none *= 1.0 - prob;
+    out << "    Pr(s |= Q^s) = " << prob << "\n";
+  }
+  out << "result: conf = " << 1.0 - none << "\n";
+  return out.str();
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,24 @@
+/// \file explain.h
+/// \brief Human-readable evaluation plans for CQs over RIM-PPDs: the
+/// classification verdict and, for itemwise queries, the full §4.4
+/// reduction (sessions of r_Q, potential-match labelings, label patterns,
+/// per-session probabilities). The EXPLAIN facility of the little system.
+
+#ifndef PPREF_PPD_EXPLAIN_H_
+#define PPREF_PPD_EXPLAIN_H_
+
+#include <string>
+
+#include "ppref/ppd/ppd.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::ppd {
+
+/// Renders the evaluation plan of a Boolean CQ. Never throws: non-Boolean
+/// and non-itemwise queries get a plan describing the fallback strategy.
+std::string ExplainQuery(const RimPpd& ppd,
+                         const query::ConjunctiveQuery& query);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_EXPLAIN_H_

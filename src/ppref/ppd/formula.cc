@@ -1,0 +1,177 @@
+#include "ppref/ppd/formula.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+#include "ppref/ppd/ucq_evaluator.h"
+#include "ppref/query/ucq.h"
+
+namespace ppref::ppd {
+
+QueryFormula QueryFormula::Atom(query::ConjunctiveQuery query) {
+  if (!query.IsBoolean()) {
+    throw SchemaError("formula atoms must be Boolean queries");
+  }
+  QueryFormula formula;
+  formula.kind_ = Kind::kAtom;
+  formula.query_ =
+      std::make_shared<const query::ConjunctiveQuery>(std::move(query));
+  return formula;
+}
+
+QueryFormula QueryFormula::And(std::vector<QueryFormula> operands) {
+  PPREF_CHECK_MSG(!operands.empty(), "AND needs at least one operand");
+  QueryFormula formula;
+  formula.kind_ = Kind::kAnd;
+  formula.operands_ = std::move(operands);
+  return formula;
+}
+
+QueryFormula QueryFormula::Or(std::vector<QueryFormula> operands) {
+  PPREF_CHECK_MSG(!operands.empty(), "OR needs at least one operand");
+  QueryFormula formula;
+  formula.kind_ = Kind::kOr;
+  formula.operands_ = std::move(operands);
+  return formula;
+}
+
+QueryFormula QueryFormula::Not(QueryFormula operand) {
+  QueryFormula formula;
+  formula.kind_ = Kind::kNot;
+  formula.operands_.push_back(std::move(operand));
+  return formula;
+}
+
+void QueryFormula::CollectAtoms(std::vector<query::ConjunctiveQuery>& atoms,
+                                std::vector<std::string>& keys) const {
+  if (kind_ == Kind::kAtom) {
+    const std::string key = query_->ToString();
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(key);
+      atoms.push_back(*query_);
+    }
+    return;
+  }
+  for (const QueryFormula& operand : operands_) {
+    operand.CollectAtoms(atoms, keys);
+  }
+}
+
+std::vector<query::ConjunctiveQuery> QueryFormula::Atoms() const {
+  std::vector<query::ConjunctiveQuery> atoms;
+  std::vector<std::string> keys;
+  CollectAtoms(atoms, keys);
+  return atoms;
+}
+
+bool QueryFormula::EvaluateInternal(
+    const std::vector<std::string>& keys,
+    const std::vector<bool>& assignment) const {
+  switch (kind_) {
+    case Kind::kAtom: {
+      const auto it =
+          std::find(keys.begin(), keys.end(), query_->ToString());
+      PPREF_CHECK(it != keys.end());
+      return assignment[static_cast<std::size_t>(it - keys.begin())];
+    }
+    case Kind::kAnd:
+      return std::all_of(operands_.begin(), operands_.end(),
+                         [&](const QueryFormula& operand) {
+                           return operand.EvaluateInternal(keys, assignment);
+                         });
+    case Kind::kOr:
+      return std::any_of(operands_.begin(), operands_.end(),
+                         [&](const QueryFormula& operand) {
+                           return operand.EvaluateInternal(keys, assignment);
+                         });
+    case Kind::kNot:
+      return !operands_.front().EvaluateInternal(keys, assignment);
+  }
+  return false;
+}
+
+bool QueryFormula::Evaluate(const std::vector<bool>& assignment) const {
+  std::vector<query::ConjunctiveQuery> atoms;
+  std::vector<std::string> keys;
+  CollectAtoms(atoms, keys);
+  PPREF_CHECK(assignment.size() == keys.size());
+  return EvaluateInternal(keys, assignment);
+}
+
+std::string QueryFormula::ToString() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return "[" + query_->ToString() + "]";
+    case Kind::kNot:
+      return "NOT " + operands_.front().ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < operands_.size(); ++i) {
+        if (i > 0) out += kind_ == Kind::kAnd ? " AND " : " OR ";
+        out += operands_[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+double EvaluateFormula(const RimPpd& ppd, const QueryFormula& formula,
+                       unsigned max_atoms) {
+  const std::vector<query::ConjunctiveQuery> atoms = formula.Atoms();
+  const unsigned q = static_cast<unsigned>(atoms.size());
+  if (q > max_atoms) {
+    throw SchemaError("formula has " + std::to_string(q) +
+                      " distinct atoms; the 2^q expansion is capped at " +
+                      std::to_string(max_atoms));
+  }
+  const std::size_t subsets = std::size_t{1} << q;
+
+  // Pr(∨_T Q) per nonempty subset.
+  std::vector<double> union_prob(subsets, 0.0);
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    std::vector<query::ConjunctiveQuery> disjuncts;
+    for (unsigned i = 0; i < q; ++i) {
+      if (mask & (std::size_t{1} << i)) disjuncts.push_back(atoms[i]);
+    }
+    union_prob[mask] =
+        EvaluateBooleanUnion(ppd, query::UnionQuery(std::move(disjuncts)));
+  }
+
+  // Pr(∧_S Q) by inclusion–exclusion over the unions.
+  std::vector<double> and_prob(subsets, 0.0);
+  and_prob[0] = 1.0;
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    double total = 0.0;
+    for (std::size_t sub = mask; sub != 0; sub = (sub - 1) & mask) {
+      const bool odd = __builtin_popcountll(sub) % 2 == 1;
+      total += (odd ? 1.0 : -1.0) * union_prob[sub];
+    }
+    and_prob[mask] = total;
+  }
+
+  // Möbius: Pr(exactly the atoms in T hold).
+  std::vector<double> exact(subsets, 0.0);
+  for (std::size_t t = 0; t < subsets; ++t) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < subsets; ++s) {
+      if ((s & t) != t) continue;  // need S ⊇ T
+      const bool even = __builtin_popcountll(s ^ t) % 2 == 0;
+      total += (even ? 1.0 : -1.0) * and_prob[s];
+    }
+    exact[t] = total;
+  }
+
+  double probability = 0.0;
+  std::vector<bool> assignment(q, false);
+  for (std::size_t t = 0; t < subsets; ++t) {
+    for (unsigned i = 0; i < q; ++i) {
+      assignment[i] = (t & (std::size_t{1} << i)) != 0;
+    }
+    if (formula.Evaluate(assignment)) probability += exact[t];
+  }
+  return std::clamp(probability, 0.0, 1.0);
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,65 @@
+/// \file formula.h
+/// \brief Exact evaluation of arbitrary propositional combinations of
+/// itemwise Boolean CQs — AND, OR, NOT — over a RIM-PPD.
+///
+/// Everything reduces to union confidences: by inclusion–exclusion,
+///   Pr(∧_{i∈S} Q_i) = Σ_{∅≠T⊆S} (−1)^{|T|+1} Pr(∨_{i∈T} Q_i),
+/// and the UCQ evaluator supplies every Pr(∨_T) exactly. A Möbius inversion
+/// then yields the probability of each exact truth assignment, from which
+/// any formula is summed. Cost: O(2^q) UCQ evaluations for q distinct
+/// atoms — exponential only in the (fixed) formula size, polynomial in the
+/// data, completing the "larger fragments of FO" direction of §6 for the
+/// propositional closure of itemwise CQs.
+
+#ifndef PPREF_PPD_FORMULA_H_
+#define PPREF_PPD_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ppref/ppd/ppd.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::ppd {
+
+/// A propositional formula whose atoms are Boolean CQs.
+class QueryFormula {
+ public:
+  /// Leaf: a Boolean CQ (must be itemwise or p-atom free when evaluated).
+  static QueryFormula Atom(query::ConjunctiveQuery query);
+  static QueryFormula And(std::vector<QueryFormula> operands);
+  static QueryFormula Or(std::vector<QueryFormula> operands);
+  static QueryFormula Not(QueryFormula operand);
+
+  /// The distinct atom queries, in first-occurrence order (syntactic
+  /// deduplication by ToString).
+  std::vector<query::ConjunctiveQuery> Atoms() const;
+
+  /// Truth value under an assignment to Atoms() (parallel bit vector).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kAtom, kAnd, kOr, kNot };
+
+  void CollectAtoms(std::vector<query::ConjunctiveQuery>& atoms,
+                    std::vector<std::string>& keys) const;
+  bool EvaluateInternal(const std::vector<std::string>& keys,
+                        const std::vector<bool>& assignment) const;
+
+  Kind kind_ = Kind::kAtom;
+  std::shared_ptr<const query::ConjunctiveQuery> query_;
+  std::vector<QueryFormula> operands_;
+};
+
+/// Pr(the formula holds in a random possible world). Throws SchemaError
+/// when some atom with p-atoms is not itemwise, or when the formula has
+/// more than `max_atoms` distinct atoms (2^q blow-up guard).
+double EvaluateFormula(const RimPpd& ppd, const QueryFormula& formula,
+                       unsigned max_atoms = 12);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_FORMULA_H_

@@ -1,0 +1,249 @@
+#include "ppref/ppd/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+
+#include "ppref/common/check.h"
+#include "ppref/db/csv.h"
+
+namespace ppref::ppd {
+namespace {
+
+/// Splits comma-separated attribute names (no quoting in schema lines).
+std::vector<std::string> SplitAttributes(const std::string& text) {
+  std::vector<std::string> names;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      names.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current += c;
+    }
+  }
+  if (!current.empty()) names.push_back(current);
+  return names;
+}
+
+std::string JoinAttributes(const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ",";
+    out += names[i];
+  }
+  return out;
+}
+
+/// One CSV row serialized on a single line.
+std::string RowToCsv(const db::Tuple& tuple) {
+  db::Relation scratch(db::RelationSignature([&] {
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+    return names;
+  }()));
+  scratch.Add(tuple);
+  std::string csv = db::WriteCsv(scratch);
+  if (!csv.empty() && csv.back() == '\n') csv.pop_back();
+  return csv;
+}
+
+db::Tuple RowFromCsv(const std::string& line) {
+  const auto rows = db::ParseCsv(line);
+  if (rows.size() != 1) {
+    throw ParseError("expected one CSV row, got: " + line);
+  }
+  return rows[0];
+}
+
+/// Line-cursor over the input with comment/blank skipping.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) {
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines_.push_back(line);
+    }
+  }
+
+  /// Next significant line, or nullopt at end.
+  std::optional<std::string> Next() {
+    while (index_ < lines_.size()) {
+      const std::string& line = lines_[index_++];
+      std::size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      if (line[first] == '#') continue;
+      return line;
+    }
+    return std::nullopt;
+  }
+
+  /// Next raw line (still skipping blanks/comments) or throws.
+  std::string Require(const std::string& what) {
+    auto line = Next();
+    if (!line.has_value()) {
+      throw ParseError("unexpected end of PPD text: expected " + what);
+    }
+    return *line;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+std::string WritePpd(const RimPpd& ppd) {
+  std::ostringstream out;
+  out << "# ppref probabilistic preference database v1\n";
+  for (const std::string& symbol : ppd.schema().OSymbols()) {
+    out << "osymbol " << symbol << " "
+        << JoinAttributes(ppd.schema().OSignature(symbol).attributes())
+        << "\n";
+  }
+  for (const std::string& symbol : ppd.schema().PSymbols()) {
+    const db::PreferenceSignature& signature = ppd.schema().PSignature(symbol);
+    out << "psymbol " << symbol << " "
+        << JoinAttributes(signature.session().attributes()) << "|"
+        << signature.lhs() << "|" << signature.rhs() << "\n";
+  }
+  for (const std::string& symbol : ppd.schema().OSymbols()) {
+    const db::Relation& instance = ppd.OInstance(symbol);
+    if (instance.empty()) continue;
+    out << "facts " << symbol << "\n" << db::WriteCsv(instance) << "end\n";
+  }
+  for (const std::string& symbol : ppd.schema().PSymbols()) {
+    for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
+      if (model.phi().has_value()) {
+        char phi_text[32];
+        std::snprintf(phi_text, sizeof(phi_text), "%.17g", *model.phi());
+        out << "session " << symbol << " mallows " << phi_text << "\n";
+      } else {
+        out << "session " << symbol << " rim\n";
+      }
+      out << RowToCsv(session) << "\n";
+      out << RowToCsv(model.items()) << "\n";
+      if (!model.phi().has_value()) {
+        for (unsigned t = 0; t < model.size(); ++t) {
+          const auto& row = model.model().insertion().Row(t);
+          for (unsigned j = 0; j <= t; ++j) {
+            if (j > 0) out << ",";
+            char cell[32];
+            std::snprintf(cell, sizeof(cell), "%.17g", row[j]);
+            out << cell;
+          }
+          out << "\n";
+        }
+      }
+      out << "end\n";
+    }
+  }
+  return out.str();
+}
+
+RimPpd ReadPpd(const std::string& text) {
+  LineReader reader(text);
+  db::PreferenceSchema schema;
+  struct FactsBlock {
+    std::string symbol;
+    std::vector<db::Tuple> rows;
+  };
+  struct SessionBlock {
+    std::string symbol;
+    db::Tuple session;
+    SessionModel model = SessionModel::Mallows({db::Value(0)}, 1.0);
+  };
+  std::vector<FactsBlock> facts;
+  std::vector<SessionBlock> sessions;
+
+  while (auto line_opt = reader.Next()) {
+    std::istringstream line(*line_opt);
+    std::string keyword;
+    line >> keyword;
+    if (keyword == "osymbol") {
+      std::string name, attrs;
+      line >> name >> attrs;
+      schema.AddOSymbol(name, db::RelationSignature(SplitAttributes(attrs)));
+    } else if (keyword == "psymbol") {
+      std::string name, spec;
+      line >> name >> spec;
+      const std::size_t bar1 = spec.find('|');
+      const std::size_t bar2 = spec.find('|', bar1 + 1);
+      if (bar1 == std::string::npos || bar2 == std::string::npos) {
+        throw ParseError("psymbol spec must be session|lhs|rhs, got: " + spec);
+      }
+      schema.AddPSymbol(
+          name, db::PreferenceSignature(
+                    db::RelationSignature(SplitAttributes(spec.substr(0, bar1))),
+                    spec.substr(bar1 + 1, bar2 - bar1 - 1),
+                    spec.substr(bar2 + 1)));
+    } else if (keyword == "facts") {
+      FactsBlock block;
+      line >> block.symbol;
+      while (true) {
+        const std::string row = reader.Require("a fact row or 'end'");
+        if (row == "end") break;
+        block.rows.push_back(RowFromCsv(row));
+      }
+      facts.push_back(std::move(block));
+    } else if (keyword == "session") {
+      SessionBlock block;
+      std::string family;
+      line >> block.symbol >> family;
+      const unsigned session_arity =
+          schema.PSignature(block.symbol).session_arity();
+      block.session = session_arity == 0
+                          ? db::Tuple{}
+                          : RowFromCsv(reader.Require("session tuple"));
+      std::vector<db::Value> items =
+          RowFromCsv(reader.Require("reference items"));
+      if (family == "mallows") {
+        double phi = 0.0;
+        line >> phi;
+        block.model = SessionModel::Mallows(std::move(items), phi);
+      } else if (family == "rim") {
+        std::vector<std::vector<double>> rows;
+        for (std::size_t t = 0; t < items.size(); ++t) {
+          const db::Tuple row = RowFromCsv(reader.Require("insertion row"));
+          std::vector<double> probabilities;
+          for (const db::Value& cell : row) {
+            probabilities.push_back(cell.kind() == db::Value::Kind::kInt
+                                        ? static_cast<double>(cell.AsInt())
+                                        : cell.AsDouble());
+          }
+          rows.push_back(std::move(probabilities));
+        }
+        block.model = SessionModel::Rim(
+            std::move(items), rim::InsertionFunction(std::move(rows)));
+      } else {
+        throw ParseError("unknown session family '" + family + "'");
+      }
+      if (reader.Require("'end'") != "end") {
+        throw ParseError("session block must close with 'end'");
+      }
+      sessions.push_back(std::move(block));
+    } else {
+      throw ParseError("unknown PPD directive '" + keyword + "'");
+    }
+  }
+
+  RimPpd ppd(std::move(schema));
+  for (FactsBlock& block : facts) {
+    for (db::Tuple& row : block.rows) {
+      ppd.AddFact(block.symbol, std::move(row));
+    }
+  }
+  for (SessionBlock& block : sessions) {
+    ppd.AddSession(block.symbol, std::move(block.session),
+                   std::move(block.model));
+  }
+  return ppd;
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,47 @@
+/// \file io.h
+/// \brief Text serialization of RIM-PPDs — the physical-representation
+/// direction of the paper's §6 ("efficient physical representations of
+/// preferences"): sessions are stored compactly as model parameters, never
+/// as materialized pairwise tuples.
+///
+/// Format (line oriented; value rows use the CSV conventions of db/csv.h):
+///
+///   # comments and blank lines are ignored
+///   osymbol Candidates candidate,party,sex,edu
+///   psymbol Polls voter,date|lcand|rcand
+///   facts Candidates
+///   "Clinton","D","F","JD"
+///   end
+///   session Polls mallows 0.3
+///   "Ann","Oct-5"                      <- session tuple (may be empty line
+///   "Clinton","Sanders","Rubio","Trump"   for a zero-arity session part)
+///   end
+///   session Polls rim
+///   "Bob","Oct-5"
+///   "a","b","c"                        <- reference items
+///   1                                  <- insertion rows, one per step
+///   0.3,0.7
+///   0.1,0.2,0.7
+///   end
+
+#ifndef PPREF_PPD_IO_H_
+#define PPREF_PPD_IO_H_
+
+#include <string>
+
+#include "ppref/ppd/ppd.h"
+
+namespace ppref::ppd {
+
+/// Serializes the PPD (schema, o-instances, sessions with model
+/// parameters). Mallows sessions round-trip via (reference, φ); other RIM
+/// sessions via their full insertion table.
+std::string WritePpd(const RimPpd& ppd);
+
+/// Parses a PPD from `text`. Throws ParseError / SchemaError on malformed
+/// input.
+RimPpd ReadPpd(const std::string& text);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_IO_H_

@@ -1,0 +1,45 @@
+#include "ppref/ppd/monte_carlo_evaluator.h"
+
+#include <cmath>
+
+#include "ppref/common/check.h"
+#include "ppref/db/preference_instance.h"
+#include "ppref/query/eval.h"
+#include "ppref/rim/sampler.h"
+
+namespace ppref::ppd {
+
+infer::McEstimate EstimateBoolean(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& query,
+                                  unsigned samples, Rng& rng) {
+  PPREF_CHECK(query.IsBoolean());
+  PPREF_CHECK(samples > 0);
+  unsigned hits = 0;
+  for (unsigned s = 0; s < samples; ++s) {
+    db::Database world(ppd.schema());
+    for (const std::string& symbol : ppd.schema().OSymbols()) {
+      for (const db::Tuple& tuple : ppd.OInstance(symbol)) {
+        world.Add(symbol, tuple);
+      }
+    }
+    for (const std::string& symbol : ppd.schema().PSymbols()) {
+      for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
+        const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+        std::vector<db::Value> order;
+        order.reserve(tau.size());
+        for (rim::Position p = 0; p < tau.size(); ++p) {
+          order.push_back(model.ItemOf(tau.At(p)));
+        }
+        db::AddRankingAsPairs(world, symbol, session, order);
+      }
+    }
+    if (query::IsSatisfiable(query, world)) ++hits;
+  }
+  infer::McEstimate estimate;
+  estimate.estimate = static_cast<double>(hits) / samples;
+  estimate.std_error =
+      std::sqrt(estimate.estimate * (1.0 - estimate.estimate) / samples);
+  return estimate;
+}
+
+}  // namespace ppref::ppd

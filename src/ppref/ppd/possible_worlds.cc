@@ -1,0 +1,116 @@
+#include "ppref/ppd/possible_worlds.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+#include "ppref/common/combinatorics.h"
+#include "ppref/db/preference_instance.h"
+#include "ppref/query/eval.h"
+
+namespace ppref::ppd {
+
+double WorldCount(const RimPpd& ppd) {
+  double count = 1.0;
+  for (const std::string& symbol : ppd.schema().PSymbols()) {
+    for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
+      count *= FactorialAsDouble(model.size());
+    }
+  }
+  return count;
+}
+
+void ForEachWorld(const RimPpd& ppd, double max_worlds,
+                  const std::function<void(const db::Database&, double)>& visit) {
+  PPREF_CHECK_MSG(WorldCount(ppd) <= max_worlds,
+                  "possible-world enumeration over " << WorldCount(ppd)
+                                                     << " worlds exceeds cap "
+                                                     << max_worlds);
+  // Collect (symbol, session, rankings) triples; symbols are re-derived here
+  // so the string storage outlives the lambdas below.
+  const std::vector<std::string> p_symbols = ppd.schema().PSymbols();
+  struct Entry {
+    std::string symbol;
+    db::Tuple session;
+    std::vector<std::pair<std::vector<db::Value>, double>> rankings;
+  };
+  std::vector<Entry> entries;
+  for (const std::string& symbol : p_symbols) {
+    for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
+      Entry entry;
+      entry.symbol = symbol;
+      entry.session = session;
+      model.model().ForEachRanking([&](const rim::Ranking& tau, double prob) {
+        std::vector<db::Value> order;
+        order.reserve(tau.size());
+        for (rim::Position p = 0; p < tau.size(); ++p) {
+          order.push_back(model.ItemOf(tau.At(p)));
+        }
+        entry.rankings.emplace_back(std::move(order), prob);
+      });
+      entries.push_back(std::move(entry));
+    }
+  }
+
+  // Odometer over the per-session ranking choices.
+  std::vector<std::size_t> choice(entries.size(), 0);
+  while (true) {
+    db::Database world(ppd.schema());
+    for (const std::string& symbol : ppd.schema().OSymbols()) {
+      for (const db::Tuple& tuple : ppd.OInstance(symbol)) {
+        world.Add(symbol, tuple);
+      }
+    }
+    double probability = 1.0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& [order, prob] = entries[i].rankings[choice[i]];
+      probability *= prob;
+      db::AddRankingAsPairs(world, entries[i].symbol, entries[i].session,
+                            order);
+    }
+    visit(world, probability);
+
+    // Advance the odometer.
+    std::size_t index = 0;
+    while (index < entries.size()) {
+      if (++choice[index] < entries[index].rankings.size()) break;
+      choice[index] = 0;
+      ++index;
+    }
+    if (index == entries.size()) break;
+  }
+}
+
+double EvaluateBooleanByEnumeration(const RimPpd& ppd,
+                                    const query::ConjunctiveQuery& query,
+                                    double max_worlds) {
+  PPREF_CHECK(query.IsBoolean());
+  double total = 0.0;
+  ForEachWorld(ppd, max_worlds, [&](const db::Database& world, double prob) {
+    if (query::IsSatisfiable(query, world)) total += prob;
+  });
+  return total;
+}
+
+std::vector<Answer> EvaluateQueryByEnumeration(
+    const RimPpd& ppd, const query::ConjunctiveQuery& query,
+    double max_worlds) {
+  std::vector<Answer> answers;
+  ForEachWorld(ppd, max_worlds, [&](const db::Database& world, double prob) {
+    for (const db::Tuple& tuple : query::Evaluate(query, world)) {
+      auto it = std::find_if(answers.begin(), answers.end(),
+                             [&](const Answer& a) { return a.tuple == tuple; });
+      if (it == answers.end()) {
+        answers.push_back({tuple, prob});
+      } else {
+        it->confidence += prob;
+      }
+    }
+  });
+  std::stable_sort(answers.begin(), answers.end(),
+                   [](const Answer& a, const Answer& b) {
+                     return a.confidence > b.confidence;
+                   });
+  return answers;
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,45 @@
+/// \file possible_worlds.h
+/// \brief Exhaustive possible-world semantics for RIM-PPDs — §3.2/§3.3.
+///
+/// Enumerates every possible world (one ranking per session, independently)
+/// with its probability, materializing each world as a deterministic
+/// preference database. Exponential in the number and size of sessions;
+/// serves as the evaluation oracle for tests and for exhibiting the
+/// dichotomy's hard side (bench E7).
+
+#ifndef PPREF_PPD_POSSIBLE_WORLDS_H_
+#define PPREF_PPD_POSSIBLE_WORLDS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/ppd.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::ppd {
+
+/// Number of possible worlds: Π over sessions of (items!)... as a double
+/// (counts overflow 64 bits quickly).
+double WorldCount(const RimPpd& ppd);
+
+/// Invokes `visit(world, probability)` for every possible world.
+/// PPREF_CHECKs that the world count does not exceed `max_worlds`.
+void ForEachWorld(const RimPpd& ppd, double max_worlds,
+                  const std::function<void(const db::Database&, double)>& visit);
+
+/// conf_Q([E]) by brute-force enumeration; works for *any* CQ (itemwise or
+/// not). Default cap: one million worlds.
+double EvaluateBooleanByEnumeration(const RimPpd& ppd,
+                                    const query::ConjunctiveQuery& query,
+                                    double max_worlds = 1e6);
+
+/// Q(E) by brute-force enumeration: all answers with positive confidence,
+/// sorted by decreasing confidence.
+std::vector<Answer> EvaluateQueryByEnumeration(
+    const RimPpd& ppd, const query::ConjunctiveQuery& query,
+    double max_worlds = 1e6);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_POSSIBLE_WORLDS_H_

@@ -1,0 +1,93 @@
+#include "ppref/ppd/ppd.h"
+
+#include "ppref/common/check.h"
+
+namespace ppref::ppd {
+
+void RimPreferenceInstance::AddSession(db::Tuple session, SessionModel model) {
+  // Session data is user input: violations throw rather than abort.
+  if (session.size() != signature_.session_arity()) {
+    throw SchemaError("session tuple " + db::ToString(session) +
+                      " has arity " + std::to_string(session.size()) +
+                      "; signature needs " +
+                      std::to_string(signature_.session_arity()));
+  }
+  for (const auto& [existing, unused_model] : sessions_) {
+    if (existing == session) {
+      throw SchemaError("duplicate session " + db::ToString(session));
+    }
+  }
+  sessions_.emplace_back(std::move(session), std::move(model));
+}
+
+RimPpd::RimPpd(db::PreferenceSchema schema)
+    : schema_(schema), o_database_(schema) {
+  for (const std::string& symbol : schema_.PSymbols()) {
+    p_instances_.emplace(symbol,
+                         RimPreferenceInstance(schema_.PSignature(symbol)));
+  }
+}
+
+const db::Relation& RimPpd::OInstance(const std::string& symbol) const {
+  if (!schema_.IsOSymbol(symbol)) {
+    throw SchemaError("'" + symbol + "' is not an o-symbol");
+  }
+  return o_database_.Instance(symbol);
+}
+
+db::Relation& RimPpd::MutableOInstance(const std::string& symbol) {
+  if (!schema_.IsOSymbol(symbol)) {
+    throw SchemaError("'" + symbol + "' is not an o-symbol");
+  }
+  return o_database_.MutableInstance(symbol);
+}
+
+void RimPpd::AddFact(const std::string& symbol, db::Tuple tuple) {
+  MutableOInstance(symbol).Add(std::move(tuple));
+}
+
+void RimPpd::AddFact(const std::string& symbol,
+                     std::initializer_list<db::Value> values) {
+  AddFact(symbol, db::Tuple(values));
+}
+
+const RimPreferenceInstance& RimPpd::PInstance(const std::string& symbol) const {
+  const auto it = p_instances_.find(symbol);
+  if (it == p_instances_.end()) {
+    throw SchemaError("'" + symbol + "' is not a p-symbol");
+  }
+  return it->second;
+}
+
+void RimPpd::AddSession(const std::string& symbol, db::Tuple session,
+                        SessionModel model) {
+  const auto it = p_instances_.find(symbol);
+  if (it == p_instances_.end()) {
+    throw SchemaError("'" + symbol + "' is not a p-symbol");
+  }
+  it->second.AddSession(std::move(session), std::move(model));
+}
+
+RimPpd ElectionPpd() {
+  RimPpd ppd(db::ElectionSchema());
+  ppd.AddFact("Candidates", {"Clinton", "D", "F", "JD"});
+  ppd.AddFact("Candidates", {"Sanders", "D", "M", "BS"});
+  ppd.AddFact("Candidates", {"Rubio", "R", "M", "JD"});
+  ppd.AddFact("Candidates", {"Trump", "R", "M", "BS"});
+  ppd.AddFact("Voters", {"Ann", "BS", "F", 34});
+  ppd.AddFact("Voters", {"Bob", "JD", "M", 51});
+  ppd.AddFact("Voters", {"Dave", "BS", "M", 27});
+  // Figure 2: (Ann, Oct-5) carries MAL(<Clinton, Sanders, Rubio, Trump>, 0.3).
+  ppd.AddSession("Polls", {"Ann", "Oct-5"},
+                 SessionModel::Mallows({"Clinton", "Sanders", "Rubio", "Trump"},
+                                       0.3));
+  ppd.AddSession("Polls", {"Bob", "Oct-5"},
+                 SessionModel::Mallows({"Sanders", "Rubio", "Clinton", "Trump"},
+                                       0.5));
+  ppd.AddSession("Polls", {"Dave", "Nov-5"},
+                 SessionModel::Mallows({"Clinton", "Rubio", "Sanders", "Trump"},
+                                       0.3));
+  return ppd;
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,86 @@
+/// \file ppd.h
+/// \brief RIM-PPDs: probabilistic preference databases with session-
+/// independent RIM models — §3.2.
+///
+/// A `RimPpd` assigns an ordinary instance to every o-symbol and a
+/// `RimPreferenceInstance` (the paper's M-instance (r, μ)) to every
+/// p-symbol. A possible world draws one ranking per session independently
+/// and materializes it as pairwise preference tuples.
+
+#ifndef PPREF_PPD_PPD_H_
+#define PPREF_PPD_PPD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ppref/db/database.h"
+#include "ppref/db/relation.h"
+#include "ppref/db/schema.h"
+#include "ppref/ppd/preference_model.h"
+
+namespace ppref::ppd {
+
+/// The M-instance (r, μ) of one p-symbol: sessions with their models.
+class RimPreferenceInstance {
+ public:
+  RimPreferenceInstance() = default;
+  explicit RimPreferenceInstance(db::PreferenceSignature signature)
+      : signature_(std::move(signature)) {}
+
+  const db::PreferenceSignature& signature() const { return signature_; }
+
+  /// Adds a session with its model. Throws SchemaError when the session
+  /// tuple's arity mismatches the signature or the session already exists
+  /// (r is a set).
+  void AddSession(db::Tuple session, SessionModel model);
+
+  std::size_t session_count() const { return sessions_.size(); }
+
+  const std::vector<std::pair<db::Tuple, SessionModel>>& sessions() const {
+    return sessions_;
+  }
+
+ private:
+  db::PreferenceSignature signature_;
+  std::vector<std::pair<db::Tuple, SessionModel>> sessions_;
+};
+
+/// A session-independent RIM-PPD over a preference schema.
+class RimPpd {
+ public:
+  explicit RimPpd(db::PreferenceSchema schema);
+
+  const db::PreferenceSchema& schema() const { return schema_; }
+
+  /// O-instance access.
+  const db::Relation& OInstance(const std::string& symbol) const;
+  db::Relation& MutableOInstance(const std::string& symbol);
+  void AddFact(const std::string& symbol, db::Tuple tuple);
+  void AddFact(const std::string& symbol, std::initializer_list<db::Value> v);
+
+  /// P-instance access.
+  const RimPreferenceInstance& PInstance(const std::string& symbol) const;
+  void AddSession(const std::string& symbol, db::Tuple session,
+                  SessionModel model);
+
+  /// A database holding only the o-instances (p-instances empty); the
+  /// deterministic substrate the §4.4 reduction evaluates o-atoms against.
+  const db::Database& ODatabase() const { return o_database_; }
+
+ private:
+  db::PreferenceSchema schema_;
+  db::Database o_database_;
+  std::map<std::string, RimPreferenceInstance> p_instances_;
+};
+
+/// The MAL-PPD of Figure 2: the running example's sessions with Mallows
+/// models. Only the (Ann, Oct-5) model — MAL(<Clinton, Sanders, Rubio,
+/// Trump>, 0.3) — is fully specified in the paper's text; the other two
+/// sessions use each session's Figure-1 ranking as reference with moderate
+/// dispersions, which the worked examples do not depend on.
+RimPpd ElectionPpd();
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_PPD_H_

@@ -1,0 +1,78 @@
+#include "ppref/ppd/preference_model.h"
+
+#include <sstream>
+
+#include "ppref/common/check.h"
+
+namespace ppref::ppd {
+namespace {
+
+/// Reference rankings come from user data, so violations throw rather than
+/// abort.
+void CheckDistinct(const std::vector<db::Value>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      if (items[i] == items[j]) {
+        throw SchemaError("duplicate item " + items[i].ToString() +
+                          " in reference ranking");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SessionModel::SessionModel(std::vector<db::Value> items, rim::RimModel model,
+                           std::optional<double> phi)
+    : items_(std::move(items)), model_(std::move(model)), phi_(phi) {
+  PPREF_CHECK(items_.size() == model_.size());
+}
+
+SessionModel SessionModel::Mallows(std::vector<db::Value> reference,
+                                   double phi) {
+  CheckDistinct(reference);
+  const unsigned m = static_cast<unsigned>(reference.size());
+  rim::RimModel model(rim::Ranking::Identity(m),
+                      rim::InsertionFunction::Mallows(m, phi));
+  return SessionModel(std::move(reference), std::move(model), phi);
+}
+
+SessionModel SessionModel::Rim(std::vector<db::Value> reference,
+                               rim::InsertionFunction insertion) {
+  CheckDistinct(reference);
+  const unsigned m = static_cast<unsigned>(reference.size());
+  if (insertion.size() != m) {
+    throw SchemaError("insertion function covers " +
+                      std::to_string(insertion.size()) +
+                      " items, reference has " + std::to_string(m));
+  }
+  rim::RimModel model(rim::Ranking::Identity(m), std::move(insertion));
+  return SessionModel(std::move(reference), std::move(model), std::nullopt);
+}
+
+std::optional<rim::ItemId> SessionModel::IdOf(const db::Value& item) const {
+  for (rim::ItemId id = 0; id < items_.size(); ++id) {
+    if (items_[id] == item) return id;
+  }
+  return std::nullopt;
+}
+
+const db::Value& SessionModel::ItemOf(rim::ItemId id) const {
+  PPREF_CHECK(id < items_.size());
+  return items_[id];
+}
+
+std::string SessionModel::ToString() const {
+  std::ostringstream out;
+  out << (phi_.has_value() ? "MAL(<" : "RIM(<");
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << items_[i].ToString();
+  }
+  out << ">";
+  if (phi_.has_value()) out << ", phi=" << *phi_;
+  out << ")";
+  return out.str();
+}
+
+}  // namespace ppref::ppd

@@ -1,0 +1,66 @@
+/// \file preference_model.h
+/// \brief Probabilistic preference models for sessions — §3.2.
+///
+/// A `SessionModel` is one session's parametric distribution over rankings
+/// of *named* items: a RIM model over dense ids plus the dictionary mapping
+/// ids to database values. MAL(σ, φ) models remember their dispersion for
+/// display and for benchmarks that sweep φ.
+
+#ifndef PPREF_PPD_PREFERENCE_MODEL_H_
+#define PPREF_PPD_PREFERENCE_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ppref/db/value.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::ppd {
+
+/// A RIM-family distribution over the rankings of a session's items.
+class SessionModel {
+ public:
+  /// MAL(σ, φ): `reference` lists the items from most to least preferred.
+  /// Throws SchemaError on duplicate items.
+  static SessionModel Mallows(std::vector<db::Value> reference, double phi);
+
+  /// RIM(σ, Π) with an explicit insertion function. Throws SchemaError on
+  /// duplicate items or an insertion table not sized to the reference.
+  static SessionModel Rim(std::vector<db::Value> reference,
+                          rim::InsertionFunction insertion);
+
+  /// Number of items.
+  unsigned size() const { return model_.size(); }
+
+  /// The items; index = dense item id used by `model()`. The reference
+  /// ranking of `model()` is the identity over these ids.
+  const std::vector<db::Value>& items() const { return items_; }
+
+  /// The underlying RIM model over ids 0..size()-1.
+  const rim::RimModel& model() const { return model_; }
+
+  /// Dense id of `item` if it belongs to the session.
+  std::optional<rim::ItemId> IdOf(const db::Value& item) const;
+
+  /// The item named by dense id `id`.
+  const db::Value& ItemOf(rim::ItemId id) const;
+
+  /// Dispersion parameter when the model was built as Mallows.
+  std::optional<double> phi() const { return phi_; }
+
+  /// Renders e.g. "MAL(<'Clinton', 'Sanders'>, phi=0.3)".
+  std::string ToString() const;
+
+ private:
+  SessionModel(std::vector<db::Value> items, rim::RimModel model,
+               std::optional<double> phi);
+
+  std::vector<db::Value> items_;
+  rim::RimModel model_;
+  std::optional<double> phi_;
+};
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_PREFERENCE_MODEL_H_

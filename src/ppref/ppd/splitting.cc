@@ -1,0 +1,135 @@
+#include "ppref/ppd/splitting.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "ppref/common/check.h"
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/ucq_evaluator.h"
+#include "ppref/query/classify.h"
+#include "ppref/query/gaifman.h"
+
+namespace ppref::ppd {
+namespace {
+
+using query::Atom;
+using query::ConjunctiveQuery;
+using query::Term;
+
+/// Picks the variable to ground: a member of some o-graph component (after
+/// deleting session variables) that holds two or more item variables.
+/// Prefers a non-item variable in the component (grounding it preserves the
+/// item variables for the reduction). Returns empty when the query is
+/// already itemwise.
+std::string PickGroundingVariable(const ConjunctiveQuery& query) {
+  const query::VariableGraph o_graph = query::VariableGraph::GaifmanO(query);
+  const std::vector<std::string> item_vars = query.ItemVariables();
+  for (const auto& component :
+       o_graph.ComponentsWithout(query.SessionVariables())) {
+    unsigned items_here = 0;
+    for (const std::string& variable : component) {
+      if (std::find(item_vars.begin(), item_vars.end(), variable) !=
+          item_vars.end()) {
+        ++items_here;
+      }
+    }
+    if (items_here < 2) continue;
+    for (const std::string& variable : component) {
+      if (std::find(item_vars.begin(), item_vars.end(), variable) ==
+          item_vars.end()) {
+        return variable;  // a pure join variable
+      }
+    }
+    return component.front();  // all connectors are item variables
+  }
+  return "";
+}
+
+/// Candidate values of `variable`: the intersection, over every o-atom
+/// position it occupies, of the values stored in that column. Complete
+/// because o-instances are world-invariant.
+std::vector<db::Value> CandidateValues(const RimPpd& ppd,
+                                       const ConjunctiveQuery& query,
+                                       const std::string& variable) {
+  bool first_constraint = true;
+  std::set<db::Value> candidates;
+  for (const Atom* atom : query.OAtoms()) {
+    for (std::size_t position = 0; position < atom->terms.size(); ++position) {
+      const Term& term = atom->terms[position];
+      if (!term.is_variable() || term.variable() != variable) continue;
+      std::set<db::Value> column;
+      for (const db::Tuple& tuple : ppd.OInstance(atom->symbol)) {
+        column.insert(tuple[position]);
+      }
+      if (first_constraint) {
+        candidates = std::move(column);
+        first_constraint = false;
+      } else {
+        std::set<db::Value> intersection;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              column.begin(), column.end(),
+                              std::inserter(intersection,
+                                            intersection.begin()));
+        candidates = std::move(intersection);
+      }
+    }
+  }
+  PPREF_CHECK_MSG(!first_constraint,
+                  "grounding variable '" << variable
+                                         << "' occurs in no o-atom");
+  return std::vector<db::Value>(candidates.begin(), candidates.end());
+}
+
+}  // namespace
+
+std::vector<ConjunctiveQuery> SplitIntoItemwise(const RimPpd& ppd,
+                                                const ConjunctiveQuery& query,
+                                                unsigned max_disjuncts) {
+  if (!query.IsBoolean()) {
+    throw SchemaError("splitting expects a Boolean query");
+  }
+  if (!query::IsSessionwise(query)) {
+    throw SchemaError("splitting requires a sessionwise query: " +
+                      query.ToString());
+  }
+  std::vector<ConjunctiveQuery> done;
+  std::deque<ConjunctiveQuery> pending = {query};
+  std::set<std::string> seen;  // dedupe syntactically equal disjuncts
+  while (!pending.empty()) {
+    ConjunctiveQuery current = std::move(pending.front());
+    pending.pop_front();
+    if (query::IsItemwise(current)) {
+      if (seen.insert(current.ToString()).second) {
+        done.push_back(std::move(current));
+      }
+      continue;
+    }
+    const std::string variable = PickGroundingVariable(current);
+    PPREF_CHECK_MSG(!variable.empty(),
+                    "non-itemwise query with no violating component");
+    for (const db::Value& value : CandidateValues(ppd, current, variable)) {
+      pending.push_back(current.Substitute(variable, value));
+      if (done.size() + pending.size() > max_disjuncts) {
+        throw SchemaError("splitting exceeded " +
+                          std::to_string(max_disjuncts) +
+                          " disjuncts; the join domain is too large");
+      }
+    }
+  }
+  return done;
+}
+
+double EvaluateBooleanBySplitting(const RimPpd& ppd,
+                                  const ConjunctiveQuery& query,
+                                  unsigned max_disjuncts) {
+  if (query.PAtoms().empty() || query::IsItemwise(query)) {
+    return EvaluateBoolean(ppd, query);
+  }
+  const std::vector<ConjunctiveQuery> disjuncts =
+      SplitIntoItemwise(ppd, query, max_disjuncts);
+  if (disjuncts.empty()) return 0.0;  // no candidate values at all
+  return EvaluateBooleanUnion(ppd, query::UnionQuery(disjuncts));
+}
+
+}  // namespace ppref::ppd

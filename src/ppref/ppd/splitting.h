@@ -1,0 +1,44 @@
+/// \file splitting.h
+/// \brief Exact evaluation beyond the itemwise class by grounding the
+/// offending join variables.
+///
+/// Thm 4.5's hardness (e.g. Q2, whose party variable p joins the two item
+/// variables) stems from *unboundedly many* join values. For a concrete
+/// database the values a join variable can take are fixed by the
+/// o-instances, so substituting each candidate value yields an equivalent
+/// union of CQs; once every disjunct is itemwise, the UCQ evaluator
+/// finishes exactly. Cost: exponential in the number of satisfiable
+/// groundings (inclusion–exclusion), not in session sizes or counts — the
+/// dichotomy is about data complexity with unbounded domains, and this
+/// evaluator makes that boundary tangible.
+
+#ifndef PPREF_PPD_SPLITTING_H_
+#define PPREF_PPD_SPLITTING_H_
+
+#include <vector>
+
+#include "ppref/ppd/ppd.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::ppd {
+
+/// Rewrites `query` into an equivalent list of *itemwise* (or p-atom-free)
+/// CQs by repeatedly grounding, over its candidate values, a variable that
+/// lies on an o-path between item variables. The query must be Boolean and
+/// sessionwise. Throws SchemaError when the expansion exceeds
+/// `max_disjuncts` or no groundable variable exists.
+std::vector<query::ConjunctiveQuery> SplitIntoItemwise(
+    const RimPpd& ppd, const query::ConjunctiveQuery& query,
+    unsigned max_disjuncts = 64);
+
+/// conf_Q([E]) for a sessionwise Boolean CQ, itemwise or not: itemwise
+/// queries go straight to the Thm 4.4 evaluator; others are split and
+/// evaluated as a union. Throws SchemaError for non-sessionwise queries or
+/// oversized expansions.
+double EvaluateBooleanBySplitting(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& query,
+                                  unsigned max_disjuncts = 64);
+
+}  // namespace ppref::ppd
+
+#endif  // PPREF_PPD_SPLITTING_H_

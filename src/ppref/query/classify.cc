@@ -1,0 +1,47 @@
+#include "ppref/query/classify.h"
+
+#include "ppref/query/gaifman.h"
+
+namespace ppref::query {
+
+bool IsSessionwise(const ConjunctiveQuery& query) {
+  const std::vector<const Atom*> p_atoms = query.PAtoms();
+  for (std::size_t i = 1; i < p_atoms.size(); ++i) {
+    if (p_atoms[i]->symbol != p_atoms[0]->symbol) return false;
+    if (p_atoms[i]->SessionTerms() != p_atoms[0]->SessionTerms()) return false;
+  }
+  return true;
+}
+
+bool IsItemwise(const ConjunctiveQuery& query) {
+  if (!IsSessionwise(query)) return false;
+  const VariableGraph o_graph = VariableGraph::GaifmanO(query);
+  return o_graph.CompletelySeparates(query.SessionVariables(),
+                                     query.ItemVariables());
+}
+
+ComplexityClass Classify(const ConjunctiveQuery& query) {
+  if (query.PAtoms().empty()) return ComplexityClass::kDeterministic;
+  if (IsItemwise(query)) return ComplexityClass::kPolynomialTime;
+  // Thm 4.5 fragment: a single p-atom and no self-joins.
+  if (query.PAtoms().size() == 1 && !query.HasSelfJoin()) {
+    return ComplexityClass::kSharpPHard;
+  }
+  return ComplexityClass::kOpen;
+}
+
+std::string ToString(ComplexityClass complexity) {
+  switch (complexity) {
+    case ComplexityClass::kDeterministic:
+      return "deterministic";
+    case ComplexityClass::kPolynomialTime:
+      return "polynomial-time (itemwise)";
+    case ComplexityClass::kSharpPHard:
+      return "FP^#P-hard";
+    case ComplexityClass::kOpen:
+      return "open (outside the dichotomy fragment)";
+  }
+  return "?";
+}
+
+}  // namespace ppref::query

@@ -1,0 +1,44 @@
+/// \file classify.h
+/// \brief Sessionwise / itemwise classification (Def. 1) and the complexity
+/// dichotomy of Thm 4.5.
+
+#ifndef PPREF_QUERY_CLASSIFY_H_
+#define PPREF_QUERY_CLASSIFY_H_
+
+#include <string>
+
+#include "ppref/query/cq.h"
+
+namespace ppref::query {
+
+/// True iff all p-atoms use the same p-symbol with identical session terms.
+bool IsSessionwise(const ConjunctiveQuery& query);
+
+/// Def. 1: sessionwise, and the session variables completely separate the
+/// item variables in the Gaifman o-graph. Queries with no p-atoms are
+/// trivially itemwise.
+bool IsItemwise(const ConjunctiveQuery& query);
+
+/// Data complexity of Boolean evaluation over RIM-PPDs.
+enum class ComplexityClass {
+  /// No p-atoms: ordinary CQ over the deterministic o-instances.
+  kDeterministic,
+  /// Itemwise: polynomial time via the §4.4 reduction (Thm 4.4).
+  kPolynomialTime,
+  /// Within Thm 4.5's fragment (single p-atom, no self-joins) and not
+  /// itemwise: FP^{#P}-hard.
+  kSharpPHard,
+  /// Not itemwise and outside the dichotomy fragment: the paper leaves the
+  /// complexity open.
+  kOpen,
+};
+
+/// Classifies `query` per Thm 4.4 / Thm 4.5.
+ComplexityClass Classify(const ConjunctiveQuery& query);
+
+/// Human-readable name of a complexity class.
+std::string ToString(ComplexityClass complexity);
+
+}  // namespace ppref::query
+
+#endif  // PPREF_QUERY_CLASSIFY_H_

@@ -1,0 +1,183 @@
+#include "ppref/query/cq.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+
+namespace ppref::query {
+namespace {
+
+void AppendUnique(std::vector<std::string>& out, const std::string& name) {
+  if (std::find(out.begin(), out.end(), name) == out.end()) {
+    out.push_back(name);
+  }
+}
+
+}  // namespace
+
+Term Term::Var(std::string name) {
+  PPREF_CHECK_MSG(!name.empty(), "empty variable name");
+  Term term;
+  term.is_variable_ = true;
+  term.variable_ = std::move(name);
+  return term;
+}
+
+Term Term::Const(db::Value value) {
+  Term term;
+  term.is_variable_ = false;
+  term.constant_ = std::move(value);
+  return term;
+}
+
+const std::string& Term::variable() const {
+  PPREF_CHECK(is_variable_);
+  return variable_;
+}
+
+const db::Value& Term::constant() const {
+  PPREF_CHECK(!is_variable_);
+  return constant_;
+}
+
+std::string Term::ToString() const {
+  return is_variable_ ? variable_ : constant_.ToString();
+}
+
+std::vector<Term> Atom::SessionTerms() const {
+  PPREF_CHECK(is_preference);
+  return std::vector<Term>(terms.begin(), terms.begin() + session_arity);
+}
+
+const Term& Atom::Lhs() const {
+  PPREF_CHECK(is_preference && terms.size() == session_arity + 2);
+  return terms[session_arity];
+}
+
+const Term& Atom::Rhs() const {
+  PPREF_CHECK(is_preference && terms.size() == session_arity + 2);
+  return terms[session_arity + 1];
+}
+
+std::string Atom::ToString() const {
+  std::string out = symbol + "(";
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) {
+      const bool item_boundary =
+          is_preference && (i == session_arity || i == session_arity + 1u);
+      out += item_boundary ? "; " : ", ";
+    }
+    out += terms[i].ToString();
+  }
+  return out + ")";
+}
+
+ConjunctiveQuery::ConjunctiveQuery(std::vector<std::string> head,
+                                   std::vector<Atom> body)
+    : head_(std::move(head)), body_(std::move(body)) {
+  for (const Atom& atom : body_) {
+    PPREF_CHECK_MSG(!atom.is_preference ||
+                        atom.terms.size() == atom.session_arity + 2,
+                    "malformed p-atom " << atom.symbol);
+  }
+  const std::vector<std::string> variables = Variables();
+  for (const std::string& head_var : head_) {
+    if (std::find(variables.begin(), variables.end(), head_var) ==
+        variables.end()) {
+      throw SchemaError("head variable '" + head_var +
+                        "' does not occur in the body");
+    }
+  }
+}
+
+std::vector<std::string> ConjunctiveQuery::Variables() const {
+  std::vector<std::string> variables;
+  for (const Atom& atom : body_) {
+    for (const Term& term : atom.terms) {
+      if (term.is_variable()) AppendUnique(variables, term.variable());
+    }
+  }
+  return variables;
+}
+
+std::vector<std::string> ConjunctiveQuery::SessionVariables() const {
+  std::vector<std::string> variables;
+  for (const Atom& atom : body_) {
+    if (!atom.is_preference) continue;
+    for (unsigned i = 0; i < atom.session_arity; ++i) {
+      if (atom.terms[i].is_variable()) {
+        AppendUnique(variables, atom.terms[i].variable());
+      }
+    }
+  }
+  return variables;
+}
+
+std::vector<std::string> ConjunctiveQuery::ItemVariables() const {
+  std::vector<std::string> variables;
+  for (const Atom& atom : body_) {
+    if (!atom.is_preference) continue;
+    for (const Term* term : {&atom.Lhs(), &atom.Rhs()}) {
+      if (term->is_variable()) AppendUnique(variables, term->variable());
+    }
+  }
+  return variables;
+}
+
+std::vector<const Atom*> ConjunctiveQuery::PAtoms() const {
+  std::vector<const Atom*> atoms;
+  for (const Atom& atom : body_) {
+    if (atom.is_preference) atoms.push_back(&atom);
+  }
+  return atoms;
+}
+
+std::vector<const Atom*> ConjunctiveQuery::OAtoms() const {
+  std::vector<const Atom*> atoms;
+  for (const Atom& atom : body_) {
+    if (!atom.is_preference) atoms.push_back(&atom);
+  }
+  return atoms;
+}
+
+bool ConjunctiveQuery::HasSelfJoin() const {
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    for (std::size_t j = i + 1; j < body_.size(); ++j) {
+      if (body_[i].symbol == body_[j].symbol) return true;
+    }
+  }
+  return false;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Substitute(const std::string& variable,
+                                              const db::Value& value) const {
+  std::vector<Atom> body = body_;
+  for (Atom& atom : body) {
+    for (Term& term : atom.terms) {
+      if (term.is_variable() && term.variable() == variable) {
+        term = Term::Const(value);
+      }
+    }
+  }
+  std::vector<std::string> head;
+  for (const std::string& head_var : head_) {
+    if (head_var != variable) head.push_back(head_var);
+  }
+  return ConjunctiveQuery(std::move(head), std::move(body));
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "Q(";
+  for (std::size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_[i];
+  }
+  out += ") :- ";
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace ppref::query

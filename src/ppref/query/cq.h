@@ -1,0 +1,107 @@
+/// \file cq.h
+/// \brief Conjunctive queries over preference schemas — §2.1 and §4.1.
+///
+/// A CQ is Q(x̄) :- φ₁, ..., φₘ where each atom is over an o-symbol or a
+/// p-symbol. P-atoms distinguish session term positions from the two item
+/// term positions (lhs, rhs), mirroring the preference signature.
+
+#ifndef PPREF_QUERY_CQ_H_
+#define PPREF_QUERY_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "ppref/db/schema.h"
+#include "ppref/db/value.h"
+
+namespace ppref::query {
+
+/// A term: a variable or a constant.
+class Term {
+ public:
+  static Term Var(std::string name);
+  static Term Const(db::Value value);
+
+  bool is_variable() const { return is_variable_; }
+  const std::string& variable() const;
+  const db::Value& constant() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.is_variable_ == b.is_variable_ && a.variable_ == b.variable_ &&
+           a.constant_ == b.constant_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  bool is_variable_ = false;
+  std::string variable_;
+  db::Value constant_;
+};
+
+/// An atomic formula R(t₁, ..., tₖ). For p-atoms, the last two terms are the
+/// item terms (lhs, rhs) and the preceding ones are the session terms.
+struct Atom {
+  std::string symbol;
+  bool is_preference = false;
+  /// Number of session terms (p-atoms only; 0 for o-atoms).
+  unsigned session_arity = 0;
+  std::vector<Term> terms;
+
+  /// Session terms of a p-atom (the paper's s₁, ..., sₖ).
+  std::vector<Term> SessionTerms() const;
+  /// Left item term of a p-atom.
+  const Term& Lhs() const;
+  /// Right item term of a p-atom.
+  const Term& Rhs() const;
+
+  std::string ToString() const;
+};
+
+/// A conjunctive query.
+class ConjunctiveQuery {
+ public:
+  /// `head` lists the free variables (possibly empty: Boolean query);
+  /// every head variable must occur in the body. Throws SchemaError on
+  /// violations (arity mismatches are caught by the parser/builders).
+  ConjunctiveQuery(std::vector<std::string> head, std::vector<Atom> body);
+
+  const std::vector<std::string>& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// All variables of the query, in first-occurrence order.
+  std::vector<std::string> Variables() const;
+
+  /// Variables occurring in a session position of some p-atom — §4.1.
+  std::vector<std::string> SessionVariables() const;
+
+  /// Variables occurring in an item position of some p-atom — §4.1.
+  std::vector<std::string> ItemVariables() const;
+
+  /// P-atoms (in body order).
+  std::vector<const Atom*> PAtoms() const;
+
+  /// O-atoms (in body order).
+  std::vector<const Atom*> OAtoms() const;
+
+  /// True iff some pair of distinct atoms shares a relation symbol
+  /// (the "self join" notion of Thm 4.5).
+  bool HasSelfJoin() const;
+
+  /// Returns a copy with `variable` replaced by the constant `value`
+  /// everywhere (body and head; the head entry is dropped).
+  ConjunctiveQuery Substitute(const std::string& variable,
+                              const db::Value& value) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> head_;
+  std::vector<Atom> body_;
+};
+
+}  // namespace ppref::query
+
+#endif  // PPREF_QUERY_CQ_H_

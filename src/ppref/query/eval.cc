@@ -1,0 +1,149 @@
+#include "ppref/query/eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ppref/common/check.h"
+
+namespace ppref::query {
+namespace {
+
+/// Number of terms of `atom` already determined by `binding` (constants
+/// count as bound). Used by the most-bound-first atom ordering.
+unsigned BoundTerms(const Atom& atom, const Binding& binding) {
+  unsigned bound = 0;
+  for (const Term& term : atom.terms) {
+    if (!term.is_variable() || binding.contains(term.variable())) ++bound;
+  }
+  return bound;
+}
+
+/// Attempts to unify `atom` with `tuple` under `binding`; on success the new
+/// variable assignments are appended to `added` and `binding` is extended.
+bool Unify(const Atom& atom, const db::Tuple& tuple, Binding& binding,
+           std::vector<std::string>& added) {
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (!term.is_variable()) {
+      if (term.constant() != tuple[i]) return false;
+      continue;
+    }
+    const auto it = binding.find(term.variable());
+    if (it != binding.end()) {
+      if (it->second != tuple[i]) return false;
+    } else {
+      binding.emplace(term.variable(), tuple[i]);
+      added.push_back(term.variable());
+    }
+  }
+  return true;
+}
+
+bool Recurse(std::vector<const Atom*>& pending, const db::Database& database,
+             Binding& binding,
+             const std::function<bool(const Binding&)>& visit) {
+  if (pending.empty()) return visit(binding);
+  // Most-bound-first: pull the atom with the most determined terms to the
+  // back and process it.
+  std::size_t best = 0;
+  unsigned best_bound = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const unsigned bound = BoundTerms(*pending[i], binding);
+    if (i == 0 || bound > best_bound) {
+      best = i;
+      best_bound = bound;
+    }
+  }
+  std::swap(pending[best], pending.back());
+  const Atom* atom = pending.back();
+  pending.pop_back();
+
+  const db::Relation& relation = database.Instance(atom->symbol);
+
+  // Probe a point index when some term is already determined; otherwise
+  // fall back to a full scan.
+  int probe_position = -1;
+  db::Value probe_value;
+  for (std::size_t i = 0; i < atom->terms.size(); ++i) {
+    const Term& term = atom->terms[i];
+    if (!term.is_variable()) {
+      probe_position = static_cast<int>(i);
+      probe_value = term.constant();
+      break;
+    }
+    const auto it = binding.find(term.variable());
+    if (it != binding.end()) {
+      probe_position = static_cast<int>(i);
+      probe_value = it->second;
+      break;
+    }
+  }
+
+  bool keep_going = true;
+  auto try_tuple = [&](const db::Tuple& tuple) {
+    std::vector<std::string> added;
+    if (Unify(*atom, tuple, binding, added)) {
+      keep_going = Recurse(pending, database, binding, visit);
+    }
+    for (const std::string& name : added) binding.erase(name);
+    return keep_going;
+  };
+  if (probe_position >= 0) {
+    for (std::size_t position : relation.MatchingIndices(
+             static_cast<unsigned>(probe_position), probe_value)) {
+      if (!try_tuple(relation.tuples()[position])) break;
+    }
+  } else {
+    for (const db::Tuple& tuple : relation) {
+      if (!try_tuple(tuple)) break;
+    }
+  }
+
+  pending.push_back(atom);
+  std::swap(pending[best], pending.back());
+  return keep_going;
+}
+
+}  // namespace
+
+bool ForEachHomomorphism(const std::vector<Atom>& atoms,
+                         const db::Database& database, const Binding& binding,
+                         const std::function<bool(const Binding&)>& visit) {
+  std::vector<const Atom*> pending;
+  pending.reserve(atoms.size());
+  for (const Atom& atom : atoms) pending.push_back(&atom);
+  Binding working = binding;
+  return Recurse(pending, database, working, visit);
+}
+
+bool IsSatisfiable(const ConjunctiveQuery& query, const db::Database& database,
+                   const Binding& binding) {
+  bool satisfiable = false;
+  ForEachHomomorphism(query.body(), database, binding,
+                      [&](const Binding&) {
+                        satisfiable = true;
+                        return false;  // stop at the first witness
+                      });
+  return satisfiable;
+}
+
+std::vector<db::Tuple> Evaluate(const ConjunctiveQuery& query,
+                                const db::Database& database) {
+  std::vector<db::Tuple> results;
+  std::unordered_set<db::Tuple, db::TupleHash> seen;
+  ForEachHomomorphism(query.body(), database, {}, [&](const Binding& binding) {
+    db::Tuple head;
+    head.reserve(query.head().size());
+    for (const std::string& variable : query.head()) {
+      const auto it = binding.find(variable);
+      PPREF_CHECK_MSG(it != binding.end(),
+                      "head variable '" << variable << "' unbound");
+      head.push_back(it->second);
+    }
+    if (seen.insert(head).second) results.push_back(std::move(head));
+    return true;
+  });
+  return results;
+}
+
+}  // namespace ppref::query

@@ -1,0 +1,45 @@
+/// \file eval.h
+/// \brief Deterministic CQ evaluation (homomorphism semantics) — §2.1.
+///
+/// Evaluates CQs over ordinary databases by backtracking join: atoms are
+/// processed most-bound-first, scanning relation instances and unifying
+/// terms. This is the workhorse behind possible-world evaluation, o-atom
+/// satisfiability checks, and potential-match computation in the §4.4
+/// reduction.
+
+#ifndef PPREF_QUERY_EVAL_H_
+#define PPREF_QUERY_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ppref/db/database.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::query {
+
+/// A partial assignment of variables to values.
+using Binding = std::map<std::string, db::Value>;
+
+/// Enumerates all homomorphisms from the conjunction of `atoms` to
+/// `database` that extend `binding`. `visit` returns false to stop early;
+/// the function returns false iff the enumeration was stopped.
+bool ForEachHomomorphism(const std::vector<Atom>& atoms,
+                         const db::Database& database, const Binding& binding,
+                         const std::function<bool(const Binding&)>& visit);
+
+/// True iff at least one homomorphism from the query body to the database
+/// extends `binding`.
+bool IsSatisfiable(const ConjunctiveQuery& query, const db::Database& database,
+                   const Binding& binding = {});
+
+/// Q(D): the distinct head tuples (restrictions of homomorphisms to the
+/// head), in first-found order. Boolean queries return {()} or {}.
+std::vector<db::Tuple> Evaluate(const ConjunctiveQuery& query,
+                                const db::Database& database);
+
+}  // namespace ppref::query
+
+#endif  // PPREF_QUERY_EVAL_H_

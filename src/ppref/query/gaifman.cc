@@ -1,0 +1,121 @@
+#include "ppref/query/gaifman.h"
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+
+namespace ppref::query {
+namespace {
+
+/// Builds the variable graph of `query`, using every atom or o-atoms only.
+void AddAtomEdges(const Atom& atom,
+                  const std::vector<std::string>& nodes,
+                  std::vector<std::vector<bool>>& adjacent) {
+  auto index_of = [&](const std::string& name) {
+    return static_cast<unsigned>(
+        std::find(nodes.begin(), nodes.end(), name) - nodes.begin());
+  };
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    if (!atom.terms[i].is_variable()) continue;
+    for (std::size_t j = i + 1; j < atom.terms.size(); ++j) {
+      if (!atom.terms[j].is_variable()) continue;
+      const unsigned a = index_of(atom.terms[i].variable());
+      const unsigned b = index_of(atom.terms[j].variable());
+      if (a == b) continue;
+      adjacent[a][b] = true;
+      adjacent[b][a] = true;
+    }
+  }
+}
+
+}  // namespace
+
+VariableGraph VariableGraph::Gaifman(const ConjunctiveQuery& query) {
+  VariableGraph graph;
+  graph.nodes_ = query.Variables();
+  const unsigned n = static_cast<unsigned>(graph.nodes_.size());
+  graph.adjacent_.assign(n, std::vector<bool>(n, false));
+  for (const Atom& atom : query.body()) {
+    AddAtomEdges(atom, graph.nodes_, graph.adjacent_);
+  }
+  return graph;
+}
+
+VariableGraph VariableGraph::GaifmanO(const ConjunctiveQuery& query) {
+  // Same node set as G_Q (all variables), edges from o-atoms only.
+  VariableGraph graph;
+  graph.nodes_ = query.Variables();
+  const unsigned n = static_cast<unsigned>(graph.nodes_.size());
+  graph.adjacent_.assign(n, std::vector<bool>(n, false));
+  for (const Atom& atom : query.body()) {
+    if (!atom.is_preference) {
+      AddAtomEdges(atom, graph.nodes_, graph.adjacent_);
+    }
+  }
+  return graph;
+}
+
+bool VariableGraph::HasNode(const std::string& name) const {
+  return std::find(nodes_.begin(), nodes_.end(), name) != nodes_.end();
+}
+
+unsigned VariableGraph::IndexOf(const std::string& name) const {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), name);
+  PPREF_CHECK_MSG(it != nodes_.end(), "unknown variable '" << name << "'");
+  return static_cast<unsigned>(it - nodes_.begin());
+}
+
+bool VariableGraph::Adjacent(const std::string& a, const std::string& b) const {
+  return adjacent_[IndexOf(a)][IndexOf(b)];
+}
+
+std::vector<std::vector<std::string>> VariableGraph::ComponentsWithout(
+    const std::vector<std::string>& removed) const {
+  const unsigned n = static_cast<unsigned>(nodes_.size());
+  std::vector<bool> deleted(n, false);
+  for (const std::string& name : removed) {
+    if (HasNode(name)) deleted[IndexOf(name)] = true;
+  }
+  std::vector<int> component(n, -1);
+  int next_component = 0;
+  for (unsigned start = 0; start < n; ++start) {
+    if (deleted[start] || component[start] >= 0) continue;
+    std::vector<unsigned> stack = {start};
+    component[start] = next_component;
+    while (!stack.empty()) {
+      const unsigned node = stack.back();
+      stack.pop_back();
+      for (unsigned other = 0; other < n; ++other) {
+        if (!deleted[other] && component[other] < 0 && adjacent_[node][other]) {
+          component[other] = next_component;
+          stack.push_back(other);
+        }
+      }
+    }
+    ++next_component;
+  }
+  std::vector<std::vector<std::string>> components(next_component);
+  for (unsigned node = 0; node < n; ++node) {
+    if (component[node] >= 0) components[component[node]].push_back(nodes_[node]);
+  }
+  return components;
+}
+
+bool VariableGraph::CompletelySeparates(
+    const std::vector<std::string>& separators,
+    const std::vector<std::string>& targets) const {
+  const auto components = ComponentsWithout(separators);
+  for (const auto& component : components) {
+    unsigned count = 0;
+    for (const std::string& target : targets) {
+      if (std::find(component.begin(), component.end(), target) !=
+          component.end()) {
+        ++count;
+      }
+    }
+    if (count > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace ppref::query

@@ -1,0 +1,52 @@
+/// \file gaifman.h
+/// \brief Gaifman graphs and Gaifman o-graphs of CQs — §4.1.
+///
+/// The Gaifman graph G_Q connects two distinct variables when they co-occur
+/// in some atom; the Gaifman o-graph G°_Q only uses o-atoms. The itemwise
+/// test (Def. 1) asks whether the session variables completely separate the
+/// item variables in G°_Q.
+
+#ifndef PPREF_QUERY_GAIFMAN_H_
+#define PPREF_QUERY_GAIFMAN_H_
+
+#include <string>
+#include <vector>
+
+#include "ppref/query/cq.h"
+
+namespace ppref::query {
+
+/// An undirected graph over variable names.
+class VariableGraph {
+ public:
+  /// G_Q: edges from all atoms.
+  static VariableGraph Gaifman(const ConjunctiveQuery& query);
+
+  /// G°_Q: edges from o-atoms only (p-atom co-occurrences are skipped).
+  static VariableGraph GaifmanO(const ConjunctiveQuery& query);
+
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  bool HasNode(const std::string& name) const;
+  bool Adjacent(const std::string& a, const std::string& b) const;
+
+  /// Connected components after deleting the nodes in `removed`; each
+  /// component lists variable names in node order.
+  std::vector<std::vector<std::string>> ComponentsWithout(
+      const std::vector<std::string>& removed) const;
+
+  /// True iff `separators` completely separates `targets`: every path
+  /// between two distinct targets visits a separator — equivalently, after
+  /// deleting the separators, no component holds two distinct targets.
+  bool CompletelySeparates(const std::vector<std::string>& separators,
+                           const std::vector<std::string>& targets) const;
+
+ private:
+  unsigned IndexOf(const std::string& name) const;
+
+  std::vector<std::string> nodes_;
+  std::vector<std::vector<bool>> adjacent_;
+};
+
+}  // namespace ppref::query
+
+#endif  // PPREF_QUERY_GAIFMAN_H_

@@ -1,0 +1,290 @@
+#include "ppref/query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "ppref/common/check.h"
+
+namespace ppref::query {
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kString,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kArrow,       // ":-" or "<-"
+  kUnderscore,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token Next() {
+    SkipWhitespace();
+    const std::size_t at = pos_;
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, "", at};
+    const char c = text_[pos_];
+    if (c == '(') return Single(TokenKind::kLParen, at);
+    if (c == ')') return Single(TokenKind::kRParen, at);
+    if (c == ',') return Single(TokenKind::kComma, at);
+    if (c == ';') return Single(TokenKind::kSemicolon, at);
+    if (c == ':' || c == '<') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+        pos_ += 2;
+        return {TokenKind::kArrow, text_.substr(at, 2), at};
+      }
+      Fail(at, "expected ':-' or '<-'");
+    }
+    if (c == '\'' || c == '"') return QuotedString(at);
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      return Number(at);
+    }
+    if (c == '_' && !IsIdentifierChar(Peek(1))) {
+      return Single(TokenKind::kUnderscore, at);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return Identifier(at);
+    }
+    Fail(at, std::string("unexpected character '") + c + "'");
+  }
+
+  [[noreturn]] void Fail(std::size_t offset, const std::string& message) const {
+    throw ParseError("parse error at offset " + std::to_string(offset) + ": " +
+                     message);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  static bool IsIdentifierChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token Single(TokenKind kind, std::size_t at) {
+    ++pos_;
+    return {kind, text_.substr(at, 1), at};
+  }
+
+  Token QuotedString(std::size_t at) {
+    const char quote = text_[pos_++];
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      value += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) Fail(at, "unterminated string literal");
+    ++pos_;  // closing quote
+    return {TokenKind::kString, std::move(value), at};
+  }
+
+  Token Number(std::size_t at) {
+    std::string value;
+    if (text_[pos_] == '-' || text_[pos_] == '+') value += text_[pos_++];
+    bool has_digits = false;
+    bool has_dot = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        has_digits = true;
+        value += c;
+        ++pos_;
+      } else if (c == '.' && !has_dot) {
+        has_dot = true;
+        value += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!has_digits) Fail(at, "malformed number");
+    return {TokenKind::kNumber, std::move(value), at};
+  }
+
+  Token Identifier(std::size_t at) {
+    std::string value;
+    value += text_[pos_++];
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        value += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return {TokenKind::kIdentifier, std::move(value), at};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, const db::PreferenceSchema& schema)
+      : lexer_(text), schema_(schema) {
+    Advance();
+  }
+
+  ConjunctiveQuery Parse() {
+    // Head: Name(vars).
+    Expect(TokenKind::kIdentifier, "query name");
+    Advance();
+    std::vector<std::string> head;
+    Expect(TokenKind::kLParen, "'('");
+    Advance();
+    while (current_.kind != TokenKind::kRParen) {
+      Expect(TokenKind::kIdentifier, "head variable");
+      head.push_back(current_.text);
+      Advance();
+      if (current_.kind == TokenKind::kComma) Advance();
+    }
+    Advance();  // ')'
+    Expect(TokenKind::kArrow, "':-'");
+    Advance();
+
+    std::vector<Atom> body;
+    while (true) {
+      body.push_back(ParseAtom());
+      if (current_.kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    Expect(TokenKind::kEnd, "end of query");
+    return ConjunctiveQuery(std::move(head), std::move(body));
+  }
+
+ private:
+  void Advance() { current_ = lexer_.Next(); }
+
+  void Expect(TokenKind kind, const std::string& what) {
+    if (current_.kind != kind) {
+      lexer_.Fail(current_.offset, "expected " + what + ", found '" +
+                                        current_.text + "'");
+    }
+  }
+
+  Term ParseTerm() {
+    switch (current_.kind) {
+      case TokenKind::kUnderscore: {
+        Advance();
+        return Term::Var("_" + std::to_string(++anonymous_counter_));
+      }
+      case TokenKind::kIdentifier: {
+        Term term = Term::Var(current_.text);
+        Advance();
+        return term;
+      }
+      case TokenKind::kString: {
+        Term term = Term::Const(db::Value(current_.text));
+        Advance();
+        return term;
+      }
+      case TokenKind::kNumber: {
+        const std::string text = current_.text;
+        Advance();
+        if (text.find('.') != std::string::npos) {
+          return Term::Const(db::Value(std::strtod(text.c_str(), nullptr)));
+        }
+        return Term::Const(
+            db::Value(static_cast<std::int64_t>(std::strtoll(text.c_str(),
+                                                             nullptr, 10))));
+      }
+      default:
+        lexer_.Fail(current_.offset,
+                    "expected term, found '" + current_.text + "'");
+    }
+  }
+
+  Atom ParseAtom() {
+    Expect(TokenKind::kIdentifier, "relation symbol");
+    Atom atom;
+    atom.symbol = current_.text;
+    const std::size_t symbol_offset = current_.offset;
+    Advance();
+    Expect(TokenKind::kLParen, "'('");
+    Advance();
+    std::vector<unsigned> semicolons_after;  // term counts preceding each ';'
+    while (current_.kind != TokenKind::kRParen) {
+      if (current_.kind == TokenKind::kSemicolon) {
+        // Also reached with zero preceding terms (empty session part).
+        semicolons_after.push_back(static_cast<unsigned>(atom.terms.size()));
+        Advance();
+        continue;
+      }
+      atom.terms.push_back(ParseTerm());
+      if (current_.kind == TokenKind::kComma) {
+        Advance();
+      } else if (current_.kind != TokenKind::kSemicolon) {
+        Expect(TokenKind::kRParen, "',' or ';' or ')'");
+      }
+    }
+    Advance();  // ')'
+
+    // Validate against the schema.
+    if (!schema_.HasSymbol(atom.symbol)) {
+      throw SchemaError("unknown relation symbol '" + atom.symbol +
+                        "' at offset " + std::to_string(symbol_offset));
+    }
+    atom.is_preference = schema_.IsPSymbol(atom.symbol);
+    const unsigned expected_arity = schema_.Arity(atom.symbol);
+    if (atom.terms.size() != expected_arity) {
+      throw SchemaError("atom " + atom.ToString() + " has arity " +
+                        std::to_string(atom.terms.size()) + "; '" +
+                        atom.symbol + "' expects " +
+                        std::to_string(expected_arity));
+    }
+    if (atom.is_preference) {
+      const unsigned session_arity =
+          schema_.PSignature(atom.symbol).session_arity();
+      atom.session_arity = session_arity;
+      const std::vector<unsigned> expected = {session_arity,
+                                              session_arity + 1};
+      if (semicolons_after != expected) {
+        throw SchemaError("p-atom " + atom.ToString() +
+                          " must separate session and item terms as " +
+                          schema_.PSignature(atom.symbol).ToString());
+      }
+    } else if (!semicolons_after.empty()) {
+      throw SchemaError("o-atom over '" + atom.symbol +
+                        "' must not contain semicolons");
+    }
+    return atom;
+  }
+
+  Lexer lexer_;
+  const db::PreferenceSchema& schema_;
+  Token current_;
+  unsigned anonymous_counter_ = 0;
+};
+
+}  // namespace
+
+ConjunctiveQuery ParseQuery(const std::string& text,
+                            const db::PreferenceSchema& schema) {
+  return Parser(text, schema).Parse();
+}
+
+}  // namespace ppref::query

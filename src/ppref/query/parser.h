@@ -1,0 +1,36 @@
+/// \file parser.h
+/// \brief Text parser for conjunctive queries over a preference schema.
+///
+/// Syntax (whitespace-insensitive), following the paper's notation:
+///
+///   Q(v) :- Polls(v, d; l; r), Candidates(l, 'D', 'M', _), Voters(v, 'BS', _, _)
+///
+/// * The head lists free variables; `Q()` is a Boolean query.
+/// * Identifiers in term positions are variables; `_` is a fresh anonymous
+///   variable per occurrence (subscripted internally).
+/// * Constants are quoted strings ('D' or "D"), integers, or decimals.
+/// * P-atoms separate the session part and the two item terms with
+///   semicolons, exactly like preference signatures; o-atoms use commas.
+/// * `:-` and `<-` both separate head from body.
+///
+/// Throws ppref::ParseError on malformed text and ppref::SchemaError when
+/// atoms do not match the schema (unknown symbol, wrong arity, misplaced
+/// semicolons).
+
+#ifndef PPREF_QUERY_PARSER_H_
+#define PPREF_QUERY_PARSER_H_
+
+#include <string>
+
+#include "ppref/db/schema.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::query {
+
+/// Parses `text` into a CQ validated against `schema`.
+ConjunctiveQuery ParseQuery(const std::string& text,
+                            const db::PreferenceSchema& schema);
+
+}  // namespace ppref::query
+
+#endif  // PPREF_QUERY_PARSER_H_

@@ -1,0 +1,86 @@
+#include "ppref/query/ucq.h"
+
+#include <cctype>
+
+#include "ppref/common/check.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::query {
+namespace {
+
+/// Splits `text` on the standalone keyword UNION, ignoring occurrences
+/// inside '...' or "..." literals.
+std::vector<std::string> SplitOnUnion(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  char quote = '\0';
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quote != '\0') {
+      current += c;
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      current += c;
+      continue;
+    }
+    const bool boundary_before =
+        i == 0 || !(std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
+                    text[i - 1] == '_');
+    if (c == 'U' && boundary_before && text.compare(i, 5, "UNION") == 0) {
+      const bool boundary_after =
+          i + 5 >= text.size() ||
+          !(std::isalnum(static_cast<unsigned char>(text[i + 5])) ||
+            text[i + 5] == '_');
+      if (boundary_after) {
+        parts.push_back(current);
+        current.clear();
+        i += 4;  // loop increment skips the final N
+        continue;
+      }
+    }
+    current += c;
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+UnionQuery::UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+    : disjuncts_(std::move(disjuncts)) {
+  if (disjuncts_.empty()) {
+    throw SchemaError("a union query needs at least one disjunct");
+  }
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (q.head().size() != disjuncts_.front().head().size()) {
+      throw SchemaError("union disjuncts must share the head arity");
+    }
+  }
+}
+
+bool UnionQuery::IsBoolean() const {
+  return disjuncts_.front().IsBoolean();
+}
+
+std::string UnionQuery::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += "  UNION  ";
+    out += disjuncts_[i].ToString();
+  }
+  return out;
+}
+
+UnionQuery ParseUnionQuery(const std::string& text,
+                           const db::PreferenceSchema& schema) {
+  std::vector<ConjunctiveQuery> disjuncts;
+  for (const std::string& part : SplitOnUnion(text)) {
+    disjuncts.push_back(ParseQuery(part, schema));
+  }
+  return UnionQuery(std::move(disjuncts));
+}
+
+}  // namespace ppref::query

@@ -1,0 +1,47 @@
+/// \file ucq.h
+/// \brief Unions of conjunctive queries — the first step into the "larger
+/// fragments of FO" direction the paper's §6 proposes.
+///
+/// A UnionQuery is Q = Q₁ ∨ ... ∨ Q_q. Over a PPD, conf_Q is the
+/// probability that at least one disjunct holds. The evaluator in
+/// ppd/ucq_evaluator.h handles Boolean UCQs whose disjuncts are itemwise in
+/// polynomial data complexity (fixed query).
+
+#ifndef PPREF_QUERY_UCQ_H_
+#define PPREF_QUERY_UCQ_H_
+
+#include <string>
+#include <vector>
+
+#include "ppref/db/schema.h"
+#include "ppref/query/cq.h"
+
+namespace ppref::query {
+
+/// A union of CQs with a common head arity.
+class UnionQuery {
+ public:
+  /// All disjuncts must share the head arity; throws SchemaError otherwise.
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts);
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  std::size_t size() const { return disjuncts_.size(); }
+  bool IsBoolean() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+/// Parses a UCQ whose disjuncts are separated by the keyword UNION:
+///
+///   Q() :- Polls(v, d; l; 'Trump')  UNION  Q() :- Polls(v, d; 'Clinton'; l)
+///
+/// The keyword is recognized outside string literals only.
+UnionQuery ParseUnionQuery(const std::string& text,
+                           const db::PreferenceSchema& schema);
+
+}  // namespace ppref::query
+
+#endif  // PPREF_QUERY_UCQ_H_

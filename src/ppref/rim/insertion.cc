@@ -1,0 +1,95 @@
+#include "ppref/rim/insertion.h"
+
+#include <cmath>
+
+#include "ppref/common/check.h"
+#include "ppref/common/random.h"
+
+namespace ppref::rim {
+namespace {
+
+/// Row of Doignon insertion probabilities for dispersion `phi` at reference
+/// step t (0-based): slot j gets φ^{t-j} / (1 + φ + ... + φ^t).
+std::vector<double> MallowsRow(unsigned t, double phi) {
+  std::vector<double> row(t + 1);
+  double z = 0.0;
+  for (unsigned j = 0; j <= t; ++j) z += std::pow(phi, static_cast<double>(j));
+  for (unsigned j = 0; j <= t; ++j) {
+    row[j] = std::pow(phi, static_cast<double>(t - j)) / z;
+  }
+  return row;
+}
+
+}  // namespace
+
+InsertionFunction::InsertionFunction(std::vector<std::vector<double>> rows)
+    : rows_(std::move(rows)) {
+  for (std::size_t t = 0; t < rows_.size(); ++t) {
+    PPREF_CHECK_MSG(rows_[t].size() == t + 1,
+                    "row " << t << " must have " << t + 1 << " entries, has "
+                           << rows_[t].size());
+    double sum = 0.0;
+    for (double p : rows_[t]) {
+      PPREF_CHECK_MSG(p >= 0.0, "negative insertion probability " << p);
+      sum += p;
+    }
+    PPREF_CHECK_MSG(std::abs(sum - 1.0) <= kRowSumTolerance,
+                    "row " << t << " sums to " << sum);
+  }
+}
+
+InsertionFunction InsertionFunction::Uniform(unsigned m) {
+  std::vector<std::vector<double>> rows(m);
+  for (unsigned t = 0; t < m; ++t) {
+    rows[t].assign(t + 1, 1.0 / static_cast<double>(t + 1));
+  }
+  return InsertionFunction(std::move(rows));
+}
+
+InsertionFunction InsertionFunction::Mallows(unsigned m, double phi) {
+  PPREF_CHECK_MSG(phi > 0.0 && phi <= 1.0, "Mallows dispersion must be in (0, 1], got "
+                                               << phi);
+  std::vector<std::vector<double>> rows(m);
+  for (unsigned t = 0; t < m; ++t) rows[t] = MallowsRow(t, phi);
+  return InsertionFunction(std::move(rows));
+}
+
+InsertionFunction InsertionFunction::GeneralizedMallows(
+    const std::vector<double>& phis) {
+  std::vector<std::vector<double>> rows(phis.size());
+  for (unsigned t = 0; t < phis.size(); ++t) {
+    PPREF_CHECK_MSG(phis[t] > 0.0 && phis[t] <= 1.0,
+                    "dispersion phi[" << t << "] = " << phis[t]
+                                      << " must be in (0, 1]");
+    rows[t] = MallowsRow(t, phis[t]);
+  }
+  return InsertionFunction(std::move(rows));
+}
+
+InsertionFunction InsertionFunction::Random(unsigned m, Rng& rng) {
+  std::vector<std::vector<double>> rows(m);
+  for (unsigned t = 0; t < m; ++t) {
+    rows[t].resize(t + 1);
+    double sum = 0.0;
+    for (unsigned j = 0; j <= t; ++j) {
+      // Strictly positive draws keep every ranking reachable.
+      rows[t][j] = 0.05 + rng.NextUnit();
+      sum += rows[t][j];
+    }
+    for (unsigned j = 0; j <= t; ++j) rows[t][j] /= sum;
+  }
+  return InsertionFunction(std::move(rows));
+}
+
+double InsertionFunction::Prob(unsigned t, unsigned j) const {
+  PPREF_CHECK(t < rows_.size());
+  PPREF_CHECK_MSG(j <= t, "slot " << j << " out of range for step " << t);
+  return rows_[t][j];
+}
+
+const std::vector<double>& InsertionFunction::Row(unsigned t) const {
+  PPREF_CHECK(t < rows_.size());
+  return rows_[t];
+}
+
+}  // namespace ppref::rim

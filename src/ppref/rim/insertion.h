@@ -1,0 +1,66 @@
+/// \file insertion.h
+/// \brief RIM insertion probability functions Π — §2.4 of the paper.
+///
+/// The paper's Π maps pairs (i, j), 1 <= j <= i <= m, to probabilities with
+/// Σ_j Π(i, j) = 1 for every i. In code everything is 0-based: when the t-th
+/// reference item (t in [0, m)) is inserted, it picks a slot j in [0, t],
+/// so row t has t+1 entries. Hence `Prob(t, j)` here equals the paper's
+/// Π(t+1, j+1).
+
+#ifndef PPREF_RIM_INSERTION_H_
+#define PPREF_RIM_INSERTION_H_
+
+#include <vector>
+
+#include "ppref/rim/ranking.h"
+
+namespace ppref {
+class Rng;
+}
+
+namespace ppref::rim {
+
+/// A lower-triangular table of insertion probabilities.
+class InsertionFunction {
+ public:
+  /// Builds from explicit rows; `rows[t]` must have t+1 non-negative entries
+  /// summing to 1 (within `kRowSumTolerance`).
+  explicit InsertionFunction(std::vector<std::vector<double>> rows);
+
+  /// The uniform insertion function over m items: Prob(t, j) = 1/(t+1).
+  /// Under this function RIM(σ, Π) is the uniform distribution over
+  /// rankings — the same as MAL(σ, 1) (used in the Lemma 4.6 reduction).
+  static InsertionFunction Uniform(unsigned m);
+
+  /// Doignon's insertion probabilities for the Mallows model MAL(σ, φ):
+  /// paper Π(i, j) = φ^{i-j} / (1 + φ + ... + φ^{i-1}), φ in (0, 1].
+  static InsertionFunction Mallows(unsigned m, double phi);
+
+  /// Generalized-Mallows / multistage-style insertion: a separate dispersion
+  /// φ_t in (0, 1] per reference position (phis.size() = m).
+  static InsertionFunction GeneralizedMallows(const std::vector<double>& phis);
+
+  /// A random insertion function (each row normalized from uniform draws);
+  /// exercises RIM beyond the Mallows family in tests and benchmarks.
+  static InsertionFunction Random(unsigned m, Rng& rng);
+
+  /// Number of items m.
+  unsigned size() const { return static_cast<unsigned>(rows_.size()); }
+
+  /// Probability that reference item t (0-based) is inserted into slot j,
+  /// 0 <= j <= t. Equals the paper's Π(t+1, j+1).
+  double Prob(unsigned t, unsigned j) const;
+
+  /// Full row for reference item t (t+1 entries).
+  const std::vector<double>& Row(unsigned t) const;
+
+  /// Tolerance for row-sum validation.
+  static constexpr double kRowSumTolerance = 1e-9;
+
+ private:
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace ppref::rim
+
+#endif  // PPREF_RIM_INSERTION_H_

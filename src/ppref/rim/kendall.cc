@@ -1,0 +1,63 @@
+#include "ppref/rim/kendall.h"
+
+#include <vector>
+
+#include "ppref/common/check.h"
+
+namespace ppref::rim {
+namespace {
+
+/// Counts inversions of `values` in O(n log n) with merge sort.
+std::uint64_t CountInversions(std::vector<Position>& values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0;
+  std::vector<Position> buffer(n);
+  std::uint64_t inversions = 0;
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::size_t i = lo, j = mid, k = lo;
+      while (i < mid && j < hi) {
+        if (values[i] <= values[j]) {
+          buffer[k++] = values[i++];
+        } else {
+          inversions += mid - i;  // values[i..mid) all exceed values[j]
+          buffer[k++] = values[j++];
+        }
+      }
+      while (i < mid) buffer[k++] = values[i++];
+      while (j < hi) buffer[k++] = values[j++];
+      for (std::size_t p = lo; p < hi; ++p) values[p] = buffer[p];
+    }
+  }
+  return inversions;
+}
+
+}  // namespace
+
+std::uint64_t KendallTau(const Ranking& tau, const Ranking& sigma) {
+  PPREF_CHECK(tau.size() == sigma.size());
+  // Walk sigma's order and record each item's position in tau; the number of
+  // inversions in that sequence is exactly the number of disagreeing pairs.
+  std::vector<Position> tau_positions(sigma.size());
+  for (Position p = 0; p < sigma.size(); ++p) {
+    tau_positions[p] = tau.PositionOf(sigma.At(p));
+  }
+  return CountInversions(tau_positions);
+}
+
+std::uint64_t KendallTauQuadratic(const Ranking& tau, const Ranking& sigma) {
+  PPREF_CHECK(tau.size() == sigma.size());
+  std::uint64_t disagreements = 0;
+  for (Position i = 0; i < sigma.size(); ++i) {
+    for (Position j = i + 1; j < sigma.size(); ++j) {
+      const ItemId a = sigma.At(i);
+      const ItemId b = sigma.At(j);
+      if (tau.PositionOf(b) < tau.PositionOf(a)) ++disagreements;
+    }
+  }
+  return disagreements;
+}
+
+}  // namespace ppref::rim

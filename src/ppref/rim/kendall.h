@@ -1,0 +1,27 @@
+/// \file kendall.h
+/// \brief Kendall's tau distance between rankings — §2.4.1, Eq. for d(τ, σ).
+///
+/// d(τ, σ) counts the item pairs on which the two rankings disagree. The
+/// library provides an O(m log m) merge-sort implementation and an O(m²)
+/// reference used by tests.
+
+#ifndef PPREF_RIM_KENDALL_H_
+#define PPREF_RIM_KENDALL_H_
+
+#include <cstdint>
+
+#include "ppref/rim/ranking.h"
+
+namespace ppref::rim {
+
+/// Kendall's tau distance in O(m log m) via inversion counting.
+/// Both rankings must be over the same number of items.
+std::uint64_t KendallTau(const Ranking& tau, const Ranking& sigma);
+
+/// Quadratic reference implementation (pairwise disagreement count),
+/// exactly the paper's definition; used to validate KendallTau.
+std::uint64_t KendallTauQuadratic(const Ranking& tau, const Ranking& sigma);
+
+}  // namespace ppref::rim
+
+#endif  // PPREF_RIM_KENDALL_H_

@@ -1,0 +1,33 @@
+#include "ppref/rim/mallows.h"
+
+#include <cmath>
+
+#include "ppref/common/check.h"
+#include "ppref/rim/kendall.h"
+
+namespace ppref::rim {
+
+MallowsModel::MallowsModel(Ranking reference, double phi)
+    : phi_(phi),
+      rim_(RimModel(reference,
+                    InsertionFunction::Mallows(reference.size(), phi))) {
+  PPREF_CHECK_MSG(phi > 0.0 && phi <= 1.0,
+                  "Mallows dispersion must be in (0, 1], got " << phi);
+}
+
+double MallowsModel::NormalizationConstant() const {
+  double z = 1.0;
+  for (unsigned i = 1; i <= size(); ++i) {
+    double term = 0.0;
+    for (unsigned k = 0; k < i; ++k) term += std::pow(phi_, static_cast<double>(k));
+    z *= term;
+  }
+  return z;
+}
+
+double MallowsModel::Probability(const Ranking& tau) const {
+  const auto distance = KendallTau(tau, reference());
+  return std::pow(phi_, static_cast<double>(distance)) / NormalizationConstant();
+}
+
+}  // namespace ppref::rim

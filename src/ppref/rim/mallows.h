@@ -1,0 +1,48 @@
+/// \file mallows.h
+/// \brief The Mallows model MAL(σ, φ) — §2.4.1 of the paper.
+///
+/// MAL(σ, φ) assigns Pr(τ) = φ^{d(τ,σ)} / Z with d the Kendall tau distance
+/// and Z = Π_{i=1..m} (1 + φ + ... + φ^{i-1}). Doignon showed Mallows is the
+/// RIM model with Π(i, j) = φ^{i-j} / (1 + ... + φ^{i-1}); `MallowsModel`
+/// exposes both views and they agree exactly (tested).
+
+#ifndef PPREF_RIM_MALLOWS_H_
+#define PPREF_RIM_MALLOWS_H_
+
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::rim {
+
+/// Convenience wrapper: a Mallows model with its closed-form pmf, plus the
+/// equivalent RIM model.
+class MallowsModel {
+ public:
+  /// `phi` must lie in (0, 1]; φ = 1 is the uniform distribution.
+  MallowsModel(Ranking reference, double phi);
+
+  /// Number of items m.
+  unsigned size() const { return rim_.size(); }
+
+  /// The dispersion parameter φ.
+  double phi() const { return phi_; }
+
+  /// The reference ranking σ.
+  const Ranking& reference() const { return rim_.reference(); }
+
+  /// The equivalent RIM(σ, Π) model with Doignon's insertion function.
+  const RimModel& rim() const { return rim_; }
+
+  /// The normalization constant Z(m, φ) = Π_{i=1..m} (1 + φ + … + φ^{i-1}).
+  double NormalizationConstant() const;
+
+  /// Closed-form probability φ^{d(τ, σ)} / Z.
+  double Probability(const Ranking& tau) const;
+
+ private:
+  double phi_;
+  RimModel rim_;
+};
+
+}  // namespace ppref::rim
+
+#endif  // PPREF_RIM_MALLOWS_H_

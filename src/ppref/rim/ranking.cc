@@ -1,0 +1,69 @@
+#include "ppref/rim/ranking.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "ppref/common/check.h"
+
+namespace ppref::rim {
+
+Ranking::Ranking(std::vector<ItemId> items) : order_(std::move(items)) {
+  RebuildPositions();
+}
+
+Ranking::Ranking(std::initializer_list<ItemId> items)
+    : Ranking(std::vector<ItemId>(items)) {}
+
+Ranking Ranking::Identity(unsigned m) {
+  std::vector<ItemId> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  return Ranking(std::move(order));
+}
+
+void Ranking::RebuildPositions() {
+  const auto m = order_.size();
+  position_.assign(m, static_cast<Position>(m));
+  for (std::size_t p = 0; p < m; ++p) {
+    PPREF_CHECK_MSG(order_[p] < m, "item id " << order_[p] << " out of range "
+                                              << m);
+    PPREF_CHECK_MSG(position_[order_[p]] == m,
+                    "item " << order_[p] << " occurs twice");
+    position_[order_[p]] = static_cast<Position>(p);
+  }
+}
+
+ItemId Ranking::At(Position position) const {
+  PPREF_CHECK(position < order_.size());
+  return order_[position];
+}
+
+Position Ranking::PositionOf(ItemId item) const {
+  PPREF_CHECK(item < position_.size());
+  return position_[item];
+}
+
+bool Ranking::Prefers(ItemId left, ItemId right) const {
+  return PositionOf(left) < PositionOf(right);
+}
+
+Ranking Ranking::Inserted(ItemId item, Position position) const {
+  PPREF_CHECK_MSG(item == size(), "RIM insertion must append item id "
+                                      << size() << ", got " << item);
+  PPREF_CHECK(position <= size());
+  std::vector<ItemId> order = order_;
+  order.insert(order.begin() + position, item);
+  return Ranking(std::move(order));
+}
+
+std::string Ranking::ToString() const {
+  std::ostringstream out;
+  out << "<";
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    if (p > 0) out << ", ";
+    out << order_[p];
+  }
+  out << ">";
+  return out.str();
+}
+
+}  // namespace ppref::rim

@@ -1,0 +1,84 @@
+/// \file ranking.h
+/// \brief Rankings (linear orders) over a finite item universe — §2.3 of the
+/// paper.
+///
+/// Items are dense integer ids `ItemId` in [0, m). Layers that deal with
+/// named items (the database layer) keep their own id <-> value dictionaries;
+/// the inference core works purely over ids.
+///
+/// A `Ranking` stores the linear order <σ_0, ..., σ_{m-1}> (most preferred
+/// first) together with the inverse permutation for O(1) position lookups,
+/// mirroring the paper's σ(τ) notation (positions here are 0-based).
+
+#ifndef PPREF_RIM_RANKING_H_
+#define PPREF_RIM_RANKING_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ppref::rim {
+
+/// Dense item identifier. Rankings over m items use ids 0..m-1.
+using ItemId = std::uint32_t;
+
+/// Position of an item within a ranking (0 = most preferred).
+using Position = std::uint32_t;
+
+/// A ranking (strict linear order) over items {0, ..., m-1}.
+class Ranking {
+ public:
+  /// Empty ranking over zero items.
+  Ranking() = default;
+
+  /// Builds a ranking from the order vector `items[p]` = item at position p.
+  /// The vector must be a permutation of {0, ..., items.size()-1}.
+  explicit Ranking(std::vector<ItemId> items);
+
+  /// Convenience list constructor: `Ranking({2, 0, 1})`.
+  Ranking(std::initializer_list<ItemId> items);
+
+  /// The identity ranking <0, 1, ..., m-1>.
+  static Ranking Identity(unsigned m);
+
+  /// Number of items.
+  unsigned size() const { return static_cast<unsigned>(order_.size()); }
+
+  /// Item at position `position` (0 = most preferred).
+  ItemId At(Position position) const;
+
+  /// Position of `item`; the paper's σ(item), 0-based.
+  Position PositionOf(ItemId item) const;
+
+  /// True iff `left` is preferred to `right` (left ≻ right): left appears
+  /// strictly earlier in the ranking.
+  bool Prefers(ItemId left, ItemId right) const;
+
+  /// The underlying order vector, most preferred first.
+  const std::vector<ItemId>& order() const { return order_; }
+
+  /// Returns a copy with `item` inserted so that it lands at position
+  /// `position`, shifting later items back (the RIM insertion step).
+  /// `item` must equal the current size (items are appended by id), and
+  /// `position <= size()`.
+  Ranking Inserted(ItemId item, Position position) const;
+
+  /// Renders as e.g. "<2, 0, 1>" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Ranking& a, const Ranking& b) {
+    return a.order_ == b.order_;
+  }
+  friend bool operator!=(const Ranking& a, const Ranking& b) { return !(a == b); }
+
+ private:
+  void RebuildPositions();
+
+  std::vector<ItemId> order_;       // order_[p] = item at position p
+  std::vector<Position> position_;  // position_[item] = p
+};
+
+}  // namespace ppref::rim
+
+#endif  // PPREF_RIM_RANKING_H_

@@ -1,0 +1,49 @@
+#include "ppref/rim/rim_model.h"
+
+#include "ppref/common/check.h"
+#include "ppref/common/combinatorics.h"
+
+namespace ppref::rim {
+
+RimModel::RimModel(Ranking reference, InsertionFunction insertion)
+    : reference_(std::move(reference)), insertion_(std::move(insertion)) {
+  PPREF_CHECK_MSG(reference_.size() == insertion_.size(),
+                  "reference ranking has " << reference_.size()
+                                           << " items but insertion function has "
+                                           << insertion_.size() << " rows");
+}
+
+std::vector<unsigned> RimModel::InsertionSlots(const Ranking& tau) const {
+  PPREF_CHECK(tau.size() == size());
+  std::vector<unsigned> slots(size());
+  for (unsigned t = 0; t < size(); ++t) {
+    const ItemId item = reference_.At(t);
+    // Slot = number of earlier-reference items that tau ranks above `item`.
+    unsigned slot = 0;
+    for (unsigned s = 0; s < t; ++s) {
+      if (tau.PositionOf(reference_.At(s)) < tau.PositionOf(item)) ++slot;
+    }
+    slots[t] = slot;
+  }
+  return slots;
+}
+
+double RimModel::Probability(const Ranking& tau) const {
+  double probability = 1.0;
+  const std::vector<unsigned> slots = InsertionSlots(tau);
+  for (unsigned t = 0; t < size(); ++t) {
+    probability *= insertion_.Prob(t, slots[t]);
+  }
+  return probability;
+}
+
+void RimModel::ForEachRanking(
+    const std::function<void(const Ranking&, double)>& visit) const {
+  ForEachPermutation(size(), [&](const std::vector<unsigned>& perm) {
+    std::vector<ItemId> order(perm.begin(), perm.end());
+    Ranking tau(std::move(order));
+    visit(tau, Probability(tau));
+  });
+}
+
+}  // namespace ppref::rim

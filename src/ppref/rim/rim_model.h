@@ -1,0 +1,57 @@
+/// \file rim_model.h
+/// \brief The Repeated Insertion Model RIM(σ, Π) — §2.4 of the paper.
+///
+/// A `RimModel` couples a reference ranking σ with an insertion function Π
+/// and exposes the distribution it defines over rnk(items(σ)): exact pmf,
+/// exhaustive enumeration (for oracles), and support for the inference
+/// algorithms in `ppref/infer/`.
+
+#ifndef PPREF_RIM_RIM_MODEL_H_
+#define PPREF_RIM_RIM_MODEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "ppref/rim/insertion.h"
+#include "ppref/rim/ranking.h"
+
+namespace ppref::rim {
+
+/// RIM(σ, Π): a probability distribution over the rankings of items(σ).
+class RimModel {
+ public:
+  /// `reference.size()` must equal `insertion.size()`.
+  RimModel(Ranking reference, InsertionFunction insertion);
+
+  /// Number of items m.
+  unsigned size() const { return reference_.size(); }
+
+  /// The reference ranking σ.
+  const Ranking& reference() const { return reference_; }
+
+  /// The insertion function Π.
+  const InsertionFunction& insertion() const { return insertion_; }
+
+  /// Exact probability of `tau` under the model: the product of the
+  /// insertion probabilities of the unique insertion sequence generating
+  /// `tau` (every insertion sequence yields a distinct ranking — §2.4).
+  double Probability(const Ranking& tau) const;
+
+  /// Reconstructs the insertion slots of `tau`: result[t] is the 0-based
+  /// slot the t-th reference item was inserted into — i.e. the number of
+  /// reference items σ_0..σ_{t-1} that `tau` places before σ_t.
+  std::vector<unsigned> InsertionSlots(const Ranking& tau) const;
+
+  /// Invokes `visit(tau, Probability(tau))` for all m! rankings. Exhaustive;
+  /// intended for test oracles and small benchmarks (m <= ~10).
+  void ForEachRanking(
+      const std::function<void(const Ranking&, double)>& visit) const;
+
+ private:
+  Ranking reference_;
+  InsertionFunction insertion_;
+};
+
+}  // namespace ppref::rim
+
+#endif  // PPREF_RIM_RIM_MODEL_H_

@@ -1,0 +1,16 @@
+#include "ppref/rim/sampler.h"
+
+namespace ppref::rim {
+
+Ranking SampleRanking(const RimModel& model, Rng& rng) {
+  std::vector<ItemId> order;
+  order.reserve(model.size());
+  for (unsigned t = 0; t < model.size(); ++t) {
+    const auto slot =
+        static_cast<std::ptrdiff_t>(rng.NextWeighted(model.insertion().Row(t)));
+    order.insert(order.begin() + slot, model.reference().At(t));
+  }
+  return Ranking(std::move(order));
+}
+
+}  // namespace ppref::rim

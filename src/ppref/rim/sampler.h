@@ -1,0 +1,21 @@
+/// \file sampler.h
+/// \brief Sampling random rankings from RIM(σ, Π) by running the generative
+/// insertion process of §2.4.
+
+#ifndef PPREF_RIM_SAMPLER_H_
+#define PPREF_RIM_SAMPLER_H_
+
+#include "ppref/common/random.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::rim {
+
+/// Draws one ranking from the model by inserting reference items in order,
+/// each into a slot drawn from the corresponding Π row. O(m²) per sample
+/// (vector insertions dominate), which is fine for the model sizes the exact
+/// algorithms target.
+Ranking SampleRanking(const RimModel& model, Rng& rng);
+
+}  // namespace ppref::rim
+
+#endif  // PPREF_RIM_SAMPLER_H_

@@ -1,0 +1,33 @@
+#include "ppref/common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace ppref {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  PPREF_CHECK(1 + 1 == 2);
+  PPREF_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(PPREF_CHECK(false), "PPREF_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgIncludesMessage) {
+  EXPECT_DEATH(PPREF_CHECK_MSG(2 < 1, "custom diagnostic " << 42),
+               "custom diagnostic 42");
+}
+
+TEST(CheckTest, ParseErrorCarriesMessage) {
+  ParseError error("unexpected token ';'");
+  EXPECT_STREQ(error.what(), "unexpected token ';'");
+}
+
+TEST(CheckTest, SchemaErrorCarriesMessage) {
+  SchemaError error("arity mismatch");
+  EXPECT_STREQ(error.what(), "arity mismatch");
+}
+
+}  // namespace
+}  // namespace ppref

@@ -1,0 +1,56 @@
+#include "ppref/common/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ppref {
+namespace {
+
+TEST(FactorialTest, SmallValues) {
+  EXPECT_EQ(Factorial(0), 1u);
+  EXPECT_EQ(Factorial(1), 1u);
+  EXPECT_EQ(Factorial(5), 120u);
+  EXPECT_EQ(Factorial(10), 3628800u);
+  EXPECT_EQ(Factorial(20), 2432902008176640000ull);
+}
+
+TEST(FactorialTest, OverflowIsRejected) {
+  EXPECT_DEATH(Factorial(21), "overflows");
+}
+
+TEST(FactorialTest, DoubleVariantMatchesExactForSmallN) {
+  for (unsigned n = 0; n <= 20; ++n) {
+    EXPECT_DOUBLE_EQ(FactorialAsDouble(n), static_cast<double>(Factorial(n)));
+  }
+}
+
+TEST(ForEachPermutationTest, VisitsExactlyAllPermutations) {
+  std::set<std::vector<unsigned>> seen;
+  ForEachPermutation(4, [&](const std::vector<unsigned>& perm) {
+    EXPECT_TRUE(seen.insert(perm).second) << "permutation visited twice";
+  });
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(ForEachPermutationTest, ZeroItemsVisitsEmptyPermutationOnce) {
+  unsigned count = 0;
+  ForEachPermutation(0, [&](const std::vector<unsigned>& perm) {
+    EXPECT_TRUE(perm.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ForEachPermutationTest, LexicographicOrder) {
+  std::vector<std::vector<unsigned>> visited;
+  ForEachPermutation(3, [&](const std::vector<unsigned>& perm) {
+    visited.push_back(perm);
+  });
+  ASSERT_EQ(visited.size(), 6u);
+  EXPECT_EQ(visited.front(), (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(visited.back(), (std::vector<unsigned>{2, 1, 0}));
+}
+
+}  // namespace
+}  // namespace ppref

@@ -1,0 +1,58 @@
+#include "ppref/common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace ppref {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextIndex(1000), b.NextIndex(1000));
+  }
+}
+
+TEST(RngTest, NextIndexStaysInBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextIndex(13), 13u);
+  }
+}
+
+TEST(RngTest, NextUnitStaysInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextWeightedRespectsZeroWeights) {
+  Rng rng(5);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, NextWeightedIsRoughlyProportional) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0, 3.0};
+  int hits = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.NextWeighted(weights) == 1) ++hits;
+  }
+  // Expected 0.75 within generous bounds (stddev ~0.003).
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.75, 0.02);
+}
+
+TEST(RngDeathTest, InvalidWeightsRejected) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextWeighted({0.0, 0.0}), "sum to zero");
+  EXPECT_DEATH(rng.NextWeighted({1.0, -0.5}), "negative weight");
+}
+
+}  // namespace
+}  // namespace ppref

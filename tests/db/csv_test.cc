@@ -1,0 +1,98 @@
+#include "ppref/db/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+namespace {
+
+TEST(CsvTest, SniffsValueKinds) {
+  const auto tuples = ParseCsv("Ann,34,2.5,\"BS\"");
+  ASSERT_EQ(tuples.size(), 1u);
+  ASSERT_EQ(tuples[0].size(), 4u);
+  EXPECT_EQ(tuples[0][0], Value("Ann"));  // unquoted non-number -> string
+  EXPECT_EQ(tuples[0][1], Value(34));
+  EXPECT_EQ(tuples[0][2], Value(2.5));
+  EXPECT_EQ(tuples[0][3], Value("BS"));
+}
+
+TEST(CsvTest, QuotedNumbersStayStrings) {
+  const auto tuples = ParseCsv("\"34\",34");
+  EXPECT_EQ(tuples[0][0], Value("34"));
+  EXPECT_EQ(tuples[0][1], Value(34));
+}
+
+TEST(CsvTest, EmptyFieldsAreNull) {
+  const auto tuples = ParseCsv("a,,c");
+  ASSERT_EQ(tuples[0].size(), 3u);
+  EXPECT_TRUE(tuples[0][1].is_null());
+}
+
+TEST(CsvTest, TrailingCommaYieldsTrailingNull) {
+  const auto tuples = ParseCsv("a,b,");
+  ASSERT_EQ(tuples[0].size(), 3u);
+  EXPECT_TRUE(tuples[0][2].is_null());
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  const auto tuples = ParseCsv("# header comment\n\na,1\n  \nb,2\n");
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0][0], Value("a"));
+  EXPECT_EQ(tuples[1][1], Value(2));
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  const auto tuples = ParseCsv("a,1\r\nb,2\r\n");
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[1][0], Value("b"));
+}
+
+TEST(CsvTest, EscapedQuotesInsideStrings) {
+  const auto tuples = ParseCsv("\"say \"\"hi\"\"\",x");
+  EXPECT_EQ(tuples[0][0], Value("say \"hi\""));
+}
+
+TEST(CsvTest, CommaInsideQuotedString) {
+  const auto tuples = ParseCsv("\"Oct, 5\",done");
+  ASSERT_EQ(tuples[0].size(), 2u);
+  EXPECT_EQ(tuples[0][0], Value("Oct, 5"));
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(ParseCsv("\"oops,1"), ParseError);
+}
+
+TEST(CsvTest, TextAfterQuotedFieldThrows) {
+  EXPECT_THROW(ParseCsv("\"a\"b,1"), ParseError);
+}
+
+TEST(CsvTest, LoadCsvChecksArity) {
+  Relation relation(RelationSignature({"a", "b"}));
+  LoadCsv(relation, "x,1\ny,2\n");
+  EXPECT_EQ(relation.size(), 2u);
+  EXPECT_THROW(LoadCsv(relation, "onlyone"), ParseError);
+}
+
+TEST(CsvTest, WriteThenParseRoundTrips) {
+  Relation relation(RelationSignature({"name", "age", "score"}));
+  relation.Add({Value("Ann"), Value(34), Value(2.5)});
+  relation.Add({Value("weird \"name\""), Value(-1), Value()});
+  relation.Add({Value("34"), Value(0), Value(1.25)});
+  const std::string csv = WriteCsv(relation);
+  const auto tuples = ParseCsv(csv);
+  ASSERT_EQ(tuples.size(), relation.size());
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(tuples[i], relation.tuples()[i]) << "row " << i;
+  }
+}
+
+TEST(CsvTest, NegativeAndScientificNumbers) {
+  const auto tuples = ParseCsv("-5,1e3,-2.5");
+  EXPECT_EQ(tuples[0][0], Value(-5));
+  EXPECT_EQ(tuples[0][1], Value(1000.0));
+  EXPECT_EQ(tuples[0][2], Value(-2.5));
+}
+
+}  // namespace
+}  // namespace ppref::db

@@ -1,0 +1,50 @@
+#include "ppref/db/database.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+namespace {
+
+TEST(DatabaseTest, InstancesCreatedForAllSymbols) {
+  const Database db(ElectionSchema());
+  EXPECT_EQ(db.Instance("Candidates").arity(), 4u);
+  EXPECT_EQ(db.Instance("Voters").arity(), 4u);
+  // P-instances store flattened tuples: session + lhs + rhs.
+  EXPECT_EQ(db.Instance("Polls").arity(), 4u);
+  EXPECT_TRUE(db.Instance("Polls").empty());
+}
+
+TEST(DatabaseTest, AddRoutesToInstances) {
+  Database db(ElectionSchema());
+  db.Add("Candidates", {"Clinton", "D", "F", "JD"});
+  EXPECT_EQ(db.Instance("Candidates").size(), 1u);
+  EXPECT_TRUE(
+      db.Instance("Candidates").Contains({"Clinton", "D", "F", "JD"}));
+}
+
+TEST(DatabaseTest, UnknownSymbolThrows) {
+  Database db(ElectionSchema());
+  EXPECT_THROW(db.Instance("Nope"), SchemaError);
+  EXPECT_THROW(db.Add("Nope", {Value(1)}), SchemaError);
+}
+
+TEST(DatabaseTest, ElectionDatabaseMatchesFigure1) {
+  const Database db = ElectionDatabase();
+  EXPECT_EQ(db.Instance("Candidates").size(), 4u);
+  EXPECT_EQ(db.Instance("Voters").size(), 3u);
+  // Three sessions of 4 candidates: 3 * C(4,2) = 18 pairwise tuples.
+  EXPECT_EQ(db.Instance("Polls").size(), 18u);
+  // Figure 1's highlighted tuple: in Ann's Oct-5 session Sanders > Clinton.
+  EXPECT_TRUE(
+      db.Instance("Polls").Contains({"Ann", "Oct-5", "Sanders", "Clinton"}));
+  EXPECT_FALSE(
+      db.Instance("Polls").Contains({"Ann", "Oct-5", "Clinton", "Sanders"}));
+  // Dave's session prefers Clinton to everyone.
+  EXPECT_TRUE(
+      db.Instance("Polls").Contains({"Dave", "Nov-5", "Clinton", "Trump"}));
+}
+
+}  // namespace
+}  // namespace ppref::db

@@ -1,0 +1,102 @@
+#include "ppref/db/preference_instance.h"
+
+#include <gtest/gtest.h>
+
+namespace ppref::db {
+namespace {
+
+class PreferenceInstanceTest : public ::testing::Test {
+ protected:
+  PreferenceInstanceTest() : db_(ElectionDatabase()) {}
+
+  const Relation& polls() const { return db_.Instance("Polls"); }
+  const PreferenceSignature& signature() const {
+    return db_.schema().PSignature("Polls");
+  }
+
+  Database db_;
+};
+
+TEST_F(PreferenceInstanceTest, SessionsAreDistinctBetaProjections) {
+  const auto sessions = Sessions(polls(), signature());
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(sessions[0], (Tuple{"Ann", "Oct-5"}));
+  EXPECT_EQ(sessions[1], (Tuple{"Bob", "Oct-5"}));
+  EXPECT_EQ(sessions[2], (Tuple{"Dave", "Nov-5"}));
+}
+
+TEST_F(PreferenceInstanceTest, ItemsCollectsBothSides) {
+  const auto items = Items(polls(), signature());
+  ASSERT_EQ(items.size(), 4u);
+  for (const char* name : {"Clinton", "Sanders", "Rubio", "Trump"}) {
+    EXPECT_NE(std::find(items.begin(), items.end(), Value(name)), items.end())
+        << name;
+  }
+}
+
+TEST_F(PreferenceInstanceTest, SessionPairsFilterBySession) {
+  const auto pairs = SessionPairs(polls(), signature(), {"Ann", "Oct-5"});
+  EXPECT_EQ(pairs.size(), 6u);  // C(4,2)
+  EXPECT_NE(std::find(pairs.begin(), pairs.end(),
+                      std::make_pair(Value("Sanders"), Value("Clinton"))),
+            pairs.end());
+}
+
+TEST_F(PreferenceInstanceTest, SessionRankingRecoversFigure1Orders) {
+  const auto ranking = SessionRanking(polls(), signature(), {"Ann", "Oct-5"});
+  ASSERT_TRUE(ranking.has_value());
+  EXPECT_EQ(*ranking, (std::vector<Value>{"Sanders", "Clinton", "Rubio",
+                                          "Trump"}));
+  const auto dave = SessionRanking(polls(), signature(), {"Dave", "Nov-5"});
+  ASSERT_TRUE(dave.has_value());
+  EXPECT_EQ(*dave,
+            (std::vector<Value>{"Clinton", "Rubio", "Sanders", "Trump"}));
+}
+
+TEST_F(PreferenceInstanceTest, PartialOrderIsNotARanking) {
+  Database db(ElectionSchema());
+  // Two comparisons over three items: Clinton and Rubio are incomparable,
+  // so the session holds a partial order that is not a ranking.
+  db.Add("Polls", {"Eve", "Oct-9", "Clinton", "Trump"});
+  db.Add("Polls", {"Eve", "Oct-9", "Rubio", "Trump"});
+  const auto ranking = SessionRanking(db.Instance("Polls"),
+                                      db.schema().PSignature("Polls"),
+                                      {"Eve", "Oct-9"});
+  EXPECT_FALSE(ranking.has_value());
+}
+
+TEST_F(PreferenceInstanceTest, TwoItemSessionIsARanking) {
+  Database db(ElectionSchema());
+  db.Add("Polls", {"Eve", "Oct-9", "Clinton", "Trump"});
+  const auto ranking = SessionRanking(db.Instance("Polls"),
+                                      db.schema().PSignature("Polls"),
+                                      {"Eve", "Oct-9"});
+  ASSERT_TRUE(ranking.has_value());
+  EXPECT_EQ(*ranking, (std::vector<Value>{"Clinton", "Trump"}));
+}
+
+TEST_F(PreferenceInstanceTest, CyclicPreferencesAreNotARanking) {
+  Database db(ElectionSchema());
+  db.Add("Polls", {"Eve", "Oct-9", "Clinton", "Trump"});
+  db.Add("Polls", {"Eve", "Oct-9", "Trump", "Rubio"});
+  db.Add("Polls", {"Eve", "Oct-9", "Rubio", "Clinton"});
+  const auto ranking = SessionRanking(db.Instance("Polls"),
+                                      db.schema().PSignature("Polls"),
+                                      {"Eve", "Oct-9"});
+  EXPECT_FALSE(ranking.has_value());
+}
+
+TEST_F(PreferenceInstanceTest, AddRankingAsPairsRoundTrips) {
+  Database db(ElectionSchema());
+  const std::vector<Value> order = {"Trump", "Rubio", "Clinton"};
+  AddRankingAsPairs(db, "Polls", {"Eve", "Oct-9"}, order);
+  EXPECT_EQ(db.Instance("Polls").size(), 3u);
+  const auto ranking = SessionRanking(db.Instance("Polls"),
+                                      db.schema().PSignature("Polls"),
+                                      {"Eve", "Oct-9"});
+  ASSERT_TRUE(ranking.has_value());
+  EXPECT_EQ(*ranking, order);
+}
+
+}  // namespace
+}  // namespace ppref::db

@@ -1,0 +1,102 @@
+#include "ppref/db/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace ppref::db {
+namespace {
+
+Relation MakeRelation() {
+  Relation r(RelationSignature({"a", "b"}));
+  r.Add({Value(1), Value("x")});
+  r.Add({Value(2), Value("y")});
+  return r;
+}
+
+TEST(RelationTest, AddAndContains) {
+  const Relation r = MakeRelation();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({Value(1), Value("x")}));
+  EXPECT_FALSE(r.Contains({Value(1), Value("y")}));
+}
+
+TEST(RelationTest, SetSemantics) {
+  Relation r = MakeRelation();
+  EXPECT_FALSE(r.Add({Value(1), Value("x")}));  // duplicate
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Add({Value(3), Value("z")}));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(RelationTest, IterationPreservesInsertionOrder) {
+  const Relation r = MakeRelation();
+  auto it = r.begin();
+  EXPECT_EQ((*it)[0], Value(1));
+  ++it;
+  EXPECT_EQ((*it)[0], Value(2));
+}
+
+TEST(RelationTest, ProjectDeduplicates) {
+  Relation r(RelationSignature({"a", "b"}));
+  r.Add({Value(1), Value("x")});
+  r.Add({Value(1), Value("y")});
+  r.Add({Value(2), Value("x")});
+  const auto projected = r.Project({0});
+  ASSERT_EQ(projected.size(), 2u);
+  EXPECT_EQ(projected[0], (Tuple{Value(1)}));
+  EXPECT_EQ(projected[1], (Tuple{Value(2)}));
+}
+
+TEST(RelationTest, ProjectReordersAttributes) {
+  const Relation r = MakeRelation();
+  const auto projected = r.Project({1, 0});
+  EXPECT_EQ(projected[0], (Tuple{Value("x"), Value(1)}));
+}
+
+TEST(RelationTest, MatchingIndicesFindAllOccurrences) {
+  Relation r(RelationSignature({"a", "b"}));
+  r.Add({Value(1), Value("x")});
+  r.Add({Value(2), Value("x")});
+  r.Add({Value(1), Value("y")});
+  EXPECT_EQ(r.MatchingIndices(0, Value(1)),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(r.MatchingIndices(1, Value("x")),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(r.MatchingIndices(0, Value(99)).empty());
+}
+
+TEST(RelationTest, IndexInvalidatedByMutation) {
+  Relation r(RelationSignature({"a"}));
+  r.Add({Value(1)});
+  EXPECT_EQ(r.MatchingIndices(0, Value(1)).size(), 1u);  // builds the index
+  r.Add({Value(1), });  // duplicate: no change
+  r.Add({Value(2)});
+  EXPECT_EQ(r.MatchingIndices(0, Value(2)).size(), 1u);  // rebuilt
+  EXPECT_EQ(r.MatchingIndices(0, Value(1)).size(), 1u);
+}
+
+TEST(RelationTest, CopiedRelationRebuildsItsOwnIndex) {
+  Relation r(RelationSignature({"a"}));
+  r.Add({Value(1)});
+  EXPECT_EQ(r.MatchingIndices(0, Value(1)).size(), 1u);
+  Relation copy = r;
+  copy.Add({Value(1), });  // dedup: unchanged
+  copy.Add({Value(5)});
+  EXPECT_EQ(copy.MatchingIndices(0, Value(5)).size(), 1u);
+  EXPECT_TRUE(r.MatchingIndices(0, Value(5)).empty());  // original untouched
+}
+
+TEST(RelationTest, IndexDistinguishesValueKinds) {
+  Relation r(RelationSignature({"a"}));
+  r.Add({Value(1)});
+  r.Add({Value("1")});
+  EXPECT_EQ(r.MatchingIndices(0, Value(1)).size(), 1u);
+  EXPECT_EQ(r.MatchingIndices(0, Value("1")).size(), 1u);
+}
+
+TEST(RelationDeathTest, ArityMismatchRejected) {
+  Relation r(RelationSignature({"a", "b"}));
+  EXPECT_DEATH(r.Add({Value(1)}), "arity");
+}
+
+}  // namespace
+}  // namespace ppref::db

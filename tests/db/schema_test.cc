@@ -1,0 +1,54 @@
+#include "ppref/db/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+
+namespace ppref::db {
+namespace {
+
+TEST(SchemaTest, DeclareAndQuerySymbols) {
+  PreferenceSchema schema;
+  schema.AddOSymbol("R", RelationSignature({"a", "b"}));
+  schema.AddPSymbol("P", PreferenceSignature(RelationSignature({"s"}), "l",
+                                             "r"));
+  EXPECT_TRUE(schema.HasSymbol("R"));
+  EXPECT_TRUE(schema.IsOSymbol("R"));
+  EXPECT_FALSE(schema.IsPSymbol("R"));
+  EXPECT_TRUE(schema.IsPSymbol("P"));
+  EXPECT_EQ(schema.Arity("R"), 2u);
+  EXPECT_EQ(schema.Arity("P"), 3u);
+  EXPECT_EQ(schema.OSymbols(), std::vector<std::string>{"R"});
+  EXPECT_EQ(schema.PSymbols(), std::vector<std::string>{"P"});
+}
+
+TEST(SchemaTest, DuplicateNameThrows) {
+  PreferenceSchema schema;
+  schema.AddOSymbol("R", RelationSignature({"a"}));
+  EXPECT_THROW(schema.AddOSymbol("R", RelationSignature({"b"})), SchemaError);
+  EXPECT_THROW(
+      schema.AddPSymbol("R", PreferenceSignature(RelationSignature(), "l", "r")),
+      SchemaError);
+}
+
+TEST(SchemaTest, UnknownSymbolThrows) {
+  const PreferenceSchema schema;
+  EXPECT_THROW(schema.OSignature("nope"), SchemaError);
+  EXPECT_THROW(schema.PSignature("nope"), SchemaError);
+  EXPECT_THROW(schema.Arity("nope"), SchemaError);
+}
+
+TEST(SchemaTest, ElectionSchemaMatchesFigure1) {
+  const PreferenceSchema schema = ElectionSchema();
+  EXPECT_EQ(schema.OSignature("Candidates"),
+            RelationSignature({"candidate", "party", "sex", "edu"}));
+  EXPECT_EQ(schema.OSignature("Voters"),
+            RelationSignature({"voter", "edu", "sex", "age"}));
+  const PreferenceSignature& polls = schema.PSignature("Polls");
+  EXPECT_EQ(polls.session(), RelationSignature({"voter", "date"}));
+  EXPECT_EQ(polls.lhs(), "lcand");
+  EXPECT_EQ(polls.rhs(), "rcand");
+}
+
+}  // namespace
+}  // namespace ppref::db

@@ -1,0 +1,62 @@
+#include "ppref/db/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace ppref::db {
+namespace {
+
+TEST(RelationSignatureTest, AttributesAndLookup) {
+  const RelationSignature sig({"candidate", "party", "sex", "edu"});
+  EXPECT_EQ(sig.size(), 4u);
+  EXPECT_EQ(sig.Attribute(1), "party");
+  EXPECT_EQ(sig.IndexOf("edu"), std::optional<unsigned>(3));
+  EXPECT_FALSE(sig.IndexOf("age").has_value());
+  EXPECT_EQ(sig.ToString(), "(candidate, party, sex, edu)");
+}
+
+TEST(RelationSignatureTest, EmptySignatureAllowed) {
+  const RelationSignature sig;
+  EXPECT_EQ(sig.size(), 0u);
+  EXPECT_EQ(sig.ToString(), "()");
+}
+
+TEST(RelationSignatureDeathTest, DuplicatesRejected) {
+  EXPECT_DEATH(RelationSignature({"a", "b", "a"}), "duplicate attribute");
+}
+
+TEST(RelationSignatureDeathTest, EmptyNameRejected) {
+  EXPECT_DEATH(RelationSignature({""}), "empty attribute");
+}
+
+TEST(PreferenceSignatureTest, PartsAndArity) {
+  const PreferenceSignature sig(RelationSignature({"voter", "date"}), "lcand",
+                                "rcand");
+  EXPECT_EQ(sig.session_arity(), 2u);
+  EXPECT_EQ(sig.arity(), 4u);
+  EXPECT_EQ(sig.lhs(), "lcand");
+  EXPECT_EQ(sig.rhs(), "rcand");
+  EXPECT_EQ(sig.ToString(), "(voter, date; lcand; rcand)");
+}
+
+TEST(PreferenceSignatureTest, EmptySessionSignature) {
+  // β may be empty: the instance stores at most one (anonymous) session.
+  const PreferenceSignature sig(RelationSignature(), "l", "r");
+  EXPECT_EQ(sig.session_arity(), 0u);
+  EXPECT_EQ(sig.arity(), 2u);
+  EXPECT_EQ(sig.ToString(), "(; l; r)");
+}
+
+TEST(PreferenceSignatureTest, FlattenedAppendsItemAttributes) {
+  const PreferenceSignature sig(RelationSignature({"voter"}), "l", "r");
+  EXPECT_EQ(sig.Flattened(), RelationSignature({"voter", "l", "r"}));
+}
+
+TEST(PreferenceSignatureDeathTest, CollidingAttributesRejected) {
+  EXPECT_DEATH(PreferenceSignature(RelationSignature({"a"}), "a", "r"),
+               "collides");
+  EXPECT_DEATH(PreferenceSignature(RelationSignature({"a"}), "l", "l"),
+               "must differ");
+}
+
+}  // namespace
+}  // namespace ppref::db

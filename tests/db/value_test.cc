@@ -1,0 +1,72 @@
+#include "ppref/db/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ppref::db {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(42).kind(), Value::Kind::kInt);
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_EQ(Value(2.5).kind(), Value::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").kind(), Value::Kind::kString);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(std::string("xyz")).AsString(), "xyz");
+}
+
+TEST(ValueTest, EqualityIsKindAware) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(1.0));  // int vs double
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_NE(Value(), Value(0));
+  EXPECT_EQ(Value("a"), Value(std::string("a")));
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  // Kind-major ordering: null < int < double < string (variant index order).
+  EXPECT_LT(Value(), Value(0));
+  EXPECT_LT(Value(5), Value(0.5));
+  EXPECT_LT(Value(1.5), Value("a"));
+  EXPECT_LT(Value(3), Value(7));
+  EXPECT_LT(Value("abc"), Value("abd"));
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value("Trump").ToString(), "'Trump'");
+}
+
+TEST(ValueTest, HashAgreesWithEquality) {
+  EXPECT_EQ(Value("x").Hash(), Value(std::string("x")).Hash());
+  EXPECT_EQ(Value(3).Hash(), Value(3).Hash());
+  // Different kinds of "same" payload should (almost surely) differ.
+  EXPECT_NE(Value().Hash(), Value(0).Hash());
+}
+
+TEST(ValueDeathTest, WrongKindAccessAborts) {
+  EXPECT_DEATH(Value("abc").AsInt(), "not int");
+  EXPECT_DEATH(Value(1).AsString(), "not string");
+  EXPECT_DEATH(Value(1).AsDouble(), "not double");
+}
+
+TEST(TupleTest, ToStringRendersAllValues) {
+  const Tuple tuple = {Value("Ann"), Value("Oct-5"), Value(3)};
+  EXPECT_EQ(ToString(tuple), "('Ann', 'Oct-5', 3)");
+  EXPECT_EQ(ToString(Tuple{}), "()");
+}
+
+TEST(TupleTest, HashSupportsUnorderedContainers) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert({Value(1), Value("a")});
+  set.insert({Value(1), Value("a")});
+  set.insert({Value(1), Value("b")});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppref::db

@@ -1,0 +1,141 @@
+#include "ppref/fit/mallows_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/rim/kendall.h"
+#include "ppref/rim/sampler.h"
+#include "test_util.h"
+
+namespace ppref::fit {
+namespace {
+
+using rim::Ranking;
+
+std::vector<Ranking> Draw(const rim::RimModel& model, unsigned n, Rng& rng) {
+  std::vector<Ranking> samples;
+  samples.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    samples.push_back(rim::SampleRanking(model, rng));
+  }
+  return samples;
+}
+
+TEST(MallowsExpectedDistanceTest, MatchesExhaustiveSum) {
+  for (double phi : {0.2, 0.5, 0.9, 1.0}) {
+    for (unsigned m : {2u, 3u, 4u, 5u}) {
+      const rim::MallowsModel mallows(Ranking::Identity(m), phi);
+      double brute = 0.0;
+      mallows.rim().ForEachRanking([&](const Ranking& tau, double prob) {
+        brute += prob * static_cast<double>(
+                            rim::KendallTau(tau, mallows.reference()));
+      });
+      ASSERT_NEAR(MallowsExpectedDistance(m, phi), brute, 1e-10)
+          << "m=" << m << " phi=" << phi;
+    }
+  }
+}
+
+TEST(MallowsExpectedDistanceTest, UniformLimitIsQuarterOfPairs) {
+  // φ = 1: every pair disagrees with probability 1/2 -> E[d] = m(m-1)/4.
+  for (unsigned m : {2u, 5u, 10u, 30u}) {
+    EXPECT_NEAR(MallowsExpectedDistance(m, 1.0), m * (m - 1) / 4.0, 1e-9);
+  }
+}
+
+TEST(MallowsExpectedDistanceTest, MonotoneInPhi) {
+  double previous = -1.0;
+  for (double phi : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double expected = MallowsExpectedDistance(8, phi);
+    EXPECT_GT(expected, previous);
+    previous = expected;
+  }
+}
+
+TEST(FitDispersionTest, InvertsExpectedDistance) {
+  for (double phi : {0.1, 0.35, 0.6, 0.85}) {
+    for (unsigned m : {4u, 8u, 16u}) {
+      const double target = MallowsExpectedDistance(m, phi);
+      EXPECT_NEAR(FitDispersion(m, target), phi, 1e-6)
+          << "m=" << m << " phi=" << phi;
+    }
+  }
+}
+
+TEST(FitDispersionTest, BoundaryTargets) {
+  EXPECT_DOUBLE_EQ(FitDispersion(5, 100.0), 1.0);  // >= uniform mean
+  EXPECT_LE(FitDispersion(5, 0.0), 1e-8);          // zero distance -> phi -> 0
+  EXPECT_DOUBLE_EQ(FitDispersion(1, 0.0), 1.0);    // single item
+}
+
+TEST(BordaConsensusTest, UnanimousSamplesReturnThatRanking) {
+  const Ranking tau({2, 0, 1});
+  EXPECT_EQ(BordaConsensus({tau, tau, tau}), tau);
+}
+
+TEST(BordaConsensusTest, MajorityOutvotesMinority) {
+  const Ranking majority({0, 1, 2});
+  const Ranking minority({2, 1, 0});
+  EXPECT_EQ(BordaConsensus({majority, majority, minority}), majority);
+}
+
+TEST(FitMallowsTest, RecoversPlantedModel) {
+  Rng rng(404);
+  const Ranking reference = ppref::testing::RandomReference(8, rng);
+  const double phi = 0.5;
+  const rim::MallowsModel planted(reference, phi);
+  const auto samples = Draw(planted.rim(), 4000, rng);
+  const MallowsFitResult fit = FitMallows(samples);
+  EXPECT_EQ(fit.reference, reference);
+  EXPECT_NEAR(fit.phi, phi, 0.05);
+}
+
+TEST(FitMallowsTest, NearUniformDataFitsLargePhi) {
+  Rng rng(405);
+  const rim::MallowsModel planted(Ranking::Identity(6), 1.0);
+  const auto samples = Draw(planted.rim(), 3000, rng);
+  const MallowsFitResult fit = FitMallows(samples);
+  EXPECT_GT(fit.phi, 0.9);
+}
+
+TEST(FitMallowsTest, ConcentratedDataFitsSmallPhi) {
+  Rng rng(406);
+  const rim::MallowsModel planted(Ranking::Identity(6), 0.1);
+  const auto samples = Draw(planted.rim(), 3000, rng);
+  const MallowsFitResult fit = FitMallows(samples);
+  EXPECT_EQ(fit.reference, Ranking::Identity(6));
+  EXPECT_LT(fit.phi, 0.2);
+}
+
+TEST(FitGeneralizedMallowsTest, RecoversPerStepDispersions) {
+  Rng rng(407);
+  const unsigned m = 6;
+  const std::vector<double> planted = {1.0, 0.2, 0.9, 0.4, 0.7, 0.3};
+  const rim::RimModel model(Ranking::Identity(m),
+                            rim::InsertionFunction::GeneralizedMallows(planted));
+  const auto samples = Draw(model, 8000, rng);
+  const auto fitted = FitGeneralizedMallows(samples, Ranking::Identity(m));
+  ASSERT_EQ(fitted.size(), m);
+  for (unsigned t = 1; t < m; ++t) {
+    EXPECT_NEAR(fitted[t], planted[t], 0.12) << "step " << t;
+  }
+}
+
+TEST(FitGeneralizedMallowsTest, StepZeroIsAlwaysOne) {
+  Rng rng(408);
+  const rim::MallowsModel planted(Ranking::Identity(4), 0.5);
+  const auto samples = Draw(planted.rim(), 100, rng);
+  EXPECT_DOUBLE_EQ(FitGeneralizedMallows(samples, Ranking::Identity(4))[0],
+                   1.0);
+}
+
+TEST(FitDeathTest, EmptySampleSetRejected) {
+  EXPECT_DEATH(FitMallows({}), "zero samples");
+}
+
+TEST(FitDeathTest, MixedSizesRejected) {
+  EXPECT_DEATH(BordaConsensus({Ranking({0, 1}), Ranking({0, 1, 2})}),
+               "different item sets");
+}
+
+}  // namespace
+}  // namespace ppref::fit

@@ -1,0 +1,151 @@
+#include "ppref/infer/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/rim/kendall.h"
+#include "ppref/rim/mallows.h"
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+using rim::InsertionFunction;
+using rim::Ranking;
+using rim::RimModel;
+
+TEST(AggregatesTest, ExpectedKendallMatchesBruteForce) {
+  Rng rng(211);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 2 + static_cast<unsigned>(rng.NextIndex(5));
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    const Ranking sigma = ppref::testing::RandomReference(m, rng);
+    double brute = 0.0;
+    model.ForEachRanking([&](const Ranking& tau, double prob) {
+      brute += prob * static_cast<double>(rim::KendallTau(tau, sigma));
+    });
+    ASSERT_NEAR(ExpectedKendallTau(model, sigma), brute, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(AggregatesTest, ExpectedKendallUniformIsHalfOfPairs) {
+  const unsigned m = 6;
+  const RimModel model(Ranking::Identity(m), InsertionFunction::Uniform(m));
+  // Every pair disagrees with probability 1/2: E[d] = C(m,2)/2.
+  EXPECT_NEAR(ExpectedKendallTau(model, Ranking::Identity(m)), 15.0 / 2.0,
+              1e-12);
+}
+
+TEST(AggregatesTest, ExpectedKendallToMallowsReferenceShrinksWithPhi) {
+  double previous = 100.0;
+  for (double phi : {1.0, 0.7, 0.4, 0.1}) {
+    const rim::MallowsModel mallows(Ranking::Identity(5), phi);
+    const double expected =
+        ExpectedKendallTau(mallows.rim(), Ranking::Identity(5));
+    EXPECT_LT(expected, previous) << "phi=" << phi;
+    previous = expected;
+  }
+}
+
+TEST(AggregatesTest, ModalRankingIsArgmaxOverAllRankings) {
+  Rng rng(223);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 2 + static_cast<unsigned>(rng.NextIndex(4));
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    const Ranking mode = ModalRanking(model);
+    const double mode_prob = model.Probability(mode);
+    model.ForEachRanking([&](const Ranking& tau, double prob) {
+      ASSERT_LE(prob, mode_prob + 1e-12) << tau.ToString();
+    });
+  }
+}
+
+TEST(AggregatesTest, MallowsModeIsTheReference) {
+  Rng rng(227);
+  const Ranking reference = ppref::testing::RandomReference(7, rng);
+  const rim::MallowsModel mallows(reference, 0.4);
+  EXPECT_EQ(ModalRanking(mallows.rim()), reference);
+}
+
+TEST(AggregatesTest, ExpectedPositionsMatchBruteForce) {
+  Rng rng(229);
+  const unsigned m = 5;
+  const RimModel model(ppref::testing::RandomReference(m, rng),
+                       InsertionFunction::Random(m, rng));
+  std::vector<double> brute(m, 0.0);
+  model.ForEachRanking([&](const Ranking& tau, double prob) {
+    for (rim::ItemId item = 0; item < m; ++item) {
+      brute[item] += prob * tau.PositionOf(item);
+    }
+  });
+  const std::vector<double> expected = ExpectedPositions(model);
+  for (rim::ItemId item = 0; item < m; ++item) {
+    EXPECT_NEAR(expected[item], brute[item], 1e-9) << "item " << item;
+  }
+}
+
+TEST(AggregatesTest, ExpectedPositionsSumToFixedTotal) {
+  // Positions are a permutation of 0..m-1 in every world, so the expected
+  // positions always sum to m(m-1)/2.
+  Rng rng(233);
+  const unsigned m = 8;
+  const RimModel model(ppref::testing::RandomReference(m, rng),
+                       InsertionFunction::Random(m, rng));
+  double total = 0.0;
+  for (double e : ExpectedPositions(model)) total += e;
+  EXPECT_NEAR(total, m * (m - 1) / 2.0, 1e-9);
+}
+
+TEST(AggregatesTest, ConsensusRecoversMallowsReference) {
+  Rng rng(239);
+  const Ranking reference = ppref::testing::RandomReference(6, rng);
+  const rim::MallowsModel mallows(reference, 0.5);
+  EXPECT_EQ(ConsensusByExpectedPosition(mallows.rim()), reference);
+}
+
+TEST(AggregatesTest, DistanceDistributionMatchesBruteForce) {
+  Rng rng(241);
+  for (int trial = 0; trial < 15; ++trial) {
+    const unsigned m = 2 + static_cast<unsigned>(rng.NextIndex(5));
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    std::vector<double> brute(m * (m - 1) / 2 + 1, 0.0);
+    model.ForEachRanking([&](const Ranking& tau, double prob) {
+      brute[rim::KendallTau(tau, model.reference())] += prob;
+    });
+    const auto exact = KendallDistanceDistribution(model);
+    ASSERT_EQ(exact.size(), brute.size());
+    for (std::size_t d = 0; d < brute.size(); ++d) {
+      ASSERT_NEAR(exact[d], brute[d], 1e-12) << "trial " << trial << " d=" << d;
+    }
+  }
+}
+
+TEST(AggregatesTest, DistanceDistributionConsistency) {
+  const rim::MallowsModel mallows(Ranking::Identity(8), 0.5);
+  const auto dist = KendallDistanceDistribution(mallows.rim());
+  // Sums to 1, and its mean reproduces ExpectedKendallTau.
+  double total = 0.0, mean = 0.0;
+  for (std::size_t d = 0; d < dist.size(); ++d) {
+    total += dist[d];
+    mean += d * dist[d];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(mean, ExpectedKendallTau(mallows.rim(), Ranking::Identity(8)),
+              1e-9);
+  // Mallows: Pr(d) proportional to φ^d times the Mahonian count; ratio
+  // check at d = 0, 1: Pr(1)/Pr(0) = (m-1)·φ.
+  EXPECT_NEAR(dist[1] / dist[0], 7 * 0.5, 1e-9);
+}
+
+TEST(AggregatesTest, ConsensusOnUniformIsSomePermutation) {
+  const unsigned m = 4;
+  const RimModel model(Ranking({2, 0, 3, 1}), InsertionFunction::Uniform(m));
+  // All expected positions are equal; stable sort falls back to item ids.
+  EXPECT_EQ(ConsensusByExpectedPosition(model), Ranking::Identity(m));
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,149 @@
+#include "ppref/infer/conjunction.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/infer/matching.h"
+#include "ppref/infer/top_prob.h"
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+using rim::InsertionFunction;
+using rim::Ranking;
+using rim::RimModel;
+
+/// Brute-force Pr(a and b both match).
+double ConjunctionBrute(const rim::RimModel& model, const PatternInstance& a,
+                        const PatternInstance& b) {
+  double total = 0.0;
+  model.ForEachRanking([&](const Ranking& tau, double prob) {
+    if (Matches(a.pattern, a.labeling, tau) &&
+        Matches(b.pattern, b.labeling, tau)) {
+      total += prob;
+    }
+  });
+  return total;
+}
+
+PatternInstance RandomInstance(unsigned m, unsigned labels, Rng& rng) {
+  PatternInstance instance;
+  instance.labeling = ppref::testing::RandomLabeling(m, labels, 0.5, rng);
+  instance.pattern = ppref::testing::RandomDagPattern(labels, 0.5, rng);
+  return instance;
+}
+
+TEST(ConjunctionTest, MatchesBothInputsExactly) {
+  // A ranking matches Conjoin(a, b) iff it matches a and b.
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const PatternInstance a = RandomInstance(m, 2, rng);
+    const PatternInstance b = RandomInstance(m, 2, rng);
+    const PatternInstance joint = Conjoin(a, b);
+    const Ranking tau = ppref::testing::RandomReference(m, rng);
+    const bool expected = Matches(a.pattern, a.labeling, tau) &&
+                          Matches(b.pattern, b.labeling, tau);
+    ASSERT_EQ(Matches(joint.pattern, joint.labeling, tau), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(ConjunctionTest, ProbMatchesBruteForce) {
+  Rng rng(103);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    const PatternInstance a = RandomInstance(m, 2, rng);
+    const PatternInstance b = RandomInstance(m, 1, rng);
+    ASSERT_NEAR(ConjunctionProb(model, a, b), ConjunctionBrute(model, a, b),
+                1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ConjunctionTest, ConjunctionWithSelfSquaresNothing) {
+  // Pr(A ∧ A) = Pr(A): conjoining an instance with itself is idempotent in
+  // probability (the two matchings can pick identical items).
+  Rng rng(107);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 4;
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    const PatternInstance a = RandomInstance(m, 2, rng);
+    const double single =
+        PatternProb(LabeledRimModel(model, a.labeling), a.pattern);
+    ASSERT_NEAR(ConjunctionProb(model, a, a), single, 1e-9) << trial;
+  }
+}
+
+TEST(ConjunctionTest, EmptyInstanceIsNeutral) {
+  Rng rng(109);
+  const unsigned m = 4;
+  const RimModel model(ppref::testing::RandomReference(m, rng),
+                       InsertionFunction::Random(m, rng));
+  const PatternInstance a = RandomInstance(m, 2, rng);
+  PatternInstance empty;
+  empty.labeling = ItemLabeling(m);
+  const double single =
+      PatternProb(LabeledRimModel(model, a.labeling), a.pattern);
+  EXPECT_NEAR(ConjunctionProb(model, a, empty), single, 1e-12);
+  EXPECT_NEAR(ConjunctionProb(model, empty, a), single, 1e-12);
+}
+
+TEST(ConjunctionTest, ConditionalMatchesRatioDefinition) {
+  Rng rng(113);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 4;
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    const PatternInstance target = RandomInstance(m, 2, rng);
+    const PatternInstance given = RandomInstance(m, 1, rng);
+    const double given_prob =
+        PatternProb(LabeledRimModel(model, given.labeling), given.pattern);
+    const double conditional = ConditionalPatternProb(model, target, given);
+    if (given_prob == 0.0) {
+      EXPECT_DOUBLE_EQ(conditional, 0.0);
+    } else {
+      ASSERT_NEAR(conditional * given_prob,
+                  ConjunctionBrute(model, target, given), 1e-9)
+          << "trial " << trial;
+      EXPECT_GE(conditional, -1e-12);
+      EXPECT_LE(conditional, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(ConjunctionTest, ConditioningCanRaiseOrLowerProbability) {
+  // Under uniform: Pr(a>b | b>c)... conditioning on consistent info raises
+  // the chain probability above its prior.
+  const unsigned m = 3;
+  const RimModel model(Ranking::Identity(m), InsertionFunction::Uniform(m));
+  PatternInstance target;  // item0 above item1
+  target.labeling = ItemLabeling(m);
+  target.labeling.AddLabel(0, 0);
+  target.labeling.AddLabel(1, 1);
+  target.pattern.AddNode(0);
+  target.pattern.AddNode(1);
+  target.pattern.AddEdge(0, 1);
+  PatternInstance given;  // item0 above item2
+  given.labeling = ItemLabeling(m);
+  given.labeling.AddLabel(0, 0);
+  given.labeling.AddLabel(2, 1);
+  given.pattern.AddNode(0);
+  given.pattern.AddNode(1);
+  given.pattern.AddEdge(0, 1);
+  // Pr(0>1) = 1/2; Pr(0>1 | 0>2) = 2/3 under uniform over 3! rankings.
+  EXPECT_NEAR(ConditionalPatternProb(model, target, given), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConjunctionDeathTest, MismatchedUniversesRejected) {
+  PatternInstance a, b;
+  a.labeling = ItemLabeling(3);
+  b.labeling = ItemLabeling(4);
+  EXPECT_DEATH(Conjoin(a, b), "common item universe");
+}
+
+}  // namespace
+}  // namespace ppref::infer

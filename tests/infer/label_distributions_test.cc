@@ -1,0 +1,169 @@
+#include "ppref/infer/label_distributions.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/infer/matching.h"
+#include "ppref/infer/minmax_condition.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/infer/top_prob_minmax.h"
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+/// Brute-force joint distribution of (α, β) for one label.
+LabelPositionDistributions BruteLabelPositions(const LabeledRimModel& model,
+                                               LabelId label) {
+  const unsigned m = model.size();
+  LabelPositionDistributions result;
+  result.joint.assign(m, std::vector<double>(m, 0.0));
+  result.min_marginal.assign(m, 0.0);
+  result.max_marginal.assign(m, 0.0);
+  model.model().ForEachRanking([&](const rim::Ranking& tau, double prob) {
+    const MinMaxValues values =
+        RealizedMinMax(model.labeling(), tau, {label});
+    if (!values.min_position[0].has_value()) {
+      result.absent_prob += prob;
+      return;
+    }
+    const unsigned alpha = *values.min_position[0];
+    const unsigned beta = *values.max_position[0];
+    result.joint[alpha][beta] += prob;
+    result.min_marginal[alpha] += prob;
+    result.max_marginal[beta] += prob;
+  });
+  return result;
+}
+
+TEST(LabelDistributionsTest, JointMatchesBruteForce) {
+  Rng rng(311);
+  for (int trial = 0; trial < 30; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const auto model = ppref::testing::RandomLabeledRim(m, 2, 0.4, rng);
+    const auto exact = LabelPositions(model, 0);
+    const auto brute = BruteLabelPositions(model, 0);
+    for (unsigned i = 0; i < m; ++i) {
+      for (unsigned j = 0; j < m; ++j) {
+        ASSERT_NEAR(exact.joint[i][j], brute.joint[i][j], 1e-10)
+            << "trial " << trial << " (" << i << "," << j << ")";
+      }
+      ASSERT_NEAR(exact.min_marginal[i], brute.min_marginal[i], 1e-10);
+      ASSERT_NEAR(exact.max_marginal[i], brute.max_marginal[i], 1e-10);
+    }
+    ASSERT_NEAR(exact.absent_prob, brute.absent_prob, 1e-10);
+  }
+}
+
+TEST(LabelDistributionsTest, TotalMassIsOne) {
+  Rng rng(313);
+  const auto model = ppref::testing::RandomLabeledMallows(8, 0.6, 2, 0.3, rng);
+  const auto dist = LabelPositions(model, 1);
+  double total = dist.absent_prob;
+  for (const auto& row : dist.joint) {
+    for (double p : row) total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(LabelDistributionsTest, JointIsUpperTriangular) {
+  // α <= β always.
+  Rng rng(317);
+  const auto model = ppref::testing::RandomLabeledMallows(7, 0.5, 2, 0.5, rng);
+  const auto dist = LabelPositions(model, 0);
+  for (unsigned i = 0; i < 7; ++i) {
+    for (unsigned j = 0; j < i; ++j) {
+      EXPECT_DOUBLE_EQ(dist.joint[i][j], 0.0);
+    }
+  }
+}
+
+TEST(LabelDistributionsTest, AbsentLabelHasAllMassInAbsent) {
+  ItemLabeling labeling(4);
+  const LabeledRimModel model(
+      rim::RimModel(rim::Ranking::Identity(4),
+                    rim::InsertionFunction::Uniform(4)),
+      labeling);
+  const auto dist = LabelPositions(model, 99);
+  EXPECT_DOUBLE_EQ(dist.absent_prob, 1.0);
+}
+
+TEST(LabelDistributionsTest, SingletonLabelDiagonalMatchesPositionDp) {
+  // With one labeled item, α = β = the item's position: the diagonal equals
+  // the TopK increments.
+  Rng rng(331);
+  const unsigned m = 6;
+  ItemLabeling labeling(m);
+  labeling.AddLabel(3, 0);
+  const LabeledRimModel model(
+      rim::RimModel(ppref::testing::RandomReference(m, rng),
+                    rim::InsertionFunction::Random(m, rng)),
+      labeling);
+  const auto dist = LabelPositions(model, 0);
+  double cumulative = 0.0;
+  for (unsigned p = 0; p < m; ++p) {
+    EXPECT_DOUBLE_EQ(dist.joint[p][p], dist.min_marginal[p]);
+    cumulative += dist.min_marginal[p];
+    EXPECT_NEAR(MinMaxProb(model, {0}, TopK(0, p + 1)), cumulative, 1e-10);
+  }
+}
+
+TEST(LabelDistributionsTest, PatternConditionedJointMatchesBruteForce) {
+  Rng rng(347);
+  for (int trial = 0; trial < 25; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const auto model = ppref::testing::RandomLabeledRim(m, 3, 0.5, rng);
+    const auto pattern = ppref::testing::RandomDagPattern(2, 0.7, rng);
+    const auto exact = PatternLabelPositions(model, pattern, 2);
+    // Brute: restrict the sum to pattern-matching rankings.
+    LabelPositionDistributions brute;
+    brute.joint.assign(m, std::vector<double>(m, 0.0));
+    brute.min_marginal.assign(m, 0.0);
+    brute.max_marginal.assign(m, 0.0);
+    model.model().ForEachRanking([&](const rim::Ranking& tau, double prob) {
+      if (!Matches(pattern, model.labeling(), tau)) return;
+      const MinMaxValues values = RealizedMinMax(model.labeling(), tau, {2});
+      if (!values.min_position[0].has_value()) {
+        brute.absent_prob += prob;
+        return;
+      }
+      brute.joint[*values.min_position[0]][*values.max_position[0]] += prob;
+      brute.min_marginal[*values.min_position[0]] += prob;
+      brute.max_marginal[*values.max_position[0]] += prob;
+    });
+    for (unsigned i = 0; i < m; ++i) {
+      for (unsigned j = 0; j < m; ++j) {
+        ASSERT_NEAR(exact.joint[i][j], brute.joint[i][j], 1e-9)
+            << "trial " << trial;
+      }
+    }
+    ASSERT_NEAR(exact.absent_prob, brute.absent_prob, 1e-9);
+  }
+}
+
+TEST(LabelDistributionsTest, PatternConditionedMassEqualsPatternProb) {
+  Rng rng(349);
+  const auto model = ppref::testing::RandomLabeledMallows(6, 0.6, 3, 0.4, rng);
+  const auto pattern = ppref::testing::RandomDagPattern(2, 1.0, rng);
+  const auto dist = PatternLabelPositions(model, pattern, 2);
+  double total = dist.absent_prob;
+  for (const auto& row : dist.joint) {
+    for (double p : row) total += p;
+  }
+  EXPECT_NEAR(total, PatternProb(model, pattern), 1e-10);
+}
+
+TEST(LabelDistributionsTest, MarginalsAgreeWithMinMaxConditions) {
+  Rng rng(337);
+  const auto model = ppref::testing::RandomLabeledMallows(6, 0.7, 2, 0.4, rng);
+  const auto dist = LabelPositions(model, 0);
+  for (unsigned threshold = 0; threshold < 6; ++threshold) {
+    double from_dist = 0.0;
+    for (unsigned i = 0; i <= threshold; ++i) from_dist += dist.min_marginal[i];
+    EXPECT_NEAR(MinMaxProb(model, {0}, TopK(0, threshold + 1)), from_dist,
+                1e-10)
+        << "threshold " << threshold;
+  }
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,60 @@
+#include "ppref/infer/labeling.h"
+
+#include <gtest/gtest.h>
+
+namespace ppref::infer {
+namespace {
+
+TEST(LabelingTest, AddAndQueryLabels) {
+  ItemLabeling labeling(3);
+  labeling.AddLabel(0, 10);
+  labeling.AddLabel(0, 11);
+  labeling.AddLabel(2, 10);
+  EXPECT_TRUE(labeling.HasLabel(0, 10));
+  EXPECT_TRUE(labeling.HasLabel(0, 11));
+  EXPECT_FALSE(labeling.HasLabel(1, 10));
+  EXPECT_TRUE(labeling.LabelsOf(1).empty());
+  EXPECT_EQ(labeling.ItemsWith(10), (std::vector<rim::ItemId>{0, 2}));
+  EXPECT_EQ(labeling.ItemsWith(11), (std::vector<rim::ItemId>{0}));
+  EXPECT_TRUE(labeling.ItemsWith(99).empty());
+}
+
+TEST(LabelingTest, AddLabelIsIdempotent) {
+  ItemLabeling labeling(2);
+  labeling.AddLabel(1, 5);
+  labeling.AddLabel(1, 5);
+  EXPECT_EQ(labeling.LabelsOf(1).size(), 1u);
+}
+
+TEST(LabelingTest, LabelUniverseIsSortedAndDeduplicated) {
+  ItemLabeling labeling(3);
+  labeling.AddLabel(0, 30);
+  labeling.AddLabel(1, 10);
+  labeling.AddLabel(2, 30);
+  labeling.AddLabel(2, 20);
+  EXPECT_EQ(labeling.LabelUniverse(), (std::vector<LabelId>{10, 20, 30}));
+}
+
+TEST(LabelingTest, Example47Labeling) {
+  // Example 4.7: σ = <Sanders, Clinton, Rubio, Trump, Stein>, ids 0..4.
+  // l_R (Republican) = {Rubio, Trump}; l_F (Female) = {Clinton, Stein};
+  // l_B (BS degree) = {Trump} (per the figure's λ(Trump) = {l_R, l_B}).
+  constexpr LabelId kRep = 0, kFemale = 1, kBs = 2;
+  ItemLabeling labeling(5);
+  labeling.AddLabel(2, kRep);
+  labeling.AddLabel(3, kRep);
+  labeling.AddLabel(1, kFemale);
+  labeling.AddLabel(4, kFemale);
+  labeling.AddLabel(3, kBs);
+  EXPECT_EQ(labeling.ItemsWith(kRep), (std::vector<rim::ItemId>{2, 3}));
+  EXPECT_EQ(labeling.LabelsOf(3), (std::vector<LabelId>{kRep, kBs}));
+  EXPECT_EQ(labeling.LabelUniverse(), (std::vector<LabelId>{0, 1, 2}));
+}
+
+TEST(LabelingDeathTest, OutOfRangeItemRejected) {
+  ItemLabeling labeling(2);
+  EXPECT_DEATH(labeling.AddLabel(2, 0), "PPREF_CHECK");
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,94 @@
+#include "ppref/infer/linear_extensions.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/combinatorics.h"
+#include "ppref/common/random.h"
+
+namespace ppref::infer {
+namespace {
+
+TEST(LinearExtensionsTest, EmptyOrderCountsAllPermutations) {
+  for (unsigned n : {1u, 3u, 6u}) {
+    EXPECT_EQ(CountLinearExtensions(PartialOrder(n)), Factorial(n));
+  }
+}
+
+TEST(LinearExtensionsTest, TotalOrderHasExactlyOneExtension) {
+  PartialOrder order(5);
+  for (unsigned i = 0; i + 1 < 5; ++i) order.Add(i, i + 1);
+  order.Close();
+  EXPECT_EQ(CountLinearExtensions(order), 1u);
+}
+
+TEST(LinearExtensionsTest, SingleConstraintHalvesTheCount) {
+  PartialOrder order(4);
+  order.Add(0, 1);
+  EXPECT_EQ(CountLinearExtensions(order), 12u);  // 4! / 2
+}
+
+TEST(LinearExtensionsTest, TwoChains) {
+  // Chains 0 < 1 and 2 < 3: 4!/(2·2) = 6 extensions.
+  PartialOrder order(4);
+  order.Add(0, 1);
+  order.Add(2, 3);
+  EXPECT_EQ(CountLinearExtensions(order), 6u);
+}
+
+TEST(LinearExtensionsTest, VShapePoset) {
+  // 0 < 2 and 1 < 2 over three items: extensions = {012, 102} = 2.
+  PartialOrder order(3);
+  order.Add(0, 2);
+  order.Add(1, 2);
+  EXPECT_EQ(CountLinearExtensions(order), 2u);
+}
+
+TEST(LinearExtensionsTest, MatchesBruteForceOnRandomPosets) {
+  Rng rng(61);
+  for (int trial = 0; trial < 100; ++trial) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.NextIndex(6));
+    PartialOrder order(n);
+    for (unsigned a = 0; a < n; ++a) {
+      for (unsigned b = a + 1; b < n; ++b) {
+        if (rng.NextUnit() < 0.3) order.Add(a, b);  // forward edges: acyclic
+      }
+    }
+    order.Close();
+    ASSERT_EQ(CountLinearExtensions(order),
+              CountLinearExtensionsBruteForce(order))
+        << "trial " << trial;
+  }
+}
+
+TEST(LinearExtensionsTest, IsLinearExtensionChecksAllPairs) {
+  PartialOrder order(3);
+  order.Add(0, 1);
+  order.Close();
+  EXPECT_TRUE(order.IsLinearExtension(rim::Ranking({0, 1, 2})));
+  EXPECT_TRUE(order.IsLinearExtension(rim::Ranking({2, 0, 1})));
+  EXPECT_FALSE(order.IsLinearExtension(rim::Ranking({1, 0, 2})));
+}
+
+TEST(LinearExtensionsTest, CloseComputesTransitivePairs) {
+  PartialOrder order(3);
+  order.Add(0, 1);
+  order.Add(1, 2);
+  EXPECT_FALSE(order.Precedes(0, 2));
+  order.Close();
+  EXPECT_TRUE(order.Precedes(0, 2));
+}
+
+TEST(LinearExtensionsDeathTest, CycleDetectedOnClose) {
+  PartialOrder order(2);
+  order.Add(0, 1);
+  order.Add(1, 0);
+  EXPECT_DEATH(order.Close(), "cycle");
+}
+
+TEST(LinearExtensionsDeathTest, ReflexivePairRejected) {
+  PartialOrder order(2);
+  EXPECT_DEATH(order.Add(1, 1), "irreflexivity");
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,140 @@
+#include "ppref/infer/marginals.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/rim/mallows.h"
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+using rim::InsertionFunction;
+using rim::Ranking;
+using rim::RimModel;
+
+/// Brute-force Pr(a ≻ b) by full enumeration.
+double PairwiseBrute(const RimModel& model, rim::ItemId a, rim::ItemId b) {
+  double total = 0.0;
+  model.ForEachRanking([&](const Ranking& tau, double p) {
+    if (tau.Prefers(a, b)) total += p;
+  });
+  return total;
+}
+
+/// Brute-force position distribution.
+std::vector<double> PositionBrute(const RimModel& model, rim::ItemId item) {
+  std::vector<double> dist(model.size(), 0.0);
+  model.ForEachRanking([&](const Ranking& tau, double p) {
+    dist[tau.PositionOf(item)] += p;
+  });
+  return dist;
+}
+
+TEST(MarginalsTest, UniformModelPairwiseIsHalf) {
+  const RimModel model(Ranking::Identity(4), InsertionFunction::Uniform(4));
+  for (rim::ItemId a = 0; a < 4; ++a) {
+    for (rim::ItemId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_NEAR(PairwiseMarginal(model, a, b), 0.5, 1e-12);
+    }
+  }
+}
+
+TEST(MarginalsTest, PairwiseMatchesBruteForceOnRandomModels) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const unsigned m = 2 + static_cast<unsigned>(rng.NextIndex(5));
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    for (rim::ItemId a = 0; a < m; ++a) {
+      for (rim::ItemId b = 0; b < m; ++b) {
+        if (a == b) continue;
+        ASSERT_NEAR(PairwiseMarginal(model, a, b), PairwiseBrute(model, a, b),
+                    1e-10)
+            << "trial " << trial << " items " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(MarginalsTest, PairwiseMatrixIsComplementary) {
+  Rng rng(78);
+  const RimModel model(ppref::testing::RandomReference(5, rng),
+                       InsertionFunction::Random(5, rng));
+  const auto matrix = PairwiseMarginalMatrix(model);
+  for (unsigned a = 0; a < 5; ++a) {
+    EXPECT_DOUBLE_EQ(matrix[a][a], 0.0);
+    for (unsigned b = a + 1; b < 5; ++b) {
+      EXPECT_NEAR(matrix[a][b] + matrix[b][a], 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(MarginalsTest, MallowsFavorsReferenceOrder) {
+  const rim::MallowsModel mallows(Ranking({2, 0, 1}), 0.3);
+  // Reference ranks 2 above 0 above 1.
+  EXPECT_GT(PairwiseMarginal(mallows.rim(), 2, 0), 0.5);
+  EXPECT_GT(PairwiseMarginal(mallows.rim(), 0, 1), 0.5);
+  EXPECT_GT(PairwiseMarginal(mallows.rim(), 2, 1),
+            PairwiseMarginal(mallows.rim(), 2, 0));
+}
+
+TEST(MarginalsTest, PositionDistributionMatchesBruteForce) {
+  Rng rng(79);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 2 + static_cast<unsigned>(rng.NextIndex(5));
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    for (rim::ItemId item = 0; item < m; ++item) {
+      const auto exact = PositionDistribution(model, item);
+      const auto brute = PositionBrute(model, item);
+      ASSERT_EQ(exact.size(), brute.size());
+      for (unsigned p = 0; p < m; ++p) {
+        ASSERT_NEAR(exact[p], brute[p], 1e-10)
+            << "trial " << trial << " item " << item << " pos " << p;
+      }
+    }
+  }
+}
+
+TEST(MarginalsTest, PositionDistributionSumsToOne) {
+  Rng rng(80);
+  const RimModel model(ppref::testing::RandomReference(9, rng),
+                       InsertionFunction::Random(9, rng));
+  for (rim::ItemId item = 0; item < 9; ++item) {
+    const auto dist = PositionDistribution(model, item);
+    double sum = 0.0;
+    for (double p : dist) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(MarginalsTest, TopKProbIsMonotoneInK) {
+  Rng rng(81);
+  const RimModel model(ppref::testing::RandomReference(6, rng),
+                       InsertionFunction::Random(6, rng));
+  for (rim::ItemId item = 0; item < 6; ++item) {
+    double previous = 0.0;
+    for (unsigned k = 1; k <= 6; ++k) {
+      const double p = TopKProb(model, item, k);
+      EXPECT_GE(p, previous - 1e-15);
+      previous = p;
+    }
+    EXPECT_NEAR(previous, 1.0, 1e-12);  // k = m covers everything
+  }
+}
+
+TEST(MarginalsTest, TopKUniformIsKOverM) {
+  const RimModel model(Ranking::Identity(5), InsertionFunction::Uniform(5));
+  for (unsigned k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(TopKProb(model, 2, k), k / 5.0, 1e-12);
+  }
+}
+
+TEST(MarginalsDeathTest, PairwiseRequiresDistinctItems) {
+  const RimModel model(Ranking::Identity(3), InsertionFunction::Uniform(3));
+  EXPECT_DEATH(PairwiseMarginal(model, 1, 1), "PPREF_CHECK");
+}
+
+}  // namespace
+}  // namespace ppref::infer

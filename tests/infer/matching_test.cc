@@ -1,0 +1,155 @@
+#include "ppref/infer/matching.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+using rim::ItemId;
+using rim::Ranking;
+
+/// Example 4.7 fixture: items Sanders=0, Clinton=1, Rubio=2, Trump=3,
+/// Stein=4; labels l_R=0 (Republican: Rubio, Trump), l_F=1 (Female:
+/// Clinton, Stein), l_B=2 (BS: Trump). Pattern of Figure 4a:
+/// l_R1 -> l_B and l_F as separate node... The figure's pattern g has
+/// nodes l_R (twice in the text as l_R1/l_R2), l_F, l_B; we encode the
+/// matchings listed in the example: nodes {l_R, l_B, l_F} with edge
+/// l_R -> l_B (a Republican above a BS holder) and l_B -> l_F.
+struct Example47 {
+  ItemLabeling labeling{5};
+  LabelPattern pattern;
+  Ranking tau{2, 1, 0, 3, 4};  // <Rubio, Clinton, Sanders, Trump, Stein>
+
+  Example47() {
+    labeling.AddLabel(2, 0);  // Rubio: Republican
+    labeling.AddLabel(3, 0);  // Trump: Republican
+    labeling.AddLabel(1, 1);  // Clinton: Female
+    labeling.AddLabel(4, 1);  // Stein: Female
+    labeling.AddLabel(3, 2);  // Trump: BS
+    pattern.AddNode(0);       // node 0: l_R
+    pattern.AddNode(2);       // node 1: l_B
+    pattern.AddNode(1);       // node 2: l_F
+    pattern.AddEdge(0, 1);    // Republican above BS
+    pattern.AddEdge(1, 2);    // BS above Female
+  }
+};
+
+TEST(MatchingTest, IsMatchingChecksLabelsAndEdges) {
+  Example47 fx;
+  // Rubio(2) > Trump(3, BS) > Stein(4, F) in tau: valid.
+  EXPECT_TRUE(IsMatching(fx.pattern, fx.labeling, fx.tau, {2, 3, 4}));
+  // Trump as the Republican and Trump as BS simultaneously: needs
+  // Trump > Trump, which fails the edge check.
+  EXPECT_FALSE(IsMatching(fx.pattern, fx.labeling, fx.tau, {3, 3, 4}));
+  // Sanders is not a Republican: label check fails.
+  EXPECT_FALSE(IsMatching(fx.pattern, fx.labeling, fx.tau, {0, 3, 4}));
+  // Clinton(F) is above Trump(BS) in tau: edge check fails.
+  EXPECT_FALSE(IsMatching(fx.pattern, fx.labeling, fx.tau, {2, 3, 1}));
+}
+
+TEST(MatchingTest, AllMatchingsEnumeratesExactlyTheValidOnes) {
+  Example47 fx;
+  const auto all = AllMatchings(fx.pattern, fx.labeling, fx.tau);
+  // Valid matchings in tau = <Rubio, Clinton, Sanders, Trump, Stein>:
+  // (Rubio, Trump, Stein) only — Trump is the only BS item and the only
+  // Republican above it is Rubio, and the only Female below Trump is Stein.
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], (Matching{2, 3, 4}));
+}
+
+TEST(MatchingTest, TopMatchingAgreesWithBruteForceMinimum) {
+  // Property sweep: the greedy top matching equals the pointwise position
+  // minimum over all matchings, whenever any matching exists.
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(4));
+    const unsigned k = 1 + static_cast<unsigned>(rng.NextIndex(3));
+    const ItemLabeling labeling =
+        ppref::testing::RandomLabeling(m, k, 0.5, rng);
+    const LabelPattern pattern =
+        ppref::testing::RandomDagPattern(k, 0.5, rng);
+    const Ranking tau = ppref::testing::RandomReference(m, rng);
+
+    const auto all = AllMatchings(pattern, labeling, tau);
+    const auto top = TopMatching(pattern, labeling, tau);
+    EXPECT_EQ(Matches(pattern, labeling, tau), !all.empty());
+    if (all.empty()) {
+      EXPECT_FALSE(top.has_value());
+      continue;
+    }
+    ASSERT_TRUE(top.has_value());
+    // The top matching must itself be a matching...
+    EXPECT_TRUE(IsMatching(pattern, labeling, tau, *top));
+    // ...and pointwise position-minimal against every matching.
+    for (const Matching& gamma : all) {
+      for (unsigned node = 0; node < pattern.NodeCount(); ++node) {
+        EXPECT_LE(tau.PositionOf((*top)[node]), tau.PositionOf(gamma[node]))
+            << "trial " << trial << " node " << node;
+      }
+    }
+  }
+}
+
+TEST(MatchingTest, Example51TopMatching) {
+  Example47 fx;
+  const auto top = TopMatching(fx.pattern, fx.labeling, fx.tau);
+  ASSERT_TRUE(top.has_value());
+  // γ1 of Example 4.7 / 5.1: Rubio, (Trump as BS), Stein.
+  EXPECT_EQ(*top, (Matching{2, 3, 4}));
+}
+
+TEST(MatchingTest, EmptyPatternAlwaysMatches) {
+  const ItemLabeling labeling(3);
+  const LabelPattern pattern;
+  const Ranking tau({0, 1, 2});
+  EXPECT_TRUE(Matches(pattern, labeling, tau));
+  const auto top = TopMatching(pattern, labeling, tau);
+  ASSERT_TRUE(top.has_value());
+  EXPECT_TRUE(top->empty());
+  EXPECT_EQ(AllMatchings(pattern, labeling, tau).size(), 1u);
+}
+
+TEST(MatchingTest, AbsentLabelNeverMatches) {
+  ItemLabeling labeling(2);
+  labeling.AddLabel(0, 1);
+  LabelPattern pattern;
+  pattern.AddNode(7);  // label 7 occurs nowhere
+  const Ranking tau({0, 1});
+  EXPECT_FALSE(Matches(pattern, labeling, tau));
+  EXPECT_TRUE(AllMatchings(pattern, labeling, tau).empty());
+}
+
+TEST(MatchingTest, CyclicPatternNeverMatches) {
+  ItemLabeling labeling(2);
+  labeling.AddLabel(0, 0);
+  labeling.AddLabel(1, 1);
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  pattern.AddEdge(0, 1);
+  pattern.AddEdge(1, 0);
+  const Ranking tau({0, 1});
+  EXPECT_FALSE(Matches(pattern, labeling, tau));
+  EXPECT_TRUE(AllMatchings(pattern, labeling, tau).empty());
+}
+
+TEST(MatchingTest, SharedItemAcrossUnrelatedNodes) {
+  // Two disconnected nodes may map to the same item (γ3 of Example 4.7).
+  ItemLabeling labeling(2);
+  labeling.AddLabel(0, 0);
+  labeling.AddLabel(0, 1);
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  const Ranking tau({1, 0});
+  const auto top = TopMatching(pattern, labeling, tau);
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(*top, (Matching{0, 0}));
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,64 @@
+#include "ppref/infer/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/infer/top_prob.h"
+#include "ppref/infer/top_prob_minmax.h"
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+TEST(MonteCarloTest, ConvergesToExactPatternProb) {
+  Rng rng(71);
+  const auto model = ppref::testing::RandomLabeledMallows(8, 0.6, 2, 0.4, rng);
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  pattern.AddEdge(0, 1);
+  const double exact = PatternProb(model, pattern);
+  const McEstimate estimate = PatternProbMonteCarlo(model, pattern, 40000, rng);
+  EXPECT_NEAR(estimate.estimate, exact, 5 * estimate.std_error + 1e-3);
+}
+
+TEST(MonteCarloTest, StdErrorShrinksWithSamples) {
+  Rng rng(73);
+  const auto model = ppref::testing::RandomLabeledMallows(6, 0.8, 2, 0.5, rng);
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  const McEstimate small = PatternProbMonteCarlo(model, pattern, 100, rng);
+  const McEstimate large = PatternProbMonteCarlo(model, pattern, 10000, rng);
+  // Degenerate cases (p = 0 or 1) give zero std error; guard against them.
+  if (small.std_error > 0 && large.std_error > 0) {
+    EXPECT_LT(large.std_error, small.std_error);
+  }
+}
+
+TEST(MonteCarloTest, CertainEventEstimatesOne) {
+  Rng rng(79);
+  ItemLabeling labeling(4);
+  labeling.AddLabel(1, 0);
+  const LabeledRimModel model(
+      rim::RimModel(rim::Ranking::Identity(4),
+                    rim::InsertionFunction::Uniform(4)),
+      labeling);
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  const McEstimate estimate = PatternProbMonteCarlo(model, pattern, 500, rng);
+  EXPECT_DOUBLE_EQ(estimate.estimate, 1.0);
+  EXPECT_DOUBLE_EQ(estimate.std_error, 0.0);
+}
+
+TEST(MonteCarloTest, MinMaxEstimatorConvergesToExact) {
+  Rng rng(83);
+  const auto model = ppref::testing::RandomLabeledMallows(7, 0.5, 2, 0.5, rng);
+  const std::vector<LabelId> tracked = {0, 1};
+  const MinMaxCondition condition = AllBefore(0, 1);
+  const double exact = MinMaxProb(model, tracked, condition);
+  const McEstimate estimate = PatternMinMaxProbMonteCarlo(
+      model, LabelPattern{}, tracked, condition, 40000, rng);
+  EXPECT_NEAR(estimate.estimate, exact, 5 * estimate.std_error + 1e-3);
+}
+
+}  // namespace
+}  // namespace ppref::infer

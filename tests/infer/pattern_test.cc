@@ -1,0 +1,113 @@
+#include "ppref/infer/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ppref::infer {
+namespace {
+
+LabelPattern Chain(unsigned k) {
+  LabelPattern g;
+  for (unsigned i = 0; i < k; ++i) g.AddNode(i);
+  for (unsigned i = 0; i + 1 < k; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(PatternTest, NodesCarryLabels) {
+  LabelPattern g;
+  EXPECT_EQ(g.AddNode(10), 0u);
+  EXPECT_EQ(g.AddNode(20), 1u);
+  EXPECT_EQ(g.NodeLabel(0), 10u);
+  EXPECT_EQ(g.NodeLabel(1), 20u);
+  EXPECT_EQ(g.NodeOf(20), std::optional<unsigned>(1));
+  EXPECT_FALSE(g.NodeOf(99).has_value());
+}
+
+TEST(PatternTest, EdgesAndAdjacency) {
+  LabelPattern g = Chain(3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  EXPECT_EQ(g.Parents(1), std::vector<unsigned>{0});
+  EXPECT_EQ(g.Children(1), std::vector<unsigned>{2});
+  EXPECT_TRUE(g.Parents(0).empty());
+  EXPECT_TRUE(g.Children(2).empty());
+}
+
+TEST(PatternTest, ParallelEdgesIgnored) {
+  LabelPattern g = Chain(2);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(PatternTest, AcyclicityDetection) {
+  LabelPattern dag = Chain(4);
+  EXPECT_TRUE(dag.IsAcyclic());
+
+  LabelPattern cycle = Chain(3);
+  cycle.AddEdge(2, 0);
+  EXPECT_FALSE(cycle.IsAcyclic());
+  EXPECT_TRUE(cycle.TopologicalOrder().empty());
+}
+
+TEST(PatternTest, EmptyPatternIsAcyclic) {
+  EXPECT_TRUE(LabelPattern{}.IsAcyclic());
+}
+
+TEST(PatternTest, TopologicalOrderRespectsEdges) {
+  // Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  LabelPattern g;
+  for (unsigned i = 0; i < 4; ++i) g.AddNode(i);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](unsigned node) {
+    return std::find(order.begin(), order.end(), node) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(PatternTest, ReachabilityIsTransitive) {
+  LabelPattern g = Chain(4);
+  const auto reach = g.Reachability();
+  EXPECT_TRUE(reach[0][3]);
+  EXPECT_TRUE(reach[1][2]);
+  EXPECT_FALSE(reach[3][0]);
+  EXPECT_FALSE(reach[0][0]);  // no self-reachability in a chain
+}
+
+TEST(PatternTest, ReachabilityOnDisconnectedNodes) {
+  LabelPattern g;
+  g.AddNode(0);
+  g.AddNode(1);
+  const auto reach = g.Reachability();
+  EXPECT_FALSE(reach[0][1]);
+  EXPECT_FALSE(reach[1][0]);
+}
+
+TEST(PatternTest, ToStringMentionsEdges) {
+  LabelPattern g = Chain(2);
+  EXPECT_EQ(g.ToString(), "pattern(nodes=[0, 1], edges=[0->1])");
+}
+
+TEST(PatternDeathTest, DuplicateLabelRejected) {
+  LabelPattern g;
+  g.AddNode(7);
+  EXPECT_DEATH(g.AddNode(7), "already a node");
+}
+
+TEST(PatternDeathTest, SelfLoopRejected) {
+  LabelPattern g;
+  g.AddNode(0);
+  EXPECT_DEATH(g.AddEdge(0, 0), "self-loop");
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,219 @@
+#include "ppref/infer/top_prob_minmax.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/infer/brute_force.h"
+#include "ppref/infer/marginals.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/rim/mallows.h"
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+using rim::InsertionFunction;
+using rim::Ranking;
+using rim::RimModel;
+
+MinMaxCondition Always() {
+  return [](const MinMaxValues&) { return true; };
+}
+
+TEST(TopProbMinMaxTest, TrivialConditionReducesToPatternProb) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const unsigned k = 1 + static_cast<unsigned>(rng.NextIndex(2));
+    const auto model = ppref::testing::RandomLabeledRim(m, k + 1, 0.5, rng);
+    const auto pattern = ppref::testing::RandomDagPattern(k, 0.5, rng);
+    const std::vector<LabelId> tracked = {k};  // track an extra label
+    ASSERT_NEAR(PatternMinMaxProb(model, pattern, tracked, Always()),
+                PatternProb(model, pattern), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(TopProbMinMaxTest, MatchesBruteForceOnRandomConditions) {
+  // Condition: α(l0) <= threshold, over random models and patterns.
+  Rng rng(43);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const unsigned labels = 2 + static_cast<unsigned>(rng.NextIndex(2));
+    const unsigned k = static_cast<unsigned>(rng.NextIndex(3));  // 0..2 nodes
+    const auto model = ppref::testing::RandomLabeledRim(m, labels, 0.5, rng);
+    const auto pattern = ppref::testing::RandomDagPattern(k, 0.5, rng);
+    const std::vector<LabelId> tracked = {labels - 1, labels - 2};
+    const unsigned threshold = static_cast<unsigned>(rng.NextIndex(m));
+    const MinMaxCondition condition = [threshold](const MinMaxValues& v) {
+      return v.min_position[0].has_value() &&
+             *v.min_position[0] <= threshold;
+    };
+    ASSERT_NEAR(
+        PatternMinMaxProb(model, pattern, tracked, condition),
+        PatternMinMaxProbBruteForce(model, pattern, tracked, condition), 1e-9)
+        << "trial " << trial << " m=" << m << " k=" << k;
+  }
+}
+
+TEST(TopProbMinMaxTest, BetaConditionMatchesBruteForce) {
+  // Condition reads β: "the worst-ranked item with label 0 is above the
+  // best-ranked item with label 1" (AllBefore).
+  Rng rng(47);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const auto model = ppref::testing::RandomLabeledRim(m, 2, 0.5, rng);
+    const std::vector<LabelId> tracked = {0, 1};
+    const MinMaxCondition condition = AllBefore(0, 1);
+    ASSERT_NEAR(
+        MinMaxProb(model, tracked, condition),
+        PatternMinMaxProbBruteForce(model, LabelPattern{}, tracked, condition),
+        1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(TopProbMinMaxTest, TopKMatchesMarginalDp) {
+  // TopK over a singleton label equals the dedicated position-distribution
+  // cumulative.
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(5));
+    RimModel rim_model(ppref::testing::RandomReference(m, rng),
+                       InsertionFunction::Random(m, rng));
+    const rim::ItemId item = static_cast<rim::ItemId>(rng.NextIndex(m));
+    const unsigned k = 1 + static_cast<unsigned>(rng.NextIndex(m));
+    const double expected = TopKProb(rim_model, item, k);
+    ItemLabeling labeling(m);
+    labeling.AddLabel(item, 0);
+    const LabeledRimModel model(std::move(rim_model), std::move(labeling));
+    ASSERT_NEAR(MinMaxProb(model, {0}, TopK(0, k)), expected, 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(TopProbMinMaxTest, Section55EventsOnElectionModel) {
+  // §5.5 events over a 5-candidate model with party labels:
+  // Democrats = {0, 1}, Republicans = {2, 3}, Green = {4}.
+  const unsigned m = 5;
+  ItemLabeling labeling(m);
+  constexpr LabelId kDem = 0, kRep = 1, kGreen = 2;
+  labeling.AddLabel(0, kDem);
+  labeling.AddLabel(1, kDem);
+  labeling.AddLabel(2, kRep);
+  labeling.AddLabel(3, kRep);
+  labeling.AddLabel(4, kGreen);
+  const LabeledRimModel model(
+      RimModel(Ranking::Identity(m), InsertionFunction::Mallows(m, 0.5)),
+      labeling);
+  const std::vector<LabelId> tracked = {kDem, kRep, kGreen};
+
+  // Event 1: every Democrat above every Republican — β(D) < α(R).
+  const double event1 = MinMaxProb(model, tracked, AllBefore(0, 1));
+  // Event 5: every Green above every Republican and below every Democrat.
+  const double event5 = MinMaxProb(
+      model, tracked, And({AllBefore(2, 1), AllBefore(0, 2)}));
+  // Event 4: a Green among the bottom 3 — β(G) >= m-3.
+  const double event4 = MinMaxProb(model, tracked, BottomK(2, 3, m));
+
+  const double brute1 = PatternMinMaxProbBruteForce(model, LabelPattern{},
+                                                    tracked, AllBefore(0, 1));
+  const double brute5 = PatternMinMaxProbBruteForce(
+      model, LabelPattern{}, tracked, And({AllBefore(2, 1), AllBefore(0, 2)}));
+  const double brute4 = PatternMinMaxProbBruteForce(model, LabelPattern{},
+                                                    tracked, BottomK(2, 3, m));
+  EXPECT_NEAR(event1, brute1, 1e-10);
+  EXPECT_NEAR(event5, brute5, 1e-10);
+  EXPECT_NEAR(event4, brute4, 1e-10);
+  // Event 5 implies event 1's complement cannot both... sanity: event5 is
+  // contained in "every D above every G" — looser events dominate.
+  EXPECT_LE(event5, MinMaxProb(model, tracked, AllBefore(0, 2)) + 1e-12);
+  EXPECT_GT(event1, 0.0);
+  EXPECT_LT(event1, 1.0);
+}
+
+TEST(TopProbMinMaxTest, PatternAndConditionJointlyMatchBruteForce) {
+  // Joint pattern + condition sweep (the full Fig. 6 algorithm).
+  Rng rng(59);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned m = 4 + static_cast<unsigned>(rng.NextIndex(2));
+    const unsigned labels = 3;
+    const unsigned k = 1 + static_cast<unsigned>(rng.NextIndex(2));
+    const auto model = ppref::testing::RandomLabeledRim(m, labels, 0.5, rng);
+    const auto pattern = ppref::testing::RandomDagPattern(k, 0.7, rng);
+    const std::vector<LabelId> tracked = {2};
+    const unsigned bound = 1 + static_cast<unsigned>(rng.NextIndex(m - 1));
+    const MinMaxCondition condition = [bound](const MinMaxValues& v) {
+      // "no item labeled 2 below position bound" (vacuous if absent).
+      return !v.max_position[0].has_value() || *v.max_position[0] < bound;
+    };
+    ASSERT_NEAR(
+        PatternMinMaxProb(model, pattern, tracked, condition),
+        PatternMinMaxProbBruteForce(model, pattern, tracked, condition), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(TopProbMinMaxTest, AbsentLabelConditionsAreVacuousOrFalse) {
+  const unsigned m = 3;
+  ItemLabeling labeling(m);
+  labeling.AddLabel(0, 0);  // label 1 occurs nowhere
+  const LabeledRimModel model(
+      RimModel(Ranking::Identity(m), InsertionFunction::Uniform(m)), labeling);
+  const std::vector<LabelId> tracked = {0, 1};
+  EXPECT_NEAR(MinMaxProb(model, tracked, AllBefore(1, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(MinMaxProb(model, tracked, TopK(1, 3)), 0.0, 1e-12);
+  EXPECT_NEAR(MinMaxProb(model, tracked, BottomK(1, 3, m)), 0.0, 1e-12);
+}
+
+TEST(TopProbMinMaxTest, ExtendedBuildersMatchBruteForce) {
+  Rng rng(61);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned m = 4 + static_cast<unsigned>(rng.NextIndex(2));
+    const auto model = ppref::testing::RandomLabeledRim(m, 2, 0.5, rng);
+    const std::vector<LabelId> tracked = {0, 1};
+    for (const MinMaxCondition& condition :
+         {AllWithinTopK(0, 2), BestBeforeBest(0, 1), WorstBeforeWorst(1, 0),
+          Or({TopK(0, 1), TopK(1, 1)}), Not(AllBefore(0, 1))}) {
+      ASSERT_NEAR(MinMaxProb(model, tracked, condition),
+                  PatternMinMaxProbBruteForce(model, LabelPattern{}, tracked,
+                                              condition),
+                  1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(TopProbMinMaxTest, BuilderSemanticsOnConcreteValues) {
+  MinMaxValues values;
+  values.min_position = {std::optional<unsigned>(1),
+                         std::optional<unsigned>(2)};
+  values.max_position = {std::optional<unsigned>(3),
+                         std::optional<unsigned>(4)};
+  EXPECT_TRUE(BestBeforeBest(0, 1)(values));
+  EXPECT_FALSE(BestBeforeBest(1, 0)(values));
+  EXPECT_TRUE(WorstBeforeWorst(0, 1)(values));
+  EXPECT_TRUE(AllWithinTopK(0, 4)(values));
+  EXPECT_FALSE(AllWithinTopK(0, 3)(values));
+  EXPECT_TRUE(Or({TopK(0, 1), TopK(0, 2)})(values));
+  EXPECT_FALSE(Or({})(values));
+  EXPECT_TRUE(Not(TopK(0, 1))(values));
+
+  MinMaxValues absent;
+  absent.min_position = {std::nullopt, std::optional<unsigned>(0)};
+  absent.max_position = {std::nullopt, std::optional<unsigned>(0)};
+  EXPECT_TRUE(AllWithinTopK(0, 1)(absent));       // vacuous
+  EXPECT_FALSE(BestBeforeBest(0, 1)(absent));     // needs both
+  EXPECT_FALSE(WorstBeforeWorst(1, 0)(absent));
+}
+
+TEST(TopProbMinMaxTest, ConditionsComposeWithAnd) {
+  MinMaxValues values;
+  values.min_position = {std::optional<unsigned>(0)};
+  values.max_position = {std::optional<unsigned>(2)};
+  EXPECT_TRUE(And({TopK(0, 1), BottomK(0, 1, 3)})(values));
+  EXPECT_FALSE(And({TopK(0, 1), BottomK(0, 1, 5)})(values));
+  EXPECT_TRUE(And({})(values));
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,307 @@
+#include "ppref/infer/top_prob.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/infer/brute_force.h"
+#include "ppref/infer/marginals.h"
+#include "ppref/rim/mallows.h"
+#include "test_util.h"
+
+namespace ppref::infer {
+namespace {
+
+using rim::InsertionFunction;
+using rim::Ranking;
+using rim::RimModel;
+
+LabeledRimModel UniformLabeled(unsigned m, ItemLabeling labeling) {
+  return LabeledRimModel(RimModel(Ranking::Identity(m),
+                                  InsertionFunction::Uniform(m)),
+                         std::move(labeling));
+}
+
+TEST(TopProbTest, EmptyPatternHasProbabilityOne) {
+  const auto model = UniformLabeled(4, ItemLabeling(4));
+  EXPECT_DOUBLE_EQ(PatternProb(model, LabelPattern{}), 1.0);
+}
+
+TEST(TopProbTest, AbsentLabelHasProbabilityZero) {
+  const auto model = UniformLabeled(4, ItemLabeling(4));
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  EXPECT_DOUBLE_EQ(PatternProb(model, pattern), 0.0);
+}
+
+TEST(TopProbTest, PresentLabelHasProbabilityOne) {
+  ItemLabeling labeling(4);
+  labeling.AddLabel(2, 0);
+  const auto model = UniformLabeled(4, std::move(labeling));
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  EXPECT_NEAR(PatternProb(model, pattern), 1.0, 1e-12);
+}
+
+TEST(TopProbTest, CyclicPatternHasProbabilityZero) {
+  ItemLabeling labeling(3);
+  labeling.AddLabel(0, 0);
+  labeling.AddLabel(1, 1);
+  const auto model = UniformLabeled(3, std::move(labeling));
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  pattern.AddEdge(0, 1);
+  pattern.AddEdge(1, 0);
+  EXPECT_DOUBLE_EQ(PatternProb(model, pattern), 0.0);
+}
+
+TEST(TopProbTest, UniformChainOfSingletonLabelsIsOneOverFactorial) {
+  // Under the uniform distribution, a fixed relative order of k distinct
+  // items has probability 1/k!.
+  const unsigned m = 6;
+  ItemLabeling labeling(m);
+  labeling.AddLabel(1, 0);
+  labeling.AddLabel(3, 1);
+  labeling.AddLabel(5, 2);
+  const auto model = UniformLabeled(m, std::move(labeling));
+  LabelPattern chain;
+  chain.AddNode(0);
+  chain.AddNode(1);
+  chain.AddNode(2);
+  chain.AddEdge(0, 1);
+  chain.AddEdge(1, 2);
+  EXPECT_NEAR(PatternProb(model, chain), 1.0 / 6.0, 1e-12);
+}
+
+TEST(TopProbTest, SingleEdgeMatchesPairwiseMarginal) {
+  // Pattern a -> b over singleton labels must equal Pr(a ≻ b) from the
+  // dedicated marginal DP.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(5));
+    RimModel rim_model(ppref::testing::RandomReference(m, rng),
+                       InsertionFunction::Random(m, rng));
+    const rim::ItemId a = static_cast<rim::ItemId>(rng.NextIndex(m));
+    rim::ItemId b = static_cast<rim::ItemId>(rng.NextIndex(m));
+    if (b == a) b = (b + 1) % m;
+    ItemLabeling labeling(m);
+    labeling.AddLabel(a, 0);
+    labeling.AddLabel(b, 1);
+    const double marginal = PairwiseMarginal(rim_model, a, b);
+    const LabeledRimModel model(std::move(rim_model), std::move(labeling));
+    LabelPattern pattern;
+    pattern.AddNode(0);
+    pattern.AddNode(1);
+    pattern.AddEdge(0, 1);
+    ASSERT_NEAR(PatternProb(model, pattern), marginal, 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(TopProbTest, FullChainOverAllItemsIsPmfOfThatRanking) {
+  // Singleton labels on every item and a full chain pin the entire ranking,
+  // so the pattern probability equals the pmf of that ranking.
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const unsigned m = 4;
+    RimModel rim_model(ppref::testing::RandomReference(m, rng),
+                       InsertionFunction::Random(m, rng));
+    const Ranking target = ppref::testing::RandomReference(m, rng);
+    ItemLabeling labeling(m);
+    LabelPattern chain;
+    for (unsigned p = 0; p < m; ++p) {
+      labeling.AddLabel(target.At(p), p);
+      chain.AddNode(p);
+      if (p > 0) chain.AddEdge(p - 1, p);
+    }
+    const double pmf = rim_model.Probability(target);
+    const LabeledRimModel model(std::move(rim_model), std::move(labeling));
+    ASSERT_NEAR(PatternProb(model, chain), pmf, 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(TopProbTest, TopMatchingProbsArePartitionOfPatternProb) {
+  // Σ_γ p_γ over candidates = Pr(g), and each p_γ matches brute force.
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const unsigned k = 1 + static_cast<unsigned>(rng.NextIndex(3));
+    const auto model = ppref::testing::RandomLabeledRim(m, k, 0.5, rng);
+    const auto pattern = ppref::testing::RandomDagPattern(k, 0.6, rng);
+    double sum = 0.0;
+    for (const Matching& gamma : CandidateTopMatchings(model, pattern)) {
+      const double exact = TopMatchingProb(model, pattern, gamma);
+      const double brute = TopMatchingProbBruteForce(model, pattern, gamma);
+      ASSERT_NEAR(exact, brute, 1e-10)
+          << "trial " << trial << " gamma size " << gamma.size();
+      sum += exact;
+    }
+    ASSERT_NEAR(sum, PatternProbBruteForce(model, pattern), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+// Property sweep: PatternProb == brute force across model families,
+// dispersions, labeling densities and pattern shapes.
+struct SweepParams {
+  unsigned m;
+  unsigned labels;
+  double density;
+  double edge_density;
+};
+
+class PatternProbSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(PatternProbSweep, MatchesBruteForceOnMallows) {
+  const auto& p = GetParam();
+  Rng rng(100 + p.m * 7 + p.labels);
+  for (double phi : {0.3, 0.8, 1.0}) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const auto model =
+          ppref::testing::RandomLabeledMallows(p.m, phi, p.labels, p.density, rng);
+      const auto pattern =
+          ppref::testing::RandomDagPattern(p.labels, p.edge_density, rng);
+      const double exact = PatternProb(model, pattern);
+      const double brute = PatternProbBruteForce(model, pattern);
+      ASSERT_NEAR(exact, brute, 1e-9)
+          << "phi=" << phi << " trial=" << trial << " m=" << p.m
+          << " pattern=" << pattern.ToString();
+    }
+  }
+}
+
+TEST_P(PatternProbSweep, MatchesBruteForceOnGeneralRim) {
+  const auto& p = GetParam();
+  Rng rng(500 + p.m * 13 + p.labels);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto model =
+        ppref::testing::RandomLabeledRim(p.m, p.labels, p.density, rng);
+    const auto pattern =
+        ppref::testing::RandomDagPattern(p.labels, p.edge_density, rng);
+    ASSERT_NEAR(PatternProb(model, pattern),
+                PatternProbBruteForce(model, pattern), 1e-9)
+        << "trial=" << trial << " m=" << p.m << " pattern="
+        << pattern.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PatternProbSweep,
+    ::testing::Values(SweepParams{3, 1, 0.7, 0.5},   // tiny, single label
+                      SweepParams{4, 2, 0.5, 0.5},   // small, two labels
+                      SweepParams{5, 2, 0.4, 0.7},   // denser edges
+                      SweepParams{5, 3, 0.5, 0.5},   // three labels
+                      SweepParams{6, 3, 0.3, 0.4},   // sparse labels
+                      SweepParams{6, 2, 0.8, 0.2},   // dense labels, few edges
+                      SweepParams{7, 2, 0.3, 1.0},   // chains
+                      SweepParams{6, 4, 0.35, 0.5}));  // four-node patterns
+
+TEST(TopProbTest, InfeasibleGammaReturnsZero) {
+  ItemLabeling labeling(3);
+  labeling.AddLabel(0, 0);
+  labeling.AddLabel(1, 1);
+  const auto model = UniformLabeled(3, std::move(labeling));
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  pattern.AddEdge(0, 1);
+  // Wrong label for node 1.
+  EXPECT_DOUBLE_EQ(TopMatchingProb(model, pattern, {0, 0}), 0.0);
+  // Same item on both endpoints of an edge.
+  ItemLabeling both(3);
+  both.AddLabel(0, 0);
+  both.AddLabel(0, 1);
+  const auto model2 = UniformLabeled(3, std::move(both));
+  EXPECT_DOUBLE_EQ(TopMatchingProb(model2, pattern, {0, 0}), 0.0);
+}
+
+TEST(TopProbTest, SharedItemAcrossUnconnectedNodesIsCounted) {
+  // Two isolated nodes with labels both carried by one item: the pattern
+  // always matches (γ maps both nodes to that item).
+  ItemLabeling labeling(3);
+  labeling.AddLabel(1, 0);
+  labeling.AddLabel(1, 1);
+  const auto model = UniformLabeled(3, std::move(labeling));
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  EXPECT_NEAR(PatternProb(model, pattern), 1.0, 1e-12);
+}
+
+TEST(TopProbTest, MostProbableTopMatchingIsTheArgmax) {
+  Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const unsigned k = 1 + static_cast<unsigned>(rng.NextIndex(2));
+    const auto model = ppref::testing::RandomLabeledRim(m, k, 0.6, rng);
+    const auto pattern = ppref::testing::RandomDagPattern(k, 0.5, rng);
+    const auto best = MostProbableTopMatching(model, pattern);
+    double max_prob = 0.0;
+    for (const Matching& gamma : CandidateTopMatchings(model, pattern)) {
+      max_prob = std::max(max_prob, TopMatchingProb(model, pattern, gamma));
+    }
+    if (max_prob == 0.0) {
+      EXPECT_FALSE(best.has_value()) << "trial " << trial;
+    } else {
+      ASSERT_TRUE(best.has_value()) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(best->second, max_prob);
+      EXPECT_DOUBLE_EQ(TopMatchingProb(model, pattern, best->first),
+                       max_prob);
+    }
+  }
+}
+
+TEST(TopProbTest, MostProbableTopMatchingEdgeCases) {
+  const auto model = UniformLabeled(3, ItemLabeling(3));
+  // Empty pattern: the empty matching, probability 1.
+  const auto empty = MostProbableTopMatching(model, LabelPattern{});
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->first.empty());
+  EXPECT_DOUBLE_EQ(empty->second, 1.0);
+  // Absent label: no candidate.
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  EXPECT_FALSE(MostProbableTopMatching(model, pattern).has_value());
+}
+
+TEST(TopProbTest, PruningIsAnOptimizationNotASemanticChange) {
+  // Disabling candidate pruning must not change the result: pruned γ all
+  // have p_γ = 0 (the DP rejects them anyway).
+  Rng rng(19);
+  for (int trial = 0; trial < 25; ++trial) {
+    const unsigned m = 3 + static_cast<unsigned>(rng.NextIndex(3));
+    const unsigned k = 2 + static_cast<unsigned>(rng.NextIndex(2));
+    const auto model = ppref::testing::RandomLabeledRim(m, k, 0.6, rng);
+    const auto pattern = ppref::testing::RandomDagPattern(k, 0.7, rng);
+    PatternProbOptions unpruned;
+    unpruned.prune_candidates = false;
+    ASSERT_NEAR(PatternProb(model, pattern),
+                PatternProb(model, pattern, unpruned), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(TopProbTest, MonotoneInDispersionForAgreeingPattern) {
+  // Pattern agreeing with the reference order becomes more likely as φ
+  // decreases (mass concentrates near σ).
+  const unsigned m = 5;
+  ItemLabeling labeling(m);
+  labeling.AddLabel(0, 0);
+  labeling.AddLabel(4, 1);
+  LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  pattern.AddEdge(0, 1);  // item 0 (reference top) above item 4 (bottom)
+  double previous = 0.0;
+  for (double phi : {1.0, 0.8, 0.5, 0.2, 0.05}) {
+    const LabeledRimModel model(
+        RimModel(Ranking::Identity(m), InsertionFunction::Mallows(m, phi)),
+        labeling);
+    const double prob = PatternProb(model, pattern);
+    EXPECT_GT(prob, previous) << "phi=" << phi;
+    previous = prob;
+  }
+  EXPECT_GT(previous, 0.99);
+}
+
+}  // namespace
+}  // namespace ppref::infer

@@ -1,0 +1,97 @@
+#include "ppref/ppd/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/infer/marginals.h"
+
+namespace ppref::ppd {
+namespace {
+
+RimPreferenceInstance MakeInstance() {
+  RimPreferenceInstance instance(
+      db::PreferenceSignature(db::RelationSignature({"s"}), "l", "r"));
+  // Two sessions over {a, b, c} with opposite leanings, one tiny session
+  // over {a, d} only.
+  instance.AddSession({db::Value(1)},
+                      SessionModel::Mallows({"a", "b", "c"}, 0.3));
+  instance.AddSession({db::Value(2)},
+                      SessionModel::Mallows({"c", "b", "a"}, 0.3));
+  instance.AddSession({db::Value(3)}, SessionModel::Mallows({"a", "d"}, 1.0));
+  return instance;
+}
+
+TEST(AnalyticsTest, WinnerDistributionAveragesOverAllSessions) {
+  const auto instance = MakeInstance();
+  const auto winners = WinnerDistribution(instance);
+  ASSERT_EQ(winners.size(), 4u);  // a, b, c, d
+  // Hand-compute item a: sessions 1 and 2 are symmetric Mallows; session 3
+  // is uniform over 2 items -> Pr(a first) = 1/2.
+  const auto& [s1, m1] = instance.sessions()[0];
+  const auto& [s2, m2] = instance.sessions()[1];
+  const double expected_a = (infer::TopKProb(m1.model(), 0, 1) +
+                             infer::TopKProb(m2.model(), 2, 1) + 0.5) /
+                            3.0;
+  const auto a_it = std::find_if(winners.begin(), winners.end(),
+                                 [](const ItemStat& s) {
+                                   return s.item == db::Value("a");
+                                 });
+  ASSERT_NE(a_it, winners.end());
+  EXPECT_NEAR(a_it->value, expected_a, 1e-12);
+  EXPECT_EQ(a_it->supporting_sessions, 3u);
+  // d appears only in the third session: Pr = (0 + 0 + 1/2)/3.
+  const auto d_it = std::find_if(winners.begin(), winners.end(),
+                                 [](const ItemStat& s) {
+                                   return s.item == db::Value("d");
+                                 });
+  ASSERT_NE(d_it, winners.end());
+  EXPECT_NEAR(d_it->value, 0.5 / 3.0, 1e-12);
+  EXPECT_EQ(d_it->supporting_sessions, 1u);
+  // Sorted by decreasing probability.
+  for (std::size_t i = 1; i < winners.size(); ++i) {
+    EXPECT_GE(winners[i - 1].value, winners[i].value);
+  }
+}
+
+TEST(AnalyticsTest, WinnerProbabilitiesSumToOne) {
+  // Across the whole instance, sum over items of mean winner probability
+  // equals 1 (every session has exactly one winner).
+  const auto winners = WinnerDistribution(MakeInstance());
+  double total = 0.0;
+  for (const auto& stat : winners) total += stat.value;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(AnalyticsTest, MeanExpectedPositionsAverageOverSupportingSessions) {
+  const auto instance = MakeInstance();
+  const auto positions = MeanExpectedPositions(instance);
+  // Item b: symmetric sessions put its mean expected position at exactly 1.
+  const auto b_it = std::find_if(positions.begin(), positions.end(),
+                                 [](const ItemStat& s) {
+                                   return s.item == db::Value("b");
+                                 });
+  ASSERT_NE(b_it, positions.end());
+  EXPECT_NEAR(b_it->value, 1.0, 1e-12);
+  EXPECT_EQ(b_it->supporting_sessions, 2u);
+  // Sorted by increasing expected position.
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    EXPECT_LE(positions[i - 1].value, positions[i].value);
+  }
+}
+
+TEST(AnalyticsTest, ConsensusOrdersTheUnionOfItems) {
+  const auto consensus = CrossSessionConsensus(MakeInstance());
+  ASSERT_EQ(consensus.size(), 4u);
+  // Symmetric a-vs-c sessions tie near 1; d's only session is uniform over
+  // two items (expected position 0.5), so d leads.
+  EXPECT_EQ(consensus.front(), db::Value("d"));
+}
+
+TEST(AnalyticsTest, EmptyInstanceYieldsNoStats) {
+  RimPreferenceInstance instance(
+      db::PreferenceSignature(db::RelationSignature({"s"}), "l", "r"));
+  EXPECT_TRUE(WinnerDistribution(instance).empty());
+  EXPECT_TRUE(CrossSessionConsensus(instance).empty());
+}
+
+}  // namespace
+}  // namespace ppref::ppd

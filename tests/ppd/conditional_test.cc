@@ -1,0 +1,99 @@
+#include "ppref/ppd/conditional.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/query/eval.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::ppd {
+namespace {
+
+class ConditionalTest : public ::testing::Test {
+ protected:
+  ConditionalTest() : ppd_(ElectionPpd()) {}
+  query::ConjunctiveQuery Parse(const std::string& text) const {
+    return query::ParseQuery(text, ppd_.schema());
+  }
+
+  /// Brute-force Pr(first ∧ second) over worlds.
+  double ConjunctionBrute(const query::ConjunctiveQuery& first,
+                          const query::ConjunctiveQuery& second) const {
+    double total = 0.0;
+    ForEachWorld(ppd_, 1e6, [&](const db::Database& world, double prob) {
+      if (query::IsSatisfiable(first, world) &&
+          query::IsSatisfiable(second, world)) {
+        total += prob;
+      }
+    });
+    return total;
+  }
+
+  RimPpd ppd_;
+};
+
+TEST_F(ConditionalTest, ConjunctionMatchesEnumerationSameSession) {
+  const auto a = Parse("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto b = Parse("Q() :- Polls('Ann', 'Oct-5'; 'Sanders'; 'Trump')");
+  EXPECT_NEAR(EvaluateBooleanConjunction(ppd_, a, b), ConjunctionBrute(a, b),
+              1e-10);
+}
+
+TEST_F(ConditionalTest, ConjunctionMatchesEnumerationCrossSession) {
+  const auto a = Parse("Q() :- Polls('Ann', 'Oct-5'; 'Trump'; 'Clinton')");
+  const auto b = Parse("Q() :- Polls('Bob', 'Oct-5'; 'Trump'; 'Sanders')");
+  const double conjunction = EvaluateBooleanConjunction(ppd_, a, b);
+  EXPECT_NEAR(conjunction, ConjunctionBrute(a, b), 1e-10);
+  // Cross-session events are independent: conjunction = product.
+  EXPECT_NEAR(conjunction,
+              EvaluateBoolean(ppd_, a) * EvaluateBoolean(ppd_, b), 1e-10);
+}
+
+TEST_F(ConditionalTest, ConjunctionWithItemVariables) {
+  const auto a = Parse(
+      "Q() :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _)");
+  const auto b = Parse(
+      "Q() :- Polls(v, d; l; 'Clinton'), Candidates(l, 'R', _, _)");
+  EXPECT_NEAR(EvaluateBooleanConjunction(ppd_, a, b), ConjunctionBrute(a, b),
+              1e-10);
+}
+
+TEST_F(ConditionalTest, ConditionalIsBayesConsistent) {
+  const auto target =
+      Parse("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto evidence =
+      Parse("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Trump')");
+  const double conditional = ConditionalConfidence(ppd_, target, evidence);
+  const double joint = ConjunctionBrute(target, evidence);
+  const double p_evidence = EvaluateBoolean(ppd_, evidence);
+  EXPECT_NEAR(conditional, joint / p_evidence, 1e-10);
+  // Positive correlation: both events favor Clinton high.
+  EXPECT_GT(conditional, EvaluateBoolean(ppd_, target));
+}
+
+TEST_F(ConditionalTest, ContradictoryEvidenceGivesZero) {
+  const auto target =
+      Parse("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto evidence =
+      Parse("Q() :- Polls('Eve', 'Oct-5'; 'Clinton'; 'Sanders')");
+  // No session (Eve, Oct-5): evidence has probability 0.
+  EXPECT_DOUBLE_EQ(ConditionalConfidence(ppd_, target, evidence), 0.0);
+}
+
+TEST_F(ConditionalTest, ConditioningOnCertainEvidenceIsNeutral) {
+  const auto target =
+      Parse("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto certain = Parse("Q() :- Candidates(_, 'D', 'F', _)");
+  EXPECT_NEAR(ConditionalConfidence(ppd_, target, certain),
+              EvaluateBoolean(ppd_, target), 1e-10);
+}
+
+TEST_F(ConditionalTest, MutuallyExclusiveEventsConjoinToZero) {
+  const auto a = Parse("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto b = Parse("Q() :- Polls('Ann', 'Oct-5'; 'Sanders'; 'Clinton')");
+  EXPECT_NEAR(EvaluateBooleanConjunction(ppd_, a, b), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

@@ -1,0 +1,59 @@
+#include "ppref/ppd/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/query/parser.h"
+#include "query/paper_queries.h"
+
+namespace ppref::ppd {
+namespace {
+
+using ppref::testing::ParsePaperQuery;
+
+TEST(ExplainTest, ItemwisePlanShowsReduction) {
+  const RimPpd ppd = ElectionPpd();
+  const std::string plan =
+      ExplainQuery(ppd, ParsePaperQuery(ppref::testing::kQ3));
+  EXPECT_NE(plan.find("itemwise: yes"), std::string::npos);
+  EXPECT_NE(plan.find("Section 4.4 reduction"), std::string::npos);
+  EXPECT_NE(plan.find("('Ann', 'Oct-5')"), std::string::npos);
+  // Example 4.9: only Clinton potentially matches l in every session.
+  EXPECT_NE(plan.find("potential matches {'Clinton'}"), std::string::npos);
+  EXPECT_NE(plan.find("result: conf = 0.972102"), std::string::npos);
+}
+
+TEST(ExplainTest, HardQueryPlanNamesTheFallback) {
+  const RimPpd ppd = ElectionPpd();
+  const std::string plan =
+      ExplainQuery(ppd, ParsePaperQuery(ppref::testing::kQ2));
+  EXPECT_NE(plan.find("itemwise: no"), std::string::npos);
+  EXPECT_NE(plan.find("possible-world enumeration"), std::string::npos);
+}
+
+TEST(ExplainTest, DeterministicPlan) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery("Q() :- Candidates(_, 'D', 'F', _)",
+                                   ppd.schema());
+  const std::string plan = ExplainQuery(ppd, q);
+  EXPECT_NE(plan.find("deterministic evaluation"), std::string::npos);
+  EXPECT_NE(plan.find("conf = 1"), std::string::npos);
+}
+
+TEST(ExplainTest, NonBooleanPlan) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery(
+      "Q(l) :- Polls('Ann', 'Oct-5'; l; 'Trump')", ppd.schema());
+  const std::string plan = ExplainQuery(ppd, q);
+  EXPECT_NE(plan.find("possibility database"), std::string::npos);
+}
+
+TEST(ExplainTest, UnsatisfiableSessionIsCalledOut) {
+  const RimPpd ppd = ElectionPpd();
+  const std::string plan =
+      ExplainQuery(ppd, ParsePaperQuery(ppref::testing::kQ1));
+  // Bob's session fails the voter-education check.
+  EXPECT_NE(plan.find("o-atoms unsatisfiable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

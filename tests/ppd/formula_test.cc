@@ -1,0 +1,135 @@
+#include "ppref/ppd/formula.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+#include "ppref/ppd/conditional.h"
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/query/eval.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::ppd {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  FormulaTest() : ppd_(ElectionPpd()) {}
+  QueryFormula Atom(const std::string& text) const {
+    return QueryFormula::Atom(query::ParseQuery(text, ppd_.schema()));
+  }
+
+  /// Brute-force formula probability by world enumeration.
+  double Brute(const QueryFormula& formula) const {
+    const auto atoms = formula.Atoms();
+    double total = 0.0;
+    ForEachWorld(ppd_, 1e6, [&](const db::Database& world, double prob) {
+      std::vector<bool> assignment(atoms.size());
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        assignment[i] = query::IsSatisfiable(atoms[i], world);
+      }
+      if (formula.Evaluate(assignment)) total += prob;
+    });
+    return total;
+  }
+
+  RimPpd ppd_;
+};
+
+TEST_F(FormulaTest, SingleAtomReducesToEvaluateBoolean) {
+  const auto formula = Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  EXPECT_NEAR(EvaluateFormula(ppd_, formula),
+              EvaluateBoolean(ppd_, formula.Atoms()[0]), 1e-10);
+}
+
+TEST_F(FormulaTest, NegationIsComplement) {
+  const auto atom = Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  EXPECT_NEAR(EvaluateFormula(ppd_, QueryFormula::Not(atom)),
+              1.0 - EvaluateFormula(ppd_, atom), 1e-10);
+}
+
+TEST_F(FormulaTest, AndMatchesConditionalMachinery) {
+  const auto a = Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto b = Atom("Q() :- Polls('Ann', 'Oct-5'; 'Sanders'; 'Trump')");
+  EXPECT_NEAR(EvaluateFormula(ppd_, QueryFormula::And({a, b})),
+              EvaluateBooleanConjunction(ppd_, a.Atoms()[0], b.Atoms()[0]),
+              1e-10);
+}
+
+TEST_F(FormulaTest, ArbitraryCombinationsMatchEnumeration) {
+  const auto a = Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto b = Atom("Q() :- Polls('Bob', 'Oct-5'; 'Trump'; 'Sanders')");
+  const auto c = Atom(
+      "Q() :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _)");
+  const std::vector<QueryFormula> formulas = {
+      QueryFormula::And({a, QueryFormula::Not(b)}),
+      QueryFormula::Or({QueryFormula::And({a, b}), QueryFormula::Not(c)}),
+      QueryFormula::Not(QueryFormula::Or({a, b, c})),
+      QueryFormula::And(
+          {QueryFormula::Or({a, b}), QueryFormula::Or({b, c}),
+           QueryFormula::Not(QueryFormula::And({a, c}))}),
+  };
+  for (const QueryFormula& formula : formulas) {
+    EXPECT_NEAR(EvaluateFormula(ppd_, formula), Brute(formula), 1e-9)
+        << formula.ToString();
+  }
+}
+
+TEST_F(FormulaTest, RepeatedAtomsAreDeduplicated) {
+  const auto a = Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto formula = QueryFormula::And({a, a, QueryFormula::Or({a})});
+  EXPECT_EQ(formula.Atoms().size(), 1u);
+  EXPECT_NEAR(EvaluateFormula(ppd_, formula),
+              EvaluateBoolean(ppd_, a.Atoms()[0]), 1e-10);
+}
+
+TEST_F(FormulaTest, TautologyAndContradiction) {
+  const auto a = Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  EXPECT_NEAR(
+      EvaluateFormula(ppd_, QueryFormula::Or({a, QueryFormula::Not(a)})),
+      1.0, 1e-10);
+  EXPECT_NEAR(
+      EvaluateFormula(ppd_, QueryFormula::And({a, QueryFormula::Not(a)})),
+      0.0, 1e-10);
+}
+
+TEST_F(FormulaTest, DeterministicAtomsShortCircuitCorrectly) {
+  const auto certain = Atom("Q() :- Candidates(_, 'D', 'F', _)");
+  const auto uncertain =
+      Atom("Q() :- Polls('Ann', 'Oct-5'; 'Trump'; 'Clinton')");
+  // certain ∧ ¬uncertain = ¬uncertain.
+  EXPECT_NEAR(EvaluateFormula(ppd_, QueryFormula::And(
+                                        {certain, QueryFormula::Not(uncertain)})),
+              1.0 - EvaluateFormula(ppd_, uncertain), 1e-10);
+}
+
+TEST_F(FormulaTest, AtomCapIsEnforced) {
+  std::vector<QueryFormula> many;
+  for (int i = 0; i < 3; ++i) {
+    many.push_back(Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')"));
+  }
+  // Three copies of one atom dedupe to one: fine even with cap 1.
+  EXPECT_NO_THROW(EvaluateFormula(ppd_, QueryFormula::And(many), 1));
+  const auto distinct = QueryFormula::And(
+      {Atom("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')"),
+       Atom("Q() :- Polls('Bob', 'Oct-5'; 'Clinton'; 'Sanders')")});
+  EXPECT_THROW(EvaluateFormula(ppd_, distinct, 1), SchemaError);
+}
+
+TEST_F(FormulaTest, NonBooleanAtomRejected) {
+  EXPECT_THROW(
+      QueryFormula::Atom(query::ParseQuery(
+          "Q(l) :- Polls('Ann', 'Oct-5'; l; 'Trump')", ppd_.schema())),
+      SchemaError);
+}
+
+TEST_F(FormulaTest, ToStringShowsStructure) {
+  const auto a = Atom("Q() :- Candidates(_, 'D', 'F', _)");
+  const auto text =
+      QueryFormula::Not(QueryFormula::And({a, a})).ToString();
+  EXPECT_NE(text.find("NOT ("), std::string::npos);
+  EXPECT_NE(text.find(" AND "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

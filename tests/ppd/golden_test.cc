@@ -1,0 +1,56 @@
+/// Golden regression values for the running example (the canonical numbers
+/// recorded in EXPERIMENTS.md / E10). Any algorithmic change that shifts
+/// these beyond 1e-9 is a correctness regression, not noise.
+
+#include <gtest/gtest.h>
+
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/ppd/reduction.h"
+#include "ppref/ppd/splitting.h"
+#include "query/paper_queries.h"
+
+namespace ppref::ppd {
+namespace {
+
+using ppref::testing::ParsePaperQuery;
+
+TEST(GoldenTest, RunningExampleConfidences) {
+  const RimPpd ppd = ElectionPpd();
+  EXPECT_NEAR(EvaluateBoolean(ppd, ParsePaperQuery(ppref::testing::kQ1)),
+              0.318888085, 1e-9);
+  EXPECT_NEAR(
+      EvaluateBooleanByEnumeration(ppd, ParsePaperQuery(ppref::testing::kQ2)),
+      0.837830496, 1e-9);
+  EXPECT_NEAR(
+      EvaluateBooleanBySplitting(ppd, ParsePaperQuery(ppref::testing::kQ2)),
+      0.837830496, 1e-9);
+  EXPECT_NEAR(EvaluateBoolean(ppd, ParsePaperQuery(ppref::testing::kQ3)),
+              0.972102115, 1e-9);
+  EXPECT_NEAR(EvaluateBoolean(ppd, ParsePaperQuery(ppref::testing::kQ4)),
+              1.0, 1e-12);
+}
+
+TEST(GoldenTest, Q3PerSessionProbabilities) {
+  const RimPpd ppd = ElectionPpd();
+  const auto reductions =
+      ReduceItemwise(ppd, ParsePaperQuery(ppref::testing::kQ3));
+  ASSERT_EQ(reductions.size(), 3u);
+  EXPECT_NEAR(SessionProb(reductions[0]), 0.751410163, 1e-9);  // Ann
+  EXPECT_NEAR(SessionProb(reductions[1]), 0.209523810, 1e-9);  // Bob
+  EXPECT_NEAR(SessionProb(reductions[2]), 0.858029173, 1e-9);  // Dave
+}
+
+TEST(GoldenTest, AnnModelProbabilities) {
+  const RimPpd ppd = ElectionPpd();
+  const auto& ann = ppd.PInstance("Polls").sessions()[0].second;
+  // MAL(<Clinton, Sanders, Rubio, Trump>, 0.3): Pr(reference) = 1/Z.
+  EXPECT_NEAR(ann.model().Probability(rim::Ranking::Identity(4)),
+              0.390545823, 1e-9);
+  // Figure 1's ranking <Sanders, Clinton, Rubio, Trump> (distance 1).
+  EXPECT_NEAR(ann.model().Probability(rim::Ranking({1, 0, 2, 3})),
+              0.117163747, 1e-9);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

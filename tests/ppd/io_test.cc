@@ -1,0 +1,126 @@
+#include "ppref/ppd/io.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+#include "ppref/ppd/evaluator.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::ppd {
+namespace {
+
+void ExpectSamePpd(const RimPpd& a, const RimPpd& b) {
+  ASSERT_EQ(a.schema().OSymbols(), b.schema().OSymbols());
+  ASSERT_EQ(a.schema().PSymbols(), b.schema().PSymbols());
+  for (const std::string& symbol : a.schema().OSymbols()) {
+    ASSERT_EQ(a.OInstance(symbol).tuples(), b.OInstance(symbol).tuples())
+        << symbol;
+  }
+  for (const std::string& symbol : a.schema().PSymbols()) {
+    const auto& sa = a.PInstance(symbol).sessions();
+    const auto& sb = b.PInstance(symbol).sessions();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].first, sb[i].first);
+      EXPECT_EQ(sa[i].second.items(), sb[i].second.items());
+      EXPECT_EQ(sa[i].second.phi(), sb[i].second.phi());
+      // Insertion tables match exactly.
+      for (unsigned t = 0; t < sa[i].second.size(); ++t) {
+        for (unsigned j = 0; j <= t; ++j) {
+          ASSERT_DOUBLE_EQ(sa[i].second.model().insertion().Prob(t, j),
+                           sb[i].second.model().insertion().Prob(t, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(PpdIoTest, ElectionRoundTrip) {
+  const RimPpd original = ElectionPpd();
+  const RimPpd reloaded = ReadPpd(WritePpd(original));
+  ExpectSamePpd(original, reloaded);
+}
+
+TEST(PpdIoTest, ReloadedPpdAnswersQueriesIdentically) {
+  const RimPpd original = ElectionPpd();
+  const RimPpd reloaded = ReadPpd(WritePpd(original));
+  const auto q = query::ParseQuery(
+      "Q() :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _)",
+      reloaded.schema());
+  EXPECT_DOUBLE_EQ(EvaluateBoolean(original, q),
+                   EvaluateBoolean(reloaded, q));
+}
+
+TEST(PpdIoTest, GeneralRimSessionRoundTrip) {
+  db::PreferenceSchema schema;
+  schema.AddPSymbol("P", db::PreferenceSignature(db::RelationSignature({"s"}),
+                                                 "l", "r"));
+  RimPpd ppd(std::move(schema));
+  ppd.AddSession("P", {db::Value(7)},
+                 SessionModel::Rim({db::Value("x"), db::Value("y"),
+                                    db::Value("z")},
+                                   rim::InsertionFunction(
+                                       {{1.0}, {0.25, 0.75},
+                                        {0.5, 0.125, 0.375}})));
+  const RimPpd reloaded = ReadPpd(WritePpd(ppd));
+  ExpectSamePpd(ppd, reloaded);
+}
+
+TEST(PpdIoTest, EmptySessionPartRoundTrip) {
+  db::PreferenceSchema schema;
+  schema.AddPSymbol("P",
+                    db::PreferenceSignature(db::RelationSignature(), "l", "r"));
+  RimPpd ppd(std::move(schema));
+  ppd.AddSession("P", {}, SessionModel::Mallows({"a", "b"}, 0.5));
+  const RimPpd reloaded = ReadPpd(WritePpd(ppd));
+  ExpectSamePpd(ppd, reloaded);
+}
+
+TEST(PpdIoTest, ValueKindsSurviveRoundTrip) {
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("R", db::RelationSignature({"a", "b", "c"}));
+  RimPpd ppd(std::move(schema));
+  ppd.AddFact("R", {db::Value("text"), db::Value(-42), db::Value(2.5)});
+  ppd.AddFact("R", {db::Value("123"), db::Value(), db::Value("quo\"te")});
+  const RimPpd reloaded = ReadPpd(WritePpd(ppd));
+  ExpectSamePpd(ppd, reloaded);
+}
+
+TEST(PpdIoTest, PhiPrecisionSurvivesRoundTrip) {
+  db::PreferenceSchema schema;
+  schema.AddPSymbol("P",
+                    db::PreferenceSignature(db::RelationSignature(), "l", "r"));
+  RimPpd ppd(std::move(schema));
+  ppd.AddSession("P", {}, SessionModel::Mallows({"a", "b", "c"},
+                                                0.12345678901234567));
+  const RimPpd reloaded = ReadPpd(WritePpd(ppd));
+  EXPECT_DOUBLE_EQ(*reloaded.PInstance("P").sessions()[0].second.phi(),
+                   0.12345678901234567);
+}
+
+TEST(PpdIoTest, CommentsAndBlankLinesIgnored) {
+  const RimPpd ppd = ReadPpd(
+      "# a comment\n"
+      "\n"
+      "osymbol R a,b\n"
+      "facts R\n"
+      "1,2\n"
+      "end\n");
+  EXPECT_EQ(ppd.OInstance("R").size(), 1u);
+}
+
+TEST(PpdIoTest, MalformedInputThrows) {
+  EXPECT_THROW(ReadPpd("garbage directive"), ParseError);
+  EXPECT_THROW(ReadPpd("psymbol P no_bars"), ParseError);
+  EXPECT_THROW(ReadPpd("osymbol R a,b\nfacts R\n1,2\n"), ParseError);  // no end
+  EXPECT_THROW(ReadPpd("session P mallows 0.5\n"), SchemaError);  // unknown P
+  EXPECT_THROW(ReadPpd("psymbol P |l|r\nsession P wat\n\"a\"\nend\n"),
+               ParseError);  // unknown family
+}
+
+TEST(PpdIoTest, FactsForUnknownSymbolThrow) {
+  EXPECT_THROW(ReadPpd("facts R\n1\nend\n"), SchemaError);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

@@ -1,0 +1,43 @@
+#include "ppref/ppd/monte_carlo_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/query/parser.h"
+#include "query/paper_queries.h"
+
+namespace ppref::ppd {
+namespace {
+
+TEST(MonteCarloEvaluatorTest, ConvergesToItemwiseExactAnswer) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q1 = ppref::testing::ParsePaperQuery(ppref::testing::kQ1);
+  const double exact = EvaluateBoolean(ppd, q1);
+  Rng rng(2024);
+  const auto estimate = EstimateBoolean(ppd, q1, 20000, rng);
+  EXPECT_NEAR(estimate.estimate, exact, 5 * estimate.std_error + 1e-3);
+}
+
+TEST(MonteCarloEvaluatorTest, HandlesNonItemwiseQueries) {
+  // Q2 is #P-hard exactly, but sampling applies unchanged.
+  const RimPpd ppd = ElectionPpd();
+  const auto q2 = ppref::testing::ParsePaperQuery(ppref::testing::kQ2);
+  const double brute = EvaluateBooleanByEnumeration(ppd, q2);
+  Rng rng(2025);
+  const auto estimate = EstimateBoolean(ppd, q2, 20000, rng);
+  EXPECT_NEAR(estimate.estimate, brute, 5 * estimate.std_error + 1e-3);
+}
+
+TEST(MonteCarloEvaluatorTest, DeterministicQueriesAreExact) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery("Q() :- Candidates(_, 'D', 'F', _)",
+                                   ppd.schema());
+  Rng rng(7);
+  const auto estimate = EstimateBoolean(ppd, q, 50, rng);
+  EXPECT_DOUBLE_EQ(estimate.estimate, 1.0);
+  EXPECT_DOUBLE_EQ(estimate.std_error, 0.0);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

@@ -1,0 +1,112 @@
+/// Coverage for PPDs with several p-symbols: the itemwise machinery must
+/// scope r_Q to the queried symbol, possible worlds must sample every
+/// p-instance, and UCQs may mix symbols across disjuncts.
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+#include "ppref/ppd/evaluator.h"
+#include "ppref/query/classify.h"
+#include "ppref/query/eval.h"
+#include "ppref/ppd/possible_worlds.h"
+#include "ppref/ppd/ucq_evaluator.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::ppd {
+namespace {
+
+/// Two p-symbols: Food preferences and Music preferences, shared item pool
+/// only for food.
+RimPpd TwoSymbolPpd() {
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("Dish", db::RelationSignature({"dish", "kind"}));
+  schema.AddPSymbol("Food", db::PreferenceSignature(
+                                db::RelationSignature({"user"}), "l", "r"));
+  schema.AddPSymbol("Music", db::PreferenceSignature(
+                                 db::RelationSignature({"user"}), "l", "r"));
+  RimPpd ppd(std::move(schema));
+  ppd.AddFact("Dish", {"pasta", "savory"});
+  ppd.AddFact("Dish", {"cake", "sweet"});
+  ppd.AddFact("Dish", {"soup", "savory"});
+  ppd.AddSession("Food", {"u1"},
+                 SessionModel::Mallows({"pasta", "cake", "soup"}, 0.4));
+  ppd.AddSession("Food", {"u2"},
+                 SessionModel::Mallows({"cake", "soup", "pasta"}, 0.7));
+  ppd.AddSession("Music", {"u1"},
+                 SessionModel::Mallows({"jazz", "rock"}, 0.5));
+  return ppd;
+}
+
+TEST(MultiPSymbolTest, WorldCountMultipliesAcrossSymbols) {
+  EXPECT_DOUBLE_EQ(WorldCount(TwoSymbolPpd()), 6.0 * 6.0 * 2.0);
+}
+
+TEST(MultiPSymbolTest, ItemwiseQueryScopesToItsSymbol) {
+  const RimPpd ppd = TwoSymbolPpd();
+  const auto q = query::ParseQuery(
+      "Q() :- Food(u; l; r), Dish(l, 'sweet'), Dish(r, 'savory')",
+      ppd.schema());
+  EXPECT_NEAR(EvaluateBoolean(ppd, q), EvaluateBooleanByEnumeration(ppd, q),
+              1e-10);
+}
+
+TEST(MultiPSymbolTest, MusicQueryIgnoresFoodSessions) {
+  const RimPpd ppd = TwoSymbolPpd();
+  const auto q =
+      query::ParseQuery("Q() :- Music(u; 'jazz'; 'rock')", ppd.schema());
+  const double exact = EvaluateBoolean(ppd, q);
+  EXPECT_NEAR(exact, EvaluateBooleanByEnumeration(ppd, q), 1e-10);
+  // Single uniform-ish session; the food sessions must not contribute.
+  EXPECT_GT(exact, 0.0);
+  EXPECT_LT(exact, 1.0);
+}
+
+TEST(MultiPSymbolTest, UnionAcrossSymbolsMatchesEnumeration) {
+  const RimPpd ppd = TwoSymbolPpd();
+  const auto ucq = query::ParseUnionQuery(
+      "Q() :- Food('u1'; 'cake'; 'pasta') UNION "
+      "Q() :- Music('u1'; 'rock'; 'jazz')",
+      ppd.schema());
+  const double exact = EvaluateBooleanUnion(ppd, ucq);
+  EXPECT_NEAR(exact, EvaluateBooleanUnionByEnumeration(ppd, ucq), 1e-10);
+  // Events live in different p-instances, hence independent:
+  // 1 - (1-p1)(1-p2).
+  const double p1 = EvaluateBoolean(ppd, ucq.disjuncts()[0]);
+  const double p2 = EvaluateBoolean(ppd, ucq.disjuncts()[1]);
+  EXPECT_NEAR(exact, 1.0 - (1.0 - p1) * (1.0 - p2), 1e-10);
+}
+
+TEST(MultiPSymbolTest, MixedSymbolCqIsNotSessionwise) {
+  const RimPpd ppd = TwoSymbolPpd();
+  const auto q = query::ParseQuery(
+      "Q() :- Food(u; l; r), Music(u; a; b)", ppd.schema());
+  EXPECT_FALSE(query::IsSessionwise(q));
+  EXPECT_THROW(EvaluateBoolean(ppd, q), SchemaError);
+  // But enumeration still defines the semantics.
+  const double brute = EvaluateBooleanByEnumeration(ppd, q);
+  // u1 has both a Food and a Music session; any rankings satisfy the two
+  // unconstrained p-atoms.
+  EXPECT_DOUBLE_EQ(brute, 1.0);
+}
+
+TEST(MultiPSymbolTest, EnumerationCombinesIndependentInstances) {
+  const RimPpd ppd = TwoSymbolPpd();
+  // Joint event across instances via formula-free check: world enumeration
+  // of conjunction = product of marginals (independence across p-symbols).
+  const auto food = query::ParseQuery("Q() :- Food('u1'; 'cake'; 'soup')",
+                                      ppd.schema());
+  const auto music = query::ParseQuery("Q() :- Music('u1'; 'jazz'; 'rock')",
+                                       ppd.schema());
+  double joint = 0.0;
+  ForEachWorld(ppd, 1e5, [&](const db::Database& world, double prob) {
+    if (query::IsSatisfiable(food, world) &&
+        query::IsSatisfiable(music, world)) {
+      joint += prob;
+    }
+  });
+  EXPECT_NEAR(joint, EvaluateBoolean(ppd, food) * EvaluateBoolean(ppd, music),
+              1e-10);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

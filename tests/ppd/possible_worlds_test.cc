@@ -1,0 +1,102 @@
+#include "ppref/ppd/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/db/preference_instance.h"
+#include "ppref/query/classify.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::ppd {
+namespace {
+
+RimPpd TinyPpd() {
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("Color", db::RelationSignature({"item", "color"}));
+  schema.AddPSymbol("Pref", db::PreferenceSignature(
+                                db::RelationSignature({"user"}), "l", "r"));
+  RimPpd ppd(std::move(schema));
+  ppd.AddFact("Color", {"a", "red"});
+  ppd.AddFact("Color", {"b", "blue"});
+  ppd.AddFact("Color", {"c", "red"});
+  ppd.AddSession("Pref", {"u1"}, SessionModel::Mallows({"a", "b", "c"}, 0.5));
+  ppd.AddSession("Pref", {"u2"}, SessionModel::Mallows({"b", "a"}, 1.0));
+  return ppd;
+}
+
+TEST(PossibleWorldsTest, WorldCountIsProductOfFactorials) {
+  const RimPpd ppd = TinyPpd();
+  EXPECT_DOUBLE_EQ(WorldCount(ppd), 12.0);  // 3! * 2!
+  EXPECT_DOUBLE_EQ(WorldCount(ElectionPpd()), 13824.0);  // (4!)^3
+}
+
+TEST(PossibleWorldsTest, ProbabilitiesSumToOne) {
+  const RimPpd ppd = TinyPpd();
+  double total = 0.0;
+  unsigned count = 0;
+  ForEachWorld(ppd, 100, [&](const db::Database&, double prob) {
+    total += prob;
+    ++count;
+  });
+  EXPECT_EQ(count, 12u);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, WorldsAreWellFormedPreferenceDatabases) {
+  const RimPpd ppd = TinyPpd();
+  ForEachWorld(ppd, 100, [&](const db::Database& world, double prob) {
+    EXPECT_GT(prob, 0.0);
+    // O-instances are copied verbatim.
+    EXPECT_EQ(world.Instance("Color").size(), 3u);
+    // Each session materializes a full ranking.
+    const auto& signature = world.schema().PSignature("Pref");
+    const auto r1 = db::SessionRanking(world.Instance("Pref"), signature,
+                                       {db::Value("u1")});
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->size(), 3u);
+    const auto r2 = db::SessionRanking(world.Instance("Pref"), signature,
+                                       {db::Value("u2")});
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->size(), 2u);
+  });
+}
+
+TEST(PossibleWorldsTest, EnumerationEvaluatesNonItemwiseQueries) {
+  const RimPpd ppd = TinyPpd();
+  // "u1 prefers some item to a same-colored item": the color variable k
+  // joins the two item variables in the o-graph, so this is NOT itemwise —
+  // but enumeration evaluates it regardless.
+  const auto q = query::ParseQuery(
+      "Q() :- Pref('u1'; l; r), Color(l, k), Color(r, k)", ppd.schema());
+  ASSERT_FALSE(query::IsItemwise(q));
+  const double prob = EvaluateBooleanByEnumeration(ppd, q);
+  // Items a and c share a color; one of a ≻ c, c ≻ a always holds.
+  EXPECT_NEAR(prob, 1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, UniformSessionGivesUniformWorlds) {
+  const RimPpd ppd = TinyPpd();
+  // u2's model is MAL(·, 1): both orders equally likely.
+  const auto q =
+      query::ParseQuery("Q() :- Pref('u2'; 'a'; 'b')", ppd.schema());
+  EXPECT_NEAR(EvaluateBooleanByEnumeration(ppd, q), 0.5, 1e-12);
+}
+
+TEST(PossibleWorldsTest, AnswerEnumerationAggregatesAcrossWorlds) {
+  const RimPpd ppd = TinyPpd();
+  const auto q =
+      query::ParseQuery("Q(l) :- Pref('u2'; l; _)", ppd.schema());
+  const auto answers = EvaluateQueryByEnumeration(ppd, q);
+  ASSERT_EQ(answers.size(), 2u);
+  // Each of a, b is ranked first with probability 1/2.
+  EXPECT_NEAR(answers[0].confidence, 0.5, 1e-12);
+  EXPECT_NEAR(answers[1].confidence, 0.5, 1e-12);
+}
+
+TEST(PossibleWorldsDeathTest, WorldCapIsEnforced) {
+  const RimPpd ppd = TinyPpd();
+  EXPECT_DEATH(ForEachWorld(ppd, 5, [](const db::Database&, double) {}),
+               "exceeds cap");
+}
+
+}  // namespace
+}  // namespace ppref::ppd

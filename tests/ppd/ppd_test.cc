@@ -1,0 +1,65 @@
+#include "ppref/ppd/ppd.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+
+namespace ppref::ppd {
+namespace {
+
+TEST(RimPpdTest, ElectionPpdMatchesFigure2) {
+  const RimPpd ppd = ElectionPpd();
+  EXPECT_EQ(ppd.OInstance("Candidates").size(), 4u);
+  EXPECT_EQ(ppd.OInstance("Voters").size(), 3u);
+  const RimPreferenceInstance& polls = ppd.PInstance("Polls");
+  ASSERT_EQ(polls.session_count(), 3u);
+  const auto& [ann_session, ann_model] = polls.sessions()[0];
+  EXPECT_EQ(ann_session, (db::Tuple{"Ann", "Oct-5"}));
+  // Figure 2 row 1: MAL(<Clinton, Sanders, Rubio, Trump>, 0.3).
+  EXPECT_EQ(ann_model.phi(), std::optional<double>(0.3));
+  EXPECT_EQ(ann_model.ItemOf(0), db::Value("Clinton"));
+  EXPECT_EQ(ann_model.ItemOf(3), db::Value("Trump"));
+}
+
+TEST(RimPpdTest, ODatabaseHoldsOnlyOInstances) {
+  const RimPpd ppd = ElectionPpd();
+  EXPECT_EQ(ppd.ODatabase().Instance("Candidates").size(), 4u);
+  EXPECT_TRUE(ppd.ODatabase().Instance("Polls").empty());
+}
+
+TEST(RimPpdTest, WrongSymbolKindsThrow) {
+  RimPpd ppd = ElectionPpd();
+  EXPECT_THROW(ppd.OInstance("Polls"), SchemaError);
+  EXPECT_THROW(ppd.PInstance("Voters"), SchemaError);
+  EXPECT_THROW(ppd.AddFact("Polls", {db::Value(1)}), SchemaError);
+  EXPECT_THROW(
+      ppd.AddSession("Voters", {}, SessionModel::Mallows({"a"}, 1.0)),
+      SchemaError);
+}
+
+TEST(RimPpdTest, DuplicateSessionThrows) {
+  RimPpd ppd = ElectionPpd();
+  EXPECT_THROW(ppd.AddSession("Polls", {"Ann", "Oct-5"},
+                              SessionModel::Mallows({"a", "b"}, 0.5)),
+               SchemaError);
+}
+
+TEST(RimPpdTest, SessionArityMismatchThrows) {
+  RimPpd ppd = ElectionPpd();
+  EXPECT_THROW(
+      ppd.AddSession("Polls", {"Eve"}, SessionModel::Mallows({"a"}, 1.0)),
+      SchemaError);
+}
+
+TEST(RimPreferenceInstanceTest, SessionsKeepInsertionOrder) {
+  RimPreferenceInstance instance(
+      db::PreferenceSignature(db::RelationSignature({"s"}), "l", "r"));
+  instance.AddSession({db::Value(2)}, SessionModel::Mallows({"a", "b"}, 0.5));
+  instance.AddSession({db::Value(1)}, SessionModel::Mallows({"c"}, 1.0));
+  ASSERT_EQ(instance.session_count(), 2u);
+  EXPECT_EQ(instance.sessions()[0].first, (db::Tuple{db::Value(2)}));
+  EXPECT_EQ(instance.sessions()[1].first, (db::Tuple{db::Value(1)}));
+}
+
+}  // namespace
+}  // namespace ppref::ppd

@@ -1,0 +1,54 @@
+#include "ppref/ppd/preference_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+
+namespace ppref::ppd {
+namespace {
+
+TEST(SessionModelTest, MallowsConstruction) {
+  const auto model =
+      SessionModel::Mallows({"Clinton", "Sanders", "Rubio", "Trump"}, 0.3);
+  EXPECT_EQ(model.size(), 4u);
+  EXPECT_EQ(model.phi(), std::optional<double>(0.3));
+  EXPECT_EQ(model.ItemOf(0), db::Value("Clinton"));
+  EXPECT_EQ(model.IdOf(db::Value("Trump")), std::optional<rim::ItemId>(3));
+  EXPECT_FALSE(model.IdOf(db::Value("Stein")).has_value());
+  // The dense reference is the identity over item ids.
+  EXPECT_EQ(model.model().reference(), rim::Ranking::Identity(4));
+}
+
+TEST(SessionModelTest, RimConstruction) {
+  const auto model = SessionModel::Rim(
+      {db::Value(10), db::Value(20)}, rim::InsertionFunction::Uniform(2));
+  EXPECT_FALSE(model.phi().has_value());
+  EXPECT_EQ(model.size(), 2u);
+}
+
+TEST(SessionModelTest, ToStringShowsFamilyAndItems) {
+  const auto mallows = SessionModel::Mallows({"a", "b"}, 0.5);
+  EXPECT_EQ(mallows.ToString(), "MAL(<'a', 'b'>, phi=0.5)");
+  const auto rim = SessionModel::Rim({db::Value(1)},
+                                     rim::InsertionFunction::Uniform(1));
+  EXPECT_EQ(rim.ToString(), "RIM(<1>)");
+}
+
+TEST(SessionModelTest, MixedValueKindsAsItems) {
+  const auto model = SessionModel::Mallows({db::Value(1), db::Value("1")}, 1.0);
+  EXPECT_EQ(model.IdOf(db::Value(1)), std::optional<rim::ItemId>(0));
+  EXPECT_EQ(model.IdOf(db::Value("1")), std::optional<rim::ItemId>(1));
+}
+
+TEST(SessionModelTest, DuplicateItemsThrow) {
+  EXPECT_THROW(SessionModel::Mallows({"a", "a"}, 0.5), SchemaError);
+}
+
+TEST(SessionModelTest, InsertionSizeMismatchThrows) {
+  EXPECT_THROW(
+      SessionModel::Rim({"a", "b"}, rim::InsertionFunction::Uniform(3)),
+      SchemaError);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

@@ -1,0 +1,163 @@
+#include "ppref/ppd/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ppref/common/check.h"
+#include "ppref/query/parser.h"
+#include "query/paper_queries.h"
+
+namespace ppref::ppd {
+namespace {
+
+using ppref::testing::ParsePaperQuery;
+
+const SessionReduction& FindSession(
+    const std::vector<SessionReduction>& reductions, const db::Tuple& session) {
+  const auto it = std::find_if(
+      reductions.begin(), reductions.end(),
+      [&](const SessionReduction& r) { return r.session == session; });
+  PPREF_CHECK(it != reductions.end());
+  return *it;
+}
+
+/// Items with a given pattern-node's label, rendered as values.
+std::vector<db::Value> LabeledItems(const SessionReduction& reduction,
+                                    unsigned node) {
+  std::vector<db::Value> items;
+  for (rim::ItemId id :
+       reduction.labeling.ItemsWith(reduction.pattern.NodeLabel(node))) {
+    items.push_back(reduction.model->ItemOf(id));
+  }
+  return items;
+}
+
+TEST(ReductionTest, Q3OnAnnMatchesExample49) {
+  const RimPpd ppd = ElectionPpd();
+  const auto reductions = ReduceItemwise(ppd, ParsePaperQuery(ppref::testing::kQ3));
+  ASSERT_EQ(reductions.size(), 3u);  // every session matches (v, d)
+  const SessionReduction& ann = FindSession(reductions, {"Ann", "Oct-5"});
+  ASSERT_TRUE(ann.satisfiable);
+  ASSERT_FALSE(ann.reflexive_preference);
+  // Pattern 4b: nodes l, Trump, Sanders with edges l -> Trump, l -> Sanders.
+  ASSERT_EQ(ann.pattern.NodeCount(), 3u);
+  EXPECT_EQ(ann.node_terms, (std::vector<std::string>{"l", "'Trump'",
+                                                      "'Sanders'"}));
+  EXPECT_TRUE(ann.pattern.HasEdge(0, 1));
+  EXPECT_TRUE(ann.pattern.HasEdge(0, 2));
+  EXPECT_EQ(ann.pattern.EdgeCount(), 2u);
+  // λ of Example 4.9: l -> {Clinton} (the only female), Trump -> {Trump},
+  // Sanders -> {Sanders}.
+  EXPECT_EQ(LabeledItems(ann, 0), (std::vector<db::Value>{"Clinton"}));
+  EXPECT_EQ(LabeledItems(ann, 1), (std::vector<db::Value>{"Trump"}));
+  EXPECT_EQ(LabeledItems(ann, 2), (std::vector<db::Value>{"Sanders"}));
+}
+
+TEST(ReductionTest, Q4OnAnnMatchesExample49) {
+  const RimPpd ppd = ElectionPpd();
+  const auto reductions =
+      ReduceItemwise(ppd, ParsePaperQuery(ppref::testing::kQ4));
+  const SessionReduction& ann = FindSession(reductions, {"Ann", "Oct-5"});
+  ASSERT_TRUE(ann.satisfiable);
+  // Pattern: l -> r.
+  ASSERT_EQ(ann.pattern.NodeCount(), 2u);
+  EXPECT_TRUE(ann.pattern.HasEdge(0, 1));
+  // λ: l -> {Clinton} (same gender as Ann), r -> {Sanders, Trump} (same
+  // education as Ann; model order lists Sanders before Trump).
+  EXPECT_EQ(LabeledItems(ann, 0), (std::vector<db::Value>{"Clinton"}));
+  const auto r_items = LabeledItems(ann, 1);
+  ASSERT_EQ(r_items.size(), 2u);
+  EXPECT_NE(std::find(r_items.begin(), r_items.end(), db::Value("Sanders")),
+            r_items.end());
+  EXPECT_NE(std::find(r_items.begin(), r_items.end(), db::Value("Trump")),
+            r_items.end());
+}
+
+TEST(ReductionTest, Q1SessionsFilterOnVoterEducation) {
+  const RimPpd ppd = ElectionPpd();
+  const auto reductions =
+      ReduceItemwise(ppd, ParsePaperQuery(ppref::testing::kQ1));
+  // All three sessions unify with (v, _), but Bob has a JD: his voter
+  // component is unsatisfiable.
+  ASSERT_EQ(reductions.size(), 3u);
+  EXPECT_TRUE(FindSession(reductions, {"Ann", "Oct-5"}).satisfiable);
+  EXPECT_FALSE(FindSession(reductions, {"Bob", "Oct-5"}).satisfiable);
+  EXPECT_TRUE(FindSession(reductions, {"Dave", "Nov-5"}).satisfiable);
+  EXPECT_DOUBLE_EQ(SessionProb(FindSession(reductions, {"Bob", "Oct-5"})), 0.0);
+}
+
+TEST(ReductionTest, SessionConstantsRestrictRq) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery(
+      "Q() :- Polls('Ann', 'Oct-5'; l; 'Trump'), Candidates(l, _, 'F', _)",
+      ppd.schema());
+  const auto reductions = ReduceItemwise(ppd, q);
+  ASSERT_EQ(reductions.size(), 1u);
+  EXPECT_EQ(reductions[0].session, (db::Tuple{"Ann", "Oct-5"}));
+}
+
+TEST(ReductionTest, RepeatedSessionVariableMustUnify) {
+  const RimPpd ppd = ElectionPpd();
+  // Sessions where voter name equals date: none.
+  const auto q = query::ParseQuery("Q() :- Polls(x, x; l; r)", ppd.schema());
+  EXPECT_TRUE(ReduceItemwise(ppd, q).empty());
+}
+
+TEST(ReductionTest, ReflexivePreferenceIsDetected) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery("Q() :- Polls(v, d; x; x)", ppd.schema());
+  const auto reductions = ReduceItemwise(ppd, q);
+  ASSERT_EQ(reductions.size(), 3u);
+  for (const auto& reduction : reductions) {
+    EXPECT_TRUE(reduction.reflexive_preference);
+    EXPECT_DOUBLE_EQ(SessionProb(reduction), 0.0);
+  }
+}
+
+TEST(ReductionTest, ConstantAbsentFromSessionYieldsEmptyLabel) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery(
+      "Q() :- Polls('Ann', 'Oct-5'; 'Stein'; 'Trump')", ppd.schema());
+  const auto reductions = ReduceItemwise(ppd, q);
+  ASSERT_EQ(reductions.size(), 1u);
+  EXPECT_DOUBLE_EQ(SessionProb(reductions[0]), 0.0);
+}
+
+TEST(ReductionTest, UnconstrainedItemVariableMatchesAllItems) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery("Q() :- Polls(v, d; x; 'Trump')",
+                                   ppd.schema());
+  const auto reductions = ReduceItemwise(ppd, q);
+  const SessionReduction& ann = FindSession(reductions, {"Ann", "Oct-5"});
+  EXPECT_EQ(LabeledItems(ann, 0).size(), 4u);
+  // "Some item above Trump" is certain unless Trump tops the ranking...
+  // which can happen: the probability is 1 - Pr(Trump first) in (0, 1).
+  const double prob = SessionProb(ann);
+  EXPECT_GT(prob, 0.9);
+  EXPECT_LT(prob, 1.0);
+}
+
+TEST(ReductionTest, NonItemwiseQueryThrows) {
+  const RimPpd ppd = ElectionPpd();
+  EXPECT_THROW(ReduceItemwise(ppd, ParsePaperQuery(ppref::testing::kQ2)),
+               SchemaError);
+}
+
+TEST(ReductionTest, NonBooleanQueryThrows) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q = query::ParseQuery(
+      "Q(l) :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _)",
+      ppd.schema());
+  EXPECT_THROW(ReduceItemwise(ppd, q), SchemaError);
+}
+
+TEST(ReductionTest, NoPAtomsThrows) {
+  const RimPpd ppd = ElectionPpd();
+  const auto q =
+      query::ParseQuery("Q() :- Candidates(c, 'D', _, _)", ppd.schema());
+  EXPECT_THROW(ReduceItemwise(ppd, q), SchemaError);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

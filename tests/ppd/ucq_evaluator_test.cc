@@ -1,0 +1,130 @@
+#include "ppref/ppd/ucq_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+#include "ppref/ppd/evaluator.h"
+#include "query/paper_queries.h"
+
+namespace ppref::ppd {
+namespace {
+
+class UcqEvaluatorTest : public ::testing::Test {
+ protected:
+  UcqEvaluatorTest() : ppd_(ElectionPpd()) {}
+  query::UnionQuery Parse(const std::string& text) const {
+    return query::ParseUnionQuery(text, ppd_.schema());
+  }
+  RimPpd ppd_;
+};
+
+TEST_F(UcqEvaluatorTest, SingleDisjunctReducesToCqEvaluation) {
+  const auto ucq = Parse(
+      "Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto cq = ucq.disjuncts()[0];
+  EXPECT_NEAR(EvaluateBooleanUnion(ppd_, ucq), EvaluateBoolean(ppd_, cq),
+              1e-12);
+}
+
+TEST_F(UcqEvaluatorTest, OverlappingDisjunctsMatchEnumeration) {
+  // Both disjuncts bind Ann's session; inclusion–exclusion must correct the
+  // overlap.
+  const auto ucq = Parse(
+      "Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders') UNION "
+      "Q() :- Polls('Ann', 'Oct-5'; 'Rubio'; 'Trump')");
+  EXPECT_NEAR(EvaluateBooleanUnion(ppd_, ucq),
+              EvaluateBooleanUnionByEnumeration(ppd_, ucq), 1e-10);
+}
+
+TEST_F(UcqEvaluatorTest, CrossSessionDisjunctsMatchEnumeration) {
+  const auto ucq = Parse(
+      "Q() :- Polls('Ann', 'Oct-5'; 'Trump'; 'Clinton') UNION "
+      "Q() :- Polls('Bob', 'Oct-5'; 'Trump'; 'Sanders')");
+  EXPECT_NEAR(EvaluateBooleanUnion(ppd_, ucq),
+              EvaluateBooleanUnionByEnumeration(ppd_, ucq), 1e-10);
+}
+
+TEST_F(UcqEvaluatorTest, VariableSessionsWithJoinsMatchEnumeration) {
+  // Each disjunct spans all sessions; overlap inside each session.
+  const auto ucq = Parse(
+      "Q() :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _) UNION "
+      "Q() :- Polls(v, d; l; 'Sanders'), Candidates(l, 'R', _, _)");
+  EXPECT_NEAR(EvaluateBooleanUnion(ppd_, ucq),
+              EvaluateBooleanUnionByEnumeration(ppd_, ucq), 1e-10);
+}
+
+TEST_F(UcqEvaluatorTest, UnionIsAtLeastEachDisjunct) {
+  const auto ucq = Parse(
+      "Q() :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _) UNION "
+      "Q() :- Polls(v, d; l; 'Sanders'), Candidates(l, 'R', _, _)");
+  const double union_conf = EvaluateBooleanUnion(ppd_, ucq);
+  for (const auto& disjunct : ucq.disjuncts()) {
+    EXPECT_GE(union_conf + 1e-12, EvaluateBoolean(ppd_, disjunct));
+  }
+  // And at most the sum (union bound).
+  double sum = 0.0;
+  for (const auto& disjunct : ucq.disjuncts()) {
+    sum += EvaluateBoolean(ppd_, disjunct);
+  }
+  EXPECT_LE(union_conf, sum + 1e-12);
+}
+
+TEST_F(UcqEvaluatorTest, TrueDeterministicDisjunctShortCircuits) {
+  const auto ucq = Parse(
+      "Q() :- Candidates(_, 'D', 'F', _) UNION "
+      "Q() :- Polls('Ann', 'Oct-5'; 'Trump'; 'Clinton')");
+  EXPECT_DOUBLE_EQ(EvaluateBooleanUnion(ppd_, ucq), 1.0);
+}
+
+TEST_F(UcqEvaluatorTest, FalseDeterministicDisjunctIsIgnored) {
+  const auto ucq = Parse(
+      "Q() :- Candidates(_, 'G', _, _) UNION "
+      "Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto single =
+      Parse("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  EXPECT_NEAR(EvaluateBooleanUnion(ppd_, ucq),
+              EvaluateBooleanUnion(ppd_, single), 1e-12);
+}
+
+TEST_F(UcqEvaluatorTest, ThreeWayInclusionExclusion) {
+  const auto ucq = Parse(
+      "Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders') UNION "
+      "Q() :- Polls('Ann', 'Oct-5'; 'Sanders'; 'Rubio') UNION "
+      "Q() :- Polls('Ann', 'Oct-5'; 'Rubio'; 'Trump')");
+  EXPECT_NEAR(EvaluateBooleanUnion(ppd_, ucq),
+              EvaluateBooleanUnionByEnumeration(ppd_, ucq), 1e-10);
+}
+
+TEST_F(UcqEvaluatorTest, NonItemwiseDisjunctThrows) {
+  const auto ucq = Parse(
+      "Q() :- Polls(v, d; l; 'Trump') UNION "
+      "Q() :- Polls(_, _; l; r), Candidates(l, p, 'M', _), "
+      "Candidates(r, p, 'F', _)");
+  EXPECT_THROW(EvaluateBooleanUnion(ppd_, ucq), SchemaError);
+}
+
+TEST_F(UcqEvaluatorTest, NonBooleanUnionAnswers) {
+  // Candidates Ann ranks above Trump, or that are Democrats (certain).
+  const auto ucq = Parse(
+      "Q(l) :- Polls('Ann', 'Oct-5'; l; 'Trump') UNION "
+      "Q(l) :- Candidates(l, 'D', _, _)");
+  const auto answers = EvaluateUnionQuery(ppd_, ucq);
+  // Clinton/Sanders are Democrats: confidence 1. Rubio only via the poll.
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_DOUBLE_EQ(answers[0].confidence, 1.0);
+  EXPECT_DOUBLE_EQ(answers[1].confidence, 1.0);
+  EXPECT_EQ(answers[2].tuple, (db::Tuple{"Rubio"}));
+  EXPECT_GT(answers[2].confidence, 0.0);
+  EXPECT_LT(answers[2].confidence, 1.0);
+}
+
+TEST_F(UcqEvaluatorTest, BooleanThroughEvaluateUnionQuery) {
+  const auto ucq = Parse(
+      "Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')");
+  const auto answers = EvaluateUnionQuery(ppd_, ucq);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_NEAR(answers[0].confidence, EvaluateBooleanUnion(ppd_, ucq), 1e-12);
+}
+
+}  // namespace
+}  // namespace ppref::ppd

@@ -1,0 +1,123 @@
+#include "ppref/query/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "query/paper_queries.h"
+
+namespace ppref::query {
+namespace {
+
+using ppref::testing::ParsePaperQuery;
+
+TEST(ClassifyTest, PaperQueriesAreSessionwise) {
+  // Example 4.2: Q1–Q4 are all sessionwise.
+  for (const char* text : {ppref::testing::kQ1, ppref::testing::kQ2,
+                           ppref::testing::kQ3, ppref::testing::kQ4}) {
+    EXPECT_TRUE(IsSessionwise(ParsePaperQuery(text))) << text;
+  }
+}
+
+TEST(ClassifyTest, Example43ItemwiseClassification) {
+  EXPECT_TRUE(IsItemwise(ParsePaperQuery(ppref::testing::kQ1)));
+  EXPECT_FALSE(IsItemwise(ParsePaperQuery(ppref::testing::kQ2)));
+  EXPECT_TRUE(IsItemwise(ParsePaperQuery(ppref::testing::kQ3)));
+  EXPECT_TRUE(IsItemwise(ParsePaperQuery(ppref::testing::kQ4)));
+}
+
+TEST(ClassifyTest, DifferentSessionTermsBreakSessionwise) {
+  const auto q = ParseQuery(
+      "Q() :- Polls(v, d; l; r), Polls(v, e; l; r)", db::ElectionSchema());
+  EXPECT_FALSE(IsSessionwise(q));
+  EXPECT_FALSE(IsItemwise(q));
+}
+
+TEST(ClassifyTest, MatchingSessionConstantsStaySessionwise) {
+  const auto q = ParseQuery(
+      "Q() :- Polls(v, 'Oct-5'; l; 'Trump'), Polls(v, 'Oct-5'; l; 'Sanders')",
+      db::ElectionSchema());
+  EXPECT_TRUE(IsSessionwise(q));
+  EXPECT_TRUE(IsItemwise(q));
+}
+
+TEST(ClassifyTest, NoPAtomsIsTriviallyItemwiseAndDeterministic) {
+  const auto q =
+      ParseQuery("Q() :- Candidates(x, 'D', _, _)", db::ElectionSchema());
+  EXPECT_TRUE(IsItemwise(q));
+  EXPECT_EQ(Classify(q), ComplexityClass::kDeterministic);
+}
+
+TEST(ClassifyTest, DichotomyOnPaperQueries) {
+  // Q1/Q3/Q4: itemwise -> PTIME. Q2 is not itemwise, but its two Candidates
+  // atoms are a self join, so it falls outside Thm 4.5's fragment: the
+  // dichotomy leaves it formally open (its hardness follows from the same
+  // construction, but the theorem does not cover it).
+  EXPECT_EQ(Classify(ParsePaperQuery(ppref::testing::kQ1)),
+            ComplexityClass::kPolynomialTime);
+  EXPECT_EQ(Classify(ParsePaperQuery(ppref::testing::kQ2)),
+            ComplexityClass::kOpen);
+  EXPECT_EQ(Classify(ParsePaperQuery(ppref::testing::kQ3)),
+            ComplexityClass::kPolynomialTime);
+  EXPECT_EQ(Classify(ParsePaperQuery(ppref::testing::kQ4)),
+            ComplexityClass::kPolynomialTime);
+}
+
+TEST(ClassifyTest, InFragmentHardQuery) {
+  // A no-self-join, single-p-atom, non-itemwise query: genuinely #P-hard by
+  // Thm 4.5.
+  const auto q = ParseQuery(
+      "Q() :- Polls(v, d; l; r), Candidates(l, p, 'M', e)",
+      db::ElectionSchema());
+  // l joins r? No — need a non-itemwise one: connect l and r via one o-atom.
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("R", db::RelationSignature({"a", "b"}));
+  schema.AddPSymbol("P", db::PreferenceSignature(db::RelationSignature({"s"}),
+                                                 "l", "r"));
+  const auto hard = ParseQuery("Q() :- P(s; x; y), R(x, y)", schema);
+  EXPECT_FALSE(IsItemwise(hard));
+  EXPECT_FALSE(hard.HasSelfJoin());
+  EXPECT_EQ(Classify(hard), ComplexityClass::kSharpPHard);
+  // And the single-o-atom query above IS itemwise (one item variable in the
+  // o-atom, r unconstrained).
+  EXPECT_EQ(Classify(q), ComplexityClass::kPolynomialTime);
+}
+
+TEST(ClassifyTest, HardnessGadgetQhIsSharpPHard) {
+  // Lemma 4.6's query: Q_h() :- R(x, y), P(x; y).
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("R", db::RelationSignature({"a", "b"}));
+  schema.AddPSymbol("P",
+                    db::PreferenceSignature(db::RelationSignature(), "l", "r"));
+  const auto qh = ParseQuery("Q() :- R(x, y), P(; x; y)", schema);
+  EXPECT_FALSE(IsItemwise(qh));
+  EXPECT_EQ(Classify(qh), ComplexityClass::kSharpPHard);
+}
+
+TEST(ClassifyTest, OutsideFragmentIsOpen) {
+  // Non-itemwise with a self-join: outside Thm 4.5's fragment.
+  const auto q = ParseQuery(
+      "Q() :- Polls(v, d; l; r), Candidates(l, p, 'M', _), "
+      "Candidates(r, p, 'F', _), Polls(v, e; l; r)",
+      db::ElectionSchema());
+  EXPECT_FALSE(IsItemwise(q));
+  EXPECT_EQ(Classify(q), ComplexityClass::kOpen);
+}
+
+TEST(ClassifyTest, ItemVariableJoiningBothSidesOfOneAtom) {
+  // P(s; x; x) is sessionwise and itemwise (a single item variable).
+  db::PreferenceSchema schema;
+  schema.AddPSymbol("P", db::PreferenceSignature(db::RelationSignature({"s"}),
+                                                 "l", "r"));
+  const auto q = ParseQuery("Q() :- P(s; x; x)", schema);
+  EXPECT_TRUE(IsItemwise(q));
+}
+
+TEST(ClassifyTest, ToStringNamesAllClasses) {
+  EXPECT_EQ(ToString(ComplexityClass::kDeterministic), "deterministic");
+  EXPECT_EQ(ToString(ComplexityClass::kPolynomialTime),
+            "polynomial-time (itemwise)");
+  EXPECT_EQ(ToString(ComplexityClass::kSharpPHard), "FP^#P-hard");
+  EXPECT_NE(ToString(ComplexityClass::kOpen), "");
+}
+
+}  // namespace
+}  // namespace ppref::query

@@ -1,0 +1,106 @@
+#include "ppref/query/cq.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+#include "query/paper_queries.h"
+
+namespace ppref::query {
+namespace {
+
+using ppref::testing::ParsePaperQuery;
+
+TEST(TermTest, VariablesAndConstants) {
+  const Term v = Term::Var("x");
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_EQ(v.variable(), "x");
+  EXPECT_EQ(v.ToString(), "x");
+
+  const Term c = Term::Const(db::Value("Trump"));
+  EXPECT_FALSE(c.is_variable());
+  EXPECT_EQ(c.constant(), db::Value("Trump"));
+  EXPECT_EQ(c.ToString(), "'Trump'");
+
+  EXPECT_EQ(v, Term::Var("x"));
+  EXPECT_NE(v, Term::Var("y"));
+  EXPECT_NE(v, c);
+}
+
+TEST(AtomTest, PAtomPartsAccessors) {
+  const auto q = ParsePaperQuery(ppref::testing::kQ3);
+  const Atom& p_atom = *q.PAtoms().front();
+  EXPECT_TRUE(p_atom.is_preference);
+  EXPECT_EQ(p_atom.session_arity, 2u);
+  const auto session = p_atom.SessionTerms();
+  ASSERT_EQ(session.size(), 2u);
+  EXPECT_EQ(session[0], Term::Var("v"));
+  EXPECT_EQ(session[1], Term::Var("d"));
+  EXPECT_EQ(p_atom.Lhs(), Term::Var("l"));
+  EXPECT_EQ(p_atom.Rhs(), Term::Const(db::Value("Trump")));
+  EXPECT_EQ(p_atom.ToString(), "Polls(v, d; l; 'Trump')");
+}
+
+TEST(CqTest, VariableCollections) {
+  const auto q = ParsePaperQuery(ppref::testing::kQ1);
+  const auto vars = q.Variables();
+  // v, anonymous date, l, r, plus anonymous underscores.
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "v"), vars.end());
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "l"), vars.end());
+  EXPECT_EQ(q.SessionVariables(), (std::vector<std::string>{"v", "_1"}));
+  EXPECT_EQ(q.ItemVariables(), (std::vector<std::string>{"l", "r"}));
+}
+
+TEST(CqTest, AtomPartitions) {
+  const auto q3 = ParsePaperQuery(ppref::testing::kQ3);
+  EXPECT_EQ(q3.PAtoms().size(), 2u);
+  EXPECT_EQ(q3.OAtoms().size(), 1u);
+  EXPECT_TRUE(q3.IsBoolean());
+}
+
+TEST(CqTest, SelfJoinDetection) {
+  // A self join is any pair of distinct atoms over one symbol (Thm 4.5's
+  // notion); all four paper queries have one (2x Candidates / Polls /
+  // Voters).
+  EXPECT_TRUE(ParsePaperQuery(ppref::testing::kQ1).HasSelfJoin());
+  EXPECT_TRUE(ParsePaperQuery(ppref::testing::kQ2).HasSelfJoin());
+  EXPECT_TRUE(ParsePaperQuery(ppref::testing::kQ3).HasSelfJoin());
+  EXPECT_TRUE(ParsePaperQuery(ppref::testing::kQ4).HasSelfJoin());
+
+  const auto no_join = ParseQuery(
+      "Q() :- Polls(v, d; l; r), Candidates(l, 'D', _, _)",
+      db::ElectionSchema());
+  EXPECT_FALSE(no_join.HasSelfJoin());
+}
+
+TEST(CqTest, SubstituteReplacesEverywhere) {
+  const auto q = ParsePaperQuery(ppref::testing::kQ3);
+  const auto bound = q.Substitute("v", db::Value("Ann"));
+  for (const Atom& atom : bound.body()) {
+    for (const Term& term : atom.terms) {
+      EXPECT_FALSE(term.is_variable() && term.variable() == "v");
+    }
+  }
+  // The p-atoms' first session term became the constant 'Ann'.
+  EXPECT_EQ(bound.PAtoms().front()->terms[0], Term::Const(db::Value("Ann")));
+}
+
+TEST(CqTest, SubstituteDropsHeadVariable) {
+  const auto q = ParseQuery("Q(l) :- Candidates(l, 'D', _, _)",
+                            db::ElectionSchema());
+  EXPECT_EQ(q.head().size(), 1u);
+  const auto bound = q.Substitute("l", db::Value("Clinton"));
+  EXPECT_TRUE(bound.IsBoolean());
+}
+
+TEST(CqTest, HeadVariableMustOccurInBody) {
+  EXPECT_THROW(ConjunctiveQuery({"x"}, {}), SchemaError);
+}
+
+TEST(CqTest, ToStringRoundTripsThroughParser) {
+  const auto q = ParsePaperQuery(ppref::testing::kQ2);
+  const auto reparsed = ParseQuery(q.ToString(), db::ElectionSchema());
+  EXPECT_EQ(reparsed.ToString(), q.ToString());
+}
+
+}  // namespace
+}  // namespace ppref::query

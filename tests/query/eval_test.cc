@@ -1,0 +1,124 @@
+#include "ppref/query/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/query/parser.h"
+#include "query/paper_queries.h"
+
+namespace ppref::query {
+namespace {
+
+using db::Tuple;
+using db::Value;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : db_(db::ElectionDatabase()) {}
+  ConjunctiveQuery Parse(const std::string& text) const {
+    return ParseQuery(text, db_.schema());
+  }
+  db::Database db_;
+};
+
+TEST_F(EvalTest, SingleAtomProjection) {
+  const auto q = Parse("Q(c) :- Candidates(c, 'D', _, _)");
+  const auto result = Evaluate(q, db_);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], (Tuple{Value("Clinton")}));
+  EXPECT_EQ(result[1], (Tuple{Value("Sanders")}));
+}
+
+TEST_F(EvalTest, JoinAcrossAtoms) {
+  // Voters with a BS degree and the candidates sharing their education.
+  const auto q = Parse("Q(v, c) :- Voters(v, e, _, _), Candidates(c, _, _, e)");
+  const auto result = Evaluate(q, db_);
+  // Ann(BS) x {Sanders, Trump}, Bob(JD) x {Clinton, Rubio},
+  // Dave(BS) x {Sanders, Trump}.
+  EXPECT_EQ(result.size(), 6u);
+  auto contains = [&](const char* v, const char* c) {
+    return std::find(result.begin(), result.end(),
+                     Tuple{Value(v), Value(c)}) != result.end();
+  };
+  EXPECT_TRUE(contains("Ann", "Sanders"));
+  EXPECT_TRUE(contains("Bob", "Rubio"));
+  EXPECT_TRUE(contains("Dave", "Trump"));
+  EXPECT_FALSE(contains("Ann", "Clinton"));
+}
+
+TEST_F(EvalTest, BooleanQueriesReturnUnitOrEmpty) {
+  const auto yes = Parse("Q() :- Candidates(_, 'D', 'F', _)");
+  EXPECT_EQ(Evaluate(yes, db_), (std::vector<Tuple>{{}}));
+  EXPECT_TRUE(IsSatisfiable(yes, db_));
+
+  const auto no = Parse("Q() :- Candidates(_, 'G', _, _)");
+  EXPECT_TRUE(Evaluate(no, db_).empty());
+  EXPECT_FALSE(IsSatisfiable(no, db_));
+}
+
+TEST_F(EvalTest, RepeatedVariableWithinAtom) {
+  // Voters whose education string equals their sex string: none.
+  const auto q = Parse("Q(v) :- Voters(v, x, x, _)");
+  EXPECT_TRUE(Evaluate(q, db_).empty());
+}
+
+TEST_F(EvalTest, PAtomsEvaluateOverPairwiseTuples) {
+  // Deterministic Q1 over the Figure-1 database: Ann has a BS and ranks
+  // Sanders (D, M) above Clinton (D, F) — true.
+  const auto q1 = Parse(ppref::testing::kQ1);
+  EXPECT_TRUE(IsSatisfiable(q1, db_));
+  // Q3: a female candidate above both Trump and Sanders. Only Dave ranks
+  // Clinton above Sanders, and Clinton is above Trump there too — true.
+  EXPECT_TRUE(IsSatisfiable(Parse(ppref::testing::kQ3), db_));
+}
+
+TEST_F(EvalTest, DeterministicQ2AndQ4) {
+  // Q2: male above female of the same party. Ann: Sanders(D,M) > Clinton
+  // (D,F) — true already.
+  EXPECT_TRUE(IsSatisfiable(Parse(ppref::testing::kQ2), db_));
+  // Q4: own-gender candidate above own-education candidate. Ann (F, BS):
+  // female candidate = Clinton; BS candidates = {Sanders, Trump}; Ann ranks
+  // Clinton above Trump — true.
+  EXPECT_TRUE(IsSatisfiable(Parse(ppref::testing::kQ4), db_));
+}
+
+TEST_F(EvalTest, InitialBindingRestrictsSearch) {
+  const auto q = Parse("Q(v) :- Voters(v, 'BS', _, _)");
+  Binding binding;
+  binding.emplace("v", Value("Bob"));
+  EXPECT_FALSE(IsSatisfiable(q, db_, binding));
+  binding["v"] = Value("Ann");
+  EXPECT_TRUE(IsSatisfiable(q, db_, binding));
+}
+
+TEST_F(EvalTest, HomomorphismEnumerationCountsAllWitnesses) {
+  const auto q = Parse("Q() :- Candidates(c, p, _, _)");
+  unsigned count = 0;
+  ForEachHomomorphism(q.body(), db_, {}, [&](const Binding& binding) {
+    EXPECT_TRUE(binding.contains("c"));
+    EXPECT_TRUE(binding.contains("p"));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(EvalTest, EarlyStopReturnsFalse) {
+  const auto q = Parse("Q() :- Candidates(c, _, _, _)");
+  unsigned count = 0;
+  const bool completed =
+      ForEachHomomorphism(q.body(), db_, {}, [&](const Binding&) {
+        ++count;
+        return count < 2;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(EvalTest, ConstantsInAtomsFilter) {
+  const auto q = Parse("Q(r) :- Polls('Ann', 'Oct-5'; 'Sanders'; r)");
+  const auto result = Evaluate(q, db_);
+  EXPECT_EQ(result.size(), 3u);  // Sanders beats the other three for Ann
+}
+
+}  // namespace
+}  // namespace ppref::query

@@ -1,0 +1,97 @@
+#include "ppref/query/gaifman.h"
+
+#include <gtest/gtest.h>
+
+#include "query/paper_queries.h"
+
+namespace ppref::query {
+namespace {
+
+using ppref::testing::ParsePaperQuery;
+
+TEST(GaifmanTest, Q1GraphsMatchFigure3) {
+  // Figure 3: in G_Q1 v is adjacent to l and r (via the p-atom); in G°_Q1
+  // those edges disappear and l, r are isolated from each other.
+  const auto q1 = ParsePaperQuery(ppref::testing::kQ1);
+  const auto g = VariableGraph::Gaifman(q1);
+  const auto go = VariableGraph::GaifmanO(q1);
+  EXPECT_TRUE(g.Adjacent("v", "l"));
+  EXPECT_TRUE(g.Adjacent("v", "r"));
+  EXPECT_TRUE(g.Adjacent("l", "r"));
+  EXPECT_FALSE(go.Adjacent("v", "l"));
+  EXPECT_FALSE(go.Adjacent("v", "r"));
+  EXPECT_FALSE(go.Adjacent("l", "r"));
+}
+
+TEST(GaifmanTest, Q2OGraphKeepsPartyJoin) {
+  // In G°_Q2 the path l - p - r survives (it runs through o-atoms).
+  const auto q2 = ParsePaperQuery(ppref::testing::kQ2);
+  const auto go = VariableGraph::GaifmanO(q2);
+  EXPECT_TRUE(go.Adjacent("l", "p"));
+  EXPECT_TRUE(go.Adjacent("p", "r"));
+  EXPECT_FALSE(go.Adjacent("l", "r"));
+}
+
+TEST(GaifmanTest, Q3OGraphConnectsItemVarToSessionVarOnly) {
+  const auto q3 = ParsePaperQuery(ppref::testing::kQ3);
+  const auto go = VariableGraph::GaifmanO(q3);
+  // The only o-atom is Candidates(l, _, 'F', _): no edges among {v, d, l}.
+  EXPECT_FALSE(go.Adjacent("v", "l"));
+  EXPECT_FALSE(go.Adjacent("v", "d"));
+}
+
+TEST(GaifmanTest, Q4OGraphPathRunsThroughSessionVariable) {
+  const auto q4 = ParsePaperQuery(ppref::testing::kQ4);
+  const auto go = VariableGraph::GaifmanO(q4);
+  EXPECT_TRUE(go.Adjacent("l", "s"));
+  EXPECT_TRUE(go.Adjacent("s", "v"));
+  EXPECT_TRUE(go.Adjacent("v", "e"));
+  EXPECT_TRUE(go.Adjacent("e", "r"));
+  EXPECT_FALSE(go.Adjacent("l", "r"));
+}
+
+TEST(GaifmanTest, ComponentsWithoutSeparators) {
+  const auto q4 = ParsePaperQuery(ppref::testing::kQ4);
+  const auto go = VariableGraph::GaifmanO(q4);
+  // Removing v disconnects the l-side from the r-side.
+  const auto components = go.ComponentsWithout({"v"});
+  int with_l = -1, with_r = -1;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    for (const std::string& var : components[i]) {
+      if (var == "l") with_l = static_cast<int>(i);
+      if (var == "r") with_r = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(with_l, 0);
+  ASSERT_GE(with_r, 0);
+  EXPECT_NE(with_l, with_r);
+}
+
+TEST(GaifmanTest, CompletelySeparatesMatchesDefinition) {
+  const auto q2 = ParsePaperQuery(ppref::testing::kQ2);
+  const auto go2 = VariableGraph::GaifmanO(q2);
+  // Q2 has no session variables (both are anonymous and appear only in the
+  // p-atom, which contributes no o-edges): l-p-r stays connected.
+  EXPECT_FALSE(go2.CompletelySeparates(q2.SessionVariables(),
+                                       q2.ItemVariables()));
+
+  const auto q4 = ParsePaperQuery(ppref::testing::kQ4);
+  const auto go4 = VariableGraph::GaifmanO(q4);
+  EXPECT_TRUE(go4.CompletelySeparates(q4.SessionVariables(),
+                                      q4.ItemVariables()));
+}
+
+TEST(GaifmanTest, TargetInsideSeparatorsIsFine) {
+  // A variable occurring in both session and item positions separates
+  // itself: paths "between" it and others pass through it.
+  db::PreferenceSchema schema;
+  schema.AddPSymbol("P", db::PreferenceSignature(
+                             db::RelationSignature({"s"}), "l", "r"));
+  schema.AddOSymbol("R", db::RelationSignature({"a", "b"}));
+  const auto q = ParseQuery("Q() :- P(x; x; r), R(x, r)", schema);
+  const auto go = VariableGraph::GaifmanO(q);
+  EXPECT_TRUE(go.CompletelySeparates({"x"}, {"x", "r"}));
+}
+
+}  // namespace
+}  // namespace ppref::query

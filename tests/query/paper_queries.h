@@ -1,0 +1,43 @@
+/// \file paper_queries.h
+/// \brief The running example's queries Q1–Q4 (Example 3.6), parsed against
+/// the election schema, shared by query- and ppd-layer tests.
+
+#ifndef PPREF_TESTS_QUERY_PAPER_QUERIES_H_
+#define PPREF_TESTS_QUERY_PAPER_QUERIES_H_
+
+#include <string>
+
+#include "ppref/db/schema.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::testing {
+
+/// Q1: a voter with a BS degree prefers a male Democrat to a female Democrat.
+inline const char* kQ1 =
+    "Q() :- Polls(v, _; l; r), Voters(v, 'BS', _, _), "
+    "Candidates(l, 'D', 'M', _), Candidates(r, 'D', 'F', _)";
+
+/// Q2: some voter prefers a male candidate to a female candidate of the same
+/// party (NOT itemwise: the join variable p connects l and r).
+inline const char* kQ2 =
+    "Q() :- Polls(_, _; l; r), Candidates(l, p, 'M', _), "
+    "Candidates(r, p, 'F', _)";
+
+/// Q3: some voter prefers a female candidate to both Trump and Sanders.
+inline const char* kQ3 =
+    "Q() :- Polls(v, d; l; 'Trump'), Polls(v, d; l; 'Sanders'), "
+    "Candidates(l, _, 'F', _)";
+
+/// Q4: some voter prefers a candidate of their own gender to a candidate of
+/// their own education.
+inline const char* kQ4 =
+    "Q() :- Polls(v, _; l; r), Voters(v, _, s, _), Voters(v, e, _, _), "
+    "Candidates(l, _, s, _), Candidates(r, _, _, e)";
+
+inline query::ConjunctiveQuery ParsePaperQuery(const char* text) {
+  return query::ParseQuery(text, db::ElectionSchema());
+}
+
+}  // namespace ppref::testing
+
+#endif  // PPREF_TESTS_QUERY_PAPER_QUERIES_H_

@@ -1,0 +1,125 @@
+#include "ppref/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+#include "query/paper_queries.h"
+
+namespace ppref::query {
+namespace {
+
+const db::PreferenceSchema& Schema() {
+  static const db::PreferenceSchema schema = db::ElectionSchema();
+  return schema;
+}
+
+TEST(ParserTest, ParsesBooleanQuery) {
+  const auto q = ParseQuery("Q() :- Candidates(x, 'D', _, _)", Schema());
+  EXPECT_TRUE(q.IsBoolean());
+  ASSERT_EQ(q.body().size(), 1u);
+  EXPECT_EQ(q.body()[0].symbol, "Candidates");
+  EXPECT_FALSE(q.body()[0].is_preference);
+}
+
+TEST(ParserTest, ParsesHeadVariables) {
+  const auto q = ParseQuery("Q(x, p) :- Candidates(x, p, _, _)", Schema());
+  EXPECT_EQ(q.head(), (std::vector<std::string>{"x", "p"}));
+}
+
+TEST(ParserTest, ParsesPAtomWithSemicolons) {
+  const auto q =
+      ParseQuery("Q() :- Polls(v, d; l; r)", Schema());
+  const Atom& atom = q.body()[0];
+  EXPECT_TRUE(atom.is_preference);
+  EXPECT_EQ(atom.session_arity, 2u);
+  EXPECT_EQ(atom.terms.size(), 4u);
+}
+
+TEST(ParserTest, BothArrowsAccepted) {
+  EXPECT_NO_THROW(ParseQuery("Q() :- Voters(v, _, _, _)", Schema()));
+  EXPECT_NO_THROW(ParseQuery("Q() <- Voters(v, _, _, _)", Schema()));
+}
+
+TEST(ParserTest, ConstantsOfAllKinds) {
+  const auto q = ParseQuery(
+      "Q() :- Voters('Ann', \"BS\", s, 34), Candidates(c, p, s, e)", Schema());
+  const Atom& atom = q.body()[0];
+  EXPECT_EQ(atom.terms[0], Term::Const(db::Value("Ann")));
+  EXPECT_EQ(atom.terms[1], Term::Const(db::Value("BS")));
+  EXPECT_TRUE(atom.terms[2].is_variable());
+  EXPECT_EQ(atom.terms[3], Term::Const(db::Value(34)));
+}
+
+TEST(ParserTest, NegativeAndDecimalNumbers) {
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("T", db::RelationSignature({"a", "b"}));
+  const auto q = ParseQuery("Q() :- T(-3, 2.5)", schema);
+  EXPECT_EQ(q.body()[0].terms[0], Term::Const(db::Value(-3)));
+  EXPECT_EQ(q.body()[0].terms[1], Term::Const(db::Value(2.5)));
+}
+
+TEST(ParserTest, AnonymousVariablesAreFresh) {
+  const auto q =
+      ParseQuery("Q() :- Candidates(_, _, _, _)", Schema());
+  const auto vars = q.Variables();
+  EXPECT_EQ(vars.size(), 4u);  // four distinct anonymous variables
+}
+
+TEST(ParserTest, PaperQueriesAllParse) {
+  for (const char* text : {ppref::testing::kQ1, ppref::testing::kQ2,
+                           ppref::testing::kQ3, ppref::testing::kQ4}) {
+    EXPECT_NO_THROW(ParseQuery(text, Schema())) << text;
+  }
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  const auto q = ParseQuery("  Q()\n:-\tPolls( v ,d ;l; r )  ", Schema());
+  EXPECT_EQ(q.body()[0].terms.size(), 4u);
+}
+
+TEST(ParserTest, UnknownSymbolThrowsSchemaError) {
+  EXPECT_THROW(ParseQuery("Q() :- Nope(x)", Schema()), SchemaError);
+}
+
+TEST(ParserTest, ArityMismatchThrowsSchemaError) {
+  EXPECT_THROW(ParseQuery("Q() :- Candidates(x, y)", Schema()), SchemaError);
+}
+
+TEST(ParserTest, MisplacedSemicolonsThrowSchemaError) {
+  // Comma where the signature requires semicolons.
+  EXPECT_THROW(ParseQuery("Q() :- Polls(v, d, l, r)", Schema()), SchemaError);
+  // Semicolons in an o-atom.
+  EXPECT_THROW(ParseQuery("Q() :- Candidates(x; y; z, w)", Schema()),
+               SchemaError);
+  // Semicolon in the wrong position.
+  EXPECT_THROW(ParseQuery("Q() :- Polls(v; d; l, r)", Schema()), SchemaError);
+}
+
+TEST(ParserTest, MalformedTextThrowsParseError) {
+  EXPECT_THROW(ParseQuery("Q() Candidates(x)", Schema()), ParseError);
+  EXPECT_THROW(ParseQuery("Q() :- Candidates(x, 'D'", Schema()), ParseError);
+  EXPECT_THROW(ParseQuery("Q() :- Candidates(x, 'unterminated, _, _)",
+                          Schema()),
+               ParseError);
+  EXPECT_THROW(ParseQuery("", Schema()), ParseError);
+  EXPECT_THROW(ParseQuery("Q() :- Candidates(x, 'D', _, _) extra", Schema()),
+               ParseError);
+}
+
+TEST(ParserTest, HeadVariableNotInBodyThrows) {
+  EXPECT_THROW(ParseQuery("Q(z) :- Candidates(x, _, _, _)", Schema()),
+               SchemaError);
+}
+
+TEST(ParserTest, EmptySessionSignatureParses) {
+  db::PreferenceSchema schema;
+  schema.AddPSymbol("P", db::PreferenceSignature(db::RelationSignature(), "l",
+                                                 "r"));
+  const auto q = ParseQuery("Q() :- P(; x; y)", schema);
+  const Atom& atom = q.body()[0];
+  EXPECT_EQ(atom.session_arity, 0u);
+  EXPECT_EQ(atom.terms.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppref::query

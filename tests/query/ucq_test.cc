@@ -1,0 +1,84 @@
+#include "ppref/query/ucq.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/check.h"
+#include "query/paper_queries.h"
+
+namespace ppref::query {
+namespace {
+
+const db::PreferenceSchema& Schema() {
+  static const db::PreferenceSchema schema = db::ElectionSchema();
+  return schema;
+}
+
+TEST(UcqTest, ParsesTwoDisjuncts) {
+  const auto ucq = ParseUnionQuery(
+      "Q() :- Polls(v, d; l; 'Trump')  UNION  "
+      "Q() :- Polls(v, d; 'Clinton'; l)",
+      Schema());
+  ASSERT_EQ(ucq.size(), 2u);
+  EXPECT_TRUE(ucq.IsBoolean());
+  EXPECT_EQ(ucq.disjuncts()[0].PAtoms().size(), 1u);
+}
+
+TEST(UcqTest, SingleDisjunctIsAllowed) {
+  const auto ucq =
+      ParseUnionQuery("Q() :- Candidates(c, 'D', _, _)", Schema());
+  EXPECT_EQ(ucq.size(), 1u);
+}
+
+TEST(UcqTest, UnionInsideStringLiteralIsNotASeparator) {
+  const auto ucq = ParseUnionQuery(
+      "Q() :- Voters(v, 'UNION', _, _) UNION Q() :- Voters(v, 'BS', _, _)",
+      Schema());
+  ASSERT_EQ(ucq.size(), 2u);
+  EXPECT_EQ(ucq.disjuncts()[0].body()[0].terms[1],
+            Term::Const(db::Value("UNION")));
+}
+
+TEST(UcqTest, UnionAsIdentifierPrefixIsNotASeparator) {
+  // "UNIONS" must not split.
+  db::PreferenceSchema schema;
+  schema.AddOSymbol("R", db::RelationSignature({"a"}));
+  const auto ucq = ParseUnionQuery("Q() :- R(UNIONS)", schema);
+  EXPECT_EQ(ucq.size(), 1u);
+  EXPECT_TRUE(ucq.disjuncts()[0].body()[0].terms[0].is_variable());
+}
+
+TEST(UcqTest, NonBooleanDisjunctsShareHeadArity) {
+  const auto ucq = ParseUnionQuery(
+      "Q(x) :- Candidates(x, 'D', _, _) UNION Q(y) :- Candidates(y, 'R', _, _)",
+      Schema());
+  EXPECT_EQ(ucq.size(), 2u);
+  EXPECT_FALSE(ucq.IsBoolean());
+}
+
+TEST(UcqTest, MixedHeadAritiesRejected) {
+  EXPECT_THROW(ParseUnionQuery(
+                   "Q(x) :- Candidates(x, 'D', _, _) UNION "
+                   "Q() :- Candidates(_, 'R', _, _)",
+                   Schema()),
+               SchemaError);
+}
+
+TEST(UcqTest, EmptyUnionRejected) {
+  EXPECT_THROW(UnionQuery({}), SchemaError);
+}
+
+TEST(UcqTest, ToStringJoinsWithUnion) {
+  const auto ucq = ParseUnionQuery(
+      "Q() :- Candidates(c, 'D', _, _) UNION Q() :- Candidates(c, 'R', _, _)",
+      Schema());
+  EXPECT_NE(ucq.ToString().find("UNION"), std::string::npos);
+}
+
+TEST(UcqTest, MalformedDisjunctPropagatesParseError) {
+  EXPECT_THROW(ParseUnionQuery("Q() :- Candidates(c, 'D', _, _) UNION ",
+                               Schema()),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace ppref::query

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppref/rim/mallows.h"
+#include "ppref/rim/rim_model.h"
+#include "test_util.h"
+
+namespace ppref::rim {
+namespace {
+
+TEST(GeneralizedMallowsTest, EqualDispersionsReduceToMallows) {
+  const double phi = 0.4;
+  const unsigned m = 5;
+  const auto gm = InsertionFunction::GeneralizedMallows(
+      std::vector<double>(m, phi));
+  const auto mallows = InsertionFunction::Mallows(m, phi);
+  for (unsigned t = 0; t < m; ++t) {
+    for (unsigned j = 0; j <= t; ++j) {
+      EXPECT_NEAR(gm.Prob(t, j), mallows.Prob(t, j), 1e-14);
+    }
+  }
+}
+
+TEST(GeneralizedMallowsTest, PmfFactorizesOverSteps) {
+  // Under GM, Pr(τ) = Π_t φ_t^{e_t} / Z_t(φ_t) with e_t the per-step
+  // displacement — verify against the model pmf on all rankings.
+  const std::vector<double> phis = {1.0, 0.3, 0.8, 0.5};
+  const RimModel model(Ranking::Identity(4),
+                       InsertionFunction::GeneralizedMallows(phis));
+  model.ForEachRanking([&](const Ranking& tau, double prob) {
+    const auto slots = model.InsertionSlots(tau);
+    double expected = 1.0;
+    for (unsigned t = 0; t < 4; ++t) {
+      const unsigned displacement = t - slots[t];
+      double z = 0.0;
+      for (unsigned e = 0; e <= t; ++e) z += std::pow(phis[t], e);
+      expected *= std::pow(phis[t], displacement) / z;
+    }
+    ASSERT_NEAR(prob, expected, 1e-12) << tau.ToString();
+  });
+}
+
+TEST(GeneralizedMallowsTest, StepDispersionControlsThatStepOnly) {
+  // With φ_t = tiny only at step 2, item σ_2 almost surely keeps its
+  // reference-relative place, while other items stay uniform.
+  std::vector<double> phis = {1.0, 1.0, 1e-6, 1.0};
+  const RimModel model(Ranking::Identity(4),
+                       InsertionFunction::GeneralizedMallows(phis));
+  // Pr(item 2 after items 0 and 1) should be ~1.
+  double both_before = 0.0;
+  model.ForEachRanking([&](const Ranking& tau, double prob) {
+    if (tau.Prefers(0, 2) && tau.Prefers(1, 2)) both_before += prob;
+  });
+  EXPECT_GT(both_before, 0.999);
+  // Items 0, 1 remain exchangeable: Pr(0 before 1) = 1/2.
+  double zero_first = 0.0;
+  model.ForEachRanking([&](const Ranking& tau, double prob) {
+    if (tau.Prefers(0, 1)) zero_first += prob;
+  });
+  EXPECT_NEAR(zero_first, 0.5, 1e-6);
+}
+
+TEST(GeneralizedMallowsDeathTest, OutOfRangeDispersionRejected) {
+  EXPECT_DEATH(InsertionFunction::GeneralizedMallows({1.0, 0.0}),
+               "must be in \\(0, 1\\]");
+  EXPECT_DEATH(InsertionFunction::GeneralizedMallows({1.0, 1.2}),
+               "must be in \\(0, 1\\]");
+}
+
+}  // namespace
+}  // namespace ppref::rim

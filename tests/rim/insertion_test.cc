@@ -1,0 +1,110 @@
+#include "ppref/rim/insertion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppref/common/random.h"
+
+namespace ppref::rim {
+namespace {
+
+void ExpectRowsSumToOne(const InsertionFunction& pi) {
+  for (unsigned t = 0; t < pi.size(); ++t) {
+    double sum = 0.0;
+    for (unsigned j = 0; j <= t; ++j) sum += pi.Prob(t, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "row " << t;
+  }
+}
+
+TEST(InsertionTest, UniformRows) {
+  const auto pi = InsertionFunction::Uniform(5);
+  ASSERT_EQ(pi.size(), 5u);
+  for (unsigned t = 0; t < 5; ++t) {
+    for (unsigned j = 0; j <= t; ++j) {
+      EXPECT_DOUBLE_EQ(pi.Prob(t, j), 1.0 / (t + 1));
+    }
+  }
+}
+
+TEST(InsertionTest, FirstRowIsAlwaysCertain) {
+  // The paper notes Π(1, 1) = 1 for every insertion function.
+  EXPECT_DOUBLE_EQ(InsertionFunction::Uniform(3).Prob(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(InsertionFunction::Mallows(3, 0.5).Prob(0, 0), 1.0);
+}
+
+TEST(InsertionTest, MallowsMatchesDoignonFormula) {
+  const double phi = 0.3;
+  const auto pi = InsertionFunction::Mallows(6, phi);
+  for (unsigned t = 0; t < 6; ++t) {
+    double z = 0.0;
+    for (unsigned e = 0; e <= t; ++e) z += std::pow(phi, e);
+    for (unsigned j = 0; j <= t; ++j) {
+      // Paper (1-based): Π(i, j) = φ^{i-j} / (1 + ... + φ^{i-1}).
+      EXPECT_NEAR(pi.Prob(t, j), std::pow(phi, t - j) / z, 1e-12);
+    }
+  }
+}
+
+TEST(InsertionTest, MallowsPhiOneIsUniform) {
+  const auto mallows = InsertionFunction::Mallows(7, 1.0);
+  const auto uniform = InsertionFunction::Uniform(7);
+  for (unsigned t = 0; t < 7; ++t) {
+    for (unsigned j = 0; j <= t; ++j) {
+      EXPECT_NEAR(mallows.Prob(t, j), uniform.Prob(t, j), 1e-12);
+    }
+  }
+}
+
+TEST(InsertionTest, MallowsRowsSumToOne) {
+  for (double phi : {0.05, 0.3, 0.7, 1.0}) {
+    ExpectRowsSumToOne(InsertionFunction::Mallows(10, phi));
+  }
+}
+
+TEST(InsertionTest, SmallPhiConcentratesOnReferencePosition) {
+  // φ -> 0 makes the last slot (keeping reference order) almost certain.
+  const auto pi = InsertionFunction::Mallows(5, 0.01);
+  for (unsigned t = 1; t < 5; ++t) {
+    EXPECT_GT(pi.Prob(t, t), 0.95);
+  }
+}
+
+TEST(InsertionTest, GeneralizedMallowsUsesPerStepDispersion) {
+  const auto pi = InsertionFunction::GeneralizedMallows({1.0, 0.2, 1.0});
+  // Step 1 uses phi = 0.2; step 2 uses phi = 1 (uniform).
+  EXPECT_NEAR(pi.Prob(1, 1), 1.0 / 1.2, 1e-12);
+  EXPECT_NEAR(pi.Prob(2, 0), 1.0 / 3.0, 1e-12);
+  ExpectRowsSumToOne(pi);
+}
+
+TEST(InsertionTest, RandomRowsAreValid) {
+  Rng rng(123);
+  ExpectRowsSumToOne(InsertionFunction::Random(12, rng));
+}
+
+TEST(InsertionTest, ExplicitRowsAccepted) {
+  const InsertionFunction pi({{1.0}, {0.25, 0.75}});
+  EXPECT_DOUBLE_EQ(pi.Prob(1, 0), 0.25);
+  EXPECT_DOUBLE_EQ(pi.Prob(1, 1), 0.75);
+}
+
+TEST(InsertionDeathTest, BadRowLengthRejected) {
+  EXPECT_DEATH(InsertionFunction({{1.0}, {1.0}}), "must have 2 entries");
+}
+
+TEST(InsertionDeathTest, BadRowSumRejected) {
+  EXPECT_DEATH(InsertionFunction({{1.0}, {0.3, 0.3}}), "sums to");
+}
+
+TEST(InsertionDeathTest, NegativeProbabilityRejected) {
+  EXPECT_DEATH(InsertionFunction({{1.0}, {1.5, -0.5}}), "negative");
+}
+
+TEST(InsertionDeathTest, PhiOutOfRangeRejected) {
+  EXPECT_DEATH(InsertionFunction::Mallows(3, 0.0), "in \\(0, 1\\]");
+  EXPECT_DEATH(InsertionFunction::Mallows(3, 1.5), "in \\(0, 1\\]");
+}
+
+}  // namespace
+}  // namespace ppref::rim

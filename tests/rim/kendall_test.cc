@@ -1,0 +1,69 @@
+#include "ppref/rim/kendall.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/combinatorics.h"
+#include "test_util.h"
+
+namespace ppref::rim {
+namespace {
+
+TEST(KendallTest, IdenticalRankingsHaveDistanceZero) {
+  const Ranking r({3, 1, 0, 2});
+  EXPECT_EQ(KendallTau(r, r), 0u);
+}
+
+TEST(KendallTest, ReversalIsMaximal) {
+  const Ranking forward = Ranking::Identity(6);
+  const Ranking backward({5, 4, 3, 2, 1, 0});
+  EXPECT_EQ(KendallTau(backward, forward), 15u);  // C(6,2)
+}
+
+TEST(KendallTest, SingleSwapIsDistanceOne) {
+  EXPECT_EQ(KendallTau(Ranking({1, 0, 2}), Ranking::Identity(3)), 1u);
+}
+
+TEST(KendallTest, Symmetry) {
+  const Ranking a({2, 0, 3, 1});
+  const Ranking b({1, 3, 0, 2});
+  EXPECT_EQ(KendallTau(a, b), KendallTau(b, a));
+}
+
+TEST(KendallTest, MatchesQuadraticReferenceExhaustively) {
+  // All pairs of rankings over 5 items.
+  const unsigned m = 5;
+  ForEachPermutation(m, [&](const std::vector<unsigned>& p1) {
+    const Ranking a(std::vector<ItemId>(p1.begin(), p1.end()));
+    ForEachPermutation(m, [&](const std::vector<unsigned>& p2) {
+      const Ranking b(std::vector<ItemId>(p2.begin(), p2.end()));
+      ASSERT_EQ(KendallTau(a, b), KendallTauQuadratic(a, b))
+          << a.ToString() << " vs " << b.ToString();
+    });
+  });
+}
+
+TEST(KendallTest, MatchesQuadraticOnRandomLargeRankings) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Ranking a = ppref::testing::RandomReference(64, rng);
+    const Ranking b = ppref::testing::RandomReference(64, rng);
+    ASSERT_EQ(KendallTau(a, b), KendallTauQuadratic(a, b));
+  }
+}
+
+TEST(KendallTest, TriangleInequalityOnRandomTriples) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Ranking a = ppref::testing::RandomReference(10, rng);
+    const Ranking b = ppref::testing::RandomReference(10, rng);
+    const Ranking c = ppref::testing::RandomReference(10, rng);
+    EXPECT_LE(KendallTau(a, c), KendallTau(a, b) + KendallTau(b, c));
+  }
+}
+
+TEST(KendallDeathTest, SizeMismatchRejected) {
+  EXPECT_DEATH(KendallTau(Ranking({0, 1}), Ranking({0, 1, 2})), "PPREF_CHECK");
+}
+
+}  // namespace
+}  // namespace ppref::rim

@@ -1,0 +1,79 @@
+#include "ppref/rim/mallows.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppref/common/random.h"
+#include "ppref/rim/kendall.h"
+#include "test_util.h"
+
+namespace ppref::rim {
+namespace {
+
+class MallowsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MallowsSweep, ClosedFormMatchesRimView) {
+  // Doignon's theorem: the RIM insertion view and φ^d/Z agree exactly.
+  Rng rng(19);
+  const double phi = GetParam();
+  const MallowsModel mallows(ppref::testing::RandomReference(5, rng), phi);
+  mallows.rim().ForEachRanking([&](const Ranking& tau, double rim_prob) {
+    EXPECT_NEAR(rim_prob, mallows.Probability(tau), 1e-12) << tau.ToString();
+  });
+}
+
+TEST_P(MallowsSweep, NormalizationConstantMatchesDirectSum) {
+  Rng rng(23);
+  const double phi = GetParam();
+  const MallowsModel mallows(ppref::testing::RandomReference(5, rng), phi);
+  double z = 0.0;
+  mallows.rim().ForEachRanking([&](const Ranking& tau, double) {
+    z += std::pow(phi, static_cast<double>(KendallTau(tau, mallows.reference())));
+  });
+  EXPECT_NEAR(mallows.NormalizationConstant(), z, 1e-9 * z);
+}
+
+TEST_P(MallowsSweep, ProbabilityDecreasesWithDistance) {
+  const double phi = GetParam();
+  if (phi >= 1.0) GTEST_SKIP() << "φ = 1 is flat";
+  const MallowsModel mallows(Ranking::Identity(4), phi);
+  const double p0 = mallows.Probability(Ranking({0, 1, 2, 3}));  // d = 0
+  const double p1 = mallows.Probability(Ranking({1, 0, 2, 3}));  // d = 1
+  const double p6 = mallows.Probability(Ranking({3, 2, 1, 0}));  // d = 6
+  EXPECT_GT(p0, p1);
+  EXPECT_GT(p1, p6);
+  EXPECT_NEAR(p1 / p0, phi, 1e-12);
+  EXPECT_NEAR(p6 / p0, std::pow(phi, 6), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dispersions, MallowsSweep,
+                         ::testing::Values(0.05, 0.3, 0.5, 0.8, 1.0));
+
+TEST(MallowsTest, PhiOneIsUniform) {
+  const MallowsModel mallows(Ranking::Identity(4), 1.0);
+  mallows.rim().ForEachRanking([&](const Ranking&, double p) {
+    EXPECT_NEAR(p, 1.0 / 24.0, 1e-12);
+  });
+}
+
+TEST(MallowsTest, Figure2ModelAnnOct5) {
+  // Figure 2 row 1: MAL(<Clinton, Sanders, Rubio, Trump>, 0.3). Ids:
+  // Clinton=0, Sanders=1, Rubio=2, Trump=3.
+  const MallowsModel mallows(Ranking({0, 1, 2, 3}), 0.3);
+  // Z = 1 · (1+φ) · (1+φ+φ²) · (1+φ+φ²+φ³).
+  const double phi = 0.3;
+  const double z = (1 + phi) * (1 + phi + phi * phi) *
+                   (1 + phi + phi * phi + phi * phi * phi);
+  EXPECT_NEAR(mallows.NormalizationConstant(), z, 1e-12);
+  // The reference ranking has distance 0.
+  EXPECT_NEAR(mallows.Probability(Ranking({0, 1, 2, 3})), 1.0 / z, 1e-12);
+}
+
+TEST(MallowsDeathTest, InvalidPhiRejected) {
+  EXPECT_DEATH(MallowsModel(Ranking::Identity(3), 0.0), "in \\(0, 1\\]");
+  EXPECT_DEATH(MallowsModel(Ranking::Identity(3), 1.01), "in \\(0, 1\\]");
+}
+
+}  // namespace
+}  // namespace ppref::rim

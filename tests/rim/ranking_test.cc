@@ -1,0 +1,86 @@
+#include "ppref/rim/ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace ppref::rim {
+namespace {
+
+TEST(RankingTest, IdentityOrderAndPositions) {
+  const Ranking r = Ranking::Identity(4);
+  ASSERT_EQ(r.size(), 4u);
+  for (Position p = 0; p < 4; ++p) {
+    EXPECT_EQ(r.At(p), p);
+    EXPECT_EQ(r.PositionOf(p), p);
+  }
+}
+
+TEST(RankingTest, PositionsInvertOrder) {
+  const Ranking r({2, 0, 3, 1});
+  EXPECT_EQ(r.PositionOf(2), 0u);
+  EXPECT_EQ(r.PositionOf(0), 1u);
+  EXPECT_EQ(r.PositionOf(3), 2u);
+  EXPECT_EQ(r.PositionOf(1), 3u);
+}
+
+TEST(RankingTest, PrefersMatchesPositions) {
+  // Example 2.1 flavor: <Clinton, Rubio, Sanders, Trump> as ids <0,1,2,3>.
+  const Ranking tau({0, 1, 2, 3});
+  EXPECT_TRUE(tau.Prefers(0, 3));   // Clinton > Trump
+  EXPECT_TRUE(tau.Prefers(1, 2));   // Rubio > Sanders
+  EXPECT_FALSE(tau.Prefers(3, 0));  // not Trump > Clinton
+  EXPECT_FALSE(tau.Prefers(2, 2));  // irreflexive
+}
+
+TEST(RankingTest, EmptyRanking) {
+  const Ranking r;
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.ToString(), "<>");
+}
+
+TEST(RankingTest, InsertedShiftsSuffix) {
+  // RIM-style growth: items are appended by id, landing anywhere.
+  Ranking r({0});
+  r = r.Inserted(1, 0);  // <1, 0>
+  r = r.Inserted(2, 1);  // <1, 2, 0>
+  EXPECT_EQ(r, (Ranking{1, 2, 0}));
+  r = r.Inserted(3, 3);  // append at the end
+  EXPECT_EQ(r, (Ranking{1, 2, 0, 3}));
+}
+
+TEST(RankingTest, InsertedReproducesExample22) {
+  // Example 2.2: reference <Clinton, Sanders, Rubio, Trump> = <0, 1, 2, 3>;
+  // insertions at paper positions 1, 2, 2, 4 (1-based) yield
+  // <Clinton, Rubio, Sanders, Trump>.
+  Ranking tau;
+  tau = tau.Inserted(0, 0);
+  tau = tau.Inserted(1, 1);
+  tau = tau.Inserted(2, 1);
+  tau = tau.Inserted(3, 3);
+  // Result ranks Clinton(0) > Rubio(2) > Sanders(1) > Trump(3).
+  EXPECT_EQ(tau, (Ranking{0, 2, 1, 3}));
+}
+
+TEST(RankingTest, ToStringRendersOrder) {
+  EXPECT_EQ(Ranking({2, 0, 1}).ToString(), "<2, 0, 1>");
+}
+
+TEST(RankingTest, EqualityComparesOrders) {
+  EXPECT_EQ(Ranking({0, 1}), Ranking({0, 1}));
+  EXPECT_NE(Ranking({0, 1}), Ranking({1, 0}));
+}
+
+TEST(RankingDeathTest, DuplicateItemRejected) {
+  EXPECT_DEATH(Ranking({0, 0}), "occurs twice");
+}
+
+TEST(RankingDeathTest, OutOfRangeItemRejected) {
+  EXPECT_DEATH(Ranking({0, 5}), "out of range");
+}
+
+TEST(RankingDeathTest, InsertedRequiresNextId) {
+  const Ranking r({0, 1});
+  EXPECT_DEATH(r.Inserted(5, 0), "must append item id");
+}
+
+}  // namespace
+}  // namespace ppref::rim

@@ -1,0 +1,88 @@
+#include "ppref/rim/rim_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ppref/common/random.h"
+#include "test_util.h"
+
+namespace ppref::rim {
+namespace {
+
+TEST(RimModelTest, ProbabilitiesSumToOneOverAllRankings) {
+  Rng rng(1);
+  for (unsigned m : {1u, 2u, 3u, 4u, 5u}) {
+    const RimModel model(ppref::testing::RandomReference(m, rng),
+                         InsertionFunction::Random(m, rng));
+    double total = 0.0;
+    unsigned count = 0;
+    model.ForEachRanking([&](const Ranking&, double p) {
+      total += p;
+      ++count;
+    });
+    EXPECT_NEAR(total, 1.0, 1e-12) << "m=" << m;
+    unsigned expected = 1;
+    for (unsigned i = 2; i <= m; ++i) expected *= i;
+    EXPECT_EQ(count, expected);
+  }
+}
+
+TEST(RimModelTest, InsertionSlotsRoundTrip) {
+  // Rebuilding the ranking from its reconstructed slots must reproduce it.
+  Rng rng(2);
+  const unsigned m = 6;
+  const Ranking reference = ppref::testing::RandomReference(m, rng);
+  const RimModel model(reference, InsertionFunction::Uniform(m));
+  model.ForEachRanking([&](const Ranking& tau, double) {
+    const std::vector<unsigned> slots = model.InsertionSlots(tau);
+    // Replay: insert reference items at the recorded slots, tracking the
+    // evolving order of reference items only.
+    std::vector<ItemId> order;
+    for (unsigned t = 0; t < m; ++t) {
+      order.insert(order.begin() + slots[t], reference.At(t));
+    }
+    EXPECT_EQ(Ranking(order), tau);
+  });
+}
+
+TEST(RimModelTest, Example22ProbabilityIsProductOfInsertions) {
+  // Example 2.2: σ = <Clinton, Sanders, Rubio, Trump> = ids <0, 1, 2, 3>;
+  // τ = <Clinton, Rubio, Sanders, Trump> has probability
+  // Π(1,1) · Π(2,2) · Π(3,2) · Π(4,4) (1-based paper indexing).
+  Rng rng(3);
+  const RimModel model(Ranking({0, 1, 2, 3}), InsertionFunction::Random(4, rng));
+  const Ranking tau({0, 2, 1, 3});
+  const auto& pi = model.insertion();
+  const double expected =
+      pi.Prob(0, 0) * pi.Prob(1, 1) * pi.Prob(2, 1) * pi.Prob(3, 3);
+  EXPECT_NEAR(model.Probability(tau), expected, 1e-15);
+}
+
+TEST(RimModelTest, UniformInsertionGivesUniformDistribution) {
+  const unsigned m = 5;
+  const RimModel model(Ranking::Identity(m), InsertionFunction::Uniform(m));
+  model.ForEachRanking([&](const Ranking& tau, double p) {
+    EXPECT_NEAR(p, 1.0 / 120.0, 1e-12) << tau.ToString();
+  });
+}
+
+TEST(RimModelTest, ReferenceRankingIsTheModeForSmallPhi) {
+  const Ranking reference({2, 0, 1, 3});
+  const RimModel model(reference, InsertionFunction::Mallows(4, 0.2));
+  double best = -1.0;
+  Ranking best_ranking;
+  model.ForEachRanking([&](const Ranking& tau, double p) {
+    if (p > best) {
+      best = p;
+      best_ranking = tau;
+    }
+  });
+  EXPECT_EQ(best_ranking, reference);
+}
+
+TEST(RimModelDeathTest, SizeMismatchRejected) {
+  EXPECT_DEATH(RimModel(Ranking::Identity(3), InsertionFunction::Uniform(4)),
+               "insertion function has");
+}
+
+}  // namespace
+}  // namespace ppref::rim

@@ -1,0 +1,57 @@
+#include "ppref/rim/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ppref/rim/mallows.h"
+#include "test_util.h"
+
+namespace ppref::rim {
+namespace {
+
+TEST(SamplerTest, SamplesArePermutations) {
+  Rng rng(5);
+  const RimModel model(ppref::testing::RandomReference(8, rng),
+                       InsertionFunction::Random(8, rng));
+  for (int i = 0; i < 100; ++i) {
+    const Ranking tau = SampleRanking(model, rng);
+    ASSERT_EQ(tau.size(), 8u);  // Ranking's constructor validates the permutation.
+  }
+}
+
+TEST(SamplerTest, EmpiricalFrequenciesMatchPmf) {
+  // Chi-square-ish check on a 4-item Mallows model: empirical frequency of
+  // each ranking within 5 standard errors of its exact probability.
+  Rng rng(99);
+  const MallowsModel mallows(Ranking({1, 0, 3, 2}), 0.5);
+  std::map<std::vector<ItemId>, int> counts;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    counts[SampleRanking(mallows.rim(), rng).order()]++;
+  }
+  mallows.rim().ForEachRanking([&](const Ranking& tau, double p) {
+    const double freq = static_cast<double>(counts[tau.order()]) / draws;
+    const double sigma = std::sqrt(p * (1 - p) / draws);
+    EXPECT_NEAR(freq, p, 5 * sigma + 1e-4) << tau.ToString();
+  });
+}
+
+TEST(SamplerTest, DegenerateInsertionIsDeterministic) {
+  // All mass on the last slot reproduces the reference ranking exactly.
+  std::vector<std::vector<double>> rows = {{1.0}, {0.0, 1.0}, {0.0, 0.0, 1.0}};
+  const RimModel model(Ranking({2, 0, 1}), InsertionFunction(std::move(rows)));
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(SampleRanking(model, rng), model.reference());
+  }
+}
+
+TEST(SamplerTest, SingleItemModel) {
+  Rng rng(1);
+  const RimModel model(Ranking({0}), InsertionFunction::Uniform(1));
+  EXPECT_EQ(SampleRanking(model, rng), Ranking({0}));
+}
+
+}  // namespace
+}  // namespace ppref::rim

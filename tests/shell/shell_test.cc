@@ -1,0 +1,160 @@
+#include "ppref/shell/shell.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ppref/ppd/evaluator.h"
+#include "ppref/ppd/io.h"
+#include "ppref/query/parser.h"
+
+namespace ppref::shell {
+namespace {
+
+/// Runs a script in a fresh shell, returning the accumulated output.
+std::string RunScript(const std::string& script) {
+  std::ostringstream out;
+  Shell shell(out);
+  shell.ExecuteScript(script);
+  return out.str();
+}
+
+TEST(ShellTest, HelpListsCommands) {
+  const std::string out = RunScript("\\help\n");
+  EXPECT_NE(out.find("\\query"), std::string::npos);
+  EXPECT_NE(out.find("\\mallows"), std::string::npos);
+}
+
+TEST(ShellTest, QuitStopsScript) {
+  std::ostringstream out;
+  Shell shell(out);
+  EXPECT_EQ(shell.ExecuteScript("\\quit\n\\help\n"), 1u);
+}
+
+TEST(ShellTest, UnknownCommandIsReportedNotFatal) {
+  const std::string out = RunScript("\\frobnicate\n\\help\n");
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_NE(out.find("\\query"), std::string::npos);  // kept going
+}
+
+TEST(ShellTest, BlankAndCommentLinesIgnored) {
+  EXPECT_EQ(RunScript("\n# comment\n   \n"), "");
+}
+
+TEST(ShellTest, DeclareSchemaInsertAndQuery) {
+  const std::string out = RunScript(
+      "\\osymbol Color item,color\n"
+      "\\psymbol Pref user|l|r\n"
+      "\\fact Color \"a\",\"red\"\n"
+      "\\fact Color \"b\",\"blue\"\n"
+      "\\mallows Pref 1.0 | \"u1\" | \"a\",\"b\"\n"
+      "\\query Q() :- Pref(u; l; r), Color(l, 'red'), Color(r, 'blue')\n");
+  EXPECT_NE(out.find("o-symbol Color declared"), std::string::npos);
+  EXPECT_NE(out.find("session added"), std::string::npos);
+  // Uniform over two items: Pr(a > b) = 0.5, exact.
+  EXPECT_NE(out.find("conf = 0.5 (exact)"), std::string::npos);
+}
+
+TEST(ShellTest, ElectionExampleQueries) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\classify Q() :- Polls(_, _; l; r), Candidates(l, p, 'M', _), "
+      "Candidates(r, p, 'F', _)\n"
+      "\\query Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')\n"
+      "\\answers Q(l) :- Polls('Ann', 'Oct-5'; l; 'Trump')\n");
+  EXPECT_NE(out.find("itemwise: no"), std::string::npos);
+  EXPECT_NE(out.find("(exact)"), std::string::npos);
+  EXPECT_NE(out.find("('Clinton')"), std::string::npos);
+  EXPECT_NE(out.find("('Rubio')"), std::string::npos);
+}
+
+TEST(ShellTest, NonItemwiseSmallFallsBackToEnumeration) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\query Q() :- Polls(_, _; l; r), Candidates(l, p, 'M', _), "
+      "Candidates(r, p, 'F', _)\n");
+  EXPECT_NE(out.find("possible-world enumeration"), std::string::npos);
+}
+
+TEST(ShellTest, UnionCommand) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\union Q() :- Polls('Ann', 'Oct-5'; 'Trump'; 'Clinton') UNION "
+      "Q() :- Polls('Bob', 'Oct-5'; 'Trump'; 'Sanders')\n");
+  EXPECT_NE(out.find("conf = "), std::string::npos);
+  EXPECT_NE(out.find("(exact)"), std::string::npos);
+}
+
+TEST(ShellTest, ApproxCommandReportsGuarantee) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\approx 0.1 0.1 Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')\n");
+  EXPECT_NE(out.find("w.p. >= 0.9"), std::string::npos);
+  EXPECT_NE(out.find("150 samples"), std::string::npos);
+}
+
+TEST(ShellTest, SaveAndLoadInlineRoundTrip) {
+  std::ostringstream out1;
+  Shell shell(out1);
+  shell.ExecuteScript("\\election\n\\save\n");
+  const std::string saved = out1.str();
+  // Extract from the first directive onward (skip the banner line).
+  const std::string ppd_text = saved.substr(saved.find("osymbol"));
+
+  std::ostringstream out2;
+  Shell shell2(out2);
+  shell2.ExecuteScript("\\load-inline\n" + ppd_text + "end-load\n");
+  EXPECT_NE(out2.str().find("loaded PPD"), std::string::npos);
+  EXPECT_EQ(shell2.ppd().PInstance("Polls").session_count(), 3u);
+}
+
+TEST(ShellTest, ErrorsAreReportedInline) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\query Q() :- Nope(x)\n"
+      "\\fact Voters \"only\",\"two\"\n"
+      "\\fact Nope \"x\"\n"
+      "\\mallows Polls 0.5 | \"Ann\",\"Oct-5\" | \"a\",\"b\"\n"
+      "\\help\n");
+  EXPECT_NE(out.find("error: unknown relation symbol"), std::string::npos);
+  EXPECT_NE(out.find("expects 4"), std::string::npos);
+  EXPECT_NE(out.find("not a declared o-symbol"), std::string::npos);
+  EXPECT_NE(out.find("duplicate session"), std::string::npos);
+  // The shell keeps going after every error.
+  EXPECT_NE(out.find("\\union"), std::string::npos);
+}
+
+TEST(ShellTest, SessionsListsModels) {
+  const std::string out = RunScript("\\election\n\\sessions Polls\n");
+  EXPECT_NE(out.find("MAL(<'Clinton', 'Sanders', 'Rubio', 'Trump'>, phi=0.3)"),
+            std::string::npos);
+}
+
+TEST(ShellTest, ExplainCommandShowsThePlan) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\explain Q() :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _)\n");
+  EXPECT_NE(out.find("Section 4.4 reduction"), std::string::npos);
+  EXPECT_NE(out.find("potential matches"), std::string::npos);
+  EXPECT_NE(out.find("result: conf ="), std::string::npos);
+}
+
+TEST(ShellTest, SplitCommandEvaluatesHardQueries) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\split Q() :- Polls(_, _; l; r), Candidates(l, p, 'M', _), "
+      "Candidates(r, p, 'F', _)\n");
+  EXPECT_NE(out.find("conf = 0.83783"), std::string::npos);
+  EXPECT_NE(out.find("2 itemwise disjuncts"), std::string::npos);
+}
+
+TEST(ShellTest, AnalyticsCommandShowsWinnersAndConsensus) {
+  const std::string out = RunScript("\\election\n\\analytics Polls\n");
+  EXPECT_NE(out.find("winner probabilities"), std::string::npos);
+  EXPECT_NE(out.find("'Clinton'"), std::string::npos);
+  EXPECT_NE(out.find("consensus"), std::string::npos);
+  EXPECT_NE(out.find("(3 sessions)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppref::shell

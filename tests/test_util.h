@@ -1,0 +1,80 @@
+/// \file test_util.h
+/// \brief Shared helpers for the ppref test suite: random model / labeling /
+/// pattern generators used by property-style sweeps.
+
+#ifndef PPREF_TESTS_TEST_UTIL_H_
+#define PPREF_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "ppref/common/random.h"
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/labeling.h"
+#include "ppref/infer/pattern.h"
+#include "ppref/rim/mallows.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::testing {
+
+/// A random reference ranking over m items.
+inline rim::Ranking RandomReference(unsigned m, Rng& rng) {
+  std::vector<rim::ItemId> order;
+  for (unsigned i = 0; i < m; ++i) order.push_back(i);
+  for (unsigned i = m; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextIndex(i)]);
+  }
+  return rim::Ranking(std::move(order));
+}
+
+/// A labeling where each of `label_count` labels is assigned to every item
+/// independently with probability `density`.
+inline infer::ItemLabeling RandomLabeling(unsigned m, unsigned label_count,
+                                          double density, Rng& rng) {
+  infer::ItemLabeling labeling(m);
+  for (rim::ItemId item = 0; item < m; ++item) {
+    for (infer::LabelId label = 0; label < label_count; ++label) {
+      if (rng.NextUnit() < density) labeling.AddLabel(item, label);
+    }
+  }
+  return labeling;
+}
+
+/// A random DAG pattern over nodes carrying labels 0..node_count-1, where
+/// each forward edge (u, v), u < v, is present with probability
+/// `edge_density` (forward-only edges guarantee acyclicity).
+inline infer::LabelPattern RandomDagPattern(unsigned node_count,
+                                            double edge_density, Rng& rng) {
+  infer::LabelPattern pattern;
+  for (infer::LabelId label = 0; label < node_count; ++label) {
+    pattern.AddNode(label);
+  }
+  for (unsigned u = 0; u < node_count; ++u) {
+    for (unsigned v = u + 1; v < node_count; ++v) {
+      if (rng.NextUnit() < edge_density) pattern.AddEdge(u, v);
+    }
+  }
+  return pattern;
+}
+
+/// A labeled Mallows model with a random reference ranking.
+inline infer::LabeledRimModel RandomLabeledMallows(unsigned m, double phi,
+                                                   unsigned label_count,
+                                                   double density, Rng& rng) {
+  rim::MallowsModel mallows(RandomReference(m, rng), phi);
+  return infer::LabeledRimModel(mallows.rim(),
+                                RandomLabeling(m, label_count, density, rng));
+}
+
+/// A labeled model with a completely random (non-Mallows) insertion
+/// function, exercising general RIM.
+inline infer::LabeledRimModel RandomLabeledRim(unsigned m, unsigned label_count,
+                                               double density, Rng& rng) {
+  rim::RimModel model(RandomReference(m, rng),
+                      rim::InsertionFunction::Random(m, rng));
+  return infer::LabeledRimModel(std::move(model),
+                                RandomLabeling(m, label_count, density, rng));
+}
+
+}  // namespace ppref::testing
+
+#endif  // PPREF_TESTS_TEST_UTIL_H_

@@ -1,0 +1,25 @@
+/// \file ppref_shell.cc
+/// \brief Interactive REPL over probabilistic preference databases.
+///
+/// Usage: ./build/tools/ppref_shell [< script]
+/// Try:   \election
+///        \query Q() :- Polls(v, d; l; 'Trump'), Candidates(l, _, 'F', _)
+///        \help
+
+#include <iostream>
+#include <string>
+
+#include "ppref/shell/shell.h"
+
+int main() {
+  ppref::shell::Shell shell(std::cout);
+  std::string line;
+  std::cout << "ppref shell — \\help for commands\n";
+  while (true) {
+    std::cout << "ppref> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Execute(line)) break;
+  }
+  std::cout << "\n";
+  return 0;
+}
