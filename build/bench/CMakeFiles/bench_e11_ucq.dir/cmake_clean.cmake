@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_ucq.dir/bench_e11_ucq.cc.o"
+  "CMakeFiles/bench_e11_ucq.dir/bench_e11_ucq.cc.o.d"
+  "bench_e11_ucq"
+  "bench_e11_ucq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_ucq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_aggregates_approx.dir/bench_e13_aggregates_approx.cc.o"
+  "CMakeFiles/bench_e13_aggregates_approx.dir/bench_e13_aggregates_approx.cc.o.d"
+  "bench_e13_aggregates_approx"
+  "bench_e13_aggregates_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_aggregates_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

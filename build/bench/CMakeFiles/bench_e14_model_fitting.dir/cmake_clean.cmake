@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_model_fitting.dir/bench_e14_model_fitting.cc.o"
+  "CMakeFiles/bench_e14_model_fitting.dir/bench_e14_model_fitting.cc.o.d"
+  "bench_e14_model_fitting"
+  "bench_e14_model_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_model_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

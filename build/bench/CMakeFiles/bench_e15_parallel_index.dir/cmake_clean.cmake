@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_parallel_index.dir/bench_e15_parallel_index.cc.o"
+  "CMakeFiles/bench_e15_parallel_index.dir/bench_e15_parallel_index.cc.o.d"
+  "bench_e15_parallel_index"
+  "bench_e15_parallel_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_parallel_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

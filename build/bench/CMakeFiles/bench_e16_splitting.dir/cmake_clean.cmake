@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_splitting.dir/bench_e16_splitting.cc.o"
+  "CMakeFiles/bench_e16_splitting.dir/bench_e16_splitting.cc.o.d"
+  "bench_e16_splitting"
+  "bench_e16_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_exact_vs_brute.dir/bench_e2_exact_vs_brute.cc.o"
+  "CMakeFiles/bench_e2_exact_vs_brute.dir/bench_e2_exact_vs_brute.cc.o.d"
+  "bench_e2_exact_vs_brute"
+  "bench_e2_exact_vs_brute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_exact_vs_brute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

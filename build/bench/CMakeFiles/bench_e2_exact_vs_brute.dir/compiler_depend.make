@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e2_exact_vs_brute.
+# This may be replaced when dependencies are built.

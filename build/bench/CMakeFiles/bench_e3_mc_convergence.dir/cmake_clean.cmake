@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_mc_convergence.dir/bench_e3_mc_convergence.cc.o"
+  "CMakeFiles/bench_e3_mc_convergence.dir/bench_e3_mc_convergence.cc.o.d"
+  "bench_e3_mc_convergence"
+  "bench_e3_mc_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_mc_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

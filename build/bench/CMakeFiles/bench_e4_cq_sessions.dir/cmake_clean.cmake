@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_cq_sessions.dir/bench_e4_cq_sessions.cc.o"
+  "CMakeFiles/bench_e4_cq_sessions.dir/bench_e4_cq_sessions.cc.o.d"
+  "bench_e4_cq_sessions"
+  "bench_e4_cq_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_cq_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_minmax.dir/bench_e5_minmax.cc.o"
+  "CMakeFiles/bench_e5_minmax.dir/bench_e5_minmax.cc.o.d"
+  "bench_e5_minmax"
+  "bench_e5_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_linear_extensions.dir/bench_e6_linear_extensions.cc.o"
+  "CMakeFiles/bench_e6_linear_extensions.dir/bench_e6_linear_extensions.cc.o.d"
+  "bench_e6_linear_extensions"
+  "bench_e6_linear_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_linear_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e6_linear_extensions.
+# This may be replaced when dependencies are built.

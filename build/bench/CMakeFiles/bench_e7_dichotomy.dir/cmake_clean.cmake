@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_dichotomy.dir/bench_e7_dichotomy.cc.o"
+  "CMakeFiles/bench_e7_dichotomy.dir/bench_e7_dichotomy.cc.o.d"
+  "bench_e7_dichotomy"
+  "bench_e7_dichotomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_micro_rim.dir/bench_e9_micro_rim.cc.o"
+  "CMakeFiles/bench_e9_micro_rim.dir/bench_e9_micro_rim.cc.o.d"
+  "bench_e9_micro_rim"
+  "bench_e9_micro_rim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_micro_rim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

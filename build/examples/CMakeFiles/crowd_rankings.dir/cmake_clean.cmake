@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_rankings.dir/crowd_rankings.cc.o"
+  "CMakeFiles/crowd_rankings.dir/crowd_rankings.cc.o.d"
+  "crowd_rankings"
+  "crowd_rankings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_rankings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

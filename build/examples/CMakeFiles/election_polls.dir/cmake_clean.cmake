@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_polls.dir/election_polls.cc.o"
+  "CMakeFiles/election_polls.dir/election_polls.cc.o.d"
+  "election_polls"
+  "election_polls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_polls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

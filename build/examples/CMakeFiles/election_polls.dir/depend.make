@@ -1,0 +1,2 @@
+# Empty dependencies file for election_polls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_pathways.dir/gene_pathways.cc.o"
+  "CMakeFiles/gene_pathways.dir/gene_pathways.cc.o.d"
+  "gene_pathways"
+  "gene_pathways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_pathways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_recommendations.dir/movie_recommendations.cc.o"
+  "CMakeFiles/movie_recommendations.dir/movie_recommendations.cc.o.d"
+  "movie_recommendations"
+  "movie_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polling_pipeline.dir/polling_pipeline.cc.o"
+  "CMakeFiles/polling_pipeline.dir/polling_pipeline.cc.o.d"
+  "polling_pipeline"
+  "polling_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polling_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppref/common/check.cc" "src/CMakeFiles/ppref.dir/ppref/common/check.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/common/check.cc.o.d"
+  "/root/repo/src/ppref/common/combinatorics.cc" "src/CMakeFiles/ppref.dir/ppref/common/combinatorics.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/common/combinatorics.cc.o.d"
+  "/root/repo/src/ppref/common/parallel.cc" "src/CMakeFiles/ppref.dir/ppref/common/parallel.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/common/parallel.cc.o.d"
+  "/root/repo/src/ppref/common/random.cc" "src/CMakeFiles/ppref.dir/ppref/common/random.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/common/random.cc.o.d"
+  "/root/repo/src/ppref/db/csv.cc" "src/CMakeFiles/ppref.dir/ppref/db/csv.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/db/csv.cc.o.d"
+  "/root/repo/src/ppref/db/database.cc" "src/CMakeFiles/ppref.dir/ppref/db/database.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/db/database.cc.o.d"
+  "/root/repo/src/ppref/db/preference_instance.cc" "src/CMakeFiles/ppref.dir/ppref/db/preference_instance.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/db/preference_instance.cc.o.d"
+  "/root/repo/src/ppref/db/relation.cc" "src/CMakeFiles/ppref.dir/ppref/db/relation.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/db/relation.cc.o.d"
+  "/root/repo/src/ppref/db/schema.cc" "src/CMakeFiles/ppref.dir/ppref/db/schema.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/db/schema.cc.o.d"
+  "/root/repo/src/ppref/db/signature.cc" "src/CMakeFiles/ppref.dir/ppref/db/signature.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/db/signature.cc.o.d"
+  "/root/repo/src/ppref/db/value.cc" "src/CMakeFiles/ppref.dir/ppref/db/value.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/db/value.cc.o.d"
+  "/root/repo/src/ppref/fit/mallows_fit.cc" "src/CMakeFiles/ppref.dir/ppref/fit/mallows_fit.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/fit/mallows_fit.cc.o.d"
+  "/root/repo/src/ppref/infer/aggregates.cc" "src/CMakeFiles/ppref.dir/ppref/infer/aggregates.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/aggregates.cc.o.d"
+  "/root/repo/src/ppref/infer/brute_force.cc" "src/CMakeFiles/ppref.dir/ppref/infer/brute_force.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/brute_force.cc.o.d"
+  "/root/repo/src/ppref/infer/conjunction.cc" "src/CMakeFiles/ppref.dir/ppref/infer/conjunction.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/conjunction.cc.o.d"
+  "/root/repo/src/ppref/infer/internal/dp_engine.cc" "src/CMakeFiles/ppref.dir/ppref/infer/internal/dp_engine.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/internal/dp_engine.cc.o.d"
+  "/root/repo/src/ppref/infer/label_distributions.cc" "src/CMakeFiles/ppref.dir/ppref/infer/label_distributions.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/label_distributions.cc.o.d"
+  "/root/repo/src/ppref/infer/labeled_rim.cc" "src/CMakeFiles/ppref.dir/ppref/infer/labeled_rim.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/labeled_rim.cc.o.d"
+  "/root/repo/src/ppref/infer/labeling.cc" "src/CMakeFiles/ppref.dir/ppref/infer/labeling.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/labeling.cc.o.d"
+  "/root/repo/src/ppref/infer/linear_extensions.cc" "src/CMakeFiles/ppref.dir/ppref/infer/linear_extensions.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/linear_extensions.cc.o.d"
+  "/root/repo/src/ppref/infer/marginals.cc" "src/CMakeFiles/ppref.dir/ppref/infer/marginals.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/marginals.cc.o.d"
+  "/root/repo/src/ppref/infer/matching.cc" "src/CMakeFiles/ppref.dir/ppref/infer/matching.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/matching.cc.o.d"
+  "/root/repo/src/ppref/infer/minmax_condition.cc" "src/CMakeFiles/ppref.dir/ppref/infer/minmax_condition.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/minmax_condition.cc.o.d"
+  "/root/repo/src/ppref/infer/monte_carlo.cc" "src/CMakeFiles/ppref.dir/ppref/infer/monte_carlo.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/monte_carlo.cc.o.d"
+  "/root/repo/src/ppref/infer/pattern.cc" "src/CMakeFiles/ppref.dir/ppref/infer/pattern.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/pattern.cc.o.d"
+  "/root/repo/src/ppref/infer/top_prob.cc" "src/CMakeFiles/ppref.dir/ppref/infer/top_prob.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/top_prob.cc.o.d"
+  "/root/repo/src/ppref/infer/top_prob_minmax.cc" "src/CMakeFiles/ppref.dir/ppref/infer/top_prob_minmax.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/top_prob_minmax.cc.o.d"
+  "/root/repo/src/ppref/infer/uniform_extensions.cc" "src/CMakeFiles/ppref.dir/ppref/infer/uniform_extensions.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/infer/uniform_extensions.cc.o.d"
+  "/root/repo/src/ppref/ppd/analytics.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/analytics.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/analytics.cc.o.d"
+  "/root/repo/src/ppref/ppd/approx.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/approx.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/approx.cc.o.d"
+  "/root/repo/src/ppref/ppd/conditional.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/conditional.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/conditional.cc.o.d"
+  "/root/repo/src/ppref/ppd/evaluator.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/evaluator.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/evaluator.cc.o.d"
+  "/root/repo/src/ppref/ppd/explain.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/explain.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/explain.cc.o.d"
+  "/root/repo/src/ppref/ppd/formula.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/formula.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/formula.cc.o.d"
+  "/root/repo/src/ppref/ppd/io.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/io.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/io.cc.o.d"
+  "/root/repo/src/ppref/ppd/monte_carlo_evaluator.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/monte_carlo_evaluator.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/monte_carlo_evaluator.cc.o.d"
+  "/root/repo/src/ppref/ppd/possible_worlds.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/possible_worlds.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/possible_worlds.cc.o.d"
+  "/root/repo/src/ppref/ppd/ppd.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/ppd.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/ppd.cc.o.d"
+  "/root/repo/src/ppref/ppd/preference_model.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/preference_model.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/preference_model.cc.o.d"
+  "/root/repo/src/ppref/ppd/reduction.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/reduction.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/reduction.cc.o.d"
+  "/root/repo/src/ppref/ppd/splitting.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/splitting.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/splitting.cc.o.d"
+  "/root/repo/src/ppref/ppd/ucq_evaluator.cc" "src/CMakeFiles/ppref.dir/ppref/ppd/ucq_evaluator.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/ppd/ucq_evaluator.cc.o.d"
+  "/root/repo/src/ppref/query/classify.cc" "src/CMakeFiles/ppref.dir/ppref/query/classify.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/query/classify.cc.o.d"
+  "/root/repo/src/ppref/query/cq.cc" "src/CMakeFiles/ppref.dir/ppref/query/cq.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/query/cq.cc.o.d"
+  "/root/repo/src/ppref/query/eval.cc" "src/CMakeFiles/ppref.dir/ppref/query/eval.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/query/eval.cc.o.d"
+  "/root/repo/src/ppref/query/gaifman.cc" "src/CMakeFiles/ppref.dir/ppref/query/gaifman.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/query/gaifman.cc.o.d"
+  "/root/repo/src/ppref/query/parser.cc" "src/CMakeFiles/ppref.dir/ppref/query/parser.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/query/parser.cc.o.d"
+  "/root/repo/src/ppref/query/ucq.cc" "src/CMakeFiles/ppref.dir/ppref/query/ucq.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/query/ucq.cc.o.d"
+  "/root/repo/src/ppref/rim/insertion.cc" "src/CMakeFiles/ppref.dir/ppref/rim/insertion.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/rim/insertion.cc.o.d"
+  "/root/repo/src/ppref/rim/kendall.cc" "src/CMakeFiles/ppref.dir/ppref/rim/kendall.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/rim/kendall.cc.o.d"
+  "/root/repo/src/ppref/rim/mallows.cc" "src/CMakeFiles/ppref.dir/ppref/rim/mallows.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/rim/mallows.cc.o.d"
+  "/root/repo/src/ppref/rim/ranking.cc" "src/CMakeFiles/ppref.dir/ppref/rim/ranking.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/rim/ranking.cc.o.d"
+  "/root/repo/src/ppref/rim/rim_model.cc" "src/CMakeFiles/ppref.dir/ppref/rim/rim_model.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/rim/rim_model.cc.o.d"
+  "/root/repo/src/ppref/rim/sampler.cc" "src/CMakeFiles/ppref.dir/ppref/rim/sampler.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/rim/sampler.cc.o.d"
+  "/root/repo/src/ppref/shell/shell.cc" "src/CMakeFiles/ppref.dir/ppref/shell/shell.cc.o" "gcc" "src/CMakeFiles/ppref.dir/ppref/shell/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppref.
+# This may be replaced when dependencies are built.

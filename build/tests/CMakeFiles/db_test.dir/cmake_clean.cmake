@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/db/csv_test.cc.o"
+  "CMakeFiles/db_test.dir/db/csv_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/database_test.cc.o"
+  "CMakeFiles/db_test.dir/db/database_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/preference_instance_test.cc.o"
+  "CMakeFiles/db_test.dir/db/preference_instance_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/relation_test.cc.o"
+  "CMakeFiles/db_test.dir/db/relation_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/schema_test.cc.o"
+  "CMakeFiles/db_test.dir/db/schema_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/signature_test.cc.o"
+  "CMakeFiles/db_test.dir/db/signature_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/value_test.cc.o"
+  "CMakeFiles/db_test.dir/db/value_test.cc.o.d"
+  "db_test"
+  "db_test.pdb"
+  "db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/infer/aggregates_test.cc" "tests/CMakeFiles/infer_basics_test.dir/infer/aggregates_test.cc.o" "gcc" "tests/CMakeFiles/infer_basics_test.dir/infer/aggregates_test.cc.o.d"
+  "/root/repo/tests/infer/labeling_test.cc" "tests/CMakeFiles/infer_basics_test.dir/infer/labeling_test.cc.o" "gcc" "tests/CMakeFiles/infer_basics_test.dir/infer/labeling_test.cc.o.d"
+  "/root/repo/tests/infer/linear_extensions_test.cc" "tests/CMakeFiles/infer_basics_test.dir/infer/linear_extensions_test.cc.o" "gcc" "tests/CMakeFiles/infer_basics_test.dir/infer/linear_extensions_test.cc.o.d"
+  "/root/repo/tests/infer/marginals_test.cc" "tests/CMakeFiles/infer_basics_test.dir/infer/marginals_test.cc.o" "gcc" "tests/CMakeFiles/infer_basics_test.dir/infer/marginals_test.cc.o.d"
+  "/root/repo/tests/infer/matching_test.cc" "tests/CMakeFiles/infer_basics_test.dir/infer/matching_test.cc.o" "gcc" "tests/CMakeFiles/infer_basics_test.dir/infer/matching_test.cc.o.d"
+  "/root/repo/tests/infer/pattern_test.cc" "tests/CMakeFiles/infer_basics_test.dir/infer/pattern_test.cc.o" "gcc" "tests/CMakeFiles/infer_basics_test.dir/infer/pattern_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

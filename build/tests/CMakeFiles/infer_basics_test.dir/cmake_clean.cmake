@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_basics_test.dir/infer/aggregates_test.cc.o"
+  "CMakeFiles/infer_basics_test.dir/infer/aggregates_test.cc.o.d"
+  "CMakeFiles/infer_basics_test.dir/infer/labeling_test.cc.o"
+  "CMakeFiles/infer_basics_test.dir/infer/labeling_test.cc.o.d"
+  "CMakeFiles/infer_basics_test.dir/infer/linear_extensions_test.cc.o"
+  "CMakeFiles/infer_basics_test.dir/infer/linear_extensions_test.cc.o.d"
+  "CMakeFiles/infer_basics_test.dir/infer/marginals_test.cc.o"
+  "CMakeFiles/infer_basics_test.dir/infer/marginals_test.cc.o.d"
+  "CMakeFiles/infer_basics_test.dir/infer/matching_test.cc.o"
+  "CMakeFiles/infer_basics_test.dir/infer/matching_test.cc.o.d"
+  "CMakeFiles/infer_basics_test.dir/infer/pattern_test.cc.o"
+  "CMakeFiles/infer_basics_test.dir/infer/pattern_test.cc.o.d"
+  "infer_basics_test"
+  "infer_basics_test.pdb"
+  "infer_basics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_basics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

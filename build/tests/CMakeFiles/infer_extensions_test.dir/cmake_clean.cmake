@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_extensions_test.dir/infer/conjunction_test.cc.o"
+  "CMakeFiles/infer_extensions_test.dir/infer/conjunction_test.cc.o.d"
+  "CMakeFiles/infer_extensions_test.dir/infer/label_distributions_test.cc.o"
+  "CMakeFiles/infer_extensions_test.dir/infer/label_distributions_test.cc.o.d"
+  "CMakeFiles/infer_extensions_test.dir/infer/uniform_extensions_test.cc.o"
+  "CMakeFiles/infer_extensions_test.dir/infer/uniform_extensions_test.cc.o.d"
+  "infer_extensions_test"
+  "infer_extensions_test.pdb"
+  "infer_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

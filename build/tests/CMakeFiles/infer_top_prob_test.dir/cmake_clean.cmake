@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_top_prob_test.dir/infer/monte_carlo_test.cc.o"
+  "CMakeFiles/infer_top_prob_test.dir/infer/monte_carlo_test.cc.o.d"
+  "CMakeFiles/infer_top_prob_test.dir/infer/top_prob_minmax_test.cc.o"
+  "CMakeFiles/infer_top_prob_test.dir/infer/top_prob_minmax_test.cc.o.d"
+  "CMakeFiles/infer_top_prob_test.dir/infer/top_prob_test.cc.o"
+  "CMakeFiles/infer_top_prob_test.dir/infer/top_prob_test.cc.o.d"
+  "infer_top_prob_test"
+  "infer_top_prob_test.pdb"
+  "infer_top_prob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_top_prob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ppd/analytics_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/analytics_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/analytics_test.cc.o.d"
+  "/root/repo/tests/ppd/approx_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/approx_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/approx_test.cc.o.d"
+  "/root/repo/tests/ppd/conditional_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/conditional_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/conditional_test.cc.o.d"
+  "/root/repo/tests/ppd/evaluator_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/evaluator_test.cc.o.d"
+  "/root/repo/tests/ppd/explain_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/explain_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/explain_test.cc.o.d"
+  "/root/repo/tests/ppd/formula_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/formula_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/formula_test.cc.o.d"
+  "/root/repo/tests/ppd/golden_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/golden_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/golden_test.cc.o.d"
+  "/root/repo/tests/ppd/io_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/io_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/io_test.cc.o.d"
+  "/root/repo/tests/ppd/monte_carlo_evaluator_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/monte_carlo_evaluator_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/monte_carlo_evaluator_test.cc.o.d"
+  "/root/repo/tests/ppd/multi_psymbol_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/multi_psymbol_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/multi_psymbol_test.cc.o.d"
+  "/root/repo/tests/ppd/possible_worlds_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/possible_worlds_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/possible_worlds_test.cc.o.d"
+  "/root/repo/tests/ppd/ppd_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/ppd_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/ppd_test.cc.o.d"
+  "/root/repo/tests/ppd/preference_model_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/preference_model_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/preference_model_test.cc.o.d"
+  "/root/repo/tests/ppd/reduction_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/reduction_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/reduction_test.cc.o.d"
+  "/root/repo/tests/ppd/splitting_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/splitting_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/splitting_test.cc.o.d"
+  "/root/repo/tests/ppd/ucq_evaluator_test.cc" "tests/CMakeFiles/ppd_test.dir/ppd/ucq_evaluator_test.cc.o" "gcc" "tests/CMakeFiles/ppd_test.dir/ppd/ucq_evaluator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

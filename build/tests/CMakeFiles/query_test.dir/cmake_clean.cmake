@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_test.dir/query/classify_test.cc.o"
+  "CMakeFiles/query_test.dir/query/classify_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/cq_test.cc.o"
+  "CMakeFiles/query_test.dir/query/cq_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/eval_property_test.cc.o"
+  "CMakeFiles/query_test.dir/query/eval_property_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/eval_test.cc.o"
+  "CMakeFiles/query_test.dir/query/eval_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/gaifman_test.cc.o"
+  "CMakeFiles/query_test.dir/query/gaifman_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/parser_test.cc.o"
+  "CMakeFiles/query_test.dir/query/parser_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/ucq_test.cc.o"
+  "CMakeFiles/query_test.dir/query/ucq_test.cc.o.d"
+  "query_test"
+  "query_test.pdb"
+  "query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rim/generalized_mallows_test.cc" "tests/CMakeFiles/rim_test.dir/rim/generalized_mallows_test.cc.o" "gcc" "tests/CMakeFiles/rim_test.dir/rim/generalized_mallows_test.cc.o.d"
+  "/root/repo/tests/rim/insertion_test.cc" "tests/CMakeFiles/rim_test.dir/rim/insertion_test.cc.o" "gcc" "tests/CMakeFiles/rim_test.dir/rim/insertion_test.cc.o.d"
+  "/root/repo/tests/rim/kendall_test.cc" "tests/CMakeFiles/rim_test.dir/rim/kendall_test.cc.o" "gcc" "tests/CMakeFiles/rim_test.dir/rim/kendall_test.cc.o.d"
+  "/root/repo/tests/rim/mallows_test.cc" "tests/CMakeFiles/rim_test.dir/rim/mallows_test.cc.o" "gcc" "tests/CMakeFiles/rim_test.dir/rim/mallows_test.cc.o.d"
+  "/root/repo/tests/rim/ranking_test.cc" "tests/CMakeFiles/rim_test.dir/rim/ranking_test.cc.o" "gcc" "tests/CMakeFiles/rim_test.dir/rim/ranking_test.cc.o.d"
+  "/root/repo/tests/rim/rim_model_test.cc" "tests/CMakeFiles/rim_test.dir/rim/rim_model_test.cc.o" "gcc" "tests/CMakeFiles/rim_test.dir/rim/rim_model_test.cc.o.d"
+  "/root/repo/tests/rim/sampler_test.cc" "tests/CMakeFiles/rim_test.dir/rim/sampler_test.cc.o" "gcc" "tests/CMakeFiles/rim_test.dir/rim/sampler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

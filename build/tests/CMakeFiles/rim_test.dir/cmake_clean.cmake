@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rim_test.dir/rim/generalized_mallows_test.cc.o"
+  "CMakeFiles/rim_test.dir/rim/generalized_mallows_test.cc.o.d"
+  "CMakeFiles/rim_test.dir/rim/insertion_test.cc.o"
+  "CMakeFiles/rim_test.dir/rim/insertion_test.cc.o.d"
+  "CMakeFiles/rim_test.dir/rim/kendall_test.cc.o"
+  "CMakeFiles/rim_test.dir/rim/kendall_test.cc.o.d"
+  "CMakeFiles/rim_test.dir/rim/mallows_test.cc.o"
+  "CMakeFiles/rim_test.dir/rim/mallows_test.cc.o.d"
+  "CMakeFiles/rim_test.dir/rim/ranking_test.cc.o"
+  "CMakeFiles/rim_test.dir/rim/ranking_test.cc.o.d"
+  "CMakeFiles/rim_test.dir/rim/rim_model_test.cc.o"
+  "CMakeFiles/rim_test.dir/rim/rim_model_test.cc.o.d"
+  "CMakeFiles/rim_test.dir/rim/sampler_test.cc.o"
+  "CMakeFiles/rim_test.dir/rim/sampler_test.cc.o.d"
+  "rim_test"
+  "rim_test.pdb"
+  "rim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

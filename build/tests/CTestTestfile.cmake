@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/rim_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_basics_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_top_prob_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/ppd_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/fit_test[1]_include.cmake")
+include("/root/repo/build/tests/shell_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppref_shell.dir/ppref_shell.cc.o"
+  "CMakeFiles/ppref_shell.dir/ppref_shell.cc.o.d"
+  "ppref_shell"
+  "ppref_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppref_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
