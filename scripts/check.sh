@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure an ASan+UBSan build of the library, tests, and
+# benches, then run the tier-1 test suite under it. Any sanitizer report
+# aborts the run (-fno-sanitize-recover=all), so a green ctest means clean.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DPPREF_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,133 @@
+/// \file flat_map.h
+/// \brief Open-addressing hash table from packed fixed-stride `uint16`
+/// keys to `double` accumulators — the DP state table of the inference
+/// engine.
+///
+/// Keys live back-to-back in one contiguous arena owned by the table; the
+/// slot array stores indices into a dense entry list, so iteration is in
+/// insertion order (deterministic, which the bit-identical parallel
+/// reduction of `infer/` relies on) and `Reset` recycles every buffer
+/// without freeing. Compared to `std::unordered_map<std::vector<uint16_t>,
+/// double>` this removes one heap allocation per inserted state and one per
+/// probe-key, which dominates the DP hot path.
+
+#ifndef PPREF_COMMON_FLAT_MAP_H_
+#define PPREF_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace ppref {
+
+/// Map from fixed-stride keys (`stride` consecutive `uint16` words) to
+/// `double` values, with linear-probing open addressing.
+class FlatStateMap {
+ public:
+  /// Empties the table and sets the key stride (words per key; 0 is legal —
+  /// all keys compare equal). Arena, entry, and slot capacity are retained,
+  /// so a Reset/refill cycle allocates nothing once warmed up.
+  void Reset(unsigned stride) {
+    stride_ = stride;
+    entries_.clear();
+    arena_.clear();
+    std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  }
+
+  /// Number of distinct keys inserted since the last Reset.
+  std::size_t size() const { return entries_.size(); }
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Words per key.
+  unsigned stride() const { return stride_; }
+
+  /// Returns the accumulator for the key equal to `key[0..stride)`,
+  /// inserting it with value 0 when absent. The reference is invalidated by
+  /// the next Upsert (the entry list may reallocate) — use it immediately.
+  double& Upsert(const std::uint16_t* key) {
+    if ((entries_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = Hash(key) & mask;
+    while (slots_[slot] != kEmptySlot) {
+      Entry& entry = entries_[slots_[slot]];
+      if (KeyEquals(entry.key_offset, key)) return entry.value;
+      slot = (slot + 1) & mask;
+    }
+    slots_[slot] = static_cast<std::uint32_t>(entries_.size());
+    const auto offset = static_cast<std::uint32_t>(arena_.size());
+    arena_.insert(arena_.end(), key, key + stride_);
+    entries_.push_back(Entry{offset, 0.0});
+    return entries_.back().value;
+  }
+
+  /// The i-th inserted key: a pointer at `stride` words inside the arena.
+  /// Valid until the next Upsert/Reset.
+  const std::uint16_t* KeyAt(std::size_t i) const {
+    return arena_.data() + entries_[i].key_offset;
+  }
+
+  /// The i-th inserted key's accumulator.
+  double ValueAt(std::size_t i) const { return entries_[i].value; }
+
+  /// Mutable access to the i-th accumulator — lets a scan step that leaves
+  /// every key unchanged rescale values in place instead of rehashing.
+  double& MutableValueAt(std::size_t i) { return entries_[i].value; }
+
+  /// Exchanges contents (and capacity) with `other`; O(1).
+  void Swap(FlatStateMap& other) {
+    std::swap(stride_, other.stride_);
+    entries_.swap(other.entries_);
+    arena_.swap(other.arena_);
+    slots_.swap(other.slots_);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t key_offset;  // index of the key's first word in the arena
+    double value;
+  };
+
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  /// FNV-1a over the key words — the same mix the engine has always used.
+  std::size_t Hash(const std::uint16_t* key) const {
+    std::size_t hash = 1469598103934665603ull;
+    for (unsigned i = 0; i < stride_; ++i) {
+      hash ^= key[i];
+      hash *= 1099511628211ull;
+    }
+    return hash;
+  }
+
+  bool KeyEquals(std::uint32_t offset, const std::uint16_t* key) const {
+    // stride 0 short-circuits: all keys equal, and memcmp must not see null.
+    return stride_ == 0 ||
+           std::memcmp(arena_.data() + offset, key,
+                       stride_ * sizeof(std::uint16_t)) == 0;
+  }
+
+  /// Doubles the slot array and rehashes every entry index into it.
+  void Grow() {
+    const std::size_t capacity = std::max<std::size_t>(16, slots_.size() * 2);
+    slots_.assign(capacity, kEmptySlot);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t slot = Hash(arena_.data() + entries_[i].key_offset) & mask;
+      while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+      slots_[slot] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  unsigned stride_ = 0;
+  std::vector<Entry> entries_;        // dense, insertion order
+  std::vector<std::uint16_t> arena_;  // packed keys, stride_ words each
+  std::vector<std::uint32_t> slots_;  // power-of-two open-addressing table
+};
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_FLAT_MAP_H_

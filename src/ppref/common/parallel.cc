@@ -9,11 +9,18 @@ namespace ppref {
 
 void ParallelFor(std::size_t count, unsigned threads,
                  const std::function<void(std::size_t)>& body) {
+  ParallelForWorkers(count, threads,
+                     [&body](unsigned, std::size_t i) { body(i); });
+}
+
+void ParallelForWorkers(
+    std::size_t count, unsigned threads,
+    const std::function<void(unsigned worker, std::size_t i)>& body) {
   if (count == 0) return;
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads, count));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
     return;
   }
   std::vector<std::exception_ptr> errors(workers);
@@ -25,7 +32,7 @@ void ParallelFor(std::size_t count, unsigned threads,
         // Static block partition: worker w owns [begin, end).
         const std::size_t begin = count * w / workers;
         const std::size_t end = count * (w + 1) / workers;
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        for (std::size_t i = begin; i < end; ++i) body(w, i);
       } catch (...) {
         errors[w] = std::current_exception();
       }

@@ -23,6 +23,15 @@ namespace ppref {
 void ParallelFor(std::size_t count, unsigned threads,
                  const std::function<void(std::size_t)>& body);
 
+/// Like ParallelFor, but `body(worker, i)` also receives the index of the
+/// worker running the iteration (0 <= worker < min(threads, count)). All
+/// iterations of one worker run on one thread in increasing i, so `worker`
+/// safely indexes per-worker scratch buffers (e.g. the DP plan scratches of
+/// matching-level parallelism).
+void ParallelForWorkers(
+    std::size_t count, unsigned threads,
+    const std::function<void(unsigned worker, std::size_t i)>& body);
+
 /// A reasonable default worker count: hardware concurrency capped at 8.
 unsigned DefaultThreadCount();
 

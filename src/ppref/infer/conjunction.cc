@@ -58,18 +58,21 @@ PatternInstance Conjoin(const PatternInstance& a, const PatternInstance& b) {
 }
 
 double ConjunctionProb(const rim::RimModel& model, const PatternInstance& a,
-                       const PatternInstance& b) {
+                       const PatternInstance& b,
+                       const PatternProbOptions& options) {
   const PatternInstance joint = Conjoin(a, b);
-  return PatternProb(LabeledRimModel(model, joint.labeling), joint.pattern);
+  return PatternProb(LabeledRimModel(model, joint.labeling), joint.pattern,
+                     options);
 }
 
 double ConditionalPatternProb(const rim::RimModel& model,
                               const PatternInstance& target,
-                              const PatternInstance& given) {
-  const double given_prob =
-      PatternProb(LabeledRimModel(model, given.labeling), given.pattern);
+                              const PatternInstance& given,
+                              const PatternProbOptions& options) {
+  const double given_prob = PatternProb(
+      LabeledRimModel(model, given.labeling), given.pattern, options);
   if (given_prob <= 0.0) return 0.0;
-  return ConjunctionProb(model, target, given) / given_prob;
+  return ConjunctionProb(model, target, given, options) / given_prob;
 }
 
 }  // namespace ppref::infer

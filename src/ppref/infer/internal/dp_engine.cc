@@ -1,353 +1,35 @@
 #include "ppref/infer/internal/dp_engine.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <unordered_map>
-
-#include "ppref/common/check.h"
+#include "ppref/infer/internal/dp_plan.h"
 
 namespace ppref::infer::internal {
-namespace {
-
-using rim::ItemId;
-
-/// Sentinel for "label not seen yet" in α/β slots. Positions are < 2^16.
-constexpr std::uint16_t kUnset = 0xFFFF;
-
-/// DP state: δ positions for the k pattern nodes, then α then β values for
-/// the tracked labels. All entries are current prefix positions (0-based).
-using State = std::vector<std::uint16_t>;
-
-struct StateHash {
-  std::size_t operator()(const State& state) const {
-    std::size_t hash = 1469598103934665603ull;  // FNV-1a
-    for (std::uint16_t value : state) {
-      hash ^= value;
-      hash *= 1099511628211ull;
-    }
-    return hash;
-  }
-};
-
-using StateMap = std::unordered_map<State, double, StateHash>;
-
-/// Precomputed, γ-independent context for one DP run.
-struct Context {
-  const LabeledRimModel* model = nullptr;
-  const LabelPattern* pattern = nullptr;
-  unsigned m = 0;
-  unsigned k = 0;
-  // node_of_label: pattern node index per label carried by each item
-  // (item -> list of pattern node indices whose label the item carries).
-  std::vector<std::vector<unsigned>> item_pattern_nodes;
-  // item -> indices into `tracked` of the tracked labels the item carries.
-  std::vector<std::vector<unsigned>> item_tracked;
-  unsigned tracked_count = 0;
-};
-
-Context BuildContext(const LabeledRimModel& model, const LabelPattern& pattern,
-                     const std::vector<LabelId>& tracked) {
-  Context ctx;
-  ctx.model = &model;
-  ctx.pattern = &pattern;
-  ctx.m = model.size();
-  ctx.k = pattern.NodeCount();
-  ctx.tracked_count = static_cast<unsigned>(tracked.size());
-  ctx.item_pattern_nodes.resize(ctx.m);
-  ctx.item_tracked.resize(ctx.m);
-  for (ItemId item = 0; item < ctx.m; ++item) {
-    for (LabelId label : model.labeling().LabelsOf(item)) {
-      if (auto node = pattern.NodeOf(label); node.has_value()) {
-        ctx.item_pattern_nodes[item].push_back(*node);
-      }
-      for (unsigned ti = 0; ti < tracked.size(); ++ti) {
-        if (tracked[ti] == label) ctx.item_tracked[item].push_back(ti);
-      }
-    }
-  }
-  return ctx;
-}
-
-/// Largest δ over the parents of `node`, or -1 when the node has no parents.
-int MaxParentPosition(const LabelPattern& pattern, const State& state,
-                      unsigned node) {
-  int max_pos = -1;
-  for (unsigned parent : pattern.Parents(node)) {
-    max_pos = std::max(max_pos, static_cast<int>(state[parent]));
-  }
-  return max_pos;
-}
-
-/// Folds position `pos` of an item into the α/β slots of its tracked labels.
-void FoldTracked(const Context& ctx, ItemId item, unsigned pos, State& state) {
-  for (unsigned ti : ctx.item_tracked[item]) {
-    std::uint16_t& alpha = state[ctx.k + ti];
-    std::uint16_t& beta = state[ctx.k + ctx.tracked_count + ti];
-    const auto p = static_cast<std::uint16_t>(pos);
-    if (alpha == kUnset || p < alpha) alpha = p;
-    if (beta == kUnset || p > beta) beta = p;
-  }
-}
-
-/// Applies the +j shift: every recorded position >= j moves one slot back.
-void ShiftState(const Context& ctx, unsigned j, State& state) {
-  for (unsigned i = 0; i < ctx.k; ++i) {
-    if (state[i] >= j) ++state[i];
-  }
-  for (unsigned i = ctx.k; i < state.size(); ++i) {
-    if (state[i] != kUnset && state[i] >= j) ++state[i];
-  }
-}
-
-/// Legality of inserting a non-placeholder item carrying pattern labels
-/// `nodes` at slot j (Lemma 5.4 condition 2 / the Range subroutine):
-/// forbidden iff the item would land before some γ(l) it shares a label
-/// with, without landing before l's latest parent.
-bool InsertionIsLegal(const Context& ctx, const State& state,
-                      const std::vector<unsigned>& nodes, unsigned j) {
-  for (unsigned node : nodes) {
-    if (j <= state[node]) {
-      const int max_parent = MaxParentPosition(*ctx.pattern, state, node);
-      if (max_parent < 0 || static_cast<int>(j) > max_parent) return false;
-    }
-  }
-  return true;
-}
-
-/// The shared DP loop: fills `final_states` with the aggregated last-step
-/// states (δ, α, β) and their probabilities. Returns false when γ is
-/// infeasible (probability 0), leaving `final_states` empty.
-bool RunDpCore(const LabeledRimModel& model, const LabelPattern& pattern,
-               const Matching& gamma, const std::vector<LabelId>& tracked,
-               StateMap& final_states) {
-  const unsigned m = model.size();
-  const unsigned k = pattern.NodeCount();
-  PPREF_CHECK(gamma.size() == k);
-  PPREF_CHECK_MSG(m < kUnset, "model too large for 16-bit positions");
-  if (!pattern.IsAcyclic()) return false;
-
-  // γ must be label-consistent, and nodes connected by a directed path must
-  // map to distinct items (their positions are strictly ordered).
-  for (unsigned node = 0; node < k; ++node) {
-    if (!model.labeling().HasLabel(gamma[node], pattern.NodeLabel(node))) {
-      return false;
-    }
-  }
-  const auto reach = pattern.Reachability();
-  for (unsigned u = 0; u < k; ++u) {
-    for (unsigned v = 0; v < k; ++v) {
-      if (reach[u][v] && gamma[u] == gamma[v]) return false;
-    }
-  }
-
-  const Context ctx = BuildContext(model, pattern, tracked);
-  const rim::Ranking& ref = model.model().reference();
-  const rim::InsertionFunction& pi = model.model().insertion();
-
-  // Distinct placeholder items of img(γ), each with one representative node
-  // (all nodes mapped to the same item always share a δ value).
-  std::vector<ItemId> ph_items;      // distinct items, sorted
-  std::vector<unsigned> ph_rep;      // representative node per distinct item
-  for (unsigned node = 0; node < k; ++node) {
-    if (std::find(ph_items.begin(), ph_items.end(), gamma[node]) ==
-        ph_items.end()) {
-      ph_items.push_back(gamma[node]);
-      ph_rep.push_back(node);
-    }
-  }
-  const unsigned u = static_cast<unsigned>(ph_items.size());
-  // For each distinct placeholder, the reference step at which it is scanned.
-  std::vector<unsigned> ph_scan_step(u);
-  for (unsigned i = 0; i < u; ++i) ph_scan_step[i] = ref.PositionOf(ph_items[i]);
-  // Reverse lookup: reference step -> placeholder index (or -1).
-  std::vector<int> step_placeholder(m, -1);
-  for (unsigned i = 0; i < u; ++i) step_placeholder[ph_scan_step[i]] = static_cast<int>(i);
-
-  const unsigned state_size = k + 2 * ctx.tracked_count;
-
-  // --- R_0: all orderings of the distinct placeholders consistent with the
-  // pattern and with the (static) placeholder-vs-placeholder legality of
-  // Lemma 5.4 condition 2.
-  StateMap current;
-  {
-    std::vector<unsigned> perm(u);
-    for (unsigned i = 0; i < u; ++i) perm[i] = i;
-    do {
-      // position_of_ph[i] = prefix position of distinct placeholder i.
-      std::vector<unsigned> position_of_ph(u);
-      for (unsigned pos = 0; pos < u; ++pos) position_of_ph[perm[pos]] = pos;
-      State state(state_size, kUnset);
-      for (unsigned node = 0; node < k; ++node) {
-        const auto it =
-            std::find(ph_items.begin(), ph_items.end(), gamma[node]);
-        const auto idx = static_cast<unsigned>(it - ph_items.begin());
-        state[node] = static_cast<std::uint16_t>(position_of_ph[idx]);
-      }
-      // Edge consistency: δ(from) < δ(to).
-      bool legal = true;
-      for (unsigned from = 0; from < k && legal; ++from) {
-        for (unsigned to : pattern.Children(from)) {
-          if (state[from] >= state[to]) {
-            legal = false;
-            break;
-          }
-        }
-      }
-      // Static legality: a placeholder carrying node-l's label must not sit
-      // before γ(l) unless it sits before l's latest parent. Relative
-      // placeholder order never changes, so checking once here suffices.
-      for (unsigned node = 0; node < k && legal; ++node) {
-        const LabelId label = pattern.NodeLabel(node);
-        for (unsigned i = 0; i < u; ++i) {
-          if (ph_items[i] == gamma[node]) continue;
-          if (!model.labeling().HasLabel(ph_items[i], label)) continue;
-          const unsigned pos = position_of_ph[i];
-          if (pos < state[node]) {
-            // The placeholder would be a better match for `node` iff it sits
-            // strictly after every parent image; at pos == max parent it IS
-            // the latest parent's image, which cannot improve the matching.
-            const int max_parent = MaxParentPosition(pattern, state, node);
-            if (max_parent < 0 || static_cast<int>(pos) > max_parent) {
-              legal = false;
-              break;
-            }
-          }
-        }
-      }
-      if (legal) current.emplace(std::move(state), 1.0);
-    } while (std::next_permutation(perm.begin(), perm.end()));
-  }
-  if (current.empty()) return false;
-
-  // --- Main scan over reference items (Fig. 5 / Fig. 6 main loop).
-  StateMap next;
-  for (unsigned t = 0; t < m; ++t) {
-    const ItemId item = ref.At(t);
-    // Pending = distinct placeholders not yet scanned (reference step > t).
-    std::vector<unsigned> pending_reps;
-    unsigned pending_count = 0;
-    for (unsigned i = 0; i < u; ++i) {
-      if (ph_scan_step[i] > t) {
-        pending_reps.push_back(ph_rep[i]);
-        ++pending_count;
-      }
-    }
-    next.clear();
-    const int ph_index = step_placeholder[t];
-    for (const auto& [state, prob] : current) {
-      if (ph_index >= 0) {
-        // Case A: the scanned item is a placeholder already in the prefix;
-        // its slot is forced and the mapping is unchanged (Fig. 5 line 5).
-        const unsigned j = state[ph_rep[ph_index]];
-        unsigned pending_before = 0;
-        for (unsigned rep : pending_reps) {
-          if (state[rep] < j) ++pending_before;
-        }
-        PPREF_CHECK(j >= pending_before);
-        const unsigned slot = j - pending_before;
-        PPREF_CHECK(slot <= t);
-        State out = state;
-        FoldTracked(ctx, item, j, out);
-        next[std::move(out)] += prob * pi.Prob(t, slot);
-      } else {
-        // Case B: a fresh item is inserted into every legal slot.
-        const unsigned prefix_size = t + pending_count;
-        for (unsigned j = 0; j <= prefix_size; ++j) {
-          if (!InsertionIsLegal(ctx, state, ctx.item_pattern_nodes[item], j)) {
-            continue;
-          }
-          unsigned pending_before = 0;
-          for (unsigned rep : pending_reps) {
-            if (state[rep] < j) ++pending_before;
-          }
-          PPREF_CHECK(j >= pending_before);
-          const unsigned slot = j - pending_before;
-          PPREF_CHECK(slot <= t);
-          State out = state;
-          ShiftState(ctx, j, out);
-          FoldTracked(ctx, item, j, out);
-          next[std::move(out)] += prob * pi.Prob(t, slot);
-        }
-      }
-    }
-    current.swap(next);
-    if (current.empty()) return false;
-  }
-  final_states.swap(current);
-  return true;
-}
-
-/// Decodes the tracked α/β slots of a final state into MinMaxValues.
-void DecodeTracked(const State& state, unsigned k, unsigned tracked_count,
-                   MinMaxValues& values) {
-  for (unsigned ti = 0; ti < tracked_count; ++ti) {
-    const std::uint16_t alpha = state[k + ti];
-    const std::uint16_t beta = state[k + tracked_count + ti];
-    values.min_position[ti] =
-        alpha == kUnset ? std::nullopt : std::make_optional<unsigned>(alpha);
-    values.max_position[ti] =
-        beta == kUnset ? std::nullopt : std::make_optional<unsigned>(beta);
-  }
-}
-
-}  // namespace
 
 double RunTopProbDp(const LabeledRimModel& model, const LabelPattern& pattern,
                     const Matching& gamma, const std::vector<LabelId>& tracked,
                     const MinMaxCondition* condition) {
-  StateMap final_states;
-  if (!RunDpCore(model, pattern, gamma, tracked, final_states)) return 0.0;
-  const unsigned k = pattern.NodeCount();
-  const unsigned tracked_count = static_cast<unsigned>(tracked.size());
-  double total = 0.0;
-  MinMaxValues values;
-  values.min_position.resize(tracked_count);
-  values.max_position.resize(tracked_count);
-  for (const auto& [state, prob] : final_states) {
-    if (condition != nullptr) {
-      DecodeTracked(state, k, tracked_count, values);
-      if (!(*condition)(values)) continue;
-    }
-    total += prob;
-  }
-  return total;
+  const DpPlan plan(model, pattern, tracked);
+  DpPlan::Scratch scratch;
+  return plan.TopProb(gamma, condition, scratch);
 }
 
 void RunTopProbDpDistribution(
     const LabeledRimModel& model, const LabelPattern& pattern,
     const Matching& gamma, const std::vector<LabelId>& tracked,
     const std::function<void(const MinMaxValues&, double)>& visit) {
-  StateMap final_states;
-  if (!RunDpCore(model, pattern, gamma, tracked, final_states)) return;
-  const unsigned k = pattern.NodeCount();
-  const unsigned tracked_count = static_cast<unsigned>(tracked.size());
-  MinMaxValues values;
-  values.min_position.resize(tracked_count);
-  values.max_position.resize(tracked_count);
-  // Aggregate by tracked values (several δ can share one (α, β)).
-  StateMap aggregated;
-  for (const auto& [state, prob] : final_states) {
-    State key(state.begin() + k, state.end());
-    aggregated[std::move(key)] += prob;
-  }
-  for (const auto& [key, prob] : aggregated) {
-    State full(k, 0);
-    full.insert(full.end(), key.begin(), key.end());
-    DecodeTracked(full, k, tracked_count, values);
-    visit(values, prob);
-  }
+  const DpPlan plan(model, pattern, tracked);
+  DpPlan::Scratch scratch;
+  plan.Distribution(gamma, visit, scratch);
 }
 
-std::vector<Matching> EnumerateCandidates(const LabeledRimModel& model,
-                                          const LabelPattern& pattern,
-                                          bool prune) {
+void ForEachCandidate(const LabeledRimModel& model, const LabelPattern& pattern,
+                      const std::function<void(const Matching& gamma)>& visit,
+                      bool prune) {
   const unsigned k = pattern.NodeCount();
-  std::vector<Matching> result;
-  if (!pattern.IsAcyclic()) return result;
-  std::vector<std::vector<ItemId>> candidates(k);
+  if (!pattern.IsAcyclic()) return;
+  std::vector<std::vector<rim::ItemId>> candidates(k);
   for (unsigned node = 0; node < k; ++node) {
     candidates[node] = model.labeling().ItemsWith(pattern.NodeLabel(node));
-    if (candidates[node].empty()) return result;
+    if (candidates[node].empty()) return;
   }
   const auto reach = pattern.Reachability();
 
@@ -355,10 +37,10 @@ std::vector<Matching> EnumerateCandidates(const LabeledRimModel& model,
   // Depth-first product with the reachability pruning rule.
   std::function<void(unsigned)> recurse = [&](unsigned node) {
     if (node == k) {
-      result.push_back(gamma);
+      visit(gamma);
       return;
     }
-    for (ItemId item : candidates[node]) {
+    for (rim::ItemId item : candidates[node]) {
       bool legal = true;
       for (unsigned prev = 0; prev < node && prune; ++prev) {
         if (gamma[prev] == item && (reach[prev][node] || reach[node][prev])) {
@@ -372,6 +54,15 @@ std::vector<Matching> EnumerateCandidates(const LabeledRimModel& model,
     }
   };
   recurse(0);
+}
+
+std::vector<Matching> EnumerateCandidates(const LabeledRimModel& model,
+                                          const LabelPattern& pattern,
+                                          bool prune) {
+  std::vector<Matching> result;
+  ForEachCandidate(
+      model, pattern, [&](const Matching& gamma) { result.push_back(gamma); },
+      prune);
   return result;
 }
 

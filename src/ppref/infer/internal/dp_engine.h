@@ -1,6 +1,12 @@
 /// \file dp_engine.h
-/// \brief Internal: the shared dynamic program behind TopProb (Fig. 5) and
+/// \brief Internal: single-γ convenience wrappers around DpPlan and the
+/// candidate-matching enumeration shared by TopProb (Fig. 5) and
 /// TopProbMinMax (Fig. 6).
+///
+/// The compile-once / run-many engine itself lives in dp_plan.h; the
+/// functions here build a throwaway plan for one γ and exist for callers
+/// (and tests) that genuinely need a single run. Drivers summing over many
+/// γ should build a `DpPlan` directly.
 ///
 /// Not part of the public API; include top_prob.h / top_prob_minmax.h
 /// instead.
@@ -8,6 +14,7 @@
 #ifndef PPREF_INFER_INTERNAL_DP_ENGINE_H_
 #define PPREF_INFER_INTERNAL_DP_ENGINE_H_
 
+#include <functional>
 #include <vector>
 
 #include "ppref/infer/labeled_rim.h"
@@ -35,10 +42,19 @@ void RunTopProbDpDistribution(
     const Matching& gamma, const std::vector<LabelId>& tracked,
     const std::function<void(const MinMaxValues&, double)>& visit);
 
-/// Enumerates label-consistent γ; with `prune` set (the default), γ with
+/// Streams every label-consistent candidate γ to `visit` in lexicographic
+/// node-assignment order, without materializing the (potentially
+/// exponential-in-k) candidate set. With `prune` set (the default), γ with
 /// γ(u) == γ(v) for v reachable from u are skipped (they can never be top
-/// matchings). The pruned set is still a superset of all top matchings over
-/// all rankings; the unpruned variant exists for the ablation benchmark.
+/// matchings). The streamed set is still a superset of all top matchings
+/// over all rankings; the unpruned variant exists for the ablation
+/// benchmark. The `gamma` passed to `visit` is reused storage — copy it to
+/// keep it.
+void ForEachCandidate(const LabeledRimModel& model, const LabelPattern& pattern,
+                      const std::function<void(const Matching& gamma)>& visit,
+                      bool prune = true);
+
+/// Materializing wrapper around ForEachCandidate, in the same order.
 std::vector<Matching> EnumerateCandidates(const LabeledRimModel& model,
                                           const LabelPattern& pattern,
                                           bool prune = true);

@@ -1,30 +1,30 @@
 #include "ppref/infer/label_distributions.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "ppref/common/check.h"
+#include "ppref/common/parallel.h"
 #include "ppref/infer/internal/dp_engine.h"
+#include "ppref/infer/internal/dp_plan.h"
 
 namespace ppref::infer {
 
 namespace {
 
-/// Accumulates one DP distribution run into `result`.
-void Accumulate(const LabeledRimModel& model, const LabelPattern& pattern,
-                const Matching& gamma, LabelId label,
+/// Folds one (α, β, probability) contribution into `result`.
+void Accumulate(const MinMaxValues& values, double prob,
                 LabelPositionDistributions& result) {
-  internal::RunTopProbDpDistribution(
-      model, pattern, gamma, {label},
-      [&](const MinMaxValues& values, double prob) {
-        const auto& alpha = values.min_position[0];
-        const auto& beta = values.max_position[0];
-        if (!alpha.has_value()) {
-          result.absent_prob += prob;
-          return;
-        }
-        PPREF_CHECK(beta.has_value());
-        result.joint[*alpha][*beta] += prob;
-        result.min_marginal[*alpha] += prob;
-        result.max_marginal[*beta] += prob;
-      });
+  const auto& alpha = values.min_position[0];
+  const auto& beta = values.max_position[0];
+  if (!alpha.has_value()) {
+    result.absent_prob += prob;
+    return;
+  }
+  PPREF_CHECK(beta.has_value());
+  result.joint[*alpha][*beta] += prob;
+  result.min_marginal[*alpha] += prob;
+  result.max_marginal[*beta] += prob;
 }
 
 LabelPositionDistributions EmptyDistributions(unsigned m) {
@@ -35,27 +35,82 @@ LabelPositionDistributions EmptyDistributions(unsigned m) {
   return result;
 }
 
+/// One aggregated (α, β) outcome of a DP run; the parallel path records
+/// these per γ and replays them in enumeration order, producing the exact
+/// accumulation sequence of the serial path.
+struct Outcome {
+  std::optional<unsigned> alpha;
+  std::optional<unsigned> beta;
+  double prob;
+};
+
 }  // namespace
 
 LabelPositionDistributions LabelPositions(const LabeledRimModel& model,
                                           LabelId label) {
   LabelPositionDistributions result = EmptyDistributions(model.size());
-  Accumulate(model, LabelPattern{}, /*gamma=*/{}, label, result);
+  internal::RunTopProbDpDistribution(
+      model, LabelPattern{}, /*gamma=*/{}, {label},
+      [&](const MinMaxValues& values, double prob) {
+        Accumulate(values, prob, result);
+      });
   return result;
 }
 
 LabelPositionDistributions PatternLabelPositions(const LabeledRimModel& model,
                                                  const LabelPattern& pattern,
                                                  LabelId label) {
+  return PatternLabelPositions(model, pattern, label, PatternProbOptions{});
+}
+
+LabelPositionDistributions PatternLabelPositions(
+    const LabeledRimModel& model, const LabelPattern& pattern, LabelId label,
+    const PatternProbOptions& options) {
   LabelPositionDistributions result = EmptyDistributions(model.size());
+  const internal::DpPlan plan(model, pattern, {label});
+  const auto accumulate = [&result](const MinMaxValues& values, double prob) {
+    Accumulate(values, prob, result);
+  };
   if (pattern.NodeCount() == 0) {
-    Accumulate(model, pattern, {}, label, result);
+    internal::DpPlan::Scratch scratch;
+    plan.Distribution(/*gamma=*/{}, accumulate, scratch);
     return result;
   }
   // Candidate top matchings partition the pattern-matching rankings
   // (Lemma 5.3), so their distributions add up.
-  for (const Matching& gamma : internal::EnumerateCandidates(model, pattern)) {
-    Accumulate(model, pattern, gamma, label, result);
+  if (options.threads <= 1) {
+    internal::DpPlan::Scratch scratch;
+    internal::ForEachCandidate(
+        model, pattern,
+        [&](const Matching& gamma) {
+          plan.Distribution(gamma, accumulate, scratch);
+        },
+        options.prune_candidates);
+    return result;
+  }
+  const std::vector<Matching> candidates = internal::EnumerateCandidates(
+      model, pattern, options.prune_candidates);
+  std::vector<std::vector<Outcome>> outcomes(candidates.size());
+  std::vector<internal::DpPlan::Scratch> scratches(
+      std::max<std::size_t>(1, std::min<std::size_t>(options.threads,
+                                                     candidates.size())));
+  ParallelForWorkers(
+      candidates.size(), options.threads, [&](unsigned worker, std::size_t i) {
+        plan.Distribution(
+            candidates[i],
+            [&](const MinMaxValues& values, double prob) {
+              outcomes[i].push_back(Outcome{values.min_position[0],
+                                            values.max_position[0], prob});
+            },
+            scratches[worker]);
+      });
+  for (const std::vector<Outcome>& per_gamma : outcomes) {
+    for (const Outcome& outcome : per_gamma) {
+      MinMaxValues values;
+      values.min_position = {outcome.alpha};
+      values.max_position = {outcome.beta};
+      Accumulate(values, outcome.prob, result);
+    }
   }
   return result;
 }

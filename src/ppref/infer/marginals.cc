@@ -1,6 +1,7 @@
 #include "ppref/infer/marginals.h"
 
 #include "ppref/common/check.h"
+#include "ppref/common/parallel.h"
 
 namespace ppref::infer {
 namespace {
@@ -53,14 +54,21 @@ double PairwiseMarginal(const rim::RimModel& model, rim::ItemId a,
 
 std::vector<std::vector<double>> PairwiseMarginalMatrix(
     const rim::RimModel& model) {
+  return PairwiseMarginalMatrix(model, /*threads=*/1);
+}
+
+std::vector<std::vector<double>> PairwiseMarginalMatrix(
+    const rim::RimModel& model, unsigned threads) {
   const unsigned m = model.size();
   std::vector<std::vector<double>> matrix(m, std::vector<double>(m, 0.0));
-  for (rim::ItemId a = 0; a < m; ++a) {
-    for (rim::ItemId b = a + 1; b < m; ++b) {
-      matrix[a][b] = PairwiseMarginal(model, a, b);
+  // Row a fills the upper-triangle cells (a, b > a) and mirrors them; rows
+  // touch disjoint cells, so they fan out without synchronization.
+  ParallelFor(m, threads, [&](std::size_t a) {
+    for (rim::ItemId b = static_cast<rim::ItemId>(a) + 1; b < m; ++b) {
+      matrix[a][b] = PairwiseMarginal(model, static_cast<rim::ItemId>(a), b);
       matrix[b][a] = 1.0 - matrix[a][b];
     }
-  }
+  });
   return matrix;
 }
 

@@ -1,8 +1,33 @@
 #include "ppref/infer/top_prob.h"
 
+#include <algorithm>
+
+#include "ppref/common/parallel.h"
 #include "ppref/infer/internal/dp_engine.h"
+#include "ppref/infer/internal/dp_plan.h"
 
 namespace ppref::infer {
+namespace {
+
+/// Runs `plan` once per candidate γ on `threads` workers and returns the
+/// per-γ probabilities in enumeration order. Reducing that vector in order
+/// makes every consumer bit-identical to its serial path.
+std::vector<double> CandidateProbs(const internal::DpPlan& plan,
+                                   const std::vector<Matching>& candidates,
+                                   unsigned threads) {
+  std::vector<double> probs(candidates.size(), 0.0);
+  std::vector<internal::DpPlan::Scratch> scratches(
+      std::max<std::size_t>(1, std::min<std::size_t>(threads,
+                                                     candidates.size())));
+  ParallelForWorkers(candidates.size(), threads,
+                     [&](unsigned worker, std::size_t i) {
+                       probs[i] = plan.TopProb(candidates[i], nullptr,
+                                               scratches[worker]);
+                     });
+  return probs;
+}
+
+}  // namespace
 
 double TopMatchingProb(const LabeledRimModel& model, const LabelPattern& pattern,
                        const Matching& gamma) {
@@ -22,22 +47,56 @@ double PatternProb(const LabeledRimModel& model, const LabelPattern& pattern) {
 double PatternProb(const LabeledRimModel& model, const LabelPattern& pattern,
                    const PatternProbOptions& options) {
   if (pattern.NodeCount() == 0) return 1.0;  // The empty pattern always matches.
-  double total = 0.0;
-  for (const Matching& gamma : internal::EnumerateCandidates(
-           model, pattern, options.prune_candidates)) {
-    total += TopMatchingProb(model, pattern, gamma);
+  const internal::DpPlan plan(model, pattern, /*tracked=*/{});
+  if (options.threads <= 1) {
+    // Serial path: stream candidates, one plan + one scratch for all γ.
+    internal::DpPlan::Scratch scratch;
+    double total = 0.0;
+    internal::ForEachCandidate(
+        model, pattern,
+        [&](const Matching& gamma) {
+          total += plan.TopProb(gamma, /*condition=*/nullptr, scratch);
+        },
+        options.prune_candidates);
+    return total;
   }
+  const std::vector<Matching> candidates = internal::EnumerateCandidates(
+      model, pattern, options.prune_candidates);
+  const std::vector<double> probs =
+      CandidateProbs(plan, candidates, options.threads);
+  double total = 0.0;
+  for (double prob : probs) total += prob;
   return total;
 }
 
 std::optional<std::pair<Matching, double>> MostProbableTopMatching(
     const LabeledRimModel& model, const LabelPattern& pattern) {
+  return MostProbableTopMatching(model, pattern, PatternProbOptions{});
+}
+
+std::optional<std::pair<Matching, double>> MostProbableTopMatching(
+    const LabeledRimModel& model, const LabelPattern& pattern,
+    const PatternProbOptions& options) {
   if (pattern.NodeCount() == 0) return std::make_pair(Matching{}, 1.0);
+  const internal::DpPlan plan(model, pattern, /*tracked=*/{});
   std::optional<std::pair<Matching, double>> best;
-  for (const Matching& gamma : internal::EnumerateCandidates(model, pattern)) {
-    const double prob = TopMatchingProb(model, pattern, gamma);
-    if (prob > 0.0 && (!best.has_value() || prob > best->second)) {
-      best = std::make_pair(gamma, prob);
+  if (options.threads <= 1) {
+    internal::DpPlan::Scratch scratch;
+    internal::ForEachCandidate(model, pattern, [&](const Matching& gamma) {
+      const double prob = plan.TopProb(gamma, /*condition=*/nullptr, scratch);
+      if (prob > 0.0 && (!best.has_value() || prob > best->second)) {
+        best = std::make_pair(gamma, prob);
+      }
+    });
+    return best;
+  }
+  const std::vector<Matching> candidates =
+      internal::EnumerateCandidates(model, pattern);
+  const std::vector<double> probs =
+      CandidateProbs(plan, candidates, options.threads);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (probs[i] > 0.0 && (!best.has_value() || probs[i] > best->second)) {
+      best = std::make_pair(candidates[i], probs[i]);
     }
   }
   return best;

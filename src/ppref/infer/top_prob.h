@@ -50,6 +50,11 @@ struct PatternProbOptions {
   /// Skip candidate γ mapping two path-connected nodes to one item (their
   /// p_γ is provably 0). Disabled only by the ablation benchmark.
   bool prune_candidates = true;
+  /// Matching-level parallelism: fan the candidate γ out over this many
+  /// worker threads, each with its own DP scratch against one shared plan.
+  /// Per-γ results are reduced in enumeration order, so every thread count
+  /// yields a bit-identical result to the serial path (threads <= 1).
+  unsigned threads = 1;
 };
 
 /// Pr(g | σ, Π, λ) (Eq. (1)): probability that a random ranking matches the
@@ -65,9 +70,15 @@ double PatternProb(const LabeledRimModel& model, const LabelPattern& pattern,
 /// the largest p_γ, together with that probability — "which concrete items
 /// most likely realize the pattern". Returns nullopt when no candidate has
 /// positive probability (absent labels, cyclic pattern); the empty pattern
-/// yields the empty matching with probability 1.
+/// yields the empty matching with probability 1. Ties resolve to the first
+/// candidate in enumeration order regardless of `options.threads`.
 std::optional<std::pair<Matching, double>> MostProbableTopMatching(
     const LabeledRimModel& model, const LabelPattern& pattern);
+
+/// MostProbableTopMatching with explicit options.
+std::optional<std::pair<Matching, double>> MostProbableTopMatching(
+    const LabeledRimModel& model, const LabelPattern& pattern,
+    const PatternProbOptions& options);
 
 }  // namespace ppref::infer
 

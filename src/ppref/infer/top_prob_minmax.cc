@@ -1,7 +1,11 @@
 #include "ppref/infer/top_prob_minmax.h"
 
+#include <algorithm>
+
 #include "ppref/common/check.h"
+#include "ppref/common/parallel.h"
 #include "ppref/infer/internal/dp_engine.h"
+#include "ppref/infer/internal/dp_plan.h"
 
 namespace ppref::infer {
 
@@ -17,15 +21,46 @@ double PatternMinMaxProb(const LabeledRimModel& model,
                          const LabelPattern& pattern,
                          const std::vector<LabelId>& tracked,
                          const MinMaxCondition& condition) {
+  return PatternMinMaxProb(model, pattern, tracked, condition,
+                           PatternProbOptions{});
+}
+
+double PatternMinMaxProb(const LabeledRimModel& model,
+                         const LabelPattern& pattern,
+                         const std::vector<LabelId>& tracked,
+                         const MinMaxCondition& condition,
+                         const PatternProbOptions& options) {
   PPREF_CHECK(condition != nullptr);
+  const internal::DpPlan plan(model, pattern, tracked);
   if (pattern.NodeCount() == 0) {
-    return internal::RunTopProbDp(model, pattern, /*gamma=*/{}, tracked,
-                                  &condition);
+    internal::DpPlan::Scratch scratch;
+    return plan.TopProb(/*gamma=*/{}, &condition, scratch);
   }
+  if (options.threads <= 1) {
+    internal::DpPlan::Scratch scratch;
+    double total = 0.0;
+    internal::ForEachCandidate(
+        model, pattern,
+        [&](const Matching& gamma) {
+          total += plan.TopProb(gamma, &condition, scratch);
+        },
+        options.prune_candidates);
+    return total;
+  }
+  const std::vector<Matching> candidates = internal::EnumerateCandidates(
+      model, pattern, options.prune_candidates);
+  std::vector<double> probs(candidates.size(), 0.0);
+  std::vector<internal::DpPlan::Scratch> scratches(
+      std::max<std::size_t>(1, std::min<std::size_t>(options.threads,
+                                                     candidates.size())));
+  ParallelForWorkers(candidates.size(), options.threads,
+                     [&](unsigned worker, std::size_t i) {
+                       probs[i] = plan.TopProb(candidates[i], &condition,
+                                               scratches[worker]);
+                     });
+  // Reduce in enumeration order: bit-identical to the serial path.
   double total = 0.0;
-  for (const Matching& gamma : internal::EnumerateCandidates(model, pattern)) {
-    total += internal::RunTopProbDp(model, pattern, gamma, tracked, &condition);
-  }
+  for (double prob : probs) total += prob;
   return total;
 }
 

@@ -21,6 +21,7 @@
 #include "ppref/infer/matching.h"
 #include "ppref/infer/minmax_condition.h"
 #include "ppref/infer/pattern.h"
+#include "ppref/infer/top_prob.h"
 
 namespace ppref::infer {
 
@@ -37,6 +38,15 @@ double PatternMinMaxProb(const LabeledRimModel& model,
                          const LabelPattern& pattern,
                          const std::vector<LabelId>& tracked,
                          const MinMaxCondition& condition);
+
+/// PatternMinMaxProb with explicit options (`options.threads` fans the
+/// candidate γ out with an ordered, bit-identical reduction; the condition
+/// must be safe to invoke concurrently).
+double PatternMinMaxProb(const LabeledRimModel& model,
+                         const LabelPattern& pattern,
+                         const std::vector<LabelId>& tracked,
+                         const MinMaxCondition& condition,
+                         const PatternProbOptions& options);
 
 /// Pure min/max query: Pr(φ) with no pattern constraint (empty pattern).
 double MinMaxProb(const LabeledRimModel& model,

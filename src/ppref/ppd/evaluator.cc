@@ -11,6 +11,11 @@
 namespace ppref::ppd {
 
 double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query) {
+  return EvaluateBoolean(ppd, query, infer::PatternProbOptions{});
+}
+
+double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
+                       const infer::PatternProbOptions& options) {
   if (!query.IsBoolean()) {
     throw SchemaError("EvaluateBoolean expects a Boolean query");
   }
@@ -19,7 +24,7 @@ double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query) 
   }
   double none_matches = 1.0;
   for (const SessionReduction& reduction : ReduceItemwise(ppd, query)) {
-    none_matches *= 1.0 - SessionProb(reduction);
+    none_matches *= 1.0 - SessionProb(reduction, options);
   }
   return 1.0 - none_matches;
 }

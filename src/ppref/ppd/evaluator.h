@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ppref/db/database.h"
+#include "ppref/infer/top_prob.h"
 #include "ppref/ppd/ppd.h"
 #include "ppref/query/cq.h"
 
@@ -31,10 +32,19 @@ struct Answer {
 /// Monte-Carlo evaluators for those.
 double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query);
 
+/// EvaluateBoolean with per-session inference options: each session compiles
+/// one DP plan reused across its candidate matchings, and `options.threads`
+/// fans those matchings out (bit-identical ordered reduction).
+double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
+                       const infer::PatternProbOptions& options);
+
 /// EvaluateBoolean with the independent per-session TopProb instances
 /// computed on `threads` workers (§6's CPU-parallelism direction). Work
 /// assignment is static, so the result is bit-identical to the serial
-/// evaluator.
+/// evaluator. Session-level parallelism composes poorly with matching-level
+/// parallelism on small machines, so sessions run their matchings serially
+/// here; prefer the options overload above to parallelize within few large
+/// sessions instead.
 double EvaluateBooleanParallel(const RimPpd& ppd,
                                const query::ConjunctiveQuery& query,
                                unsigned threads);

@@ -228,12 +228,13 @@ std::vector<SessionReduction> ReduceItemwise(const RimPpd& ppd,
   return reductions;
 }
 
-double SessionProb(const SessionReduction& reduction) {
+double SessionProb(const SessionReduction& reduction,
+                   const infer::PatternProbOptions& options) {
   PPREF_CHECK(reduction.model != nullptr);
   if (!reduction.satisfiable || reduction.reflexive_preference) return 0.0;
   const infer::LabeledRimModel labeled(reduction.model->model(),
                                        reduction.labeling);
-  return infer::PatternProb(labeled, reduction.pattern);
+  return infer::PatternProb(labeled, reduction.pattern, options);
 }
 
 }  // namespace ppref::ppd

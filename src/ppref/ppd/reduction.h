@@ -16,6 +16,7 @@
 
 #include "ppref/infer/labeling.h"
 #include "ppref/infer/pattern.h"
+#include "ppref/infer/top_prob.h"
 #include "ppref/ppd/ppd.h"
 #include "ppref/query/cq.h"
 
@@ -49,8 +50,11 @@ std::vector<SessionReduction> ReduceItemwise(const RimPpd& ppd,
                                              const query::ConjunctiveQuery& query);
 
 /// Pr(s ⊨ Q^s) for one reduced session: 0 when unsatisfiable or reflexive,
-/// otherwise Pr(g | σ^s, Π^s, λ) via TopProb.
-double SessionProb(const SessionReduction& reduction);
+/// otherwise Pr(g | σ^s, Π^s, λ) via TopProb. One DP plan is compiled per
+/// session and reused across all of its candidate matchings; `options`
+/// forwards to PatternProb (matching-level parallelism, pruning).
+double SessionProb(const SessionReduction& reduction,
+                   const infer::PatternProbOptions& options = {});
 
 }  // namespace ppref::ppd
 

@@ -23,7 +23,8 @@ struct SessionEvents {
 };
 
 /// Pr(at least one event matches) by inclusion–exclusion over conjunctions.
-double AnyEventProb(const SessionEvents& session) {
+double AnyEventProb(const SessionEvents& session,
+                    const infer::PatternProbOptions& options) {
   const std::size_t t = session.events.size();
   PPREF_CHECK(t > 0);
   PPREF_CHECK_MSG(t <= 20, "inclusion-exclusion over " << t
@@ -41,7 +42,7 @@ double AnyEventProb(const SessionEvents& session) {
     }
     const double prob = infer::PatternProb(
         infer::LabeledRimModel(session.model->model(), joint.labeling),
-        joint.pattern);
+        joint.pattern, options);
     const bool odd = __builtin_popcountll(mask) % 2 == 1;
     total += odd ? prob : -prob;
   }
@@ -50,7 +51,8 @@ double AnyEventProb(const SessionEvents& session) {
 
 }  // namespace
 
-double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq) {
+double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
+                            const infer::PatternProbOptions& options) {
   PPREF_CHECK(ucq.IsBoolean());
   // Key: p-symbol + session tuple. Sessions of distinct symbols are
   // distinct keys and independent.
@@ -73,7 +75,7 @@ double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq) {
 
   double none = 1.0;
   for (const auto& [key, events] : by_session) {
-    none *= 1.0 - AnyEventProb(events);
+    none *= 1.0 - AnyEventProb(events, options);
   }
   return 1.0 - none;
 }

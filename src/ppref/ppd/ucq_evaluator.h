@@ -23,8 +23,11 @@ namespace ppref::ppd {
 
 /// conf_Q([E]) for a Boolean UCQ. Disjuncts without p-atoms evaluate
 /// deterministically (a true one short-circuits to 1). Throws SchemaError
-/// when some p-atom-bearing disjunct is not itemwise.
-double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq);
+/// when some p-atom-bearing disjunct is not itemwise. `options` forwards to
+/// every inclusion–exclusion PatternProb call (plan reuse, matching-level
+/// parallelism).
+double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
+                            const infer::PatternProbOptions& options = {});
 
 /// Q(E) for a non-Boolean UCQ: possible answers across all disjuncts with
 /// their union confidence, sorted by decreasing confidence.
