@@ -1,0 +1,172 @@
+/// \file bench_serve_cache.cc
+/// \brief Experiment E18 — the serve layer's cache amortization: a request
+/// trace with ~80% repeated (model, pattern) pairs served cold (empty
+/// caches), warm (second pass, pure result-cache hits), and as per-request
+/// serial `infer::` calls (the pre-serve baseline).
+///
+/// Correctness gate: every batched, deduplicated, cached answer must be
+/// bit-identical to its per-request serial evaluation, or the benchmark
+/// exits nonzero. Emits `BENCH_serve.json` for trajectory tracking.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppref/common/random.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/serve/server.h"
+
+using namespace ppref;
+using namespace ppref::bench;
+
+namespace {
+
+struct Trace {
+  std::vector<infer::LabeledRimModel> models;  // one per unique pair
+  std::vector<infer::LabelPattern> patterns;
+  std::vector<serve::Request> requests;
+  std::size_t repeats = 0;
+};
+
+/// `length` requests over `unique` distinct (model, pattern) pairs. The
+/// first occurrence of each pair is scheduled at a random position; every
+/// other slot re-draws a pair uniformly, giving the target repeat fraction.
+Trace MakeTrace(std::size_t length, std::size_t unique, std::uint64_t seed) {
+  Trace trace;
+  trace.models.reserve(unique);
+  trace.patterns.reserve(unique);
+  for (std::size_t i = 0; i < unique; ++i) {
+    const unsigned m = 20 + static_cast<unsigned>(i % 3) * 4;
+    const unsigned k = 2 + static_cast<unsigned>(i % 2);
+    const double phi = 0.35 + 0.5 * static_cast<double>(i) /
+                                  static_cast<double>(unique);
+    trace.models.push_back(LabeledMallows(m, phi, SpreadLabeling(m, k, 4)));
+    trace.patterns.push_back(ChainPattern(k));
+  }
+  Rng rng(seed);
+  std::vector<bool> seen(unique, false);
+  for (std::size_t i = 0; i < length; ++i) {
+    // Bias toward the hot half of the pool so repeats cluster the way a
+    // real query mix does.
+    std::size_t pair = rng.NextIndex(unique);
+    if (rng.NextUnit() < 0.5) pair /= 2;
+    if (seen[pair]) ++trace.repeats;
+    seen[pair] = true;
+    serve::Request request;
+    request.kind = (i % 4 == 3) ? serve::Request::Kind::kTopMatching
+                                : serve::Request::Kind::kPatternProb;
+    request.model = &trace.models[pair];
+    request.pattern = &trace.patterns[pair];
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+/// Runs the trace through `server` in fixed-size batches.
+std::vector<serve::Response> Serve(serve::Server& server, const Trace& trace,
+                                   std::size_t batch_size) {
+  std::vector<serve::Response> all;
+  all.reserve(trace.requests.size());
+  for (std::size_t begin = 0; begin < trace.requests.size();
+       begin += batch_size) {
+    const std::size_t end =
+        std::min(begin + batch_size, trace.requests.size());
+    std::vector<serve::Request> batch(trace.requests.begin() + begin,
+                                      trace.requests.begin() + end);
+    for (serve::Response& response : server.EvaluateBatch(batch)) {
+      all.push_back(std::move(response));
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E18", "serve cache: cold vs warm trace throughput");
+  constexpr std::size_t kLength = 200;
+  constexpr std::size_t kUnique = 40;
+  constexpr std::size_t kBatch = 32;
+  const Trace trace = MakeTrace(kLength, kUnique, /*seed=*/18);
+  const double repeat_fraction =
+      static_cast<double>(trace.repeats) / static_cast<double>(kLength);
+  std::printf("trace: %zu requests, %zu unique pairs, %.0f%% repeats\n\n",
+              kLength, kUnique, 100.0 * repeat_fraction);
+
+  // Per-request serial baseline (and the bit-identical reference answers).
+  std::vector<serve::Response> expected(kLength);
+  const double serial_ms = TimeMs([&] {
+    for (std::size_t i = 0; i < kLength; ++i) {
+      const serve::Request& request = trace.requests[i];
+      if (request.kind == serve::Request::Kind::kPatternProb) {
+        expected[i].probability =
+            infer::PatternProb(*request.model, *request.pattern);
+      } else if (auto best = infer::MostProbableTopMatching(*request.model,
+                                                            *request.pattern)) {
+        expected[i].probability = best->second;
+        expected[i].top_matching = std::move(best->first);
+      }
+    }
+  });
+
+  serve::Server server;
+  std::vector<serve::Response> cold_answers;
+  const double cold_ms =
+      TimeMs([&] { cold_answers = Serve(server, trace, kBatch); });
+  std::vector<serve::Response> warm_answers;
+  const double warm_ms = TimeMsAveraged(
+      [&] { warm_answers = Serve(server, trace, kBatch); }, 50.0);
+
+  bool bit_identical = true;
+  for (std::size_t i = 0; i < kLength; ++i) {
+    bit_identical = bit_identical &&
+                    cold_answers[i].probability == expected[i].probability &&
+                    cold_answers[i].top_matching == expected[i].top_matching &&
+                    warm_answers[i].probability == expected[i].probability &&
+                    warm_answers[i].top_matching == expected[i].top_matching;
+  }
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("%-28s %10s %16s\n", "pass", "total[ms]", "req/s");
+  std::printf("%-28s %10.2f %16.0f\n", "serial (no serve layer)", serial_ms,
+              1000.0 * kLength / serial_ms);
+  std::printf("%-28s %10.2f %16.0f\n", "cold (empty caches)", cold_ms,
+              1000.0 * kLength / cold_ms);
+  std::printf("%-28s %10.2f %16.0f\n", "warm (result-cache hits)", warm_ms,
+              1000.0 * kLength / warm_ms);
+  std::printf("\nwarm vs cold: %.1fx, cold vs serial: %.1fx\n",
+              cold_ms / warm_ms, serial_ms / cold_ms);
+  std::printf("batched/deduped answers bit-identical to serial: %s\n",
+              bit_identical ? "yes" : "NO");
+  std::printf(
+      "plan cache: %llu hits / %llu misses; result cache: %llu hits / "
+      "%llu misses, %llu evictions; %llu of %llu requests deduped\n",
+      static_cast<unsigned long long>(stats.plan_cache.hits),
+      static_cast<unsigned long long>(stats.plan_cache.misses),
+      static_cast<unsigned long long>(stats.result_cache.hits),
+      static_cast<unsigned long long>(stats.result_cache.misses),
+      static_cast<unsigned long long>(stats.result_cache.evictions),
+      static_cast<unsigned long long>(stats.batch_deduped),
+      static_cast<unsigned long long>(stats.requests));
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"experiment\": \"e18_serve_cache\",\n"
+                 "  \"trace_len\": %zu,\n  \"unique_pairs\": %zu,\n"
+                 "  \"batch_size\": %zu,\n  \"repeat_fraction\": %.3f,\n"
+                 "  \"serial_ms\": %.3f,\n  \"cold_ms\": %.3f,\n"
+                 "  \"warm_ms\": %.3f,\n  \"warm_speedup_vs_cold\": %.2f,\n"
+                 "  \"deduped\": %llu,\n  \"bit_identical\": %s\n"
+                 "}\n",
+                 kLength, kUnique, kBatch, repeat_fraction, serial_ms, cold_ms,
+                 warm_ms, cold_ms / warm_ms,
+                 static_cast<unsigned long long>(stats.batch_deduped),
+                 bit_identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+  return bit_identical ? 0 : 1;
+}

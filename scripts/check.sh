@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure an ASan+UBSan build of the library, tests, and
-# benches, then run the tier-1 test suite under it. Any sanitizer report
-# aborts the run (-fno-sanitize-recover=all), so a green ctest means clean.
+# Sanitizer gate, two stages:
+#   1. ASan+UBSan build of the library, tests, and benches; run the full
+#      tier-1 test suite under it.
+#   2. TSan build (thread sanitizer is incompatible with ASan, so it is a
+#      separate tree); run the concurrent serve-layer suites (`Serve*`) —
+#      the tests that exercise cross-thread synchronization directly.
+# Any sanitizer report aborts the run (-fno-sanitize-recover=all), so a
+# green ctest means clean.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-sanitize)
+# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-sanitize, build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-sanitize}"
+TSAN_DIR="${2:-build-tsan}"
 
-cmake -B "$BUILD_DIR" -S . -DPPREF_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B "$BUILD_DIR" -S . -DPPREF_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+cmake -B "$TSAN_DIR" -S . -DPPREF_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve'

@@ -1,0 +1,61 @@
+/// \file hash.h
+/// \brief Stable 64-bit streaming hashes for cache keys.
+///
+/// The serve layer keys its plan and result caches by content fingerprints
+/// of models, patterns, and tracked-label sets. Those keys must be *stable*:
+/// identical across processes, runs, and construction orders, so a warmed
+/// cache file or a distributed shard map stays meaningful. `std::hash` gives
+/// no such guarantee; this header fixes the function to FNV-1a over an
+/// explicit word stream — the same mix `FlatStateMap` has always used for
+/// DP states — with length/tag words injected by the caller to keep
+/// adjacent variable-length fields from colliding.
+
+#ifndef PPREF_COMMON_HASH_H_
+#define PPREF_COMMON_HASH_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace ppref {
+
+/// Streaming FNV-1a over 64-bit words. Feed a canonical word sequence;
+/// `digest()` is the fingerprint. Stable across platforms with the same
+/// endianness-free word-wise mixing (each word is mixed byte by byte in
+/// little-endian order regardless of host order).
+class StreamHash {
+ public:
+  /// Mixes one 64-bit word into the state, least significant byte first.
+  void Mix(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xFF;
+      hash_ *= kPrime;
+    }
+  }
+
+  /// Mixes a double by bit pattern. Distinct bit patterns (including ±0.0
+  /// and NaN payloads) hash differently; callers that want -0.0 == 0.0 must
+  /// normalize first. Cache keys prefer the strict reading: a perturbed
+  /// parameter must change the key.
+  void MixDouble(double value) { Mix(std::bit_cast<std::uint64_t>(value)); }
+
+  /// The current fingerprint.
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// Order-dependent combination of two fingerprints (a distinct mix from
+/// feeding `next` into the stream, for composing already-computed digests).
+inline std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t next) {
+  StreamHash hash;
+  hash.Mix(seed);
+  hash.Mix(next);
+  return hash.digest();
+}
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_HASH_H_

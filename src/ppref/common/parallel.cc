@@ -49,4 +49,11 @@ unsigned DefaultThreadCount() {
   return std::max(1u, std::min(hardware, 8u));
 }
 
+unsigned ClampThreads(unsigned requested) {
+  // hardware_concurrency() may legally report 0 ("unknown") — treat as 1.
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (requested == 0) return hardware;
+  return std::min(requested, hardware);
+}
+
 }  // namespace ppref

@@ -35,6 +35,13 @@ void ParallelForWorkers(
 /// A reasonable default worker count: hardware concurrency capped at 8.
 unsigned DefaultThreadCount();
 
+/// Resolves a user-facing `threads` knob into an effective worker count:
+/// 0 means "auto" (every hardware thread); any other value is clamped to
+/// `std::thread::hardware_concurrency()`. Never returns 0. Oversubscribing
+/// a CPU-bound DP only adds context switches, so the clamp is a contract,
+/// not a heuristic — see PatternProbOptions::threads.
+unsigned ClampThreads(unsigned requested);
+
 }  // namespace ppref
 
 #endif  // PPREF_COMMON_PARALLEL_H_

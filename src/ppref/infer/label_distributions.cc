@@ -78,7 +78,8 @@ LabelPositionDistributions PatternLabelPositions(
   }
   // Candidate top matchings partition the pattern-matching rankings
   // (Lemma 5.3), so their distributions add up.
-  if (options.threads <= 1) {
+  const unsigned threads = ClampThreads(options.threads);
+  if (threads <= 1) {
     internal::DpPlan::Scratch scratch;
     internal::ForEachCandidate(
         model, pattern,
@@ -92,10 +93,10 @@ LabelPositionDistributions PatternLabelPositions(
       model, pattern, options.prune_candidates);
   std::vector<std::vector<Outcome>> outcomes(candidates.size());
   std::vector<internal::DpPlan::Scratch> scratches(
-      std::max<std::size_t>(1, std::min<std::size_t>(options.threads,
+      std::max<std::size_t>(1, std::min<std::size_t>(threads,
                                                      candidates.size())));
   ParallelForWorkers(
-      candidates.size(), options.threads, [&](unsigned worker, std::size_t i) {
+      candidates.size(), threads, [&](unsigned worker, std::size_t i) {
         plan.Distribution(
             candidates[i],
             [&](const MinMaxValues& values, double prob) {

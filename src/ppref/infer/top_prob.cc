@@ -48,7 +48,16 @@ double PatternProb(const LabeledRimModel& model, const LabelPattern& pattern,
                    const PatternProbOptions& options) {
   if (pattern.NodeCount() == 0) return 1.0;  // The empty pattern always matches.
   const internal::DpPlan plan(model, pattern, /*tracked=*/{});
-  if (options.threads <= 1) {
+  return PatternProbWithPlan(plan, options);
+}
+
+double PatternProbWithPlan(const internal::DpPlan& plan,
+                           const PatternProbOptions& options) {
+  const LabeledRimModel& model = plan.model();
+  const LabelPattern& pattern = plan.pattern();
+  if (pattern.NodeCount() == 0) return 1.0;
+  const unsigned threads = ClampThreads(options.threads);
+  if (threads <= 1) {
     // Serial path: stream candidates, one plan + one scratch for all γ.
     internal::DpPlan::Scratch scratch;
     double total = 0.0;
@@ -62,8 +71,7 @@ double PatternProb(const LabeledRimModel& model, const LabelPattern& pattern,
   }
   const std::vector<Matching> candidates = internal::EnumerateCandidates(
       model, pattern, options.prune_candidates);
-  const std::vector<double> probs =
-      CandidateProbs(plan, candidates, options.threads);
+  const std::vector<double> probs = CandidateProbs(plan, candidates, threads);
   double total = 0.0;
   for (double prob : probs) total += prob;
   return total;
@@ -79,8 +87,17 @@ std::optional<std::pair<Matching, double>> MostProbableTopMatching(
     const PatternProbOptions& options) {
   if (pattern.NodeCount() == 0) return std::make_pair(Matching{}, 1.0);
   const internal::DpPlan plan(model, pattern, /*tracked=*/{});
+  return MostProbableTopMatchingWithPlan(plan, options);
+}
+
+std::optional<std::pair<Matching, double>> MostProbableTopMatchingWithPlan(
+    const internal::DpPlan& plan, const PatternProbOptions& options) {
+  const LabeledRimModel& model = plan.model();
+  const LabelPattern& pattern = plan.pattern();
+  if (pattern.NodeCount() == 0) return std::make_pair(Matching{}, 1.0);
+  const unsigned threads = ClampThreads(options.threads);
   std::optional<std::pair<Matching, double>> best;
-  if (options.threads <= 1) {
+  if (threads <= 1) {
     internal::DpPlan::Scratch scratch;
     internal::ForEachCandidate(model, pattern, [&](const Matching& gamma) {
       const double prob = plan.TopProb(gamma, /*condition=*/nullptr, scratch);
@@ -92,8 +109,7 @@ std::optional<std::pair<Matching, double>> MostProbableTopMatching(
   }
   const std::vector<Matching> candidates =
       internal::EnumerateCandidates(model, pattern);
-  const std::vector<double> probs =
-      CandidateProbs(plan, candidates, options.threads);
+  const std::vector<double> probs = CandidateProbs(plan, candidates, threads);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (probs[i] > 0.0 && (!best.has_value() || probs[i] > best->second)) {
       best = std::make_pair(candidates[i], probs[i]);

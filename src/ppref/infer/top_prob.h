@@ -33,6 +33,10 @@
 
 namespace ppref::infer {
 
+namespace internal {
+class DpPlan;
+}  // namespace internal
+
 /// p_γ (Eq. (3)): probability that `gamma` is the top matching of `pattern`
 /// in a random ranking of `model`. Returns 0 when `gamma` violates labels,
 /// maps edge-related nodes to the same item, or the pattern is cyclic.
@@ -50,10 +54,13 @@ struct PatternProbOptions {
   /// Skip candidate γ mapping two path-connected nodes to one item (their
   /// p_γ is provably 0). Disabled only by the ablation benchmark.
   bool prune_candidates = true;
-  /// Matching-level parallelism: fan the candidate γ out over this many
-  /// worker threads, each with its own DP scratch against one shared plan.
+  /// Matching-level parallelism: fan the candidate γ out over worker
+  /// threads, each with its own DP scratch against one shared plan.
+  /// Contract: `threads == 0` means "auto" — use every hardware thread;
+  /// any other value is clamped to `std::thread::hardware_concurrency()`
+  /// (see ppref::ClampThreads). An effective count <= 1 runs serially.
   /// Per-γ results are reduced in enumeration order, so every thread count
-  /// yields a bit-identical result to the serial path (threads <= 1).
+  /// yields a bit-identical result to the serial path.
   unsigned threads = 1;
 };
 
@@ -79,6 +86,20 @@ std::optional<std::pair<Matching, double>> MostProbableTopMatching(
 std::optional<std::pair<Matching, double>> MostProbableTopMatching(
     const LabeledRimModel& model, const LabelPattern& pattern,
     const PatternProbOptions& options);
+
+/// PatternProb executed against a caller-supplied compiled plan — the
+/// plan-injection entry point the serve layer's plan cache uses to amortize
+/// compilation *across* calls (PR-2's compile-once / run-many split, lifted
+/// from one call to a session of calls). The plan's model and pattern are
+/// the inputs; a plan with an empty tracked set is fastest, but any tracked
+/// set gives the same probability (the extra α/β state is summed out).
+double PatternProbWithPlan(const internal::DpPlan& plan,
+                           const PatternProbOptions& options = {});
+
+/// MostProbableTopMatching executed against a caller-supplied compiled plan.
+/// Same tie-breaking and determinism guarantees as the plain overloads.
+std::optional<std::pair<Matching, double>> MostProbableTopMatchingWithPlan(
+    const internal::DpPlan& plan, const PatternProbOptions& options = {});
 
 }  // namespace ppref::infer
 

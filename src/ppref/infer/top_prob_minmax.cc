@@ -32,11 +32,21 @@ double PatternMinMaxProb(const LabeledRimModel& model,
                          const PatternProbOptions& options) {
   PPREF_CHECK(condition != nullptr);
   const internal::DpPlan plan(model, pattern, tracked);
+  return PatternMinMaxProbWithPlan(plan, condition, options);
+}
+
+double PatternMinMaxProbWithPlan(const internal::DpPlan& plan,
+                                 const MinMaxCondition& condition,
+                                 const PatternProbOptions& options) {
+  PPREF_CHECK(condition != nullptr);
+  const LabeledRimModel& model = plan.model();
+  const LabelPattern& pattern = plan.pattern();
   if (pattern.NodeCount() == 0) {
     internal::DpPlan::Scratch scratch;
     return plan.TopProb(/*gamma=*/{}, &condition, scratch);
   }
-  if (options.threads <= 1) {
+  const unsigned threads = ClampThreads(options.threads);
+  if (threads <= 1) {
     internal::DpPlan::Scratch scratch;
     double total = 0.0;
     internal::ForEachCandidate(
@@ -51,9 +61,9 @@ double PatternMinMaxProb(const LabeledRimModel& model,
       model, pattern, options.prune_candidates);
   std::vector<double> probs(candidates.size(), 0.0);
   std::vector<internal::DpPlan::Scratch> scratches(
-      std::max<std::size_t>(1, std::min<std::size_t>(options.threads,
+      std::max<std::size_t>(1, std::min<std::size_t>(threads,
                                                      candidates.size())));
-  ParallelForWorkers(candidates.size(), options.threads,
+  ParallelForWorkers(candidates.size(), threads,
                      [&](unsigned worker, std::size_t i) {
                        probs[i] = plan.TopProb(candidates[i], &condition,
                                                scratches[worker]);

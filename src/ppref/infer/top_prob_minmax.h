@@ -53,6 +53,14 @@ double MinMaxProb(const LabeledRimModel& model,
                   const std::vector<LabelId>& tracked,
                   const MinMaxCondition& condition);
 
+/// PatternMinMaxProb executed against a caller-supplied compiled plan (the
+/// serve layer's plan-injection entry point). The plan's model, pattern,
+/// and tracked set are the inputs; only the condition varies per call, so
+/// one cached plan serves every φ over the same tracked labels.
+double PatternMinMaxProbWithPlan(const internal::DpPlan& plan,
+                                 const MinMaxCondition& condition,
+                                 const PatternProbOptions& options = {});
+
 }  // namespace ppref::infer
 
 #endif  // PPREF_INFER_TOP_PROB_MINMAX_H_

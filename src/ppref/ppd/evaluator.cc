@@ -29,6 +29,45 @@ double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
   return 1.0 - none_matches;
 }
 
+double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
+                       serve::Server& server) {
+  if (!query.IsBoolean()) {
+    throw SchemaError("EvaluateBoolean expects a Boolean query");
+  }
+  if (query.PAtoms().empty()) {
+    return query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0;
+  }
+  const std::vector<SessionReduction> reductions = ReduceItemwise(ppd, query);
+  // Sessions with a trivially-zero probability never reach the server;
+  // the rest go out as one deduplicated batch. The labeled models must
+  // stay alive until the batch returns, hence the reserve (no relocation
+  // under the borrowed pointers).
+  std::vector<infer::LabeledRimModel> models;
+  models.reserve(reductions.size());
+  std::vector<serve::Request> batch;
+  std::vector<std::size_t> reduction_of;  // batch index -> reduction index
+  for (std::size_t i = 0; i < reductions.size(); ++i) {
+    const SessionReduction& reduction = reductions[i];
+    if (!reduction.satisfiable || reduction.reflexive_preference) continue;
+    models.emplace_back(reduction.model->model(), reduction.labeling);
+    serve::Request request;
+    request.kind = serve::Request::Kind::kPatternProb;
+    request.model = &models.back();
+    request.pattern = &reduction.pattern;
+    batch.push_back(request);
+    reduction_of.push_back(i);
+  }
+  const std::vector<serve::Response> responses = server.EvaluateBatch(batch);
+  // Combine in session order so the float result matches the serial path.
+  std::vector<double> session_probs(reductions.size(), 0.0);
+  for (std::size_t b = 0; b < responses.size(); ++b) {
+    session_probs[reduction_of[b]] = responses[b].probability;
+  }
+  double none_matches = 1.0;
+  for (double prob : session_probs) none_matches *= 1.0 - prob;
+  return 1.0 - none_matches;
+}
+
 double EvaluateBooleanParallel(const RimPpd& ppd,
                                const query::ConjunctiveQuery& query,
                                unsigned threads) {

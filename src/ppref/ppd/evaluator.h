@@ -17,6 +17,7 @@
 #include "ppref/infer/top_prob.h"
 #include "ppref/ppd/ppd.h"
 #include "ppref/query/cq.h"
+#include "ppref/serve/server.h"
 
 namespace ppref::ppd {
 
@@ -37,6 +38,16 @@ double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query);
 /// fans those matchings out (bit-identical ordered reduction).
 double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
                        const infer::PatternProbOptions& options);
+
+/// EvaluateBoolean routed through a shared serve::Server: the per-session
+/// pattern probabilities are submitted as one deduplicated batch, so
+/// repeated sessions (same model, same pattern) are computed once, plans
+/// and results are reused across *queries* via the server's caches, and
+/// unique work runs on the server's worker pool. Bit-identical to the
+/// serial evaluator (the server's determinism guarantee plus session-order
+/// reduction).
+double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
+                       serve::Server& server);
 
 /// EvaluateBoolean with the independent per-session TopProb instances
 /// computed on `threads` workers (§6's CPU-parallelism direction). Work

@@ -49,10 +49,55 @@ double AnyEventProb(const SessionEvents& session,
   return total;
 }
 
-}  // namespace
+/// AnyEventProb routed through a serve::Server: every inclusion–exclusion
+/// conjunction goes out as one deduplicated batch; the signed reduction
+/// runs in mask order, bit-identical to the serial loop above.
+double AnyEventProb(const SessionEvents& session, serve::Server& server) {
+  const std::size_t t = session.events.size();
+  PPREF_CHECK(t > 0);
+  PPREF_CHECK_MSG(t <= 20, "inclusion-exclusion over " << t
+                               << " disjunct events is infeasible");
+  const std::size_t terms = (std::size_t{1} << t) - 1;
+  // The batch borrows the conjoined instances, so both vectors are
+  // reserved up front — no relocation under the borrowed pointers.
+  std::vector<infer::PatternInstance> joints;
+  std::vector<infer::LabeledRimModel> models;
+  joints.reserve(terms);
+  models.reserve(terms);
+  std::vector<serve::Request> batch;
+  for (std::size_t mask = 1; mask <= terms; ++mask) {
+    infer::PatternInstance joint;
+    bool first = true;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!(mask & (std::size_t{1} << i))) continue;
+      joint = first ? session.events[i]
+                    : infer::Conjoin(joint, session.events[i]);
+      first = false;
+    }
+    joints.push_back(std::move(joint));
+    models.emplace_back(session.model->model(), joints.back().labeling);
+    serve::Request request;
+    request.kind = serve::Request::Kind::kPatternProb;
+    request.model = &models.back();
+    request.pattern = &joints.back().pattern;
+    batch.push_back(request);
+  }
+  const std::vector<serve::Response> responses = server.EvaluateBatch(batch);
+  double total = 0.0;
+  for (std::size_t mask = 1; mask <= terms; ++mask) {
+    const double prob = responses[mask - 1].probability;
+    const bool odd = __builtin_popcountll(mask) % 2 == 1;
+    total += odd ? prob : -prob;
+  }
+  return total;
+}
 
-double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
-                            const infer::PatternProbOptions& options) {
+/// Shared driver for the serial and server-routed union evaluators:
+/// groups the disjuncts' reductions by session and folds `any_event` over
+/// the groups in session order.
+template <typename AnyEvent>
+double EvaluateBooleanUnionImpl(const RimPpd& ppd, const query::UnionQuery& ucq,
+                                const AnyEvent& any_event) {
   PPREF_CHECK(ucq.IsBoolean());
   // Key: p-symbol + session tuple. Sessions of distinct symbols are
   // distinct keys and independent.
@@ -75,9 +120,25 @@ double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
 
   double none = 1.0;
   for (const auto& [key, events] : by_session) {
-    none *= 1.0 - AnyEventProb(events, options);
+    none *= 1.0 - any_event(events);
   }
   return 1.0 - none;
+}
+
+}  // namespace
+
+double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
+                            const infer::PatternProbOptions& options) {
+  return EvaluateBooleanUnionImpl(ppd, ucq, [&](const SessionEvents& events) {
+    return AnyEventProb(events, options);
+  });
+}
+
+double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
+                            serve::Server& server) {
+  return EvaluateBooleanUnionImpl(ppd, ucq, [&](const SessionEvents& events) {
+    return AnyEventProb(events, server);
+  });
 }
 
 std::vector<Answer> EvaluateUnionQuery(const RimPpd& ppd,

@@ -29,6 +29,14 @@ namespace ppref::ppd {
 double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
                             const infer::PatternProbOptions& options = {});
 
+/// EvaluateBooleanUnion routed through a shared serve::Server: each
+/// session's 2^t - 1 inclusion–exclusion conjunctions are submitted as one
+/// deduplicated batch and the signed sum is reduced in mask order, so the
+/// result is bit-identical to the serial path while repeated conjunction
+/// events (across sessions and across queries) hit the server's caches.
+double EvaluateBooleanUnion(const RimPpd& ppd, const query::UnionQuery& ucq,
+                            serve::Server& server);
+
 /// Q(E) for a non-Boolean UCQ: possible answers across all disjuncts with
 /// their union confidence, sorted by decreasing confidence.
 std::vector<Answer> EvaluateUnionQuery(const RimPpd& ppd,

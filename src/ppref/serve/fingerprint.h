@@ -1,0 +1,61 @@
+/// \file fingerprint.h
+/// \brief Stable 64-bit content fingerprints of inference inputs — the cache
+/// keys of the serve layer.
+///
+/// A fingerprint identifies the *mathematical object*, not the C++ object:
+/// two values that define the same distribution/pattern hash equal no matter
+/// how or in what order they were built, and any single-parameter
+/// perturbation (an insertion probability, a dispersion, a label, an edge)
+/// changes the hash. Canonicalization rules:
+///
+///  - `RimModel`: reference order verbatim + every insertion row verbatim
+///    (doubles by bit pattern). The pair (σ, Π) *is* the model.
+///  - `ItemLabeling`: per item, the label set sorted — `AddLabel` order is
+///    presentation, not content.
+///  - `LabelPattern`: node labels sorted, then edges as (label, label) pairs
+///    sorted — `AddNode`/`AddEdge` order and node index assignment are
+///    presentation. (Each label occurs at most once as a node, so sorted
+///    label pairs are a canonical edge list.)
+///  - tracked-label vectors: verbatim order. Order is semantic — the i-th
+///    tracked label owns the i-th (α, β) slot a MinMaxCondition reads.
+///
+/// Keys are 64-bit; collisions are possible in principle (~2^-64 per pair)
+/// and accepted, as in every content-addressed cache of this size.
+
+#ifndef PPREF_SERVE_FINGERPRINT_H_
+#define PPREF_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/labeling.h"
+#include "ppref/infer/pattern.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::serve {
+
+/// Fingerprint of RIM(σ, Π).
+std::uint64_t FingerprintModel(const rim::RimModel& model);
+
+/// Fingerprint of λ (per-item label sets, order-insensitive within an item).
+std::uint64_t FingerprintLabeling(const infer::ItemLabeling& labeling);
+
+/// Fingerprint of RIM_L(σ, Π, λ): model and labeling combined.
+std::uint64_t FingerprintLabeledModel(const infer::LabeledRimModel& model);
+
+/// Fingerprint of a label pattern g (construction-order independent).
+std::uint64_t FingerprintPattern(const infer::LabelPattern& pattern);
+
+/// Fingerprint of a tracked-label vector (order-sensitive — see above).
+std::uint64_t FingerprintTracked(const std::vector<infer::LabelId>& tracked);
+
+/// The plan-cache key of a compiled `DpPlan`: one (model, pattern, tracked)
+/// triple, combining the three fingerprints above in a fixed order.
+std::uint64_t PlanKey(const infer::LabeledRimModel& model,
+                      const infer::LabelPattern& pattern,
+                      const std::vector<infer::LabelId>& tracked);
+
+}  // namespace ppref::serve
+
+#endif  // PPREF_SERVE_FINGERPRINT_H_

@@ -1,0 +1,170 @@
+/// \file lru_cache.h
+/// \brief A sharded, thread-safe LRU cache keyed by 64-bit fingerprints.
+///
+/// The serve layer's plan and result caches. Keys are content fingerprints
+/// (see fingerprint.h); values are shared so an entry evicted while another
+/// thread still executes against it stays alive until that thread drops its
+/// reference — eviction never invalidates an in-flight computation.
+///
+/// Sharding: the key space is split over `shards` independent LRU maps,
+/// each behind its own mutex, so concurrent lookups of different keys
+/// rarely contend. Each shard runs classic LRU (intrusive list + index);
+/// recency is per shard, which is the standard approximation — global LRU
+/// under one lock is exactly the bottleneck sharding removes.
+///
+/// Determinism: the cache only memoizes pure functions of the key, so a hit
+/// returns bit-identically what a recompute would. Hit/miss *sequences*
+/// under concurrency are scheduling-dependent; results are not.
+
+#ifndef PPREF_SERVE_LRU_CACHE_H_
+#define PPREF_SERVE_LRU_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ppref::serve {
+
+/// Aggregate cache counters (monotone since construction or Clear()).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Sharded LRU map from `std::uint64_t` fingerprints to shared values.
+template <typename Value>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly over `shards`
+  /// (each shard holds at least one entry). Shard count is rounded up to a
+  /// power of two so shard selection is a mask.
+  explicit ShardedLruCache(std::size_t capacity, unsigned shards = 8)
+      : shards_(RoundUpPow2(std::max(1u, shards))) {
+    const std::size_t per_shard =
+        std::max<std::size_t>(1, (capacity + shards_.size() - 1) / shards_.size());
+    for (Shard& shard : shards_) shard.capacity = per_shard;
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// The value under `key`, refreshed to most-recently-used, or nullptr.
+  std::shared_ptr<const Value> Get(std::uint64_t key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.stats.misses;
+      return nullptr;
+    }
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    ++shard.stats.hits;
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// of the shard when over capacity. If the key is already present the
+  /// existing value is kept (first write wins — concurrent computations of
+  /// the same pure function produced equal values, and keeping the first
+  /// means a shared_ptr handed out earlier stays the canonical one).
+  std::shared_ptr<const Value> Put(std::uint64_t key,
+                                   std::shared_ptr<const Value> value) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return it->second->value;
+    }
+    shard.order.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(key, shard.order.begin());
+    ++shard.stats.insertions;
+    if (shard.order.size() > shard.capacity) {
+      shard.index.erase(shard.order.back().key);
+      shard.order.pop_back();
+      ++shard.stats.evictions;
+    }
+    return shard.order.front().value;
+  }
+
+  /// Current entry count across shards.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.order.size();
+    }
+    return total;
+  }
+
+  /// Total entry budget.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.capacity;
+    return total;
+  }
+
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+
+  /// Aggregated counters over all shards.
+  CacheStats stats() const {
+    CacheStats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total.hits += shard.stats.hits;
+      total.misses += shard.stats.misses;
+      total.insertions += shard.stats.insertions;
+      total.evictions += shard.stats.evictions;
+    }
+    return total;
+  }
+
+  /// Drops every entry and resets counters.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.order.clear();
+      shard.index.clear();
+      shard.stats = CacheStats{};
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::shared_ptr<const Value> value;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::size_t capacity = 1;
+    std::list<Entry> order;  // front = most recently used
+    std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator> index;
+    CacheStats stats;
+  };
+
+  static unsigned RoundUpPow2(unsigned n) {
+    unsigned p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Shard& ShardOf(std::uint64_t key) {
+    // Fingerprints are already well mixed; fold the high bits in anyway so
+    // a sharded caller can't be pessimized by structure in the low bits.
+    const std::uint64_t folded = key ^ (key >> 32);
+    return shards_[folded & (shards_.size() - 1)];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ppref::serve
+
+#endif  // PPREF_SERVE_LRU_CACHE_H_

@@ -1,0 +1,278 @@
+#include "ppref/serve/server.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "ppref/common/check.h"
+#include "ppref/common/hash.h"
+#include "ppref/common/parallel.h"
+#include "ppref/infer/internal/dp_plan.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/infer/top_prob_minmax.h"
+#include "ppref/serve/fingerprint.h"
+
+namespace ppref::serve {
+namespace {
+
+// Result-key domain tags: one per request kind, mixed on top of the plan
+// key so the two answers about one (model, pattern) never collide.
+enum : std::uint64_t {
+  kKeyPatternProb = 0x5051ull,
+  kKeyTopMatching = 0x5052ull,
+  kKeyMinMax = 0x5053ull,
+};
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const std::vector<infer::LabelId> kNoTracked;
+
+}  // namespace
+
+/// A compiled plan together with owned copies of its borrowed inputs.
+/// Never moved after construction: `plan` holds pointers to the `model`
+/// and `pattern` members, which is why cache values are shared_ptrs to
+/// in-place-constructed entries.
+struct Server::CachedPlan {
+  infer::LabeledRimModel model;
+  infer::LabelPattern pattern;
+  std::vector<infer::LabelId> tracked;
+  infer::internal::DpPlan plan;
+
+  CachedPlan(const infer::LabeledRimModel& model_in,
+             const infer::LabelPattern& pattern_in,
+             const std::vector<infer::LabelId>& tracked_in)
+      : model(model_in),
+        pattern(pattern_in),
+        tracked(tracked_in),
+        plan(model, pattern, tracked) {}
+
+  CachedPlan(const CachedPlan&) = delete;
+  CachedPlan& operator=(const CachedPlan&) = delete;
+};
+
+/// A memoized answer. `top_matching` is engaged only for kTopMatching
+/// requests whose best candidate has positive probability (plus the empty
+/// pattern's empty matching).
+struct Server::CachedResult {
+  double probability = 0.0;
+  std::optional<infer::Matching> top_matching;
+};
+
+/// Scoped in-flight depth accounting: admission increments, completion
+/// decrements, and the peak watermark is maintained with a CAS loop.
+class Server::InFlight {
+ public:
+  InFlight(Server& server, std::uint64_t count) : server_(server), count_(count) {
+    const std::uint64_t now =
+        server_.in_flight_.fetch_add(count_, std::memory_order_relaxed) + count_;
+    std::uint64_t peak = server_.in_flight_peak_.load(std::memory_order_relaxed);
+    while (peak < now && !server_.in_flight_peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  ~InFlight() { server_.in_flight_.fetch_sub(count_, std::memory_order_relaxed); }
+
+ private:
+  Server& server_;
+  std::uint64_t count_;
+};
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      plan_cache_(options.plan_cache_capacity, options.cache_shards),
+      result_cache_(options.result_cache_capacity, options.cache_shards) {}
+
+Server::~Server() = default;
+
+std::shared_ptr<const Server::CachedPlan> Server::PlanFor(
+    const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+    const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key) {
+  if (std::shared_ptr<const CachedPlan> hit = plan_cache_.Get(plan_key)) {
+    return hit;
+  }
+  // Cold key: compile outside any lock. Two threads racing here both
+  // compile; Put keeps the first insert, so they converge on one entry.
+  const std::uint64_t start = NowNs();
+  auto entry = std::make_shared<const CachedPlan>(model, pattern, tracked);
+  compile_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  return plan_cache_.Put(plan_key, std::move(entry));
+}
+
+Server::CachedResult Server::Compute(const Request& request,
+                                     std::uint64_t plan_key) {
+  PPREF_CHECK(request.model != nullptr && request.pattern != nullptr);
+  const std::shared_ptr<const CachedPlan> plan =
+      PlanFor(*request.model, *request.pattern, kNoTracked, plan_key);
+  infer::PatternProbOptions exec;
+  exec.threads = options_.matching_threads;
+  CachedResult result;
+  const std::uint64_t start = NowNs();
+  if (request.kind == Request::Kind::kPatternProb) {
+    result.probability = infer::PatternProbWithPlan(plan->plan, exec);
+  } else {
+    if (auto best = infer::MostProbableTopMatchingWithPlan(plan->plan, exec)) {
+      result.probability = best->second;
+      result.top_matching = std::move(best->first);
+    }
+  }
+  execute_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  return result;
+}
+
+double Server::PatternProbability(const infer::LabeledRimModel& model,
+                                  const infer::LabelPattern& pattern) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const InFlight guard(*this, 1);
+  const std::uint64_t plan_key = PlanKey(model, pattern, kNoTracked);
+  const std::uint64_t result_key = HashCombine(plan_key, kKeyPatternProb);
+  if (auto hit = result_cache_.Get(result_key)) return hit->probability;
+  Request request;
+  request.kind = Request::Kind::kPatternProb;
+  request.model = &model;
+  request.pattern = &pattern;
+  return result_cache_
+      .Put(result_key,
+           std::make_shared<const CachedResult>(Compute(request, plan_key)))
+      ->probability;
+}
+
+std::optional<std::pair<infer::Matching, double>> Server::MostProbableTopMatching(
+    const infer::LabeledRimModel& model, const infer::LabelPattern& pattern) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const InFlight guard(*this, 1);
+  const std::uint64_t plan_key = PlanKey(model, pattern, kNoTracked);
+  const std::uint64_t result_key = HashCombine(plan_key, kKeyTopMatching);
+  std::shared_ptr<const CachedResult> value = result_cache_.Get(result_key);
+  if (!value) {
+    Request request;
+    request.kind = Request::Kind::kTopMatching;
+    request.model = &model;
+    request.pattern = &pattern;
+    value = result_cache_.Put(
+        result_key,
+        std::make_shared<const CachedResult>(Compute(request, plan_key)));
+  }
+  if (!value->top_matching.has_value()) return std::nullopt;
+  return std::make_pair(*value->top_matching, value->probability);
+}
+
+double Server::PatternMinMaxProbability(
+    const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+    const std::vector<infer::LabelId>& tracked,
+    const infer::MinMaxCondition& condition,
+    std::uint64_t condition_fingerprint) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const InFlight guard(*this, 1);
+  const std::uint64_t plan_key = PlanKey(model, pattern, tracked);
+  const bool cacheable = condition_fingerprint != 0;
+  const std::uint64_t result_key =
+      HashCombine(HashCombine(plan_key, kKeyMinMax), condition_fingerprint);
+  if (cacheable) {
+    if (auto hit = result_cache_.Get(result_key)) return hit->probability;
+  }
+  const std::shared_ptr<const CachedPlan> plan =
+      PlanFor(model, pattern, tracked, plan_key);
+  infer::PatternProbOptions exec;
+  exec.threads = options_.matching_threads;
+  const std::uint64_t start = NowNs();
+  const double probability =
+      infer::PatternMinMaxProbWithPlan(plan->plan, condition, exec);
+  execute_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  if (cacheable) {
+    result_cache_.Put(result_key, std::make_shared<const CachedResult>(
+                                      CachedResult{probability, std::nullopt}));
+  }
+  return probability;
+}
+
+std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(requests.size(), std::memory_order_relaxed);
+  const InFlight guard(*this, requests.size());
+
+  // Dedup: one unique slot per distinct result key, in first-occurrence
+  // order (deterministic regardless of thread count).
+  struct Unique {
+    std::uint64_t result_key;
+    std::uint64_t plan_key;
+    std::size_t first_request;
+  };
+  std::vector<Unique> unique;
+  std::vector<std::size_t> slot_of(requests.size());
+  std::unordered_map<std::uint64_t, std::size_t> slot_by_key;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    PPREF_CHECK(request.model != nullptr && request.pattern != nullptr);
+    const std::uint64_t plan_key =
+        PlanKey(*request.model, *request.pattern, kNoTracked);
+    const std::uint64_t result_key = HashCombine(
+        plan_key, request.kind == Request::Kind::kPatternProb ? kKeyPatternProb
+                                                              : kKeyTopMatching);
+    const auto [it, inserted] = slot_by_key.emplace(result_key, unique.size());
+    if (inserted) unique.push_back(Unique{result_key, plan_key, i});
+    slot_of[i] = it->second;
+  }
+  batch_deduped_.fetch_add(requests.size() - unique.size(),
+                           std::memory_order_relaxed);
+
+  // Resolve result-cache hits; collect the misses.
+  std::vector<std::shared_ptr<const CachedResult>> resolved(unique.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t u = 0; u < unique.size(); ++u) {
+    resolved[u] = result_cache_.Get(unique[u].result_key);
+    if (!resolved[u]) misses.push_back(u);
+  }
+
+  // Fan unique cold work over the pool. Each worker touches only its own
+  // `computed` slots; the caches are internally synchronized.
+  std::vector<CachedResult> computed(misses.size());
+  ParallelForWorkers(misses.size(), ClampThreads(options_.threads),
+                     [&](unsigned, std::size_t i) {
+                       const Unique& u = unique[misses[i]];
+                       computed[i] =
+                           Compute(requests[u.first_request], u.plan_key);
+                     });
+
+  // Publish in unique order (deterministic cache contents for a given
+  // request trace, whatever the worker interleaving was).
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    resolved[misses[i]] = result_cache_.Put(
+        unique[misses[i]].result_key,
+        std::make_shared<const CachedResult>(std::move(computed[i])));
+  }
+
+  // Scatter answers back in request order.
+  std::vector<Response> responses(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const CachedResult& result = *resolved[slot_of[i]];
+    responses[i].probability = result.probability;
+    responses[i].top_matching = result.top_matching;
+  }
+  return responses;
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.plan_cache = plan_cache_.stats();
+  stats.result_cache = result_cache_.stats();
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batch_deduped = batch_deduped_.load(std::memory_order_relaxed);
+  stats.compile_ns = compile_ns_.load(std::memory_order_relaxed);
+  stats.execute_ns = execute_ns_.load(std::memory_order_relaxed);
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  stats.in_flight_peak = in_flight_peak_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::ClearCaches() {
+  plan_cache_.Clear();
+  result_cache_.Clear();
+}
+
+}  // namespace ppref::serve

@@ -1,0 +1,174 @@
+/// \file server.h
+/// \brief `ppref::serve` — the embeddable query-serving layer.
+///
+/// A `Server` turns the library's per-call inference API into a session
+/// engine for the workload the paper's production framing implies: many
+/// similar pattern queries against a fixed fleet of RIM models. It amortizes
+/// work at two levels:
+///
+///  1. **Plan cache** (sharded LRU): compiled `DpPlan`s keyed by the content
+///     fingerprint of (model, pattern, tracked). A hit skips the
+///     γ-independent compilation entirely; PR-2's compile-once / run-many
+///     split now pays off *across* calls, not just within one.
+///  2. **Result cache** (sharded LRU): full `(model, pattern, tracked,
+///     kind) → answer` memoization. A hit skips the DP execution too.
+///
+/// `EvaluateBatch` additionally dedups identical requests *within* a batch,
+/// fans the unique work over a worker pool, and scatters answers back in
+/// request order.
+///
+/// ## Determinism guarantee
+/// Every answer is bit-identical to what a fresh per-request serial call of
+/// the underlying `infer::` function would return: the caches memoize pure
+/// functions of the request fingerprint, the batch fan-out uses the ordered
+/// (bit-identical) reduction of `infer/`, and dedup only shares answers
+/// between byte-equal requests. Caching, batching, and thread count are
+/// invisible in the output — only in the latency.
+///
+/// ## Thread safety
+/// All entry points may be called concurrently from any number of threads;
+/// the caches are internally synchronized (per-shard mutexes) and plans are
+/// immutable after compilation (per-thread `Scratch` holds all mutable DP
+/// state). Two threads racing on the same cold key may both compute it;
+/// both produce the same value and the first insert wins.
+///
+/// Models and patterns are *borrowed for the duration of a call* and copied
+/// into any cache entry that outlives it, so callers may destroy their
+/// inputs as soon as the call returns.
+
+#ifndef PPREF_SERVE_SERVER_H_
+#define PPREF_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/matching.h"
+#include "ppref/infer/minmax_condition.h"
+#include "ppref/infer/pattern.h"
+#include "ppref/serve/lru_cache.h"
+#include "ppref/serve/stats.h"
+
+namespace ppref::serve {
+
+/// Server tuning knobs.
+struct ServerOptions {
+  /// Total compiled-plan budget. Plans are the expensive entries (a plan
+  /// owns copies of its model and pattern); size this to the working set of
+  /// distinct (model, pattern, tracked) triples.
+  std::size_t plan_cache_capacity = 256;
+  /// Total memoized-answer budget. Answers are tiny; size generously.
+  std::size_t result_cache_capacity = 8192;
+  /// Shards per cache (rounded up to a power of two).
+  unsigned cache_shards = 8;
+  /// Worker threads for the batch fan-out. 0 = auto; clamped to hardware
+  /// concurrency (ppref::ClampThreads).
+  unsigned threads = 0;
+  /// Matching-level parallelism *within* one request (PatternProbOptions::
+  /// threads). Batch fan-out already saturates the cores, so nesting
+  /// defaults off; raise it for servers handling few, large requests.
+  unsigned matching_threads = 1;
+};
+
+/// One inference request against a borrowed model and pattern.
+struct Request {
+  enum class Kind : std::uint8_t {
+    /// Pr(g | σ, Π, λ) — answers `Response::probability`.
+    kPatternProb,
+    /// argmax_γ p_γ — answers `Response::top_matching` (and `probability`
+    /// with the winning p_γ, 0 when no candidate has positive mass).
+    kTopMatching,
+  };
+  Kind kind = Kind::kPatternProb;
+  /// Borrowed; must stay alive until the submitting call returns.
+  const infer::LabeledRimModel* model = nullptr;
+  const infer::LabelPattern* pattern = nullptr;
+};
+
+/// The answer to one request, in the submitting batch's order.
+struct Response {
+  double probability = 0.0;
+  /// Set for kTopMatching when some candidate has positive probability.
+  std::optional<infer::Matching> top_matching;
+};
+
+/// A concurrent query server over the exact inference engine. See the file
+/// comment for the caching, determinism, and thread-safety contracts.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Pr(g | σ, Π, λ), memoized.
+  double PatternProbability(const infer::LabeledRimModel& model,
+                            const infer::LabelPattern& pattern);
+
+  /// The most probable top matching, memoized. Same contract as
+  /// infer::MostProbableTopMatching.
+  std::optional<std::pair<infer::Matching, double>> MostProbableTopMatching(
+      const infer::LabeledRimModel& model, const infer::LabelPattern& pattern);
+
+  /// Pr(g ∧ φ), memoized. `condition_fingerprint` must identify φ: equal
+  /// fingerprints assert equal predicates (the server cannot hash a
+  /// std::function, so the caller names it — e.g. hash of "top-3(Clinton)").
+  /// Pass a fingerprint of 0 to bypass the result cache (unnameable φ);
+  /// the plan cache still applies, keyed by (model, pattern, tracked).
+  double PatternMinMaxProbability(const infer::LabeledRimModel& model,
+                                  const infer::LabelPattern& pattern,
+                                  const std::vector<infer::LabelId>& tracked,
+                                  const infer::MinMaxCondition& condition,
+                                  std::uint64_t condition_fingerprint);
+
+  /// Serves a batch: dedups byte-identical requests, resolves result-cache
+  /// hits, fans the remaining unique work over the worker pool, and returns
+  /// answers in request order. Answers are bit-identical to issuing each
+  /// request alone (see the determinism guarantee).
+  std::vector<Response> EvaluateBatch(const std::vector<Request>& requests);
+
+  /// Point-in-time statistics snapshot.
+  ServerStats stats() const;
+
+  /// Drops both caches and their counters (not the request counters).
+  void ClearCaches();
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct CachedPlan;
+  struct CachedResult;
+
+  /// Looks up or compiles the plan for (model, pattern, tracked), timing
+  /// compilation into `compile_ns_`.
+  std::shared_ptr<const CachedPlan> PlanFor(
+      const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+      const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key);
+
+  /// Computes one request (plan lookup + DP execution, timed).
+  CachedResult Compute(const Request& request, std::uint64_t plan_key);
+
+  /// RAII in-flight depth tracking.
+  class InFlight;
+
+  ServerOptions options_;
+  ShardedLruCache<CachedPlan> plan_cache_;
+  ShardedLruCache<CachedResult> result_cache_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_deduped_{0};
+  std::atomic<std::uint64_t> compile_ns_{0};
+  std::atomic<std::uint64_t> execute_ns_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> in_flight_peak_{0};
+};
+
+}  // namespace ppref::serve
+
+#endif  // PPREF_SERVE_SERVER_H_

@@ -1,0 +1,49 @@
+/// \file stats.h
+/// \brief The per-server observability surface: a plain struct snapshot.
+///
+/// Counters answer the capacity-planning questions a serving deployment
+/// asks: are plans being reused (plan hit rate), are whole answers being
+/// reused (result hit rate), is the cache thrashing (evictions), where do
+/// the cycles go (compile vs. execute nanoseconds), and how deep is the
+/// instantaneous load (in-flight depth). All counters are cumulative since
+/// server construction; `Snapshot` is a consistent-enough point-in-time
+/// read (each counter is individually atomic; cross-counter skew of a few
+/// requests is acceptable for monitoring).
+
+#ifndef PPREF_SERVE_STATS_H_
+#define PPREF_SERVE_STATS_H_
+
+#include <cstdint>
+
+#include "ppref/serve/lru_cache.h"
+
+namespace ppref::serve {
+
+/// Point-in-time server statistics.
+struct ServerStats {
+  /// Plan cache: a hit skips DpPlan compilation.
+  CacheStats plan_cache;
+  /// Result cache: a hit skips the entire DP execution.
+  CacheStats result_cache;
+
+  /// Requests accepted, via any entry point (batch requests count singly).
+  std::uint64_t requests = 0;
+  /// Batches accepted via EvaluateBatch.
+  std::uint64_t batches = 0;
+  /// Requests answered by sharing a duplicate within the same batch.
+  std::uint64_t batch_deduped = 0;
+
+  /// Nanoseconds spent compiling DpPlans (plan-cache misses).
+  std::uint64_t compile_ns = 0;
+  /// Nanoseconds spent executing DPs (result-cache misses).
+  std::uint64_t execute_ns = 0;
+
+  /// Requests currently being served (admitted, not yet answered).
+  std::uint64_t in_flight = 0;
+  /// High-water mark of `in_flight`.
+  std::uint64_t in_flight_peak = 0;
+};
+
+}  // namespace ppref::serve
+
+#endif  // PPREF_SERVE_STATS_H_

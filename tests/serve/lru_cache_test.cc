@@ -1,0 +1,119 @@
+/// \file lru_cache_test.cc
+/// \brief Sharded LRU semantics: hit/miss accounting, eviction order,
+/// recency refresh, first-write-wins, and a multi-threaded stress test
+/// (run under TSan by scripts/check.sh).
+
+#include "ppref/serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ppref::serve {
+namespace {
+
+std::shared_ptr<const int> Boxed(int value) {
+  return std::make_shared<const int>(value);
+}
+
+TEST(ServeLruCacheTest, HitMissAndStats) {
+  ShardedLruCache<int> cache(/*capacity=*/8, /*shards=*/1);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, Boxed(10));
+  const auto hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 10);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ServeLruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and observable.
+  ShardedLruCache<int> cache(/*capacity=*/3, /*shards=*/1);
+  cache.Put(1, Boxed(1));
+  cache.Put(2, Boxed(2));
+  cache.Put(3, Boxed(3));
+  // Touch 1 so 2 becomes the LRU entry, then overflow.
+  ASSERT_NE(cache.Get(1), nullptr);
+  cache.Put(4, Boxed(4));
+  EXPECT_EQ(cache.Get(2), nullptr);  // evicted
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ServeLruCacheTest, FirstWriteWinsOnDuplicatePut) {
+  ShardedLruCache<int> cache(/*capacity=*/4, /*shards=*/1);
+  const auto first = cache.Put(7, Boxed(70));
+  const auto second = cache.Put(7, Boxed(71));
+  EXPECT_EQ(*first, 70);
+  EXPECT_EQ(*second, 70);  // existing value kept
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeLruCacheTest, CapacityIsSplitOverShardsAndRespected) {
+  ShardedLruCache<int> cache(/*capacity=*/16, /*shards=*/4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    cache.Put(key, Boxed(static_cast<int>(key)));
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GE(cache.stats().evictions, 1000u - cache.capacity());
+}
+
+TEST(ServeLruCacheTest, ClearResetsEntriesAndCounters) {
+  ShardedLruCache<int> cache(/*capacity=*/4, /*shards=*/2);
+  cache.Put(1, Boxed(1));
+  cache.Get(1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ServeLruCacheTest, ConcurrentHitMissStress) {
+  // A tiny capacity forces constant eviction while 8 threads mix Get and
+  // Put over an overlapping key range. The invariant: any value read for
+  // key k equals f(k) — eviction and sharding may lose entries but can
+  // never cross wires. TSan (scripts/check.sh) checks the locking.
+  ShardedLruCache<std::uint64_t> cache(/*capacity=*/32, /*shards=*/4);
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kKeys = 128;
+  constexpr unsigned kRounds = 2000;
+  const auto value_of = [](std::uint64_t key) { return key * 2654435761u + 1; };
+  std::vector<std::thread> pool;
+  std::vector<bool> wires_crossed(kThreads, false);
+  for (unsigned thread = 0; thread < kThreads; ++thread) {
+    pool.emplace_back([&, thread] {
+      // Per-thread deterministic key walk with distinct strides.
+      std::uint64_t key = thread;
+      for (unsigned round = 0; round < kRounds; ++round) {
+        key = (key * 6364136223846793005ull + 1442695040888963407ull) % kKeys;
+        if (const auto hit = cache.Get(key)) {
+          if (*hit != value_of(key)) wires_crossed[thread] = true;
+        } else {
+          cache.Put(key, std::make_shared<const std::uint64_t>(value_of(key)));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  for (unsigned thread = 0; thread < kThreads; ++thread) {
+    EXPECT_FALSE(wires_crossed[thread]) << "thread " << thread;
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds);
+}
+
+}  // namespace
+}  // namespace ppref::serve
