@@ -1,0 +1,232 @@
+/// \file bench_e19_degradation.cc
+/// \brief Experiment E19 — fault-tolerant serving: per-request latency tails
+/// and terminal-status mix under (a) unbounded exact evaluation, (b) hard
+/// per-request deadlines, (c) deadlines with Monte-Carlo degradation, and
+/// (d) bounded admission with load shedding.
+///
+/// The deadline is chosen adaptively as the median cold exact latency of the
+/// trace, so roughly the heavier half of cold requests must either fail fast
+/// (b) or degrade to a seeded sampling estimate (c). For degraded answers the
+/// benchmark reports the worst absolute error against the exact probability
+/// and checks it stays within the reported confidence interval. Emits
+/// `BENCH_degradation.json`.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppref/common/status.h"
+#include "ppref/serve/server.h"
+
+using namespace ppref;
+using namespace ppref::bench;
+
+namespace {
+
+struct Trace {
+  std::vector<infer::LabeledRimModel> models;
+  std::vector<infer::LabelPattern> patterns;
+  std::vector<serve::Request> requests;
+};
+
+/// A mixed-weight trace: unique pairs span m in [16, 44] with k in {2, 3},
+/// so cold evaluation cost varies by more than an order of magnitude —
+/// exactly the situation where a fixed deadline splits the workload.
+Trace MakeTrace(std::size_t length, std::size_t unique, std::uint64_t seed) {
+  Trace trace;
+  trace.models.reserve(unique);
+  trace.patterns.reserve(unique);
+  for (std::size_t i = 0; i < unique; ++i) {
+    const unsigned m = 16 + static_cast<unsigned>(i % 8) * 4;
+    const unsigned k = 2 + static_cast<unsigned>(i % 2);
+    const double phi =
+        0.35 + 0.5 * static_cast<double>(i) / static_cast<double>(unique);
+    trace.models.push_back(LabeledMallows(m, phi, SpreadLabeling(m, k, 4)));
+    trace.patterns.push_back(ChainPattern(k));
+  }
+  Rng rng(seed);
+  for (std::size_t i = 0; i < length; ++i) {
+    std::size_t pair = rng.NextIndex(unique);
+    if (rng.NextUnit() < 0.5) pair /= 2;
+    serve::Request request;
+    request.kind = serve::Request::Kind::kPatternProb;
+    request.model = &trace.models[pair];
+    request.pattern = &trace.patterns[pair];
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+struct PassResult {
+  std::vector<double> latency_ms;  // sorted on return
+  std::vector<serve::Response> responses;
+  std::uint64_t ok = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t degraded = 0;
+};
+
+/// Serves the trace one request at a time (fresh server per pass) so the
+/// latency distribution is per-request, not per-batch.
+PassResult RunPass(const Trace& trace, const serve::ServerOptions& options,
+                   std::uint64_t deadline_ns) {
+  serve::Server server(options);
+  PassResult result;
+  result.latency_ms.reserve(trace.requests.size());
+  result.responses.reserve(trace.requests.size());
+  for (const serve::Request& request : trace.requests) {
+    serve::Request timed = request;
+    timed.control.deadline_ns = deadline_ns;
+    serve::Response response;
+    result.latency_ms.push_back(
+        TimeMs([&] { response = server.Evaluate(timed); }));
+    if (response.status.ok()) ++result.ok;
+    if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++result.deadline_exceeded;
+    }
+    if (response.approximate) ++result.degraded;
+    result.responses.push_back(std::move(response));
+  }
+  std::sort(result.latency_ms.begin(), result.latency_ms.end());
+  return result;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+void PrintRow(const char* name, const PassResult& pass) {
+  std::printf("%-26s %8.2f %8.2f %8.2f %8.2f %6llu %6llu %6llu\n", name,
+              Percentile(pass.latency_ms, 0.50),
+              Percentile(pass.latency_ms, 0.95),
+              Percentile(pass.latency_ms, 0.99),
+              pass.latency_ms.empty() ? 0.0 : pass.latency_ms.back(),
+              static_cast<unsigned long long>(pass.ok),
+              static_cast<unsigned long long>(pass.deadline_exceeded),
+              static_cast<unsigned long long>(pass.degraded));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E19", "deadlines, degradation, and load shedding");
+  constexpr std::size_t kLength = 160;
+  constexpr std::size_t kUnique = 32;
+  const Trace trace = MakeTrace(kLength, kUnique, /*seed=*/19);
+
+  // Pass (a): unbounded exact serving — the reference answers and the
+  // latency distribution the deadline is derived from.
+  serve::ServerOptions exact_options;
+  const PassResult exact = RunPass(trace, exact_options, /*deadline_ns=*/0);
+  const double median_ms = Percentile(exact.latency_ms, 0.50);
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(std::max(median_ms, 0.005) * 1e6);
+  std::printf("trace: %zu requests over %zu pairs; deadline = median cold "
+              "exact latency = %.3f ms\n\n",
+              kLength, kUnique, median_ms);
+
+  // Pass (b): the same deadline with no fallback — heavy requests fail fast.
+  const PassResult hard = RunPass(trace, exact_options, deadline_ns);
+
+  // Pass (c): deadline + Monte-Carlo degradation — heavy requests answer
+  // approximately with an error bar instead of failing.
+  serve::ServerOptions degrade_options;
+  degrade_options.degradation = serve::ServerOptions::Degradation::kMonteCarlo;
+  degrade_options.degraded_samples = 4096;
+  const PassResult soft = RunPass(trace, degrade_options, deadline_ns);
+
+  std::printf("%-26s %8s %8s %8s %8s %6s %6s %6s\n", "pass", "p50[ms]",
+              "p95[ms]", "p99[ms]", "max[ms]", "ok", "ddl", "apx");
+  PrintRow("exact (unbounded)", exact);
+  PrintRow("deadline, no fallback", hard);
+  PrintRow("deadline + mc fallback", soft);
+
+  // Degraded-answer quality: compare against the exact pass.
+  double max_abs_error = 0.0;
+  bool within_interval = true;
+  for (std::size_t i = 0; i < kLength; ++i) {
+    const serve::Response& approx = soft.responses[i];
+    if (!approx.approximate) continue;
+    const double error =
+        std::fabs(approx.probability - exact.responses[i].probability);
+    max_abs_error = std::max(max_abs_error, error);
+    // 6 sigma, floored for degenerate estimates with zero variance.
+    within_interval =
+        within_interval && error <= 6.0 * approx.std_error + 0.02;
+  }
+  std::printf("\ndegraded answers: max |approx - exact| = %.4f, all within "
+              "6 sigma: %s\n",
+              max_abs_error, within_interval ? "yes" : "NO");
+
+  // Pass (d): bounded admission — one oversized batch against a server that
+  // only admits half of it; the rest must shed with a retry hint.
+  serve::ServerOptions shed_options;
+  shed_options.max_in_flight = kLength / 2;
+  serve::Server shed_server(shed_options);
+  std::vector<serve::Response> shed_responses;
+  const double shed_batch_ms = TimeMs(
+      [&] { shed_responses = shed_server.EvaluateBatch(trace.requests); });
+  std::uint64_t shed = 0;
+  bool shed_have_hints = true;
+  for (const serve::Response& response : shed_responses) {
+    if (response.status.code() == StatusCode::kResourceExhausted) {
+      ++shed;
+      shed_have_hints = shed_have_hints && response.retry_after_ns > 0;
+    }
+  }
+  std::printf("\nshedding: batch of %zu against max_in_flight=%zu -> "
+              "%llu shed in %.2f ms, retry hints on all: %s\n",
+              kLength, shed_options.max_in_flight,
+              static_cast<unsigned long long>(shed), shed_batch_ms,
+              shed_have_hints ? "yes" : "NO");
+
+  const bool tail_bounded =
+      Percentile(hard.latency_ms, 0.99) <= exact.latency_ms.back() &&
+      Percentile(soft.latency_ms, 0.99) <= exact.latency_ms.back();
+  std::printf("p99 under deadline stays below unbounded max: %s\n",
+              tail_bounded ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_degradation.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"experiment\": \"e19_degradation\",\n"
+        "  \"trace_len\": %zu,\n  \"unique_pairs\": %zu,\n"
+        "  \"deadline_ms\": %.3f,\n"
+        "  \"exact\": {\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"max_ms\": %.3f, \"ok\": %llu},\n"
+        "  \"deadline_only\": {\"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"max_ms\": %.3f, \"ok\": %llu, "
+        "\"deadline_exceeded\": %llu},\n"
+        "  \"deadline_mc\": {\"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"max_ms\": %.3f, \"ok\": %llu, "
+        "\"degraded\": %llu, \"max_abs_error\": %.5f, "
+        "\"within_6_sigma\": %s},\n"
+        "  \"shedding\": {\"batch\": %zu, \"max_in_flight\": %zu, "
+        "\"shed\": %llu, \"hints_on_all\": %s}\n"
+        "}\n",
+        kLength, kUnique, median_ms, Percentile(exact.latency_ms, 0.50),
+        Percentile(exact.latency_ms, 0.95), Percentile(exact.latency_ms, 0.99),
+        exact.latency_ms.back(), static_cast<unsigned long long>(exact.ok),
+        Percentile(hard.latency_ms, 0.50), Percentile(hard.latency_ms, 0.95),
+        Percentile(hard.latency_ms, 0.99), hard.latency_ms.back(),
+        static_cast<unsigned long long>(hard.ok),
+        static_cast<unsigned long long>(hard.deadline_exceeded),
+        Percentile(soft.latency_ms, 0.50), Percentile(soft.latency_ms, 0.95),
+        Percentile(soft.latency_ms, 0.99), soft.latency_ms.back(),
+        static_cast<unsigned long long>(soft.ok),
+        static_cast<unsigned long long>(soft.degraded), max_abs_error,
+        within_interval ? "true" : "false", kLength,
+        shed_options.max_in_flight, static_cast<unsigned long long>(shed),
+        shed_have_hints ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_degradation.json\n");
+  }
+  return (within_interval && shed_have_hints) ? 0 : 1;
+}

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Sanitizer gate, two stages:
+# Sanitizer gate, three stages:
 #   1. ASan+UBSan build of the library, tests, and benches; run the full
 #      tier-1 test suite under it.
 #   2. TSan build (thread sanitizer is incompatible with ASan, so it is a
 #      separate tree); run the concurrent serve-layer suites (`Serve*`) —
 #      the tests that exercise cross-thread synchronization directly.
+#   3. TSan + fault-injection build (PPREF_FAULT_INJECTION=ON compiles the
+#      chaos hooks into the hot paths); re-run the serve suites, which now
+#      include the chaos tests (miss storms, slow plans, mid-DP stops).
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all), so a
 # green ctest means clean.
 #
-# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
-#        (defaults: build-sanitize, build-tsan)
+# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir] [chaos-build-dir]
+#        (defaults: build-sanitize, build-tsan, build-chaos)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-sanitize}"
 TSAN_DIR="${2:-build-tsan}"
+CHAOS_DIR="${3:-build-chaos}"
 
 cmake -B "$BUILD_DIR" -S . -DPPREF_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -24,3 +28,9 @@ cmake -B "$TSAN_DIR" -S . -DPPREF_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebI
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test
 ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve'
+
+cmake -B "$CHAOS_DIR" -S . -DPPREF_SANITIZE=thread -DPPREF_FAULT_INJECTION=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
+cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test
+ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve'

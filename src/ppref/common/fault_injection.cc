@@ -1,0 +1,61 @@
+#include "ppref/common/fault_injection.h"
+
+#ifdef PPREF_FAULT_INJECTION
+
+#include <chrono>
+
+#include "ppref/common/deadline.h"
+
+namespace ppref {
+namespace {
+
+// Busy-wait so injected latency cannot be absorbed by the scheduler the way
+// a sleep can; delays stay deterministic-ish even under heavy oversubscription.
+void SpinFor(std::uint64_t ns) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection instance;
+  return instance;
+}
+
+void FaultInjection::OnPlanCompile() {
+  plan_compiles.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t delay = plan_compile_delay_ns.load(std::memory_order_relaxed);
+  if (delay != 0) SpinFor(delay);
+}
+
+void FaultInjection::OnDpStep() {
+  const std::uint64_t step = dp_steps.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t delay = dp_step_delay_ns.load(std::memory_order_relaxed);
+  if (delay != 0) SpinFor(delay);
+  const std::uint32_t ddl_n = deadline_every_n_dp_steps.load(std::memory_order_relaxed);
+  if (ddl_n != 0 && step % ddl_n == 0) {
+    throw DeadlineExceededError("fault injection: forced deadline mid-DP");
+  }
+  const std::uint32_t cancel_n = cancel_every_n_dp_steps.load(std::memory_order_relaxed);
+  if (cancel_n != 0 && step % cancel_n == 0) {
+    throw CancelledError("fault injection: forced cancellation mid-DP");
+  }
+}
+
+void FaultInjection::Reset() {
+  plan_compile_delay_ns.store(0, std::memory_order_relaxed);
+  dp_step_delay_ns.store(0, std::memory_order_relaxed);
+  force_plan_cache_miss.store(false, std::memory_order_relaxed);
+  force_result_cache_miss.store(false, std::memory_order_relaxed);
+  deadline_every_n_dp_steps.store(0, std::memory_order_relaxed);
+  cancel_every_n_dp_steps.store(0, std::memory_order_relaxed);
+  plan_compiles.store(0, std::memory_order_relaxed);
+  dp_steps.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ppref
+
+#endif  // PPREF_FAULT_INJECTION

@@ -1,0 +1,86 @@
+/// \file fault_injection.h
+/// \brief Deterministic fault injection for exercising failure paths.
+///
+/// The interesting serving failures — cache-miss storms, slow plan
+/// compilation, a deadline firing in the middle of a DP scan — are timing
+/// windows that ordinary tests almost never open. This harness forces them
+/// open deterministically: a process-wide set of atomic knobs that the
+/// instrumented sites (plan compilation, result-cache probes, the DP scan
+/// loop) consult on every pass. Chaos tests and `tools/ppref_chaos` set the
+/// knobs, run a workload under TSan, and assert that every request still
+/// reaches a terminal Status.
+///
+/// The whole harness compiles away unless `PPREF_FAULT_INJECTION` is
+/// defined (CMake option of the same name): in normal builds the PPREF_FAULT_*
+/// macros expand to nothing, so the hot path carries zero cost and zero
+/// behavioral risk.
+
+#ifndef PPREF_COMMON_FAULT_INJECTION_H_
+#define PPREF_COMMON_FAULT_INJECTION_H_
+
+#ifdef PPREF_FAULT_INJECTION
+
+#include <atomic>
+#include <cstdint>
+
+namespace ppref {
+
+/// Process-wide injection knobs. All fields are atomics so tests can flip
+/// them while worker threads run; `Reset()` restores the no-fault state.
+/// Counters (`plan_compiles`, `dp_steps`) observe the instrumented sites
+/// even when no fault is armed, which is what single-flight regression
+/// tests count.
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  /// Busy-wait this long inside every plan compilation ("slow plan").
+  std::atomic<std::uint64_t> plan_compile_delay_ns{0};
+  /// Busy-wait this long at every DP scan step ("slow inference").
+  std::atomic<std::uint64_t> dp_step_delay_ns{0};
+  /// Treat every plan-cache probe as a miss (cache-miss storm).
+  std::atomic<bool> force_plan_cache_miss{false};
+  /// Treat every result-cache probe as a miss.
+  std::atomic<bool> force_result_cache_miss{false};
+  /// Every n-th DP step (process-wide) throws DeadlineExceededError,
+  /// simulating a deadline that fires mid-scan. 0 disarms.
+  std::atomic<std::uint32_t> deadline_every_n_dp_steps{0};
+  /// Every n-th DP step throws CancelledError. 0 disarms.
+  std::atomic<std::uint32_t> cancel_every_n_dp_steps{0};
+
+  /// Instrumented-site counters (monotone; cleared by Reset).
+  std::atomic<std::uint64_t> plan_compiles{0};
+  std::atomic<std::uint64_t> dp_steps{0};
+
+  /// Called by serve::Server before each plan compilation.
+  void OnPlanCompile();
+  /// Called by the DP engine at every scan step; may throw
+  /// DeadlineExceededError / CancelledError per the *_every_n knobs.
+  void OnDpStep();
+
+  /// Disarms every knob and zeroes the counters.
+  void Reset();
+
+ private:
+  FaultInjection() = default;
+};
+
+}  // namespace ppref
+
+#define PPREF_FAULT_PLAN_COMPILE() ::ppref::FaultInjection::Instance().OnPlanCompile()
+#define PPREF_FAULT_DP_STEP() ::ppref::FaultInjection::Instance().OnDpStep()
+#define PPREF_FAULT_FORCED_PLAN_MISS() \
+  (::ppref::FaultInjection::Instance().force_plan_cache_miss.load(std::memory_order_relaxed))
+#define PPREF_FAULT_FORCED_RESULT_MISS() \
+  (::ppref::FaultInjection::Instance().force_result_cache_miss.load(std::memory_order_relaxed))
+
+#else  // !PPREF_FAULT_INJECTION
+
+#define PPREF_FAULT_PLAN_COMPILE() ((void)0)
+#define PPREF_FAULT_DP_STEP() ((void)0)
+#define PPREF_FAULT_FORCED_PLAN_MISS() (false)
+#define PPREF_FAULT_FORCED_RESULT_MISS() (false)
+
+#endif  // PPREF_FAULT_INJECTION
+
+#endif  // PPREF_COMMON_FAULT_INJECTION_H_

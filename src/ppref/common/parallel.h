@@ -32,6 +32,18 @@ void ParallelForWorkers(
     std::size_t count, unsigned threads,
     const std::function<void(unsigned worker, std::size_t i)>& body);
 
+struct RunControl;
+
+/// ParallelForWorkers with a stop condition: every worker calls
+/// `control->Check()` before each iteration (when `control` is non-null),
+/// so an expired deadline or fired cancellation token stops all workers
+/// within one iteration each. The resulting DeadlineExceededError /
+/// CancelledError is rethrown on the caller thread after every worker has
+/// joined — workers never outlive the call, so no state leaks.
+void ParallelForWorkers(
+    std::size_t count, unsigned threads, const RunControl* control,
+    const std::function<void(unsigned worker, std::size_t i)>& body);
+
 /// A reasonable default worker count: hardware concurrency capped at 8.
 unsigned DefaultThreadCount();
 

@@ -1,0 +1,128 @@
+/// \file status.h
+/// \brief Recoverable-error values for the serving boundary.
+///
+/// The library distinguishes two failure worlds (see check.h): violated
+/// *internal invariants* abort via PPREF_CHECK — a wrong answer from an
+/// exact-inference reference implementation is worse than no process — while
+/// *expected operational failures* (bad requests, deadlines, overload) are
+/// values a caller can branch on. `Status` / `StatusOr<T>` carry the second
+/// kind across the serving boundary (`serve::Server`, `ppd::TryEvaluate*`)
+/// without exceptions, so a server thread can field a malformed or
+/// over-budget request and keep serving.
+///
+/// The code set is deliberately tiny — exactly the failure modes the serving
+/// path can produce:
+///   kInvalidArgument    the request can never be served (caller bug)
+///   kDeadlineExceeded   ran out of time (possibly answered approximately)
+///   kResourceExhausted  shed by admission control or a size limit; retry
+///   kCancelled          the caller's cancellation token fired
+///   kInternal           an invariant adjacent to the request failed
+
+#ifndef PPREF_COMMON_STATUS_H_
+#define PPREF_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "ppref/common/check.h"
+
+namespace ppref {
+
+/// Terminal disposition of a served request.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kDeadlineExceeded = 2,
+  kResourceExhausted = 3,
+  kCancelled = 4,
+  kInternal = 5,
+};
+
+/// Stable upper-snake name of a code ("DEADLINE_EXCEEDED"), for logs.
+const char* StatusCodeName(StatusCode code);
+
+/// A status code with an optional human-readable message. Default
+/// construction is OK; error statuses carry a message explaining the
+/// specific request's failure, not just the category.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "CODE_NAME: message" (or just "OK").
+  std::string ToString() const;
+
+  /// Codes compare; messages are diagnostics and do not.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-OK status. Accessing `value()` on an error is an
+/// internal invariant violation (callers must branch on `ok()` first).
+template <typename T>
+class StatusOr {
+ public:
+  /// An error StatusOr. The status must not be OK (an OK status with no
+  /// value is meaningless).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    PPREF_CHECK_MSG(!status_.ok(), "OK StatusOr must carry a value");
+  }
+  /// A value StatusOr (status is OK).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PPREF_CHECK_MSG(ok(), "value() on error status " << status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    PPREF_CHECK_MSG(ok(), "value() on error status " << status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    PPREF_CHECK_MSG(ok(), "value() on error status " << status_.ToString());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_STATUS_H_

@@ -72,6 +72,9 @@ double ConditionalPatternProb(const rim::RimModel& model,
   const double given_prob = PatternProb(
       LabeledRimModel(model, given.labeling), given.pattern, options);
   if (given_prob <= 0.0) return 0.0;
+  // Both PatternProb calls poll options.control internally; this check
+  // covers the seam between them so a stop never starts the second DP.
+  if (options.control != nullptr) options.control->Check();
   return ConjunctionProb(model, target, given, options) / given_prob;
 }
 

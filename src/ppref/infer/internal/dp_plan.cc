@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ppref/common/check.h"
+#include "ppref/common/fault_injection.h"
 
 namespace ppref::infer::internal {
 
@@ -94,9 +95,13 @@ void DpPlan::DecodeTracked(const std::uint16_t* state, Scratch& scratch) const {
   }
 }
 
-bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch) const {
+bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
+                     const RunControl* control) const {
   PPREF_CHECK(gamma.size() == k_);
   if (!acyclic_) return false;
+  // Amortized stop polling: one clock read per ~1024 state-table entries,
+  // so an expired deadline stops the scan within microseconds of holding.
+  StopCheck stop(control);
 
   // γ must be label-consistent, and nodes connected by a directed path must
   // map to distinct items (their positions are strictly ordered).
@@ -196,11 +201,13 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch) const {
       }
     }
     if (legal) current.Upsert(state.data()) += 1.0;
+    stop.Tick();
   } while (std::next_permutation(scratch.perm_.begin(), scratch.perm_.end()));
   if (current.empty()) return false;
 
   // --- Main scan over reference items (Fig. 5 / Fig. 6 main loop).
   for (unsigned t = 0; t < m_; ++t) {
+    PPREF_FAULT_DP_STEP();
     const ItemId item = ref.At(t);
     // Pending = distinct placeholders not yet scanned (reference step > t).
     scratch.pending_reps_.clear();
@@ -220,6 +227,7 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch) const {
       // line 5). With no α/β fold the packed key is untouched, so values
       // rescale inside `current` — no rehash, no table swap.
       for (std::size_t e = 0; e < current.size(); ++e) {
+        stop.Tick();
         const std::uint16_t* in_state = current.KeyAt(e);
         const unsigned j = in_state[scratch.ph_rep_[ph_index]];
         unsigned pending_before = 0;
@@ -248,6 +256,7 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch) const {
       }
       const unsigned prefix_size = t + pending_count;
       for (std::size_t e = 0; e < current.size(); ++e) {
+        stop.Tick();
         const std::uint16_t* in_state = current.KeyAt(e);
         const double prob = current.ValueAt(e);
         scratch.bounds_.clear();
@@ -286,6 +295,7 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch) const {
       // General per-slot scan: the scanned item carries a tracked label
       // (each slot folds a distinct α/β), or is a tracked placeholder.
       for (std::size_t e = 0; e < current.size(); ++e) {
+        stop.Tick();
         const std::uint16_t* in_state = current.KeyAt(e);
         const double prob = current.ValueAt(e);
         if (ph_index >= 0) {
@@ -330,8 +340,8 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch) const {
 }
 
 double DpPlan::TopProb(const Matching& gamma, const MinMaxCondition* condition,
-                       Scratch& scratch) const {
-  if (!RunCore(gamma, scratch)) return 0.0;
+                       Scratch& scratch, const RunControl* control) const {
+  if (!RunCore(gamma, scratch, control)) return 0.0;
   const FlatStateMap& final_states = scratch.current_;
   double total = 0.0;
   for (std::size_t e = 0; e < final_states.size(); ++e) {
@@ -347,8 +357,8 @@ double DpPlan::TopProb(const Matching& gamma, const MinMaxCondition* condition,
 void DpPlan::Distribution(
     const Matching& gamma,
     const std::function<void(const MinMaxValues&, double)>& visit,
-    Scratch& scratch) const {
-  if (!RunCore(gamma, scratch)) return;
+    Scratch& scratch, const RunControl* control) const {
+  if (!RunCore(gamma, scratch, control)) return;
   const FlatStateMap& final_states = scratch.current_;
   // Aggregate by the (α, β) suffix (several δ can share one combination);
   // `next_` is free again after RunCore and serves as the aggregation table.

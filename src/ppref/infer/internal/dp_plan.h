@@ -30,6 +30,7 @@
 #include <functional>
 #include <vector>
 
+#include "ppref/common/deadline.h"
 #include "ppref/common/flat_map.h"
 #include "ppref/infer/labeled_rim.h"
 #include "ppref/infer/matching.h"
@@ -76,9 +77,11 @@ class DpPlan {
   /// p_γ (or p_{γ,φ} with a condition): probability that `gamma` is the top
   /// matching, restricted to rankings whose realized (α, β) over the
   /// tracked labels satisfy `condition` when one is given. Returns 0 for
-  /// infeasible γ.
+  /// infeasible γ. A non-null `control` is polled inside the scan (amortized
+  /// via StopCheck) and may abort the run by throwing DeadlineExceededError
+  /// / CancelledError; the scratch stays reusable after such an unwind.
   double TopProb(const Matching& gamma, const MinMaxCondition* condition,
-                 Scratch& scratch) const;
+                 Scratch& scratch, const RunControl* control = nullptr) const;
 
   /// Invokes `visit(values, probability)` for every final aggregated (α, β)
   /// combination with positive mass, restricted to rankings whose top
@@ -86,7 +89,7 @@ class DpPlan {
   void Distribution(
       const Matching& gamma,
       const std::function<void(const MinMaxValues&, double)>& visit,
-      Scratch& scratch) const;
+      Scratch& scratch, const RunControl* control = nullptr) const;
 
   const LabeledRimModel& model() const { return *model_; }
   const LabelPattern& pattern() const { return *pattern_; }
@@ -94,8 +97,10 @@ class DpPlan {
 
  private:
   /// The shared Fig. 5 / Fig. 6 scan. Leaves the aggregated final states in
-  /// `scratch.current_`; returns false when γ is infeasible.
-  bool RunCore(const Matching& gamma, Scratch& scratch) const;
+  /// `scratch.current_`; returns false when γ is infeasible. Throws via
+  /// `control` (when non-null) once a stop condition holds.
+  bool RunCore(const Matching& gamma, Scratch& scratch,
+               const RunControl* control) const;
 
   /// Largest δ over the parents of `node` in `state`, or -1 with no parents.
   int MaxParentPosition(const std::uint16_t* state, unsigned node) const;

@@ -63,7 +63,8 @@ std::vector<std::vector<double>> PairwiseMarginalMatrix(
   std::vector<std::vector<double>> matrix(m, std::vector<double>(m, 0.0));
   // Row a fills the upper-triangle cells (a, b > a) and mirrors them; rows
   // touch disjoint cells, so they fan out without synchronization.
-  ParallelFor(m, threads, [&](std::size_t a) {
+  // ClampThreads: 0 = auto, matching every other threads knob.
+  ParallelFor(m, ClampThreads(threads), [&](std::size_t a) {
     for (rim::ItemId b = static_cast<rim::ItemId>(a) + 1; b < m; ++b) {
       matrix[a][b] = PairwiseMarginal(model, static_cast<rim::ItemId>(a), b);
       matrix[b][a] = 1.0 - matrix[a][b];

@@ -1,13 +1,23 @@
 #include "ppref/infer/monte_carlo.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <vector>
 
 #include "ppref/common/check.h"
+#include "ppref/common/hash.h"
+#include "ppref/common/parallel.h"
 #include "ppref/infer/matching.h"
 #include "ppref/rim/sampler.h"
 
 namespace ppref::infer {
 namespace {
+
+/// Samples per seeding block of the McOptions entry points. Fixed so the
+/// block decomposition (and therefore every estimate) is independent of the
+/// thread count; large enough that per-block Rng setup is noise.
+constexpr unsigned kMcBlockSamples = 1024;
 
 McEstimate FromBernoulliCount(unsigned hits, unsigned samples) {
   McEstimate result;
@@ -15,6 +25,30 @@ McEstimate FromBernoulliCount(unsigned hits, unsigned samples) {
   result.estimate = p;
   result.std_error = std::sqrt(p * (1.0 - p) / samples);
   return result;
+}
+
+/// Runs `block_hits(rng, begin, end)` over the fixed block decomposition of
+/// `options.samples` draws and returns the summed hit count. Blocks fan out
+/// over ClampThreads(options.threads) workers; each uses its own generator
+/// seeded from (options.seed, block index), so the total is thread-count
+/// independent (integer addition commutes).
+unsigned BlockedHits(
+    const McOptions& options,
+    const std::function<unsigned(Rng&, unsigned, unsigned)>& block_hits) {
+  PPREF_CHECK(options.samples > 0);
+  const unsigned blocks =
+      (options.samples + kMcBlockSamples - 1) / kMcBlockSamples;
+  std::vector<unsigned> hits(blocks, 0);
+  ParallelFor(blocks, ClampThreads(options.threads), [&](std::size_t b) {
+    if (options.control != nullptr) options.control->Check();
+    Rng rng(HashCombine(options.seed, b));
+    const unsigned begin = static_cast<unsigned>(b) * kMcBlockSamples;
+    const unsigned end = std::min(options.samples, begin + kMcBlockSamples);
+    hits[b] = block_hits(rng, begin, end);
+  });
+  unsigned total = 0;
+  for (unsigned h : hits) total += h;
+  return total;
 }
 
 }  // namespace
@@ -46,6 +80,82 @@ McEstimate PatternMinMaxProbMonteCarlo(const LabeledRimModel& model,
     }
   }
   return FromBernoulliCount(hits, samples);
+}
+
+McEstimate PatternProbMonteCarlo(const LabeledRimModel& model,
+                                 const LabelPattern& pattern,
+                                 const McOptions& options) {
+  const unsigned hits =
+      BlockedHits(options, [&](Rng& rng, unsigned begin, unsigned end) {
+        unsigned h = 0;
+        for (unsigned s = begin; s < end; ++s) {
+          const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+          if (Matches(pattern, model.labeling(), tau)) ++h;
+        }
+        return h;
+      });
+  return FromBernoulliCount(hits, options.samples);
+}
+
+McEstimate PatternMinMaxProbMonteCarlo(const LabeledRimModel& model,
+                                       const LabelPattern& pattern,
+                                       const std::vector<LabelId>& tracked,
+                                       const MinMaxCondition& condition,
+                                       const McOptions& options) {
+  PPREF_CHECK(condition != nullptr);
+  const unsigned hits =
+      BlockedHits(options, [&](Rng& rng, unsigned begin, unsigned end) {
+        unsigned h = 0;
+        for (unsigned s = begin; s < end; ++s) {
+          const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+          if (Matches(pattern, model.labeling(), tau) &&
+              condition(RealizedMinMax(model.labeling(), tau, tracked))) {
+            ++h;
+          }
+        }
+        return h;
+      });
+  return FromBernoulliCount(hits, options.samples);
+}
+
+McTopMatching TopMatchingMonteCarlo(const LabeledRimModel& model,
+                                    const LabelPattern& pattern,
+                                    const McOptions& options) {
+  PPREF_CHECK(options.samples > 0);
+  const unsigned blocks =
+      (options.samples + kMcBlockSamples - 1) / kMcBlockSamples;
+  // Per-block histograms over realized top matchings, merged in block order.
+  // std::map keys are ordered, so the modal pick (ties to the smallest γ)
+  // is deterministic in (seed, samples) and thread-count independent.
+  std::vector<std::map<Matching, unsigned>> histograms(blocks);
+  ParallelFor(blocks, ClampThreads(options.threads), [&](std::size_t b) {
+    if (options.control != nullptr) options.control->Check();
+    Rng rng(HashCombine(options.seed, b));
+    const unsigned begin = static_cast<unsigned>(b) * kMcBlockSamples;
+    const unsigned end = std::min(options.samples, begin + kMcBlockSamples);
+    for (unsigned s = begin; s < end; ++s) {
+      const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+      const std::optional<Matching> top =
+          TopMatching(pattern, model.labeling(), tau);
+      if (top.has_value()) ++histograms[b][*top];
+    }
+  });
+  std::map<Matching, unsigned> merged;
+  for (const auto& histogram : histograms) {
+    for (const auto& [gamma, count] : histogram) merged[gamma] += count;
+  }
+  McTopMatching result;
+  unsigned best = 0;
+  for (const auto& [gamma, count] : merged) {
+    if (count > best) {
+      best = count;
+      result.matching = gamma;
+    }
+  }
+  result.frequency = static_cast<double>(best) / options.samples;
+  result.std_error = std::sqrt(result.frequency * (1.0 - result.frequency) /
+                               options.samples);
+  return result;
 }
 
 }  // namespace ppref::infer

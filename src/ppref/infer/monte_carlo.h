@@ -8,8 +8,12 @@
 #ifndef PPREF_INFER_MONTE_CARLO_H_
 #define PPREF_INFER_MONTE_CARLO_H_
 
+#include <cstdint>
+
+#include "ppref/common/deadline.h"
 #include "ppref/common/random.h"
 #include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/matching.h"
 #include "ppref/infer/minmax_condition.h"
 #include "ppref/infer/pattern.h"
 
@@ -21,10 +25,33 @@ struct McEstimate {
   double std_error = 0.0;
 };
 
+/// Options for the seeded Monte-Carlo entry points. Sampling is split into
+/// fixed blocks of ~1k draws; block b uses an independent generator seeded
+/// `HashCombine(seed, b)` and blocks are reduced in index order, so the
+/// estimate depends only on `seed` and `samples` — never on the thread
+/// count. That determinism is what lets the serve layer's degradation path
+/// promise "repeat the request, get the same approximate answer".
+struct McOptions {
+  unsigned samples = 10000;
+  /// Worker threads over sample blocks. 0 = auto (every hardware thread);
+  /// clamped via ppref::ClampThreads, same contract as PatternProbOptions.
+  unsigned threads = 1;
+  std::uint64_t seed = 1;
+  /// Optional stop conditions, polled between sample blocks; stopping
+  /// throws DeadlineExceededError / CancelledError.
+  const RunControl* control = nullptr;
+};
+
 /// Estimates Pr(g | σ, Π, λ) from `samples` draws.
 McEstimate PatternProbMonteCarlo(const LabeledRimModel& model,
                                  const LabelPattern& pattern, unsigned samples,
                                  Rng& rng);
+
+/// Seeded, optionally parallel estimate of Pr(g | σ, Π, λ); identical for
+/// every `options.threads` value (see McOptions).
+McEstimate PatternProbMonteCarlo(const LabeledRimModel& model,
+                                 const LabelPattern& pattern,
+                                 const McOptions& options);
 
 /// Estimates Pr(g ∧ φ) from `samples` draws.
 McEstimate PatternMinMaxProbMonteCarlo(const LabeledRimModel& model,
@@ -32,6 +59,32 @@ McEstimate PatternMinMaxProbMonteCarlo(const LabeledRimModel& model,
                                        const std::vector<LabelId>& tracked,
                                        const MinMaxCondition& condition,
                                        unsigned samples, Rng& rng);
+
+/// Seeded, optionally parallel estimate of Pr(g ∧ φ).
+McEstimate PatternMinMaxProbMonteCarlo(const LabeledRimModel& model,
+                                       const LabelPattern& pattern,
+                                       const std::vector<LabelId>& tracked,
+                                       const MinMaxCondition& condition,
+                                       const McOptions& options);
+
+/// The sample-modal top matching: the γ realized as the top matching most
+/// often across the sampled rankings (MostProbableTopMatching's sampling
+/// analogue, used by the serve layer's degradation path).
+struct McTopMatching {
+  /// Modal matching; ties break to the lexicographically smallest γ, empty
+  /// when no sample matched the pattern. Deterministic given (seed, samples).
+  Matching matching;
+  /// Fraction of samples whose top matching was `matching`.
+  double frequency = 0.0;
+  /// Bernoulli standard error of `frequency`.
+  double std_error = 0.0;
+};
+
+/// Estimates the most probable top matching by sampling. Same determinism
+/// contract as the other McOptions entry points.
+McTopMatching TopMatchingMonteCarlo(const LabeledRimModel& model,
+                                    const LabelPattern& pattern,
+                                    const McOptions& options);
 
 }  // namespace ppref::infer
 

@@ -14,15 +14,16 @@ namespace {
 /// makes every consumer bit-identical to its serial path.
 std::vector<double> CandidateProbs(const internal::DpPlan& plan,
                                    const std::vector<Matching>& candidates,
-                                   unsigned threads) {
+                                   unsigned threads,
+                                   const RunControl* control) {
   std::vector<double> probs(candidates.size(), 0.0);
   std::vector<internal::DpPlan::Scratch> scratches(
       std::max<std::size_t>(1, std::min<std::size_t>(threads,
                                                      candidates.size())));
-  ParallelForWorkers(candidates.size(), threads,
+  ParallelForWorkers(candidates.size(), threads, control,
                      [&](unsigned worker, std::size_t i) {
                        probs[i] = plan.TopProb(candidates[i], nullptr,
-                                               scratches[worker]);
+                                               scratches[worker], control);
                      });
   return probs;
 }
@@ -64,14 +65,16 @@ double PatternProbWithPlan(const internal::DpPlan& plan,
     internal::ForEachCandidate(
         model, pattern,
         [&](const Matching& gamma) {
-          total += plan.TopProb(gamma, /*condition=*/nullptr, scratch);
+          total += plan.TopProb(gamma, /*condition=*/nullptr, scratch,
+                                options.control);
         },
         options.prune_candidates);
     return total;
   }
   const std::vector<Matching> candidates = internal::EnumerateCandidates(
       model, pattern, options.prune_candidates);
-  const std::vector<double> probs = CandidateProbs(plan, candidates, threads);
+  const std::vector<double> probs =
+      CandidateProbs(plan, candidates, threads, options.control);
   double total = 0.0;
   for (double prob : probs) total += prob;
   return total;
@@ -100,7 +103,8 @@ std::optional<std::pair<Matching, double>> MostProbableTopMatchingWithPlan(
   if (threads <= 1) {
     internal::DpPlan::Scratch scratch;
     internal::ForEachCandidate(model, pattern, [&](const Matching& gamma) {
-      const double prob = plan.TopProb(gamma, /*condition=*/nullptr, scratch);
+      const double prob = plan.TopProb(gamma, /*condition=*/nullptr, scratch,
+                                       options.control);
       if (prob > 0.0 && (!best.has_value() || prob > best->second)) {
         best = std::make_pair(gamma, prob);
       }
@@ -109,7 +113,8 @@ std::optional<std::pair<Matching, double>> MostProbableTopMatchingWithPlan(
   }
   const std::vector<Matching> candidates =
       internal::EnumerateCandidates(model, pattern);
-  const std::vector<double> probs = CandidateProbs(plan, candidates, threads);
+  const std::vector<double> probs =
+      CandidateProbs(plan, candidates, threads, options.control);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (probs[i] > 0.0 && (!best.has_value() || probs[i] > best->second)) {
       best = std::make_pair(candidates[i], probs[i]);

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "ppref/common/deadline.h"
 #include "ppref/infer/labeled_rim.h"
 #include "ppref/infer/matching.h"
 #include "ppref/infer/pattern.h"
@@ -62,6 +63,12 @@ struct PatternProbOptions {
   /// Per-γ results are reduced in enumeration order, so every thread count
   /// yields a bit-identical result to the serial path.
   unsigned threads = 1;
+  /// Optional stop conditions (deadline / cancellation), borrowed. When
+  /// non-null, the DP polls it periodically and aborts by throwing
+  /// DeadlineExceededError / CancelledError — partial results are
+  /// discarded, never returned. nullptr (the default) runs to completion
+  /// with zero polling cost.
+  const RunControl* control = nullptr;
 };
 
 /// Pr(g | σ, Π, λ) (Eq. (1)): probability that a random ranking matches the

@@ -43,7 +43,7 @@ double PatternMinMaxProbWithPlan(const internal::DpPlan& plan,
   const LabelPattern& pattern = plan.pattern();
   if (pattern.NodeCount() == 0) {
     internal::DpPlan::Scratch scratch;
-    return plan.TopProb(/*gamma=*/{}, &condition, scratch);
+    return plan.TopProb(/*gamma=*/{}, &condition, scratch, options.control);
   }
   const unsigned threads = ClampThreads(options.threads);
   if (threads <= 1) {
@@ -52,7 +52,7 @@ double PatternMinMaxProbWithPlan(const internal::DpPlan& plan,
     internal::ForEachCandidate(
         model, pattern,
         [&](const Matching& gamma) {
-          total += plan.TopProb(gamma, &condition, scratch);
+          total += plan.TopProb(gamma, &condition, scratch, options.control);
         },
         options.prune_candidates);
     return total;
@@ -63,10 +63,11 @@ double PatternMinMaxProbWithPlan(const internal::DpPlan& plan,
   std::vector<internal::DpPlan::Scratch> scratches(
       std::max<std::size_t>(1, std::min<std::size_t>(threads,
                                                      candidates.size())));
-  ParallelForWorkers(candidates.size(), threads,
+  ParallelForWorkers(candidates.size(), threads, options.control,
                      [&](unsigned worker, std::size_t i) {
                        probs[i] = plan.TopProb(candidates[i], &condition,
-                                               scratches[worker]);
+                                               scratches[worker],
+                                               options.control);
                      });
   // Reduce in enumeration order: bit-identical to the serial path.
   double total = 0.0;

@@ -68,6 +68,65 @@ double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
   return 1.0 - none_matches;
 }
 
+StatusOr<BooleanResult> TryEvaluateBoolean(const RimPpd& ppd,
+                                           const query::ConjunctiveQuery& query,
+                                           serve::Server& server,
+                                           const serve::RequestControl& control) {
+  if (!query.IsBoolean()) {
+    return Status::InvalidArgument("TryEvaluateBoolean expects a Boolean query");
+  }
+  if (query.PAtoms().empty()) {
+    return BooleanResult{
+        query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0, false, 0.0};
+  }
+  // ReduceItemwise throws SchemaError on non-itemwise queries; at this
+  // boundary that is a malformed request, not a programming error.
+  std::vector<SessionReduction> reductions;
+  try {
+    reductions = ReduceItemwise(ppd, query);
+  } catch (const SchemaError& e) {
+    return Status::InvalidArgument(e.what());
+  }
+  std::vector<infer::LabeledRimModel> models;
+  models.reserve(reductions.size());
+  std::vector<serve::Request> batch;
+  std::vector<std::size_t> reduction_of;
+  for (std::size_t i = 0; i < reductions.size(); ++i) {
+    const SessionReduction& reduction = reductions[i];
+    if (!reduction.satisfiable || reduction.reflexive_preference) continue;
+    models.emplace_back(reduction.model->model(), reduction.labeling);
+    serve::Request request;
+    request.kind = serve::Request::Kind::kPatternProb;
+    request.model = &models.back();
+    request.pattern = &reduction.pattern;
+    request.control = control;
+    batch.push_back(request);
+    reduction_of.push_back(i);
+  }
+  const std::vector<serve::Response> responses = server.EvaluateBatch(batch);
+  // A session that failed outright fails the query with that status; a
+  // degraded (approximate) session keeps the query answerable but marks the
+  // result approximate with a summed error bound.
+  BooleanResult result;
+  std::vector<double> session_probs(reductions.size(), 0.0);
+  for (std::size_t b = 0; b < responses.size(); ++b) {
+    const serve::Response& response = responses[b];
+    if (!response.status.ok() && !response.approximate) {
+      return response.status;
+    }
+    if (response.approximate) {
+      result.approximate = true;
+      result.std_error += response.std_error;
+    }
+    session_probs[reduction_of[b]] = response.probability;
+  }
+  // Combine in session order so the float result matches the serial path.
+  double none_matches = 1.0;
+  for (double prob : session_probs) none_matches *= 1.0 - prob;
+  result.confidence = 1.0 - none_matches;
+  return result;
+}
+
 double EvaluateBooleanParallel(const RimPpd& ppd,
                                const query::ConjunctiveQuery& query,
                                unsigned threads) {
@@ -79,7 +138,9 @@ double EvaluateBooleanParallel(const RimPpd& ppd,
   }
   const std::vector<SessionReduction> reductions = ReduceItemwise(ppd, query);
   std::vector<double> session_probs(reductions.size(), 0.0);
-  ParallelFor(reductions.size(), threads, [&](std::size_t i) {
+  // ClampThreads so `threads == 0` means auto here too; the raw value used
+  // to fall through to ParallelFor where 0 silently meant "serial".
+  ParallelFor(reductions.size(), ClampThreads(threads), [&](std::size_t i) {
     session_probs[i] = SessionProb(reductions[i]);
   });
   // Combine in session order so the float result matches the serial path.

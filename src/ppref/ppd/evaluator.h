@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "ppref/common/status.h"
 #include "ppref/db/database.h"
 #include "ppref/infer/top_prob.h"
 #include "ppref/ppd/ppd.h"
@@ -49,8 +50,31 @@ double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
 double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
                        serve::Server& server);
 
+/// conf_Q([E]) through the fault-tolerant serving boundary.
+struct BooleanResult {
+  double confidence = 0.0;
+  /// True when at least one session probability is a Monte-Carlo fallback
+  /// (server degradation policy); `std_error` then bounds the confidence's
+  /// error: since ∂(1 − Π(1 − p_i))/∂p_i = Π_{j≠i}(1 − p_j) ≤ 1, the
+  /// first-order error is at most the sum of the sessions' standard errors.
+  bool approximate = false;
+  double std_error = 0.0;
+};
+
+/// The Status-returning twin of the Server overload of EvaluateBoolean:
+/// never throws and never aborts on operational failures. Non-Boolean or
+/// non-itemwise queries map to kInvalidArgument (instead of SchemaError);
+/// `control` is applied to every per-session request, so a deadline or
+/// cancellation surfaces as the first failing session's status. When the
+/// server degrades to Monte-Carlo, the result is marked approximate with a
+/// conservative error bound (see BooleanResult).
+StatusOr<BooleanResult> TryEvaluateBoolean(
+    const RimPpd& ppd, const query::ConjunctiveQuery& query,
+    serve::Server& server, const serve::RequestControl& control = {});
+
 /// EvaluateBoolean with the independent per-session TopProb instances
-/// computed on `threads` workers (§6's CPU-parallelism direction). Work
+/// computed on `threads` workers (§6's CPU-parallelism direction;
+/// `threads == 0` means auto, per ppref::ClampThreads). Work
 /// assignment is static, so the result is bit-identical to the serial
 /// evaluator. Session-level parallelism composes poorly with matching-level
 /// parallelism on small machines, so sessions run their matchings serially

@@ -1,13 +1,51 @@
 #include "ppref/ppd/monte_carlo_evaluator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "ppref/common/check.h"
+#include "ppref/common/hash.h"
+#include "ppref/common/parallel.h"
 #include "ppref/db/preference_instance.h"
 #include "ppref/query/eval.h"
 #include "ppref/rim/sampler.h"
 
 namespace ppref::ppd {
+namespace {
+
+/// Samples one world from the PPD and evaluates the Boolean query on it.
+bool SampleWorldAndEvaluate(const RimPpd& ppd,
+                            const query::ConjunctiveQuery& query, Rng& rng) {
+  db::Database world(ppd.schema());
+  for (const std::string& symbol : ppd.schema().OSymbols()) {
+    for (const db::Tuple& tuple : ppd.OInstance(symbol)) {
+      world.Add(symbol, tuple);
+    }
+  }
+  for (const std::string& symbol : ppd.schema().PSymbols()) {
+    for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
+      const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+      std::vector<db::Value> order;
+      order.reserve(tau.size());
+      for (rim::Position p = 0; p < tau.size(); ++p) {
+        order.push_back(model.ItemOf(tau.At(p)));
+      }
+      db::AddRankingAsPairs(world, symbol, session, order);
+    }
+  }
+  return query::IsSatisfiable(query, world);
+}
+
+infer::McEstimate FromBernoulliCount(unsigned hits, unsigned samples) {
+  infer::McEstimate estimate;
+  estimate.estimate = static_cast<double>(hits) / samples;
+  estimate.std_error =
+      std::sqrt(estimate.estimate * (1.0 - estimate.estimate) / samples);
+  return estimate;
+}
+
+}  // namespace
 
 infer::McEstimate EstimateBoolean(const RimPpd& ppd,
                                   const query::ConjunctiveQuery& query,
@@ -16,30 +54,36 @@ infer::McEstimate EstimateBoolean(const RimPpd& ppd,
   PPREF_CHECK(samples > 0);
   unsigned hits = 0;
   for (unsigned s = 0; s < samples; ++s) {
-    db::Database world(ppd.schema());
-    for (const std::string& symbol : ppd.schema().OSymbols()) {
-      for (const db::Tuple& tuple : ppd.OInstance(symbol)) {
-        world.Add(symbol, tuple);
-      }
-    }
-    for (const std::string& symbol : ppd.schema().PSymbols()) {
-      for (const auto& [session, model] : ppd.PInstance(symbol).sessions()) {
-        const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
-        std::vector<db::Value> order;
-        order.reserve(tau.size());
-        for (rim::Position p = 0; p < tau.size(); ++p) {
-          order.push_back(model.ItemOf(tau.At(p)));
-        }
-        db::AddRankingAsPairs(world, symbol, session, order);
-      }
-    }
-    if (query::IsSatisfiable(query, world)) ++hits;
+    if (SampleWorldAndEvaluate(ppd, query, rng)) ++hits;
   }
-  infer::McEstimate estimate;
-  estimate.estimate = static_cast<double>(hits) / samples;
-  estimate.std_error =
-      std::sqrt(estimate.estimate * (1.0 - estimate.estimate) / samples);
-  return estimate;
+  return FromBernoulliCount(hits, samples);
+}
+
+infer::McEstimate EstimateBoolean(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& query,
+                                  const infer::McOptions& options) {
+  PPREF_CHECK(query.IsBoolean());
+  PPREF_CHECK(options.samples > 0);
+  // Same fixed block decomposition as infer's McOptions entry points: block
+  // b draws its worlds from Rng(HashCombine(seed, b)), so the estimate is
+  // a function of (seed, samples) only, never of the thread count.
+  constexpr unsigned kBlockSamples = 256;  // worlds are costlier than rankings
+  const unsigned blocks = (options.samples + kBlockSamples - 1) / kBlockSamples;
+  std::vector<unsigned> hits(blocks, 0);
+  ParallelFor(blocks, ClampThreads(options.threads), [&](std::size_t b) {
+    if (options.control != nullptr) options.control->Check();
+    Rng rng(HashCombine(options.seed, b));
+    const unsigned begin = static_cast<unsigned>(b) * kBlockSamples;
+    const unsigned end = std::min(options.samples, begin + kBlockSamples);
+    unsigned h = 0;
+    for (unsigned s = begin; s < end; ++s) {
+      if (SampleWorldAndEvaluate(ppd, query, rng)) ++h;
+    }
+    hits[b] = h;
+  });
+  unsigned total = 0;
+  for (unsigned h : hits) total += h;
+  return FromBernoulliCount(total, options.samples);
 }
 
 }  // namespace ppref::ppd

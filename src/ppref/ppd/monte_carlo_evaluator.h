@@ -19,6 +19,14 @@ infer::McEstimate EstimateBoolean(const RimPpd& ppd,
                                   const query::ConjunctiveQuery& query,
                                   unsigned samples, Rng& rng);
 
+/// Seeded, optionally parallel estimate of conf_Q([E]). Worlds are sampled
+/// in fixed blocks seeded from (options.seed, block) and fanned out over
+/// ClampThreads(options.threads) workers (0 = auto), so the estimate is
+/// identical for every thread count — see infer::McOptions.
+infer::McEstimate EstimateBoolean(const RimPpd& ppd,
+                                  const query::ConjunctiveQuery& query,
+                                  const infer::McOptions& options);
+
 }  // namespace ppref::ppd
 
 #endif  // PPREF_PPD_MONTE_CARLO_EVALUATOR_H_

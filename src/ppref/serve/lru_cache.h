@@ -20,12 +20,16 @@
 #define PPREF_SERVE_LRU_CACHE_H_
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "ppref/common/deadline.h"
 
 namespace ppref::serve {
 
@@ -77,20 +81,88 @@ class ShardedLruCache {
                                    std::shared_ptr<const Value> value) {
     Shard& shard = ShardOf(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      shard.order.splice(shard.order.begin(), shard.order, it->second);
-      return it->second->value;
+    return InsertLocked(shard, key, std::move(value));
+  }
+
+  /// Single-flight lookup-or-fill: returns the cached value, or runs
+  /// `compute` (a callable returning `std::shared_ptr<const Value>`) exactly
+  /// once per concurrent miss storm on `key` — the first missing thread
+  /// computes *outside* the shard lock while an in-flight marker makes every
+  /// other thread wait for its result instead of recomputing. This closes
+  /// the Get-then-Put window in which N racing threads would all compile the
+  /// same plan (N−1 of them thrown away).
+  ///
+  /// Stats: the computing thread counts one miss; threads served from the
+  /// cache or from a completed flight count hits, so `insertions <= misses`
+  /// still holds.
+  ///
+  /// Waiting threads honor `deadline` / `cancel` (either may be null): once
+  /// the deadline passes or the token fires, the wait aborts by throwing
+  /// DeadlineExceededError / CancelledError. `compute` itself is expected to
+  /// poll its own controls. If `compute` throws, the flight is dissolved,
+  /// one waiter retries (possibly computing itself), and the exception
+  /// propagates on the computing thread.
+  template <typename Compute>
+  std::shared_ptr<const Value> GetOrCompute(
+      std::uint64_t key, const Compute& compute,
+      const Deadline* deadline = nullptr,
+      const CancellationToken* cancel = nullptr) {
+    Shard& shard = ShardOf(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    for (;;) {
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.order.splice(shard.order.begin(), shard.order, it->second);
+        ++shard.stats.hits;
+        return it->second->value;
+      }
+      const auto flight_it = shard.in_flight.find(key);
+      if (flight_it == shard.in_flight.end()) break;  // this thread computes
+      const std::shared_ptr<Flight> flight = flight_it->second;
+      while (!flight->done) {
+        if (cancel != nullptr && cancel->Cancelled()) {
+          throw CancelledError("cancelled waiting for in-flight computation");
+        }
+        if (deadline != nullptr && deadline->Expired()) {
+          throw DeadlineExceededError(
+              "deadline expired waiting for in-flight computation");
+        }
+        if (cancel != nullptr || (deadline != nullptr && !deadline->IsInfinite())) {
+          // Sliced wait so a fired token / passed deadline is noticed
+          // promptly even without a notify.
+          shard.cv.wait_for(lock, std::chrono::milliseconds(1));
+        } else {
+          shard.cv.wait(lock);
+        }
+      }
+      if (!flight->failed) {
+        ++shard.stats.hits;
+        return flight->value;
+      }
+      // The computing thread failed; loop — this thread may compute now.
     }
-    shard.order.push_front(Entry{key, std::move(value)});
-    shard.index.emplace(key, shard.order.begin());
-    ++shard.stats.insertions;
-    if (shard.order.size() > shard.capacity) {
-      shard.index.erase(shard.order.back().key);
-      shard.order.pop_back();
-      ++shard.stats.evictions;
+    const auto flight = std::make_shared<Flight>();
+    shard.in_flight.emplace(key, flight);
+    ++shard.stats.misses;
+    lock.unlock();
+    std::shared_ptr<const Value> value;
+    try {
+      value = compute();
+    } catch (...) {
+      lock.lock();
+      flight->failed = true;
+      flight->done = true;
+      shard.in_flight.erase(key);
+      shard.cv.notify_all();
+      throw;
     }
-    return shard.order.front().value;
+    lock.lock();
+    std::shared_ptr<const Value> canonical = InsertLocked(shard, key, std::move(value));
+    flight->value = canonical;
+    flight->done = true;
+    shard.in_flight.erase(key);
+    shard.cv.notify_all();
+    return canonical;
   }
 
   /// Current entry count across shards.
@@ -141,13 +213,43 @@ class ShardedLruCache {
     std::shared_ptr<const Value> value;
   };
 
+  /// One in-flight computation; waiters hold their own shared_ptr so the
+  /// result survives even if the fresh entry is evicted before they wake.
+  struct Flight {
+    bool done = false;    // guarded by the shard mutex
+    bool failed = false;  // compute threw; waiters retry
+    std::shared_ptr<const Value> value;
+  };
+
   struct Shard {
     mutable std::mutex mutex;
+    std::condition_variable cv;  // flight completions
     std::size_t capacity = 1;
     std::list<Entry> order;  // front = most recently used
     std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator> index;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> in_flight;
     CacheStats stats;
   };
+
+  /// Insert-or-refresh under the shard lock (the shared tail of Put and
+  /// GetOrCompute); returns the canonical value for `key`.
+  static std::shared_ptr<const Value> InsertLocked(
+      Shard& shard, std::uint64_t key, std::shared_ptr<const Value> value) {
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return it->second->value;
+    }
+    shard.order.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(key, shard.order.begin());
+    ++shard.stats.insertions;
+    if (shard.order.size() > shard.capacity) {
+      shard.index.erase(shard.order.back().key);
+      shard.order.pop_back();
+      ++shard.stats.evictions;
+    }
+    return shard.order.front().value;
+  }
 
   static unsigned RoundUpPow2(unsigned n) {
     unsigned p = 1;

@@ -1,12 +1,16 @@
 #include "ppref/serve/server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
 #include <unordered_map>
 
 #include "ppref/common/check.h"
+#include "ppref/common/fault_injection.h"
 #include "ppref/common/hash.h"
 #include "ppref/common/parallel.h"
 #include "ppref/infer/internal/dp_plan.h"
+#include "ppref/infer/monte_carlo.h"
 #include "ppref/infer/top_prob.h"
 #include "ppref/infer/top_prob_minmax.h"
 #include "ppref/serve/fingerprint.h"
@@ -16,10 +20,14 @@ namespace {
 
 // Result-key domain tags: one per request kind, mixed on top of the plan
 // key so the two answers about one (model, pattern) never collide.
+// kKeyMcSeed salts the degradation sampler's seed so the fallback stream
+// is decorrelated from the result key itself while staying a pure function
+// of it (repeat the request, get the identical approximate answer).
 enum : std::uint64_t {
   kKeyPatternProb = 0x5051ull,
   kKeyTopMatching = 0x5052ull,
   kKeyMinMax = 0x5053ull,
+  kKeyMcSeed = 0x5054ull,
 };
 
 std::uint64_t NowNs() {
@@ -30,6 +38,10 @@ std::uint64_t NowNs() {
 }
 
 const std::vector<infer::LabelId> kNoTracked;
+
+/// Sentinel slot for requests that never reach the dedup table (shed or
+/// invalid): they carry their own terminal response.
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
 }  // namespace
 
@@ -63,8 +75,22 @@ struct Server::CachedResult {
   std::optional<infer::Matching> top_matching;
 };
 
+/// The terminal disposition of one guarded computation: a status, the
+/// answer (exact or approximate), and whether the answer may be published
+/// to the result cache (only exact kOk answers are).
+struct Server::Outcome {
+  Status status;
+  CachedResult result;
+  bool approximate = false;
+  double std_error = 0.0;
+  bool cache_ok = false;
+};
+
 /// Scoped in-flight depth accounting: admission increments, completion
 /// decrements, and the peak watermark is maintained with a CAS loop.
+/// Legacy entry points admit unconditionally through this; the status
+/// entry points go through TryAdmit/AdmissionRelease instead, which
+/// respect max_in_flight.
 class Server::InFlight {
  public:
   InFlight(Server& server, std::uint64_t count) : server_(server), count_(count) {
@@ -82,6 +108,24 @@ class Server::InFlight {
   std::uint64_t count_;
 };
 
+/// RAII release of TryAdmit'ed slots (release exactly what was granted,
+/// which may be fewer than requested under load shedding).
+class Server::AdmissionRelease {
+ public:
+  AdmissionRelease(Server& server, std::size_t granted)
+      : server_(server), granted_(granted) {}
+  ~AdmissionRelease() {
+    server_.in_flight_.fetch_sub(granted_, std::memory_order_relaxed);
+  }
+
+  AdmissionRelease(const AdmissionRelease&) = delete;
+  AdmissionRelease& operator=(const AdmissionRelease&) = delete;
+
+ private:
+  Server& server_;
+  std::size_t granted_;
+};
+
 Server::Server(ServerOptions options)
     : options_(options),
       plan_cache_(options.plan_cache_capacity, options.cache_shards),
@@ -89,39 +133,244 @@ Server::Server(ServerOptions options)
 
 Server::~Server() = default;
 
+Status Server::Validate(const Request& request) const {
+  if (request.model == nullptr) {
+    return Status::InvalidArgument("request.model is null");
+  }
+  if (request.pattern == nullptr) {
+    return Status::InvalidArgument("request.pattern is null");
+  }
+  if (request.kind != Request::Kind::kPatternProb &&
+      request.kind != Request::Kind::kTopMatching) {
+    return Status::InvalidArgument("unknown request kind");
+  }
+  if (request.model->size() >= infer::internal::kUnsetPosition) {
+    return Status::InvalidArgument(
+        "model too large for the 16-bit DP position encoding");
+  }
+  // A pattern node whose label no item carries can never match; the DP
+  // handles it (probability 0), but at the serving boundary it is far more
+  // likely a malformed request than a deliberate query, so refuse it with a
+  // diagnostic instead of silently answering 0.
+  const infer::ItemLabeling& labeling = request.model->labeling();
+  for (unsigned node = 0; node < request.pattern->NodeCount(); ++node) {
+    const infer::LabelId label = request.pattern->NodeLabel(node);
+    if (labeling.ItemsWith(label).empty()) {
+      return Status::InvalidArgument("pattern label " + std::to_string(label) +
+                                     " matches no item of the model");
+    }
+  }
+  return Status::Ok();
+}
+
+std::size_t Server::TryAdmit(std::size_t want) {
+  std::size_t granted = want;
+  if (options_.max_in_flight == 0) {
+    in_flight_.fetch_add(want, std::memory_order_relaxed);
+  } else {
+    // CAS loop: claim as many of `want` slots as fit under the limit.
+    std::uint64_t current = in_flight_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t room =
+          current >= options_.max_in_flight
+              ? 0
+              : static_cast<std::uint64_t>(options_.max_in_flight) - current;
+      granted = static_cast<std::size_t>(
+          std::min<std::uint64_t>(want, room));
+      if (granted == 0) return 0;
+      if (in_flight_.compare_exchange_weak(current, current + granted,
+                                           std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+  const std::uint64_t now =
+      in_flight_.load(std::memory_order_relaxed);
+  std::uint64_t peak = in_flight_peak_.load(std::memory_order_relaxed);
+  while (peak < now && !in_flight_peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return granted;
+}
+
+std::uint64_t Server::RetryAfterHintNs() const {
+  // Heuristic: the observed mean busy time per request. A fresh server has
+  // no history, so floor at 1ms — long enough to be a meaningful backoff,
+  // short enough not to stall a caller on an idle server.
+  const std::uint64_t served = std::max<std::uint64_t>(
+      1, requests_.load(std::memory_order_relaxed));
+  const std::uint64_t busy = compile_ns_.load(std::memory_order_relaxed) +
+                             execute_ns_.load(std::memory_order_relaxed);
+  return std::max<std::uint64_t>(1'000'000, busy / served);
+}
+
+std::shared_ptr<const Server::CachedResult> Server::LookupResult(
+    std::uint64_t result_key) {
+  if (PPREF_FAULT_FORCED_RESULT_MISS()) return nullptr;
+  return result_cache_.Get(result_key);
+}
+
 std::shared_ptr<const Server::CachedPlan> Server::PlanFor(
     const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
-    const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key) {
-  if (std::shared_ptr<const CachedPlan> hit = plan_cache_.Get(plan_key)) {
-    return hit;
+    const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key,
+    const RunControl* control) {
+  if (PPREF_FAULT_FORCED_PLAN_MISS()) {
+    // Miss-storm injection: compile fresh, bypassing the cache entirely so
+    // every request pays the full compile cost (and the single-flight path
+    // is not exercised — that is the point of this knob: worst case).
+    PPREF_FAULT_PLAN_COMPILE();
+    if (control != nullptr) control->Check();
+    const std::uint64_t start = NowNs();
+    auto entry = std::make_shared<const CachedPlan>(model, pattern, tracked);
+    compile_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    return entry;
   }
-  // Cold key: compile outside any lock. Two threads racing here both
-  // compile; Put keeps the first insert, so they converge on one entry.
-  const std::uint64_t start = NowNs();
-  auto entry = std::make_shared<const CachedPlan>(model, pattern, tracked);
-  compile_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
-  return plan_cache_.Put(plan_key, std::move(entry));
+  // Single-flight: concurrent misses on one key coalesce into a single
+  // compilation; under this path plan_cache().misses equals the number of
+  // actual compilations.
+  return plan_cache_.GetOrCompute(
+      plan_key,
+      [&]() -> std::shared_ptr<const CachedPlan> {
+        PPREF_FAULT_PLAN_COMPILE();
+        if (control != nullptr) control->Check();
+        const std::uint64_t start = NowNs();
+        auto entry =
+            std::make_shared<const CachedPlan>(model, pattern, tracked);
+        compile_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+        return entry;
+      },
+      control != nullptr ? &control->deadline : nullptr,
+      control != nullptr ? control->cancel : nullptr);
 }
 
 Server::CachedResult Server::Compute(const Request& request,
-                                     std::uint64_t plan_key) {
+                                     std::uint64_t plan_key,
+                                     const RunControl* control) {
+  // Internal invariant, not input validation: the status entry points have
+  // already validated, and the legacy entry points are documented
+  // trusted-caller paths.
   PPREF_CHECK(request.model != nullptr && request.pattern != nullptr);
+  // Fail an already-stopped request before touching the caches: a cached
+  // plan plus a small DP could otherwise finish inside the stop window and
+  // make "deadline 0" sometimes succeed.
+  if (control != nullptr) control->Check();
   const std::shared_ptr<const CachedPlan> plan =
-      PlanFor(*request.model, *request.pattern, kNoTracked, plan_key);
+      PlanFor(*request.model, *request.pattern, kNoTracked, plan_key, control);
   infer::PatternProbOptions exec;
   exec.threads = options_.matching_threads;
+  exec.control = control;
   CachedResult result;
   const std::uint64_t start = NowNs();
-  if (request.kind == Request::Kind::kPatternProb) {
-    result.probability = infer::PatternProbWithPlan(plan->plan, exec);
-  } else {
-    if (auto best = infer::MostProbableTopMatchingWithPlan(plan->plan, exec)) {
-      result.probability = best->second;
-      result.top_matching = std::move(best->first);
+  try {
+    if (request.kind == Request::Kind::kPatternProb) {
+      result.probability = infer::PatternProbWithPlan(plan->plan, exec);
+    } else {
+      if (auto best = infer::MostProbableTopMatchingWithPlan(plan->plan, exec)) {
+        result.probability = best->second;
+        result.top_matching = std::move(best->first);
+      }
     }
+  } catch (...) {
+    // Count the time spent even when the DP is stopped mid-scan, so the
+    // retry-after hint reflects what failed work actually cost.
+    execute_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    throw;
   }
   execute_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
   return result;
+}
+
+Server::Outcome Server::Degrade(const Request& request,
+                                std::uint64_t result_key, Status status) {
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  Outcome outcome;
+  outcome.status = std::move(status);
+  outcome.approximate = true;
+  // Seeded from the request fingerprint: repeating the request reproduces
+  // the identical approximate answer (the McOptions block decomposition
+  // makes the estimate thread-count independent, and threads=1 keeps the
+  // fallback from competing with healthy exact work for cores). The
+  // fallback honors cancellation but deliberately not the already-blown
+  // deadline — it is the bounded-cost answer served *because* the deadline
+  // fired, sized by degraded_samples rather than time.
+  infer::McOptions mc;
+  mc.samples = std::max(1u, options_.degraded_samples);
+  mc.threads = 1;
+  mc.seed = HashCombine(result_key, kKeyMcSeed);
+  RunControl cancel_only;
+  cancel_only.cancel = request.control.cancel;
+  mc.control = request.control.cancel != nullptr ? &cancel_only : nullptr;
+  try {
+    if (request.kind == Request::Kind::kPatternProb) {
+      const infer::McEstimate estimate =
+          infer::PatternProbMonteCarlo(*request.model, *request.pattern, mc);
+      outcome.result.probability = estimate.estimate;
+      outcome.std_error = estimate.std_error;
+    } else {
+      const infer::McTopMatching top =
+          infer::TopMatchingMonteCarlo(*request.model, *request.pattern, mc);
+      outcome.result.probability = top.frequency;
+      if (top.frequency > 0.0) outcome.result.top_matching = top.matching;
+      outcome.std_error = top.std_error;
+    }
+  } catch (const CancelledError&) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    outcome = Outcome{};
+    outcome.status = Status::Cancelled("cancelled during degraded sampling");
+  }
+  return outcome;
+}
+
+Server::Outcome Server::ComputeGuarded(const Request& request,
+                                       std::uint64_t plan_key,
+                                       std::uint64_t result_key,
+                                       const RunControl* control) {
+  // Size guard first: an over-budget pattern is refused (or degraded)
+  // *before* any exponential work starts.
+  if (options_.max_pattern_nodes != 0 &&
+      request.pattern->NodeCount() > options_.max_pattern_nodes) {
+    Status status = Status::ResourceExhausted(
+        "pattern has " + std::to_string(request.pattern->NodeCount()) +
+        " nodes, over the server limit of " +
+        std::to_string(options_.max_pattern_nodes));
+    if (options_.degradation == ServerOptions::Degradation::kMonteCarlo) {
+      return Degrade(request, result_key, std::move(status));
+    }
+    Outcome outcome;
+    outcome.status = std::move(status);
+    return outcome;
+  }
+  try {
+    Outcome outcome;
+    outcome.result = Compute(request, plan_key, control);
+    outcome.status = Status::Ok();
+    outcome.cache_ok = true;
+    return outcome;
+  } catch (const CancelledError& e) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    Outcome outcome;
+    outcome.status = Status::Cancelled(e.what());
+    return outcome;
+  } catch (const DeadlineExceededError& e) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    Status status = Status::DeadlineExceeded(e.what());
+    if (options_.degradation == ServerOptions::Degradation::kMonteCarlo) {
+      return Degrade(request, result_key, std::move(status));
+    }
+    Outcome outcome;
+    outcome.status = std::move(status);
+    return outcome;
+  } catch (const std::exception& e) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    Outcome outcome;
+    outcome.status = Status::Internal(e.what());
+    return outcome;
+  } catch (...) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    Outcome outcome;
+    outcome.status = Status::Internal("unknown exception during compute");
+    return outcome;
+  }
 }
 
 double Server::PatternProbability(const infer::LabeledRimModel& model,
@@ -190,68 +439,143 @@ double Server::PatternMinMaxProbability(
   return probability;
 }
 
+Response Server::Evaluate(const Request& request) {
+  const std::vector<Request> batch{request};
+  return EvaluateBatch(batch).front();
+}
+
+/// One unique computation within a batch: distinct (result key, deadline,
+/// cancellation token). Two byte-identical requests with different stop
+/// conditions must not share a slot — one's tight deadline would decide the
+/// other's answer.
+struct Server::Unit {
+  std::uint64_t result_key = 0;
+  std::uint64_t plan_key = 0;
+  std::size_t first_request = 0;
+  bool has_control = false;
+  RunControl control;
+};
+
 std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   requests_.fetch_add(requests.size(), std::memory_order_relaxed);
-  const InFlight guard(*this, requests.size());
 
-  // Dedup: one unique slot per distinct result key, in first-occurrence
-  // order (deterministic regardless of thread count).
-  struct Unique {
-    std::uint64_t result_key;
-    std::uint64_t plan_key;
-    std::size_t first_request;
-  };
-  std::vector<Unique> unique;
-  std::vector<std::size_t> slot_of(requests.size());
+  std::vector<Response> responses(requests.size());
+
+  // Admission: claim in-flight slots for as many requests as fit; the tail
+  // is shed immediately with a terminal status and a backoff hint — never
+  // silently dropped, never queued unboundedly.
+  const std::size_t admitted = TryAdmit(requests.size());
+  const AdmissionRelease release(*this, admitted);
+  for (std::size_t i = admitted; i < requests.size(); ++i) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    responses[i].status =
+        Status::ResourceExhausted("shed by admission control (server full)");
+    responses[i].retry_after_ns = RetryAfterHintNs();
+  }
+
+  // Validate + dedup the admitted prefix. Deadlines are resolved to
+  // absolute time *here*, at admission, so time spent waiting for a worker
+  // counts against the request's budget.
+  std::vector<Unit> units;
+  std::vector<std::size_t> slot_of(admitted, kNoSlot);
   std::unordered_map<std::uint64_t, std::size_t> slot_by_key;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < admitted; ++i) {
     const Request& request = requests[i];
-    PPREF_CHECK(request.model != nullptr && request.pattern != nullptr);
+    if (Status status = Validate(request); !status.ok()) {
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      responses[i].status = std::move(status);
+      continue;
+    }
+    ++valid;
     const std::uint64_t plan_key =
         PlanKey(*request.model, *request.pattern, kNoTracked);
     const std::uint64_t result_key = HashCombine(
         plan_key, request.kind == Request::Kind::kPatternProb ? kKeyPatternProb
                                                               : kKeyTopMatching);
-    const auto [it, inserted] = slot_by_key.emplace(result_key, unique.size());
-    if (inserted) unique.push_back(Unique{result_key, plan_key, i});
+    const std::uint64_t deadline_ns = request.control.deadline_ns != 0
+                                          ? request.control.deadline_ns
+                                          : options_.default_deadline_ns;
+    // Dedup key folds the stop conditions in; identical requests with
+    // identical controls share one computation.
+    const std::uint64_t unit_key = HashCombine(
+        result_key,
+        HashCombine(deadline_ns, static_cast<std::uint64_t>(
+                                     reinterpret_cast<std::uintptr_t>(
+                                         request.control.cancel))));
+    const auto [it, inserted] = slot_by_key.emplace(unit_key, units.size());
+    if (inserted) {
+      Unit unit;
+      unit.result_key = result_key;
+      unit.plan_key = plan_key;
+      unit.first_request = i;
+      unit.has_control =
+          deadline_ns != 0 || request.control.cancel != nullptr;
+      if (deadline_ns != 0) unit.control.deadline = Deadline::After(deadline_ns);
+      unit.control.cancel = request.control.cancel;
+      units.push_back(unit);
+    }
     slot_of[i] = it->second;
   }
-  batch_deduped_.fetch_add(requests.size() - unique.size(),
-                           std::memory_order_relaxed);
+  batch_deduped_.fetch_add(valid - units.size(), std::memory_order_relaxed);
 
-  // Resolve result-cache hits; collect the misses.
-  std::vector<std::shared_ptr<const CachedResult>> resolved(unique.size());
+  // Resolve result-cache hits; collect the misses. A cache hit is exact and
+  // instant, so stop conditions don't apply to it.
+  std::vector<std::shared_ptr<const CachedResult>> resolved(units.size());
   std::vector<std::size_t> misses;
-  for (std::size_t u = 0; u < unique.size(); ++u) {
-    resolved[u] = result_cache_.Get(unique[u].result_key);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    resolved[u] = LookupResult(units[u].result_key);
     if (!resolved[u]) misses.push_back(u);
   }
 
-  // Fan unique cold work over the pool. Each worker touches only its own
-  // `computed` slots; the caches are internally synchronized.
-  std::vector<CachedResult> computed(misses.size());
+  // Fan unique cold work over the pool, each computation wrapped in the
+  // failure policy — ComputeGuarded never throws, so one bad request can't
+  // take down its batch neighbors.
+  std::vector<Outcome> outcomes(misses.size());
   ParallelForWorkers(misses.size(), ClampThreads(options_.threads),
                      [&](unsigned, std::size_t i) {
-                       const Unique& u = unique[misses[i]];
-                       computed[i] =
-                           Compute(requests[u.first_request], u.plan_key);
+                       const Unit& unit = units[misses[i]];
+                       outcomes[i] = ComputeGuarded(
+                           requests[unit.first_request], unit.plan_key,
+                           unit.result_key,
+                           unit.has_control ? &unit.control : nullptr);
                      });
 
-  // Publish in unique order (deterministic cache contents for a given
-  // request trace, whatever the worker interleaving was).
+  // Publish exact answers in unique order (deterministic cache contents for
+  // a given request trace, whatever the worker interleaving was).
+  // Approximate and failed outcomes are never cached.
   for (std::size_t i = 0; i < misses.size(); ++i) {
-    resolved[misses[i]] = result_cache_.Put(
-        unique[misses[i]].result_key,
-        std::make_shared<const CachedResult>(std::move(computed[i])));
+    if (!outcomes[i].cache_ok) continue;
+    // Copy, not move: the scatter loop below still reads this outcome.
+    result_cache_.Put(units[misses[i]].result_key,
+                      std::make_shared<const CachedResult>(outcomes[i].result));
   }
 
-  // Scatter answers back in request order.
-  std::vector<Response> responses(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const CachedResult& result = *resolved[slot_of[i]];
-    responses[i].probability = result.probability;
-    responses[i].top_matching = result.top_matching;
+  // Scatter answers back in request order. Shed and invalid requests
+  // already carry their responses.
+  std::vector<std::size_t> outcome_of(units.size(), kNoSlot);
+  for (std::size_t i = 0; i < misses.size(); ++i) outcome_of[misses[i]] = i;
+  for (std::size_t i = 0; i < admitted; ++i) {
+    if (slot_of[i] == kNoSlot) continue;
+    const std::size_t u = slot_of[i];
+    if (resolved[u] != nullptr) {
+      responses[i].status = Status::Ok();
+      responses[i].probability = resolved[u]->probability;
+      responses[i].top_matching = resolved[u]->top_matching;
+      continue;
+    }
+    const Outcome& outcome = outcomes[outcome_of[u]];
+    responses[i].status = outcome.status;
+    responses[i].approximate = outcome.approximate;
+    responses[i].std_error = outcome.std_error;
+    if (outcome.status.ok() || outcome.approximate) {
+      responses[i].probability = outcome.result.probability;
+      responses[i].top_matching = outcome.result.top_matching;
+    }
+    if (outcome.status.code() == StatusCode::kResourceExhausted) {
+      responses[i].retry_after_ns = RetryAfterHintNs();
+    }
   }
   return responses;
 }
@@ -267,6 +591,12 @@ ServerStats Server::stats() const {
   stats.execute_ns = execute_ns_.load(std::memory_order_relaxed);
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   stats.in_flight_peak = in_flight_peak_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.invalid = invalid_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   return stats;
 }
 

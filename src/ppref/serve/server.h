@@ -9,28 +9,60 @@
 ///  1. **Plan cache** (sharded LRU): compiled `DpPlan`s keyed by the content
 ///     fingerprint of (model, pattern, tracked). A hit skips the
 ///     γ-independent compilation entirely; PR-2's compile-once / run-many
-///     split now pays off *across* calls, not just within one.
+///     split now pays off *across* calls, not just within one. Concurrent
+///     misses on one key coalesce into a single compilation (single-flight).
 ///  2. **Result cache** (sharded LRU): full `(model, pattern, tracked,
-///     kind) → answer` memoization. A hit skips the DP execution too.
+///     kind) → answer` memoization. A hit skips the DP execution too. Only
+///     exact answers are ever cached — approximate (degraded) answers are
+///     recomputed per request, reproducibly (see below).
 ///
 /// `EvaluateBatch` additionally dedups identical requests *within* a batch,
 /// fans the unique work over a worker pool, and scatters answers back in
 /// request order.
 ///
+/// ## Fault tolerance
+/// `Evaluate` / `EvaluateBatch` are the *serving boundary*: they never abort
+/// or throw on bad input or overload; every request gets a terminal
+/// `Response::status`:
+///
+///  - malformed requests (null pointers, labels matching no item, a model
+///    too large for the DP's 16-bit positions) → `kInvalidArgument`;
+///  - admission control: when `ServerOptions::max_in_flight` is set and the
+///    server is full, excess requests are shed with `kResourceExhausted`
+///    and a `retry_after_ns` hint instead of growing the in-flight set;
+///  - per-request deadlines (`Request::control.deadline_ns`, falling back
+///    to `ServerOptions::default_deadline_ns`) stop the DP mid-scan with
+///    bounded latency → `kDeadlineExceeded`;
+///  - caller cancellation via a shared `CancellationToken` → `kCancelled`;
+///  - anything unexpected escaping the engine → `kInternal`.
+///
+/// With `ServerOptions::degradation = kMonteCarlo`, deadline and size-limit
+/// failures degrade to a seeded Monte-Carlo estimate: the response keeps its
+/// non-OK status but carries `approximate = true`, the estimate, and its
+/// standard error — callers always get *an* answer with honest error bars.
+/// The sampler is seeded from the request fingerprint, so repeating the
+/// request reproduces the identical approximate answer.
+///
+/// The legacy double-returning entry points (`PatternProbability`,
+/// `MostProbableTopMatching`, `PatternMinMaxProbability`) remain
+/// trusted-caller conveniences: they skip validation, deadlines, and
+/// admission control, and keep PPREF_CHECK semantics on misuse.
+///
 /// ## Determinism guarantee
-/// Every answer is bit-identical to what a fresh per-request serial call of
-/// the underlying `infer::` function would return: the caches memoize pure
-/// functions of the request fingerprint, the batch fan-out uses the ordered
-/// (bit-identical) reduction of `infer/`, and dedup only shares answers
-/// between byte-equal requests. Caching, batching, and thread count are
-/// invisible in the output — only in the latency.
+/// Every *exact* answer is bit-identical to what a fresh per-request serial
+/// call of the underlying `infer::` function would return: the caches
+/// memoize pure functions of the request fingerprint, the batch fan-out
+/// uses the ordered (bit-identical) reduction of `infer/`, and dedup only
+/// shares answers between byte-equal requests. Caching, batching, and
+/// thread count are invisible in the output — only in the latency.
+/// Approximate answers are deterministic in the request fingerprint and
+/// sample budget (never in the thread count), and are never cached.
 ///
 /// ## Thread safety
 /// All entry points may be called concurrently from any number of threads;
 /// the caches are internally synchronized (per-shard mutexes) and plans are
 /// immutable after compilation (per-thread `Scratch` holds all mutable DP
-/// state). Two threads racing on the same cold key may both compute it;
-/// both produce the same value and the first insert wins.
+/// state).
 ///
 /// Models and patterns are *borrowed for the duration of a call* and copied
 /// into any cache entry that outlives it, so callers may destroy their
@@ -46,6 +78,8 @@
 #include <utility>
 #include <vector>
 
+#include "ppref/common/deadline.h"
+#include "ppref/common/status.h"
 #include "ppref/infer/labeled_rim.h"
 #include "ppref/infer/matching.h"
 #include "ppref/infer/minmax_condition.h"
@@ -72,6 +106,42 @@ struct ServerOptions {
   /// threads). Batch fan-out already saturates the cores, so nesting
   /// defaults off; raise it for servers handling few, large requests.
   unsigned matching_threads = 1;
+
+  /// Default per-request deadline in nanoseconds, applied when a request
+  /// does not set its own. 0 = no deadline.
+  std::uint64_t default_deadline_ns = 0;
+  /// Admission limit: the maximum number of requests being served at once
+  /// across all entry points. Requests beyond the limit are shed with
+  /// kResourceExhausted and a retry-after hint. 0 = unbounded.
+  std::size_t max_in_flight = 0;
+  /// Size guard: patterns with more nodes are refused (kResourceExhausted)
+  /// or degraded to Monte-Carlo, per `degradation`. The DP is exponential
+  /// in pattern size, so this is the "query too hard" limit. 0 = unlimited.
+  unsigned max_pattern_nodes = 0;
+
+  /// What to do when a request hits its deadline or the size guard.
+  enum class Degradation : std::uint8_t {
+    /// Fail the request with its error status and no answer.
+    kNone,
+    /// Serve a Monte-Carlo estimate with a standard error instead: the
+    /// response keeps the non-OK status but gains `approximate = true`.
+    /// Deterministic per request fingerprint (seeded sampling); never
+    /// cached.
+    kMonteCarlo,
+  };
+  Degradation degradation = Degradation::kNone;
+  /// Sample budget of one Monte-Carlo fallback.
+  unsigned degraded_samples = 4096;
+};
+
+/// Per-request stop conditions, embedded in `Request`.
+struct RequestControl {
+  /// Deadline budget in nanoseconds, measured from batch admission.
+  /// 0 = use the server's default_deadline_ns.
+  std::uint64_t deadline_ns = 0;
+  /// Optional borrowed cancellation token; must stay alive until the
+  /// submitting call returns. Firing it ends the request with kCancelled.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// One inference request against a borrowed model and pattern.
@@ -87,17 +157,30 @@ struct Request {
   /// Borrowed; must stay alive until the submitting call returns.
   const infer::LabeledRimModel* model = nullptr;
   const infer::LabelPattern* pattern = nullptr;
+  /// Deadline / cancellation; default = server defaults, no token.
+  RequestControl control;
 };
 
 /// The answer to one request, in the submitting batch's order.
 struct Response {
+  /// Terminal disposition; the numeric fields below are meaningful for
+  /// kOk, and for non-OK statuses only when `approximate` is set.
+  Status status;
   double probability = 0.0;
   /// Set for kTopMatching when some candidate has positive probability.
   std::optional<infer::Matching> top_matching;
+  /// True when this answer is a Monte-Carlo fallback (degradation policy);
+  /// `std_error` then carries its standard error.
+  bool approximate = false;
+  double std_error = 0.0;
+  /// For shed requests (kResourceExhausted from admission control): a
+  /// heuristic backoff hint — the server's observed mean per-request cost.
+  std::uint64_t retry_after_ns = 0;
 };
 
 /// A concurrent query server over the exact inference engine. See the file
-/// comment for the caching, determinism, and thread-safety contracts.
+/// comment for the caching, determinism, fault-tolerance, and thread-safety
+/// contracts.
 class Server {
  public:
   explicit Server(ServerOptions options = {});
@@ -106,12 +189,12 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Pr(g | σ, Π, λ), memoized.
+  /// Pr(g | σ, Π, λ), memoized. Trusted-caller path (aborts on misuse).
   double PatternProbability(const infer::LabeledRimModel& model,
                             const infer::LabelPattern& pattern);
 
   /// The most probable top matching, memoized. Same contract as
-  /// infer::MostProbableTopMatching.
+  /// infer::MostProbableTopMatching. Trusted-caller path.
   std::optional<std::pair<infer::Matching, double>> MostProbableTopMatching(
       const infer::LabeledRimModel& model, const infer::LabelPattern& pattern);
 
@@ -120,16 +203,25 @@ class Server {
   /// std::function, so the caller names it — e.g. hash of "top-3(Clinton)").
   /// Pass a fingerprint of 0 to bypass the result cache (unnameable φ);
   /// the plan cache still applies, keyed by (model, pattern, tracked).
+  /// Trusted-caller path.
   double PatternMinMaxProbability(const infer::LabeledRimModel& model,
                                   const infer::LabelPattern& pattern,
                                   const std::vector<infer::LabelId>& tracked,
                                   const infer::MinMaxCondition& condition,
                                   std::uint64_t condition_fingerprint);
 
-  /// Serves a batch: dedups byte-identical requests, resolves result-cache
-  /// hits, fans the remaining unique work over the worker pool, and returns
-  /// answers in request order. Answers are bit-identical to issuing each
-  /// request alone (see the determinism guarantee).
+  /// Serves one request through the full fault-tolerant pipeline
+  /// (validation, admission, deadline, degradation). Never throws; the
+  /// response's status is the single source of truth.
+  Response Evaluate(const Request& request);
+
+  /// Serves a batch: admits up to the in-flight budget (shedding the rest),
+  /// validates each request, dedups byte-identical requests, resolves
+  /// result-cache hits, fans the remaining unique work over the worker
+  /// pool, and returns answers in request order — exactly one terminal
+  /// status per request, no silent drops. Exact answers are bit-identical
+  /// to issuing each request alone (see the determinism guarantee). Never
+  /// throws.
   std::vector<Response> EvaluateBatch(const std::vector<Request>& requests);
 
   /// Point-in-time statistics snapshot.
@@ -143,17 +235,52 @@ class Server {
  private:
   struct CachedPlan;
   struct CachedResult;
+  struct Outcome;
+  struct Unit;
+
+  /// Request validation for the status entry points; Ok or kInvalidArgument.
+  Status Validate(const Request& request) const;
+
+  /// Claims up to `want` in-flight slots against max_in_flight (all of them
+  /// when unbounded); returns how many were granted and maintains the peak
+  /// watermark. Pair with AdmissionRelease.
+  std::size_t TryAdmit(std::size_t want);
+
+  /// RAII release of TryAdmit'ed slots.
+  class AdmissionRelease;
+
+  /// Heuristic retry-after hint: observed mean per-request busy time.
+  std::uint64_t RetryAfterHintNs() const;
+
+  /// Result-cache probe (respects forced-miss fault injection).
+  std::shared_ptr<const CachedResult> LookupResult(std::uint64_t result_key);
 
   /// Looks up or compiles the plan for (model, pattern, tracked), timing
-  /// compilation into `compile_ns_`.
+  /// compilation into `compile_ns_`. Single-flight per key; a non-null
+  /// `control` bounds both the compile and the wait for another thread's
+  /// compile (throws DeadlineExceededError / CancelledError).
   std::shared_ptr<const CachedPlan> PlanFor(
       const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
-      const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key);
+      const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key,
+      const RunControl* control = nullptr);
 
-  /// Computes one request (plan lookup + DP execution, timed).
-  CachedResult Compute(const Request& request, std::uint64_t plan_key);
+  /// Computes one request exactly (plan lookup + DP execution, timed).
+  /// Throws DeadlineExceededError / CancelledError via `control`.
+  CachedResult Compute(const Request& request, std::uint64_t plan_key,
+                       const RunControl* control = nullptr);
 
-  /// RAII in-flight depth tracking.
+  /// Compute wrapped in the failure policy: catches stop exceptions, applies
+  /// the degradation policy, maps everything to a terminal Outcome. Never
+  /// throws.
+  Outcome ComputeGuarded(const Request& request, std::uint64_t plan_key,
+                         std::uint64_t result_key, const RunControl* control);
+
+  /// The Monte-Carlo fallback of the degradation policy; `status` is the
+  /// triggering (non-OK) status the outcome keeps.
+  Outcome Degrade(const Request& request, std::uint64_t result_key,
+                  Status status);
+
+  /// RAII in-flight depth tracking (legacy unconditional admission).
   class InFlight;
 
   ServerOptions options_;
@@ -167,6 +294,12 @@ class Server {
   std::atomic<std::uint64_t> execute_ns_{0};
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> in_flight_peak_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> internal_errors_{0};
 };
 
 }  // namespace ppref::serve

@@ -42,6 +42,21 @@ struct ServerStats {
   std::uint64_t in_flight = 0;
   /// High-water mark of `in_flight`.
   std::uint64_t in_flight_peak = 0;
+
+  // Fault-tolerance disposition counters (status entry points only):
+
+  /// Requests shed by admission control (kResourceExhausted before any work).
+  std::uint64_t shed = 0;
+  /// Requests rejected by validation (kInvalidArgument).
+  std::uint64_t invalid = 0;
+  /// Requests stopped by their deadline mid-computation.
+  std::uint64_t deadline_exceeded = 0;
+  /// Requests stopped by caller cancellation.
+  std::uint64_t cancelled = 0;
+  /// Failed requests answered with a Monte-Carlo fallback (approximate).
+  std::uint64_t degraded = 0;
+  /// Unexpected exceptions mapped to kInternal.
+  std::uint64_t internal_errors = 0;
 };
 
 }  // namespace ppref::serve

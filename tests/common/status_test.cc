@@ -1,0 +1,86 @@
+/// \file status_test.cc
+/// \brief Status / StatusOr contract: codes, messages, rendering, value
+/// access, and the check-on-misuse semantics.
+
+#include "ppref/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppref {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status invalid = Status::InvalidArgument("bad pattern");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(invalid.message(), "bad pattern");
+  EXPECT_EQ(Status::DeadlineExceeded("").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::InvalidArgument("a"), Status::InvalidArgument("b"));
+  EXPECT_NE(Status::InvalidArgument("a"), Status::Cancelled("a"));
+  EXPECT_EQ(Status(), Status::Ok());
+}
+
+TEST(StatusTest, ToStringNamesTheCode) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DEADLINE_EXCEEDED: too slow");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  const StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result = Status::DeadlineExceeded("dp stopped");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.status().message(), "dp stopped");
+}
+
+TEST(StatusOrTest, MovesValueOut) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  const std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowReachesMembers) {
+  const StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  const StatusOr<int> result = Status::Internal("boom");
+  EXPECT_DEATH((void)result.value(), "value\\(\\) on error");
+}
+
+TEST(StatusOrDeathTest, ConstructionFromOkStatusAborts) {
+  EXPECT_DEATH((void)StatusOr<int>(Status::Ok()), "carry a value");
+}
+
+}  // namespace
+}  // namespace ppref

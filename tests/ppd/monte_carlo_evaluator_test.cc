@@ -39,5 +39,24 @@ TEST(MonteCarloEvaluatorTest, DeterministicQueriesAreExact) {
   EXPECT_DOUBLE_EQ(estimate.std_error, 0.0);
 }
 
+TEST(MonteCarloEvaluatorTest, SeededOverloadIsThreadCountInvariant) {
+  // `threads == 0` means auto (ClampThreads) and the blocked decomposition
+  // keeps the estimate identical across thread counts.
+  const RimPpd ppd = ElectionPpd();
+  const auto q1 = ppref::testing::ParsePaperQuery(ppref::testing::kQ1);
+  infer::McOptions serial;
+  serial.samples = 4000;
+  serial.seed = 17;
+  serial.threads = 1;
+  infer::McOptions automatic = serial;
+  automatic.threads = 0;
+  const auto a = EstimateBoolean(ppd, q1, serial);
+  const auto b = EstimateBoolean(ppd, q1, automatic);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.std_error, b.std_error);
+  const double exact = EvaluateBoolean(ppd, q1);
+  EXPECT_NEAR(a.estimate, exact, 5 * a.std_error + 1e-2);
+}
+
 }  // namespace
 }  // namespace ppref::ppd

@@ -1,16 +1,20 @@
 /// \file lru_cache_test.cc
 /// \brief Sharded LRU semantics: hit/miss accounting, eviction order,
-/// recency refresh, first-write-wins, and a multi-threaded stress test
-/// (run under TSan by scripts/check.sh).
+/// recency refresh, first-write-wins, single-flight fills, and
+/// multi-threaded stress tests (run under TSan by scripts/check.sh).
 
 #include "ppref/serve/lru_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "ppref/common/deadline.h"
 
 namespace ppref::serve {
 namespace {
@@ -78,6 +82,97 @@ TEST(ServeLruCacheTest, ClearResetsEntriesAndCounters) {
   EXPECT_EQ(cache.Get(1), nullptr);
   EXPECT_EQ(cache.stats().hits, 0u);
   EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ServeLruCacheTest, GetOrComputeFillsAndThenHits) {
+  ShardedLruCache<int> cache(/*capacity=*/4, /*shards=*/1);
+  unsigned computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return Boxed(99);
+  };
+  EXPECT_EQ(*cache.GetOrCompute(5, compute), 99);
+  EXPECT_EQ(*cache.GetOrCompute(5, compute), 99);
+  EXPECT_EQ(computes, 1u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ServeLruCacheTest, SingleFlightComputesOnceUnderMissStorm) {
+  // Regression for the Get-then-Put window: N threads miss the same cold
+  // key at once. The compute callback blocks until every thread has
+  // arrived, so under the old racy scheme all N would be inside their own
+  // compute — single-flight must admit exactly one.
+  ShardedLruCache<int> cache(/*capacity=*/4, /*shards=*/1);
+  constexpr unsigned kThreads = 8;
+  std::atomic<unsigned> arrived{0};
+  std::atomic<unsigned> computes{0};
+  std::vector<std::thread> pool;
+  std::vector<int> values(kThreads, 0);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      arrived.fetch_add(1);
+      values[t] = *cache.GetOrCompute(7, [&] {
+        // Every other thread has either registered as a waiter on this
+        // flight or will hit the finished entry — none of them computes.
+        while (arrived.load() < kThreads) std::this_thread::yield();
+        computes.fetch_add(1);
+        return Boxed(70);
+      });
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_EQ(computes.load(), 1u);
+  for (int value : values) EXPECT_EQ(value, 70);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // only the computing thread
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_LE(stats.insertions, stats.misses);
+}
+
+TEST(ServeLruCacheTest, FailedComputeDissolvesFlightAndRetries) {
+  ShardedLruCache<int> cache(/*capacity=*/4, /*shards=*/1);
+  EXPECT_THROW(cache.GetOrCompute(3,
+                                  []() -> std::shared_ptr<const int> {
+                                    throw std::runtime_error("compile failed");
+                                  }),
+               std::runtime_error);
+  // The key is not poisoned: the next caller computes fresh.
+  EXPECT_EQ(*cache.GetOrCompute(3, [] { return Boxed(30); }), 30);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ServeLruCacheTest, WaiterHonorsDeadlineAndCancellation) {
+  ShardedLruCache<int> cache(/*capacity=*/4, /*shards=*/1);
+  std::atomic<bool> computing{false};
+  std::atomic<bool> release{false};
+  std::thread computer([&] {
+    cache.GetOrCompute(11, [&] {
+      computing.store(true);
+      while (!release.load()) std::this_thread::yield();
+      return Boxed(110);
+    });
+  });
+  while (!computing.load()) std::this_thread::yield();
+  // The flight is in progress; a waiter with an expired deadline must not
+  // block behind it.
+  const Deadline expired = Deadline::After(0);
+  EXPECT_THROW(cache.GetOrCompute(
+                   11, [] { return Boxed(0); }, &expired),
+               DeadlineExceededError);
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_THROW(cache.GetOrCompute(
+                   11, [] { return Boxed(0); }, nullptr, &token),
+               CancelledError);
+  release.store(true);
+  computer.join();
+  // The computer's fill still landed.
+  EXPECT_EQ(*cache.GetOrCompute(11, [] { return Boxed(0); }), 110);
 }
 
 TEST(ServeLruCacheTest, ConcurrentHitMissStress) {

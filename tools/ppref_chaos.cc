@@ -1,0 +1,271 @@
+/// \file ppref_chaos.cc
+/// \brief Chaos driver for the fault-tolerant serving pipeline: streams a
+/// synthetic trace through a `serve::Server` configured with deadlines,
+/// admission limits, and (optionally) Monte-Carlo degradation, while — in
+/// `PPREF_FAULT_INJECTION` builds — arming deterministic faults (slow plan
+/// compiles, forced cache misses, mid-DP stops). Reports the terminal-status
+/// mix and batch latency percentiles, and exits nonzero if any request ends
+/// in a status outside the fault-tolerance contract.
+///
+/// Usage:
+///   ppref_chaos [--requests N] [--unique U] [--batch B] [--seed S]
+///               [--threads T] [--max-in-flight N] [--deadline-us D]
+///               [--degrade 0|1] [--degraded-samples N]
+///               [--plan-delay-us D] [--dp-kill-every N] [--force-plan-miss 0|1]
+///
+/// The three injection flags require a build with -DPPREF_FAULT_INJECTION=ON;
+/// otherwise they warn and are ignored (deadline and shedding chaos still
+/// apply — those are production features, not injection).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ppref/common/fault_injection.h"
+#include "ppref/common/random.h"
+#include "ppref/common/status.h"
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/labeling.h"
+#include "ppref/infer/pattern.h"
+#include "ppref/rim/mallows.h"
+#include "ppref/rim/ranking.h"
+#include "ppref/serve/server.h"
+
+namespace {
+
+using namespace ppref;
+
+struct Options {
+  std::size_t requests = 2000;
+  std::size_t unique = 16;
+  std::size_t batch = 256;
+  std::uint64_t seed = 1;
+  std::uint64_t deadline_us = 0;
+  std::uint64_t plan_delay_us = 0;
+  std::uint32_t dp_kill_every = 0;
+  bool force_plan_miss = false;
+  serve::ServerOptions server;
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [--requests N] [--unique U] [--batch B] [--seed S]\n"
+      "          [--threads T] [--max-in-flight N] [--deadline-us D]\n"
+      "          [--degrade 0|1] [--degraded-samples N]\n"
+      "          [--plan-delay-us D] [--dp-kill-every N] [--force-plan-miss 0|1]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    const unsigned long long value = std::strtoull(argv[++i], nullptr, 10);
+    if (flag == "--requests") {
+      options.requests = value;
+    } else if (flag == "--unique") {
+      options.unique = value;
+    } else if (flag == "--batch") {
+      options.batch = value;
+    } else if (flag == "--seed") {
+      options.seed = value;
+    } else if (flag == "--threads") {
+      options.server.threads = static_cast<unsigned>(value);
+    } else if (flag == "--max-in-flight") {
+      options.server.max_in_flight = value;
+    } else if (flag == "--deadline-us") {
+      options.deadline_us = value;
+    } else if (flag == "--degrade") {
+      options.server.degradation =
+          value != 0 ? serve::ServerOptions::Degradation::kMonteCarlo
+                     : serve::ServerOptions::Degradation::kNone;
+    } else if (flag == "--degraded-samples") {
+      options.server.degraded_samples = static_cast<unsigned>(value);
+    } else if (flag == "--plan-delay-us") {
+      options.plan_delay_us = value;
+    } else if (flag == "--dp-kill-every") {
+      options.dp_kill_every = static_cast<std::uint32_t>(value);
+    } else if (flag == "--force-plan-miss") {
+      options.force_plan_miss = value != 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (options.requests == 0 || options.unique == 0 || options.batch == 0) {
+    std::fprintf(stderr, "--requests, --unique, --batch must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+void ArmFaults(const Options& options) {
+#ifdef PPREF_FAULT_INJECTION
+  FaultInjection& faults = FaultInjection::Instance();
+  faults.Reset();
+  faults.plan_compile_delay_ns.store(options.plan_delay_us * 1000);
+  faults.deadline_every_n_dp_steps.store(options.dp_kill_every);
+  faults.force_plan_cache_miss.store(options.force_plan_miss);
+#else
+  if (options.plan_delay_us != 0 || options.dp_kill_every != 0 ||
+      options.force_plan_miss) {
+    std::fprintf(stderr,
+                 "warning: injection flags ignored (build with "
+                 "-DPPREF_FAULT_INJECTION=ON to use them)\n");
+  }
+#endif
+}
+
+/// The unique pool: labeled Mallows models with chain patterns, same shape
+/// as the ppref_serve trace generator.
+struct Workload {
+  std::vector<infer::LabeledRimModel> models;
+  std::vector<infer::LabelPattern> patterns;
+};
+
+Workload MakeWorkload(std::size_t unique) {
+  Workload workload;
+  workload.models.reserve(unique);
+  workload.patterns.reserve(unique);
+  for (std::size_t i = 0; i < unique; ++i) {
+    const unsigned m = 12 + static_cast<unsigned>(i % 4) * 4;
+    const unsigned k = 2 + static_cast<unsigned>(i % 2);
+    const double phi =
+        0.3 + 0.6 * static_cast<double>(i) / static_cast<double>(unique);
+    infer::ItemLabeling labeling(m);
+    for (unsigned item = 0; item < m; ++item) {
+      labeling.AddLabel(item, item % (k + 1));
+    }
+    workload.models.emplace_back(
+        rim::MallowsModel(rim::Ranking::Identity(m), phi).rim(),
+        std::move(labeling));
+    infer::LabelPattern pattern;
+    for (infer::LabelId label = 0; label < k; ++label) pattern.AddNode(label);
+    for (unsigned e = 0; e + 1 < k; ++e) pattern.AddEdge(e, e + 1);
+    workload.patterns.push_back(std::move(pattern));
+  }
+  return workload;
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, options)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  ArmFaults(options);
+
+  const Workload workload = MakeWorkload(options.unique);
+  Rng rng(options.seed);
+  std::vector<serve::Request> trace(options.requests);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    std::size_t pair = rng.NextIndex(options.unique);
+    if (rng.NextUnit() < 0.5) pair /= 2;
+    trace[i].kind = (i % 4 == 3) ? serve::Request::Kind::kTopMatching
+                                 : serve::Request::Kind::kPatternProb;
+    trace[i].model = &workload.models[pair];
+    trace[i].pattern = &workload.patterns[pair];
+    trace[i].control.deadline_ns = options.deadline_us * 1000;
+  }
+
+  serve::Server server(options.server);
+  std::vector<std::uint64_t> status_counts(6, 0);
+  std::size_t approximate = 0;
+  std::size_t off_contract = 0;
+  std::vector<double> batch_ms;
+  for (std::size_t begin = 0; begin < options.requests;
+       begin += options.batch) {
+    const std::size_t end = std::min(begin + options.batch, options.requests);
+    const std::vector<serve::Request> batch(trace.begin() + begin,
+                                            trace.begin() + end);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<serve::Response> responses = server.EvaluateBatch(batch);
+    batch_ms.push_back(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+    for (const serve::Response& response : responses) {
+      ++status_counts[static_cast<std::size_t>(response.status.code())];
+      if (response.approximate) ++approximate;
+      // The contract: every request terminal, and only the operational
+      // codes — an invalid or internal status under this well-formed trace
+      // means the pipeline misbehaved.
+      switch (response.status.code()) {
+        case StatusCode::kOk:
+        case StatusCode::kDeadlineExceeded:
+        case StatusCode::kResourceExhausted:
+        case StatusCode::kCancelled:
+          break;
+        default:
+          ++off_contract;
+      }
+    }
+  }
+
+  std::printf("ppref_chaos: %zu requests over %zu unique pairs, batch=%zu, "
+              "deadline=%lluus, degrade=%s\n",
+              options.requests, options.unique, options.batch,
+              static_cast<unsigned long long>(options.deadline_us),
+              options.server.degradation ==
+                      serve::ServerOptions::Degradation::kMonteCarlo
+                  ? "mc"
+                  : "off");
+#ifdef PPREF_FAULT_INJECTION
+  std::printf("injection: plan-delay=%lluus dp-kill-every=%u "
+              "force-plan-miss=%d (plan compiles=%llu, dp steps=%llu)\n",
+              static_cast<unsigned long long>(options.plan_delay_us),
+              options.dp_kill_every, options.force_plan_miss ? 1 : 0,
+              static_cast<unsigned long long>(
+                  FaultInjection::Instance().plan_compiles.load()),
+              static_cast<unsigned long long>(
+                  FaultInjection::Instance().dp_steps.load()));
+#endif
+  std::printf("\n");
+  for (std::size_t code = 0; code < status_counts.size(); ++code) {
+    if (status_counts[code] == 0) continue;
+    std::printf("%-20s %12llu\n", StatusCodeName(static_cast<StatusCode>(code)),
+                static_cast<unsigned long long>(status_counts[code]));
+  }
+  std::printf("%-20s %12zu\n", "approximate", approximate);
+
+  std::sort(batch_ms.begin(), batch_ms.end());
+  std::printf("\nbatch latency [ms]   p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+              Percentile(batch_ms, 0.50), Percentile(batch_ms, 0.95),
+              Percentile(batch_ms, 0.99),
+              batch_ms.empty() ? 0.0 : batch_ms.back());
+  const serve::ServerStats stats = server.stats();
+  std::printf("shed=%llu invalid=%llu deadline=%llu cancelled=%llu "
+              "degraded=%llu internal=%llu\n",
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.invalid),
+              static_cast<unsigned long long>(stats.deadline_exceeded),
+              static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(stats.degraded),
+              static_cast<unsigned long long>(stats.internal_errors));
+
+  if (off_contract != 0) {
+    std::fprintf(stderr, "\n%zu responses outside the status contract\n",
+                 off_contract);
+    return 1;
+  }
+  std::printf("\nall %zu requests reached a terminal in-contract status\n",
+              options.requests);
+  return 0;
+}
