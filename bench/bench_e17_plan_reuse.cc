@@ -289,13 +289,15 @@ int main() {
     std::fprintf(json,
                  "{\n"
                  "  \"experiment\": \"e17_plan_reuse\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"utc_date\": \"%s\",\n"
                  "  \"m\": %u,\n  \"k\": %u,\n  \"candidates\": %zu,\n"
                  "  \"seed_ms\": %.3f,\n  \"no_reuse_ms\": %.3f,\n"
                  "  \"reuse_ms\": %.3f,\n  \"parallel_ms\": %.3f,\n"
                  "  \"threads\": %u,\n  \"speedup_vs_seed\": %.3f,\n"
                  "  \"parallel_bit_identical\": %s\n"
                  "}\n",
-                 m, k, candidates.size(), seed_ms, no_reuse_ms, reuse_ms,
+                 GitSha().c_str(), UtcDate().c_str(), m, k, candidates.size(),
+                 seed_ms, no_reuse_ms, reuse_ms,
                  parallel_ms, parallel_options.threads, seed_ms / reuse_ms,
                  bit_identical ? "true" : "false");
     std::fclose(json);

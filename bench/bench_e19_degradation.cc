@@ -197,6 +197,7 @@ int main() {
         json,
         "{\n"
         "  \"experiment\": \"e19_degradation\",\n"
+        "  \"git_sha\": \"%s\",\n  \"utc_date\": \"%s\",\n"
         "  \"trace_len\": %zu,\n  \"unique_pairs\": %zu,\n"
         "  \"deadline_ms\": %.3f,\n"
         "  \"exact\": {\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
@@ -211,7 +212,8 @@ int main() {
         "  \"shedding\": {\"batch\": %zu, \"max_in_flight\": %zu, "
         "\"shed\": %llu, \"hints_on_all\": %s}\n"
         "}\n",
-        kLength, kUnique, median_ms, Percentile(exact.latency_ms, 0.50),
+        GitSha().c_str(), UtcDate().c_str(), kLength, kUnique, median_ms,
+        Percentile(exact.latency_ms, 0.50),
         Percentile(exact.latency_ms, 0.95), Percentile(exact.latency_ms, 0.99),
         exact.latency_ms.back(), static_cast<unsigned long long>(exact.ok),
         Percentile(hard.latency_ms, 0.50), Percentile(hard.latency_ms, 0.95),

@@ -155,13 +155,15 @@ int main() {
     std::fprintf(json,
                  "{\n"
                  "  \"experiment\": \"e18_serve_cache\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"utc_date\": \"%s\",\n"
                  "  \"trace_len\": %zu,\n  \"unique_pairs\": %zu,\n"
                  "  \"batch_size\": %zu,\n  \"repeat_fraction\": %.3f,\n"
                  "  \"serial_ms\": %.3f,\n  \"cold_ms\": %.3f,\n"
                  "  \"warm_ms\": %.3f,\n  \"warm_speedup_vs_cold\": %.2f,\n"
                  "  \"deduped\": %llu,\n  \"bit_identical\": %s\n"
                  "}\n",
-                 kLength, kUnique, kBatch, repeat_fraction, serial_ms, cold_ms,
+                 GitSha().c_str(), UtcDate().c_str(), kLength, kUnique, kBatch,
+                 repeat_fraction, serial_ms, cold_ms,
                  warm_ms, cold_ms / warm_ms,
                  static_cast<unsigned long long>(stats.batch_deduped),
                  bit_identical ? "true" : "false");

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <functional>
 #include <string>
 #include <vector>
@@ -90,6 +91,36 @@ inline infer::LabeledRimModel LabeledMallows(unsigned m, double phi,
 
 inline void PrintHeader(const std::string& id, const std::string& title) {
   std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/// The short git SHA of the working tree, or "unknown" outside a checkout —
+/// stamped into the BENCH_*.json files so a result can be tied back to the
+/// exact commit it measured.
+inline std::string GitSha() {
+  std::string sha = "unknown";
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buffer[64];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      std::string line = buffer;
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) sha = line;
+    }
+    pclose(pipe);
+  }
+  return sha;
+}
+
+/// The current UTC date-time as "YYYY-MM-DDTHH:MM:SSZ".
+inline std::string UtcDate() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
 }
 
 }  // namespace ppref::bench

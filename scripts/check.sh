@@ -3,13 +3,15 @@
 #   1. ASan+UBSan build of the library, tests, and benches; run the full
 #      tier-1 test suite under it.
 #   2. TSan build (thread sanitizer is incompatible with ASan, so it is a
-#      separate tree); run the concurrent serve-layer suites (`Serve*`) —
-#      the tests that exercise cross-thread synchronization directly.
+#      separate tree); run the concurrent serve-layer and obs suites
+#      (`Serve*` / `Obs*`) — the tests that exercise cross-thread
+#      synchronization directly (batch fan-out, sharded caches, the metric
+#      shard merge, the trace ring).
 #   3. TSan + fault-injection build (PPREF_FAULT_INJECTION=ON compiles the
-#      chaos hooks into the hot paths); re-run the serve suites, which now
+#      chaos hooks into the hot paths); re-run the same suites, which now
 #      include the chaos tests (miss storms, slow plans, mid-DP stops).
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all), so a
-# green ctest means clean.
+# green ctest means clean. Each stage prints its wall-clock on completion.
 #
 # Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir] [chaos-build-dir]
 #        (defaults: build-sanitize, build-tsan, build-chaos)
@@ -20,17 +22,26 @@ BUILD_DIR="${1:-build-sanitize}"
 TSAN_DIR="${2:-build-tsan}"
 CHAOS_DIR="${3:-build-chaos}"
 
+STAGE_START=$SECONDS
+stage_done() {  # stage_done NAME — print the stage's wall-clock and reset
+  echo "== check.sh: stage '$1' took $((SECONDS - STAGE_START))s =="
+  STAGE_START=$SECONDS
+}
+
 cmake -B "$BUILD_DIR" -S . -DPPREF_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+stage_done "asan+ubsan full suite"
 
 cmake -B "$TSAN_DIR" -S . -DPPREF_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test
-ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve'
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test --target obs_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs'
+stage_done "tsan serve+obs"
 
 cmake -B "$CHAOS_DIR" -S . -DPPREF_SANITIZE=thread -DPPREF_FAULT_INJECTION=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
-cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test
-ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve'
+cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test --target obs_test
+ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs'
+stage_done "tsan+chaos serve+obs"

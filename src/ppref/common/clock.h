@@ -1,0 +1,32 @@
+/// \file clock.h
+/// \brief The one monotonic nanosecond clock every timing site reads.
+///
+/// Latency accounting only makes sense when every timestamp comes from the
+/// same clock: deadlines (`deadline.h`), the serve layer's compile/execute
+/// timers, and the `obs` span timelines must be mutually comparable, and
+/// none of them may move when the wall clock is adjusted. This header pins
+/// all of them to `std::chrono::steady_clock`, expressed as nanoseconds
+/// since the (arbitrary) clock epoch — durations are meaningful, absolute
+/// values are not.
+
+#ifndef PPREF_COMMON_CLOCK_H_
+#define PPREF_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ppref {
+
+/// Nanoseconds on the monotonic clock. Comparable and subtractable with any
+/// other MonotonicNowNs() reading in this process; never affected by
+/// wall-clock adjustments.
+inline std::uint64_t MonotonicNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_CLOCK_H_

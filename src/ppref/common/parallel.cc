@@ -59,8 +59,9 @@ void ParallelForWorkers(
 }
 
 unsigned DefaultThreadCount() {
-  const unsigned hardware = std::thread::hardware_concurrency();
-  return std::max(1u, std::min(hardware, 8u));
+  // Delegate the hardware probe to ClampThreads — the single clamping
+  // point — and keep only the historical cap of 8 here.
+  return std::min(ClampThreads(0), 8u);
 }
 
 unsigned ClampThreads(unsigned requested) {

@@ -1,0 +1,90 @@
+/// \file ring_buffer.h
+/// \brief A bounded, thread-safe overwrite-oldest ring buffer.
+///
+/// The retention policy of every "keep the last N events" surface (request
+/// traces, incident logs): writers never block on a full buffer and never
+/// allocate after construction — the N-th-oldest entry is simply
+/// overwritten. Reads copy the current contents oldest-first.
+///
+/// Synchronization is a single mutex. That is deliberate: the intended
+/// producers are *sampled* (a few percent of requests publish a trace), so
+/// the lock is uncontended in practice, and a mutex keeps the structure
+/// trivially correct under TSan where a lock-free multi-producer ring would
+/// need seqlock-style slot versioning for no measurable win.
+
+#ifndef PPREF_COMMON_RING_BUFFER_H_
+#define PPREF_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ppref {
+
+/// Fixed-capacity ring holding the most recent `capacity()` pushed values.
+template <typename T>
+class BoundedRing {
+ public:
+  /// `capacity` is clamped to at least 1 (a zero-capacity ring would turn
+  /// every Push into a silent drop, which is never what a caller means).
+  explicit BoundedRing(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  /// Appends `value`, overwriting the oldest entry when full.
+  void Push(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[next_] = std::move(value);
+    next_ = (next_ + 1) % slots_.size();
+    if (count_ < slots_.size()) ++count_;
+    ++total_;
+  }
+
+  /// The current contents, oldest first.
+  std::vector<T> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<T> out;
+    out.reserve(count_);
+    const std::size_t begin = (next_ + slots_.size() - count_) % slots_.size();
+    for (std::size_t i = 0; i < count_; ++i) {
+      out.push_back(slots_[(begin + i) % slots_.size()]);
+    }
+    return out;
+  }
+
+  /// Drops all retained entries (the lifetime total keeps counting).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ = 0;
+    next_ = 0;
+  }
+
+  /// Entries currently retained (<= capacity()).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  /// Entries ever pushed, including the overwritten ones.
+  std::uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<T> slots_;
+  std::size_t next_ = 0;   // slot the next Push writes
+  std::size_t count_ = 0;  // live entries
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_RING_BUFFER_H_

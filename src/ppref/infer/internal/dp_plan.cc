@@ -4,10 +4,57 @@
 
 #include "ppref/common/check.h"
 #include "ppref/common/fault_injection.h"
+#include "ppref/obs/metrics.h"
 
 namespace ppref::infer::internal {
 
 using rim::ItemId;
+
+namespace {
+
+/// Process-wide DP workload counters. The scan loop accumulates into plain
+/// locals; one flush per γ-run publishes them — three relaxed atomic adds
+/// per run, nothing per state. Exception-safe (a deadline unwinding through
+/// RunCore still publishes the work it did, which is exactly what a "where
+/// did the cycles go" dashboard wants to see).
+struct DpCounters {
+  obs::Counter& runs;
+  obs::Counter& steps;
+  obs::Counter& states;
+  obs::Counter& plans;
+};
+
+DpCounters& GlobalDpCounters() {
+  static DpCounters* counters = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    return new DpCounters{
+        registry.GetCounter("ppref_infer_dp_runs_total",
+                            "Per-candidate-matching DP executions"),
+        registry.GetCounter("ppref_infer_dp_steps_total",
+                            "Reference-scan steps executed across all DP runs"),
+        registry.GetCounter(
+            "ppref_infer_dp_states_total",
+            "Packed DP states expanded across all DP scan steps"),
+        registry.GetCounter("ppref_infer_plans_compiled_total",
+                            "DpPlan compilations (gamma-independent prefix)"),
+    };
+  }();
+  return *counters;
+}
+
+struct ScopedDpAccounting {
+  std::uint64_t steps = 0;
+  std::uint64_t states = 0;
+
+  ~ScopedDpAccounting() {
+    DpCounters& counters = GlobalDpCounters();
+    counters.runs.Inc();
+    if (steps != 0) counters.steps.Inc(steps);
+    if (states != 0) counters.states.Inc(states);
+  }
+};
+
+}  // namespace
 
 DpPlan::DpPlan(const LabeledRimModel& model, const LabelPattern& pattern,
                std::vector<LabelId> tracked)
@@ -19,6 +66,7 @@ DpPlan::DpPlan(const LabeledRimModel& model, const LabelPattern& pattern,
       tracked_count_(static_cast<unsigned>(tracked_.size())),
       state_size_(k_ + 2 * tracked_count_),
       acyclic_(pattern.IsAcyclic()) {
+  GlobalDpCounters().plans.Inc();
   PPREF_CHECK_MSG(m_ < kUnsetPosition, "model too large for 16-bit positions");
   if (!acyclic_) return;  // every run returns 0; nothing else is needed
   reach_ = pattern.Reachability();
@@ -98,6 +146,8 @@ void DpPlan::DecodeTracked(const std::uint16_t* state, Scratch& scratch) const {
 bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
                      const RunControl* control) const {
   PPREF_CHECK(gamma.size() == k_);
+  // Accumulates locally, publishes once on scope exit (including unwinds).
+  ScopedDpAccounting accounting;
   if (!acyclic_) return false;
   // Amortized stop polling: one clock read per ~1024 state-table entries,
   // so an expired deadline stops the scan within microseconds of holding.
@@ -208,6 +258,8 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
   // --- Main scan over reference items (Fig. 5 / Fig. 6 main loop).
   for (unsigned t = 0; t < m_; ++t) {
     PPREF_FAULT_DP_STEP();
+    ++accounting.steps;
+    accounting.states += current.size();
     const ItemId item = ref.At(t);
     // Pending = distinct placeholders not yet scanned (reference step > t).
     scratch.pending_reps_.clear();

@@ -1,0 +1,178 @@
+#include "ppref/obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ppref::obs {
+namespace {
+
+void Append(std::string& out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) {
+    out.append(buffer,
+               std::min<std::size_t>(static_cast<std::size_t>(written),
+                                     sizeof(buffer) - 1));
+  }
+}
+
+/// Escapes a HELP string per the text format (backslash and newline).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const char* TypeName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void RenderHistogramPrometheus(std::string& out, const MetricSample& sample) {
+  const HistogramData& data = sample.histogram;
+  // Cumulative buckets. Empty buckets below occupied ones still matter for
+  // the cumulative reading, but emitting all 39 per histogram would bloat
+  // the scrape; the standard trick is to emit a bucket only when its
+  // cumulative count changes, plus the mandatory +Inf bucket.
+  std::uint64_t cumulative = 0;
+  std::uint64_t emitted = 0;
+  for (unsigned i = 0; i + 1 < data.buckets.size(); ++i) {
+    cumulative += data.buckets[i];
+    if (cumulative == emitted) continue;
+    emitted = cumulative;
+    Append(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+           sample.name.c_str(), Histogram::BucketUpperBound(i), cumulative);
+  }
+  Append(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", sample.name.c_str(),
+         data.count);
+  Append(out, "%s_sum %" PRIu64 "\n", sample.name.c_str(), data.sum);
+  Append(out, "%s_count %" PRIu64 "\n", sample.name.c_str(), data.count);
+}
+
+void AppendJsonHistogram(std::string& out, const HistogramData& data) {
+  Append(out,
+         "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"max\": %" PRIu64
+         ", \"p50\": %" PRIu64 ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64
+         ", \"buckets\": {",
+         data.count, data.sum, data.max, data.Quantile(0.50),
+         data.Quantile(0.95), data.Quantile(0.99));
+  bool first = true;
+  for (unsigned i = 0; i < data.buckets.size(); ++i) {
+    if (data.buckets[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    if (i + 1 == data.buckets.size()) {
+      Append(out, "\"+Inf\": %" PRIu64, data.buckets[i]);
+    } else {
+      Append(out, "\"%" PRIu64 "\": %" PRIu64, Histogram::BucketUpperBound(i),
+             data.buckets[i]);
+    }
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (!sample.help.empty()) {
+      Append(out, "# HELP %s %s\n", sample.name.c_str(),
+             EscapeHelp(sample.help).c_str());
+    }
+    Append(out, "# TYPE %s %s\n", sample.name.c_str(), TypeName(sample.kind));
+    switch (sample.kind) {
+      case InstrumentKind::kCounter:
+        Append(out, "%s %" PRIu64 "\n", sample.name.c_str(),
+               sample.counter_value);
+        break;
+      case InstrumentKind::kGauge:
+        Append(out, "%s %" PRId64 "\n", sample.name.c_str(),
+               sample.gauge_value);
+        break;
+      case InstrumentKind::kHistogram: {
+        RenderHistogramPrometheus(out, sample);
+        // The exact maximum as a companion gauge (see file comment).
+        const std::string max_name = sample.name + "_max";
+        Append(out, "# TYPE %s gauge\n", max_name.c_str());
+        Append(out, "%s %" PRIu64 "\n", max_name.c_str(),
+               sample.histogram.max);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\": {";
+  bool first = true;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (!first) out += ", ";
+    first = false;
+    Append(out, "\"%s\": ", sample.name.c_str());
+    switch (sample.kind) {
+      case InstrumentKind::kCounter:
+        Append(out, "%" PRIu64, sample.counter_value);
+        break;
+      case InstrumentKind::kGauge:
+        Append(out, "%" PRId64, sample.gauge_value);
+        break;
+      case InstrumentKind::kHistogram:
+        AppendJsonHistogram(out, sample.histogram);
+        break;
+    }
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string RenderTracesJson(const std::vector<TraceRecord>& records) {
+  std::string out = "{\"traces\": [";
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const TraceRecord& record = records[r];
+    if (r != 0) out += ", ";
+    Append(out,
+           "\n  {\"fingerprint\": \"%016" PRIx64 "\", \"total_ns\": %" PRIu64
+           ", \"status\": %u, \"approximate\": %s, \"cache_hit\": %s, "
+           "\"stages\": {",
+           record.fingerprint, record.TotalNs(),
+           static_cast<unsigned>(record.status_code),
+           record.approximate ? "true" : "false",
+           record.cache_hit ? "true" : "false");
+    bool first = true;
+    for (unsigned s = 0; s < kStageCount; ++s) {
+      if (record.stage_ns[s] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      Append(out, "\"%s\": %" PRIu64, StageName(static_cast<Stage>(s)),
+             record.stage_ns[s]);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace ppref::obs

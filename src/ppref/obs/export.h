@@ -1,0 +1,47 @@
+/// \file export.h
+/// \brief `ppref::obs` — exposition: rendering a MetricsSnapshot as
+/// Prometheus text format or JSON, and trace records as JSON.
+///
+/// ## Prometheus text format
+/// The output follows the text exposition format version 0.0.4: per metric
+/// a `# HELP` line (when help text exists), a `# TYPE` line, then the
+/// samples. Histograms render the standard triplet — cumulative
+/// `<name>_bucket{le="..."}` series ending in `le="+Inf"`, `<name>_sum`,
+/// `<name>_count` — plus a companion gauge `<name>_max` (the exact tracked
+/// maximum, which the bucket scheme cannot express; it is a separate,
+/// well-formed metric so standard scrapers ingest it untouched). Counter
+/// names are expected to carry their conventional `_total` suffix already;
+/// the renderer does not add one.
+///
+/// ## JSON
+/// The JSON dump is for humans and scripts (`ppref_top`, test assertions):
+/// counters and gauges as numbers, histograms as an object with count /
+/// sum / max / p50 / p95 / p99 and the non-empty buckets. Trace records
+/// dump as an array of objects with per-stage nanoseconds.
+///
+/// All renderers read only snapshot structs — no locks, no registry access
+/// — so they can run on a scrape thread while writers keep publishing.
+
+#ifndef PPREF_OBS_EXPORT_H_
+#define PPREF_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "ppref/obs/metrics.h"
+#include "ppref/obs/trace.h"
+
+namespace ppref::obs {
+
+/// Prometheus text exposition of every sample in the snapshot.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON object {"metrics": {name: value-or-histogram-object, ...}}.
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+/// JSON array of trace records, oldest first.
+std::string RenderTracesJson(const std::vector<TraceRecord>& records);
+
+}  // namespace ppref::obs
+
+#endif  // PPREF_OBS_EXPORT_H_

@@ -1,0 +1,171 @@
+#include "ppref/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "ppref/common/check.h"
+
+namespace ppref::obs {
+
+unsigned ThisThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+unsigned Histogram::BucketIndex(std::uint64_t value) {
+  // bit_width(0) == 0, so bucket 0 holds exactly the value 0 and finite
+  // bucket i > 0 holds [2^(i-1), 2^i - 1].
+  return std::min<unsigned>(static_cast<unsigned>(std::bit_width(value)),
+                            kBucketCount - 1);
+}
+
+std::uint64_t Histogram::BucketUpperBound(unsigned index) {
+  if (index + 1 >= kBucketCount) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void Histogram::RecordMany(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[BucketIndex(value)].fetch_add(n, std::memory_order_relaxed);
+  shard.count.fetch_add(n, std::memory_order_relaxed);
+  shard.sum.fetch_add(value * n, std::memory_order_relaxed);
+  // Max: usually a single relaxed load and no store; the CAS loop only runs
+  // while this sample actually raises the shard maximum.
+  std::uint64_t seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen && !shard.max.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  data.buckets.assign(kBucketCount, 0);
+  for (const Shard& shard : shards_) {
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+      data.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    data.count += shard.count.load(std::memory_order_relaxed);
+    data.sum += shard.sum.load(std::memory_order_relaxed);
+    data.max = std::max(data.max, shard.max.load(std::memory_order_relaxed));
+  }
+  return data;
+}
+
+std::uint64_t HistogramData::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile among the sorted samples, 1-based.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (unsigned i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // The bucket bound over-estimates within the bucket; the tracked max
+      // is a global exact cap (and the only bound the overflow bucket has).
+      return std::min(Histogram::BucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (unsigned i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  const std::string& help,
+                                                  InstrumentKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    entry.help = help;
+    switch (kind) {
+      case InstrumentKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case InstrumentKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case InstrumentKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else {
+    PPREF_CHECK_MSG(entry.kind == kind,
+                    "metric registered twice with different kinds");
+  }
+  return entry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return *GetEntry(name, help, InstrumentKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return *GetEntry(name, help, InstrumentKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  return *GetEntry(name, help, InstrumentKind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.samples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = entry.help;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        sample.counter_value = entry.counter->Value();
+        break;
+      case InstrumentKind::kGauge:
+        sample.gauge_value = entry.gauge->Value();
+        break;
+      case InstrumentKind::kHistogram:
+        sample.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+}  // namespace ppref::obs

@@ -1,0 +1,237 @@
+/// \file metrics.h
+/// \brief `ppref::obs` — the metrics half of the observability subsystem:
+/// a registry of named Counter / Gauge / Histogram instruments designed so
+/// the *hot path pays one relaxed atomic add per event*.
+///
+/// ## Why a subsystem
+/// The serve layer (PRs 3–4) answers millions of requests with deadlines,
+/// shedding, and Monte-Carlo degradation, but its only instrumentation was
+/// a struct of ad-hoc atomics — no latency distribution, no per-stage
+/// breakdown, no exposition format. `obs` is the missing layer: instruments
+/// live in a `MetricsRegistry`, hot paths update them wait-free, and a
+/// scrape (`Snapshot()` + `export.h`) aggregates everything into Prometheus
+/// text or JSON without ever stopping a writer.
+///
+/// ## Contention model
+/// `Counter` and `Histogram` are *thread-sharded*: each instrument owns a
+/// small fixed array of cache-line-aligned shards, and every thread is
+/// assigned one shard (round-robin at first touch). An update is a single
+/// `fetch_add(std::memory_order_relaxed)` on the thread's own shard — no
+/// CAS loops, no false sharing between worker threads hammering the same
+/// counter. A scrape sums the shards; the result is the usual monitoring
+/// consistency ("every event counted once; cross-shard skew of the few
+/// events in flight during the read"), which is exactly what relaxed
+/// counters can promise and all that dashboards need.
+///
+/// `Gauge` is a single atomic — gauges express *current level* (in-flight
+/// depth, cache size) and are typically written by Set from one place, so
+/// sharding would buy nothing and break Set semantics.
+///
+/// ## Histogram buckets
+/// Fixed log-scale (power-of-two) buckets: value v lands in the bucket of
+/// its bit width, i.e. bucket i spans [2^(i-1), 2^i - 1]. That covers the
+/// full nanosecond range 1 ns … ~4.5 min in 38 buckets with zero
+/// configuration, bucket selection is one `bit_width` instruction, and
+/// bucket upper bounds are exact binary numbers so quantile estimates are
+/// exact whenever the recorded values sit on bucket boundaries. Values
+/// beyond the last finite bucket land in the overflow bucket, whose
+/// reported quantile is the exact tracked maximum.
+///
+/// Instruments registered once are never destroyed until the registry is;
+/// holding `Counter&` across calls is the intended (and cheapest) usage.
+
+#ifndef PPREF_OBS_METRICS_H_
+#define PPREF_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppref::obs {
+
+/// Shards per sharded instrument. Sixteen covers the worker counts this
+/// code base ever runs (ClampThreads caps at hardware concurrency) while
+/// keeping an idle histogram's footprint a few KiB.
+inline constexpr unsigned kMetricShards = 16;
+
+/// The shard index of the calling thread: assigned round-robin on first
+/// touch, stable for the thread's lifetime, shared by every instrument (one
+/// thread-local, not one per instrument).
+unsigned ThisThreadShard();
+
+/// A monotone event counter. One relaxed add per Inc on the calling
+/// thread's shard.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(std::uint64_t n = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Monitoring-consistent, not linearizable.
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// A current-level instrument (in-flight depth, cache entries). Signed so
+/// transient Add/Sub interleavings can dip below zero without wrapping.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Aggregated histogram state: per-bucket counts plus count/sum/max, as
+/// summed over shards by a snapshot (or merged across snapshots).
+struct HistogramData {
+  /// kBucketCount entries; bucket i counts values of bit width i (see file
+  /// comment), the last bucket is the overflow bucket.
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  /// The q-quantile (q in [0, 1]) estimated from the bucket counts: the
+  /// inclusive upper bound of the bucket containing the ceil(q * count)-th
+  /// smallest value, clamped to the exact tracked maximum (so quantiles in
+  /// the overflow bucket — and q = 1 — are exact). Returns 0 on an empty
+  /// histogram.
+  std::uint64_t Quantile(double q) const;
+
+  /// Adds `other`'s buckets and totals into this (shard / snapshot merge).
+  void Merge(const HistogramData& other);
+};
+
+/// A fixed-bucket log-scale histogram of nonnegative 64-bit samples
+/// (latencies in ns, sizes in bytes). Thread-sharded like Counter.
+class Histogram {
+ public:
+  /// 38 finite power-of-two buckets (1 ns … ~2^37 ns ≈ 137 s as upper
+  /// bounds) plus the overflow bucket.
+  static constexpr unsigned kBucketCount = 39;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// The bucket `value` lands in: its bit width, clamped to the overflow
+  /// bucket. Bucket 0 holds only value 0.
+  static unsigned BucketIndex(std::uint64_t value);
+
+  /// Inclusive upper bound of finite bucket i (2^i - 1); the overflow
+  /// bucket has no finite bound and reports UINT64_MAX.
+  static std::uint64_t BucketUpperBound(unsigned index);
+
+  /// Records one sample: bucket add + sum add + count add on this thread's
+  /// shard, plus a relaxed max update (one compare, usually no write).
+  void Record(std::uint64_t value) { RecordMany(value, 1); }
+
+  /// Records `n` identical samples with the same per-event cost as one
+  /// (batch fan-outs observe one latency for n requests).
+  void RecordMany(std::uint64_t value, std::uint64_t n);
+
+  /// Sums the shards into an aggregated view.
+  HistogramData Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBucketCount] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+enum class InstrumentKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One instrument's scraped state.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::uint64_t counter_value = 0;  // kCounter
+  std::int64_t gauge_value = 0;     // kGauge
+  HistogramData histogram;          // kHistogram
+};
+
+/// A point-in-time scrape of a registry: samples sorted by name (the
+/// registration order is irrelevant, the exposition is deterministic).
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// The sample named `name`, or nullptr.
+  const MetricSample* Find(const std::string& name) const;
+};
+
+/// A named collection of instruments. Registration (GetX) takes a mutex;
+/// the returned references are valid for the registry's lifetime and their
+/// updates never lock. Re-getting an existing name returns the same
+/// instrument; requesting it as a different kind aborts (programmer error,
+/// same contract as PPREF_CHECK).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry: library-internal instruments (the DP
+  /// engine's step counters, the PPD evaluator's session counters) register
+  /// here so any embedder can scrape them.
+  static MetricsRegistry& Default();
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  /// Scrapes every instrument. Safe against concurrent registration and
+  /// concurrent updates (monitoring consistency).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    InstrumentKind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(const std::string& name, const std::string& help,
+                  InstrumentKind kind);
+
+  mutable std::mutex mutex_;
+  // std::map: Snapshot() iterates in name order for free.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ppref::obs
+
+#endif  // PPREF_OBS_METRICS_H_

@@ -1,0 +1,47 @@
+#include "ppref/obs/trace.h"
+
+namespace ppref::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kDedupFold:
+      return "dedup_fold";
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kPlanCompile:
+      return "plan_compile";
+    case Stage::kCacheWait:
+      return "cache_wait";
+    case Stage::kDpExecute:
+      return "dp_execute";
+    case Stage::kMcFallback:
+      return "mc_fallback";
+    case Stage::kScatter:
+      return "scatter";
+  }
+  return "unknown";
+}
+
+std::uint64_t TraceRecord::StageTotalNs() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t ns : stage_ns) total += ns;
+  return total;
+}
+
+Tracer::Tracer(std::size_t capacity, unsigned sample_permyriad)
+    : sample_permyriad_(sample_permyriad), ring_(capacity) {}
+
+bool Tracer::ShouldSample(std::uint64_t fingerprint) const {
+  const unsigned rate = sample_permyriad();
+  if (rate == 0) return false;
+  if (rate >= 10000) return true;
+  // One multiplicative mix (the fingerprint is already a good 64-bit hash,
+  // but result keys of one workload can share low bits) and a modulo into
+  // the permyriad space. Deterministic per fingerprint.
+  const std::uint64_t mixed = fingerprint * 0x9E3779B97F4A7C15ull;
+  return (mixed >> 32) % 10000 < rate;
+}
+
+}  // namespace ppref::obs

@@ -1,0 +1,147 @@
+/// \file trace.h
+/// \brief `ppref::obs` — request tracing: a per-request, per-stage timeline
+/// recorded into a bounded ring buffer, behind a deterministic sampling
+/// knob.
+///
+/// Aggregate histograms (metrics.h) answer "what is the p99"; a trace
+/// answers "where did *this* request's time go" — queue vs. plan compile
+/// vs. cache wait vs. DP execute vs. Monte-Carlo fallback. A `TraceRecord`
+/// carries one duration per pipeline stage plus the end-to-end envelope;
+/// stage durations are measured at the transitions of one contiguous
+/// pipeline, so they sum to the envelope up to clock-read skew and a few
+/// nanoseconds of untimed glue.
+///
+/// ## Sampling
+/// Tracing every request would make the trace buffer the hottest lock in
+/// the server. `Tracer::ShouldSample` decides per request fingerprint with
+/// one multiply-and-compare — deterministic (the same request is always
+/// traced or always not, so a recurring slow query is either always visible
+/// or reliably absent, never flickering) and free of any RNG state. At the
+/// default 0‱ the whole tracing path is a null-pointer check.
+///
+/// ## Cost when off
+/// A `TraceSpan` over a null record is two inlined branches; no clock read,
+/// no atomic, no lock. Publishing (sampled requests only) takes the ring
+/// buffer mutex once per request.
+
+#ifndef PPREF_OBS_TRACE_H_
+#define PPREF_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppref/common/clock.h"
+#include "ppref/common/ring_buffer.h"
+
+namespace ppref::obs {
+
+/// The pipeline stages of one served request, in pipeline order.
+enum class Stage : std::uint8_t {
+  kAdmission = 0,   // admission control + validation
+  kDedupFold,       // batch dedup: unit building + result-cache probe
+  kQueue,           // waiting for a worker to pick the unit up
+  kPlanCompile,     // compiling a DpPlan (plan-cache miss, this thread)
+  kCacheWait,       // waiting on another thread's single-flight compile
+  kDpExecute,       // the exact DP scan
+  kMcFallback,      // Monte-Carlo degradation sampling
+  kScatter,         // result publication + response scatter
+};
+inline constexpr unsigned kStageCount = 8;
+
+/// Stable lower_snake_case stage names for exposition.
+const char* StageName(Stage stage);
+
+/// One traced request: fingerprint, end-to-end envelope, per-stage
+/// durations, and the terminal disposition.
+struct TraceRecord {
+  /// The request's content fingerprint (result key) — correlates the trace
+  /// with cache keys and with recurring requests across scrapes.
+  std::uint64_t fingerprint = 0;
+  /// Envelope on the monotonic clock (MonotonicNowNs).
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  /// Nanoseconds spent per stage; untouched stages stay 0.
+  std::uint64_t stage_ns[kStageCount] = {};
+  /// `Status::code()` of the response, as its numeric value.
+  std::uint8_t status_code = 0;
+  /// The answer was a Monte-Carlo degradation.
+  bool approximate = false;
+  /// The answer came from the result cache (no execute stage at all).
+  bool cache_hit = false;
+
+  std::uint64_t TotalNs() const { return end_ns - start_ns; }
+  std::uint64_t StageTotalNs() const;
+};
+
+/// Owns the sampling decision and the bounded record ring.
+class Tracer {
+ public:
+  /// `capacity` bounds retained records (oldest overwritten);
+  /// `sample_permyriad` is the sampling rate in 1/10000ths (100 = 1%).
+  explicit Tracer(std::size_t capacity = 1024,
+                  unsigned sample_permyriad = 0);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Deterministic per-fingerprint sampling decision; rate 0 never samples,
+  /// rate >= 10000 always does.
+  bool ShouldSample(std::uint64_t fingerprint) const;
+
+  /// Current sampling rate in permyriad; adjustable at runtime (relaxed —
+  /// a racing request samples under either rate, both are valid).
+  unsigned sample_permyriad() const {
+    return sample_permyriad_.load(std::memory_order_relaxed);
+  }
+  void set_sample_permyriad(unsigned permyriad) {
+    sample_permyriad_.store(permyriad, std::memory_order_relaxed);
+  }
+
+  void Publish(const TraceRecord& record) { ring_.Push(record); }
+
+  /// Retained records, oldest first.
+  std::vector<TraceRecord> Snapshot() const { return ring_.Snapshot(); }
+
+  /// Records ever published (including overwritten ones).
+  std::uint64_t total_published() const { return ring_.total_pushed(); }
+
+  std::size_t capacity() const { return ring_.capacity(); }
+
+ private:
+  std::atomic<unsigned> sample_permyriad_;
+  BoundedRing<TraceRecord> ring_;
+};
+
+/// RAII stage timer: measures its own lifetime into `record->stage_ns`.
+/// A null record makes construction and destruction branch-only no-ops —
+/// the unsampled fast path.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecord* record, Stage stage) : record_(record) {
+    if (record_ != nullptr) {
+      stage_ = stage;
+      start_ns_ = MonotonicNowNs();
+    }
+  }
+
+  ~TraceSpan() {
+    if (record_ != nullptr) {
+      record_->stage_ns[static_cast<unsigned>(stage_)] +=
+          MonotonicNowNs() - start_ns_;
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecord* record_;
+  Stage stage_ = Stage::kAdmission;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace ppref::obs
+
+#endif  // PPREF_OBS_TRACE_H_

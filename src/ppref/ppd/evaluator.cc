@@ -4,11 +4,24 @@
 
 #include "ppref/common/check.h"
 #include "ppref/common/parallel.h"
+#include "ppref/obs/metrics.h"
 #include "ppref/ppd/reduction.h"
 #include "ppref/query/classify.h"
 #include "ppref/query/eval.h"
 
 namespace ppref::ppd {
+namespace {
+
+/// Process-wide count of Boolean CQ evaluations, across all entry points
+/// (serial, parallel, and server-batched).
+void CountBooleanQuery() {
+  static obs::Counter& queries = obs::MetricsRegistry::Default().GetCounter(
+      "ppref_ppd_boolean_queries_total",
+      "Boolean CQ evaluations via ppd::EvaluateBoolean*");
+  queries.Inc();
+}
+
+}  // namespace
 
 double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query) {
   return EvaluateBoolean(ppd, query, infer::PatternProbOptions{});
@@ -19,6 +32,7 @@ double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
   if (!query.IsBoolean()) {
     throw SchemaError("EvaluateBoolean expects a Boolean query");
   }
+  CountBooleanQuery();
   if (query.PAtoms().empty()) {
     return query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0;
   }
@@ -34,6 +48,7 @@ double EvaluateBoolean(const RimPpd& ppd, const query::ConjunctiveQuery& query,
   if (!query.IsBoolean()) {
     throw SchemaError("EvaluateBoolean expects a Boolean query");
   }
+  CountBooleanQuery();
   if (query.PAtoms().empty()) {
     return query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0;
   }
@@ -75,6 +90,7 @@ StatusOr<BooleanResult> TryEvaluateBoolean(const RimPpd& ppd,
   if (!query.IsBoolean()) {
     return Status::InvalidArgument("TryEvaluateBoolean expects a Boolean query");
   }
+  CountBooleanQuery();
   if (query.PAtoms().empty()) {
     return BooleanResult{
         query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0, false, 0.0};
@@ -133,6 +149,7 @@ double EvaluateBooleanParallel(const RimPpd& ppd,
   if (!query.IsBoolean()) {
     throw SchemaError("EvaluateBooleanParallel expects a Boolean query");
   }
+  CountBooleanQuery();
   if (query.PAtoms().empty()) {
     return query::IsSatisfiable(query, ppd.ODatabase()) ? 1.0 : 0.0;
   }

@@ -6,6 +6,7 @@
 #include "ppref/common/check.h"
 #include "ppref/infer/labeled_rim.h"
 #include "ppref/infer/top_prob.h"
+#include "ppref/obs/metrics.h"
 #include "ppref/query/classify.h"
 #include "ppref/query/eval.h"
 
@@ -231,7 +232,19 @@ std::vector<SessionReduction> ReduceItemwise(const RimPpd& ppd,
 double SessionProb(const SessionReduction& reduction,
                    const infer::PatternProbOptions& options) {
   PPREF_CHECK(reduction.model != nullptr);
-  if (!reduction.satisfiable || reduction.reflexive_preference) return 0.0;
+  // Process-wide PPD workload counters: evaluated sessions, split by the
+  // trivial short-circuit vs. the ones that reach the inference engine.
+  static obs::Counter& sessions = obs::MetricsRegistry::Default().GetCounter(
+      "ppref_ppd_sessions_total",
+      "Session reductions evaluated via SessionProb");
+  static obs::Counter& trivial = obs::MetricsRegistry::Default().GetCounter(
+      "ppref_ppd_sessions_trivial_total",
+      "Sessions short-circuited to 0 (unsatisfiable or reflexive)");
+  sessions.Inc();
+  if (!reduction.satisfiable || reduction.reflexive_preference) {
+    trivial.Inc();
+    return 0.0;
+  }
   const infer::LabeledRimModel labeled(reduction.model->model(),
                                        reduction.labeling);
   return infer::PatternProb(labeled, reduction.pattern, options);

@@ -1,11 +1,11 @@
 #include "ppref/serve/server.h"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
 #include <unordered_map>
 
 #include "ppref/common/check.h"
+#include "ppref/common/clock.h"
 #include "ppref/common/fault_injection.h"
 #include "ppref/common/hash.h"
 #include "ppref/common/parallel.h"
@@ -13,6 +13,7 @@
 #include "ppref/infer/monte_carlo.h"
 #include "ppref/infer/top_prob.h"
 #include "ppref/infer/top_prob_minmax.h"
+#include "ppref/obs/export.h"
 #include "ppref/serve/fingerprint.h"
 
 namespace ppref::serve {
@@ -30,18 +31,15 @@ enum : std::uint64_t {
   kKeyMcSeed = 0x5054ull,
 };
 
-std::uint64_t NowNs() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 const std::vector<infer::LabelId> kNoTracked;
 
 /// Sentinel slot for requests that never reach the dedup table (shed or
 /// invalid): they carry their own terminal response.
 constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+std::uint64_t StageIdx(obs::Stage stage) {
+  return static_cast<unsigned>(stage);
+}
 
 }  // namespace
 
@@ -86,6 +84,121 @@ struct Server::Outcome {
   bool cache_ok = false;
 };
 
+/// The server's registry-backed instruments. Counters are the `ServerStats`
+/// surface (always on, one relaxed add per event — the same cost as the
+/// plain atomics they replaced); gauges are refreshed at scrape time;
+/// histograms are recorded only under `ServerOptions::latency_histograms`.
+struct Server::Instruments {
+  // ServerStats counters.
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Counter& batch_deduped;
+  obs::Counter& compile_ns;
+  obs::Counter& execute_ns;
+  obs::Counter& shed;
+  obs::Counter& invalid;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& cancelled;
+  obs::Counter& degraded;
+  obs::Counter& internal_errors;
+
+  // Scrape-time gauges, synced from their sources by SyncScrapeGauges.
+  obs::Gauge& in_flight;
+  obs::Gauge& in_flight_peak;
+  obs::Gauge& plan_cache_hits;
+  obs::Gauge& plan_cache_misses;
+  obs::Gauge& plan_cache_insertions;
+  obs::Gauge& plan_cache_evictions;
+  obs::Gauge& result_cache_hits;
+  obs::Gauge& result_cache_misses;
+  obs::Gauge& result_cache_insertions;
+  obs::Gauge& result_cache_evictions;
+  obs::Gauge& traces_published;
+
+  // Latency histograms (nanoseconds).
+  obs::Histogram& request_ns;
+  obs::Histogram& batch_ns;
+  obs::Histogram& admission_ns;
+  obs::Histogram& dedup_fold_ns;
+  obs::Histogram& queue_ns;
+  obs::Histogram& plan_compile_ns;
+  obs::Histogram& dp_execute_ns;
+  obs::Histogram& mc_fallback_ns;
+  obs::Histogram& scatter_ns;
+
+  explicit Instruments(obs::MetricsRegistry& r)
+      : requests(r.GetCounter("ppref_serve_requests_total",
+                              "Requests accepted, via any entry point")),
+        batches(r.GetCounter("ppref_serve_batches_total",
+                             "Batches accepted via EvaluateBatch")),
+        batch_deduped(r.GetCounter(
+            "ppref_serve_batch_deduped_total",
+            "Requests answered by sharing a duplicate within their batch")),
+        compile_ns(r.GetCounter("ppref_serve_compile_ns_total",
+                                "Nanoseconds spent compiling DpPlans")),
+        execute_ns(r.GetCounter("ppref_serve_execute_ns_total",
+                                "Nanoseconds spent executing DPs")),
+        shed(r.GetCounter("ppref_serve_shed_total",
+                          "Requests shed by admission control")),
+        invalid(r.GetCounter("ppref_serve_invalid_total",
+                             "Requests rejected by validation")),
+        deadline_exceeded(
+            r.GetCounter("ppref_serve_deadline_exceeded_total",
+                         "Requests stopped by their deadline")),
+        cancelled(r.GetCounter("ppref_serve_cancelled_total",
+                               "Requests stopped by caller cancellation")),
+        degraded(r.GetCounter(
+            "ppref_serve_degraded_total",
+            "Failed requests answered with a Monte-Carlo fallback")),
+        internal_errors(
+            r.GetCounter("ppref_serve_internal_errors_total",
+                         "Unexpected exceptions mapped to kInternal")),
+        in_flight(r.GetGauge("ppref_serve_in_flight",
+                             "Requests currently being served")),
+        in_flight_peak(r.GetGauge("ppref_serve_in_flight_peak",
+                                  "High-water mark of in-flight depth")),
+        plan_cache_hits(
+            r.GetGauge("ppref_serve_plan_cache_hits", "Plan cache hits")),
+        plan_cache_misses(
+            r.GetGauge("ppref_serve_plan_cache_misses", "Plan cache misses")),
+        plan_cache_insertions(r.GetGauge("ppref_serve_plan_cache_insertions",
+                                         "Plan cache insertions")),
+        plan_cache_evictions(r.GetGauge("ppref_serve_plan_cache_evictions",
+                                        "Plan cache evictions")),
+        result_cache_hits(
+            r.GetGauge("ppref_serve_result_cache_hits", "Result cache hits")),
+        result_cache_misses(r.GetGauge("ppref_serve_result_cache_misses",
+                                       "Result cache misses")),
+        result_cache_insertions(
+            r.GetGauge("ppref_serve_result_cache_insertions",
+                       "Result cache insertions")),
+        result_cache_evictions(r.GetGauge("ppref_serve_result_cache_evictions",
+                                          "Result cache evictions")),
+        traces_published(
+            r.GetGauge("ppref_serve_traces_published",
+                       "Trace records ever published (including "
+                       "overwritten ones)")),
+        request_ns(r.GetHistogram("ppref_serve_request_latency_ns",
+                                  "End-to-end request latency")),
+        batch_ns(r.GetHistogram("ppref_serve_batch_latency_ns",
+                                "End-to-end batch latency")),
+        admission_ns(r.GetHistogram("ppref_serve_stage_admission_ns",
+                                    "Admission control + shedding")),
+        dedup_fold_ns(r.GetHistogram(
+            "ppref_serve_stage_dedup_fold_ns",
+            "Validation, dedup folding, and result-cache probes")),
+        queue_ns(r.GetHistogram("ppref_serve_stage_queue_ns",
+                                "Wait for a worker to pick a unit up")),
+        plan_compile_ns(r.GetHistogram("ppref_serve_stage_plan_compile_ns",
+                                       "DpPlan compilation")),
+        dp_execute_ns(r.GetHistogram("ppref_serve_stage_dp_execute_ns",
+                                     "Exact DP execution")),
+        mc_fallback_ns(r.GetHistogram("ppref_serve_stage_mc_fallback_ns",
+                                      "Monte-Carlo degradation sampling")),
+        scatter_ns(r.GetHistogram("ppref_serve_stage_scatter_ns",
+                                  "Result publication + response scatter")) {}
+};
+
 /// Scoped in-flight depth accounting: admission increments, completion
 /// decrements, and the peak watermark is maintained with a CAS loop.
 /// Legacy entry points admit unconditionally through this; the status
@@ -128,8 +241,16 @@ class Server::AdmissionRelease {
 
 Server::Server(ServerOptions options)
     : options_(options),
+      effective_threads_(ClampThreads(options.threads)),
       plan_cache_(options.plan_cache_capacity, options.cache_shards),
-      result_cache_(options.result_cache_capacity, options.cache_shards) {}
+      result_cache_(options.result_cache_capacity, options.cache_shards),
+      owned_registry_(options.registry == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      registry_(options.registry != nullptr ? options.registry
+                                            : owned_registry_.get()),
+      instruments_(std::make_unique<Instruments>(*registry_)),
+      tracer_(options.trace_capacity, options.trace_sample_permyriad) {}
 
 Server::~Server() = default;
 
@@ -197,10 +318,10 @@ std::uint64_t Server::RetryAfterHintNs() const {
   // Heuristic: the observed mean busy time per request. A fresh server has
   // no history, so floor at 1ms — long enough to be a meaningful backoff,
   // short enough not to stall a caller on an idle server.
-  const std::uint64_t served = std::max<std::uint64_t>(
-      1, requests_.load(std::memory_order_relaxed));
-  const std::uint64_t busy = compile_ns_.load(std::memory_order_relaxed) +
-                             execute_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t served =
+      std::max<std::uint64_t>(1, instruments_->requests.Value());
+  const std::uint64_t busy =
+      instruments_->compile_ns.Value() + instruments_->execute_ns.Value();
   return std::max<std::uint64_t>(1'000'000, busy / served);
 }
 
@@ -213,39 +334,39 @@ std::shared_ptr<const Server::CachedResult> Server::LookupResult(
 std::shared_ptr<const Server::CachedPlan> Server::PlanFor(
     const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
     const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key,
-    const RunControl* control) {
+    const RunControl* control, obs::TraceRecord* trace) {
+  const auto compile = [&]() -> std::shared_ptr<const CachedPlan> {
+    PPREF_FAULT_PLAN_COMPILE();
+    if (control != nullptr) control->Check();
+    const obs::TraceSpan span(trace, obs::Stage::kPlanCompile);
+    const std::uint64_t start = MonotonicNowNs();
+    auto entry = std::make_shared<const CachedPlan>(model, pattern, tracked);
+    const std::uint64_t elapsed = MonotonicNowNs() - start;
+    instruments_->compile_ns.Inc(elapsed);
+    if (options_.latency_histograms) {
+      instruments_->plan_compile_ns.Record(elapsed);
+    }
+    return entry;
+  };
   if (PPREF_FAULT_FORCED_PLAN_MISS()) {
     // Miss-storm injection: compile fresh, bypassing the cache entirely so
     // every request pays the full compile cost (and the single-flight path
     // is not exercised — that is the point of this knob: worst case).
-    PPREF_FAULT_PLAN_COMPILE();
-    if (control != nullptr) control->Check();
-    const std::uint64_t start = NowNs();
-    auto entry = std::make_shared<const CachedPlan>(model, pattern, tracked);
-    compile_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
-    return entry;
+    return compile();
   }
   // Single-flight: concurrent misses on one key coalesce into a single
   // compilation; under this path plan_cache().misses equals the number of
   // actual compilations.
   return plan_cache_.GetOrCompute(
-      plan_key,
-      [&]() -> std::shared_ptr<const CachedPlan> {
-        PPREF_FAULT_PLAN_COMPILE();
-        if (control != nullptr) control->Check();
-        const std::uint64_t start = NowNs();
-        auto entry =
-            std::make_shared<const CachedPlan>(model, pattern, tracked);
-        compile_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
-        return entry;
-      },
+      plan_key, compile,
       control != nullptr ? &control->deadline : nullptr,
       control != nullptr ? control->cancel : nullptr);
 }
 
 Server::CachedResult Server::Compute(const Request& request,
                                      std::uint64_t plan_key,
-                                     const RunControl* control) {
+                                     const RunControl* control,
+                                     obs::TraceRecord* trace) {
   // Internal invariant, not input validation: the status entry points have
   // already validated, and the legacy entry points are documented
   // trusted-caller paths.
@@ -254,13 +375,30 @@ Server::CachedResult Server::Compute(const Request& request,
   // plan plus a small DP could otherwise finish inside the stop window and
   // make "deadline 0" sometimes succeed.
   if (control != nullptr) control->Check();
-  const std::shared_ptr<const CachedPlan> plan =
-      PlanFor(*request.model, *request.pattern, kNoTracked, plan_key, control);
+  std::shared_ptr<const CachedPlan> plan;
+  {
+    // The cache-wait span covers the whole plan resolution, including a
+    // compile done by this thread; the finalize step subtracts the nested
+    // plan_compile span, leaving the pure wait-or-lookup time.
+    const obs::TraceSpan span(trace, obs::Stage::kCacheWait);
+    plan = PlanFor(*request.model, *request.pattern, kNoTracked, plan_key,
+                   control, trace);
+  }
   infer::PatternProbOptions exec;
   exec.threads = options_.matching_threads;
   exec.control = control;
   CachedResult result;
-  const std::uint64_t start = NowNs();
+  const obs::TraceSpan span(trace, obs::Stage::kDpExecute);
+  const std::uint64_t start = MonotonicNowNs();
+  const auto account = [&] {
+    // Count the time spent even when the DP is stopped mid-scan, so the
+    // retry-after hint reflects what failed work actually cost.
+    const std::uint64_t elapsed = MonotonicNowNs() - start;
+    instruments_->execute_ns.Inc(elapsed);
+    if (options_.latency_histograms) {
+      instruments_->dp_execute_ns.Record(elapsed);
+    }
+  };
   try {
     if (request.kind == Request::Kind::kPatternProb) {
       result.probability = infer::PatternProbWithPlan(plan->plan, exec);
@@ -271,18 +409,17 @@ Server::CachedResult Server::Compute(const Request& request,
       }
     }
   } catch (...) {
-    // Count the time spent even when the DP is stopped mid-scan, so the
-    // retry-after hint reflects what failed work actually cost.
-    execute_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    account();
     throw;
   }
-  execute_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  account();
   return result;
 }
 
 Server::Outcome Server::Degrade(const Request& request,
-                                std::uint64_t result_key, Status status) {
-  degraded_.fetch_add(1, std::memory_order_relaxed);
+                                std::uint64_t result_key, Status status,
+                                obs::TraceRecord* trace) {
+  instruments_->degraded.Inc();
   Outcome outcome;
   outcome.status = std::move(status);
   outcome.approximate = true;
@@ -300,6 +437,9 @@ Server::Outcome Server::Degrade(const Request& request,
   RunControl cancel_only;
   cancel_only.cancel = request.control.cancel;
   mc.control = request.control.cancel != nullptr ? &cancel_only : nullptr;
+  const obs::TraceSpan span(trace, obs::Stage::kMcFallback);
+  const bool timed = options_.latency_histograms;
+  const std::uint64_t start = timed ? MonotonicNowNs() : 0;
   try {
     if (request.kind == Request::Kind::kPatternProb) {
       const infer::McEstimate estimate =
@@ -314,17 +454,19 @@ Server::Outcome Server::Degrade(const Request& request,
       outcome.std_error = top.std_error;
     }
   } catch (const CancelledError&) {
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->cancelled.Inc();
     outcome = Outcome{};
     outcome.status = Status::Cancelled("cancelled during degraded sampling");
   }
+  if (timed) instruments_->mc_fallback_ns.Record(MonotonicNowNs() - start);
   return outcome;
 }
 
 Server::Outcome Server::ComputeGuarded(const Request& request,
                                        std::uint64_t plan_key,
                                        std::uint64_t result_key,
-                                       const RunControl* control) {
+                                       const RunControl* control,
+                                       obs::TraceRecord* trace) {
   // Size guard first: an over-budget pattern is refused (or degraded)
   // *before* any exponential work starts.
   if (options_.max_pattern_nodes != 0 &&
@@ -334,7 +476,7 @@ Server::Outcome Server::ComputeGuarded(const Request& request,
         " nodes, over the server limit of " +
         std::to_string(options_.max_pattern_nodes));
     if (options_.degradation == ServerOptions::Degradation::kMonteCarlo) {
-      return Degrade(request, result_key, std::move(status));
+      return Degrade(request, result_key, std::move(status), trace);
     }
     Outcome outcome;
     outcome.status = std::move(status);
@@ -342,31 +484,31 @@ Server::Outcome Server::ComputeGuarded(const Request& request,
   }
   try {
     Outcome outcome;
-    outcome.result = Compute(request, plan_key, control);
+    outcome.result = Compute(request, plan_key, control, trace);
     outcome.status = Status::Ok();
     outcome.cache_ok = true;
     return outcome;
   } catch (const CancelledError& e) {
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->cancelled.Inc();
     Outcome outcome;
     outcome.status = Status::Cancelled(e.what());
     return outcome;
   } catch (const DeadlineExceededError& e) {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->deadline_exceeded.Inc();
     Status status = Status::DeadlineExceeded(e.what());
     if (options_.degradation == ServerOptions::Degradation::kMonteCarlo) {
-      return Degrade(request, result_key, std::move(status));
+      return Degrade(request, result_key, std::move(status), trace);
     }
     Outcome outcome;
     outcome.status = std::move(status);
     return outcome;
   } catch (const std::exception& e) {
-    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->internal_errors.Inc();
     Outcome outcome;
     outcome.status = Status::Internal(e.what());
     return outcome;
   } catch (...) {
-    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->internal_errors.Inc();
     Outcome outcome;
     outcome.status = Status::Internal("unknown exception during compute");
     return outcome;
@@ -375,7 +517,7 @@ Server::Outcome Server::ComputeGuarded(const Request& request,
 
 double Server::PatternProbability(const infer::LabeledRimModel& model,
                                   const infer::LabelPattern& pattern) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  instruments_->requests.Inc();
   const InFlight guard(*this, 1);
   const std::uint64_t plan_key = PlanKey(model, pattern, kNoTracked);
   const std::uint64_t result_key = HashCombine(plan_key, kKeyPatternProb);
@@ -392,7 +534,7 @@ double Server::PatternProbability(const infer::LabeledRimModel& model,
 
 std::optional<std::pair<infer::Matching, double>> Server::MostProbableTopMatching(
     const infer::LabeledRimModel& model, const infer::LabelPattern& pattern) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  instruments_->requests.Inc();
   const InFlight guard(*this, 1);
   const std::uint64_t plan_key = PlanKey(model, pattern, kNoTracked);
   const std::uint64_t result_key = HashCombine(plan_key, kKeyTopMatching);
@@ -415,7 +557,7 @@ double Server::PatternMinMaxProbability(
     const std::vector<infer::LabelId>& tracked,
     const infer::MinMaxCondition& condition,
     std::uint64_t condition_fingerprint) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  instruments_->requests.Inc();
   const InFlight guard(*this, 1);
   const std::uint64_t plan_key = PlanKey(model, pattern, tracked);
   const bool cacheable = condition_fingerprint != 0;
@@ -428,10 +570,12 @@ double Server::PatternMinMaxProbability(
       PlanFor(model, pattern, tracked, plan_key);
   infer::PatternProbOptions exec;
   exec.threads = options_.matching_threads;
-  const std::uint64_t start = NowNs();
+  const std::uint64_t start = MonotonicNowNs();
   const double probability =
       infer::PatternMinMaxProbWithPlan(plan->plan, condition, exec);
-  execute_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  const std::uint64_t elapsed = MonotonicNowNs() - start;
+  instruments_->execute_ns.Inc(elapsed);
+  if (options_.latency_histograms) instruments_->dp_execute_ns.Record(elapsed);
   if (cacheable) {
     result_cache_.Put(result_key, std::make_shared<const CachedResult>(
                                       CachedResult{probability, std::nullopt}));
@@ -454,11 +598,27 @@ struct Server::Unit {
   std::size_t first_request = 0;
   bool has_control = false;
   RunControl control;
+  /// Trace record for sampled units: written only by the single worker that
+  /// serves the unit, finalized and published after the join.
+  bool traced = false;
+  obs::TraceRecord trace;
+  /// When the worker finished this unit (0 for cache hits / untimed runs);
+  /// the scatter span runs from here to batch end, so it includes the
+  /// barrier wait for the batch's slowest sibling.
+  std::uint64_t worker_end_ns = 0;
 };
 
 std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  requests_.fetch_add(requests.size(), std::memory_order_relaxed);
+  instruments_->batches.Inc();
+  instruments_->requests.Inc(requests.size());
+
+  // Batch-level clock reads only happen when someone consumes them: the
+  // latency histograms or an armed tracer. With both off the warm path does
+  // no clock reads beyond the pre-existing compile/execute accounting.
+  const bool timed = options_.latency_histograms;
+  const bool tracing = tracer_.sample_permyriad() > 0;
+  const bool batch_timed = timed || tracing;
+  const std::uint64_t t_start = batch_timed ? MonotonicNowNs() : 0;
 
   std::vector<Response> responses(requests.size());
 
@@ -468,11 +628,12 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
   const std::size_t admitted = TryAdmit(requests.size());
   const AdmissionRelease release(*this, admitted);
   for (std::size_t i = admitted; i < requests.size(); ++i) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->shed.Inc();
     responses[i].status =
         Status::ResourceExhausted("shed by admission control (server full)");
     responses[i].retry_after_ns = RetryAfterHintNs();
   }
+  const std::uint64_t t_admitted = batch_timed ? MonotonicNowNs() : 0;
 
   // Validate + dedup the admitted prefix. Deadlines are resolved to
   // absolute time *here*, at admission, so time spent waiting for a worker
@@ -484,7 +645,7 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
   for (std::size_t i = 0; i < admitted; ++i) {
     const Request& request = requests[i];
     if (Status status = Validate(request); !status.ok()) {
-      invalid_.fetch_add(1, std::memory_order_relaxed);
+      instruments_->invalid.Inc();
       responses[i].status = std::move(status);
       continue;
     }
@@ -514,11 +675,12 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
           deadline_ns != 0 || request.control.cancel != nullptr;
       if (deadline_ns != 0) unit.control.deadline = Deadline::After(deadline_ns);
       unit.control.cancel = request.control.cancel;
+      unit.traced = tracing && tracer_.ShouldSample(result_key);
       units.push_back(unit);
     }
     slot_of[i] = it->second;
   }
-  batch_deduped_.fetch_add(valid - units.size(), std::memory_order_relaxed);
+  instruments_->batch_deduped.Inc(valid - units.size());
 
   // Resolve result-cache hits; collect the misses. A cache hit is exact and
   // instant, so stop conditions don't apply to it.
@@ -528,19 +690,41 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
     resolved[u] = LookupResult(units[u].result_key);
     if (!resolved[u]) misses.push_back(u);
   }
+  const std::uint64_t t_folded = batch_timed ? MonotonicNowNs() : 0;
+  for (Unit& unit : units) {
+    if (!unit.traced) continue;
+    unit.trace.fingerprint = unit.result_key;
+    unit.trace.start_ns = t_start;
+    unit.trace.stage_ns[StageIdx(obs::Stage::kAdmission)] =
+        t_admitted - t_start;
+    unit.trace.stage_ns[StageIdx(obs::Stage::kDedupFold)] =
+        t_folded - t_admitted;
+  }
 
   // Fan unique cold work over the pool, each computation wrapped in the
   // failure policy — ComputeGuarded never throws, so one bad request can't
   // take down its batch neighbors.
   std::vector<Outcome> outcomes(misses.size());
-  ParallelForWorkers(misses.size(), ClampThreads(options_.threads),
-                     [&](unsigned, std::size_t i) {
-                       const Unit& unit = units[misses[i]];
-                       outcomes[i] = ComputeGuarded(
-                           requests[unit.first_request], unit.plan_key,
-                           unit.result_key,
-                           unit.has_control ? &unit.control : nullptr);
-                     });
+  ParallelForWorkers(
+      misses.size(), effective_threads_, [&](unsigned, std::size_t i) {
+        Unit& unit = units[misses[i]];
+        obs::TraceRecord* trace = unit.traced ? &unit.trace : nullptr;
+        const bool unit_timed = timed || trace != nullptr;
+        if (unit_timed) {
+          const std::uint64_t t_picked = MonotonicNowNs();
+          const std::uint64_t queue_ns = t_picked - t_folded;
+          if (trace != nullptr) {
+            trace->stage_ns[StageIdx(obs::Stage::kQueue)] = queue_ns;
+          }
+          if (timed) instruments_->queue_ns.Record(queue_ns);
+        }
+        outcomes[i] = ComputeGuarded(requests[unit.first_request],
+                                     unit.plan_key, unit.result_key,
+                                     unit.has_control ? &unit.control : nullptr,
+                                     trace);
+        if (unit_timed) unit.worker_end_ns = MonotonicNowNs();
+      });
+  const std::uint64_t t_joined = batch_timed ? MonotonicNowNs() : 0;
 
   // Publish exact answers in unique order (deterministic cache contents for
   // a given request trace, whatever the worker interleaving was).
@@ -577,27 +761,132 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
       responses[i].retry_after_ns = RetryAfterHintNs();
     }
   }
+
+  if (batch_timed) {
+    const std::uint64_t t_end = MonotonicNowNs();
+    if (timed) {
+      instruments_->batch_ns.Record(t_end - t_start);
+      // Every request in the batch returns with the batch, so its observed
+      // end-to-end latency is the batch envelope.
+      instruments_->request_ns.RecordMany(t_end - t_start, requests.size());
+      instruments_->admission_ns.Record(t_admitted - t_start);
+      instruments_->dedup_fold_ns.Record(t_folded - t_admitted);
+      instruments_->scatter_ns.Record(t_end - t_joined);
+    }
+    // Finalize and publish the sampled traces: close the envelope, attach
+    // the disposition, compute the scatter span (which for misses includes
+    // the join wait for slower batch siblings), and strip the nested
+    // plan_compile time out of cache_wait.
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      Unit& unit = units[u];
+      if (!unit.traced) continue;
+      obs::TraceRecord& trace = unit.trace;
+      trace.end_ns = t_end;
+      if (resolved[u] != nullptr) {
+        trace.cache_hit = true;
+        trace.status_code = static_cast<std::uint8_t>(StatusCode::kOk);
+        trace.stage_ns[StageIdx(obs::Stage::kScatter)] = t_end - t_folded;
+      } else {
+        const Outcome& outcome = outcomes[outcome_of[u]];
+        trace.status_code = static_cast<std::uint8_t>(outcome.status.code());
+        trace.approximate = outcome.approximate;
+        trace.stage_ns[StageIdx(obs::Stage::kScatter)] =
+            t_end - unit.worker_end_ns;
+      }
+      std::uint64_t& cache_wait =
+          trace.stage_ns[StageIdx(obs::Stage::kCacheWait)];
+      cache_wait -= std::min(
+          cache_wait, trace.stage_ns[StageIdx(obs::Stage::kPlanCompile)]);
+      tracer_.Publish(trace);
+    }
+  }
   return responses;
 }
 
-ServerStats Server::stats() const {
+ServerStats Server::Snapshot() const {
   ServerStats stats;
   stats.plan_cache = plan_cache_.stats();
   stats.result_cache = result_cache_.stats();
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.batches = batches_.load(std::memory_order_relaxed);
-  stats.batch_deduped = batch_deduped_.load(std::memory_order_relaxed);
-  stats.compile_ns = compile_ns_.load(std::memory_order_relaxed);
-  stats.execute_ns = execute_ns_.load(std::memory_order_relaxed);
+  stats.requests = instruments_->requests.Value();
+  stats.batches = instruments_->batches.Value();
+  stats.batch_deduped = instruments_->batch_deduped.Value();
+  stats.compile_ns = instruments_->compile_ns.Value();
+  stats.execute_ns = instruments_->execute_ns.Value();
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   stats.in_flight_peak = in_flight_peak_.load(std::memory_order_relaxed);
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.invalid = invalid_.load(std::memory_order_relaxed);
-  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
-  stats.degraded = degraded_.load(std::memory_order_relaxed);
-  stats.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  stats.shed = instruments_->shed.Value();
+  stats.invalid = instruments_->invalid.Value();
+  stats.deadline_exceeded = instruments_->deadline_exceeded.Value();
+  stats.cancelled = instruments_->cancelled.Value();
+  stats.degraded = instruments_->degraded.Value();
+  stats.internal_errors = instruments_->internal_errors.Value();
   return stats;
+}
+
+void Server::SyncScrapeGauges() const {
+  Instruments& in = *instruments_;
+  in.in_flight.Set(
+      static_cast<std::int64_t>(in_flight_.load(std::memory_order_relaxed)));
+  in.in_flight_peak.Set(static_cast<std::int64_t>(
+      in_flight_peak_.load(std::memory_order_relaxed)));
+  const CacheStats plan = plan_cache_.stats();
+  in.plan_cache_hits.Set(static_cast<std::int64_t>(plan.hits));
+  in.plan_cache_misses.Set(static_cast<std::int64_t>(plan.misses));
+  in.plan_cache_insertions.Set(static_cast<std::int64_t>(plan.insertions));
+  in.plan_cache_evictions.Set(static_cast<std::int64_t>(plan.evictions));
+  const CacheStats result = result_cache_.stats();
+  in.result_cache_hits.Set(static_cast<std::int64_t>(result.hits));
+  in.result_cache_misses.Set(static_cast<std::int64_t>(result.misses));
+  in.result_cache_insertions.Set(static_cast<std::int64_t>(result.insertions));
+  in.result_cache_evictions.Set(static_cast<std::int64_t>(result.evictions));
+  in.traces_published.Set(
+      static_cast<std::int64_t>(tracer_.total_published()));
+}
+
+namespace {
+
+/// A server with a private registry scrapes the process-wide registry too
+/// (the DP engine / PPD counters); one publishing into an injected registry
+/// scrapes only that, so embedders control the aggregation.
+obs::MetricsSnapshot Combine(obs::MetricsSnapshot mine,
+                             bool include_process_wide) {
+  if (include_process_wide) {
+    obs::MetricsSnapshot process = obs::MetricsRegistry::Default().Snapshot();
+    for (obs::MetricSample& sample : process.samples) {
+      mine.samples.push_back(std::move(sample));
+    }
+    std::sort(mine.samples.begin(), mine.samples.end(),
+              [](const obs::MetricSample& a, const obs::MetricSample& b) {
+                return a.name < b.name;
+              });
+  }
+  return mine;
+}
+
+}  // namespace
+
+std::string Server::ScrapeMetrics() const {
+  SyncScrapeGauges();
+  return obs::RenderPrometheus(
+      Combine(registry_->Snapshot(),
+              owned_registry_ != nullptr &&
+                  registry_ != &obs::MetricsRegistry::Default()));
+}
+
+std::string Server::ScrapeMetricsJson() const {
+  SyncScrapeGauges();
+  return obs::RenderJson(
+      Combine(registry_->Snapshot(),
+              owned_registry_ != nullptr &&
+                  registry_ != &obs::MetricsRegistry::Default()));
+}
+
+std::vector<obs::TraceRecord> Server::DumpTraces() const {
+  return tracer_.Snapshot();
+}
+
+std::string Server::DumpTracesJson() const {
+  return obs::RenderTracesJson(tracer_.Snapshot());
 }
 
 void Server::ClearCaches() {

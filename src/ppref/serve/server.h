@@ -84,6 +84,8 @@
 #include "ppref/infer/matching.h"
 #include "ppref/infer/minmax_condition.h"
 #include "ppref/infer/pattern.h"
+#include "ppref/obs/metrics.h"
+#include "ppref/obs/trace.h"
 #include "ppref/serve/lru_cache.h"
 #include "ppref/serve/stats.h"
 
@@ -132,6 +134,28 @@ struct ServerOptions {
   Degradation degradation = Degradation::kNone;
   /// Sample budget of one Monte-Carlo fallback.
   unsigned degraded_samples = 4096;
+
+  // Observability (see ppref/obs/):
+
+  /// Instrument registry to publish into. Borrowed; must outlive the
+  /// server. nullptr (the default) gives the server a private registry —
+  /// the right choice for tests and for embedding several servers whose
+  /// metrics must not merge. Pass &obs::MetricsRegistry::Default() to fold
+  /// the server into the process-wide scrape.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Record per-stage and end-to-end latency histograms. Counters (request
+  /// and disposition totals, compile/execute nanoseconds) are always on —
+  /// they are the `ServerStats` surface and cost one relaxed add each, the
+  /// same as before the obs layer existed. Histograms add a few clock reads
+  /// per served batch; disable only to shave the last fraction of a percent
+  /// off a saturated warm path.
+  bool latency_histograms = true;
+  /// Request-tracing sampling rate in 1/10000ths (100 = 1%). Sampling is
+  /// deterministic per request fingerprint; 0 (the default) reduces the
+  /// whole tracing path to a null check.
+  unsigned trace_sample_permyriad = 0;
+  /// Bound on retained trace records (oldest overwritten).
+  std::size_t trace_capacity = 1024;
 };
 
 /// Per-request stop conditions, embedded in `Request`.
@@ -224,8 +248,33 @@ class Server {
   /// throws.
   std::vector<Response> EvaluateBatch(const std::vector<Request>& requests);
 
-  /// Point-in-time statistics snapshot.
-  ServerStats stats() const;
+  /// Consistent point-in-time statistics. Every `Evaluate*` call joins its
+  /// workers before returning, so a snapshot taken after the submitting
+  /// calls have returned observes all of their updates — the right way to
+  /// read an end-of-run summary (reading the counters while workers still
+  /// publish only has monitoring consistency).
+  ServerStats Snapshot() const;
+
+  /// Point-in-time statistics snapshot (alias of Snapshot()).
+  ServerStats stats() const { return Snapshot(); }
+
+  /// Prometheus text exposition (format 0.0.4) of this server's
+  /// instruments, followed by the process-wide registry (the DP engine and
+  /// PPD counters) when the server publishes to a private registry.
+  std::string ScrapeMetrics() const;
+
+  /// The same instruments as a JSON object with precomputed p50/p95/p99.
+  std::string ScrapeMetricsJson() const;
+
+  /// The retained trace records, oldest first. Tracing is enabled by
+  /// `ServerOptions::trace_sample_permyriad`.
+  std::vector<obs::TraceRecord> DumpTraces() const;
+
+  /// DumpTraces() rendered as JSON.
+  std::string DumpTracesJson() const;
+
+  /// The server's instrument registry (its own unless one was injected).
+  obs::MetricsRegistry& registry() const { return *registry_; }
 
   /// Drops both caches and their counters (not the request counters).
   void ClearCaches();
@@ -237,6 +286,7 @@ class Server {
   struct CachedResult;
   struct Outcome;
   struct Unit;
+  struct Instruments;
 
   /// Request validation for the status entry points; Ok or kInvalidArgument.
   Status Validate(const Request& request) const;
@@ -256,50 +306,61 @@ class Server {
   std::shared_ptr<const CachedResult> LookupResult(std::uint64_t result_key);
 
   /// Looks up or compiles the plan for (model, pattern, tracked), timing
-  /// compilation into `compile_ns_`. Single-flight per key; a non-null
-  /// `control` bounds both the compile and the wait for another thread's
-  /// compile (throws DeadlineExceededError / CancelledError).
+  /// compilation into the compile instruments. Single-flight per key; a
+  /// non-null `control` bounds both the compile and the wait for another
+  /// thread's compile (throws DeadlineExceededError / CancelledError). A
+  /// non-null `trace` receives the plan_compile / cache_wait spans.
   std::shared_ptr<const CachedPlan> PlanFor(
       const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
       const std::vector<infer::LabelId>& tracked, std::uint64_t plan_key,
-      const RunControl* control = nullptr);
+      const RunControl* control = nullptr,
+      obs::TraceRecord* trace = nullptr);
 
   /// Computes one request exactly (plan lookup + DP execution, timed).
   /// Throws DeadlineExceededError / CancelledError via `control`.
   CachedResult Compute(const Request& request, std::uint64_t plan_key,
-                       const RunControl* control = nullptr);
+                       const RunControl* control = nullptr,
+                       obs::TraceRecord* trace = nullptr);
 
   /// Compute wrapped in the failure policy: catches stop exceptions, applies
   /// the degradation policy, maps everything to a terminal Outcome. Never
   /// throws.
   Outcome ComputeGuarded(const Request& request, std::uint64_t plan_key,
-                         std::uint64_t result_key, const RunControl* control);
+                         std::uint64_t result_key, const RunControl* control,
+                         obs::TraceRecord* trace);
 
   /// The Monte-Carlo fallback of the degradation policy; `status` is the
   /// triggering (non-OK) status the outcome keeps.
   Outcome Degrade(const Request& request, std::uint64_t result_key,
-                  Status status);
+                  Status status, obs::TraceRecord* trace);
+
+  /// Refreshes the scrape-time gauges (in-flight depth, cache counters,
+  /// trace totals) from their sources.
+  void SyncScrapeGauges() const;
 
   /// RAII in-flight depth tracking (legacy unconditional admission).
   class InFlight;
 
   ServerOptions options_;
+  /// options_.threads resolved through ppref::ClampThreads once, at
+  /// construction — the single clamping point for the batch fan-out.
+  unsigned effective_threads_;
   ShardedLruCache<CachedPlan> plan_cache_;
   ShardedLruCache<CachedResult> result_cache_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batch_deduped_{0};
-  std::atomic<std::uint64_t> compile_ns_{0};
-  std::atomic<std::uint64_t> execute_ns_{0};
+  /// Owned when options_.registry is null.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+  /// Registry-backed instruments (counters, gauges, histograms); the
+  /// `ServerStats` accessors read these.
+  std::unique_ptr<Instruments> instruments_;
+  obs::Tracer tracer_;
+
+  /// In-flight depth and its high-water mark stay raw atomics: admission
+  /// control CASes against `in_flight_`, which an instrument API has no
+  /// business exposing. They are mirrored into gauges on scrape.
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> in_flight_peak_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> invalid_{0};
-  std::atomic<std::uint64_t> deadline_exceeded_{0};
-  std::atomic<std::uint64_t> cancelled_{0};
-  std::atomic<std::uint64_t> degraded_{0};
-  std::atomic<std::uint64_t> internal_errors_{0};
 };
 
 }  // namespace ppref::serve

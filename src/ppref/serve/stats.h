@@ -5,10 +5,18 @@
 /// asks: are plans being reused (plan hit rate), are whole answers being
 /// reused (result hit rate), is the cache thrashing (evictions), where do
 /// the cycles go (compile vs. execute nanoseconds), and how deep is the
-/// instantaneous load (in-flight depth). All counters are cumulative since
-/// server construction; `Snapshot` is a consistent-enough point-in-time
-/// read (each counter is individually atomic; cross-counter skew of a few
-/// requests is acceptable for monitoring).
+/// instantaneous load (in-flight depth).
+///
+/// Since the `ppref::obs` subsystem landed, this struct is a *view*: the
+/// server's counters live as named instruments in an `obs::MetricsRegistry`
+/// (scrapeable as Prometheus text / JSON with latency histograms on top),
+/// and `Server::Snapshot()` reads them back into this struct. All counters
+/// are cumulative since server construction. A snapshot taken while workers
+/// still publish has monitoring consistency (every event counted once,
+/// cross-counter skew of the few requests in flight); one taken after the
+/// submitting calls returned — e.g. an end-of-run summary — observes all of
+/// their updates, because every `Evaluate*` call joins its workers before
+/// returning.
 
 #ifndef PPREF_SERVE_STATS_H_
 #define PPREF_SERVE_STATS_H_

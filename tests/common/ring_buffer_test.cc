@@ -1,0 +1,70 @@
+/// \file ring_buffer_test.cc
+/// \brief BoundedRing tests: overwrite-oldest retention, snapshot order,
+/// and concurrent pushes.
+
+#include "ppref/common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ppref {
+namespace {
+
+TEST(RingBufferTest, RetainsInsertionOrderBelowCapacity) {
+  BoundedRing<int> ring(4);
+  ring.Push(1);
+  ring.Push(2);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{1, 2}));
+}
+
+TEST(RingBufferTest, OverwritesOldestWhenFull) {
+  BoundedRing<int> ring(3);
+  for (int i = 1; i <= 7; ++i) ring.Push(i);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_pushed(), 7u);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{5, 6, 7}));
+}
+
+TEST(RingBufferTest, ClearKeepsLifetimeTotal) {
+  BoundedRing<int> ring(2);
+  ring.Push(1);
+  ring.Push(2);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.total_pushed(), 2u);
+  ring.Push(3);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{3}));
+}
+
+TEST(RingBufferTest, ZeroCapacityIsClampedToOne) {
+  BoundedRing<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Push(1);
+  ring.Push(2);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{2}));
+}
+
+TEST(RingBufferTest, ConcurrentPushersNeverLoseTheTotal) {
+  BoundedRing<int> ring(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < 500; ++i) ring.Push(t * 1000 + i);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ring.total_pushed(), 2000u);
+  const std::vector<int> snapshot = ring.Snapshot();
+  EXPECT_EQ(snapshot.size(), 16u);
+  // Retained entries are distinct pushed values.
+  const std::set<int> unique(snapshot.begin(), snapshot.end());
+  EXPECT_EQ(unique.size(), snapshot.size());
+}
+
+}  // namespace
+}  // namespace ppref

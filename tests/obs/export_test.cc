@@ -1,0 +1,250 @@
+/// \file export_test.cc
+/// \brief Exposition tests: the Prometheus text output passes a mini
+/// format validator (line grammar, TYPE-before-samples, cumulative
+/// buckets ending in +Inf == count), and the JSON dumps carry the
+/// precomputed quantiles and stage timings.
+
+#include "ppref/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ppref/obs/metrics.h"
+#include "ppref/obs/trace.h"
+
+namespace ppref::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+      name[0] != ':') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A minimal validator for the Prometheus text format subset the renderer
+/// emits. Checks, per line: comment grammar or `name[{labels}] value`; and
+/// globally: every sample's base metric has a preceding # TYPE, histogram
+/// bucket series are cumulative and end in `+Inf` == `_count`.
+void ValidatePrometheus(const std::string& text) {
+  std::map<std::string, std::string> type_of;         // metric -> TYPE
+  std::map<std::string, std::vector<double>> buckets; // metric -> cumulative
+  std::map<std::string, double> inf_bucket;
+  std::map<std::string, double> count_of;
+  for (const std::string& line : Lines(text)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" or "# TYPE name kind".
+      ASSERT_TRUE(line.size() > 2 && line[1] == ' ') << line;
+      const std::size_t kind_end = line.find(' ', 2);
+      ASSERT_NE(kind_end, std::string::npos) << line;
+      const std::string kind = line.substr(2, kind_end - 2);
+      ASSERT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      const std::size_t name_end = line.find(' ', kind_end + 1);
+      ASSERT_NE(name_end, std::string::npos) << line;
+      const std::string name = line.substr(kind_end + 1, name_end - kind_end - 1);
+      ASSERT_TRUE(ValidMetricName(name)) << line;
+      if (kind == "TYPE") {
+        const std::string type = line.substr(name_end + 1);
+        ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram")
+            << line;
+        type_of[name] = type;
+      }
+      continue;
+    }
+    // Sample line.
+    std::string name;
+    std::string labels;
+    std::size_t value_start;
+    const std::size_t brace = line.find('{');
+    if (brace != std::string::npos) {
+      const std::size_t close = line.find('}', brace);
+      ASSERT_NE(close, std::string::npos) << line;
+      name = line.substr(0, brace);
+      labels = line.substr(brace + 1, close - brace - 1);
+      value_start = close + 1;
+    } else {
+      const std::size_t space = line.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      name = line.substr(0, space);
+      value_start = space;
+    }
+    ASSERT_TRUE(ValidMetricName(name)) << line;
+    ASSERT_LT(value_start, line.size()) << line;
+    char* parse_end = nullptr;
+    const double value = std::strtod(line.c_str() + value_start, &parse_end);
+    ASSERT_EQ(*parse_end, '\0') << "trailing garbage: " << line;
+
+    // Resolve the base metric the sample belongs to and check TYPE came
+    // first (the _max companion gauge has its own TYPE line).
+    std::string base = name;
+    const auto strip = [&base](const char* suffix) {
+      const std::string s = suffix;
+      if (base.size() > s.size() &&
+          base.compare(base.size() - s.size(), s.size(), s) == 0) {
+        base.resize(base.size() - s.size());
+        return true;
+      }
+      return false;
+    };
+    if (brace != std::string::npos && strip("_bucket")) {
+      ASSERT_EQ(type_of.count(base), 1u) << "bucket before TYPE: " << line;
+      ASSERT_EQ(type_of[base], "histogram") << line;
+      const std::size_t le = labels.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << line;
+      const std::string bound =
+          labels.substr(le + 4, labels.find('"', le + 4) - le - 4);
+      if (bound == "+Inf") {
+        inf_bucket[base] = value;
+      } else {
+        buckets[base].push_back(value);
+      }
+    } else if (strip("_sum") && type_of.count(base) != 0 &&
+               type_of[base] == "histogram") {
+      // sum is a free value; nothing cumulative to check.
+    } else if (strip("_count") && type_of.count(base) != 0 &&
+               type_of[base] == "histogram") {
+      count_of[base] = value;
+    } else {
+      ASSERT_EQ(type_of.count(name), 1u) << "sample before TYPE: " << line;
+      ASSERT_NE(type_of[name], "histogram") << line;
+    }
+  }
+  // Histogram invariants: cumulative bucket series non-decreasing, the
+  // +Inf bucket present and equal to _count.
+  for (const auto& [name, type] : type_of) {
+    if (type != "histogram") continue;
+    ASSERT_EQ(inf_bucket.count(name), 1u) << name << " missing +Inf bucket";
+    ASSERT_EQ(count_of.count(name), 1u) << name << " missing _count";
+    EXPECT_EQ(inf_bucket[name], count_of[name]) << name;
+    double previous = 0.0;
+    for (double cumulative : buckets[name]) {
+      EXPECT_GE(cumulative, previous) << name << " buckets not cumulative";
+      previous = cumulative;
+    }
+    EXPECT_LE(previous, inf_bucket[name]) << name;
+  }
+}
+
+MetricsSnapshot MakeSnapshot() {
+  // Built through a real registry so the exposition sees exactly what a
+  // server scrape would.
+  static MetricsRegistry registry;
+  static bool populated = false;
+  if (!populated) {
+    populated = true;
+    registry.GetCounter("export_requests_total", "served requests").Inc(42);
+    registry.GetGauge("export_in_flight", "current depth").Set(-3);
+    Histogram& latency =
+        registry.GetHistogram("export_latency_ns", "e2e latency");
+    latency.Record(1);
+    latency.Record(3);
+    latency.Record(900);
+    latency.Record(std::uint64_t{1} << 50);  // overflow bucket
+    registry.GetHistogram("export_empty_ns", "never recorded");
+  }
+  return registry.Snapshot();
+}
+
+TEST(ObsExportTest, PrometheusOutputPassesMiniValidator) {
+  ValidatePrometheus(RenderPrometheus(MakeSnapshot()));
+}
+
+TEST(ObsExportTest, PrometheusRendersEveryInstrumentKind) {
+  const std::string text = RenderPrometheus(MakeSnapshot());
+  EXPECT_NE(text.find("# TYPE export_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("export_requests_total 42"), std::string::npos);
+  EXPECT_NE(text.find("export_in_flight -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE export_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("export_latency_ns_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("export_latency_ns_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("export_latency_ns_count 4"), std::string::npos);
+  // The companion max gauge is its own well-formed metric.
+  EXPECT_NE(text.find("# TYPE export_latency_ns_max gauge"),
+            std::string::npos);
+  // The empty histogram still renders its +Inf bucket and zero count.
+  EXPECT_NE(text.find("export_empty_ns_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+}
+
+TEST(ObsExportTest, HelpTextIsEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc_total", "line one\nback\\slash").Inc();
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP esc_total line one\\nback\\\\slash"),
+            std::string::npos);
+  // The rendered HELP stays a single line.
+  ValidatePrometheus(text);
+}
+
+TEST(ObsExportTest, JsonCarriesQuantiles) {
+  const std::string json = RenderJson(MakeSnapshot());
+  EXPECT_NE(json.find("\"export_requests_total\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"export_in_flight\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  // Balanced braces (cheap structural sanity without a JSON library).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ObsExportTest, TracesJsonRendersStages) {
+  TraceRecord record;
+  record.fingerprint = 0xABCDu;
+  record.start_ns = 100;
+  record.end_ns = 1100;
+  record.stage_ns[static_cast<unsigned>(Stage::kDpExecute)] = 800;
+  record.stage_ns[static_cast<unsigned>(Stage::kQueue)] = 200;
+  record.status_code = 2;
+  record.approximate = true;
+  const std::string json = RenderTracesJson({record});
+  EXPECT_NE(json.find("\"fingerprint\": \"000000000000abcd\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"approximate\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"dp_execute\": 800"), std::string::npos);
+  EXPECT_NE(json.find("\"queue\": 200"), std::string::npos);
+  // Zero stages are omitted.
+  EXPECT_EQ(json.find("\"mc_fallback\""), std::string::npos);
+  // Empty dump is still a valid document shell.
+  EXPECT_NE(RenderTracesJson({}).find("{\"traces\": ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppref::obs

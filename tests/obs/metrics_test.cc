@@ -1,0 +1,253 @@
+/// \file metrics_test.cc
+/// \brief obs instrument tests: counter/gauge semantics, the histogram's
+/// log-scale bucket math (boundaries, shard merge, overflow bucket), and a
+/// concurrent registry stress test (run under TSan by scripts/check.sh).
+
+#include "ppref/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace ppref::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Inc();
+  counter.Inc(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(ObsMetricsTest, CounterSumsAcrossThreadShards) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  // More threads than shards, so shard assignments must wrap and merge.
+  for (unsigned t = 0; t < 2 * kMetricShards; ++t) {
+    threads.emplace_back([&counter] {
+      for (unsigned i = 0; i < 1000; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), 2u * kMetricShards * 1000u);
+}
+
+TEST(ObsMetricsTest, GaugeSetAddAndNegative) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.Value(), -15);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+}
+
+TEST(ObsHistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  // Everything past the last finite bucket lands in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(std::uint64_t{1} << 60),
+            Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(ObsHistogramTest, BucketUpperBoundsArePowersOfTwoMinusOne) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBucketCount - 1),
+            std::numeric_limits<std::uint64_t>::max());
+  // Bucket i's range [2^(i-1), 2^i - 1] nests against bucket i-1's bound.
+  for (unsigned i = 2; i + 1 < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::BucketUpperBound(i),
+              2 * Histogram::BucketUpperBound(i - 1) + 1);
+  }
+}
+
+TEST(ObsHistogramTest, QuantilesExactAtBucketBoundaries) {
+  // Values sitting exactly on bucket upper bounds are reproduced exactly by
+  // the quantile estimate — the property the power-of-two scheme buys.
+  Histogram histogram;
+  histogram.Record(1);
+  histogram.Record(3);
+  histogram.Record(7);
+  histogram.Record(15);
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_EQ(data.sum, 26u);
+  EXPECT_EQ(data.max, 15u);
+  EXPECT_EQ(data.Quantile(0.25), 1u);
+  EXPECT_EQ(data.Quantile(0.50), 3u);
+  EXPECT_EQ(data.Quantile(0.75), 7u);
+  EXPECT_EQ(data.Quantile(1.00), 15u);
+}
+
+TEST(ObsHistogramTest, QuantileClampsToTrackedMax) {
+  // A single mid-bucket value: the bucket bound (7) over-estimates, the
+  // tracked max caps it back to the exact value.
+  Histogram histogram;
+  histogram.Record(5);
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.Quantile(0.5), 5u);
+  EXPECT_EQ(data.Quantile(1.0), 5u);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Snapshot().Quantile(0.99), 0u);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+}
+
+TEST(ObsHistogramTest, OverflowBucketReportsExactMax) {
+  Histogram histogram;
+  histogram.Record(1);
+  const std::uint64_t huge = (std::uint64_t{1} << 45) + 17;
+  histogram.Record(huge);
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.buckets[Histogram::kBucketCount - 1], 1u);
+  // The overflow bucket has no finite bound; its quantile is the exact max.
+  EXPECT_EQ(data.Quantile(0.99), huge);
+  EXPECT_EQ(data.max, huge);
+}
+
+TEST(ObsHistogramTest, RecordManyCountsAllSamples) {
+  Histogram histogram;
+  histogram.RecordMany(100, 5);
+  histogram.RecordMany(100, 0);  // no-op
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_EQ(data.sum, 500u);
+  EXPECT_EQ(data.buckets[Histogram::BucketIndex(100)], 5u);
+}
+
+TEST(ObsHistogramTest, SnapshotMergesThreadShards) {
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 2 * kMetricShards; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (unsigned i = 0; i < 100; ++i) histogram.Record(t + 1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, 2u * kMetricShards * 100u);
+  EXPECT_EQ(data.max, 2u * kMetricShards);
+  std::uint64_t bucketed = 0;
+  for (std::uint64_t bucket : data.buckets) bucketed += bucket;
+  EXPECT_EQ(bucketed, data.count);
+}
+
+TEST(ObsHistogramTest, MergeAddsBucketsAndTotals) {
+  Histogram a;
+  Histogram b;
+  a.Record(3);
+  a.Record(100);
+  b.Record(7);
+  b.Record(1000);
+  HistogramData merged;  // starts empty: Merge must size the buckets
+  merged.Merge(a.Snapshot());
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum, 1110u);
+  EXPECT_EQ(merged.max, 1000u);
+  EXPECT_EQ(merged.Quantile(0.25), 3u);
+  EXPECT_EQ(merged.Quantile(1.0), 1000u);
+}
+
+TEST(ObsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("reg_test_total", "help text");
+  Counter& b = registry.GetCounter("reg_test_total", "ignored on re-get");
+  EXPECT_EQ(&a, &b);
+  a.Inc(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* sample = snapshot.Find("reg_test_total");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, InstrumentKind::kCounter);
+  EXPECT_EQ(sample->counter_value, 3u);
+  EXPECT_EQ(sample->help, "help text");
+}
+
+TEST(ObsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz_total");
+  registry.GetGauge("aa_gauge").Set(-4);
+  registry.GetHistogram("mm_ns").Record(9);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 3u);
+  EXPECT_EQ(snapshot.samples[0].name, "aa_gauge");
+  EXPECT_EQ(snapshot.samples[0].gauge_value, -4);
+  EXPECT_EQ(snapshot.samples[1].name, "mm_ns");
+  EXPECT_EQ(snapshot.samples[1].histogram.count, 1u);
+  EXPECT_EQ(snapshot.samples[2].name, "zz_total");
+  EXPECT_EQ(snapshot.Find("missing"), nullptr);
+}
+
+TEST(ObsRegistryTest, ConcurrentRegistrationUpdatesAndScrapes) {
+  // The TSan stress: writers register-or-get and update instruments while a
+  // scraper snapshots concurrently. Correctness bar: no data race, and the
+  // final snapshot (after join) observes every update exactly once.
+  MetricsRegistry registry;
+  constexpr unsigned kWriters = 8;
+  constexpr unsigned kIters = 2000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snapshot = registry.Snapshot();
+      for (const MetricSample& sample : snapshot.samples) {
+        if (sample.kind == InstrumentKind::kHistogram) {
+          // Quantiles over a racing snapshot must still be well-formed.
+          EXPECT_LE(sample.histogram.Quantile(0.5), sample.histogram.max);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (unsigned w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      // Half the writers share names with a neighbor, so registration races
+      // on one map entry are exercised, not just the fast path.
+      Counter& counter = registry.GetCounter(
+          "stress_counter_" + std::to_string(w / 2) + "_total");
+      Histogram& histogram = registry.GetHistogram("stress_latency_ns");
+      for (unsigned i = 0; i < kIters; ++i) {
+        counter.Inc();
+        histogram.Record(i);
+        registry.GetGauge("stress_gauge").Set(static_cast<std::int64_t>(i));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  std::uint64_t total = 0;
+  for (unsigned w = 0; w < kWriters / 2; ++w) {
+    const MetricSample* sample =
+        snapshot.Find("stress_counter_" + std::to_string(w) + "_total");
+    ASSERT_NE(sample, nullptr);
+    total += sample->counter_value;
+  }
+  EXPECT_EQ(total, std::uint64_t{kWriters} * kIters);
+  const MetricSample* latency = snapshot.Find("stress_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->histogram.count, std::uint64_t{kWriters} * kIters);
+  EXPECT_EQ(latency->histogram.max, kIters - 1);
+}
+
+TEST(ObsRegistryTest, DefaultRegistryIsProcessWideSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace ppref::obs

@@ -1,0 +1,121 @@
+/// \file trace_test.cc
+/// \brief obs tracing tests: deterministic sampling, span accounting, and
+/// the bounded trace ring.
+
+#include "ppref/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace ppref::obs {
+namespace {
+
+TEST(ObsTraceTest, StageNamesAreStable) {
+  EXPECT_STREQ(StageName(Stage::kAdmission), "admission");
+  EXPECT_STREQ(StageName(Stage::kDedupFold), "dedup_fold");
+  EXPECT_STREQ(StageName(Stage::kQueue), "queue");
+  EXPECT_STREQ(StageName(Stage::kPlanCompile), "plan_compile");
+  EXPECT_STREQ(StageName(Stage::kCacheWait), "cache_wait");
+  EXPECT_STREQ(StageName(Stage::kDpExecute), "dp_execute");
+  EXPECT_STREQ(StageName(Stage::kMcFallback), "mc_fallback");
+  EXPECT_STREQ(StageName(Stage::kScatter), "scatter");
+  // Every stage has a distinct name (the JSON keys must not collide).
+  std::set<std::string> names;
+  for (unsigned s = 0; s < kStageCount; ++s) {
+    names.insert(StageName(static_cast<Stage>(s)));
+  }
+  EXPECT_EQ(names.size(), kStageCount);
+}
+
+TEST(ObsTraceTest, SamplingRateZeroNeverOneAlways) {
+  const Tracer off(16, 0);
+  const Tracer all(16, 10000);
+  for (std::uint64_t fp = 0; fp < 1000; ++fp) {
+    EXPECT_FALSE(off.ShouldSample(fp));
+    EXPECT_TRUE(all.ShouldSample(fp));
+  }
+}
+
+TEST(ObsTraceTest, SamplingIsDeterministicPerFingerprint) {
+  const Tracer tracer(16, 5000);
+  for (std::uint64_t fp = 1; fp < 100; ++fp) {
+    const bool first = tracer.ShouldSample(fp);
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      EXPECT_EQ(tracer.ShouldSample(fp), first);
+    }
+  }
+}
+
+TEST(ObsTraceTest, SamplingFractionTracksRate) {
+  const Tracer tracer(16, 1000);  // 10%
+  unsigned sampled = 0;
+  for (std::uint64_t fp = 1; fp <= 20000; ++fp) {
+    if (tracer.ShouldSample(fp)) ++sampled;
+  }
+  // 10% of 20k sequential fingerprints, generous mixing tolerance.
+  EXPECT_GT(sampled, 1000u);
+  EXPECT_LT(sampled, 3000u);
+}
+
+TEST(ObsTraceTest, SamplingRateAdjustableAtRuntime) {
+  Tracer tracer(16, 0);
+  EXPECT_FALSE(tracer.ShouldSample(7));
+  tracer.set_sample_permyriad(10000);
+  EXPECT_TRUE(tracer.ShouldSample(7));
+  EXPECT_EQ(tracer.sample_permyriad(), 10000u);
+}
+
+TEST(ObsTraceTest, SpanOverNullRecordIsNoOp) {
+  // Must not crash or read the clock; nothing observable to assert beyond
+  // construction + destruction being safe.
+  const TraceSpan span(nullptr, Stage::kDpExecute);
+}
+
+TEST(ObsTraceTest, SpanAccumulatesIntoStage) {
+  TraceRecord record;
+  {
+    const TraceSpan span(&record, Stage::kDpExecute);
+  }
+  {
+    const TraceSpan span(&record, Stage::kDpExecute);
+  }
+  // Two spans accumulate (>= 0 each; clock is monotonic). The other stages
+  // stay untouched.
+  for (unsigned s = 0; s < kStageCount; ++s) {
+    if (static_cast<Stage>(s) == Stage::kDpExecute) continue;
+    EXPECT_EQ(record.stage_ns[s], 0u);
+  }
+  EXPECT_EQ(record.StageTotalNs(),
+            record.stage_ns[static_cast<unsigned>(Stage::kDpExecute)]);
+}
+
+TEST(ObsTraceTest, RingBoundsRetainedRecordsOldestFirst) {
+  Tracer tracer(4, 10000);
+  for (std::uint64_t fp = 1; fp <= 10; ++fp) {
+    TraceRecord record;
+    record.fingerprint = fp;
+    tracer.Publish(record);
+  }
+  EXPECT_EQ(tracer.total_published(), 10u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  const std::vector<TraceRecord> records = tracer.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].fingerprint, 7u + i);
+  }
+}
+
+TEST(ObsTraceTest, ZeroCapacityClampsToOne) {
+  Tracer tracer(0, 10000);
+  EXPECT_EQ(tracer.capacity(), 1u);
+  TraceRecord record;
+  record.fingerprint = 9;
+  tracer.Publish(record);
+  ASSERT_EQ(tracer.Snapshot().size(), 1u);
+  EXPECT_EQ(tracer.Snapshot()[0].fingerprint, 9u);
+}
+
+}  // namespace
+}  // namespace ppref::obs

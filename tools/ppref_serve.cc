@@ -8,7 +8,12 @@
 /// Usage:
 ///   ppref_serve [--requests N] [--unique U] [--batch B] [--seed S]
 ///               [--threads T] [--plan-cache N] [--result-cache N]
-///               [--shards N] [--verify N]
+///               [--shards N] [--verify N] [--trace-sample PERMYRIAD]
+///               [--metrics-out FILE] [--trace-out FILE]
+///
+/// `--metrics-out` writes the end-of-run Prometheus text exposition (scrape
+/// it, or point `ppref_top` at it); `--trace-out` writes the sampled trace
+/// records as JSON (`--trace-sample 10000` traces every request).
 ///
 /// Every answer the verification sample checks must be bit-identical to its
 /// per-request serial evaluation; the tool exits nonzero otherwise.
@@ -38,6 +43,8 @@ struct Options {
   std::size_t batch = 32;
   std::uint64_t seed = 1;
   std::size_t verify = 25;
+  std::string metrics_out;
+  std::string trace_out;
   serve::ServerOptions server;
 };
 
@@ -45,7 +52,8 @@ void PrintUsage(const char* argv0) {
   std::printf(
       "usage: %s [--requests N] [--unique U] [--batch B] [--seed S]\n"
       "          [--threads T] [--plan-cache N] [--result-cache N]\n"
-      "          [--shards N] [--verify N]\n",
+      "          [--shards N] [--verify N] [--trace-sample PERMYRIAD]\n"
+      "          [--metrics-out FILE] [--trace-out FILE]\n",
       argv0);
 }
 
@@ -56,6 +64,15 @@ bool ParseArgs(int argc, char** argv, Options& options) {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for %s\n", flag.c_str());
       return false;
+    }
+    // Path-valued flags take the next argument verbatim.
+    if (flag == "--metrics-out") {
+      options.metrics_out = argv[++i];
+      continue;
+    }
+    if (flag == "--trace-out") {
+      options.trace_out = argv[++i];
+      continue;
     }
     const unsigned long long value = std::strtoull(argv[++i], nullptr, 10);
     if (flag == "--requests") {
@@ -76,6 +93,8 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.server.result_cache_capacity = value;
     } else if (flag == "--shards") {
       options.server.cache_shards = static_cast<unsigned>(value);
+    } else if (flag == "--trace-sample") {
+      options.server.trace_sample_permyriad = static_cast<unsigned>(value);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -184,7 +203,32 @@ int main(int argc, char** argv) {
     }
   }
 
-  const serve::ServerStats stats = server.stats();
+  // Post-join consistency: every EvaluateBatch above has returned, so this
+  // snapshot observes all of their updates (not just monitoring-consistent
+  // mid-run reads of individual counters).
+  const serve::ServerStats stats = server.Snapshot();
+
+  if (!options.metrics_out.empty()) {
+    if (std::FILE* out = std::fopen(options.metrics_out.c_str(), "w")) {
+      const std::string text = server.ScrapeMetrics();
+      std::fwrite(text.data(), 1, text.size(), out);
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
+      return 2;
+    }
+  }
+  if (!options.trace_out.empty()) {
+    if (std::FILE* out = std::fopen(options.trace_out.c_str(), "w")) {
+      const std::string text = server.DumpTracesJson();
+      std::fwrite(text.data(), 1, text.size(), out);
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.trace_out.c_str());
+      return 2;
+    }
+  }
+
   std::printf("ppref_serve: %zu requests over %zu unique (model, pattern) "
               "pairs, batch=%zu, seed=%llu\n\n",
               options.requests, options.unique, options.batch,

@@ -1,0 +1,301 @@
+/// \file ppref_top.cc
+/// \brief A `top`-style viewer for ppref serving metrics: reads a
+/// Prometheus text file (as written by `ppref_serve --metrics-out`, or by
+/// any embedder dumping `Server::ScrapeMetrics()` on a timer) and renders
+/// the request counters and a per-stage latency breakdown.
+///
+/// Usage:
+///   ppref_top --file FILE [--follow] [--interval-ms N]
+///
+/// `--follow` re-reads the file every interval and redraws in place, so a
+/// server periodically rewriting its stats file gets a live dashboard; the
+/// default is one render (`--once` behavior, useful in scripts and tests).
+///
+/// The parser accepts the subset of the Prometheus text exposition format
+/// 0.0.4 that `obs::RenderPrometheus` emits: `# HELP` / `# TYPE` comments,
+/// scalar samples, and histogram triplets (`_bucket{le="..."}`, `_sum`,
+/// `_count`) with the companion `_max` gauge.
+
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+/// One parsed metric: a scalar, or an accumulating histogram view.
+struct Metric {
+  bool is_histogram = false;
+  double value = 0.0;  // scalar
+  // Histogram: (le upper bound, cumulative count), in file order —
+  // RenderPrometheus emits ascending le ending in +Inf.
+  std::vector<std::pair<double, double>> buckets;
+  double sum = 0.0;
+  double count = 0.0;
+  double max = 0.0;
+};
+
+using Metrics = std::map<std::string, Metric>;
+
+/// Splits one sample line "name{labels} value" / "name value"; returns
+/// false on comments, blanks, and anything unparseable.
+bool ParseSampleLine(const std::string& line, std::string& name,
+                     std::string& labels, double& value) {
+  if (line.empty() || line[0] == '#') return false;
+  const std::size_t brace = line.find('{');
+  std::size_t value_start;
+  if (brace != std::string::npos) {
+    const std::size_t close = line.find('}', brace);
+    if (close == std::string::npos) return false;
+    name = line.substr(0, brace);
+    labels = line.substr(brace + 1, close - brace - 1);
+    value_start = close + 1;
+  } else {
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) return false;
+    name = line.substr(0, space);
+    labels.clear();
+    value_start = space;
+  }
+  while (value_start < line.size() && line[value_start] == ' ') ++value_start;
+  if (value_start >= line.size()) return false;
+  value = std::strtod(line.c_str() + value_start, nullptr);
+  return true;
+}
+
+/// The value of a `le="..."` label; +Inf maps to infinity.
+double ParseLe(const std::string& labels) {
+  const std::size_t le = labels.find("le=\"");
+  if (le == std::string::npos) return 0.0;
+  const std::size_t begin = le + 4;
+  const std::size_t end = labels.find('"', begin);
+  const std::string text = labels.substr(begin, end - begin);
+  if (text == "+Inf") return std::numeric_limits<double>::infinity();
+  return std::strtod(text.c_str(), nullptr);
+}
+
+/// Strips a known suffix in place; returns whether it was present.
+bool StripSuffix(std::string& name, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  if (name.size() < n || name.compare(name.size() - n, n, suffix) != 0) {
+    return false;
+  }
+  name.resize(name.size() - n);
+  return true;
+}
+
+Metrics ParseMetrics(const std::string& text) {
+  Metrics metrics;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    std::string name;
+    std::string labels;
+    double value = 0.0;
+    if (!ParseSampleLine(line, name, labels, value)) continue;
+    std::string base = name;
+    if (StripSuffix(base, "_bucket") && labels.find("le=\"") != std::string::npos) {
+      Metric& metric = metrics[base];
+      metric.is_histogram = true;
+      metric.buckets.emplace_back(ParseLe(labels), value);
+    } else if (base = name; StripSuffix(base, "_sum") &&
+               metrics.count(base) != 0 && metrics[base].is_histogram) {
+      metrics[base].sum = value;
+    } else if (base = name; StripSuffix(base, "_count") &&
+               metrics.count(base) != 0 && metrics[base].is_histogram) {
+      metrics[base].count = value;
+    } else if (base = name; StripSuffix(base, "_max") &&
+               metrics.count(base) != 0 && metrics[base].is_histogram) {
+      metrics[base].max = value;
+    } else {
+      metrics[name].value = value;
+    }
+  }
+  return metrics;
+}
+
+/// Quantile estimate from cumulative buckets: the upper bound of the first
+/// bucket whose cumulative count reaches rank ceil(q * count), clamped to
+/// the tracked max (exact for the overflow bucket and q = 1).
+double Quantile(const Metric& metric, double q) {
+  if (metric.count <= 0.0) return 0.0;
+  double rank = q * metric.count;
+  if (rank < 1.0) rank = 1.0;
+  for (const auto& [le, cumulative] : metric.buckets) {
+    if (cumulative + 0.5 >= rank) {
+      if (le == std::numeric_limits<double>::infinity() ||
+          (metric.max > 0.0 && le > metric.max)) {
+        return metric.max;
+      }
+      return le;
+    }
+  }
+  return metric.max;
+}
+
+/// Nanoseconds as a human-scaled string.
+std::string FormatNs(double ns) {
+  char buffer[32];
+  if (ns >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fns", ns);
+  }
+  return buffer;
+}
+
+double ScalarOr0(const Metrics& metrics, const std::string& name) {
+  const auto it = metrics.find(name);
+  return it == metrics.end() ? 0.0 : it->second.value;
+}
+
+void RenderCounterRow(const Metrics& metrics, const char* label,
+                      const std::string& name) {
+  if (metrics.count(name) == 0) return;
+  std::printf("  %-24s %14.0f\n", label, ScalarOr0(metrics, name));
+}
+
+void Render(const Metrics& metrics) {
+  std::printf("== requests ==\n");
+  RenderCounterRow(metrics, "requests", "ppref_serve_requests_total");
+  RenderCounterRow(metrics, "batches", "ppref_serve_batches_total");
+  RenderCounterRow(metrics, "deduped", "ppref_serve_batch_deduped_total");
+  RenderCounterRow(metrics, "shed", "ppref_serve_shed_total");
+  RenderCounterRow(metrics, "invalid", "ppref_serve_invalid_total");
+  RenderCounterRow(metrics, "deadline exceeded",
+                   "ppref_serve_deadline_exceeded_total");
+  RenderCounterRow(metrics, "cancelled", "ppref_serve_cancelled_total");
+  RenderCounterRow(metrics, "degraded", "ppref_serve_degraded_total");
+  RenderCounterRow(metrics, "internal errors",
+                   "ppref_serve_internal_errors_total");
+  RenderCounterRow(metrics, "in-flight", "ppref_serve_in_flight");
+  RenderCounterRow(metrics, "in-flight peak", "ppref_serve_in_flight_peak");
+
+  std::printf("\n== caches ==\n");
+  RenderCounterRow(metrics, "plan hits", "ppref_serve_plan_cache_hits");
+  RenderCounterRow(metrics, "plan misses", "ppref_serve_plan_cache_misses");
+  RenderCounterRow(metrics, "result hits", "ppref_serve_result_cache_hits");
+  RenderCounterRow(metrics, "result misses",
+                   "ppref_serve_result_cache_misses");
+  RenderCounterRow(metrics, "result evictions",
+                   "ppref_serve_result_cache_evictions");
+
+  // Per-stage latency table. Stage sums are shares of the total stage time
+  // — where a request's wall clock actually goes.
+  static const struct {
+    const char* label;
+    const char* name;
+  } kStages[] = {
+      {"admission", "ppref_serve_stage_admission_ns"},
+      {"dedup fold", "ppref_serve_stage_dedup_fold_ns"},
+      {"queue", "ppref_serve_stage_queue_ns"},
+      {"plan compile", "ppref_serve_stage_plan_compile_ns"},
+      {"dp execute", "ppref_serve_stage_dp_execute_ns"},
+      {"mc fallback", "ppref_serve_stage_mc_fallback_ns"},
+      {"scatter", "ppref_serve_stage_scatter_ns"},
+      {"batch e2e", "ppref_serve_batch_latency_ns"},
+      {"request e2e", "ppref_serve_request_latency_ns"},
+  };
+  double stage_total = 0.0;
+  for (const auto& stage : kStages) {
+    const auto it = metrics.find(stage.name);
+    if (it == metrics.end() || !it->second.is_histogram) continue;
+    if (std::strncmp(stage.name, "ppref_serve_stage_", 18) == 0) {
+      stage_total += it->second.sum;
+    }
+  }
+  std::printf("\n== latency (per stage) ==\n");
+  std::printf("  %-14s %10s %10s %10s %10s %10s %6s\n", "stage", "count",
+              "p50", "p95", "p99", "max", "share");
+  for (const auto& stage : kStages) {
+    const auto it = metrics.find(stage.name);
+    if (it == metrics.end() || !it->second.is_histogram) continue;
+    const Metric& metric = it->second;
+    const bool is_stage =
+        std::strncmp(stage.name, "ppref_serve_stage_", 18) == 0;
+    const double share =
+        is_stage && stage_total > 0.0 ? 100.0 * metric.sum / stage_total : 0.0;
+    std::printf("  %-14s %10.0f %10s %10s %10s %10s ", stage.label,
+                metric.count, FormatNs(Quantile(metric, 0.50)).c_str(),
+                FormatNs(Quantile(metric, 0.95)).c_str(),
+                FormatNs(Quantile(metric, 0.99)).c_str(),
+                FormatNs(metric.max).c_str());
+    if (is_stage) {
+      std::printf("%5.1f%%\n", share);
+    } else {
+      std::printf("%6s\n", "-");
+    }
+  }
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return false;
+  out.clear();
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.append(buffer, n);
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool follow = false;
+  long interval_ms = 1000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--follow") {
+      follow = true;
+    } else if (flag == "--once") {
+      follow = false;
+    } else if (flag == "--file" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (flag == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --file FILE [--follow] [--interval-ms N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s --file FILE [--follow] [--interval-ms N]\n",
+                 argv[0]);
+    return 2;
+  }
+  for (;;) {
+    std::string text;
+    if (!ReadFile(path, text)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    if (follow) std::printf("\x1b[2J\x1b[H");  // clear + home
+    std::printf("ppref_top: %s\n\n", path.c_str());
+    Render(ParseMetrics(text));
+    std::fflush(stdout);
+    if (!follow) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        interval_ms > 0 ? interval_ms : 1000));
+  }
+  return 0;
+}
