@@ -1,0 +1,301 @@
+/// \file bench_e21_net.cc
+/// \brief Experiment E21 — end-to-end network serving cost: what does the
+/// wire (TCP loopback + framing + codec + epoll dispatch) add on top of the
+/// in-process serve path, and how does throughput scale with concurrent
+/// client processes?
+///
+/// Topology: the parent binds an ephemeral loopback listen socket while
+/// still single-threaded, forks ONE daemon child that adopts the socket
+/// (`DaemonOptions::listen_fd`) and serves it with a worker pool, then for
+/// each client count N in {1, 2, 4, 8} forks N client processes. Each
+/// client replays a deterministic trace of binary protocol requests over
+/// one connection, measures per-request round-trip latency, and streams
+/// its latency vector back over a pipe. The parent merges the vectors for
+/// exact percentiles. Everything is fork-safe by construction: the only
+/// multi-threaded process is the daemon child.
+///
+/// Correctness gate: every client checks every answer bit-identical to a
+/// locally computed `infer::PatternProb` oracle for its model/pattern
+/// pair, and the daemon must drain cleanly (SIGTERM, exit 0) at the end —
+/// a wire that corrupts doubles or a daemon that wedges fails the run.
+/// Emits `BENCH_net.json` for trajectory tracking.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppref/common/random.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/net/client.h"
+#include "ppref/net/daemon.h"
+#include "ppref/serve/workload.h"
+
+using namespace ppref;
+using namespace ppref::bench;
+
+namespace {
+
+constexpr std::size_t kUniquePairs = 8;
+constexpr std::size_t kRequestsPerClient = 2000;
+const std::vector<unsigned> kClientCounts = {1, 2, 4, 8};
+
+/// Binds 127.0.0.1:0 and listens; returns the fd and stores the port.
+int BindEphemeral(int* port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 128) != 0) {
+    close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    return -1;
+  }
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Daemon child body: adopt the listen socket, serve until SIGTERM drains.
+[[noreturn]] void RunDaemon(int listen_fd) {
+  net::DaemonOptions options;
+  options.listen_fd = listen_fd;
+  options.connection_deadline_ns = 0;  // clients pause while being forked
+  net::Daemon daemon(std::move(options));
+  if (!daemon.Start().ok()) _exit(2);
+  // SIGTERM → graceful drain; default disposition would skip the drain, so
+  // route it through RequestDrain (async-signal-safe).
+  static net::Daemon* g_daemon = &daemon;
+  struct sigaction action {};
+  action.sa_handler = [](int) { g_daemon->RequestDrain(); };
+  sigaction(SIGTERM, &action, nullptr);
+  daemon.Join();
+  _exit(0);
+}
+
+/// Client child body: connect (with retry), replay the trace, verify every
+/// answer against the local oracle, stream latencies down `pipe_fd`.
+[[noreturn]] void RunClient(int port, unsigned client_index, int pipe_fd) {
+  const serve::SyntheticWorkload workload =
+      serve::MakeSyntheticWorkload(kUniquePairs);
+  std::vector<double> oracle(kUniquePairs);
+  for (std::size_t i = 0; i < kUniquePairs; ++i) {
+    oracle[i] = infer::PatternProb(workload.models[i], workload.patterns[i]);
+  }
+
+  net::Client client = [&] {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      StatusOr<net::Client> connected = net::Client::Connect("127.0.0.1", port);
+      if (connected.ok()) return std::move(connected).value();
+      usleep(20 * 1000);
+    }
+    _exit(3);
+  }();
+
+  Rng rng(1000 + client_index);
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(kRequestsPerClient);
+  // Warmup: touch every pair once so the measured loop is the warm path.
+  for (std::size_t i = 0; i < kUniquePairs; ++i) {
+    net::WireRequest request(i + 1, serve::Request::Kind::kPatternProb, 0,
+                             workload.models[i], workload.patterns[i]);
+    if (!client.Call(request).ok()) _exit(4);
+  }
+  const auto replay_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+    const std::size_t pair = rng.NextIndex(kUniquePairs);
+    net::WireRequest request(i + 100, serve::Request::Kind::kPatternProb, 0,
+                             workload.models[pair], workload.patterns[pair]);
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<net::WireResponse> response = client.Call(request);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!response.ok() || !response->status.ok()) _exit(4);
+    if (response->probability != oracle[pair]) _exit(5);  // not bit-identical
+    latencies.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count()));
+  }
+
+  const double replay_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - replay_start)
+          .count();
+
+  const std::uint32_t count = static_cast<std::uint32_t>(latencies.size());
+  if (write(pipe_fd, &count, sizeof(count)) != sizeof(count)) _exit(6);
+  const std::size_t bytes = latencies.size() * sizeof(std::uint64_t);
+  if (write(pipe_fd, latencies.data(), bytes) !=
+      static_cast<ssize_t>(bytes)) {
+    _exit(6);
+  }
+  if (write(pipe_fd, &replay_ms, sizeof(replay_ms)) != sizeof(replay_ms)) {
+    _exit(6);
+  }
+  close(pipe_fd);
+  _exit(0);
+}
+
+struct Row {
+  unsigned clients = 0;
+  double wall_ms = 0;
+  double throughput = 0;  // requests / s, all clients combined
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double PercentileUs(std::vector<std::uint64_t>& ns, double q) {
+  if (ns.empty()) return 0;
+  const std::size_t index = std::min(
+      ns.size() - 1, static_cast<std::size_t>(q * static_cast<double>(ns.size())));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(index),
+                   ns.end());
+  return static_cast<double>(ns[index]) / 1000.0;
+}
+
+/// One client-count configuration: fork N clients, merge their latencies.
+bool RunConfig(int port, unsigned clients, Row* row) {
+  std::vector<int> pipes;
+  std::vector<pid_t> pids;
+  for (unsigned c = 0; c < clients; ++c) {
+    int fds[2];
+    if (pipe(fds) != 0) return false;
+    const pid_t pid = fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      close(fds[0]);
+      RunClient(port, c, fds[1]);
+    }
+    close(fds[1]);
+    pipes.push_back(fds[0]);
+    pids.push_back(pid);
+  }
+
+  std::vector<std::uint64_t> merged;
+  merged.reserve(clients * kRequestsPerClient);
+  bool ok = true;
+  double max_replay_ms = 0;
+  for (unsigned c = 0; c < clients; ++c) {
+    std::uint32_t count = 0;
+    ssize_t n = read(pipes[c], &count, sizeof(count));
+    ok = ok && n == static_cast<ssize_t>(sizeof(count));
+    std::vector<std::uint64_t> latencies(ok ? count : 0);
+    std::size_t got = 0;
+    while (got < latencies.size() * sizeof(std::uint64_t)) {
+      n = read(pipes[c], reinterpret_cast<char*>(latencies.data()) + got,
+               latencies.size() * sizeof(std::uint64_t) - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    ok = ok && got == latencies.size() * sizeof(std::uint64_t);
+    double replay_ms = 0;
+    n = read(pipes[c], &replay_ms, sizeof(replay_ms));
+    ok = ok && n == static_cast<ssize_t>(sizeof(replay_ms));
+    max_replay_ms = std::max(max_replay_ms, replay_ms);
+    merged.insert(merged.end(), latencies.begin(), latencies.end());
+    close(pipes[c]);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+
+  // Throughput over the slowest client's replay window: the clients run
+  // concurrently, so the slowest window covers (approximately) all of them
+  // and excludes each child's workload/oracle setup cost.
+  row->clients = clients;
+  row->wall_ms = max_replay_ms;
+  row->throughput = 1000.0 * static_cast<double>(merged.size()) / row->wall_ms;
+  row->p50_us = PercentileUs(merged, 0.50);
+  row->p99_us = PercentileUs(merged, 0.99);
+  return ok && merged.size() == clients * kRequestsPerClient;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E21", "network serving: loopback round-trips vs client count");
+
+  int port = 0;
+  const int listen_fd = BindEphemeral(&port);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "bind failed\n");
+    return 1;
+  }
+
+  // Fork the daemon while this process is still single-threaded.
+  const pid_t daemon_pid = fork();
+  if (daemon_pid < 0) return 1;
+  if (daemon_pid == 0) RunDaemon(listen_fd);
+  close(listen_fd);  // the daemon child owns it now
+
+  std::printf("daemon pid %d on 127.0.0.1:%d, %zu requests/client, "
+              "%zu unique pairs\n\n",
+              daemon_pid, port, kRequestsPerClient, kUniquePairs);
+  std::printf("%8s %12s %12s %12s %12s\n", "clients", "wall[ms]", "req/s",
+              "p50[us]", "p99[us]");
+
+  std::vector<Row> rows;
+  bool ok = true;
+  for (const unsigned clients : kClientCounts) {
+    Row row;
+    ok = RunConfig(port, clients, &row) && ok;
+    std::printf("%8u %12.1f %12.0f %12.1f %12.1f\n", row.clients, row.wall_ms,
+                row.throughput, row.p50_us, row.p99_us);
+    rows.push_back(row);
+  }
+
+  // The drain is part of the experiment: SIGTERM must yield exit 0.
+  kill(daemon_pid, SIGTERM);
+  int status = 0;
+  waitpid(daemon_pid, &status, 0);
+  const bool drained = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::printf("\nanswers bit-identical in all clients: %s\n",
+              ok ? "yes" : "NO");
+  std::printf("daemon drained cleanly on SIGTERM: %s\n",
+              drained ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_net.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"experiment\": \"e21_net_serving\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"utc_date\": \"%s\",\n"
+                 "  \"requests_per_client\": %zu,\n"
+                 "  \"unique_pairs\": %zu,\n  \"configs\": [\n",
+                 GitSha().c_str(), UtcDate().c_str(), kRequestsPerClient,
+                 kUniquePairs);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"clients\": %u, \"wall_ms\": %.1f, "
+                   "\"req_per_s\": %.0f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f}%s\n",
+                   rows[i].clients, rows[i].wall_ms, rows[i].throughput,
+                   rows[i].p50_us, rows[i].p99_us,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"bit_identical\": %s,\n"
+                 "  \"clean_drain\": %s\n}\n",
+                 ok ? "true" : "false", drained ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_net.json\n");
+  }
+  return ok && drained ? 0 : 1;
+}

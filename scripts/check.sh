@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Sanitizer gate, three stages:
+# Sanitizer gate, four stages:
 #   1. ASan+UBSan build of the library, tests, and benches; run the full
-#      tier-1 test suite under it.
+#      tier-1 test suite under it (including the net protocol fuzz tests,
+#      where ASan turns any codec over-read into a hard failure).
 #   2. TSan build (thread sanitizer is incompatible with ASan, so it is a
-#      separate tree); run the concurrent serve-layer and obs suites
-#      (`Serve*` / `Obs*`) — the tests that exercise cross-thread
+#      separate tree); run the concurrent serve-layer, obs, and net suites
+#      (`Serve*` / `Obs*` / `Net*`) — the tests that exercise cross-thread
 #      synchronization directly (batch fan-out, sharded caches, the metric
-#      shard merge, the trace ring).
+#      shard merge, the trace ring, the daemon's IO-thread/worker handoff
+#      over adopted socketpairs).
 #   3. TSan + fault-injection build (PPREF_FAULT_INJECTION=ON compiles the
 #      chaos hooks into the hot paths); re-run the same suites, which now
 #      include the chaos tests (miss storms, slow plans, mid-DP stops).
+#   4. Daemon smoke: start the real ppref_served on an ephemeral port (from
+#      the ASan tree, so the daemon itself runs sanitized), health-check +
+#      binary query + JSON query + /metrics via ppref_net_smoke, then
+#      SIGTERM and require a graceful drain with exit 0.
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all), so a
 # green ctest means clean. Each stage prints its wall-clock on completion.
 #
@@ -35,13 +41,29 @@ stage_done "asan+ubsan full suite"
 
 cmake -B "$TSAN_DIR" -S . -DPPREF_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test --target obs_test
-ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs'
-stage_done "tsan serve+obs"
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test --target obs_test --target net_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs|^Net'
+stage_done "tsan serve+obs+net"
 
 cmake -B "$CHAOS_DIR" -S . -DPPREF_SANITIZE=thread -DPPREF_FAULT_INJECTION=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
-cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test --target obs_test
-ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs'
-stage_done "tsan+chaos serve+obs"
+cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test --target obs_test --target net_test
+ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs|^Net'
+stage_done "tsan+chaos serve+obs+net"
+
+# Daemon smoke: end-to-end over real TCP with the ASan-built binaries.
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+"$BUILD_DIR/tools/ppref_served" --port 0 --port-file "$PORT_FILE" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  sleep 0.05
+done
+[[ -s "$PORT_FILE" ]] || { echo "ppref_served never wrote its port"; kill "$SERVED_PID"; exit 1; }
+"$BUILD_DIR/tools/ppref_net_smoke" --port "$(cat "$PORT_FILE")"
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"  # set -e: a non-zero (ungraceful) exit fails the gate
+rm -f "$PORT_FILE"
+stage_done "daemon smoke (start, query, drain)"

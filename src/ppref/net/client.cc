@@ -1,0 +1,267 @@
+#include "ppref/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ppref/net/codec.h"
+
+namespace ppref::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Waits for the fd to become readable/writable within the timeout.
+Status PollFor(int fd, short events, std::uint64_t timeout_ms,
+               const char* what) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  const int timeout =
+      timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms);
+  while (true) {
+    const int rc = poll(&p, 1, timeout);
+    if (rc > 0) return Status::Ok();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + ": io timeout");
+    }
+    if (errno != EINTR) return Errno("poll");
+  }
+}
+
+int ConnectTcp(const std::string& host, int port, Status* status) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &address.sin_addr) != 1) {
+    *status = Status::InvalidArgument("bad host " + host +
+                                      " (numeric IPv4 required)");
+    return -1;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *status = Errno("socket");
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    *status = Errno("connect");
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *status = Status::Ok();
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(int fd, Options options)
+    : fd_(fd), options_(options), assembler_(options.max_frame_body) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      options_(other.options_),
+      assembler_(std::move(other.assembler_)),
+      ping_counter_(other.ping_counter_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    options_ = other.options_;
+    assembler_ = std::move(other.assembler_);
+    ping_counter_ = other.ping_counter_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+StatusOr<Client> Client::Connect(const std::string& host, int port,
+                                 Options options) {
+  Status status;
+  const int fd = ConnectTcp(host, port, &status);
+  if (fd < 0) return status;
+  return Client(fd, options);
+}
+
+Client Client::FromFd(int fd, Options options) { return Client(fd, options); }
+
+Status Client::WriteAll(std::string_view bytes) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    Status ready = PollFor(fd_, POLLOUT, options_.io_timeout_ms, "write");
+    if (!ready.ok()) return ready;
+    const ssize_t n = send(fd_, bytes.data() + offset, bytes.size() - offset,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Frame> Client::ReadFrame() {
+  Frame frame;
+  while (true) {
+    if (assembler_.Next(&frame)) return frame;
+    Status ready = PollFor(fd_, POLLIN, options_.io_timeout_ms, "read");
+    if (!ready.ok()) return ready;
+    char buffer[65536];
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      Status fed = assembler_.Feed(buffer, static_cast<std::size_t>(n));
+      if (!fed.ok()) return fed;
+      continue;
+    }
+    if (n == 0) return Status::Internal("connection closed by peer");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Errno("recv");
+  }
+}
+
+StatusOr<WireResponse> Client::Call(const WireRequest& request) {
+  const std::string body = EncodeRequest(request);
+  Status written = WriteAll(EncodeFrame(FrameType::kRequest, body));
+  if (!written.ok()) return written;
+  while (true) {
+    StatusOr<Frame> frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kPong) continue;
+    if (frame->type != FrameType::kResponse) {
+      return Status::Internal("unexpected frame type from server");
+    }
+    StatusOr<WireResponse> response = DecodeResponse(frame->body);
+    if (!response.ok()) return response.status();
+    if (response->id != request.id) {
+      return Status::Internal("response id mismatch");
+    }
+    return response;
+  }
+}
+
+Status Client::Ping() {
+  char payload[8];
+  const std::uint64_t token = ++ping_counter_;
+  for (int i = 0; i < 8; ++i) {
+    payload[i] = static_cast<char>((token >> (8 * i)) & 0xff);
+  }
+  Status written = WriteAll(
+      EncodeFrame(FrameType::kPing, std::string_view(payload, sizeof(payload))));
+  if (!written.ok()) return written;
+  StatusOr<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type != FrameType::kPong ||
+      frame->body != std::string_view(payload, sizeof(payload))) {
+    return Status::Internal("bad pong");
+  }
+  return Status::Ok();
+}
+
+StatusOr<HttpResult> HttpFetch(const std::string& host, int port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body,
+                               std::uint64_t io_timeout_ms) {
+  Status status;
+  const int fd = ConnectTcp(host, port, &status);
+  if (fd < 0) return status;
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Connection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: application/json\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+
+  std::size_t offset = 0;
+  while (offset < request.size()) {
+    Status ready = PollFor(fd, POLLOUT, io_timeout_ms, "write");
+    if (!ready.ok()) {
+      close(fd);
+      return ready;
+    }
+    const ssize_t n = send(fd, request.data() + offset,
+                           request.size() - offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    close(fd);
+    return Errno("send");
+  }
+
+  std::string raw;
+  while (true) {
+    Status ready = PollFor(fd, POLLIN, io_timeout_ms, "read");
+    if (!ready.ok()) {
+      close(fd);
+      return ready;
+    }
+    char buffer[65536];
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      raw.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // daemon closed: response complete
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    close(fd);
+    return Errno("recv");
+  }
+  close(fd);
+
+  // "HTTP/1.1 NNN Reason\r\n…headers…\r\n\r\nbody"
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::Internal("malformed HTTP response");
+  }
+  const std::size_t space = raw.find(' ');
+  if (space == std::string::npos || space + 4 > line_end) {
+    return Status::Internal("malformed HTTP status line");
+  }
+  HttpResult result;
+  result.status_code = 0;
+  for (std::size_t i = space + 1; i < space + 4; ++i) {
+    if (raw[i] < '0' || raw[i] > '9') {
+      return Status::Internal("malformed HTTP status code");
+    }
+    result.status_code = result.status_code * 10 + (raw[i] - '0');
+  }
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("truncated HTTP response");
+  }
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+}  // namespace ppref::net

@@ -1,0 +1,95 @@
+/// \file client.h
+/// \brief `ppref::net` — a small blocking client for the daemon.
+///
+/// The client is deliberately synchronous: one socket, one outstanding
+/// request, `poll(2)`-bounded reads and writes. That is what the bench
+/// harness forks by the dozen and what the e2e test replays traces through;
+/// anything fancier (pipelining, multiplexing) belongs in a caller that
+/// owns several clients.
+///
+/// `HttpFetch` is the matching one-shot HTTP helper (the daemon closes the
+/// connection after each response, so one-shot is the protocol).
+
+#ifndef PPREF_NET_CLIENT_H_
+#define PPREF_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ppref/common/status.h"
+#include "ppref/net/frame.h"
+#include "ppref/net/wire.h"
+
+namespace ppref::net {
+
+struct ClientOptions {
+  /// Per-poll bound on any single read/write; 0 = block forever.
+  std::uint64_t io_timeout_ms = 30000;
+  /// Frame body cap for responses (mirrors the daemon's request cap).
+  std::size_t max_frame_body = kDefaultMaxBodyBytes;
+};
+
+/// Blocking binary-protocol client. Movable, not copyable; closes its fd on
+/// destruction. Not thread-safe — one thread per client.
+class Client {
+ public:
+  using Options = ClientOptions;
+
+  /// Connects over TCP. `host` must be a numeric IPv4 address ("127.0.0.1")
+  /// or "localhost".
+  static StatusOr<Client> Connect(const std::string& host, int port,
+                                  Options options = {});
+
+  /// Wraps an already-connected stream socket (e.g. one end of a
+  /// socketpair); takes ownership of the fd.
+  static Client FromFd(int fd, Options options = {});
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and blocks for its response. Interleaved pongs are
+  /// skipped; a response whose id differs from `request.id` is an error
+  /// (this client never has more than one request outstanding). IO errors,
+  /// timeouts, and peer close all surface as non-ok Status; the remote
+  /// request status rides inside the returned WireResponse untouched.
+  StatusOr<WireResponse> Call(const WireRequest& request);
+
+  /// Round-trips a ping frame.
+  Status Ping();
+
+  int fd() const { return fd_; }
+
+ private:
+  Client(int fd, Options options);
+
+  Status WriteAll(std::string_view bytes);
+  StatusOr<Frame> ReadFrame();
+
+  int fd_ = -1;
+  Options options_;
+  FrameAssembler assembler_;
+  std::uint64_t ping_counter_ = 0;
+};
+
+/// One HTTP exchange against the daemon.
+struct HttpResult {
+  int status_code = 0;
+  std::string body;
+};
+
+/// Connects, sends one `Connection: close` HTTP/1.1 request, reads to EOF,
+/// returns the parsed status code and body. `body` non-empty implies a
+/// Content-Length header and `application/json` content type.
+StatusOr<HttpResult> HttpFetch(const std::string& host, int port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "",
+                               std::uint64_t io_timeout_ms = 30000);
+
+}  // namespace ppref::net
+
+#endif  // PPREF_NET_CLIENT_H_

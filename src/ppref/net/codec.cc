@@ -1,0 +1,312 @@
+#include "ppref/net/codec.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ppref/infer/labeling.h"
+#include "ppref/rim/insertion.h"
+#include "ppref/rim/ranking.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian byte writer / bounds-checked reader.
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Bytes(std::string_view bytes) { out_.append(bytes); }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Every Get* returns false once the input is exhausted; the caller pattern
+/// is `if (!reader.U32(&v)) return Malformed(...)`, so a truncated body can
+/// never be read past its end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool U8(std::uint8_t* v) {
+    if (offset_ + 1 > data_.size()) return false;
+    *v = static_cast<std::uint8_t>(data_[offset_++]);
+    return true;
+  }
+  bool U32(std::uint32_t* v) {
+    if (offset_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(data_[offset_ + i]))
+            << (8 * i);
+    }
+    offset_ += 4;
+    return true;
+  }
+  bool U64(std::uint64_t* v) {
+    if (offset_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(data_[offset_ + i]))
+            << (8 * i);
+    }
+    offset_ += 8;
+    return true;
+  }
+  bool F64(double* v) {
+    std::uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    *v = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool Bytes(std::size_t n, std::string* v) {
+    if (offset_ + n > data_.size() || n > data_.size()) return false;
+    v->assign(data_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed request body: ") +
+                                 what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Request
+
+std::string EncodeRequest(const WireRequest& request) {
+  Writer w;
+  w.U64(request.id);
+  w.U8(static_cast<std::uint8_t>(request.kind));
+  w.U8(0);
+  w.U8(0);
+  w.U8(0);
+  w.U64(request.deadline_ns);
+
+  const rim::RimModel& model = request.model.model();
+  const unsigned m = model.size();
+  w.U32(m);
+  for (unsigned p = 0; p < m; ++p) w.U32(model.reference().At(p));
+  for (unsigned t = 0; t < m; ++t) {
+    for (double prob : model.insertion().Row(t)) w.F64(prob);
+  }
+  const infer::ItemLabeling& labeling = request.model.labeling();
+  for (unsigned item = 0; item < m; ++item) {
+    const std::vector<infer::LabelId>& labels = labeling.LabelsOf(item);
+    w.U32(static_cast<std::uint32_t>(labels.size()));
+    for (infer::LabelId label : labels) w.U32(label);
+  }
+
+  const infer::LabelPattern& pattern = request.pattern;
+  const unsigned nodes = pattern.NodeCount();
+  w.U32(nodes);
+  for (unsigned node = 0; node < nodes; ++node) w.U32(pattern.NodeLabel(node));
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (unsigned from = 0; from < nodes; ++from) {
+    for (unsigned to : pattern.Children(from)) edges.emplace_back(from, to);
+  }
+  w.U32(static_cast<std::uint32_t>(edges.size()));
+  for (const auto& [from, to] : edges) {
+    w.U32(from);
+    w.U32(to);
+  }
+  return w.Take();
+}
+
+StatusOr<WireRequest> DecodeRequest(std::string_view body) {
+  Reader r(body);
+  std::uint64_t id = 0;
+  std::uint8_t kind = 0;
+  std::uint64_t deadline_ns = 0;
+  std::uint8_t reserved[3];
+  if (!r.U64(&id) || !r.U8(&kind) || !r.U8(&reserved[0]) ||
+      !r.U8(&reserved[1]) || !r.U8(&reserved[2]) || !r.U64(&deadline_ns)) {
+    return Malformed("truncated preamble");
+  }
+  if (kind > static_cast<std::uint8_t>(serve::Request::Kind::kTopMatching)) {
+    return Malformed("unknown request kind");
+  }
+  if (reserved[0] != 0 || reserved[1] != 0 || reserved[2] != 0) {
+    return Malformed("nonzero reserved bytes");
+  }
+
+  // Model: reference ranking. Must be a permutation of 0..m-1 — the Ranking
+  // constructor PPREF_CHECKs exactly that, so verify before constructing.
+  std::uint32_t m = 0;
+  if (!r.U32(&m)) return Malformed("truncated item count");
+  if (m == 0 || m > kMaxWireItems) return Malformed("item count out of range");
+  std::vector<rim::ItemId> order(m);
+  std::vector<bool> seen(m, false);
+  for (std::uint32_t p = 0; p < m; ++p) {
+    if (!r.U32(&order[p])) return Malformed("truncated reference ranking");
+    if (order[p] >= m || seen[order[p]]) {
+      return Malformed("reference ranking is not a permutation");
+    }
+    seen[order[p]] = true;
+  }
+
+  // Insertion rows: row t has t+1 finite non-negative entries summing to 1
+  // within the InsertionFunction tolerance (again, pre-validating the
+  // constructor's checks).
+  std::vector<std::vector<double>> rows(m);
+  for (std::uint32_t t = 0; t < m; ++t) {
+    rows[t].resize(t + 1);
+    double sum = 0.0;
+    for (std::uint32_t j = 0; j <= t; ++j) {
+      if (!r.F64(&rows[t][j])) return Malformed("truncated insertion rows");
+      if (!std::isfinite(rows[t][j]) || rows[t][j] < 0.0) {
+        return Malformed("insertion probability not in [0, 1]");
+      }
+      sum += rows[t][j];
+    }
+    if (std::abs(sum - 1.0) > rim::InsertionFunction::kRowSumTolerance) {
+      return Malformed("insertion row does not sum to 1");
+    }
+  }
+
+  // Labeling: per-item label lists, bounded.
+  infer::ItemLabeling labeling(m);
+  for (std::uint32_t item = 0; item < m; ++item) {
+    std::uint32_t count = 0;
+    if (!r.U32(&count)) return Malformed("truncated labeling");
+    if (count > kMaxWireLabelsPerItem) {
+      return Malformed("too many labels on one item");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t label = 0;
+      if (!r.U32(&label)) return Malformed("truncated labeling");
+      labeling.AddLabel(item, label);
+    }
+  }
+
+  // Pattern: distinct node labels (AddNode aborts on a duplicate), edges
+  // over valid node indices without self-loops (AddEdge aborts on both).
+  std::uint32_t node_count = 0;
+  if (!r.U32(&node_count)) return Malformed("truncated pattern");
+  if (node_count > kMaxWireNodes) return Malformed("too many pattern nodes");
+  infer::LabelPattern pattern;
+  std::vector<std::uint32_t> node_labels(node_count);
+  for (std::uint32_t node = 0; node < node_count; ++node) {
+    if (!r.U32(&node_labels[node])) return Malformed("truncated pattern");
+    for (std::uint32_t prev = 0; prev < node; ++prev) {
+      if (node_labels[prev] == node_labels[node]) {
+        return Malformed("duplicate pattern node label");
+      }
+    }
+    pattern.AddNode(node_labels[node]);
+  }
+  std::uint32_t edge_count = 0;
+  if (!r.U32(&edge_count)) return Malformed("truncated pattern edges");
+  if (edge_count > node_count * node_count) {
+    return Malformed("edge count out of range");
+  }
+  for (std::uint32_t e = 0; e < edge_count; ++e) {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    if (!r.U32(&from) || !r.U32(&to)) return Malformed("truncated pattern edges");
+    if (from >= node_count || to >= node_count) {
+      return Malformed("edge endpoint out of range");
+    }
+    if (from == to) return Malformed("self-loop edge");
+    pattern.AddEdge(from, to);
+  }
+
+  if (!r.AtEnd()) return Malformed("trailing bytes");
+
+  return WireRequest(
+      id, static_cast<serve::Request::Kind>(kind), deadline_ns,
+      infer::LabeledRimModel(
+          rim::RimModel(rim::Ranking(std::move(order)),
+                        rim::InsertionFunction(std::move(rows))),
+          std::move(labeling)),
+      std::move(pattern));
+}
+
+// ---------------------------------------------------------------------------
+// Response
+
+std::string EncodeResponse(const WireResponse& response) {
+  Writer w;
+  w.U64(response.id);
+  w.U8(static_cast<std::uint8_t>(response.status.code()));
+  w.U8(response.approximate ? 1 : 0);
+  w.U8(response.top_matching.has_value() ? 1 : 0);
+  w.U8(0);
+  w.U32(static_cast<std::uint32_t>(response.status.message().size()));
+  w.Bytes(response.status.message());
+  w.F64(response.probability);
+  w.F64(response.std_error);
+  w.U64(response.retry_after_ns);
+  if (response.top_matching.has_value()) {
+    w.U32(static_cast<std::uint32_t>(response.top_matching->size()));
+    for (rim::ItemId item : *response.top_matching) w.U32(item);
+  }
+  return w.Take();
+}
+
+StatusOr<WireResponse> DecodeResponse(std::string_view body) {
+  Reader r(body);
+  WireResponse response;
+  std::uint8_t code = 0;
+  std::uint8_t approximate = 0;
+  std::uint8_t has_matching = 0;
+  std::uint8_t reserved = 0;
+  std::uint32_t message_len = 0;
+  std::string message;
+  double probability = 0.0;
+  double std_error = 0.0;
+  if (!r.U64(&response.id) || !r.U8(&code) || !r.U8(&approximate) ||
+      !r.U8(&has_matching) || !r.U8(&reserved) || !r.U32(&message_len) ||
+      !r.Bytes(message_len, &message) || !r.F64(&probability) ||
+      !r.F64(&std_error) || !r.U64(&response.retry_after_ns)) {
+    return Status::InvalidArgument("malformed response body");
+  }
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal) ||
+      approximate > 1 || has_matching > 1 || reserved != 0) {
+    return Status::InvalidArgument("malformed response body");
+  }
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  response.probability = probability;
+  response.std_error = std_error;
+  response.approximate = approximate != 0;
+  if (has_matching != 0) {
+    std::uint32_t match_len = 0;
+    if (!r.U32(&match_len) || match_len > kMaxWireNodes) {
+      return Status::InvalidArgument("malformed response body");
+    }
+    infer::Matching matching(match_len);
+    for (std::uint32_t i = 0; i < match_len; ++i) {
+      if (!r.U32(&matching[i])) {
+        return Status::InvalidArgument("malformed response body");
+      }
+    }
+    response.top_matching = std::move(matching);
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("malformed response body");
+  return response;
+}
+
+}  // namespace ppref::net

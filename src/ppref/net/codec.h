@@ -1,0 +1,79 @@
+/// \file codec.h
+/// \brief `ppref::net` — body codecs for request and response frames.
+///
+/// Layouts (all integers little-endian; doubles as their IEEE-754 bit
+/// pattern in a little-endian u64 — *never* text, so answers survive the
+/// wire bit-exactly):
+///
+/// ### Request body (FrameType::kRequest)
+/// ```
+/// u64 id            u8 kind            u8[3] reserved (0)
+/// u64 deadline_ns
+/// u32 m             u32[m] reference order (a permutation of 0..m-1)
+/// f64[1+2+…+m] insertion rows, row t carrying t+1 entries
+/// per item: u32 label_count, u32[label_count] labels
+/// u32 node_count    u32[node_count] node labels (distinct)
+/// u32 edge_count    (u32 from, u32 to)[edge_count] node indices
+/// ```
+///
+/// ### Response body (FrameType::kResponse)
+/// ```
+/// u64 id
+/// u8 status_code    u8 approximate     u8 has_top_matching   u8 reserved (0)
+/// u32 message_len   bytes message
+/// f64 probability   f64 std_error      u64 retry_after_ns
+/// [u32 match_len    u32[match_len] items]        (iff has_top_matching)
+/// ```
+///
+/// ## The no-abort contract
+/// `DecodeRequest` is the daemon's trust boundary. The model constructors it
+/// ultimately calls (`Ranking`, `InsertionFunction`, `LabelPattern::AddNode`
+/// …) enforce *internal* invariants with PPREF_CHECK, which aborts — correct
+/// for programmer error, fatal for a server fed hostile bytes. So the
+/// decoder re-validates every constructor precondition itself first —
+/// permutation-ness, row sums within `InsertionFunction::kRowSumTolerance`,
+/// non-negative finite probabilities, distinct pattern nodes, no self-loop
+/// edges, in-range indices, bounded sizes — and returns `kInvalidArgument`
+/// for any violation. The fuzz suite (tests/net/codec_test.cc) hammers this:
+/// no byte soup may crash, over-read, or abort. Trailing bytes after a
+/// well-formed body are also an error — a length lie somewhere upstream.
+///
+/// Decoded sizes are additionally capped (`kMaxWireItems`, `kMaxWireNodes`,
+/// `kMaxWireLabelsPerItem`) so a declared-length attack cannot make the
+/// decoder allocate unboundedly before validation catches up.
+
+#ifndef PPREF_NET_CODEC_H_
+#define PPREF_NET_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "ppref/common/status.h"
+#include "ppref/net/wire.h"
+
+namespace ppref::net {
+
+/// Decoder-side size caps. The serve layer's own guards (max_pattern_nodes,
+/// the DP's 16-bit positions) are policy; these are plumbing bounds that
+/// keep a hostile length field from costing memory.
+inline constexpr unsigned kMaxWireItems = 4096;
+inline constexpr unsigned kMaxWireNodes = 64;
+inline constexpr unsigned kMaxWireLabelsPerItem = 64;
+
+/// Request body bytes (frame it with FrameType::kRequest).
+std::string EncodeRequest(const WireRequest& request);
+
+/// Parses and fully validates a request body. kInvalidArgument on any
+/// malformed input; never aborts, throws, or over-reads.
+StatusOr<WireRequest> DecodeRequest(std::string_view body);
+
+/// Response body bytes (frame it with FrameType::kResponse).
+std::string EncodeResponse(const WireResponse& response);
+
+/// Parses a response body (client side). Same failure contract as
+/// DecodeRequest.
+StatusOr<WireResponse> DecodeResponse(std::string_view body);
+
+}  // namespace ppref::net
+
+#endif  // PPREF_NET_CODEC_H_

@@ -1,0 +1,393 @@
+#include "ppref/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "ppref/infer/labeling.h"
+#include "ppref/net/codec.h"
+#include "ppref/rim/insertion.h"
+#include "ppref/rim/ranking.h"
+#include "ppref/rim/rim_model.h"
+
+namespace ppref::net {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+HttpAccumulator::State HttpAccumulator::Fail(std::string message) {
+  state_ = State::kError;
+  status_ = Status::InvalidArgument(std::move(message));
+  return state_;
+}
+
+HttpAccumulator::State HttpAccumulator::Feed(std::string_view data) {
+  if (state_ != State::kNeedMore) return state_;
+  if (buffer_.size() + data.size() > max_bytes_) {
+    return Fail("HTTP request exceeds size limit");
+  }
+  buffer_.append(data);
+  return ParseBuffer();
+}
+
+HttpAccumulator::State HttpAccumulator::ParseBuffer() {
+  const std::size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    // A request line must arrive eventually; catch plainly-not-HTTP early.
+    if (buffer_.size() > 8192 && buffer_.find("\r\n") == std::string::npos) {
+      return Fail("oversized HTTP request line");
+    }
+    return state_;
+  }
+
+  // Request line.
+  const std::string_view head =
+      std::string_view(buffer_).substr(0, header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Fail("malformed HTTP request line");
+  }
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail("unsupported HTTP version");
+  }
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+
+  // Headers.
+  request_.headers.clear();
+  std::size_t cursor = line_end == std::string_view::npos
+                           ? head.size()
+                           : line_end + 2;
+  while (cursor < head.size()) {
+    std::size_t next = head.find("\r\n", cursor);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(cursor, next - cursor);
+    cursor = next + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail("malformed HTTP header");
+    }
+    request_.headers.emplace_back(ToLower(line.substr(0, colon)),
+                                  std::string(Trim(line.substr(colon + 1))));
+  }
+
+  if (request_.Header("transfer-encoding") != nullptr) {
+    return Fail("chunked transfer encoding unsupported");
+  }
+  std::size_t content_length = 0;
+  if (const std::string* header = request_.Header("content-length")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(header->c_str(), &end, 10);
+    if (end == header->c_str() || *end != '\0') {
+      return Fail("malformed Content-Length");
+    }
+    content_length = static_cast<std::size_t>(parsed);
+    if (content_length > max_bytes_) {
+      return Fail("Content-Length exceeds size limit");
+    }
+  }
+  const std::size_t body_start = header_end + 4;
+  if (body_start + content_length > max_bytes_) {
+    return Fail("HTTP request exceeds size limit");
+  }
+  if (buffer_.size() < body_start + content_length) return state_;
+  if (buffer_.size() > body_start + content_length) {
+    return Fail("bytes beyond Content-Length");
+  }
+  request_.body = buffer_.substr(body_start, content_length);
+  state_ = State::kComplete;
+  return state_;
+}
+
+std::string RenderHttpResponse(int status_code, std::string_view reason,
+                               std::string_view content_type,
+                               std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// /query JSON <-> wire mapping
+
+namespace {
+
+Status Bad(const char* what) {
+  return Status::InvalidArgument(std::string("bad query: ") + what);
+}
+
+/// A JSON number that must be a non-negative integer below `limit`.
+bool AsIndex(const JsonValue* value, std::uint64_t limit, std::uint64_t* out) {
+  if (value == nullptr || !value->IsNumber()) return false;
+  const double number = value->number;
+  if (!(number >= 0) || number >= static_cast<double>(limit) ||
+      number != std::floor(number)) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(number);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<WireRequest> WireRequestFromJson(const JsonValue& root) {
+  if (!root.IsObject()) return Bad("document must be an object");
+
+  std::uint64_t id = 0;
+  if (const JsonValue* id_value = root.Find("id")) {
+    if (!AsIndex(id_value, static_cast<std::uint64_t>(1) << 53, &id)) {
+      return Bad("\"id\" must be a non-negative integer");
+    }
+  }
+
+  serve::Request::Kind kind = serve::Request::Kind::kPatternProb;
+  if (const JsonValue* kind_value = root.Find("kind")) {
+    if (!kind_value->IsString()) return Bad("\"kind\" must be a string");
+    if (kind_value->string == "pattern_prob") {
+      kind = serve::Request::Kind::kPatternProb;
+    } else if (kind_value->string == "top_matching") {
+      kind = serve::Request::Kind::kTopMatching;
+    } else {
+      return Bad("\"kind\" must be \"pattern_prob\" or \"top_matching\"");
+    }
+  }
+
+  std::uint64_t deadline_us = 0;
+  if (const JsonValue* deadline = root.Find("deadline_us")) {
+    if (!AsIndex(deadline, static_cast<std::uint64_t>(1) << 53,
+                 &deadline_us)) {
+      return Bad("\"deadline_us\" must be a non-negative integer");
+    }
+  }
+
+  // --- model ---
+  const JsonValue* model_value = root.Find("model");
+  if (model_value == nullptr || !model_value->IsObject()) {
+    return Bad("\"model\" object required");
+  }
+
+  // Reference order: explicit permutation, or identity over "m" items.
+  std::vector<rim::ItemId> order;
+  if (const JsonValue* reference = model_value->Find("reference")) {
+    if (!reference->IsArray() || reference->array.empty() ||
+        reference->array.size() > kMaxWireItems) {
+      return Bad("\"reference\" must be a non-empty array");
+    }
+    const std::size_t m = reference->array.size();
+    order.resize(m);
+    std::vector<bool> seen(m, false);
+    for (std::size_t p = 0; p < m; ++p) {
+      std::uint64_t item = 0;
+      if (!AsIndex(&reference->array[p], m, &item) || seen[item]) {
+        return Bad("\"reference\" must be a permutation of 0..m-1");
+      }
+      seen[item] = true;
+      order[p] = static_cast<rim::ItemId>(item);
+    }
+  } else {
+    std::uint64_t m = 0;
+    if (!AsIndex(model_value->Find("m"), kMaxWireItems + 1ull, &m) || m == 0) {
+      return Bad("\"model\" needs \"reference\" or a positive \"m\"");
+    }
+    order.resize(m);
+    for (std::uint64_t item = 0; item < m; ++item) {
+      order[item] = static_cast<rim::ItemId>(item);
+    }
+  }
+  const unsigned m = static_cast<unsigned>(order.size());
+
+  // Insertion function.
+  const JsonValue* insertion_value = model_value->Find("insertion");
+  if (insertion_value == nullptr || !insertion_value->IsObject()) {
+    return Bad("\"insertion\" object required");
+  }
+  std::optional<rim::InsertionFunction> insertion;
+  if (const JsonValue* phi_value = insertion_value->Find("phi")) {
+    if (!phi_value->IsNumber() || !(phi_value->number > 0.0) ||
+        !(phi_value->number <= 1.0)) {
+      return Bad("\"phi\" must be in (0, 1]");
+    }
+    insertion = rim::InsertionFunction::Mallows(m, phi_value->number);
+  } else if (const JsonValue* phis_value = insertion_value->Find("phis")) {
+    if (!phis_value->IsArray() || phis_value->array.size() != m) {
+      return Bad("\"phis\" must be an array of m numbers");
+    }
+    std::vector<double> phis(m);
+    for (unsigned t = 0; t < m; ++t) {
+      const JsonValue& phi = phis_value->array[t];
+      if (!phi.IsNumber() || !(phi.number > 0.0) || !(phi.number <= 1.0)) {
+        return Bad("\"phis\" entries must be in (0, 1]");
+      }
+      phis[t] = phi.number;
+    }
+    insertion = rim::InsertionFunction::GeneralizedMallows(phis);
+  } else if (insertion_value->Find("uniform") != nullptr) {
+    insertion = rim::InsertionFunction::Uniform(m);
+  } else if (const JsonValue* rows_value = insertion_value->Find("rows")) {
+    if (!rows_value->IsArray() || rows_value->array.size() != m) {
+      return Bad("\"rows\" must be an array of m rows");
+    }
+    std::vector<std::vector<double>> rows(m);
+    for (unsigned t = 0; t < m; ++t) {
+      const JsonValue& row = rows_value->array[t];
+      if (!row.IsArray() || row.array.size() != t + 1) {
+        return Bad("insertion row t must have t+1 entries");
+      }
+      rows[t].resize(t + 1);
+      double sum = 0.0;
+      for (unsigned j = 0; j <= t; ++j) {
+        if (!row.array[j].IsNumber() || !std::isfinite(row.array[j].number) ||
+            row.array[j].number < 0.0) {
+          return Bad("insertion probabilities must be finite and >= 0");
+        }
+        rows[t][j] = row.array[j].number;
+        sum += rows[t][j];
+      }
+      if (std::abs(sum - 1.0) > rim::InsertionFunction::kRowSumTolerance) {
+        return Bad("insertion row does not sum to 1");
+      }
+    }
+    insertion = rim::InsertionFunction(std::move(rows));
+  } else {
+    return Bad("\"insertion\" needs \"phi\", \"phis\", \"uniform\", or \"rows\"");
+  }
+
+  // Labeling.
+  const JsonValue* labels_value = model_value->Find("labels");
+  if (labels_value == nullptr || !labels_value->IsArray() ||
+      labels_value->array.size() != m) {
+    return Bad("\"labels\" must be an array of m label sets");
+  }
+  infer::ItemLabeling labeling(m);
+  for (unsigned item = 0; item < m; ++item) {
+    const JsonValue& item_labels = labels_value->array[item];
+    if (!item_labels.IsArray() ||
+        item_labels.array.size() > kMaxWireLabelsPerItem) {
+      return Bad("each \"labels\" entry must be a small array");
+    }
+    for (const JsonValue& label : item_labels.array) {
+      std::uint64_t label_id = 0;
+      if (!AsIndex(&label, static_cast<std::uint64_t>(1) << 32, &label_id)) {
+        return Bad("labels must be 32-bit non-negative integers");
+      }
+      labeling.AddLabel(item, static_cast<infer::LabelId>(label_id));
+    }
+  }
+
+  // --- pattern ---
+  const JsonValue* pattern_value = root.Find("pattern");
+  if (pattern_value == nullptr || !pattern_value->IsObject()) {
+    return Bad("\"pattern\" object required");
+  }
+  const JsonValue* nodes_value = pattern_value->Find("nodes");
+  if (nodes_value == nullptr || !nodes_value->IsArray() ||
+      nodes_value->array.size() > kMaxWireNodes) {
+    return Bad("\"nodes\" must be an array of at most 64 labels");
+  }
+  infer::LabelPattern pattern;
+  std::vector<std::uint64_t> node_labels;
+  for (const JsonValue& node : nodes_value->array) {
+    std::uint64_t label = 0;
+    if (!AsIndex(&node, static_cast<std::uint64_t>(1) << 32, &label)) {
+      return Bad("pattern nodes must be 32-bit non-negative integers");
+    }
+    for (const std::uint64_t prev : node_labels) {
+      if (prev == label) return Bad("duplicate pattern node label");
+    }
+    node_labels.push_back(label);
+    pattern.AddNode(static_cast<infer::LabelId>(label));
+  }
+  if (const JsonValue* edges_value = pattern_value->Find("edges")) {
+    if (!edges_value->IsArray()) return Bad("\"edges\" must be an array");
+    for (const JsonValue& edge : edges_value->array) {
+      std::uint64_t from = 0;
+      std::uint64_t to = 0;
+      if (!edge.IsArray() || edge.array.size() != 2 ||
+          !AsIndex(&edge.array[0], node_labels.size(), &from) ||
+          !AsIndex(&edge.array[1], node_labels.size(), &to)) {
+        return Bad("each edge must be [from, to] with valid node indices");
+      }
+      if (from == to) return Bad("self-loop edge");
+      pattern.AddEdge(static_cast<unsigned>(from), static_cast<unsigned>(to));
+    }
+  }
+
+  return WireRequest(
+      id, kind, deadline_us * 1000,
+      infer::LabeledRimModel(rim::RimModel(rim::Ranking(std::move(order)),
+                                           std::move(*insertion)),
+                             std::move(labeling)),
+      std::move(pattern));
+}
+
+std::string JsonFromWireResponse(const WireResponse& response) {
+  std::string out = "{";
+  out += "\"id\":" + std::to_string(response.id);
+  out += ",\"status\":" + JsonQuote(StatusCodeName(response.status.code()));
+  out += ",\"message\":" + JsonQuote(response.status.message());
+  out += ",\"probability\":" + FormatDouble(response.probability);
+  out += ",\"approximate\":";
+  out += response.approximate ? "true" : "false";
+  out += ",\"std_error\":" + FormatDouble(response.std_error);
+  out += ",\"retry_after_ns\":" + std::to_string(response.retry_after_ns);
+  out += ",\"top_matching\":";
+  if (response.top_matching.has_value()) {
+    out += "[";
+    for (std::size_t i = 0; i < response.top_matching->size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string((*response.top_matching)[i]);
+    }
+    out += "]";
+  } else {
+    out += "null";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ppref::net

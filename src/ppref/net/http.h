@@ -1,0 +1,119 @@
+/// \file http.h
+/// \brief `ppref::net` — the minimal HTTP/1.1 sliver the daemon speaks.
+///
+/// The binary protocol is the data plane; HTTP exists for humans and
+/// scrapers: `curl` a JSON query, point Prometheus at `GET /metrics`, wire a
+/// load balancer to `GET /healthz`. Accordingly the implementation is
+/// deliberately small: request line + headers + `Content-Length` body (no
+/// chunked encoding, no keep-alive — every response carries
+/// `Connection: close` and the daemon closes after writing). A connection is
+/// classified as HTTP exactly when its first four bytes are not the binary
+/// frame magic, so one port serves both planes.
+///
+/// Routes (see daemon.cc):
+///   GET  /healthz        liveness — "ok", or 503 once draining
+///   GET  /metrics        Prometheus text 0.0.4 (`serve::Server::ScrapeMetrics`)
+///   GET  /metrics.json   the same instruments as JSON
+///   POST /query          one JSON query (schema below) → JSON answer
+///
+/// ## /query JSON schema
+/// ```json
+/// {
+///   "id": 7,                       // optional, echoed
+///   "kind": "pattern_prob",        // or "top_matching"
+///   "deadline_us": 5000,           // optional, 0 = server default
+///   "model": {
+///     "reference": [0, 1, 2],      // optional — identity over m items
+///     "m": 3,                      // required iff "reference" absent
+///     "insertion": {"phi": 0.5},   // or {"phis":[…]} | {"uniform":true}
+///                                  // or {"rows": [[1.0], [0.3, 0.7], …]}
+///     "labels": [[0], [1], [0, 2]] // per-item label sets, length m
+///   },
+///   "pattern": {"nodes": [0, 1], "edges": [[0, 1]]}
+/// }
+/// ```
+/// Answer: `{"id":…,"status":"OK","message":"","probability":…,
+/// "approximate":false,"std_error":…,"retry_after_ns":…,"top_matching":[…]}`
+/// with doubles printed `%.17g`, so `strtod` of the text reproduces the
+/// exact bits the binary protocol carries.
+
+#ifndef PPREF_NET_HTTP_H_
+#define PPREF_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ppref/common/status.h"
+#include "ppref/net/json.h"
+#include "ppref/net/wire.h"
+
+namespace ppref::net {
+
+/// Default cap on one HTTP request (request line + headers + body).
+inline constexpr std::size_t kDefaultMaxHttpBytes = 1u << 20;
+
+/// One parsed request.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  /// Header names lowercased; values trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup (names are stored lowercased); nullptr
+  /// when absent.
+  const std::string* Header(std::string_view lowercase_name) const;
+};
+
+/// Incremental HTTP/1.1 request reader: feed stream bytes, poll for the
+/// complete request. One per connection; not thread-safe.
+class HttpAccumulator {
+ public:
+  explicit HttpAccumulator(std::size_t max_bytes = kDefaultMaxHttpBytes)
+      : max_bytes_(max_bytes) {}
+
+  enum class State : std::uint8_t { kNeedMore, kComplete, kError };
+
+  /// Appends bytes and reparses. kError is sticky; `status()` explains.
+  State Feed(std::string_view data);
+
+  State state() const { return state_; }
+  const Status& status() const { return status_; }
+
+  /// The parsed request; valid once state() == kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// True once any byte has been fed (the daemon uses this to distinguish
+  /// an idle connection from a mid-request one at deadline time).
+  bool started() const { return !buffer_.empty(); }
+
+ private:
+  State Fail(std::string message);
+  State ParseBuffer();
+
+  std::size_t max_bytes_;
+  std::string buffer_;
+  State state_ = State::kNeedMore;
+  Status status_;
+  HttpRequest request_;
+};
+
+/// Renders a full response: status line, standard headers (Content-Type,
+/// Content-Length, Connection: close), blank line, body.
+std::string RenderHttpResponse(int status_code, std::string_view reason,
+                               std::string_view content_type,
+                               std::string_view body);
+
+/// Maps a parsed /query JSON document onto an owned wire request. All the
+/// binary codec's validation applies (same caps, same no-abort contract).
+StatusOr<WireRequest> WireRequestFromJson(const JsonValue& root);
+
+/// The /query response body for an answer (doubles as %.17g).
+std::string JsonFromWireResponse(const WireResponse& response);
+
+}  // namespace ppref::net
+
+#endif  // PPREF_NET_HTTP_H_

@@ -1,0 +1,280 @@
+#include "ppref/net/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ppref::net {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(std::string("JSON parse error at byte ") +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) == word) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, unsigned depth) {
+    if (depth > kMaxJsonDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (ConsumeWord("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::Ok();
+    }
+    if (ConsumeWord("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::Ok();
+    }
+    if (ConsumeWord("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::Ok();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Error("unexpected character");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    // Validate the RFC 8259 grammar prefix, then let strtod produce the
+    // double from exactly those bytes.
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (!(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                     text_[pos_])))) {
+      return Error("malformed number");
+    }
+    // RFC 8259 int: "0" or a nonzero digit followed by more digits — "01"
+    // is not a number.
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (!(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                       text_[pos_])))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                       text_[pos_])))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(literal.c_str(), nullptr);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return Status::Ok();
+      if (c < 0x20) return Error("control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape digit");
+          }
+          // BMP-only UTF-8 encoding (no surrogate pairs; see file comment).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate \\u escapes unsupported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, unsigned depth) {
+    Consume('[');
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue element;
+      Status status = ParseValue(&element, depth + 1);
+      if (!status.ok()) return status;
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, unsigned depth) {
+    Consume('{');
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (u < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace ppref::net

@@ -1,0 +1,74 @@
+/// \file json.h
+/// \brief `ppref::net` — a minimal JSON value model and recursive-descent
+/// parser for the daemon's HTTP query endpoint.
+///
+/// The repo renders JSON in several places (`obs/export.h`, trace dumps) but
+/// until the network layer nothing *parsed* it. This parser covers exactly
+/// RFC 8259 minus two conveniences we do not need: `\uXXXX` escapes decode
+/// only the BMP (no surrogate pairs — queries are numbers and ASCII keys),
+/// and numbers parse through `strtod` (which also accepts its extensions;
+/// harmless in a request decoder). Like the binary codec it is a trust
+/// boundary: any byte soup must yield `kInvalidArgument`, never a crash —
+/// depth is bounded (`kMaxJsonDepth`) so deeply nested input cannot blow the
+/// stack.
+///
+/// Numbers are `double` — the same type the inference engine answers with,
+/// so a client that prints a probability with `%.17g` and feeds it back
+/// round-trips the exact bits.
+
+#ifndef PPREF_NET_JSON_H_
+#define PPREF_NET_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ppref/common/status.h"
+
+namespace ppref::net {
+
+/// Nesting bound for the parser (arrays/objects).
+inline constexpr unsigned kMaxJsonDepth = 64;
+
+/// One parsed JSON value. A tagged struct rather than a std::variant so the
+/// accessors can stay trivial and the recursion shallow.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered; duplicate keys keep the last occurrence on lookup.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsBool() const { return kind == Kind::kBool; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one JSON document (with optional surrounding whitespace; trailing
+/// garbage is an error). kInvalidArgument on malformed input.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes and quotes `text` as a JSON string literal.
+std::string JsonQuote(std::string_view text);
+
+}  // namespace ppref::net
+
+#endif  // PPREF_NET_JSON_H_

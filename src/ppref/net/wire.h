@@ -1,0 +1,92 @@
+/// \file wire.h
+/// \brief `ppref::net` — the owned request/response values that cross the
+/// wire.
+///
+/// `serve::Request` *borrows* its model and pattern (the in-process embedder
+/// already owns them); a network peer has nothing to borrow from, so the
+/// wire layer's unit of exchange is a `WireRequest` that **owns** a full
+/// `LabeledRimModel` and `LabelPattern` reconstructed from bytes. The codec
+/// (codec.h) round-trips every double by bit pattern, which is what makes
+/// the end-to-end bit-identity contract possible: the model a daemon rebuilds
+/// from a client's bytes is byte-identical to the client's, so the exact DP
+/// answer is too.
+///
+/// `id` is an opaque client-chosen correlation token echoed in the response.
+/// The daemon may answer pipelined requests of one connection out of order
+/// (they fan out over the worker pool); the id is how a pipelining client
+/// re-associates answers. `net::Client::Call` is strictly request/response
+/// and checks the echo.
+
+#ifndef PPREF_NET_WIRE_H_
+#define PPREF_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "ppref/common/status.h"
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/matching.h"
+#include "ppref/infer/pattern.h"
+#include "ppref/serve/server.h"
+
+namespace ppref::net {
+
+/// One query, self-contained: everything `serve::Server::Evaluate` needs,
+/// owned by this value.
+struct WireRequest {
+  WireRequest(std::uint64_t id, serve::Request::Kind kind,
+              std::uint64_t deadline_ns, infer::LabeledRimModel model,
+              infer::LabelPattern pattern)
+      : id(id),
+        kind(kind),
+        deadline_ns(deadline_ns),
+        model(std::move(model)),
+        pattern(std::move(pattern)) {}
+
+  std::uint64_t id = 0;
+  serve::Request::Kind kind = serve::Request::Kind::kPatternProb;
+  /// Per-request deadline in nanoseconds, measured from daemon dispatch;
+  /// 0 = the server's default.
+  std::uint64_t deadline_ns = 0;
+  infer::LabeledRimModel model;
+  infer::LabelPattern pattern;
+
+  /// A serve request borrowing this value's model and pattern; valid only
+  /// while `*this` is alive.
+  serve::Request ToRequest() const {
+    serve::Request request;
+    request.kind = kind;
+    request.model = &model;
+    request.pattern = &pattern;
+    request.control.deadline_ns = deadline_ns;
+    return request;
+  }
+};
+
+/// One answer: `serve::Response` plus the echoed request id.
+struct WireResponse {
+  std::uint64_t id = 0;
+  Status status;
+  double probability = 0.0;
+  std::optional<infer::Matching> top_matching;
+  bool approximate = false;
+  double std_error = 0.0;
+  std::uint64_t retry_after_ns = 0;
+
+  static WireResponse From(std::uint64_t id, const serve::Response& response) {
+    WireResponse wire;
+    wire.id = id;
+    wire.status = response.status;
+    wire.probability = response.probability;
+    wire.top_matching = response.top_matching;
+    wire.approximate = response.approximate;
+    wire.std_error = response.std_error;
+    wire.retry_after_ns = response.retry_after_ns;
+    return wire;
+  }
+};
+
+}  // namespace ppref::net
+
+#endif  // PPREF_NET_WIRE_H_

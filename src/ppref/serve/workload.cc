@@ -1,0 +1,57 @@
+#include "ppref/serve/workload.h"
+
+#include "ppref/common/random.h"
+#include "ppref/infer/labeling.h"
+#include "ppref/rim/mallows.h"
+#include "ppref/rim/ranking.h"
+
+namespace ppref::serve {
+
+SyntheticWorkload MakeSyntheticWorkload(std::size_t unique,
+                                        unsigned base_items) {
+  SyntheticWorkload workload;
+  workload.models.reserve(unique);
+  workload.patterns.reserve(unique);
+  for (std::size_t i = 0; i < unique; ++i) {
+    const unsigned m = base_items + static_cast<unsigned>(i % 4) * 4;
+    const unsigned k = 2 + static_cast<unsigned>(i % 2);
+    const double phi =
+        0.3 + 0.6 * static_cast<double>(i) / static_cast<double>(unique);
+    infer::ItemLabeling labeling(m);
+    for (unsigned item = 0; item < m; ++item) {
+      labeling.AddLabel(item, item % (k + 1));
+    }
+    workload.models.emplace_back(
+        rim::MallowsModel(rim::Ranking::Identity(m), phi).rim(),
+        std::move(labeling));
+    infer::LabelPattern pattern;
+    for (infer::LabelId label = 0; label < k; ++label) pattern.AddNode(label);
+    for (unsigned e = 0; e + 1 < k; ++e) pattern.AddEdge(e, e + 1);
+    workload.patterns.push_back(std::move(pattern));
+  }
+  return workload;
+}
+
+std::vector<Request> MakeSyntheticTrace(const SyntheticWorkload& workload,
+                                        std::size_t requests,
+                                        std::uint64_t seed,
+                                        std::uint64_t deadline_ns,
+                                        std::vector<std::size_t>* pair_out) {
+  const std::size_t unique = workload.models.size();
+  Rng rng(seed);
+  std::vector<Request> trace(requests);
+  if (pair_out != nullptr) pair_out->resize(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    std::size_t pair = rng.NextIndex(unique);
+    if (rng.NextUnit() < 0.5) pair /= 2;
+    if (pair_out != nullptr) (*pair_out)[i] = pair;
+    trace[i].kind = (i % 4 == 3) ? Request::Kind::kTopMatching
+                                 : Request::Kind::kPatternProb;
+    trace[i].model = &workload.models[pair];
+    trace[i].pattern = &workload.patterns[pair];
+    trace[i].control.deadline_ns = deadline_ns;
+  }
+  return trace;
+}
+
+}  // namespace ppref::serve

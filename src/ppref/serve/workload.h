@@ -1,0 +1,55 @@
+/// \file workload.h
+/// \brief Reproducible synthetic serving workloads — the shared trace
+/// generator behind `ppref_serve`, `ppref_chaos`, `ppref_bench_net`, and the
+/// network end-to-end tests.
+///
+/// The pool is a family of labeled Mallows models (sizes and dispersions
+/// varied deterministically) with 2- or 3-node chain patterns; the trace is a
+/// hot-biased draw over the pool (half the draws collapse onto the hot half),
+/// so its repeat profile resembles a production query mix rather than a
+/// uniform sweep. Everything is a pure function of its arguments: the same
+/// (unique, base_items, seed) always produces byte-identical models,
+/// patterns, and request order, which is what lets separate processes — a
+/// daemon and its clients, or a test and its in-process oracle — agree on
+/// the expected answers bit-for-bit.
+
+#ifndef PPREF_SERVE_WORKLOAD_H_
+#define PPREF_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/pattern.h"
+#include "ppref/serve/server.h"
+
+namespace ppref::serve {
+
+/// The unique (model, pattern) pool a trace draws from. Requests index into
+/// these vectors, so the pool must outlive every trace built over it.
+struct SyntheticWorkload {
+  std::vector<infer::LabeledRimModel> models;
+  std::vector<infer::LabelPattern> patterns;
+};
+
+/// Builds the pool: `unique` labeled Mallows models over
+/// base_items + (i % 4) * 4 items with dispersion sweeping 0.3 → 0.9, item
+/// i carrying label i % (k + 1), and a k-node chain pattern (k alternating
+/// 2, 3).
+SyntheticWorkload MakeSyntheticWorkload(std::size_t unique,
+                                        unsigned base_items = 16);
+
+/// A hot-biased request trace over the pool: pair = NextIndex(unique),
+/// halved with probability 0.5; every 4th request is kTopMatching, the rest
+/// kPatternProb. `deadline_ns` is stamped into every request's control. When
+/// `pair_out` is non-null it receives the drawn pool index per request.
+std::vector<Request> MakeSyntheticTrace(const SyntheticWorkload& workload,
+                                        std::size_t requests,
+                                        std::uint64_t seed,
+                                        std::uint64_t deadline_ns = 0,
+                                        std::vector<std::size_t>* pair_out =
+                                            nullptr);
+
+}  // namespace ppref::serve
+
+#endif  // PPREF_SERVE_WORKLOAD_H_

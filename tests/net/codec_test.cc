@@ -1,0 +1,282 @@
+/// \file codec_test.cc
+/// \brief Body codec: bit-identical round-trips, every structured rejection,
+/// and the corruption fuzzers (`NetFuzzTest`) asserting the no-abort
+/// contract: hostile bytes never crash, never over-read, always come back
+/// `kInvalidArgument`.
+
+#include "ppref/net/codec.h"
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "ppref/common/random.h"
+#include "ppref/net/frame.h"
+#include "ppref/serve/workload.h"
+
+namespace ppref::net {
+namespace {
+
+WireRequest SampleRequest(std::uint64_t id = 77,
+                          std::uint64_t deadline_ns = 123456789) {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(3);
+  return WireRequest(id, serve::Request::Kind::kTopMatching, deadline_ns,
+                     workload.models[1], workload.patterns[1]);
+}
+
+TEST(NetCodecTest, RequestRoundTripsBitIdentical) {
+  const WireRequest request = SampleRequest();
+  StatusOr<WireRequest> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->kind, request.kind);
+  EXPECT_EQ(decoded->deadline_ns, request.deadline_ns);
+
+  const rim::RimModel& a = request.model.model();
+  const rim::RimModel& b = decoded->model.model();
+  ASSERT_EQ(a.size(), b.size());
+  for (unsigned p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a.reference().At(p), b.reference().At(p));
+  }
+  for (unsigned t = 0; t < a.size(); ++t) {
+    const auto& row_a = a.insertion().Row(t);
+    const auto& row_b = b.insertion().Row(t);
+    ASSERT_EQ(row_a.size(), row_b.size());
+    for (std::size_t j = 0; j < row_a.size(); ++j) {
+      // Bit identity, not epsilon closeness: the wire carries IEEE-754
+      // patterns verbatim.
+      std::uint64_t bits_a, bits_b;
+      std::memcpy(&bits_a, &row_a[j], 8);
+      std::memcpy(&bits_b, &row_b[j], 8);
+      EXPECT_EQ(bits_a, bits_b) << "row " << t << " entry " << j;
+    }
+  }
+  for (unsigned item = 0; item < request.model.labeling().item_count();
+       ++item) {
+    EXPECT_EQ(decoded->model.labeling().LabelsOf(item),
+              request.model.labeling().LabelsOf(item));
+  }
+  ASSERT_EQ(decoded->pattern.NodeCount(), request.pattern.NodeCount());
+  for (unsigned node = 0; node < request.pattern.NodeCount(); ++node) {
+    EXPECT_EQ(decoded->pattern.NodeLabel(node),
+              request.pattern.NodeLabel(node));
+    EXPECT_EQ(decoded->pattern.Children(node),
+              request.pattern.Children(node));
+  }
+}
+
+TEST(NetCodecTest, ResponseRoundTripsAllFields) {
+  WireResponse response;
+  response.id = 0xdeadbeefcafef00dull;
+  response.status = Status::DeadlineExceeded("out of time");
+  response.probability = 0.12345678901234567;
+  response.top_matching = infer::Matching{4, 0, 9};
+  response.approximate = true;
+  response.std_error = 3.25e-4;
+  response.retry_after_ns = 5'000'000;
+
+  StatusOr<WireResponse> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, response.id);
+  EXPECT_EQ(decoded->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->status.message(), "out of time");
+  EXPECT_EQ(decoded->probability, response.probability);
+  ASSERT_TRUE(decoded->top_matching.has_value());
+  EXPECT_EQ(*decoded->top_matching, *response.top_matching);
+  EXPECT_TRUE(decoded->approximate);
+  EXPECT_EQ(decoded->std_error, response.std_error);
+  EXPECT_EQ(decoded->retry_after_ns, response.retry_after_ns);
+}
+
+TEST(NetCodecTest, ResponseRoundTripsEmptyMatching) {
+  WireResponse response;
+  response.id = 1;
+  response.status = Status::Ok();
+  response.probability = 1.0;
+  StatusOr<WireResponse> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->top_matching.has_value());
+}
+
+// --- structured rejections -------------------------------------------------
+
+std::string ValidRequestBytes() { return EncodeRequest(SampleRequest()); }
+
+TEST(NetCodecTest, RejectsTruncatedBody) {
+  const std::string bytes = ValidRequestBytes();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{7}, std::size_t{20},
+                          bytes.size() - 1}) {
+    StatusOr<WireRequest> decoded = DecodeRequest(bytes.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetCodecTest, RejectsTrailingBytes) {
+  StatusOr<WireRequest> decoded = DecodeRequest(ValidRequestBytes() + "!");
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, RejectsBadKind) {
+  std::string bytes = ValidRequestBytes();
+  bytes[8] = 7;  // kind byte
+  EXPECT_EQ(DecodeRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, RejectsNonZeroReserved) {
+  std::string bytes = ValidRequestBytes();
+  bytes[9] = 1;  // first reserved byte
+  EXPECT_EQ(DecodeRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, RejectsNonPermutationReference) {
+  std::string bytes = ValidRequestBytes();
+  // reference[0] lives right after the u32 item count at offset 20; making
+  // it equal reference[1] breaks the permutation.
+  std::memcpy(&bytes[24], &bytes[28], 4);
+  EXPECT_EQ(DecodeRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, RejectsOversizedItemCount) {
+  std::string bytes = ValidRequestBytes();
+  const std::uint32_t huge = 0x7fffffff;
+  std::memcpy(&bytes[20], &huge, 4);
+  EXPECT_EQ(DecodeRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, RejectsBadRowSum) {
+  const WireRequest request = SampleRequest();
+  std::string bytes = EncodeRequest(request);
+  const unsigned m = request.model.model().size();
+  // First insertion row (one double) starts after id/kind/deadline (20),
+  // the item count (4), and the m reference entries.
+  const std::size_t row0 = 24 + 4ull * m;
+  const double not_one = 0.25;
+  std::memcpy(&bytes[row0], &not_one, 8);
+  EXPECT_EQ(DecodeRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, RejectsResponseBadCode) {
+  WireResponse response;
+  response.id = 1;
+  std::string bytes = EncodeResponse(response);
+  bytes[8] = 42;  // status code byte
+  EXPECT_EQ(DecodeResponse(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- fuzzers ---------------------------------------------------------------
+
+TEST(NetFuzzTest, RequestDecoderSurvivesTruncationEverywhere) {
+  const std::string bytes = ValidRequestBytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    StatusOr<WireRequest> decoded = DecodeRequest(bytes.substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetFuzzTest, RequestDecoderSurvivesRandomCorruption) {
+  // Seeded corruption sweep: flip/overwrite a few bytes of a valid body and
+  // decode. The decoder must never abort or over-read; it either rejects
+  // with kInvalidArgument or (when the mutation only touched payload
+  // doubles/labels) accepts.
+  const std::string pristine = ValidRequestBytes();
+  Rng rng(2024);
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes = pristine;
+    const std::size_t mutations = 1 + rng.NextIndex(4);
+    for (std::size_t k = 0; k < mutations; ++k) {
+      bytes[rng.NextIndex(bytes.size())] =
+          static_cast<char>(rng.NextIndex(256));
+    }
+    StatusOr<WireRequest> decoded = DecodeRequest(bytes);
+    if (!decoded.ok()) {
+      ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetFuzzTest, RequestDecoderSurvivesGarbage) {
+  Rng rng(7);
+  for (int round = 0; round < 500; ++round) {
+    std::string bytes(rng.NextIndex(200), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.NextIndex(256));
+    StatusOr<WireRequest> decoded = DecodeRequest(bytes);
+    if (!decoded.ok()) {
+      ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetFuzzTest, ResponseDecoderSurvivesCorruption) {
+  WireResponse response;
+  response.id = 5;
+  response.status = Status::Ok();
+  response.probability = 0.5;
+  response.top_matching = infer::Matching{1, 2, 3};
+  const std::string pristine = EncodeResponse(response);
+  Rng rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes = pristine;
+    bytes[rng.NextIndex(bytes.size())] =
+        static_cast<char>(rng.NextIndex(256));
+    if (rng.NextUnit() < 0.5) {
+      bytes.resize(rng.NextIndex(bytes.size() + 1));
+    }
+    StatusOr<WireResponse> decoded = DecodeResponse(bytes);
+    if (!decoded.ok()) {
+      ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetFuzzTest, AssemblerSurvivesInterleavedGarbageWrites) {
+  // Random split points + random corruption against the frame layer. The
+  // assembler must always either produce frames or go sticky-invalid; it
+  // must never hand out a frame from a corrupt stream prefix.
+  Rng rng(13);
+  for (int round = 0; round < 300; ++round) {
+    std::string stream;
+    const int frames = 1 + static_cast<int>(rng.NextIndex(4));
+    for (int f = 0; f < frames; ++f) {
+      std::string body(rng.NextIndex(64), 'b');
+      stream += EncodeFrame(
+          rng.NextUnit() < 0.5 ? FrameType::kRequest : FrameType::kPing,
+          body);
+    }
+    const bool corrupt = rng.NextUnit() < 0.5;
+    if (corrupt) {
+      stream[rng.NextIndex(std::min<std::size_t>(stream.size(),
+                                                 kFrameHeaderBytes))] =
+          static_cast<char>(rng.NextIndex(256));
+    }
+    FrameAssembler assembler;
+    std::size_t offset = 0;
+    bool failed = false;
+    while (offset < stream.size()) {
+      const std::size_t chunk =
+          1 + rng.NextIndex(std::min<std::size_t>(stream.size() - offset, 17));
+      if (!assembler.Feed(stream.data() + offset, chunk).ok()) {
+        failed = true;
+        break;
+      }
+      offset += chunk;
+      Frame frame;
+      while (assembler.Next(&frame)) {
+      }
+    }
+    if (failed) {
+      ASSERT_EQ(assembler.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppref::net

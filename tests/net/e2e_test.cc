@@ -1,0 +1,200 @@
+/// \file e2e_test.cc
+/// \brief End-to-end bit-identity: spawn the real `ppref_served` binary on
+/// an ephemeral port, replay a synthetic trace through `net::Client`, and
+/// require every answer byte-identical to an in-process `serve::Server`
+/// evaluating the same trace with the same options — including
+/// `approximate`/`std_error` on deterministically degraded answers. The
+/// daemon path (`PPREF_SERVED_PATH`) is injected by CMake.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ppref/net/client.h"
+#include "ppref/serve/workload.h"
+
+namespace ppref::net {
+namespace {
+
+/// A spawned daemon: fork/exec + port-file rendezvous; SIGTERM + waitpid on
+/// teardown asserting exit 0.
+class ServedProcess {
+ public:
+  /// `extra` are additional argv flags.
+  bool Spawn(std::vector<std::string> extra) {
+    port_file_ = ::testing::TempDir() + "ppref_served_port_" +
+                 std::to_string(getpid()) + "_" + std::to_string(++counter_);
+    std::remove(port_file_.c_str());
+
+    std::vector<std::string> args = {PPREF_SERVED_PATH, "--port", "0",
+                                     "--port-file", port_file_};
+    for (std::string& flag : extra) args.push_back(std::move(flag));
+
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      execv(PPREF_SERVED_PATH, argv.data());
+      _exit(127);  // exec failed
+    }
+
+    // Rendezvous: the daemon writes the bound port once listening.
+    for (int i = 0; i < 500; ++i) {
+      if (std::FILE* file = std::fopen(port_file_.c_str(), "r")) {
+        const int got = std::fscanf(file, "%d", &port_);
+        std::fclose(file);
+        if (got == 1 && port_ > 0) return true;
+      }
+      usleep(20 * 1000);
+    }
+    return false;
+  }
+
+  int port() const { return port_; }
+
+  /// SIGTERM, then require a graceful exit 0.
+  void TerminateAndExpectCleanExit() {
+    if (pid_ <= 0) return;
+    kill(pid_, SIGTERM);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid_, &status, 0), pid_);
+    EXPECT_TRUE(WIFEXITED(status)) << "daemon did not exit normally";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    pid_ = -1;
+    std::remove(port_file_.c_str());
+  }
+
+  ~ServedProcess() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+ private:
+  static int counter_;
+  pid_t pid_ = -1;
+  int port_ = 0;
+  std::string port_file_;
+};
+
+int ServedProcess::counter_ = 0;
+
+void ExpectBitIdentical(const WireResponse& over_wire,
+                        const serve::Response& in_process, std::size_t i) {
+  EXPECT_EQ(over_wire.status.code(), in_process.status.code()) << "req " << i;
+  EXPECT_EQ(over_wire.probability, in_process.probability) << "req " << i;
+  EXPECT_EQ(over_wire.approximate, in_process.approximate) << "req " << i;
+  EXPECT_EQ(over_wire.std_error, in_process.std_error) << "req " << i;
+  ASSERT_EQ(over_wire.top_matching.has_value(),
+            in_process.top_matching.has_value())
+      << "req " << i;
+  if (in_process.top_matching.has_value()) {
+    EXPECT_EQ(*over_wire.top_matching, *in_process.top_matching)
+        << "req " << i;
+  }
+}
+
+TEST(NetE2eTest, TraceReplayIsBitIdenticalToInProcessServer) {
+  ServedProcess daemon;
+  ASSERT_TRUE(daemon.Spawn({})) << "daemon failed to start";
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(6);
+  const std::vector<serve::Request> trace =
+      serve::MakeSyntheticTrace(workload, 40, /*seed=*/5);
+
+  // The oracle: the identical trace through an in-process server with the
+  // daemon's (default) options.
+  serve::Server oracle{serve::ServerOptions{}};
+
+  StatusOr<Client> connected = Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    WireRequest request(i + 1, trace[i].kind, trace[i].control.deadline_ns,
+                        *trace[i].model, *trace[i].pattern);
+    StatusOr<WireResponse> over_wire = client.Call(request);
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    const serve::Response in_process = oracle.Evaluate(trace[i]);
+    ExpectBitIdentical(*over_wire, in_process, i);
+  }
+
+  // The daemon served real traffic; its metrics must say so.
+  StatusOr<HttpResult> metrics =
+      HttpFetch("127.0.0.1", daemon.port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->status_code, 200);
+  EXPECT_NE(metrics->body.find("ppref_net_requests_binary_total 40"),
+            std::string::npos);
+
+  daemon.TerminateAndExpectCleanExit();
+}
+
+TEST(NetE2eTest, DegradedAnswersAreBitIdenticalToo) {
+  // A 1-node pattern budget trips the size guard on every request (the
+  // synthetic patterns have 2-3 nodes), forcing Monte-Carlo degradation
+  // with no timing dependence — unlike a tiny deadline, which a cached
+  // plan can occasionally beat. The MC seed derives from the request
+  // fingerprint, so the daemon and the in-process oracle produce the same
+  // approximate answer and std_error, bit for bit.
+  ServedProcess daemon;
+  ASSERT_TRUE(daemon.Spawn({"--max-pattern-nodes", "1", "--degrade", "mc",
+                            "--degraded-samples", "512"}))
+      << "daemon failed to start";
+
+  serve::ServerOptions oracle_options;
+  oracle_options.max_pattern_nodes = 1;
+  oracle_options.degradation = serve::ServerOptions::Degradation::kMonteCarlo;
+  oracle_options.degraded_samples = 512;
+  serve::Server oracle(oracle_options);
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(4);
+  const std::vector<serve::Request> trace =
+      serve::MakeSyntheticTrace(workload, 12, /*seed=*/9);
+
+  StatusOr<Client> connected = Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    WireRequest request(i + 1, trace[i].kind, 0, *trace[i].model,
+                        *trace[i].pattern);
+    StatusOr<WireResponse> over_wire = client.Call(request);
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    const serve::Response in_process = oracle.Evaluate(trace[i]);
+    ExpectBitIdentical(*over_wire, in_process, i);
+    if (over_wire->approximate) ++degraded;
+  }
+  EXPECT_GT(degraded, 0u) << "deadline never degraded anything";
+
+  daemon.TerminateAndExpectCleanExit();
+}
+
+TEST(NetE2eTest, HealthzFlipsTo503DuringDrainWindow) {
+  ServedProcess daemon;
+  ASSERT_TRUE(daemon.Spawn({})) << "daemon failed to start";
+
+  StatusOr<HttpResult> healthy =
+      HttpFetch("127.0.0.1", daemon.port(), "GET", "/healthz");
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy->status_code, 200);
+
+  // After SIGTERM the daemon drains. With no open connections the drain
+  // window is a race by construction (the listen socket closes right away),
+  // so the deterministic contract asserted here is the graceful exit 0;
+  // the draining-healthz branch itself is unit-level logic in ExecuteHttp.
+  daemon.TerminateAndExpectCleanExit();
+}
+
+}  // namespace
+}  // namespace ppref::net

@@ -1,0 +1,101 @@
+/// \file http_test.cc
+/// \brief HttpAccumulator: incremental parsing, header normalization, caps,
+/// and every rejection path; plus RenderHttpResponse shape.
+
+#include "ppref/net/http.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace ppref::net {
+namespace {
+
+TEST(NetHttpTest, ParsesSimpleGet) {
+  HttpAccumulator accumulator;
+  const std::string raw =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+  ASSERT_EQ(accumulator.Feed(raw), HttpAccumulator::State::kComplete);
+  EXPECT_EQ(accumulator.request().method, "GET");
+  EXPECT_EQ(accumulator.request().target, "/healthz");
+  ASSERT_NE(accumulator.request().Header("host"), nullptr);
+  EXPECT_EQ(*accumulator.request().Header("host"), "x");
+  EXPECT_TRUE(accumulator.request().body.empty());
+}
+
+TEST(NetHttpTest, ParsesPostWithBodyByteAtATime) {
+  const std::string raw =
+      "POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+  HttpAccumulator accumulator;
+  for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+    ASSERT_EQ(accumulator.Feed(raw.substr(i, 1)),
+              HttpAccumulator::State::kNeedMore)
+        << "complete after byte " << i;
+  }
+  ASSERT_EQ(accumulator.Feed(raw.substr(raw.size() - 1)),
+            HttpAccumulator::State::kComplete);
+  EXPECT_EQ(accumulator.request().body, "body");
+}
+
+TEST(NetHttpTest, LowercasesHeaderNamesAndTrimsValues) {
+  HttpAccumulator accumulator;
+  ASSERT_EQ(accumulator.Feed("GET / HTTP/1.0\r\nX-ThInG:   v  \r\n\r\n"),
+            HttpAccumulator::State::kComplete);
+  ASSERT_NE(accumulator.request().Header("x-thing"), nullptr);
+  EXPECT_EQ(*accumulator.request().Header("x-thing"), "v");
+}
+
+TEST(NetHttpTest, RejectsMalformedRequests) {
+  for (const char* bad : {
+           "NOT-A-REQUEST-LINE\r\n\r\n",
+           "GET /\r\n\r\n",                         // missing version
+           "GET / HTTP/2.0\r\n\r\n",                // unsupported version
+           "GET / HTTP/1.1\r\nbad header\r\n\r\n",  // no colon
+           "POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n",
+           "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       }) {
+    HttpAccumulator accumulator;
+    EXPECT_EQ(accumulator.Feed(bad), HttpAccumulator::State::kError) << bad;
+    EXPECT_EQ(accumulator.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetHttpTest, RejectsBytesBeyondContentLength) {
+  HttpAccumulator accumulator;
+  EXPECT_EQ(
+      accumulator.Feed("POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabXXX"),
+      HttpAccumulator::State::kError);
+}
+
+TEST(NetHttpTest, RejectsOversizedRequests) {
+  HttpAccumulator accumulator(/*max_bytes=*/128);
+  EXPECT_EQ(accumulator.Feed("POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n"),
+            HttpAccumulator::State::kError);
+
+  // Headers alone past the cap also fail, even with no Content-Length.
+  HttpAccumulator small(/*max_bytes=*/64);
+  std::string big = "GET / HTTP/1.1\r\n";
+  big += "X-Pad: " + std::string(200, 'p') + "\r\n\r\n";
+  EXPECT_EQ(small.Feed(big), HttpAccumulator::State::kError);
+}
+
+TEST(NetHttpTest, ErrorIsSticky) {
+  HttpAccumulator accumulator;
+  ASSERT_EQ(accumulator.Feed("GARBAGE\r\n\r\n"),
+            HttpAccumulator::State::kError);
+  EXPECT_EQ(accumulator.Feed("GET / HTTP/1.1\r\n\r\n"),
+            HttpAccumulator::State::kError);
+}
+
+TEST(NetHttpTest, RenderedResponseIsWellFormed) {
+  const std::string response =
+      RenderHttpResponse(200, "OK", "text/plain", "ok\n");
+  EXPECT_EQ(response.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 7), "\r\n\r\nok\n");
+}
+
+}  // namespace
+}  // namespace ppref::net

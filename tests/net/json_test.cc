@@ -1,0 +1,191 @@
+/// \file json_test.cc
+/// \brief The JSON sliver: parser conformance + the /query document mapping
+/// (`WireRequestFromJson`) and the %.17g answer rendering
+/// (`JsonFromWireResponse`).
+
+#include "ppref/net/json.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "ppref/net/http.h"
+#include "ppref/net/wire.h"
+
+namespace ppref::net {
+namespace {
+
+TEST(NetJsonTest, ParsesScalars) {
+  EXPECT_EQ(ParseJson("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(ParseJson("true")->boolean);
+  EXPECT_FALSE(ParseJson("false")->boolean);
+  EXPECT_EQ(ParseJson("42")->number, 42.0);
+  EXPECT_EQ(ParseJson("-2.5e2")->number, -250.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string, "hi");
+}
+
+TEST(NetJsonTest, ParsesNestedStructures) {
+  StatusOr<JsonValue> value =
+      ParseJson("{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"}");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  const JsonValue* b = a->array[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->kind, JsonValue::Kind::kNull);
+}
+
+TEST(NetJsonTest, ParsesStringEscapes) {
+  StatusOr<JsonValue> value = ParseJson("\"a\\n\\t\\\"\\\\b\\u0041\"");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->string, "a\n\t\"\\bA");
+}
+
+TEST(NetJsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "01", "1.", "+1", "nul",
+        "\"unterminated", "\"\\q\"", "[1] trailing", "{\"a\":1,}",
+        "\"\\ud800\""}) {
+    StatusOr<JsonValue> value = ParseJson(bad);
+    EXPECT_FALSE(value.ok()) << "input: " << bad;
+    EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetJsonTest, RejectsExcessiveDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_EQ(ParseJson(deep).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetJsonTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonQuote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+}
+
+// --- /query document mapping ----------------------------------------------
+
+const char* kValidQuery =
+    "{\"id\": 9, \"kind\": \"pattern_prob\", \"deadline_us\": 250,"
+    " \"model\": {\"m\": 3, \"insertion\": {\"phi\": 0.5},"
+    "  \"labels\": [[0], [1], [0]]},"
+    " \"pattern\": {\"nodes\": [0, 1], \"edges\": [[0, 1]]}}";
+
+TEST(NetJsonTest, MapsValidQueryDocument) {
+  StatusOr<JsonValue> document = ParseJson(kValidQuery);
+  ASSERT_TRUE(document.ok());
+  StatusOr<WireRequest> wire = WireRequestFromJson(*document);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->id, 9u);
+  EXPECT_EQ(wire->kind, serve::Request::Kind::kPatternProb);
+  EXPECT_EQ(wire->deadline_ns, 250'000u);
+  EXPECT_EQ(wire->model.size(), 3u);
+  EXPECT_EQ(wire->pattern.NodeCount(), 2u);
+  EXPECT_TRUE(wire->pattern.HasEdge(0, 1));
+}
+
+TEST(NetJsonTest, MapsExplicitRowsAndReference) {
+  StatusOr<JsonValue> document = ParseJson(
+      "{\"kind\": \"top_matching\","
+      " \"model\": {\"reference\": [2, 0, 1],"
+      "  \"insertion\": {\"rows\": [[1.0], [0.25, 0.75],"
+      "   [0.5, 0.25, 0.25]]},"
+      "  \"labels\": [[5], [5], [6]]},"
+      " \"pattern\": {\"nodes\": [5, 6], \"edges\": []}}");
+  ASSERT_TRUE(document.ok());
+  StatusOr<WireRequest> wire = WireRequestFromJson(*document);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->kind, serve::Request::Kind::kTopMatching);
+  EXPECT_EQ(wire->model.model().reference().At(0), 2u);
+  EXPECT_EQ(wire->model.model().insertion().Row(2)[0], 0.5);
+}
+
+TEST(NetJsonTest, RejectsBadQueryDocuments) {
+  for (const char* bad : {
+           // Not an object.
+           "[1]",
+           // Unknown kind.
+           "{\"kind\": \"weird\", \"model\": {\"m\": 2, \"insertion\":"
+           " {\"uniform\": true}, \"labels\": [[0], [0]]},"
+           " \"pattern\": {\"nodes\": [0], \"edges\": []}}",
+           // phi out of range.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"m\": 2,"
+           " \"insertion\": {\"phi\": 0.0}, \"labels\": [[0], [0]]},"
+           " \"pattern\": {\"nodes\": [0], \"edges\": []}}",
+           // Bad row sums.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"m\": 1,"
+           " \"insertion\": {\"rows\": [[0.5]]}, \"labels\": [[0]]},"
+           " \"pattern\": {\"nodes\": [0], \"edges\": []}}",
+           // Reference not a permutation.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"reference\": [0, 0],"
+           " \"insertion\": {\"uniform\": true}, \"labels\": [[0], [0]]},"
+           " \"pattern\": {\"nodes\": [0], \"edges\": []}}",
+           // labels length mismatch.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"m\": 2,"
+           " \"insertion\": {\"uniform\": true}, \"labels\": [[0]]},"
+           " \"pattern\": {\"nodes\": [0], \"edges\": []}}",
+           // Duplicate pattern node labels.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"m\": 2,"
+           " \"insertion\": {\"uniform\": true}, \"labels\": [[0], [0]]},"
+           " \"pattern\": {\"nodes\": [0, 0], \"edges\": []}}",
+           // Self-loop edge.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"m\": 2,"
+           " \"insertion\": {\"uniform\": true}, \"labels\": [[0], [1]]},"
+           " \"pattern\": {\"nodes\": [0, 1], \"edges\": [[0, 0]]}}",
+           // Edge index out of range.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"m\": 2,"
+           " \"insertion\": {\"uniform\": true}, \"labels\": [[0], [1]]},"
+           " \"pattern\": {\"nodes\": [0, 1], \"edges\": [[0, 5]]}}",
+           // Missing pattern.
+           "{\"kind\": \"pattern_prob\", \"model\": {\"m\": 2,"
+           " \"insertion\": {\"uniform\": true}, \"labels\": [[0], [1]]}}",
+       }) {
+    StatusOr<JsonValue> document = ParseJson(bad);
+    ASSERT_TRUE(document.ok()) << bad;
+    StatusOr<WireRequest> wire = WireRequestFromJson(*document);
+    EXPECT_FALSE(wire.ok()) << bad;
+    EXPECT_EQ(wire.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(NetJsonTest, ResponseJsonRoundTripsDoubleBits) {
+  WireResponse response;
+  response.id = 3;
+  response.status = Status::Ok();
+  response.probability = 0.1 + 0.2;  // 0.30000000000000004, not 0.3
+  response.std_error = 1.0 / 3.0;
+  response.top_matching = infer::Matching{2, 1};
+
+  const std::string body = JsonFromWireResponse(response);
+  StatusOr<JsonValue> parsed = ParseJson(body);
+  ASSERT_TRUE(parsed.ok()) << body;
+  EXPECT_EQ(parsed->Find("id")->number, 3.0);
+  EXPECT_EQ(parsed->Find("status")->string, "OK");
+  // %.17g → strtod must reproduce the exact bits.
+  EXPECT_EQ(parsed->Find("probability")->number, response.probability);
+  EXPECT_EQ(parsed->Find("std_error")->number, response.std_error);
+  const JsonValue* matching = parsed->Find("top_matching");
+  ASSERT_EQ(matching->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(matching->array.size(), 2u);
+  EXPECT_EQ(matching->array[0].number, 2.0);
+}
+
+TEST(NetJsonTest, ErrorResponseJsonCarriesStatus) {
+  WireResponse response;
+  response.id = 8;
+  response.status = Status::ResourceExhausted("shed");
+  response.retry_after_ns = 1000;
+  const std::string body = JsonFromWireResponse(response);
+  StatusOr<JsonValue> parsed = ParseJson(body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("status")->string, "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(parsed->Find("message")->string, "shed");
+  EXPECT_EQ(parsed->Find("retry_after_ns")->number, 1000.0);
+  EXPECT_EQ(parsed->Find("top_matching")->kind, JsonValue::Kind::kNull);
+}
+
+}  // namespace
+}  // namespace ppref::net

@@ -26,14 +26,9 @@
 #include <vector>
 
 #include "ppref/common/fault_injection.h"
-#include "ppref/common/random.h"
 #include "ppref/common/status.h"
-#include "ppref/infer/labeled_rim.h"
-#include "ppref/infer/labeling.h"
-#include "ppref/infer/pattern.h"
-#include "ppref/rim/mallows.h"
-#include "ppref/rim/ranking.h"
 #include "ppref/serve/server.h"
+#include "ppref/serve/workload.h"
 
 namespace {
 
@@ -124,37 +119,6 @@ void ArmFaults(const Options& options) {
 #endif
 }
 
-/// The unique pool: labeled Mallows models with chain patterns, same shape
-/// as the ppref_serve trace generator.
-struct Workload {
-  std::vector<infer::LabeledRimModel> models;
-  std::vector<infer::LabelPattern> patterns;
-};
-
-Workload MakeWorkload(std::size_t unique) {
-  Workload workload;
-  workload.models.reserve(unique);
-  workload.patterns.reserve(unique);
-  for (std::size_t i = 0; i < unique; ++i) {
-    const unsigned m = 12 + static_cast<unsigned>(i % 4) * 4;
-    const unsigned k = 2 + static_cast<unsigned>(i % 2);
-    const double phi =
-        0.3 + 0.6 * static_cast<double>(i) / static_cast<double>(unique);
-    infer::ItemLabeling labeling(m);
-    for (unsigned item = 0; item < m; ++item) {
-      labeling.AddLabel(item, item % (k + 1));
-    }
-    workload.models.emplace_back(
-        rim::MallowsModel(rim::Ranking::Identity(m), phi).rim(),
-        std::move(labeling));
-    infer::LabelPattern pattern;
-    for (infer::LabelId label = 0; label < k; ++label) pattern.AddNode(label);
-    for (unsigned e = 0; e + 1 < k; ++e) pattern.AddEdge(e, e + 1);
-    workload.patterns.push_back(std::move(pattern));
-  }
-  return workload;
-}
-
 double Percentile(std::vector<double> sorted, double q) {
   if (sorted.empty()) return 0.0;
   const std::size_t index = std::min(
@@ -173,18 +137,12 @@ int main(int argc, char** argv) {
   }
   ArmFaults(options);
 
-  const Workload workload = MakeWorkload(options.unique);
-  Rng rng(options.seed);
-  std::vector<serve::Request> trace(options.requests);
-  for (std::size_t i = 0; i < options.requests; ++i) {
-    std::size_t pair = rng.NextIndex(options.unique);
-    if (rng.NextUnit() < 0.5) pair /= 2;
-    trace[i].kind = (i % 4 == 3) ? serve::Request::Kind::kTopMatching
-                                 : serve::Request::Kind::kPatternProb;
-    trace[i].model = &workload.models[pair];
-    trace[i].pattern = &workload.patterns[pair];
-    trace[i].control.deadline_ns = options.deadline_us * 1000;
-  }
+  // Shared generator (serve/workload.h), smaller base models than
+  // ppref_serve so chaos runs stay fast even under injected faults.
+  const serve::SyntheticWorkload workload =
+      serve::MakeSyntheticWorkload(options.unique, /*base_items=*/12);
+  const std::vector<serve::Request> trace = serve::MakeSyntheticTrace(
+      workload, options.requests, options.seed, options.deadline_us * 1000);
 
   serve::Server server(options.server);
   std::vector<std::uint64_t> status_counts(6, 0);

@@ -1,0 +1,181 @@
+/// \file ppref_net_smoke.cc
+/// \brief End-to-end smoke check against a running `ppref_served`:
+/// health-check, binary ping, one binary query verified bit-identical
+/// against local inference, the same query over HTTP/JSON, and a /metrics
+/// scrape. Exits 0 iff every step passed — check.sh's daemon stage and any
+/// post-deploy sanity script run exactly this.
+///
+/// Usage:
+///   ppref_net_smoke --port P [--host H]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ppref/infer/top_prob.h"
+#include "ppref/net/client.h"
+#include "ppref/serve/workload.h"
+
+namespace {
+
+using namespace ppref;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+bool ParseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    if (flag == "--host") {
+      options.host = argv[++i];
+    } else if (flag == "--port") {
+      options.port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return options.port > 0;
+}
+
+int Fail(const char* step, const std::string& detail) {
+  std::fprintf(stderr, "ppref_net_smoke: %s: %s\n", step, detail.c_str());
+  return 1;
+}
+
+/// Renders the pool's pair 0 as a /query JSON document, rows spelled out as
+/// %.17g so the daemon rebuilds the exact bits.
+std::string QueryJson(const infer::LabeledRimModel& model,
+                      const infer::LabelPattern& pattern) {
+  char scratch[64];
+  std::string json = "{\"id\": 42, \"kind\": \"pattern_prob\", \"model\": {";
+  const rim::RimModel& rim = model.model();
+  json += "\"reference\": [";
+  for (unsigned p = 0; p < rim.size(); ++p) {
+    if (p != 0) json += ", ";
+    json += std::to_string(rim.reference().At(p));
+  }
+  json += "], \"insertion\": {\"rows\": [";
+  for (unsigned t = 0; t < rim.size(); ++t) {
+    if (t != 0) json += ", ";
+    json += "[";
+    const std::vector<double>& row = rim.insertion().Row(t);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j != 0) json += ", ";
+      std::snprintf(scratch, sizeof(scratch), "%.17g", row[j]);
+      json += scratch;
+    }
+    json += "]";
+  }
+  json += "]}, \"labels\": [";
+  for (unsigned item = 0; item < model.labeling().item_count(); ++item) {
+    if (item != 0) json += ", ";
+    json += "[";
+    const auto& labels = model.labeling().LabelsOf(item);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) json += ", ";
+      json += std::to_string(labels[i]);
+    }
+    json += "]";
+  }
+  json += "]}, \"pattern\": {\"nodes\": [";
+  for (unsigned node = 0; node < pattern.NodeCount(); ++node) {
+    if (node != 0) json += ", ";
+    json += std::to_string(pattern.NodeLabel(node));
+  }
+  json += "], \"edges\": [";
+  bool first = true;
+  for (unsigned node = 0; node < pattern.NodeCount(); ++node) {
+    for (unsigned child : pattern.Children(node)) {
+      if (!first) json += ", ";
+      first = false;
+      json += "[" + std::to_string(node) + ", " + std::to_string(child) + "]";
+    }
+  }
+  json += "]}}";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, options)) {
+    std::fprintf(stderr, "usage: %s --port P [--host H]\n", argv[0]);
+    return 2;
+  }
+
+  // 1. Liveness.
+  StatusOr<net::HttpResult> health =
+      net::HttpFetch(options.host, options.port, "GET", "/healthz");
+  if (!health.ok()) return Fail("healthz", health.status().ToString());
+  if (health->status_code != 200) {
+    return Fail("healthz", "status " + std::to_string(health->status_code));
+  }
+
+  // 2. Binary ping.
+  StatusOr<net::Client> connected =
+      net::Client::Connect(options.host, options.port);
+  if (!connected.ok()) return Fail("connect", connected.status().ToString());
+  net::Client client = std::move(connected).value();
+  Status pinged = client.Ping();
+  if (!pinged.ok()) return Fail("ping", pinged.ToString());
+
+  // 3. One binary query, checked bit-identical against local inference.
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(4);
+  const double expected =
+      infer::PatternProb(workload.models[0], workload.patterns[0]);
+  net::WireRequest request(7, serve::Request::Kind::kPatternProb, 0,
+                           workload.models[0], workload.patterns[0]);
+  StatusOr<net::WireResponse> response = client.Call(request);
+  if (!response.ok()) return Fail("binary query", response.status().ToString());
+  if (!response->status.ok()) {
+    return Fail("binary query", response->status.ToString());
+  }
+  if (response->probability != expected) {
+    return Fail("binary query", "answer not bit-identical to local inference");
+  }
+
+  // 4. The same query over HTTP/JSON; %.17g round-trips the exact bits.
+  StatusOr<net::HttpResult> http = net::HttpFetch(
+      options.host, options.port, "POST", "/query",
+      QueryJson(workload.models[0], workload.patterns[0]));
+  if (!http.ok()) return Fail("http query", http.status().ToString());
+  if (http->status_code != 200) {
+    return Fail("http query",
+                "status " + std::to_string(http->status_code) + ": " +
+                    http->body);
+  }
+  const std::size_t at = http->body.find("\"probability\":");
+  if (at == std::string::npos) {
+    return Fail("http query", "no probability in " + http->body);
+  }
+  const double http_probability =
+      std::strtod(http->body.c_str() + at + std::strlen("\"probability\":"),
+                  nullptr);
+  if (http_probability != expected) {
+    return Fail("http query", "JSON answer not bit-identical");
+  }
+
+  // 5. Metrics exposition includes both serve- and net-layer instruments.
+  StatusOr<net::HttpResult> metrics =
+      net::HttpFetch(options.host, options.port, "GET", "/metrics");
+  if (!metrics.ok()) return Fail("metrics", metrics.status().ToString());
+  if (metrics->status_code != 200 ||
+      metrics->body.find("ppref_serve_requests_total") == std::string::npos ||
+      metrics->body.find("ppref_net_requests_binary_total") ==
+          std::string::npos) {
+    return Fail("metrics", "missing expected instruments");
+  }
+
+  std::printf("ppref_net_smoke: healthz, ping, binary query (bit-identical), "
+              "json query (bit-identical), metrics — all ok\n");
+  return 0;
+}

@@ -24,14 +24,9 @@
 #include <string>
 #include <vector>
 
-#include "ppref/common/random.h"
-#include "ppref/infer/labeled_rim.h"
-#include "ppref/infer/labeling.h"
-#include "ppref/infer/pattern.h"
 #include "ppref/infer/top_prob.h"
-#include "ppref/rim/mallows.h"
-#include "ppref/rim/ranking.h"
 #include "ppref/serve/server.h"
+#include "ppref/serve/workload.h"
 
 namespace {
 
@@ -107,37 +102,6 @@ bool ParseArgs(int argc, char** argv, Options& options) {
   return true;
 }
 
-/// The unique (model, pattern) pool: labeled Mallows models of varying size
-/// and dispersion with 2- or 3-node chain patterns.
-struct Workload {
-  std::vector<infer::LabeledRimModel> models;
-  std::vector<infer::LabelPattern> patterns;
-};
-
-Workload MakeWorkload(std::size_t unique) {
-  Workload workload;
-  workload.models.reserve(unique);
-  workload.patterns.reserve(unique);
-  for (std::size_t i = 0; i < unique; ++i) {
-    const unsigned m = 16 + static_cast<unsigned>(i % 4) * 4;
-    const unsigned k = 2 + static_cast<unsigned>(i % 2);
-    const double phi =
-        0.3 + 0.6 * static_cast<double>(i) / static_cast<double>(unique);
-    infer::ItemLabeling labeling(m);
-    for (unsigned item = 0; item < m; ++item) {
-      labeling.AddLabel(item, item % (k + 1));
-    }
-    workload.models.emplace_back(
-        rim::MallowsModel(rim::Ranking::Identity(m), phi).rim(),
-        std::move(labeling));
-    infer::LabelPattern pattern;
-    for (infer::LabelId label = 0; label < k; ++label) pattern.AddNode(label);
-    for (unsigned e = 0; e + 1 < k; ++e) pattern.AddEdge(e, e + 1);
-    workload.patterns.push_back(std::move(pattern));
-  }
-  return workload;
-}
-
 double Milliseconds(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 
 }  // namespace
@@ -149,21 +113,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const Workload workload = MakeWorkload(options.unique);
-  // The trace: hot-biased draws so the repeat profile resembles a real
-  // query mix (half the draws collapse onto the hot half of the pool).
-  Rng rng(options.seed);
-  std::vector<std::size_t> pair_of(options.requests);
-  std::vector<serve::Request> trace(options.requests);
-  for (std::size_t i = 0; i < options.requests; ++i) {
-    std::size_t pair = rng.NextIndex(options.unique);
-    if (rng.NextUnit() < 0.5) pair /= 2;
-    pair_of[i] = pair;
-    trace[i].kind = (i % 4 == 3) ? serve::Request::Kind::kTopMatching
-                                 : serve::Request::Kind::kPatternProb;
-    trace[i].model = &workload.models[pair];
-    trace[i].pattern = &workload.patterns[pair];
-  }
+  // The pool and its hot-biased trace come from the shared generator (see
+  // serve/workload.h) so daemon tools and tests replay the identical mix.
+  const serve::SyntheticWorkload workload =
+      serve::MakeSyntheticWorkload(options.unique);
+  std::vector<serve::Request> trace =
+      serve::MakeSyntheticTrace(workload, options.requests, options.seed);
 
   serve::Server server(options.server);
   std::vector<serve::Response> answers;
