@@ -4,18 +4,22 @@
 #      tier-1 test suite under it (including the net protocol fuzz tests,
 #      where ASan turns any codec over-read into a hard failure).
 #   2. TSan build (thread sanitizer is incompatible with ASan, so it is a
-#      separate tree); run the concurrent serve-layer, obs, and net suites
-#      (`Serve*` / `Obs*` / `Net*`) — the tests that exercise cross-thread
-#      synchronization directly (batch fan-out, sharded caches, the metric
-#      shard merge, the trace ring, the daemon's IO-thread/worker handoff
-#      over adopted socketpairs).
+#      separate tree); run the concurrent serve-layer, obs, net, and
+#      circuit suites (`Serve*` / `Obs*` / `Net*` / `Circuit*`) — the
+#      tests that exercise cross-thread synchronization directly (batch
+#      fan-out, sharded caches — including the structure-keyed circuit
+#      cache behind concurrent sweeps — the metric shard merge, the trace
+#      ring, the daemon's IO-thread/worker handoff over adopted
+#      socketpairs).
 #   3. TSan + fault-injection build (PPREF_FAULT_INJECTION=ON compiles the
 #      chaos hooks into the hot paths); re-run the same suites, which now
 #      include the chaos tests (miss storms, slow plans, mid-DP stops).
 #   4. Daemon smoke: start the real ppref_served on an ephemeral port (from
 #      the ASan tree, so the daemon itself runs sanitized), health-check +
-#      binary query + JSON query + /metrics via ppref_net_smoke, then
-#      SIGTERM and require a graceful drain with exit 0.
+#      binary query + JSON query + HTTP /sweep (a circuit-backed
+#      param-sweep, each point verified bit-identical) + /metrics via
+#      ppref_net_smoke, then SIGTERM and require a graceful drain with
+#      exit 0.
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all), so a
 # green ctest means clean. Each stage prints its wall-clock on completion.
 #
@@ -41,16 +45,18 @@ stage_done "asan+ubsan full suite"
 
 cmake -B "$TSAN_DIR" -S . -DPPREF_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test --target obs_test --target net_test
-ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs|^Net'
-stage_done "tsan serve+obs+net"
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test --target obs_test \
+  --target net_test --target circuit_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit'
+stage_done "tsan serve+obs+net+circuit"
 
 cmake -B "$CHAOS_DIR" -S . -DPPREF_SANITIZE=thread -DPPREF_FAULT_INJECTION=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
-cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test --target obs_test --target net_test
-ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs|^Net'
-stage_done "tsan+chaos serve+obs+net"
+cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test --target obs_test \
+  --target net_test --target circuit_test
+ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit'
+stage_done "tsan+chaos serve+obs+net+circuit"
 
 # Daemon smoke: end-to-end over real TCP with the ASan-built binaries.
 PORT_FILE="$(mktemp)"

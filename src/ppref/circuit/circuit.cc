@@ -1,0 +1,227 @@
+#include "ppref/circuit/circuit.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "ppref/common/check.h"
+
+namespace ppref::circuit {
+
+namespace {
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+}  // namespace
+
+CircuitBuilder::CircuitBuilder(unsigned items) {
+  circuit_.items_ = items;
+  leaf_index_.assign(static_cast<std::size_t>(items) * items, kNoNode);
+  // Pinned singletons: node 0 == 0.0, node 1 == 1.0 (see class comment).
+  Constant(0.0);
+  Constant(1.0);
+}
+
+NodeId CircuitBuilder::Append(Op op, NodeId a, NodeId b, NodeId c) {
+  const auto id = static_cast<NodeId>(circuit_.nodes_.size());
+  circuit_.nodes_.push_back(Circuit::Node{a, b, c, op});
+  return id;
+}
+
+NodeId CircuitBuilder::Constant(double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  if (const auto it = const_index_.find(bits); it != const_index_.end()) {
+    return it->second;
+  }
+  const auto slot = static_cast<NodeId>(circuit_.consts_.size());
+  circuit_.consts_.push_back(value);
+  const NodeId id = Append(Op::kConst, slot, 0, 0);
+  const_index_.emplace(bits, id);
+  return id;
+}
+
+NodeId CircuitBuilder::Leaf(unsigned t, unsigned slot) {
+  PPREF_CHECK(t < circuit_.items_ && slot <= t);
+  NodeId& cached =
+      leaf_index_[static_cast<std::size_t>(t) * circuit_.items_ + slot];
+  if (cached != kNoNode) return cached;
+  cached = Append(Op::kLeaf, t, slot, 0);
+  return cached;
+}
+
+NodeId CircuitBuilder::Add(NodeId a, NodeId b) {
+  return Append(Op::kAdd, a, b, 0);
+}
+
+NodeId CircuitBuilder::Mul(NodeId a, NodeId b) {
+  return Append(Op::kMul, a, b, 0);
+}
+
+NodeId CircuitBuilder::MulAdd(NodeId acc, NodeId b, NodeId c) {
+  return Append(Op::kMulAdd, acc, b, c);
+}
+
+NodeId CircuitBuilder::PrefixDiff(unsigned t, unsigned hi_index,
+                                  unsigned lo_index) {
+  PPREF_CHECK(t < circuit_.items_ && lo_index <= hi_index &&
+              hi_index <= t + 1);
+  return Append(Op::kPrefixDiff, t, hi_index, lo_index);
+}
+
+Circuit CircuitBuilder::Build() && {
+  Circuit& c = circuit_;
+  c.prefix_steps_.clear();
+  for (const Circuit::Node& node : c.nodes_) {
+    if (node.op == Op::kPrefixDiff) c.prefix_steps_.push_back(node.a);
+  }
+  std::sort(c.prefix_steps_.begin(), c.prefix_steps_.end());
+  c.prefix_steps_.erase(
+      std::unique(c.prefix_steps_.begin(), c.prefix_steps_.end()),
+      c.prefix_steps_.end());
+  c.nodes_.shrink_to_fit();
+  c.consts_.shrink_to_fit();
+  return std::move(circuit_);
+}
+
+namespace {
+
+/// Builds the Π prefix rows a binding needs, by the same left-to-right
+/// accumulation the DP uses (bit-identity): row(t)[0] = 0,
+/// row(t)[x + 1] = row(t)[x] + Π(t, x). Rows for all steps in
+/// `prefix_steps` are packed back to back with a lane stride of `lanes`
+/// (lane-major within each entry), written at lane `lane`.
+void FillPrefixRows(const std::vector<unsigned>& prefix_steps,
+                    const rim::InsertionFunction& pi, std::size_t lanes,
+                    std::size_t lane, std::vector<std::size_t>& offsets,
+                    double* prefix) {
+  std::size_t offset = 0;
+  for (unsigned t : prefix_steps) {
+    offsets[t] = offset;
+    double* row = prefix + offset * lanes + lane;
+    row[0] = 0.0;
+    for (unsigned x = 0; x <= t; ++x) {
+      row[(x + 1) * lanes] = row[x * lanes] + pi.Prob(t, x);
+    }
+    offset += t + 2;
+  }
+}
+
+}  // namespace
+
+double Circuit::Evaluate(const rim::InsertionFunction& pi,
+                         EvalScratch& scratch) const {
+  PPREF_CHECK_MSG(pi.size() == items_,
+                  "insertion function size does not match circuit");
+  // Π prefix rows for the steps the circuit references, rebuilt per binding.
+  scratch.prefix_offset_.assign(items_, 0);
+  std::size_t total = 0;
+  for (unsigned t : prefix_steps_) total += t + 2;
+  scratch.prefix_.resize(total);
+  FillPrefixRows(prefix_steps_, pi, /*lanes=*/1, /*lane=*/0,
+                 scratch.prefix_offset_, scratch.prefix_.data());
+
+  scratch.values_.resize(nodes_.size());
+  double* __restrict v = scratch.values_.data();
+  const double* prefix = scratch.prefix_.data();
+  const std::size_t* offsets = scratch.prefix_offset_.data();
+  const Node* nodes = nodes_.data();
+  const std::size_t count = nodes_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Node node = nodes[i];
+    switch (node.op) {
+      case Op::kConst:
+        v[i] = consts_[node.a];
+        break;
+      case Op::kLeaf:
+        v[i] = pi.Prob(node.a, node.b);
+        break;
+      case Op::kAdd:
+        v[i] = v[node.a] + v[node.b];
+        break;
+      case Op::kMul:
+        v[i] = v[node.a] * v[node.b];
+        break;
+      case Op::kMulAdd:
+        v[i] = v[node.a] + v[node.b] * v[node.c];
+        break;
+      case Op::kPrefixDiff: {
+        const double* row = prefix + offsets[node.a];
+        v[i] = row[node.b] - row[node.c];
+        break;
+      }
+    }
+  }
+  return v[root_];
+}
+
+void Circuit::EvaluateMany(const rim::InsertionFunction* pis,
+                           std::size_t count, EvalScratch& scratch,
+                           double* out) const {
+  constexpr std::size_t W = kEvalLanes;
+  std::size_t p = 0;
+  for (; p + W <= count; p += W) {
+    for (std::size_t w = 0; w < W; ++w) {
+      PPREF_CHECK_MSG(pis[p + w].size() == items_,
+                      "insertion function size does not match circuit");
+    }
+    // Lane-major prefix rows: entry x of step t for lane w lives at
+    // offset(t)*W + x*W + w.
+    scratch.prefix_offset_.assign(items_, 0);
+    std::size_t total = 0;
+    for (unsigned t : prefix_steps_) total += t + 2;
+    scratch.prefix_.resize(total * W);
+    for (std::size_t w = 0; w < W; ++w) {
+      FillPrefixRows(prefix_steps_, pis[p + w], W, w,
+                     scratch.prefix_offset_, scratch.prefix_.data());
+    }
+
+    scratch.values_.resize(nodes_.size() * W);
+    double* __restrict v = scratch.values_.data();
+    const double* prefix = scratch.prefix_.data();
+    const std::size_t* offsets = scratch.prefix_offset_.data();
+    const Node* nodes = nodes_.data();
+    const std::size_t node_count = nodes_.size();
+    // Each lane runs the exact scalar op sequence on its own values; the
+    // inner fixed-width loops are contiguous and branch-free, so the block
+    // pass is one arena traversal for W bindings instead of W.
+    for (std::size_t i = 0; i < node_count; ++i) {
+      const Node node = nodes[i];
+      double* lane = v + i * W;
+      const double* a = v + static_cast<std::size_t>(node.a) * W;
+      const double* b = v + static_cast<std::size_t>(node.b) * W;
+      const double* c = v + static_cast<std::size_t>(node.c) * W;
+      switch (node.op) {
+        case Op::kConst: {
+          const double value = consts_[node.a];
+          for (std::size_t w = 0; w < W; ++w) lane[w] = value;
+          break;
+        }
+        case Op::kLeaf:
+          for (std::size_t w = 0; w < W; ++w) {
+            lane[w] = pis[p + w].Prob(node.a, node.b);
+          }
+          break;
+        case Op::kAdd:
+          for (std::size_t w = 0; w < W; ++w) lane[w] = a[w] + b[w];
+          break;
+        case Op::kMul:
+          for (std::size_t w = 0; w < W; ++w) lane[w] = a[w] * b[w];
+          break;
+        case Op::kMulAdd:
+          for (std::size_t w = 0; w < W; ++w) lane[w] = a[w] + b[w] * c[w];
+          break;
+        case Op::kPrefixDiff: {
+          const double* row = prefix + offsets[node.a] * W;
+          const std::size_t hi = static_cast<std::size_t>(node.b) * W;
+          const std::size_t lo = static_cast<std::size_t>(node.c) * W;
+          for (std::size_t w = 0; w < W; ++w) {
+            lane[w] = row[hi + w] - row[lo + w];
+          }
+          break;
+        }
+      }
+    }
+    const double* root = v + static_cast<std::size_t>(root_) * W;
+    for (std::size_t w = 0; w < W; ++w) out[p + w] = root[w];
+  }
+  for (; p < count; ++p) out[p] = Evaluate(pis[p], scratch);
+}
+
+}  // namespace ppref::circuit

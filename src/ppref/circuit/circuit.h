@@ -1,0 +1,168 @@
+/// \file circuit.h
+/// \brief Parameterized arithmetic circuits compiled from safe-query plans.
+///
+/// A `Circuit` is the multiply-add structure of one `DpPlan` execution (or a
+/// sum of executions over candidate matchings), recorded once and re-playable
+/// against any insertion function Π over the same number of items. Leaves
+/// reference insertion probabilities *symbolically* as (reference step t,
+/// slot j) pairs — the paper's Π(t+1, j+1) — so the circuit captures
+/// everything about the model *except* Π: re-binding the leaves from a new
+/// `rim::InsertionFunction` and evaluating in topological order answers the
+/// same query under new parameters without re-running the DP. That is the
+/// Monet–Olteanu observation specialized to the RIM DP: safe plans compile
+/// to decomposable arithmetic circuits, and φ-sweeps / per-user
+/// re-parameterizations become cheap circuit evaluations.
+///
+/// Bit-identity contract: evaluation performs *exactly* the floating-point
+/// operations of the DP, in the same order — every node kind mirrors one
+/// source expression of `DpPlan`'s scan (`RunCoreImpl`), including the
+/// sequential prefix-sum accumulation behind the collapsed slot-range
+/// weights (`kPrefixDiff` re-derives its row by the same left-to-right
+/// summation rather than a direct range sum, which would round differently).
+/// Since the DP's control flow never depends on Π values, the recorded
+/// structure is valid for every re-binding: `Evaluate(pi)` equals what the
+/// DP would return for `pi`, bit for bit, not just at the compile-time
+/// parameters. Tests gate the compile-time case exactly and the re-binding
+/// case through a fuzz sweep.
+///
+/// Nodes live in a flat arena of packed 16-byte records in construction
+/// order, which is already topological (operands are created before
+/// consumers), so evaluation is a single forward pass with no recursion,
+/// pointer chasing, or per-node allocation — one cache line covers four
+/// nodes. `EvaluateMany` amortizes that pass over several bindings at once:
+/// lanes of `kEvalLanes` parameter vectors advance through the arena
+/// together (each lane performing exactly the scalar op sequence, so
+/// per-lane bit-identity is untouched), which turns the memory-bound arena
+/// walk into arithmetic on contiguous lane blocks.
+
+#ifndef PPREF_CIRCUIT_CIRCUIT_H_
+#define PPREF_CIRCUIT_CIRCUIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ppref/rim/insertion.h"
+
+namespace ppref::circuit {
+
+/// Node id: an index into the arena. Construction order == topological order.
+using NodeId = std::uint32_t;
+
+/// Node kinds. Operand fields a/b/c are interpreted per kind.
+enum class Op : std::uint8_t {
+  kConst,       // consts[a]
+  kLeaf,        // pi.Prob(a, b)                — insertion probability Π
+  kAdd,         // v[a] + v[b]
+  kMul,         // v[a] * v[b]
+  kMulAdd,      // v[a] + v[b] * v[c]           — the DP's fused accumulate
+  kPrefixDiff,  // prefix_row(a)[b] - prefix_row(a)[c]
+};
+
+/// Lane width of `EvaluateMany`'s blocked pass (number of bindings that
+/// advance through the arena together).
+inline constexpr std::size_t kEvalLanes = 4;
+
+/// Reusable evaluation buffers; grow on first use, recycled across calls.
+/// One scratch per concurrently evaluating thread.
+class EvalScratch {
+ public:
+  EvalScratch() = default;
+
+ private:
+  friend class Circuit;
+  std::vector<double> values_;
+  std::vector<double> prefix_;               // concatenated Π prefix rows
+  std::vector<std::size_t> prefix_offset_;   // step t -> offset into prefix_
+};
+
+/// A compiled, immutable arithmetic circuit. Thread-safe to share; each
+/// evaluating thread brings its own `EvalScratch`.
+class Circuit {
+ public:
+  /// Re-binds the leaves from `pi` and evaluates the circuit. `pi.size()`
+  /// must equal `items()`. Returns the root value — bit-identical to the
+  /// DP execution the circuit was recorded from, run against `pi`.
+  double Evaluate(const rim::InsertionFunction& pi, EvalScratch& scratch) const;
+
+  /// Evaluates the circuit against `count` bindings in one blocked arena
+  /// pass, writing root values to `out[0..count)`. `out[i]` is bit-identical
+  /// to `Evaluate(pis[i], scratch)` — lanes never mix, each performs the
+  /// scalar op sequence — the blocking only amortizes the arena traversal.
+  void EvaluateMany(const rim::InsertionFunction* pis, std::size_t count,
+                    EvalScratch& scratch, double* out) const;
+
+  /// Number of items m the circuit was compiled for (leaves reference
+  /// steps t < m).
+  unsigned items() const { return items_; }
+
+  /// Total node count (arena size).
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Approximate resident bytes of the arena — the circuit-cache weight.
+  std::size_t MemoryBytes() const {
+    return nodes_.size() * sizeof(Node) + consts_.size() * sizeof(double) +
+           prefix_steps_.size() * sizeof(unsigned);
+  }
+
+ private:
+  friend class CircuitBuilder;
+
+  /// One packed arena record; four per cache line.
+  struct Node {
+    NodeId a;
+    NodeId b;
+    NodeId c;
+    Op op;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<double> consts_;
+  std::vector<unsigned> prefix_steps_;  // sorted distinct steps of kPrefixDiff
+  NodeId root_ = 0;
+  unsigned items_ = 0;
+};
+
+/// Append-only circuit builder. Node 0 is always Const(0.0) and node 1 is
+/// always Const(1.0) — `FlatStateMap` initializes fresh entries to 0.0, so
+/// a recorded accumulator slot whose value reads 0.0 *is* node id `Zero()`.
+/// Leaves and constants are deduplicated; Add/Mul/MulAdd/PrefixDiff are
+/// appended verbatim because their order is the recorded accumulation order.
+class CircuitBuilder {
+ public:
+  /// `items` is the model size m; leaves must reference steps t < items.
+  explicit CircuitBuilder(unsigned items);
+
+  NodeId Zero() const { return 0; }
+  NodeId One() const { return 1; }
+  NodeId Constant(double value);
+  NodeId Leaf(unsigned t, unsigned slot);
+  NodeId Add(NodeId a, NodeId b);
+  NodeId Mul(NodeId a, NodeId b);
+  NodeId MulAdd(NodeId acc, NodeId b, NodeId c);  // acc + b * c
+  /// prefix_row(t)[hi_index] - prefix_row(t)[lo_index], where prefix_row(t)
+  /// is the sequential prefix sum of Π's row t: row[0] = 0,
+  /// row[x + 1] = row[x] + Π(t, x).
+  NodeId PrefixDiff(unsigned t, unsigned hi_index, unsigned lo_index);
+
+  void SetRoot(NodeId root) { circuit_.root_ = root; }
+
+  std::size_t size() const { return circuit_.nodes_.size(); }
+
+  /// Finalizes and returns the circuit; the builder is consumed.
+  Circuit Build() &&;
+
+ private:
+  NodeId Append(Op op, NodeId a, NodeId b, NodeId c);
+
+  Circuit circuit_;
+  /// Dense (t, slot) -> id table: recording calls Leaf for every Π read the
+  /// DP performs, so this lookup must be an array index, not a hash probe.
+  std::vector<NodeId> leaf_index_;
+  std::unordered_map<std::uint64_t, NodeId> const_index_;  // bits -> id
+};
+
+}  // namespace ppref::circuit
+
+#endif  // PPREF_CIRCUIT_CIRCUIT_H_

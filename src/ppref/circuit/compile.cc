@@ -1,0 +1,92 @@
+#include "ppref/circuit/compile.h"
+
+#include "ppref/common/check.h"
+#include "ppref/infer/internal/dp_engine.h"
+#include "ppref/obs/metrics.h"
+
+namespace ppref::circuit {
+namespace {
+
+using infer::internal::DpPlan;
+
+obs::Counter& CompileCounter() {
+  static obs::Counter* counter = &obs::MetricsRegistry::Default().GetCounter(
+      "ppref_circuit_compiles_total",
+      "Arithmetic circuits compiled from DP plans");
+  return *counter;
+}
+
+obs::Counter& CompiledNodesCounter() {
+  static obs::Counter* counter = &obs::MetricsRegistry::Default().GetCounter(
+      "ppref_circuit_nodes_total",
+      "Arena nodes emitted across all circuit compilations");
+  return *counter;
+}
+
+Circuit Finish(CircuitBuilder&& builder) {
+  Circuit circuit = std::move(builder).Build();
+  CompileCounter().Inc();
+  CompiledNodesCounter().Inc(circuit.size());
+  return circuit;
+}
+
+}  // namespace
+
+Circuit CompileTopProb(const DpPlan& plan, const infer::Matching& gamma,
+                       const infer::MinMaxCondition* condition) {
+  CircuitBuilder builder(plan.model().model().size());
+  DpPlan::Scratch scratch;
+  builder.SetRoot(plan.RecordTopProb(gamma, condition, scratch, builder));
+  return Finish(std::move(builder));
+}
+
+Circuit CompilePatternProb(const DpPlan& plan, bool prune_candidates) {
+  PPREF_CHECK_MSG(plan.tracked().empty(),
+                  "PatternProb circuits require a tracked-free plan");
+  CircuitBuilder builder(plan.model().model().size());
+  // Mirrors PatternProbWithPlan: the empty pattern always matches; otherwise
+  // total starts at 0.0 and folds per-candidate TopProb in enumeration order.
+  if (plan.pattern().NodeCount() == 0) {
+    builder.SetRoot(builder.One());
+    return Finish(std::move(builder));
+  }
+  DpPlan::Scratch scratch;
+  NodeId total = builder.Zero();
+  infer::internal::ForEachCandidate(
+      plan.model(), plan.pattern(),
+      [&](const infer::Matching& gamma) {
+        total = builder.Add(
+            total, plan.RecordTopProb(gamma, /*condition=*/nullptr, scratch,
+                                      builder));
+      },
+      prune_candidates);
+  builder.SetRoot(total);
+  return Finish(std::move(builder));
+}
+
+Circuit CompilePatternMinMaxProb(const DpPlan& plan,
+                                 const infer::MinMaxCondition& condition,
+                                 bool prune_candidates) {
+  PPREF_CHECK(condition != nullptr);
+  CircuitBuilder builder(plan.model().model().size());
+  // Mirrors PatternMinMaxProbWithPlan, including the empty-pattern case
+  // (one conditioned run with the empty matching).
+  DpPlan::Scratch scratch;
+  if (plan.pattern().NodeCount() == 0) {
+    builder.SetRoot(
+        plan.RecordTopProb(/*gamma=*/{}, &condition, scratch, builder));
+    return Finish(std::move(builder));
+  }
+  NodeId total = builder.Zero();
+  infer::internal::ForEachCandidate(
+      plan.model(), plan.pattern(),
+      [&](const infer::Matching& gamma) {
+        total = builder.Add(
+            total, plan.RecordTopProb(gamma, &condition, scratch, builder));
+      },
+      prune_candidates);
+  builder.SetRoot(total);
+  return Finish(std::move(builder));
+}
+
+}  // namespace ppref::circuit

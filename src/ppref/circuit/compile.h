@@ -1,0 +1,44 @@
+/// \file compile.h
+/// \brief Compiles safe-query plans into parameterized arithmetic circuits.
+///
+/// Each driver here mirrors one of the plan-injection entry points of the
+/// inference layer (`PatternProbWithPlan`, `PatternMinMaxProbWithPlan`,
+/// `DpPlan::TopProb`): it replays the same candidate enumeration and the
+/// same DP scan once, in recording mode, and returns a `Circuit` whose
+/// evaluation against any `rim::InsertionFunction` of the same size equals
+/// the corresponding numeric call bit for bit (see circuit/circuit.h for
+/// the contract). Compilation cost is one DP pass over all candidates —
+/// the same work as a single numeric query — amortized across every
+/// subsequent re-binding.
+
+#ifndef PPREF_CIRCUIT_COMPILE_H_
+#define PPREF_CIRCUIT_COMPILE_H_
+
+#include "ppref/circuit/circuit.h"
+#include "ppref/infer/internal/dp_plan.h"
+#include "ppref/infer/matching.h"
+#include "ppref/infer/minmax_condition.h"
+
+namespace ppref::circuit {
+
+/// Circuit for `plan.TopProb(gamma, condition)` — a single candidate γ.
+Circuit CompileTopProb(const infer::internal::DpPlan& plan,
+                       const infer::Matching& gamma,
+                       const infer::MinMaxCondition* condition = nullptr);
+
+/// Circuit for `PatternProbWithPlan(plan, ...)`: per-candidate TopProb
+/// summed in enumeration order (bit-identical to both the serial and the
+/// ordered-parallel reduction). `plan` must be tracked-free.
+Circuit CompilePatternProb(const infer::internal::DpPlan& plan,
+                           bool prune_candidates = true);
+
+/// Circuit for `PatternMinMaxProbWithPlan(plan, condition, ...)`. The
+/// condition is folded at compile time (it filters packed states, never
+/// Π values), so the circuit is specific to it.
+Circuit CompilePatternMinMaxProb(const infer::internal::DpPlan& plan,
+                                 const infer::MinMaxCondition& condition,
+                                 bool prune_candidates = true);
+
+}  // namespace ppref::circuit
+
+#endif  // PPREF_CIRCUIT_COMPILE_H_

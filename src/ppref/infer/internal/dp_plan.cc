@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ppref/circuit/circuit.h"
 #include "ppref/common/check.h"
 #include "ppref/common/fault_injection.h"
 #include "ppref/obs/metrics.h"
@@ -51,6 +52,68 @@ struct ScopedDpAccounting {
     counters.runs.Inc();
     if (steps != 0) counters.steps.Inc(steps);
     if (states != 0) counters.states.Inc(states);
+  }
+};
+
+/// Value-semiring policy for the numeric scan: plain double arithmetic, each
+/// method one source expression. Inlining collapses RunCoreImpl<NumericOps>
+/// into exactly the pre-template scan.
+struct NumericOps {
+  const rim::InsertionFunction& pi;
+  std::vector<double>& row_prefix;
+
+  double AddOne(double acc) const { return acc + 1.0; }
+  double MulLeaf(double value, unsigned t, unsigned slot) const {
+    return value * pi.Prob(t, slot);
+  }
+  void BeginRow(unsigned t) {
+    row_prefix.resize(t + 2);
+    row_prefix[0] = 0.0;
+    for (unsigned x = 0; x <= t; ++x) {
+      row_prefix[x + 1] = row_prefix[x] + pi.Prob(t, x);
+    }
+  }
+  double RangeWeight(unsigned /*t*/, unsigned hi_index,
+                     unsigned lo_index) const {
+    return row_prefix[hi_index] - row_prefix[lo_index];
+  }
+  double MulAdd(double acc, double prob, double weight) const {
+    return acc + prob * weight;
+  }
+  double MulAddLeaf(double acc, double prob, unsigned t, unsigned slot) const {
+    return acc + prob * pi.Prob(t, slot);
+  }
+};
+
+/// Recording policy: values are circuit node ids stored in the doubles of
+/// the scratch state tables (node counts sit far below 2^53, so the
+/// round-trip is exact). Every arithmetic method of NumericOps becomes one
+/// emitted node of the same expression shape; BeginRow is a no-op because
+/// the evaluator re-derives Π prefix rows itself (circuit/circuit.h).
+struct RecordOps {
+  circuit::CircuitBuilder& builder;
+
+  static circuit::NodeId IdOf(double value) {
+    return static_cast<circuit::NodeId>(value);
+  }
+  static double ValueOf(circuit::NodeId id) { return static_cast<double>(id); }
+
+  double AddOne(double acc) {
+    return ValueOf(builder.Add(IdOf(acc), builder.One()));
+  }
+  double MulLeaf(double value, unsigned t, unsigned slot) {
+    return ValueOf(builder.Mul(IdOf(value), builder.Leaf(t, slot)));
+  }
+  void BeginRow(unsigned /*t*/) {}
+  double RangeWeight(unsigned t, unsigned hi_index, unsigned lo_index) {
+    return ValueOf(builder.PrefixDiff(t, hi_index, lo_index));
+  }
+  double MulAdd(double acc, double prob, double weight) {
+    return ValueOf(builder.MulAdd(IdOf(acc), IdOf(prob), IdOf(weight)));
+  }
+  double MulAddLeaf(double acc, double prob, unsigned t, unsigned slot) {
+    return ValueOf(
+        builder.MulAdd(IdOf(acc), IdOf(prob), builder.Leaf(t, slot)));
   }
 };
 
@@ -143,8 +206,9 @@ void DpPlan::DecodeTracked(const std::uint16_t* state, Scratch& scratch) const {
   }
 }
 
-bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
-                     const RunControl* control) const {
+template <class Ops>
+bool DpPlan::RunCoreImpl(const Matching& gamma, Scratch& scratch,
+                         const RunControl* control, Ops& ops) const {
   PPREF_CHECK(gamma.size() == k_);
   // Accumulates locally, publishes once on scope exit (including unwinds).
   ScopedDpAccounting accounting;
@@ -165,7 +229,6 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
   }
 
   const rim::Ranking& ref = model_->model().reference();
-  const rim::InsertionFunction& pi = model_->model().insertion();
 
   // Distinct placeholder items of img(γ), each with one representative node
   // (all nodes mapped to the same item always share a δ value), plus the
@@ -250,7 +313,10 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
         }
       }
     }
-    if (legal) current.Upsert(state.data()) += 1.0;
+    if (legal) {
+      double& seed = current.Upsert(state.data());
+      seed = ops.AddOne(seed);
+    }
     stop.Tick();
   } while (std::next_permutation(scratch.perm_.begin(), scratch.perm_.end()));
   if (current.empty()) return false;
@@ -289,7 +355,8 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
         PPREF_CHECK(j >= pending_before);
         const unsigned slot = j - pending_before;
         PPREF_CHECK(slot <= t);
-        current.MutableValueAt(e) *= pi.Prob(t, slot);
+        double& value = current.MutableValueAt(e);
+        value = ops.MulLeaf(value, t, slot);
       }
       continue;
     }
@@ -301,11 +368,7 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
       // slot j are all constant, so a whole slot range folds into a single
       // upsert weighted by a prefix-sum difference of the Π row. This takes
       // the per-state work from O(prefix) to O(state size).
-      scratch.row_prefix_.resize(t + 2);
-      scratch.row_prefix_[0] = 0.0;
-      for (unsigned x = 0; x <= t; ++x) {
-        scratch.row_prefix_[x + 1] = scratch.row_prefix_[x] + pi.Prob(t, x);
-      }
+      ops.BeginRow(t);
       const unsigned prefix_size = t + pending_count;
       for (std::size_t e = 0; e < current.size(); ++e) {
         stop.Tick();
@@ -335,12 +398,12 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
           }
           PPREF_CHECK(lo >= pending_before);
           PPREF_CHECK(hi - pending_before <= t);
-          const double weight =
-              scratch.row_prefix_[hi + 1 - pending_before] -
-              scratch.row_prefix_[lo - pending_before];
+          const double weight = ops.RangeWeight(t, hi + 1 - pending_before,
+                                                lo - pending_before);
           state.assign(in_state, in_state + state_size_);
           ShiftState(lo, state.data());
-          next.Upsert(state.data()) += prob * weight;
+          double& acc = next.Upsert(state.data());
+          acc = ops.MulAdd(acc, prob, weight);
         }
       }
     } else {
@@ -362,7 +425,8 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
           PPREF_CHECK(slot <= t);
           state.assign(in_state, in_state + state_size_);
           FoldTracked(item, j, state.data());
-          next.Upsert(state.data()) += prob * pi.Prob(t, slot);
+          double& acc = next.Upsert(state.data());
+          acc = ops.MulAddLeaf(acc, prob, t, slot);
         } else {
           // Case B: a fresh item is inserted into every legal slot.
           const unsigned prefix_size = t + pending_count;
@@ -380,7 +444,8 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
             state.assign(in_state, in_state + state_size_);
             ShiftState(j, state.data());
             FoldTracked(item, j, state.data());
-            next.Upsert(state.data()) += prob * pi.Prob(t, slot);
+            double& acc = next.Upsert(state.data());
+            acc = ops.MulAddLeaf(acc, prob, t, slot);
           }
         }
       }
@@ -389,6 +454,34 @@ bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
     if (current.empty()) return false;
   }
   return true;
+}
+
+bool DpPlan::RunCore(const Matching& gamma, Scratch& scratch,
+                     const RunControl* control) const {
+  NumericOps ops{model_->model().insertion(), scratch.row_prefix_};
+  return RunCoreImpl(gamma, scratch, control, ops);
+}
+
+std::uint32_t DpPlan::RecordTopProb(const Matching& gamma,
+                                    const MinMaxCondition* condition,
+                                    Scratch& scratch,
+                                    circuit::CircuitBuilder& builder) const {
+  RecordOps ops{builder};
+  if (!RunCoreImpl(gamma, scratch, /*control=*/nullptr, ops)) {
+    return builder.Zero();
+  }
+  // Mirrors TopProb's final sum: total starts at 0.0 (node Zero()) and folds
+  // the surviving final states in table order.
+  const FlatStateMap& final_states = scratch.current_;
+  circuit::NodeId total = builder.Zero();
+  for (std::size_t e = 0; e < final_states.size(); ++e) {
+    if (condition != nullptr) {
+      DecodeTracked(final_states.KeyAt(e), scratch);
+      if (!(*condition)(scratch.values_)) continue;
+    }
+    total = builder.Add(total, RecordOps::IdOf(final_states.ValueAt(e)));
+  }
+  return total;
 }
 
 double DpPlan::TopProb(const Matching& gamma, const MinMaxCondition* condition,

@@ -37,6 +37,10 @@
 #include "ppref/infer/minmax_condition.h"
 #include "ppref/infer/pattern.h"
 
+namespace ppref::circuit {
+class CircuitBuilder;
+}
+
 namespace ppref::infer::internal {
 
 /// Sentinel for "label not seen yet" in α/β slots. Positions are < 2^16.
@@ -91,6 +95,19 @@ class DpPlan {
       const std::function<void(const MinMaxValues&, double)>& visit,
       Scratch& scratch, const RunControl* control = nullptr) const;
 
+  /// Records the multiply-add structure of `TopProb(gamma, condition)` into
+  /// `builder` and returns the root node id of the recorded sub-circuit
+  /// (`builder.Zero()` for infeasible γ). The recording replays the scan
+  /// through the exact code path the numeric run takes — control flow never
+  /// depends on Π values — so evaluating the emitted circuit reproduces the
+  /// DP's answer bit for bit under any insertion function of the same size
+  /// (see circuit/circuit.h). Drivers compiling whole queries live in
+  /// circuit/compile.h.
+  std::uint32_t RecordTopProb(const Matching& gamma,
+                              const MinMaxCondition* condition,
+                              Scratch& scratch,
+                              circuit::CircuitBuilder& builder) const;
+
   const LabeledRimModel& model() const { return *model_; }
   const LabelPattern& pattern() const { return *pattern_; }
   const std::vector<LabelId>& tracked() const { return tracked_; }
@@ -101,6 +118,16 @@ class DpPlan {
   /// `control` (when non-null) once a stop condition holds.
   bool RunCore(const Matching& gamma, Scratch& scratch,
                const RunControl* control) const;
+
+  /// The scan body shared by the numeric run and the circuit recording.
+  /// `Ops` abstracts the value semiring: `NumericOps` computes doubles
+  /// exactly as before; `RecordOps` stores circuit node ids (exact in a
+  /// double far below 2^53) and emits one node per arithmetic operation,
+  /// reusing the same `FlatStateMap` machinery so the recorded accumulation
+  /// order is the executed one by construction.
+  template <class Ops>
+  bool RunCoreImpl(const Matching& gamma, Scratch& scratch,
+                   const RunControl* control, Ops& ops) const;
 
   /// Largest δ over the parents of `node` in `state`, or -1 with no parents.
   int MaxParentPosition(const std::uint16_t* state, unsigned node) const;

@@ -162,6 +162,26 @@ StatusOr<WireResponse> Client::Call(const WireRequest& request) {
   }
 }
 
+StatusOr<WireSweepResponse> Client::CallSweep(const WireSweepRequest& request) {
+  const std::string body = EncodeSweepRequest(request);
+  Status written = WriteAll(EncodeFrame(FrameType::kSweepRequest, body));
+  if (!written.ok()) return written;
+  while (true) {
+    StatusOr<Frame> frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kPong) continue;
+    if (frame->type != FrameType::kSweepResponse) {
+      return Status::Internal("unexpected frame type from server");
+    }
+    StatusOr<WireSweepResponse> response = DecodeSweepResponse(frame->body);
+    if (!response.ok()) return response.status();
+    if (response->id != request.id) {
+      return Status::Internal("response id mismatch");
+    }
+    return response;
+  }
+}
+
 Status Client::Ping() {
   char payload[8];
   const std::uint64_t token = ++ping_counter_;

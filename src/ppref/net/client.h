@@ -58,6 +58,10 @@ class Client {
   /// request status rides inside the returned WireResponse untouched.
   StatusOr<WireResponse> Call(const WireRequest& request);
 
+  /// Sends one parameter-sweep request and blocks for its answer, under the
+  /// same single-outstanding-request discipline as Call.
+  StatusOr<WireSweepResponse> CallSweep(const WireSweepRequest& request);
+
   /// Round-trips a ping frame.
   Status Ping();
 

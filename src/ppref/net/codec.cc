@@ -309,4 +309,115 @@ StatusOr<WireResponse> DecodeResponse(std::string_view body) {
   return response;
 }
 
+// ---------------------------------------------------------------------------
+// Sweep request / response
+
+std::string EncodeSweepRequest(const WireSweepRequest& request) {
+  // The base slice is a full standard request body so DecodeSweepRequest can
+  // delegate model/pattern validation to DecodeRequest verbatim.
+  std::string base =
+      EncodeRequest(WireRequest(request.id, serve::Request::Kind::kPatternProb,
+                                request.deadline_ns, request.model,
+                                request.pattern));
+  Writer w;
+  w.U32(static_cast<std::uint32_t>(base.size()));
+  w.Bytes(base);
+  w.U32(static_cast<std::uint32_t>(request.params.size()));
+  for (const std::vector<double>& point : request.params) {
+    w.U32(static_cast<std::uint32_t>(point.size()));
+    for (double phi : point) w.F64(phi);
+  }
+  return w.Take();
+}
+
+StatusOr<WireSweepRequest> DecodeSweepRequest(std::string_view body) {
+  Reader r(body);
+  std::uint32_t base_len = 0;
+  std::string base;
+  if (!r.U32(&base_len) || !r.Bytes(base_len, &base)) {
+    return Malformed("truncated sweep base request");
+  }
+  StatusOr<WireRequest> decoded = DecodeRequest(base);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->kind != serve::Request::Kind::kPatternProb) {
+    return Malformed("sweep base request kind must be pattern_prob");
+  }
+  const unsigned m = decoded->model.model().size();
+
+  std::uint32_t point_count = 0;
+  if (!r.U32(&point_count)) return Malformed("truncated sweep point count");
+  if (point_count > kMaxWirePoints) {
+    return Malformed("too many sweep points");
+  }
+  std::vector<std::vector<double>> params;
+  params.reserve(point_count);
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    std::uint32_t len = 0;
+    if (!r.U32(&len)) return Malformed("truncated sweep point");
+    if (len != 1 && len != m) {
+      return Malformed("sweep point arity must be 1 or m");
+    }
+    std::vector<double> point(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      if (!r.F64(&point[i])) return Malformed("truncated sweep point");
+      // `!(x > 0 && x <= 1)` rather than the complement so NaN fails too.
+      if (!std::isfinite(point[i]) ||
+          !(point[i] > 0.0 && point[i] <= 1.0)) {
+        return Malformed("sweep dispersion not in (0, 1]");
+      }
+    }
+    params.push_back(std::move(point));
+  }
+  if (!r.AtEnd()) return Malformed("trailing bytes");
+
+  return WireSweepRequest(decoded->id, decoded->deadline_ns,
+                          std::move(decoded->model),
+                          std::move(decoded->pattern), std::move(params));
+}
+
+std::string EncodeSweepResponse(const WireSweepResponse& response) {
+  Writer w;
+  w.U64(response.id);
+  w.U8(static_cast<std::uint8_t>(response.status.code()));
+  w.U8(0);
+  w.U8(0);
+  w.U8(0);
+  w.U32(static_cast<std::uint32_t>(response.status.message().size()));
+  w.Bytes(response.status.message());
+  w.U32(static_cast<std::uint32_t>(response.probabilities.size()));
+  for (double p : response.probabilities) w.F64(p);
+  return w.Take();
+}
+
+StatusOr<WireSweepResponse> DecodeSweepResponse(std::string_view body) {
+  Reader r(body);
+  WireSweepResponse response;
+  std::uint8_t code = 0;
+  std::uint8_t reserved[3];
+  std::uint32_t message_len = 0;
+  std::string message;
+  std::uint32_t count = 0;
+  if (!r.U64(&response.id) || !r.U8(&code) || !r.U8(&reserved[0]) ||
+      !r.U8(&reserved[1]) || !r.U8(&reserved[2]) || !r.U32(&message_len) ||
+      !r.Bytes(message_len, &message) || !r.U32(&count)) {
+    return Status::InvalidArgument("malformed sweep response body");
+  }
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal) ||
+      reserved[0] != 0 || reserved[1] != 0 || reserved[2] != 0 ||
+      count > kMaxWirePoints) {
+    return Status::InvalidArgument("malformed sweep response body");
+  }
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  response.probabilities.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!r.F64(&response.probabilities[i])) {
+      return Status::InvalidArgument("malformed sweep response body");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("malformed sweep response body");
+  }
+  return response;
+}
+
 }  // namespace ppref::net

@@ -25,6 +25,23 @@
 /// [u32 match_len    u32[match_len] items]        (iff has_top_matching)
 /// ```
 ///
+/// ### Sweep request body (FrameType::kSweepRequest)
+/// ```
+/// u32 base_len      bytes base         — a standard request body
+///                                        (kind must be pattern_prob; its
+///                                        id/deadline govern the sweep)
+/// u32 point_count
+/// per point: u32 len (1 or m), f64[len] dispersions in (0, 1]
+/// ```
+///
+/// ### Sweep response body (FrameType::kSweepResponse)
+/// ```
+/// u64 id
+/// u8 status_code    u8[3] reserved (0)
+/// u32 message_len   bytes message
+/// u32 count         f64[count] probabilities
+/// ```
+///
 /// ## The no-abort contract
 /// `DecodeRequest` is the daemon's trust boundary. The model constructors it
 /// ultimately calls (`Ranking`, `InsertionFunction`, `LabelPattern::AddNode`
@@ -59,6 +76,7 @@ namespace ppref::net {
 inline constexpr unsigned kMaxWireItems = 4096;
 inline constexpr unsigned kMaxWireNodes = 64;
 inline constexpr unsigned kMaxWireLabelsPerItem = 64;
+inline constexpr unsigned kMaxWirePoints = 8192;
 
 /// Request body bytes (frame it with FrameType::kRequest).
 std::string EncodeRequest(const WireRequest& request);
@@ -73,6 +91,20 @@ std::string EncodeResponse(const WireResponse& response);
 /// Parses a response body (client side). Same failure contract as
 /// DecodeRequest.
 StatusOr<WireResponse> DecodeResponse(std::string_view body);
+
+/// Sweep request body bytes (frame it with FrameType::kSweepRequest).
+std::string EncodeSweepRequest(const WireSweepRequest& request);
+
+/// Parses and fully validates a sweep request body: the embedded base
+/// request under DecodeRequest's rules, plus point-count/arity/range checks
+/// on the parameter grid. Same no-abort contract.
+StatusOr<WireSweepRequest> DecodeSweepRequest(std::string_view body);
+
+/// Sweep response body bytes (frame it with FrameType::kSweepResponse).
+std::string EncodeSweepResponse(const WireSweepResponse& response);
+
+/// Parses a sweep response body (client side).
+StatusOr<WireSweepResponse> DecodeSweepResponse(std::string_view body);
 
 }  // namespace ppref::net
 

@@ -37,6 +37,19 @@ void SetNonBlocking(int fd) {
   if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/// Best-effort little-endian u64 at `offset` — how a shed/failed request's
+/// id is recovered without decoding the body (0 when too short).
+std::uint64_t PeekId(std::string_view body, std::size_t offset) {
+  if (body.size() < offset + 8) return 0;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<std::uint64_t>(
+              static_cast<unsigned char>(body[offset + i]))
+          << (8 * i);
+  }
+  return id;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -77,6 +90,7 @@ struct Daemon::Connection {
 struct Daemon::Job {
   std::uint64_t conn_id = 0;
   bool http = false;
+  bool sweep = false;    // binary kSweepRequest (ignored when http)
   std::string body;      // binary request frame body
   HttpRequest request;   // http request
 };
@@ -106,6 +120,9 @@ struct Daemon::Instruments {
                                      "Binary-protocol requests dispatched")),
         requests_http(r.GetCounter("ppref_net_requests_http_total",
                                    "HTTP requests dispatched")),
+        requests_sweep(r.GetCounter("ppref_net_requests_sweep_total",
+                                    "Parameter-sweep requests dispatched "
+                                    "(binary and HTTP)")),
         shed_draining(r.GetCounter(
             "ppref_net_shed_draining_total",
             "Requests refused because the daemon was draining")),
@@ -124,6 +141,7 @@ struct Daemon::Instruments {
   obs::Counter& bad_frames;
   obs::Counter& requests_binary;
   obs::Counter& requests_http;
+  obs::Counter& requests_sweep;
   obs::Counter& shed_draining;
   obs::Counter& bytes_rx;
   obs::Counter& bytes_tx;
@@ -522,13 +540,7 @@ void Daemon::DispatchBinary(Connection& connection, Frame frame) {
         // bytes) is needed for a well-formed refusal.
         instruments_->shed_draining.Inc();
         WireResponse response;
-        if (frame.body.size() >= 8) {
-          for (int i = 0; i < 8; ++i) {
-            response.id |= static_cast<std::uint64_t>(
-                               static_cast<unsigned char>(frame.body[i]))
-                           << (8 * i);
-          }
-        }
+        response.id = PeekId(frame.body, 0);
         response.status = Status::ResourceExhausted("daemon draining");
         QueueOutput(connection,
                     EncodeFrame(FrameType::kResponse,
@@ -545,8 +557,34 @@ void Daemon::DispatchBinary(Connection& connection, Frame frame) {
       PushJob(std::move(job));
       return;
     }
+    case FrameType::kSweepRequest: {
+      if (drain_.load(std::memory_order_acquire)) {
+        // The sweep body opens with a u32 base length, so the embedded base
+        // request's id sits at bytes 4..12.
+        instruments_->shed_draining.Inc();
+        WireSweepResponse response;
+        response.id = PeekId(frame.body, 4);
+        response.status = Status::ResourceExhausted("daemon draining");
+        QueueOutput(connection,
+                    EncodeFrame(FrameType::kSweepResponse,
+                                EncodeSweepResponse(response)),
+                    /*close_after=*/false);
+        return;
+      }
+      instruments_->requests_binary.Inc();
+      instruments_->requests_sweep.Inc();
+      ++connection.in_flight;
+      Job job;
+      job.conn_id = connection.id;
+      job.http = false;
+      job.sweep = true;
+      job.body = std::move(frame.body);
+      PushJob(std::move(job));
+      return;
+    }
     case FrameType::kResponse:
     case FrameType::kPong:
+    case FrameType::kSweepResponse:
       // Clients send requests and pings; anything else is a violation.
       instruments_->bad_frames.Inc();
       CloseConnection(connection.id);
@@ -720,7 +758,8 @@ void Daemon::WorkerLoop() {
           ExecuteHttp(job.request, drain_.load(std::memory_order_acquire));
       completion.close_after = true;  // HTTP is one-shot (Connection: close)
     } else {
-      completion.bytes = ExecuteBinary(job.body);
+      completion.bytes =
+          job.sweep ? ExecuteBinarySweep(job.body) : ExecuteBinary(job.body);
       completion.close_after = false;
     }
     PushCompletion(std::move(completion));
@@ -733,19 +772,34 @@ std::string Daemon::ExecuteBinary(const std::string& body) {
   if (!request.ok()) {
     // The id may not have survived decoding; a zero id plus the status is
     // the best-effort answer (the strict client treats it as terminal).
-    if (body.size() >= 8) {
-      for (int i = 0; i < 8; ++i) {
-        response.id |= static_cast<std::uint64_t>(
-                           static_cast<unsigned char>(body[i]))
-                       << (8 * i);
-      }
-    }
+    response.id = PeekId(body, 0);
     response.status = request.status();
   } else {
     response = WireResponse::From(request->id,
                                   server_->Evaluate(request->ToRequest()));
   }
   return EncodeFrame(FrameType::kResponse, EncodeResponse(response));
+}
+
+std::string Daemon::ExecuteBinarySweep(const std::string& body) {
+  StatusOr<WireSweepRequest> request = DecodeSweepRequest(body);
+  WireSweepResponse response;
+  if (!request.ok()) {
+    response.id = PeekId(body, 4);  // id of the length-prefixed base request
+    response.status = request.status();
+  } else {
+    response.id = request->id;
+    serve::RequestControl control;
+    control.deadline_ns = request->deadline_ns;
+    StatusOr<std::vector<double>> answers = server_->PatternProbSweep(
+        request->model, request->pattern, request->params, control);
+    if (answers.ok()) {
+      response.probabilities = std::move(*answers);
+    } else {
+      response.status = answers.status();
+    }
+  }
+  return EncodeFrame(FrameType::kSweepResponse, EncodeSweepResponse(response));
 }
 
 std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining) {
@@ -772,7 +826,7 @@ std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining) {
     return RenderHttpResponse(405, "Method Not Allowed", "text/plain",
                               "method not allowed\n");
   }
-  if (request.target != "/query") {
+  if (request.target != "/query" && request.target != "/sweep") {
     return RenderHttpResponse(404, "Not Found", "text/plain", "not found\n");
   }
 
@@ -783,6 +837,31 @@ std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining) {
         "{\"status\":\"INVALID_ARGUMENT\",\"message\":" +
             JsonQuote(document.status().message()) + "}");
   }
+
+  if (request.target == "/sweep") {
+    instruments_->requests_sweep.Inc();
+    StatusOr<WireSweepRequest> wire = SweepRequestFromJson(*document);
+    if (!wire.ok()) {
+      return RenderHttpResponse(
+          400, "Bad Request", "application/json",
+          "{\"status\":\"INVALID_ARGUMENT\",\"message\":" +
+              JsonQuote(wire.status().message()) + "}");
+    }
+    WireSweepResponse response;
+    response.id = wire->id;
+    serve::RequestControl control;
+    control.deadline_ns = wire->deadline_ns;
+    StatusOr<std::vector<double>> answers = server_->PatternProbSweep(
+        wire->model, wire->pattern, wire->params, control);
+    if (answers.ok()) {
+      response.probabilities = std::move(*answers);
+    } else {
+      response.status = answers.status();
+    }
+    return RenderHttpResponse(200, "OK", "application/json",
+                              JsonFromWireSweepResponse(response));
+  }
+
   StatusOr<WireRequest> wire = WireRequestFromJson(*document);
   if (!wire.ok()) {
     return RenderHttpResponse(

@@ -174,6 +174,7 @@ class Daemon {
 
   // Worker-side request execution (no connection access).
   std::string ExecuteBinary(const std::string& body);
+  std::string ExecuteBinarySweep(const std::string& body);
   std::string ExecuteHttp(const HttpRequest& request, bool draining);
 
   void PushJob(Job job);

@@ -59,6 +59,8 @@ enum class FrameType : std::uint8_t {
   kResponse = 2,
   kPing = 3,
   kPong = 4,
+  kSweepRequest = 5,
+  kSweepResponse = 6,
 };
 
 /// One complete frame, body owned.

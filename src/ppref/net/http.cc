@@ -365,6 +365,62 @@ StatusOr<WireRequest> WireRequestFromJson(const JsonValue& root) {
       std::move(pattern));
 }
 
+StatusOr<WireSweepRequest> SweepRequestFromJson(const JsonValue& root) {
+  StatusOr<WireRequest> base = WireRequestFromJson(root);
+  if (!base.ok()) return base.status();
+  if (base->kind != serve::Request::Kind::kPatternProb) {
+    return Bad("\"kind\" must be \"pattern_prob\" for a sweep");
+  }
+  const unsigned m = base->model.model().size();
+
+  const JsonValue* params_value = root.Find("params");
+  if (params_value == nullptr || !params_value->IsArray() ||
+      params_value->array.size() > kMaxWirePoints) {
+    return Bad("\"params\" must be a bounded array");
+  }
+  std::vector<std::vector<double>> params;
+  params.reserve(params_value->array.size());
+  for (const JsonValue& entry : params_value->array) {
+    std::vector<double> point;
+    if (entry.IsNumber()) {
+      point.push_back(entry.number);
+    } else if (entry.IsArray() &&
+               (entry.array.size() == 1 || entry.array.size() == m)) {
+      for (const JsonValue& phi : entry.array) {
+        if (!phi.IsNumber()) {
+          return Bad("\"params\" vectors must hold numbers");
+        }
+        point.push_back(phi.number);
+      }
+    } else {
+      return Bad("each \"params\" entry must be a number or m numbers");
+    }
+    for (double phi : point) {
+      if (!std::isfinite(phi) || !(phi > 0.0 && phi <= 1.0)) {
+        return Bad("\"params\" dispersions must be in (0, 1]");
+      }
+    }
+    params.push_back(std::move(point));
+  }
+
+  return WireSweepRequest(base->id, base->deadline_ns, std::move(base->model),
+                          std::move(base->pattern), std::move(params));
+}
+
+std::string JsonFromWireSweepResponse(const WireSweepResponse& response) {
+  std::string out = "{";
+  out += "\"id\":" + std::to_string(response.id);
+  out += ",\"status\":" + JsonQuote(StatusCodeName(response.status.code()));
+  out += ",\"message\":" + JsonQuote(response.status.message());
+  out += ",\"probabilities\":[";
+  for (std::size_t i = 0; i < response.probabilities.size(); ++i) {
+    if (i != 0) out += ",";
+    out += FormatDouble(response.probabilities[i]);
+  }
+  out += "]}";
+  return out;
+}
+
 std::string JsonFromWireResponse(const WireResponse& response) {
   std::string out = "{";
   out += "\"id\":" + std::to_string(response.id);

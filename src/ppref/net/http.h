@@ -15,6 +15,7 @@
 ///   GET  /metrics        Prometheus text 0.0.4 (`serve::Server::ScrapeMetrics`)
 ///   GET  /metrics.json   the same instruments as JSON
 ///   POST /query          one JSON query (schema below) → JSON answer
+///   POST /sweep          one query shape + a dispersion grid → JSON answers
 ///
 /// ## /query JSON schema
 /// ```json
@@ -36,6 +37,17 @@
 /// "approximate":false,"std_error":…,"retry_after_ns":…,"top_matching":[…]}`
 /// with doubles printed `%.17g`, so `strtod` of the text reproduces the
 /// exact bits the binary protocol carries.
+///
+/// ## /sweep JSON schema
+/// The /query schema (kind absent or "pattern_prob") plus one extra key:
+/// ```json
+/// "params": [0.25, 0.5, [0.3, 0.9, 0.7]]
+/// ```
+/// Each entry is a single dispersion φ ∈ (0, 1] (Mallows) or an array of m
+/// dispersions (generalized Mallows). The model's own insertion function
+/// seeds the compiled circuit; every answer is for the re-bound entry.
+/// Answer: `{"id":…,"status":"OK","message":"","probabilities":[…]}` in
+/// request order, `%.17g`.
 
 #ifndef PPREF_NET_HTTP_H_
 #define PPREF_NET_HTTP_H_
@@ -113,6 +125,15 @@ StatusOr<WireRequest> WireRequestFromJson(const JsonValue& root);
 
 /// The /query response body for an answer (doubles as %.17g).
 std::string JsonFromWireResponse(const WireResponse& response);
+
+/// Maps a parsed /sweep JSON document onto an owned sweep request. The
+/// /query rules apply to the shared keys; "params" must be a bounded array
+/// of dispersions (number) or dispersion vectors (array of 1 or m numbers),
+/// each in (0, 1].
+StatusOr<WireSweepRequest> SweepRequestFromJson(const JsonValue& root);
+
+/// The /sweep response body for an answer (doubles as %.17g).
+std::string JsonFromWireSweepResponse(const WireSweepResponse& response);
 
 }  // namespace ppref::net
 

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "ppref/common/status.h"
 #include "ppref/infer/labeled_rim.h"
@@ -62,6 +63,37 @@ struct WireRequest {
     request.control.deadline_ns = deadline_ns;
     return request;
   }
+};
+
+/// One parameter sweep: the query shape of a `WireRequest` (model, pattern)
+/// plus a grid of dispersion vectors to evaluate it at. Each entry of
+/// `params` is {φ} (Mallows over the model's m items) or {φ_1..φ_m}
+/// (generalized Mallows); the model's own insertion function seeds the
+/// circuit compile but every answer is for the re-bound point.
+struct WireSweepRequest {
+  WireSweepRequest(std::uint64_t id, std::uint64_t deadline_ns,
+                   infer::LabeledRimModel model, infer::LabelPattern pattern,
+                   std::vector<std::vector<double>> params)
+      : id(id),
+        deadline_ns(deadline_ns),
+        model(std::move(model)),
+        pattern(std::move(pattern)),
+        params(std::move(params)) {}
+
+  std::uint64_t id = 0;
+  /// Deadline for the whole sweep, from daemon dispatch; 0 = server default.
+  std::uint64_t deadline_ns = 0;
+  infer::LabeledRimModel model;
+  infer::LabelPattern pattern;
+  std::vector<std::vector<double>> params;
+};
+
+/// The sweep answer: one probability per parameter vector, in request
+/// order, or a single non-OK status for the whole sweep.
+struct WireSweepResponse {
+  std::uint64_t id = 0;
+  Status status;
+  std::vector<double> probabilities;
 };
 
 /// One answer: `serve::Response` plus the echoed request id.

@@ -20,6 +20,10 @@ const char* StageName(Stage stage) {
       return "mc_fallback";
     case Stage::kScatter:
       return "scatter";
+    case Stage::kCircuitCompile:
+      return "circuit_compile";
+    case Stage::kCircuitEval:
+      return "circuit_eval";
   }
   return "unknown";
 }

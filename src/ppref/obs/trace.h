@@ -47,8 +47,10 @@ enum class Stage : std::uint8_t {
   kDpExecute,       // the exact DP scan
   kMcFallback,      // Monte-Carlo degradation sampling
   kScatter,         // result publication + response scatter
+  kCircuitCompile,  // compiling an arithmetic circuit (circuit-cache miss)
+  kCircuitEval,     // evaluating a cached circuit over a parameter sweep
 };
-inline constexpr unsigned kStageCount = 8;
+inline constexpr unsigned kStageCount = 10;
 
 /// Stable lower_snake_case stage names for exposition.
 const char* StageName(Stage stage);

@@ -15,6 +15,7 @@ enum : std::uint64_t {
   kTagLabeling = 0x70707265664C4142ull,  // LAB
   kTagPattern = 0x7070726566504154ull,   // PAT
   kTagTracked = 0x7070726566545243ull,   // TRC
+  kTagStructure = 0x7070726566535452ull, // STR
 };
 
 }  // namespace
@@ -29,6 +30,14 @@ std::uint64_t FingerprintModel(const rim::RimModel& model) {
     hash.Mix(row.size());
     for (double p : row) hash.MixDouble(p);
   }
+  return hash.digest();
+}
+
+std::uint64_t FingerprintModelStructure(const rim::RimModel& model) {
+  StreamHash hash;
+  hash.Mix(kTagStructure);
+  hash.Mix(model.size());
+  for (rim::ItemId item : model.reference().order()) hash.Mix(item);
   return hash.digest();
 }
 
@@ -89,6 +98,13 @@ std::uint64_t PlanKey(const infer::LabeledRimModel& model,
   return HashCombine(
       HashCombine(FingerprintLabeledModel(model), FingerprintPattern(pattern)),
       FingerprintTracked(tracked));
+}
+
+std::uint64_t CircuitKey(const infer::LabeledRimModel& model,
+                         const infer::LabelPattern& pattern) {
+  return HashCombine(HashCombine(FingerprintModelStructure(model.model()),
+                                 FingerprintLabeling(model.labeling())),
+                     FingerprintPattern(pattern));
 }
 
 }  // namespace ppref::serve

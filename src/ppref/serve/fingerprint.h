@@ -38,6 +38,13 @@ namespace ppref::serve {
 /// Fingerprint of RIM(σ, Π).
 std::uint64_t FingerprintModel(const rim::RimModel& model);
 
+/// Fingerprint of the model's *structure* only: size and reference order,
+/// excluding every insertion probability. This is the circuit-cache
+/// dimension of a model — a compiled circuit is a pure function of the DP's
+/// control flow, which never reads Π, so two models differing only in Π
+/// share one circuit and re-bind it per evaluation.
+std::uint64_t FingerprintModelStructure(const rim::RimModel& model);
+
 /// Fingerprint of λ (per-item label sets, order-insensitive within an item).
 std::uint64_t FingerprintLabeling(const infer::ItemLabeling& labeling);
 
@@ -55,6 +62,13 @@ std::uint64_t FingerprintTracked(const std::vector<infer::LabelId>& tracked);
 std::uint64_t PlanKey(const infer::LabeledRimModel& model,
                       const infer::LabelPattern& pattern,
                       const std::vector<infer::LabelId>& tracked);
+
+/// The circuit-cache key: (model structure, labeling, pattern) — everything
+/// the compiled circuit depends on, and nothing it doesn't. Deliberately
+/// excludes the insertion probabilities (see FingerprintModelStructure), so
+/// a φ-sweep over one model hits a single cached circuit.
+std::uint64_t CircuitKey(const infer::LabeledRimModel& model,
+                         const infer::LabelPattern& pattern);
 
 }  // namespace ppref::serve
 

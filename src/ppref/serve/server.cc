@@ -4,6 +4,8 @@
 #include <exception>
 #include <unordered_map>
 
+#include "ppref/circuit/circuit.h"
+#include "ppref/circuit/compile.h"
 #include "ppref/common/check.h"
 #include "ppref/common/clock.h"
 #include "ppref/common/fault_injection.h"
@@ -29,6 +31,7 @@ enum : std::uint64_t {
   kKeyTopMatching = 0x5052ull,
   kKeyMinMax = 0x5053ull,
   kKeyMcSeed = 0x5054ull,
+  kKeySweep = 0x5055ull,
 };
 
 const std::vector<infer::LabelId> kNoTracked;
@@ -65,6 +68,20 @@ struct Server::CachedPlan {
   CachedPlan& operator=(const CachedPlan&) = delete;
 };
 
+/// A compiled arithmetic circuit, cached by (model structure, labeling,
+/// pattern) — never by Π. Unlike `CachedPlan`, a circuit borrows nothing:
+/// its leaves reference Π(t, j) symbolically and are re-bound per
+/// evaluation, which is the whole point of caching it.
+struct Server::CachedCircuit {
+  circuit::Circuit circuit;
+
+  explicit CachedCircuit(circuit::Circuit circuit_in)
+      : circuit(std::move(circuit_in)) {}
+
+  CachedCircuit(const CachedCircuit&) = delete;
+  CachedCircuit& operator=(const CachedCircuit&) = delete;
+};
+
 /// A memoized answer. `top_matching` is engaged only for kTopMatching
 /// requests whose best candidate has positive probability (plus the empty
 /// pattern's empty matching).
@@ -93,8 +110,13 @@ struct Server::Instruments {
   obs::Counter& requests;
   obs::Counter& batches;
   obs::Counter& batch_deduped;
+  obs::Counter& sweep_requests;
+  obs::Counter& sweep_points;
+  obs::Counter& circuit_compiles;
   obs::Counter& compile_ns;
   obs::Counter& execute_ns;
+  obs::Counter& circuit_compile_ns;
+  obs::Counter& circuit_eval_ns;
   obs::Counter& shed;
   obs::Counter& invalid;
   obs::Counter& deadline_exceeded;
@@ -113,6 +135,10 @@ struct Server::Instruments {
   obs::Gauge& result_cache_misses;
   obs::Gauge& result_cache_insertions;
   obs::Gauge& result_cache_evictions;
+  obs::Gauge& circuit_cache_hits;
+  obs::Gauge& circuit_cache_misses;
+  obs::Gauge& circuit_cache_insertions;
+  obs::Gauge& circuit_cache_evictions;
   obs::Gauge& traces_published;
 
   // Latency histograms (nanoseconds).
@@ -125,6 +151,8 @@ struct Server::Instruments {
   obs::Histogram& dp_execute_ns;
   obs::Histogram& mc_fallback_ns;
   obs::Histogram& scatter_ns;
+  obs::Histogram& circuit_compile_hist_ns;
+  obs::Histogram& circuit_point_ns;
 
   explicit Instruments(obs::MetricsRegistry& r)
       : requests(r.GetCounter("ppref_serve_requests_total",
@@ -134,10 +162,24 @@ struct Server::Instruments {
         batch_deduped(r.GetCounter(
             "ppref_serve_batch_deduped_total",
             "Requests answered by sharing a duplicate within their batch")),
+        sweep_requests(r.GetCounter("ppref_serve_sweep_requests_total",
+                                    "Parameter sweeps accepted")),
+        sweep_points(r.GetCounter(
+            "ppref_serve_sweep_points_total",
+            "Parameter points evaluated against cached circuits")),
+        circuit_compiles(r.GetCounter(
+            "ppref_serve_circuit_compiles_total",
+            "Arithmetic circuits compiled (circuit-cache misses)")),
         compile_ns(r.GetCounter("ppref_serve_compile_ns_total",
                                 "Nanoseconds spent compiling DpPlans")),
         execute_ns(r.GetCounter("ppref_serve_execute_ns_total",
                                 "Nanoseconds spent executing DPs")),
+        circuit_compile_ns(
+            r.GetCounter("ppref_serve_circuit_compile_ns_total",
+                         "Nanoseconds spent compiling circuits")),
+        circuit_eval_ns(r.GetCounter(
+            "ppref_serve_circuit_eval_ns_total",
+            "Nanoseconds spent evaluating cached circuits over sweeps")),
         shed(r.GetCounter("ppref_serve_shed_total",
                           "Requests shed by admission control")),
         invalid(r.GetCounter("ppref_serve_invalid_total",
@@ -174,6 +216,16 @@ struct Server::Instruments {
                        "Result cache insertions")),
         result_cache_evictions(r.GetGauge("ppref_serve_result_cache_evictions",
                                           "Result cache evictions")),
+        circuit_cache_hits(r.GetGauge("ppref_serve_circuit_cache_hits",
+                                      "Circuit cache hits")),
+        circuit_cache_misses(r.GetGauge("ppref_serve_circuit_cache_misses",
+                                        "Circuit cache misses")),
+        circuit_cache_insertions(
+            r.GetGauge("ppref_serve_circuit_cache_insertions",
+                       "Circuit cache insertions")),
+        circuit_cache_evictions(
+            r.GetGauge("ppref_serve_circuit_cache_evictions",
+                       "Circuit cache evictions")),
         traces_published(
             r.GetGauge("ppref_serve_traces_published",
                        "Trace records ever published (including "
@@ -196,7 +248,13 @@ struct Server::Instruments {
         mc_fallback_ns(r.GetHistogram("ppref_serve_stage_mc_fallback_ns",
                                       "Monte-Carlo degradation sampling")),
         scatter_ns(r.GetHistogram("ppref_serve_stage_scatter_ns",
-                                  "Result publication + response scatter")) {}
+                                  "Result publication + response scatter")),
+        circuit_compile_hist_ns(
+            r.GetHistogram("ppref_serve_stage_circuit_compile_ns",
+                           "Arithmetic-circuit compilation")),
+        circuit_point_ns(
+            r.GetHistogram("ppref_serve_stage_circuit_eval_ns",
+                           "Cached-circuit evaluation, per sweep point")) {}
 };
 
 /// Scoped in-flight depth accounting: admission increments, completion
@@ -244,6 +302,7 @@ Server::Server(ServerOptions options)
       effective_threads_(ClampThreads(options.threads)),
       plan_cache_(options.plan_cache_capacity, options.cache_shards),
       result_cache_(options.result_cache_capacity, options.cache_shards),
+      circuit_cache_(options.circuit_cache_capacity, options.cache_shards),
       owned_registry_(options.registry == nullptr
                           ? std::make_unique<obs::MetricsRegistry>()
                           : nullptr),
@@ -359,6 +418,36 @@ std::shared_ptr<const Server::CachedPlan> Server::PlanFor(
   // actual compilations.
   return plan_cache_.GetOrCompute(
       plan_key, compile,
+      control != nullptr ? &control->deadline : nullptr,
+      control != nullptr ? control->cancel : nullptr);
+}
+
+std::shared_ptr<const Server::CachedCircuit> Server::CircuitFor(
+    const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+    std::uint64_t circuit_key, const RunControl* control,
+    obs::TraceRecord* trace) {
+  const auto compile = [&]() -> std::shared_ptr<const CachedCircuit> {
+    if (control != nullptr) control->Check();
+    // Circuits compile *from* plans, so a sweep warms the plan cache for
+    // later point queries against the same (model, pattern) — and reuses a
+    // plan such queries already compiled.
+    const std::shared_ptr<const CachedPlan> plan =
+        PlanFor(model, pattern, kNoTracked,
+                PlanKey(model, pattern, kNoTracked), control, trace);
+    const obs::TraceSpan span(trace, obs::Stage::kCircuitCompile);
+    const std::uint64_t start = MonotonicNowNs();
+    auto entry = std::make_shared<const CachedCircuit>(
+        circuit::CompilePatternProb(plan->plan));
+    const std::uint64_t elapsed = MonotonicNowNs() - start;
+    instruments_->circuit_compiles.Inc();
+    instruments_->circuit_compile_ns.Inc(elapsed);
+    if (options_.latency_histograms) {
+      instruments_->circuit_compile_hist_ns.Record(elapsed);
+    }
+    return entry;
+  };
+  return circuit_cache_.GetOrCompute(
+      circuit_key, compile,
       control != nullptr ? &control->deadline : nullptr,
       control != nullptr ? control->cancel : nullptr);
 }
@@ -588,6 +677,142 @@ Response Server::Evaluate(const Request& request) {
   return EvaluateBatch(batch).front();
 }
 
+StatusOr<std::vector<double>> Server::PatternProbSweep(
+    const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+    const std::vector<std::vector<double>>& params,
+    const RequestControl& control) {
+  instruments_->requests.Inc();
+  instruments_->sweep_requests.Inc();
+
+  // Validation: the shared request checks, then the sweep-specific shape
+  // of the parameter grid. Dispersions are range-checked *here* so a bad
+  // point comes back as kInvalidArgument instead of aborting inside the
+  // Mallows constructor.
+  Request probe;
+  probe.kind = Request::Kind::kPatternProb;
+  probe.model = &model;
+  probe.pattern = &pattern;
+  if (Status status = Validate(probe); !status.ok()) {
+    instruments_->invalid.Inc();
+    return status;
+  }
+  const unsigned m = model.model().size();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const std::vector<double>& point = params[i];
+    if (point.size() != 1 && point.size() != m) {
+      instruments_->invalid.Inc();
+      return Status::InvalidArgument(
+          "params[" + std::to_string(i) + "] has " +
+          std::to_string(point.size()) + " dispersions; expected 1 (Mallows) "
+          "or " + std::to_string(m) + " (generalized Mallows)");
+    }
+    for (double phi : point) {
+      if (!(phi > 0.0 && phi <= 1.0)) {
+        instruments_->invalid.Inc();
+        return Status::InvalidArgument("dispersion in params[" +
+                                       std::to_string(i) +
+                                       "] is outside (0, 1]");
+      }
+    }
+  }
+  // The size guard applies as to any other request; sweeps are an
+  // exact-only modality, so there is no Monte-Carlo fallback here.
+  if (options_.max_pattern_nodes != 0 &&
+      pattern.NodeCount() > options_.max_pattern_nodes) {
+    return Status::ResourceExhausted(
+        "pattern has " + std::to_string(pattern.NodeCount()) +
+        " nodes, over the server limit of " +
+        std::to_string(options_.max_pattern_nodes));
+  }
+
+  // One admission slot covers the whole sweep: the expensive part (compile)
+  // happens once, and per-point evaluation is a linear arena pass.
+  if (TryAdmit(1) == 0) {
+    instruments_->shed.Inc();
+    return Status::ResourceExhausted(
+        "shed by admission control (server full); retry after " +
+        std::to_string(RetryAfterHintNs()) + "ns");
+  }
+  const AdmissionRelease release(*this, 1);
+
+  const std::uint64_t circuit_key = CircuitKey(model, pattern);
+  const std::uint64_t deadline_ns = control.deadline_ns != 0
+                                        ? control.deadline_ns
+                                        : options_.default_deadline_ns;
+  const bool has_control = deadline_ns != 0 || control.cancel != nullptr;
+  RunControl run;
+  if (deadline_ns != 0) run.deadline = Deadline::After(deadline_ns);
+  run.cancel = control.cancel;
+
+  // Deterministic trace sampling, keyed like everything else on content:
+  // the circuit key in the sweep domain.
+  obs::TraceRecord trace_storage;
+  obs::TraceRecord* trace = nullptr;
+  const std::uint64_t sweep_fingerprint = HashCombine(circuit_key, kKeySweep);
+  if (tracer_.sample_permyriad() > 0 &&
+      tracer_.ShouldSample(sweep_fingerprint)) {
+    trace = &trace_storage;
+    trace->fingerprint = sweep_fingerprint;
+    trace->start_ns = MonotonicNowNs();
+  }
+
+  try {
+    const std::shared_ptr<const CachedCircuit> entry =
+        CircuitFor(model, pattern, circuit_key,
+                   has_control ? &run : nullptr, trace);
+    std::vector<double> answers(params.size());
+    circuit::EvalScratch scratch;
+    const obs::TraceSpan span(trace, obs::Stage::kCircuitEval);
+    const std::uint64_t start = MonotonicNowNs();
+    // Points run through the blocked evaluator in chunks: one arena pass
+    // covers kEvalLanes bindings, and cancellation/deadline is polled at
+    // chunk granularity (a chunk is a few arena scans, bounded work).
+    constexpr std::size_t kSweepChunk = 8 * circuit::kEvalLanes;
+    std::vector<rim::InsertionFunction> bindings;
+    bindings.reserve(std::min(params.size(), kSweepChunk));
+    for (std::size_t begin = 0; begin < params.size();
+         begin += kSweepChunk) {
+      if (has_control) run.Check();
+      const std::size_t end = std::min(begin + kSweepChunk, params.size());
+      bindings.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::vector<double>& point = params[i];
+        bindings.push_back(
+            point.size() == 1
+                ? rim::InsertionFunction::Mallows(m, point[0])
+                : rim::InsertionFunction::GeneralizedMallows(point));
+      }
+      entry->circuit.EvaluateMany(bindings.data(), bindings.size(), scratch,
+                                  answers.data() + begin);
+    }
+    const std::uint64_t elapsed = MonotonicNowNs() - start;
+    instruments_->circuit_eval_ns.Inc(elapsed);
+    instruments_->sweep_points.Inc(params.size());
+    if (options_.latency_histograms && !params.empty()) {
+      instruments_->circuit_point_ns.RecordMany(elapsed / params.size(),
+                                                params.size());
+    }
+    if (trace != nullptr) {
+      trace->end_ns = MonotonicNowNs();
+      trace->status_code = static_cast<std::uint8_t>(StatusCode::kOk);
+      tracer_.Publish(*trace);
+    }
+    return answers;
+  } catch (const CancelledError& e) {
+    instruments_->cancelled.Inc();
+    return Status::Cancelled(e.what());
+  } catch (const DeadlineExceededError& e) {
+    instruments_->deadline_exceeded.Inc();
+    return Status::DeadlineExceeded(e.what());
+  } catch (const std::exception& e) {
+    instruments_->internal_errors.Inc();
+    return Status::Internal(e.what());
+  } catch (...) {
+    instruments_->internal_errors.Inc();
+    return Status::Internal("unknown exception during sweep");
+  }
+}
+
 /// One unique computation within a batch: distinct (result key, deadline,
 /// cancellation token). Two byte-identical requests with different stop
 /// conditions must not share a slot — one's tight deadline would decide the
@@ -807,11 +1032,17 @@ ServerStats Server::Snapshot() const {
   ServerStats stats;
   stats.plan_cache = plan_cache_.stats();
   stats.result_cache = result_cache_.stats();
+  stats.circuit_cache = circuit_cache_.stats();
   stats.requests = instruments_->requests.Value();
   stats.batches = instruments_->batches.Value();
   stats.batch_deduped = instruments_->batch_deduped.Value();
+  stats.sweep_requests = instruments_->sweep_requests.Value();
+  stats.sweep_points = instruments_->sweep_points.Value();
+  stats.circuit_compiles = instruments_->circuit_compiles.Value();
   stats.compile_ns = instruments_->compile_ns.Value();
   stats.execute_ns = instruments_->execute_ns.Value();
+  stats.circuit_compile_ns = instruments_->circuit_compile_ns.Value();
+  stats.circuit_eval_ns = instruments_->circuit_eval_ns.Value();
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   stats.in_flight_peak = in_flight_peak_.load(std::memory_order_relaxed);
   stats.shed = instruments_->shed.Value();
@@ -839,6 +1070,13 @@ void Server::SyncScrapeGauges() const {
   in.result_cache_misses.Set(static_cast<std::int64_t>(result.misses));
   in.result_cache_insertions.Set(static_cast<std::int64_t>(result.insertions));
   in.result_cache_evictions.Set(static_cast<std::int64_t>(result.evictions));
+  const CacheStats circuit = circuit_cache_.stats();
+  in.circuit_cache_hits.Set(static_cast<std::int64_t>(circuit.hits));
+  in.circuit_cache_misses.Set(static_cast<std::int64_t>(circuit.misses));
+  in.circuit_cache_insertions.Set(
+      static_cast<std::int64_t>(circuit.insertions));
+  in.circuit_cache_evictions.Set(
+      static_cast<std::int64_t>(circuit.evictions));
   in.traces_published.Set(
       static_cast<std::int64_t>(tracer_.total_published()));
 }
@@ -892,6 +1130,7 @@ std::string Server::DumpTracesJson() const {
 void Server::ClearCaches() {
   plan_cache_.Clear();
   result_cache_.Clear();
+  circuit_cache_.Clear();
 }
 
 }  // namespace ppref::serve

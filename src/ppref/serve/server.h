@@ -15,6 +15,13 @@
 ///     kind) → answer` memoization. A hit skips the DP execution too. Only
 ///     exact answers are ever cached — approximate (degraded) answers are
 ///     recomputed per request, reproducibly (see below).
+///  3. **Circuit cache** (sharded LRU): arithmetic circuits compiled from
+///     safe plans, keyed on (model *structure*, labeling, pattern) with the
+///     insertion probabilities Π deliberately excluded from the key. A
+///     parameter sweep (`PatternProbSweep`) compiles once and re-binds the
+///     circuit per parameter vector — every point after the first skips
+///     both plan compilation and the DP scan, and each point's answer is
+///     bit-identical to a fresh DP run at that Π.
 ///
 /// `EvaluateBatch` additionally dedups identical requests *within* a batch,
 /// fans the unique work over a worker pool, and scatters answers back in
@@ -99,6 +106,11 @@ struct ServerOptions {
   std::size_t plan_cache_capacity = 256;
   /// Total memoized-answer budget. Answers are tiny; size generously.
   std::size_t result_cache_capacity = 8192;
+  /// Total compiled-circuit budget. A circuit's arena is proportional to
+  /// the DP's state count summed over candidates — comparable to one DP
+  /// run's footprint per entry; size to the working set of distinct
+  /// (model structure, labeling, pattern) sweep shapes.
+  std::size_t circuit_cache_capacity = 64;
   /// Shards per cache (rounded up to a power of two).
   unsigned cache_shards = 8;
   /// Worker threads for the batch fan-out. 0 = auto; clamped to hardware
@@ -239,6 +251,24 @@ class Server {
   /// response's status is the single source of truth.
   Response Evaluate(const Request& request);
 
+  /// Parameter sweep: Pr(g | σ, Π_i, λ) for every parameter vector in
+  /// `params`, against one cached circuit. Each element of `params` is
+  /// either a single dispersion {φ} (a Mallows insertion model) or m
+  /// per-step dispersions {φ_1..φ_m} (generalized Mallows); every φ must
+  /// lie in (0, 1]. The circuit is compiled from the (cached or freshly
+  /// compiled) plan on the first sweep of this (model structure, labeling,
+  /// pattern) shape and re-bound per point afterwards; each answer is
+  /// bit-identical to a fresh serial DP run at that parameter vector.
+  ///
+  /// Full serving-boundary contract: never throws; validation errors,
+  /// admission shedding, deadlines, and cancellation all come back as the
+  /// returned status. Sweep answers bypass the result cache (their keys
+  /// would embed Π); only the circuit and plan caches amortize.
+  StatusOr<std::vector<double>> PatternProbSweep(
+      const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+      const std::vector<std::vector<double>>& params,
+      const RequestControl& control = {});
+
   /// Serves a batch: admits up to the in-flight budget (shedding the rest),
   /// validates each request, dedups byte-identical requests, resolves
   /// result-cache hits, fans the remaining unique work over the worker
@@ -276,7 +306,7 @@ class Server {
   /// The server's instrument registry (its own unless one was injected).
   obs::MetricsRegistry& registry() const { return *registry_; }
 
-  /// Drops both caches and their counters (not the request counters).
+  /// Drops all three caches and their counters (not the request counters).
   void ClearCaches();
 
   const ServerOptions& options() const { return options_; }
@@ -284,6 +314,7 @@ class Server {
  private:
   struct CachedPlan;
   struct CachedResult;
+  struct CachedCircuit;
   struct Outcome;
   struct Unit;
   struct Instruments;
@@ -316,6 +347,15 @@ class Server {
       const RunControl* control = nullptr,
       obs::TraceRecord* trace = nullptr);
 
+  /// Looks up or compiles the circuit for (model structure, labeling,
+  /// pattern), going through PlanFor for the underlying plan (so a sweep
+  /// warms the plan cache too). Single-flight per key; timed into the
+  /// circuit-compile instruments. Throws stop exceptions via `control`.
+  std::shared_ptr<const CachedCircuit> CircuitFor(
+      const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+      std::uint64_t circuit_key, const RunControl* control,
+      obs::TraceRecord* trace);
+
   /// Computes one request exactly (plan lookup + DP execution, timed).
   /// Throws DeadlineExceededError / CancelledError via `control`.
   CachedResult Compute(const Request& request, std::uint64_t plan_key,
@@ -347,6 +387,7 @@ class Server {
   unsigned effective_threads_;
   ShardedLruCache<CachedPlan> plan_cache_;
   ShardedLruCache<CachedResult> result_cache_;
+  ShardedLruCache<CachedCircuit> circuit_cache_;
 
   /// Owned when options_.registry is null.
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;

@@ -33,6 +33,10 @@ struct ServerStats {
   CacheStats plan_cache;
   /// Result cache: a hit skips the entire DP execution.
   CacheStats result_cache;
+  /// Circuit cache: compiled arithmetic circuits keyed on model *structure*
+  /// (Π excluded) — a hit answers a whole parameter sweep without touching
+  /// the DP again.
+  CacheStats circuit_cache;
 
   /// Requests accepted, via any entry point (batch requests count singly).
   std::uint64_t requests = 0;
@@ -40,6 +44,18 @@ struct ServerStats {
   std::uint64_t batches = 0;
   /// Requests answered by sharing a duplicate within the same batch.
   std::uint64_t batch_deduped = 0;
+  /// Parameter-sweep requests accepted via PatternProbSweep (each counts
+  /// once, however many points it carries).
+  std::uint64_t sweep_requests = 0;
+  /// Parameter points evaluated against a cached circuit.
+  std::uint64_t sweep_points = 0;
+
+  /// Circuits compiled by this server (circuit-cache misses).
+  std::uint64_t circuit_compiles = 0;
+  /// Nanoseconds spent compiling circuits.
+  std::uint64_t circuit_compile_ns = 0;
+  /// Nanoseconds spent evaluating cached circuits over sweep points.
+  std::uint64_t circuit_eval_ns = 0;
 
   /// Nanoseconds spent compiling DpPlans (plan-cache misses).
   std::uint64_t compile_ns = 0;

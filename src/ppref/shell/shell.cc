@@ -1,9 +1,12 @@
 #include "ppref/shell/shell.h"
 
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 #include "ppref/common/check.h"
 #include "ppref/db/csv.h"
+#include "ppref/infer/labeled_rim.h"
 #include "ppref/ppd/analytics.h"
 #include "ppref/ppd/approx.h"
 #include "ppref/ppd/evaluator.h"
@@ -11,6 +14,7 @@
 #include "ppref/ppd/io.h"
 #include "ppref/ppd/monte_carlo_evaluator.h"
 #include "ppref/ppd/possible_worlds.h"
+#include "ppref/ppd/reduction.h"
 #include "ppref/ppd/splitting.h"
 #include "ppref/ppd/ucq_evaluator.h"
 #include "ppref/query/classify.h"
@@ -126,6 +130,8 @@ bool Shell::Execute(const std::string& line) {
       CommandUnion(args);
     } else if (command == "\\approx") {
       CommandApprox(args);
+    } else if (command == "\\sweep") {
+      CommandSweep(args);
     } else if (command == "\\sessions") {
       CommandSessions(args);
     } else if (command == "\\analytics") {
@@ -180,6 +186,8 @@ void Shell::CommandHelp() {
           "  \\answers Q(x) :- ...         ranked possible answers\n"
           "  \\union Q() :- .. UNION ..    UCQ confidence\n"
           "  \\approx eps delta Q() :- ..  Hoeffding-guaranteed estimate\n"
+          "  \\sweep p1,p2,.. Q() :- ..    confidence at each dispersion phi,\n"
+          "                               one cached circuit per session\n"
           "  \\split Q() :- ...            exact non-itemwise eval by\n"
           "                               grounding join variables\n"
           "  \\analytics P                 winner probs + consensus order\n"
@@ -347,6 +355,82 @@ void Shell::CommandApprox(const std::string& args) {
       ppd::ApproximateBoolean(*ppd_, q, epsilon, delta, rng_);
   out_ << "conf ~ " << result.estimate << " (+- " << epsilon << " w.p. >= "
        << 1 - delta << ", " << result.samples << " samples)\n";
+}
+
+void Shell::CommandSweep(const std::string& args) {
+  // "<phi,phi,...> Q() :- ..." — each phi re-binds every session's Mallows
+  // dispersion; sessions are compiled to circuits once and re-evaluated per
+  // point, so the grid costs one DP's worth of work plus cheap re-bindings.
+  const auto [grid_text, query_text] = SplitCommand(args);
+  std::vector<std::vector<double>> params;
+  auto push = [&params](const std::string& token) {
+    char* end = nullptr;
+    const double phi =
+        token.empty() ? 0.0 : std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size() ||
+        !(phi > 0.0 && phi <= 1.0)) {
+      throw ParseError("sweep dispersion '" + token +
+                       "' must be a number in (0, 1]; usage: \\sweep "
+                       "0.1,0.5,0.9 Q() :- ...");
+    }
+    params.push_back({phi});
+  };
+  std::string current;
+  for (char c : grid_text) {
+    if (c == ',') {
+      push(current);
+      current.clear();
+    } else if (c != ' ' && c != '\t') {
+      current += c;
+    }
+  }
+  push(current);
+
+  const auto q = query::ParseQuery(query_text, ppd_->schema());
+  if (!q.IsBoolean()) {
+    out_ << "error: \\sweep expects a Boolean query\n";
+    return;
+  }
+  if (q.PAtoms().empty() || !query::IsItemwise(q)) {
+    out_ << "error: \\sweep needs an itemwise query with p-atoms (circuits "
+            "exist only for the tractable class); use \\query instead\n";
+    return;
+  }
+
+  if (server_ == nullptr) {
+    server_ = std::make_unique<serve::Server>(serve::ServerOptions{});
+  }
+  const serve::ServerStats before = server_->Snapshot();
+
+  // Per session s and grid point k: p_{s,k} from the session's cached
+  // circuit re-bound to phi_k; the Boolean confidence at phi_k is
+  // 1 - prod_s (1 - p_{s,k}), mirroring ppd::EvaluateBoolean.
+  const auto reductions = ppd::ReduceItemwise(*ppd_, q);
+  std::vector<double> none_matches(params.size(), 1.0);
+  for (const auto& reduction : reductions) {
+    if (!reduction.satisfiable || reduction.reflexive_preference) continue;
+    const infer::LabeledRimModel labeled(reduction.model->model(),
+                                         reduction.labeling);
+    const StatusOr<std::vector<double>> probs =
+        server_->PatternProbSweep(labeled, reduction.pattern, params);
+    if (!probs.ok()) {
+      out_ << "error: " << probs.status().ToString() << "\n";
+      return;
+    }
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      none_matches[k] *= 1.0 - (*probs)[k];
+    }
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    out_ << "  phi = " << params[k][0] << "  conf = " << 1.0 - none_matches[k]
+         << "\n";
+  }
+  const serve::ServerStats after = server_->Snapshot();
+  out_ << "(" << reductions.size() << " sessions, " << params.size()
+       << " points; circuits: "
+       << after.circuit_compiles - before.circuit_compiles << " compiled, "
+       << after.circuit_cache.hits - before.circuit_cache.hits
+       << " cache hits)\n";
 }
 
 void Shell::CommandSessions(const std::string& args) {

@@ -16,6 +16,8 @@
 ///   \answers Q(x) :- ...
 ///   \union Q() :- ... UNION Q() :- ...
 ///   \approx 0.05 0.01 Q() :- ...
+///   \sweep 0.1,0.5,0.9 Q() :- ...   (confidence at each dispersion, via one
+///                                    cached arithmetic circuit per session)
 ///   \split Q() :- ...               (exact non-itemwise eval, splitting.h)
 ///   \analytics Polls                (winner probabilities + consensus)
 ///   \sessions Polls
@@ -33,6 +35,7 @@
 
 #include "ppref/common/random.h"
 #include "ppref/ppd/ppd.h"
+#include "ppref/serve/server.h"
 
 namespace ppref::shell {
 
@@ -64,11 +67,16 @@ class Shell {
   void CommandAnswers(const std::string& args);
   void CommandUnion(const std::string& args);
   void CommandApprox(const std::string& args);
+  void CommandSweep(const std::string& args);
   void CommandSessions(const std::string& args);
   void CommandSave();
 
   std::ostream& out_;
   std::unique_ptr<ppd::RimPpd> ppd_;
+  /// Lazily built serving core backing \sweep: its circuit cache persists
+  /// across commands, so repeated sweeps over the same query shape recompile
+  /// nothing.
+  std::unique_ptr<serve::Server> server_;
   Rng rng_{20170514};  // PODS'17 conference date; fixed for reproducibility
   // Multi-line \load-inline accumulation state.
   bool loading_ = false;

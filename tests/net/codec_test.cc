@@ -8,6 +8,7 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "ppref/common/random.h"
@@ -171,6 +172,91 @@ TEST(NetCodecTest, RejectsResponseBadCode) {
             StatusCode::kInvalidArgument);
 }
 
+// --- sweep codec -----------------------------------------------------------
+
+WireSweepRequest SampleSweepRequest() {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(3);
+  const unsigned m = workload.models[1].model().size();
+  std::vector<std::vector<double>> params;
+  params.push_back({0.25});
+  params.push_back({0.9});
+  params.push_back(std::vector<double>(m, 0.5));
+  return WireSweepRequest(88, 5'000'000, workload.models[1],
+                          workload.patterns[1], std::move(params));
+}
+
+TEST(NetCodecTest, SweepRequestRoundTripsBitIdentical) {
+  const WireSweepRequest request = SampleSweepRequest();
+  StatusOr<WireSweepRequest> decoded =
+      DecodeSweepRequest(EncodeSweepRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->deadline_ns, request.deadline_ns);
+  EXPECT_EQ(decoded->model.model().size(), request.model.model().size());
+  EXPECT_EQ(decoded->pattern.NodeCount(), request.pattern.NodeCount());
+  ASSERT_EQ(decoded->params.size(), request.params.size());
+  for (std::size_t p = 0; p < request.params.size(); ++p) {
+    ASSERT_EQ(decoded->params[p].size(), request.params[p].size());
+    for (std::size_t i = 0; i < request.params[p].size(); ++i) {
+      std::uint64_t bits_a, bits_b;
+      std::memcpy(&bits_a, &request.params[p][i], 8);
+      std::memcpy(&bits_b, &decoded->params[p][i], 8);
+      EXPECT_EQ(bits_a, bits_b) << "point " << p << " entry " << i;
+    }
+  }
+}
+
+TEST(NetCodecTest, SweepRequestRejectsNonPatternProbKind) {
+  std::string bytes = EncodeSweepRequest(SampleSweepRequest());
+  // The embedded base request starts at offset 4; its kind byte sits at
+  // base offset 8.
+  bytes[4 + 8] = static_cast<char>(serve::Request::Kind::kTopMatching);
+  EXPECT_EQ(DecodeSweepRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, SweepRequestRejectsBadDispersions) {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(1);
+  const unsigned m = workload.models[0].model().size();
+  for (double phi : {0.0, -0.5, 1.5}) {
+    WireSweepRequest request(1, 0, workload.models[0], workload.patterns[0],
+                             {{phi}});
+    EXPECT_EQ(DecodeSweepRequest(EncodeSweepRequest(request)).status().code(),
+              StatusCode::kInvalidArgument)
+        << phi;
+  }
+  // Arity must be 1 (Mallows) or m (generalized Mallows).
+  WireSweepRequest bad_arity(1, 0, workload.models[0], workload.patterns[0],
+                             {std::vector<double>(m + 1, 0.5)});
+  EXPECT_EQ(DecodeSweepRequest(EncodeSweepRequest(bad_arity)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, SweepRequestRejectsOversizedPointCount) {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(1);
+  WireSweepRequest request(1, 0, workload.models[0], workload.patterns[0], {});
+  // With no points the u32 point count is the body's final field.
+  std::string bytes = EncodeSweepRequest(request);
+  const std::uint32_t huge = kMaxWirePoints + 1;
+  std::memcpy(&bytes[bytes.size() - 4], &huge, 4);
+  EXPECT_EQ(DecodeSweepRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, SweepResponseRoundTrips) {
+  WireSweepResponse response;
+  response.id = 0x123456789abcull;
+  response.status = Status::ResourceExhausted("shed");
+  response.probabilities = {0.1, 0.25, 1.0};
+  StatusOr<WireSweepResponse> decoded =
+      DecodeSweepResponse(EncodeSweepResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, response.id);
+  EXPECT_EQ(decoded->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->status.message(), "shed");
+  EXPECT_EQ(decoded->probabilities, response.probabilities);
+}
+
 // --- fuzzers ---------------------------------------------------------------
 
 TEST(NetFuzzTest, RequestDecoderSurvivesTruncationEverywhere) {
@@ -209,6 +295,33 @@ TEST(NetFuzzTest, RequestDecoderSurvivesGarbage) {
     std::string bytes(rng.NextIndex(200), '\0');
     for (char& c : bytes) c = static_cast<char>(rng.NextIndex(256));
     StatusOr<WireRequest> decoded = DecodeRequest(bytes);
+    if (!decoded.ok()) {
+      ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetFuzzTest, SweepDecoderSurvivesTruncationEverywhere) {
+  const std::string bytes = EncodeSweepRequest(SampleSweepRequest());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    StatusOr<WireSweepRequest> decoded =
+        DecodeSweepRequest(bytes.substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetFuzzTest, SweepDecoderSurvivesRandomCorruption) {
+  const std::string pristine = EncodeSweepRequest(SampleSweepRequest());
+  Rng rng(4242);
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes = pristine;
+    const std::size_t mutations = 1 + rng.NextIndex(4);
+    for (std::size_t k = 0; k < mutations; ++k) {
+      bytes[rng.NextIndex(bytes.size())] =
+          static_cast<char>(rng.NextIndex(256));
+    }
+    StatusOr<WireSweepRequest> decoded = DecodeSweepRequest(bytes);
     if (!decoded.ok()) {
       ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
     }

@@ -12,11 +12,15 @@
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "ppref/infer/top_prob.h"
 #include "ppref/net/client.h"
 #include "ppref/net/codec.h"
+#include "ppref/rim/insertion.h"
+#include "ppref/rim/ranking.h"
+#include "ppref/rim/rim_model.h"
 #include "ppref/serve/workload.h"
 
 namespace ppref::net {
@@ -230,6 +234,87 @@ TEST(NetDaemonTest, PipelinedRequestsAnswerEveryId) {
     }
   }
   EXPECT_EQ(seen, (std::set<std::uint64_t>{100, 101, 102}));
+  close(fd);
+  daemon.Stop();
+}
+
+TEST(NetDaemonTest, BinarySweepBitIdenticalToPerPointDp) {
+  Daemon daemon(AdoptOnlyOptions());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(1);
+  const infer::LabeledRimModel& model = workload.models[0];
+  const infer::LabelPattern& pattern = workload.patterns[0];
+  const unsigned m = model.model().size();
+
+  std::vector<std::vector<double>> params;
+  for (double phi : {0.2, 0.5, 0.8, 1.0}) params.push_back({phi});
+  params.push_back(std::vector<double>(m, 0.7));
+
+  Client client = Client::FromFd(AdoptPair(daemon));
+  WireSweepRequest request(51, 0, model, pattern, params);
+  StatusOr<WireSweepResponse> response = client.CallSweep(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_EQ(response->id, 51u);
+  ASSERT_EQ(response->probabilities.size(), params.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const rim::InsertionFunction pi =
+        params[p].size() == 1
+            ? rim::InsertionFunction::Mallows(m, params[p][0])
+            : rim::InsertionFunction::GeneralizedMallows(params[p]);
+    const infer::LabeledRimModel rebound(
+        rim::RimModel(model.model().reference(), pi), model.labeling());
+    // Bit identity: the circuit path must reproduce the per-point DP answer
+    // exactly, through the wire and back.
+    EXPECT_EQ(response->probabilities[p], infer::PatternProb(rebound, pattern))
+        << "point " << p;
+  }
+  daemon.Stop();
+}
+
+TEST(NetDaemonTest, HttpSweepOverSocketpairBitIdentical) {
+  Daemon daemon(AdoptOnlyOptions());
+  ASSERT_TRUE(daemon.Start().ok());
+  const int fd = AdoptPair(daemon);
+
+  const std::string body =
+      "{\"id\": 6,"
+      " \"model\": {\"m\": 4, \"insertion\": {\"phi\": 0.5},"
+      "  \"labels\": [[0], [1], [0], [1]]},"
+      " \"pattern\": {\"nodes\": [0, 1], \"edges\": [[0, 1]]},"
+      " \"params\": [0.25, 0.75]}";
+  const std::string request =
+      "POST /sweep HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  ASSERT_GT(send(fd, request.data(), request.size(), MSG_NOSIGNAL), 0);
+  const std::string response = ReadUntilEof(fd);
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  ASSERT_NE(response.find("\"status\":\"OK\""), std::string::npos) << response;
+
+  infer::ItemLabeling labeling(4);
+  labeling.AddLabel(0, 0);
+  labeling.AddLabel(1, 1);
+  labeling.AddLabel(2, 0);
+  labeling.AddLabel(3, 1);
+  infer::LabelPattern pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  pattern.AddEdge(0, 1);
+
+  const std::size_t at = response.find("\"probabilities\":[");
+  ASSERT_NE(at, std::string::npos) << response;
+  const char* cursor = response.c_str() + at + 17;
+  for (double phi : {0.25, 0.75}) {
+    const infer::LabeledRimModel model(
+        rim::RimModel(rim::Ranking::Identity(4),
+                      rim::InsertionFunction::Mallows(4, phi)),
+        labeling);
+    char* end = nullptr;
+    EXPECT_EQ(std::strtod(cursor, &end), infer::PatternProb(model, pattern))
+        << "phi=" << phi;
+    cursor = end + 1;  // past the separator
+  }
   close(fd);
   daemon.Stop();
 }

@@ -5,6 +5,7 @@
 #include "ppref/net/http.h"
 
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -85,6 +86,53 @@ TEST(NetHttpTest, ErrorIsSticky) {
             HttpAccumulator::State::kError);
   EXPECT_EQ(accumulator.Feed("GET / HTTP/1.1\r\n\r\n"),
             HttpAccumulator::State::kError);
+}
+
+TEST(NetHttpTest, SweepRequestFromJsonParsesNumbersAndVectors) {
+  const std::string text =
+      "{\"id\": 9, \"model\": {\"m\": 3, \"insertion\": {\"phi\": 0.5},"
+      " \"labels\": [[0], [1], [2]]},"
+      " \"pattern\": {\"nodes\": [0, 1], \"edges\": [[0, 1]]},"
+      " \"params\": [0.25, [0.75], [0.2, 0.4, 0.6]]}";
+  StatusOr<JsonValue> document = ParseJson(text);
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+  StatusOr<WireSweepRequest> sweep = SweepRequestFromJson(*document);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_EQ(sweep->id, 9u);
+  ASSERT_EQ(sweep->params.size(), 3u);
+  EXPECT_EQ(sweep->params[0], std::vector<double>{0.25});
+  EXPECT_EQ(sweep->params[1], std::vector<double>{0.75});
+  EXPECT_EQ(sweep->params[2], (std::vector<double>{0.2, 0.4, 0.6}));
+}
+
+TEST(NetHttpTest, SweepRequestFromJsonRejections) {
+  const std::string base =
+      "\"model\": {\"m\": 3, \"insertion\": {\"phi\": 0.5},"
+      " \"labels\": [[0], [1], [2]]},"
+      " \"pattern\": {\"nodes\": [0]}";
+  for (const std::string& bad : {
+           "{" + base + "}",                            // params missing
+           "{" + base + ", \"params\": [0.0]}",         // phi at 0
+           "{" + base + ", \"params\": [2.0]}",         // phi above 1
+           "{" + base + ", \"params\": [[0.5, 0.5]]}",  // arity 2 with m=3
+           "{" + base + ", \"params\": [\"x\"]}",       // not a number
+           "{\"kind\": \"top_matching\", " + base + ", \"params\": [0.5]}",
+       }) {
+    StatusOr<JsonValue> document = ParseJson(bad);
+    ASSERT_TRUE(document.ok()) << bad;
+    EXPECT_EQ(SweepRequestFromJson(*document).status().code(),
+              StatusCode::kInvalidArgument)
+        << bad;
+  }
+}
+
+TEST(NetHttpTest, SweepResponseJsonShape) {
+  WireSweepResponse response;
+  response.id = 3;
+  response.probabilities = {0.5, 0.25};
+  EXPECT_EQ(JsonFromWireSweepResponse(response),
+            "{\"id\":3,\"status\":\"OK\",\"message\":\"\","
+            "\"probabilities\":[0.5,0.25]}");
 }
 
 TEST(NetHttpTest, RenderedResponseIsWellFormed) {

@@ -107,6 +107,65 @@ TEST(NetLifecycleTest, DrainDeliversInFlightAnswerThenCloses) {
   daemon.Join();
 }
 
+TEST(NetLifecycleTest, DrainDeliversInFlightSweepThenCloses) {
+  DaemonOptions options;
+  options.port = -1;
+  options.workers = 2;
+  Daemon daemon(std::move(options));
+  ASSERT_TRUE(daemon.Start().ok());
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(1);
+  const int fd = AdoptPair(daemon);
+  WireSweepRequest request(61, 0, workload.models[0], workload.patterns[0],
+                           {{0.3}, {0.6}, {0.9}});
+  const std::string frame =
+      EncodeFrame(FrameType::kSweepRequest, EncodeSweepRequest(request));
+  ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+
+  // Wait until the sweep reached the serve layer, then drain: the in-flight
+  // answer (or a well-formed shed refusal) must flush before the close.
+  while (daemon.server().Snapshot().sweep_requests < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  daemon.RequestDrain();
+
+  FrameAssembler assembler;
+  Frame response_frame;
+  char buffer[4096];
+  bool got_response = false;
+  bool got_eof = false;
+  while (!got_eof) {
+    pollfd p{fd, POLLIN, 0};
+    ASSERT_GT(poll(&p, 1, 10000), 0) << "no drain outcome within 10s";
+    const ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n == 0) {
+      got_eof = true;
+      break;
+    }
+    ASSERT_GT(n, 0);
+    ASSERT_TRUE(assembler.Feed(buffer, static_cast<std::size_t>(n)).ok());
+    while (assembler.Next(&response_frame)) {
+      ASSERT_FALSE(got_response) << "more than one response";
+      got_response = true;
+      ASSERT_EQ(response_frame.type, FrameType::kSweepResponse);
+      StatusOr<WireSweepResponse> response =
+          DecodeSweepResponse(response_frame.body);
+      ASSERT_TRUE(response.ok());
+      EXPECT_EQ(response->id, 61u);
+      if (response->status.ok()) {
+        EXPECT_EQ(response->probabilities.size(), 3u);
+      } else {
+        EXPECT_EQ(response->status.code(), StatusCode::kResourceExhausted)
+            << response->status.ToString();
+      }
+    }
+  }
+  EXPECT_TRUE(got_response);
+  close(fd);
+  daemon.Join();
+}
+
 TEST(NetLifecycleTest, DrainRefusesNewAdoptions) {
   DaemonOptions options;
   options.port = -1;

@@ -148,6 +148,78 @@ TEST(ShellTest, SplitCommandEvaluatesHardQueries) {
   EXPECT_NE(out.find("2 itemwise disjuncts"), std::string::npos);
 }
 
+TEST(ShellTest, SweepMatchesExactQueryAtSessionDispersion) {
+  // Ann's session is MAL(..., phi=0.3); sweeping phi=0.3 re-binds the
+  // circuit to exactly the stored dispersion, so the confidence must agree
+  // with the exact evaluator to the last printed digit.
+  std::ostringstream out;
+  Shell shell(out);
+  shell.ExecuteScript(
+      "\\election\n"
+      "\\sweep 0.3 Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')\n");
+  const double expected = ppd::EvaluateBoolean(
+      shell.ppd(),
+      query::ParseQuery("Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')",
+                        shell.ppd().schema()));
+  std::ostringstream want;
+  want << "phi = 0.3  conf = " << expected;
+  EXPECT_NE(out.str().find(want.str()), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("1 sessions, 1 points"), std::string::npos)
+      << out.str();
+}
+
+TEST(ShellTest, SweepReusesCachedCircuitsAcrossCalls) {
+  const std::string script =
+      "\\sweep 0.2,0.5,0.8 Q() :- Polls(v, d; 'Clinton'; 'Trump')\n";
+  const std::string out = RunScript("\\election\n" + script + script);
+  // The election sessions span two distinct model structures (reference
+  // rankings differ), so the first sweep compiles twice and hits once; the
+  // second sweep is served entirely from the cache.
+  EXPECT_NE(out.find("3 sessions, 3 points; circuits: 2 compiled, 1 cache "
+                     "hits"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("3 sessions, 3 points; circuits: 0 compiled, 3 cache "
+                     "hits"),
+            std::string::npos)
+      << out;
+  // One confidence line per grid point, per sweep.
+  std::size_t lines = 0;
+  for (std::size_t at = out.find("phi = "); at != std::string::npos;
+       at = out.find("phi = ", at + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 6u);
+}
+
+TEST(ShellTest, SweepRejectsNonTractableQueries) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\sweep 0.5 Q() :- Polls(_, _; l; r), Candidates(l, p, 'M', _), "
+      "Candidates(r, p, 'F', _)\n"
+      "\\help\n");
+  EXPECT_NE(out.find("error: \\sweep needs an itemwise query"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\\union"), std::string::npos);  // shell kept going
+}
+
+TEST(ShellTest, SweepRejectsDispersionsOutsideUnitInterval) {
+  const std::string out = RunScript(
+      "\\election\n"
+      "\\sweep 0.3,1.5 Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')\n"
+      "\\sweep nope Q() :- Polls('Ann', 'Oct-5'; 'Clinton'; 'Sanders')\n");
+  EXPECT_NE(out.find("'1.5' must be a number in (0, 1]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("'nope' must be a number in (0, 1]"), std::string::npos)
+      << out;
+}
+
+TEST(ShellTest, HelpListsSweep) {
+  const std::string out = RunScript("\\help\n");
+  EXPECT_NE(out.find("\\sweep"), std::string::npos);
+}
+
 TEST(ShellTest, AnalyticsCommandShowsWinnersAndConsensus) {
   const std::string out = RunScript("\\election\n\\analytics Polls\n");
   EXPECT_NE(out.find("winner probabilities"), std::string::npos);

@@ -1,9 +1,11 @@
 /// \file ppref_net_smoke.cc
 /// \brief End-to-end smoke check against a running `ppref_served`:
 /// health-check, binary ping, one binary query verified bit-identical
-/// against local inference, the same query over HTTP/JSON, and a /metrics
-/// scrape. Exits 0 iff every step passed — check.sh's daemon stage and any
-/// post-deploy sanity script run exactly this.
+/// against local inference, the same query over HTTP/JSON, one HTTP
+/// parameter sweep (each point checked against a fresh DP at that
+/// dispersion), and a /metrics scrape. Exits 0 iff every step passed —
+/// check.sh's daemon stage and any post-deploy sanity script run exactly
+/// this.
 ///
 /// Usage:
 ///   ppref_net_smoke --port P [--host H]
@@ -12,9 +14,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "ppref/infer/top_prob.h"
 #include "ppref/net/client.h"
+#include "ppref/rim/insertion.h"
+#include "ppref/rim/rim_model.h"
 #include "ppref/serve/workload.h"
 
 namespace {
@@ -164,18 +169,65 @@ int main(int argc, char** argv) {
     return Fail("http query", "JSON answer not bit-identical");
   }
 
-  // 5. Metrics exposition includes both serve- and net-layer instruments.
+  // 5. One HTTP parameter sweep: the same (structure, pattern) answered at
+  // several dispersions from one cached circuit, each point checked against
+  // a fresh DP with the model re-bound to that φ.
+  const std::vector<double> grid = {0.25, 0.5, 0.75, 1.0};
+  std::string sweep_json =
+      QueryJson(workload.models[0], workload.patterns[0]);
+  sweep_json.pop_back();  // trailing '}' — reopen to append the grid
+  sweep_json += ", \"params\": [";
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    if (k != 0) sweep_json += ", ";
+    char scratch[32];
+    std::snprintf(scratch, sizeof(scratch), "%.17g", grid[k]);
+    sweep_json += scratch;
+  }
+  sweep_json += "]}";
+  StatusOr<net::HttpResult> sweep = net::HttpFetch(
+      options.host, options.port, "POST", "/sweep", sweep_json);
+  if (!sweep.ok()) return Fail("http sweep", sweep.status().ToString());
+  if (sweep->status_code != 200) {
+    return Fail("http sweep", "status " + std::to_string(sweep->status_code) +
+                                  ": " + sweep->body);
+  }
+  const std::size_t probs_at = sweep->body.find("\"probabilities\":[");
+  if (probs_at == std::string::npos) {
+    return Fail("http sweep", "no probabilities in " + sweep->body);
+  }
+  const char* cursor =
+      sweep->body.c_str() + probs_at + std::strlen("\"probabilities\":[");
+  const infer::LabeledRimModel& sweep_model = workload.models[0];
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    char* after = nullptr;
+    const double got = std::strtod(cursor, &after);
+    if (after == cursor) return Fail("http sweep", "short probability list");
+    cursor = *after == ',' ? after + 1 : after;
+    const infer::LabeledRimModel rebound(
+        rim::RimModel(sweep_model.model().reference(),
+                      rim::InsertionFunction::Mallows(sweep_model.size(),
+                                                      grid[k])),
+        sweep_model.labeling());
+    if (got != infer::PatternProb(rebound, workload.patterns[0])) {
+      return Fail("http sweep", "point not bit-identical to a fresh DP");
+    }
+  }
+
+  // 6. Metrics exposition includes both serve- and net-layer instruments.
   StatusOr<net::HttpResult> metrics =
       net::HttpFetch(options.host, options.port, "GET", "/metrics");
   if (!metrics.ok()) return Fail("metrics", metrics.status().ToString());
   if (metrics->status_code != 200 ||
       metrics->body.find("ppref_serve_requests_total") == std::string::npos ||
       metrics->body.find("ppref_net_requests_binary_total") ==
+          std::string::npos ||
+      metrics->body.find("ppref_net_requests_sweep_total") ==
           std::string::npos) {
     return Fail("metrics", "missing expected instruments");
   }
 
   std::printf("ppref_net_smoke: healthz, ping, binary query (bit-identical), "
-              "json query (bit-identical), metrics — all ok\n");
+              "json query (bit-identical), json sweep (bit-identical), "
+              "metrics — all ok\n");
   return 0;
 }

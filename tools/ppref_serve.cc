@@ -8,8 +8,13 @@
 /// Usage:
 ///   ppref_serve [--requests N] [--unique U] [--batch B] [--seed S]
 ///               [--threads T] [--plan-cache N] [--result-cache N]
-///               [--shards N] [--verify N] [--trace-sample PERMYRIAD]
+///               [--circuit-cache N] [--sweep-points N] [--shards N]
+///               [--verify N] [--trace-sample PERMYRIAD]
 ///               [--metrics-out FILE] [--trace-out FILE]
+///
+/// `--sweep-points N` additionally runs a φ-parameter sweep of N points over
+/// each unique model through the circuit path (`PatternProbSweep`), checking
+/// every point bit-identical against a fresh DP at that dispersion.
 ///
 /// `--metrics-out` writes the end-of-run Prometheus text exposition (scrape
 /// it, or point `ppref_top` at it); `--trace-out` writes the sampled trace
@@ -24,7 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "ppref/infer/labeled_rim.h"
 #include "ppref/infer/top_prob.h"
+#include "ppref/rim/insertion.h"
+#include "ppref/rim/rim_model.h"
 #include "ppref/serve/server.h"
 #include "ppref/serve/workload.h"
 
@@ -38,6 +46,7 @@ struct Options {
   std::size_t batch = 32;
   std::uint64_t seed = 1;
   std::size_t verify = 25;
+  std::size_t sweep_points = 0;
   std::string metrics_out;
   std::string trace_out;
   serve::ServerOptions server;
@@ -47,7 +56,8 @@ void PrintUsage(const char* argv0) {
   std::printf(
       "usage: %s [--requests N] [--unique U] [--batch B] [--seed S]\n"
       "          [--threads T] [--plan-cache N] [--result-cache N]\n"
-      "          [--shards N] [--verify N] [--trace-sample PERMYRIAD]\n"
+      "          [--circuit-cache N] [--sweep-points N] [--shards N]\n"
+      "          [--verify N] [--trace-sample PERMYRIAD]\n"
       "          [--metrics-out FILE] [--trace-out FILE]\n",
       argv0);
 }
@@ -86,6 +96,10 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.server.plan_cache_capacity = value;
     } else if (flag == "--result-cache") {
       options.server.result_cache_capacity = value;
+    } else if (flag == "--circuit-cache") {
+      options.server.circuit_cache_capacity = value;
+    } else if (flag == "--sweep-points") {
+      options.sweep_points = value;
     } else if (flag == "--shards") {
       options.server.cache_shards = static_cast<unsigned>(value);
     } else if (flag == "--trace-sample") {
@@ -158,6 +172,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional circuit-path exercise: sweep an even φ grid over every unique
+  // model, checking each point against a fresh DP at that dispersion.
+  std::size_t sweep_checked = 0;
+  if (options.sweep_points > 0) {
+    std::vector<std::vector<double>> params;
+    params.reserve(options.sweep_points);
+    for (std::size_t k = 0; k < options.sweep_points; ++k) {
+      params.push_back({static_cast<double>(k + 1) /
+                        static_cast<double>(options.sweep_points)});
+    }
+    for (std::size_t u = 0; u < workload.models.size(); ++u) {
+      const infer::LabeledRimModel& model = workload.models[u];
+      const infer::LabelPattern& pattern = workload.patterns[u];
+      const auto probabilities =
+          server.PatternProbSweep(model, pattern, params);
+      if (!probabilities.ok()) {
+        std::fprintf(stderr, "sweep failed: %s\n",
+                     probabilities.status().ToString().c_str());
+        return 1;
+      }
+      for (std::size_t k = 0; k < params.size(); ++k) {
+        const infer::LabeledRimModel rebound(
+            rim::RimModel(model.model().reference(),
+                          rim::InsertionFunction::Mallows(model.size(),
+                                                          params[k][0])),
+            model.labeling());
+        if ((*probabilities)[k] != infer::PatternProb(rebound, pattern)) {
+          ++mismatches;
+        }
+        ++sweep_checked;
+      }
+    }
+  }
+
   // Post-join consistency: every EvaluateBatch above has returned, so this
   // snapshot observes all of their updates (not just monitoring-consistent
   // mid-run reads of individual counters).
@@ -198,10 +246,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.result_cache.hits),
               static_cast<unsigned long long>(stats.result_cache.misses),
               static_cast<unsigned long long>(stats.result_cache.evictions));
+  std::printf("%-26s %6llu / %llu (%llu evicted)\n", "circuit cache hit/miss",
+              static_cast<unsigned long long>(stats.circuit_cache.hits),
+              static_cast<unsigned long long>(stats.circuit_cache.misses),
+              static_cast<unsigned long long>(stats.circuit_cache.evictions));
+  std::printf("%-26s %6llu (%llu points)\n", "sweeps",
+              static_cast<unsigned long long>(stats.sweep_requests),
+              static_cast<unsigned long long>(stats.sweep_points));
   std::printf("%-26s %12.2f\n", "compile time [ms]", Milliseconds(stats.compile_ns));
   std::printf("%-26s %12.2f\n", "execute time [ms]", Milliseconds(stats.execute_ns));
+  std::printf("%-26s %12.2f\n", "circuit compile [ms]",
+              Milliseconds(stats.circuit_compile_ns));
+  std::printf("%-26s %12.2f\n", "circuit eval [ms]",
+              Milliseconds(stats.circuit_eval_ns));
   std::printf("%-26s %12llu\n", "in-flight peak", static_cast<unsigned long long>(stats.in_flight_peak));
-  std::printf("\nverified %zu sampled answers against serial inference: %s\n",
-              checked, mismatches == 0 ? "all bit-identical" : "MISMATCH");
+  std::printf("\nverified %zu sampled answers and %zu sweep points against "
+              "serial inference: %s\n",
+              checked, sweep_checked,
+              mismatches == 0 ? "all bit-identical" : "MISMATCH");
   return mismatches == 0 ? 0 : 1;
 }

@@ -7,7 +7,7 @@
 ///                [--max-pattern-nodes N] [--degrade mc|none]
 ///                [--degraded-samples N] [--conn-deadline-ms N]
 ///                [--max-connections N] [--plan-cache N] [--result-cache N]
-///                [--shards N]
+///                [--circuit-cache N] [--shards N]
 ///
 /// `--port 0` (the default) binds an ephemeral port; `--port-file` writes
 /// the bound port as a decimal line once listening, which is how scripted
@@ -48,7 +48,7 @@ void PrintUsage(const char* argv0) {
       "          [--max-pattern-nodes N] [--degrade mc|none]\n"
       "          [--degraded-samples N] [--conn-deadline-ms N]\n"
       "          [--max-connections N] [--plan-cache N] [--result-cache N]\n"
-      "          [--shards N]\n",
+      "          [--circuit-cache N] [--shards N]\n",
       argv0);
 }
 
@@ -103,6 +103,8 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.daemon.server_options.plan_cache_capacity = value;
     } else if (flag == "--result-cache") {
       options.daemon.server_options.result_cache_capacity = value;
+    } else if (flag == "--circuit-cache") {
+      options.daemon.server_options.circuit_cache_capacity = value;
     } else if (flag == "--shards") {
       options.daemon.server_options.cache_shards =
           static_cast<unsigned>(value);

@@ -174,6 +174,10 @@ void Render(const Metrics& metrics) {
   RenderCounterRow(metrics, "requests", "ppref_serve_requests_total");
   RenderCounterRow(metrics, "batches", "ppref_serve_batches_total");
   RenderCounterRow(metrics, "deduped", "ppref_serve_batch_deduped_total");
+  RenderCounterRow(metrics, "sweeps", "ppref_serve_sweep_requests_total");
+  RenderCounterRow(metrics, "sweep points", "ppref_serve_sweep_points_total");
+  RenderCounterRow(metrics, "circuit compiles",
+                   "ppref_serve_circuit_compiles_total");
   RenderCounterRow(metrics, "shed", "ppref_serve_shed_total");
   RenderCounterRow(metrics, "invalid", "ppref_serve_invalid_total");
   RenderCounterRow(metrics, "deadline exceeded",
@@ -193,6 +197,12 @@ void Render(const Metrics& metrics) {
                    "ppref_serve_result_cache_misses");
   RenderCounterRow(metrics, "result evictions",
                    "ppref_serve_result_cache_evictions");
+  RenderCounterRow(metrics, "circuit hits",
+                   "ppref_serve_circuit_cache_hits");
+  RenderCounterRow(metrics, "circuit misses",
+                   "ppref_serve_circuit_cache_misses");
+  RenderCounterRow(metrics, "circuit evictions",
+                   "ppref_serve_circuit_cache_evictions");
 
   // Per-stage latency table. Stage sums are shares of the total stage time
   // — where a request's wall clock actually goes.
@@ -206,6 +216,8 @@ void Render(const Metrics& metrics) {
       {"plan compile", "ppref_serve_stage_plan_compile_ns"},
       {"dp execute", "ppref_serve_stage_dp_execute_ns"},
       {"mc fallback", "ppref_serve_stage_mc_fallback_ns"},
+      {"circuit compile", "ppref_serve_stage_circuit_compile_ns"},
+      {"circuit eval", "ppref_serve_stage_circuit_eval_ns"},
       {"scatter", "ppref_serve_stage_scatter_ns"},
       {"batch e2e", "ppref_serve_batch_latency_ns"},
       {"request e2e", "ppref_serve_request_latency_ns"},
@@ -219,7 +231,7 @@ void Render(const Metrics& metrics) {
     }
   }
   std::printf("\n== latency (per stage) ==\n");
-  std::printf("  %-14s %10s %10s %10s %10s %10s %6s\n", "stage", "count",
+  std::printf("  %-16s %10s %10s %10s %10s %10s %6s\n", "stage", "count",
               "p50", "p95", "p99", "max", "share");
   for (const auto& stage : kStages) {
     const auto it = metrics.find(stage.name);
@@ -229,7 +241,7 @@ void Render(const Metrics& metrics) {
         std::strncmp(stage.name, "ppref_serve_stage_", 18) == 0;
     const double share =
         is_stage && stage_total > 0.0 ? 100.0 * metric.sum / stage_total : 0.0;
-    std::printf("  %-14s %10.0f %10s %10s %10s %10s ", stage.label,
+    std::printf("  %-16s %10.0f %10s %10s %10s %10s ", stage.label,
                 metric.count, FormatNs(Quantile(metric, 0.50)).c_str(),
                 FormatNs(Quantile(metric, 0.95)).c_str(),
                 FormatNs(Quantile(metric, 0.99)).c_str(),
