@@ -14,12 +14,19 @@
 #   3. TSan + fault-injection build (PPREF_FAULT_INJECTION=ON compiles the
 #      chaos hooks into the hot paths); re-run the same suites, which now
 #      include the chaos tests (miss storms, slow plans, mid-DP stops).
-#   4. Daemon smoke: start the real ppref_served on an ephemeral port (from
+#   4. Store crash-recovery under ASan: the `Store*` suites plus the
+#      fork-based `CrashStore*` kill-9 tests (fork is TSan-hostile, so
+#      these run here and are excluded from the TSan regexes by name).
+#   5. Daemon smoke: start the real ppref_served on an ephemeral port (from
 #      the ASan tree, so the daemon itself runs sanitized), health-check +
 #      binary query + JSON query + HTTP /sweep (a circuit-backed
 #      param-sweep, each point verified bit-identical) + /metrics via
 #      ppref_net_smoke, then SIGTERM and require a graceful drain with
 #      exit 0.
+#   6. Warm-restart smoke: the same daemon started with --store-dir,
+#      queried, SIGTERMed (the drain flushes the store), then restarted on
+#      the same directory and re-queried with --expect-store-hits — the
+#      answers must come off disk, bit-identical.
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all), so a
 # green ctest means clean. Each stage prints its wall-clock on completion.
 #
@@ -46,17 +53,21 @@ stage_done "asan+ubsan full suite"
 cmake -B "$TSAN_DIR" -S . -DPPREF_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test --target obs_test \
-  --target net_test --target circuit_test
-ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit'
-stage_done "tsan serve+obs+net+circuit"
+  --target net_test --target circuit_test --target store_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit|^Store'
+stage_done "tsan serve+obs+net+circuit+store"
 
 cmake -B "$CHAOS_DIR" -S . -DPPREF_SANITIZE=thread -DPPREF_FAULT_INJECTION=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
 cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test --target obs_test \
-  --target net_test --target circuit_test
-ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit'
-stage_done "tsan+chaos serve+obs+net+circuit"
+  --target net_test --target circuit_test --target store_test
+ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit|^Store'
+stage_done "tsan+chaos serve+obs+net+circuit+store"
+
+# Store crash-recovery: fork-based kill-9 tests only run un-TSan'd.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^Store|^CrashStore'
+stage_done "asan store crash-recovery"
 
 # Daemon smoke: end-to-end over real TCP with the ASan-built binaries.
 PORT_FILE="$(mktemp)"
@@ -73,3 +84,36 @@ kill -TERM "$SERVED_PID"
 wait "$SERVED_PID"  # set -e: a non-zero (ungraceful) exit fails the gate
 rm -f "$PORT_FILE"
 stage_done "daemon smoke (start, query, drain)"
+
+# Warm-restart smoke: populate a store, drain, restart on the same
+# directory, and require the answers to come off disk bit-identically.
+STORE_DIR="$(mktemp -d)"
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+"$BUILD_DIR/tools/ppref_served" --port 0 --port-file "$PORT_FILE" \
+  --store-dir "$STORE_DIR" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  sleep 0.05
+done
+[[ -s "$PORT_FILE" ]] || { echo "ppref_served (store) never wrote its port"; kill "$SERVED_PID"; exit 1; }
+"$BUILD_DIR/tools/ppref_net_smoke" --port "$(cat "$PORT_FILE")"
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"  # graceful drain also flushes the store
+
+rm -f "$PORT_FILE"
+"$BUILD_DIR/tools/ppref_served" --port 0 --port-file "$PORT_FILE" \
+  --store-dir "$STORE_DIR" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  sleep 0.05
+done
+[[ -s "$PORT_FILE" ]] || { echo "restarted ppref_served never wrote its port"; kill "$SERVED_PID"; exit 1; }
+"$BUILD_DIR/tools/ppref_net_smoke" --port "$(cat "$PORT_FILE")" --expect-store-hits
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+rm -f "$PORT_FILE"
+rm -rf "$STORE_DIR"
+stage_done "daemon warm-restart smoke (store populate, drain, restart, warm hits)"

@@ -80,6 +80,23 @@ Circuit CircuitBuilder::Build() && {
   return std::move(circuit_);
 }
 
+Circuit Circuit::FromBorrowedArena(const Node* nodes, std::size_t count,
+                                   std::vector<double> consts,
+                                   std::vector<unsigned> prefix_steps,
+                                   NodeId root, unsigned items,
+                                   std::shared_ptr<const void> owner) {
+  PPREF_CHECK(nodes != nullptr && root < count);
+  Circuit c;
+  c.arena_ = nodes;
+  c.arena_size_ = count;
+  c.arena_owner_ = std::move(owner);
+  c.consts_ = std::move(consts);
+  c.prefix_steps_ = std::move(prefix_steps);
+  c.root_ = root;
+  c.items_ = items;
+  return c;
+}
+
 namespace {
 
 /// Builds the Π prefix rows a binding needs, by the same left-to-right
@@ -117,12 +134,12 @@ double Circuit::Evaluate(const rim::InsertionFunction& pi,
   FillPrefixRows(prefix_steps_, pi, /*lanes=*/1, /*lane=*/0,
                  scratch.prefix_offset_, scratch.prefix_.data());
 
-  scratch.values_.resize(nodes_.size());
+  scratch.values_.resize(size());
   double* __restrict v = scratch.values_.data();
   const double* prefix = scratch.prefix_.data();
   const std::size_t* offsets = scratch.prefix_offset_.data();
-  const Node* nodes = nodes_.data();
-  const std::size_t count = nodes_.size();
+  const Node* nodes = arena();
+  const std::size_t count = size();
   for (std::size_t i = 0; i < count; ++i) {
     const Node node = nodes[i];
     switch (node.op) {
@@ -172,12 +189,12 @@ void Circuit::EvaluateMany(const rim::InsertionFunction* pis,
                      scratch.prefix_offset_, scratch.prefix_.data());
     }
 
-    scratch.values_.resize(nodes_.size() * W);
+    scratch.values_.resize(size() * W);
     double* __restrict v = scratch.values_.data();
     const double* prefix = scratch.prefix_.data();
     const std::size_t* offsets = scratch.prefix_offset_.data();
-    const Node* nodes = nodes_.data();
-    const std::size_t node_count = nodes_.size();
+    const Node* nodes = arena();
+    const std::size_t node_count = size();
     // Each lane runs the exact scalar op sequence on its own values; the
     // inner fixed-width loops are contiguous and branch-free, so the block
     // pass is one arena traversal for W bindings instead of W.

@@ -40,6 +40,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -79,8 +80,25 @@ class EvalScratch {
 
 /// A compiled, immutable arithmetic circuit. Thread-safe to share; each
 /// evaluating thread brings its own `EvalScratch`.
+///
+/// The node arena is either owned (built by `CircuitBuilder`) or *borrowed*
+/// from external storage via `FromBorrowedArena` — the store's zero-copy
+/// load path hands the arena straight out of an mmap'ed segment, with a
+/// keep-alive `shared_ptr` pinning the mapping for the circuit's lifetime.
+/// Evaluation is identical either way: the records are the on-disk bytes.
 class Circuit {
  public:
+  /// One packed arena record; four per cache line. The layout is part of
+  /// the store's on-disk format (store/format.h) — records are written and
+  /// mapped back verbatim.
+  struct Node {
+    NodeId a;
+    NodeId b;
+    NodeId c;
+    Op op;
+  };
+  static_assert(sizeof(Node) == 16, "arena records are 16 bytes on disk");
+
   /// Re-binds the leaves from `pi` and evaluates the circuit. `pi.size()`
   /// must equal `items()`. Returns the root value — bit-identical to the
   /// DP execution the circuit was recorded from, run against `pi`.
@@ -93,31 +111,50 @@ class Circuit {
   void EvaluateMany(const rim::InsertionFunction* pis, std::size_t count,
                     EvalScratch& scratch, double* out) const;
 
+  /// Assembles a circuit over a borrowed node arena. `nodes` must stay
+  /// valid for the circuit's lifetime; `owner` pins the backing storage
+  /// (an mmap'ed segment). The caller is responsible for having validated
+  /// the arena (store/codec.cc does: ops known, operands topological and
+  /// in range) — evaluation trusts it like a built one.
+  static Circuit FromBorrowedArena(const Node* nodes, std::size_t count,
+                                   std::vector<double> consts,
+                                   std::vector<unsigned> prefix_steps,
+                                   NodeId root, unsigned items,
+                                   std::shared_ptr<const void> owner);
+
   /// Number of items m the circuit was compiled for (leaves reference
   /// steps t < m).
   unsigned items() const { return items_; }
 
+  /// The node arena in topological order (owned or borrowed).
+  const Node* arena() const {
+    return arena_ != nullptr ? arena_ : nodes_.data();
+  }
+
   /// Total node count (arena size).
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const {
+    return arena_ != nullptr ? arena_size_ : nodes_.size();
+  }
+
+  /// Read accessors for serialization (store/codec.cc).
+  const std::vector<double>& consts() const { return consts_; }
+  const std::vector<unsigned>& prefix_steps() const { return prefix_steps_; }
+  NodeId root() const { return root_; }
 
   /// Approximate resident bytes of the arena — the circuit-cache weight.
+  /// A borrowed arena still counts: its pages are resident via the mapping.
   std::size_t MemoryBytes() const {
-    return nodes_.size() * sizeof(Node) + consts_.size() * sizeof(double) +
+    return size() * sizeof(Node) + consts_.size() * sizeof(double) +
            prefix_steps_.size() * sizeof(unsigned);
   }
 
  private:
   friend class CircuitBuilder;
 
-  /// One packed arena record; four per cache line.
-  struct Node {
-    NodeId a;
-    NodeId b;
-    NodeId c;
-    Op op;
-  };
-
-  std::vector<Node> nodes_;
+  std::vector<Node> nodes_;             // owned arena (empty when borrowed)
+  const Node* arena_ = nullptr;         // borrowed arena (null when owned)
+  std::size_t arena_size_ = 0;
+  std::shared_ptr<const void> arena_owner_;  // keep-alive for `arena_`
   std::vector<double> consts_;
   std::vector<unsigned> prefix_steps_;  // sorted distinct steps of kPrefixDiff
   NodeId root_ = 0;

@@ -1,0 +1,36 @@
+#include "ppref/common/crc32.h"
+
+#include <array>
+
+namespace ppref {
+
+namespace {
+
+/// The reflected CRC-32 table for polynomial 0xEDB88320, built at compile
+/// time (256 entries, one per byte value).
+constexpr std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t value = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[byte] = value;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                          std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = (state >> 8) ^ kTable[(state ^ bytes[i]) & 0xFFu];
+  }
+  return state;
+}
+
+}  // namespace ppref

@@ -1,0 +1,43 @@
+/// \file crc32.h
+/// \brief CRC-32 (ISO-HDLC / IEEE 802.3, polynomial 0xEDB88320, reflected,
+/// init and final XOR 0xFFFFFFFF) — the zlib/`cksum -a crc32b` checksum.
+///
+/// One shared implementation for every layer that needs cheap corruption
+/// detection: the on-disk store's per-record checksums (store/format.h) and
+/// the frame-payload integrity sweeps in the net tests. Incremental use:
+///
+///   std::uint32_t crc = Crc32Init();
+///   crc = Crc32Update(crc, chunk.data(), chunk.size());
+///   crc = Crc32Final(crc);
+///
+/// or one-shot via `Crc32(data, size)`. The standard check value holds:
+/// `Crc32("123456789", 9) == 0xCBF43926`.
+
+#ifndef PPREF_COMMON_CRC32_H_
+#define PPREF_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppref {
+
+/// Starting state for incremental computation.
+inline constexpr std::uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+/// Folds `size` bytes at `data` into the running state.
+std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                          std::size_t size);
+
+/// Final XOR; turns a running state into the checksum value.
+inline constexpr std::uint32_t Crc32Final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot checksum of a buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t size) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, size));
+}
+
+}  // namespace ppref
+
+#endif  // PPREF_COMMON_CRC32_H_

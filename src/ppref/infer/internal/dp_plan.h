@@ -28,6 +28,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ppref/common/deadline.h"
@@ -112,7 +115,26 @@ class DpPlan {
   const LabelPattern& pattern() const { return *pattern_; }
   const std::vector<LabelId>& tracked() const { return tracked_; }
 
+  /// Serializes the compiled γ-independent state — everything the
+  /// constructor derives beyond what (model, pattern, tracked) define —
+  /// for the persistent store (store/codec.h). Little-endian, restored by
+  /// `FromDerived`; the record-level CRC and format version live in the
+  /// store's segment layer, not here.
+  void AppendDerived(std::string& out) const;
+
+  /// Rebuilds a plan from previously serialized derived state, skipping
+  /// the compile. `model` and `pattern` are borrowed exactly like the
+  /// compiling constructor's. Returns nullopt when the bytes are
+  /// inconsistent with the model/pattern (format drift, or corruption the
+  /// segment CRC could not see) — callers fall back to compiling; a
+  /// restore never aborts.
+  static std::optional<DpPlan> FromDerived(const LabeledRimModel& model,
+                                           const LabelPattern& pattern,
+                                           std::vector<LabelId> tracked,
+                                           std::string_view derived);
+
  private:
+  DpPlan() = default;  // FromDerived fills every member
   /// The shared Fig. 5 / Fig. 6 scan. Leaves the aggregated final states in
   /// `scratch.current_`; returns false when γ is infeasible. Throws via
   /// `control` (when non-null) once a stop condition holds.
@@ -146,14 +168,14 @@ class DpPlan {
   /// Decodes the α/β slots of `state` into `scratch.values_`.
   void DecodeTracked(const std::uint16_t* state, Scratch& scratch) const;
 
-  const LabeledRimModel* model_;
-  const LabelPattern* pattern_;
+  const LabeledRimModel* model_ = nullptr;
+  const LabelPattern* pattern_ = nullptr;
   std::vector<LabelId> tracked_;
-  unsigned m_;
-  unsigned k_;
-  unsigned tracked_count_;
-  unsigned state_size_;  // k δ-slots + 2·tracked α/β-slots
-  bool acyclic_;
+  unsigned m_ = 0;
+  unsigned k_ = 0;
+  unsigned tracked_count_ = 0;
+  unsigned state_size_ = 0;  // k δ-slots + 2·tracked α/β-slots
+  bool acyclic_ = false;
   std::vector<std::vector<bool>> reach_;
   // item -> pattern node indices whose label the item carries.
   std::vector<std::vector<unsigned>> item_pattern_nodes_;

@@ -24,6 +24,8 @@ const char* StageName(Stage stage) {
       return "circuit_compile";
     case Stage::kCircuitEval:
       return "circuit_eval";
+    case Stage::kStoreLoad:
+      return "store_load";
   }
   return "unknown";
 }

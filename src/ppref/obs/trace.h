@@ -49,8 +49,9 @@ enum class Stage : std::uint8_t {
   kScatter,         // result publication + response scatter
   kCircuitCompile,  // compiling an arithmetic circuit (circuit-cache miss)
   kCircuitEval,     // evaluating a cached circuit over a parameter sweep
+  kStoreLoad,       // loading + decoding a record from the persistent store
 };
-inline constexpr unsigned kStageCount = 10;
+inline constexpr unsigned kStageCount = 11;
 
 /// Stable lower_snake_case stage names for exposition.
 const char* StageName(Stage stage);

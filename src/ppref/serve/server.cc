@@ -17,6 +17,8 @@
 #include "ppref/infer/top_prob_minmax.h"
 #include "ppref/obs/export.h"
 #include "ppref/serve/fingerprint.h"
+#include "ppref/store/codec.h"
+#include "ppref/store/store.h"
 
 namespace ppref::serve {
 namespace {
@@ -64,8 +66,35 @@ struct Server::CachedPlan {
         tracked(tracked_in),
         plan(model, pattern, tracked) {}
 
+  /// Restores from a decoded store record: the owned members are moved into
+  /// place first (their addresses are stable from here on), then the plan is
+  /// rebuilt against them — `DpPlan::FromDerived` borrows model and pattern
+  /// exactly like the compiling constructor. When the derived bytes do not
+  /// match the decoded inputs (format drift), the plan is compiled fresh
+  /// from them instead; `restored` reports which path ran.
+  CachedPlan(store::DecodedPlan decoded, bool& restored)
+      : model(std::move(decoded.model)),
+        pattern(std::move(decoded.pattern)),
+        tracked(std::move(decoded.tracked)),
+        plan(Rebuild(model, pattern, tracked, decoded.derived, restored)) {}
+
   CachedPlan(const CachedPlan&) = delete;
   CachedPlan& operator=(const CachedPlan&) = delete;
+
+ private:
+  static infer::internal::DpPlan Rebuild(
+      const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+      const std::vector<infer::LabelId>& tracked, std::string_view derived,
+      bool& restored) {
+    if (auto plan =
+            infer::internal::DpPlan::FromDerived(model, pattern, tracked,
+                                                 derived)) {
+      restored = true;
+      return *std::move(plan);
+    }
+    restored = false;
+    return infer::internal::DpPlan(model, pattern, tracked);
+  }
 };
 
 /// A compiled arithmetic circuit, cached by (model structure, labeling,
@@ -124,6 +153,13 @@ struct Server::Instruments {
   obs::Counter& degraded;
   obs::Counter& internal_errors;
 
+  // Persistent-store counters (all stay zero without a configured store).
+  obs::Counter& store_hits;
+  obs::Counter& store_misses;
+  obs::Counter& store_corrupt;
+  obs::Counter& store_load_ns;
+  obs::Counter& store_writes;
+
   // Scrape-time gauges, synced from their sources by SyncScrapeGauges.
   obs::Gauge& in_flight;
   obs::Gauge& in_flight_peak;
@@ -140,6 +176,11 @@ struct Server::Instruments {
   obs::Gauge& circuit_cache_insertions;
   obs::Gauge& circuit_cache_evictions;
   obs::Gauge& traces_published;
+  obs::Gauge& store_records;
+  obs::Gauge& store_segments;
+  obs::Gauge& store_mapped_bytes;
+  obs::Gauge& store_disk_bytes;
+  obs::Gauge& store_last_flush_age_ns;
 
   // Latency histograms (nanoseconds).
   obs::Histogram& request_ns;
@@ -195,6 +236,21 @@ struct Server::Instruments {
         internal_errors(
             r.GetCounter("ppref_serve_internal_errors_total",
                          "Unexpected exceptions mapped to kInternal")),
+        store_hits(r.GetCounter(
+            "ppref_serve_store_hits_total",
+            "Cache misses answered by decoding a persistent-store record")),
+        store_misses(r.GetCounter(
+            "ppref_serve_store_misses_total",
+            "Cache misses the persistent store could not answer either")),
+        store_corrupt(r.GetCounter(
+            "ppref_serve_store_corrupt_total",
+            "Persistent-store payloads that failed to decode")),
+        store_load_ns(r.GetCounter(
+            "ppref_serve_store_load_ns_total",
+            "Nanoseconds spent decoding persistent-store records")),
+        store_writes(r.GetCounter(
+            "ppref_serve_store_writes_total",
+            "Records written behind to the persistent store")),
         in_flight(r.GetGauge("ppref_serve_in_flight",
                              "Requests currently being served")),
         in_flight_peak(r.GetGauge("ppref_serve_in_flight_peak",
@@ -230,6 +286,18 @@ struct Server::Instruments {
             r.GetGauge("ppref_serve_traces_published",
                        "Trace records ever published (including "
                        "overwritten ones)")),
+        store_records(r.GetGauge("ppref_serve_store_records",
+                                 "Live records in the persistent store")),
+        store_segments(r.GetGauge("ppref_serve_store_segments",
+                                  "Persistent-store segment files")),
+        store_mapped_bytes(
+            r.GetGauge("ppref_serve_store_mapped_bytes",
+                       "Persistent-store bytes served via mmap")),
+        store_disk_bytes(r.GetGauge("ppref_serve_store_disk_bytes",
+                                    "Persistent-store bytes on disk")),
+        store_last_flush_age_ns(
+            r.GetGauge("ppref_serve_store_last_flush_age_ns",
+                       "Nanoseconds since the store's last flush")),
         request_ns(r.GetHistogram("ppref_serve_request_latency_ns",
                                   "End-to-end request latency")),
         batch_ns(r.GetHistogram("ppref_serve_batch_latency_ns",
@@ -387,7 +455,88 @@ std::uint64_t Server::RetryAfterHintNs() const {
 std::shared_ptr<const Server::CachedResult> Server::LookupResult(
     std::uint64_t result_key) {
   if (PPREF_FAULT_FORCED_RESULT_MISS()) return nullptr;
-  return result_cache_.Get(result_key);
+  if (auto hit = result_cache_.Get(result_key)) return hit;
+  if (options_.store == nullptr) return nullptr;
+  const auto fetch = options_.store->Get(store::RecordKind::kResult, result_key);
+  if (!fetch.has_value()) {
+    instruments_->store_misses.Inc();
+    return nullptr;
+  }
+  const std::uint64_t start = MonotonicNowNs();
+  auto decoded = store::DecodeResultPayload(fetch->bytes);
+  if (!decoded.has_value()) {
+    instruments_->store_corrupt.Inc();
+    instruments_->store_misses.Inc();
+    return nullptr;
+  }
+  instruments_->store_load_ns.Inc(MonotonicNowNs() - start);
+  instruments_->store_hits.Inc();
+  // Promote into the LRU so the next lookup skips the decode.
+  return result_cache_.Put(
+      result_key,
+      std::make_shared<const CachedResult>(CachedResult{
+          decoded->probability, std::move(decoded->top_matching)}));
+}
+
+std::shared_ptr<const Server::CachedPlan> Server::LoadPlanFromStore(
+    std::uint64_t plan_key, obs::TraceRecord* trace) {
+  if (options_.store == nullptr) return nullptr;
+  const auto fetch = options_.store->Get(store::RecordKind::kPlan, plan_key);
+  if (!fetch.has_value()) {
+    instruments_->store_misses.Inc();
+    return nullptr;
+  }
+  const obs::TraceSpan span(trace, obs::Stage::kStoreLoad);
+  const std::uint64_t start = MonotonicNowNs();
+  auto decoded = store::DecodePlanPayload(fetch->bytes);
+  if (!decoded.has_value()) {
+    instruments_->store_corrupt.Inc();
+    instruments_->store_misses.Inc();
+    return nullptr;
+  }
+  // A plan record is self-contained: the decoded model/pattern/tracked plus
+  // the derived state rebuild the DpPlan without compiling (the normal
+  // path); derived bytes from a drifted build fall back to compiling from
+  // the decoded inputs, which is still correct — just not fast.
+  bool restored = false;
+  auto entry = std::make_shared<const CachedPlan>(*std::move(decoded), restored);
+  instruments_->store_load_ns.Inc(MonotonicNowNs() - start);
+  if (!restored) instruments_->store_corrupt.Inc();
+  instruments_->store_hits.Inc();
+  return entry;
+}
+
+std::shared_ptr<const Server::CachedCircuit> Server::LoadCircuitFromStore(
+    std::uint64_t circuit_key, obs::TraceRecord* trace) {
+  if (options_.store == nullptr) return nullptr;
+  auto fetch = options_.store->Get(store::RecordKind::kCircuit, circuit_key);
+  if (!fetch.has_value()) {
+    instruments_->store_misses.Inc();
+    return nullptr;
+  }
+  const obs::TraceSpan span(trace, obs::Stage::kStoreLoad);
+  const std::uint64_t start = MonotonicNowNs();
+  // The fetch's owner rides into the circuit: a record served out of a
+  // mapped segment is borrowed zero-copy, and the mapping stays alive for
+  // as long as the cached circuit does.
+  auto circuit =
+      store::DecodeCircuitPayload(fetch->bytes, std::move(fetch->owner));
+  if (!circuit.has_value()) {
+    instruments_->store_corrupt.Inc();
+    instruments_->store_misses.Inc();
+    return nullptr;
+  }
+  instruments_->store_load_ns.Inc(MonotonicNowNs() - start);
+  instruments_->store_hits.Inc();
+  return std::make_shared<const CachedCircuit>(*std::move(circuit));
+}
+
+void Server::StoreResult(std::uint64_t result_key, const CachedResult& result) {
+  if (options_.store == nullptr) return;
+  instruments_->store_writes.Inc();
+  options_.store->Put(
+      store::RecordKind::kResult, result_key,
+      store::EncodeResultPayload(result.probability, result.top_matching));
 }
 
 std::shared_ptr<const Server::CachedPlan> Server::PlanFor(
@@ -397,6 +546,7 @@ std::shared_ptr<const Server::CachedPlan> Server::PlanFor(
   const auto compile = [&]() -> std::shared_ptr<const CachedPlan> {
     PPREF_FAULT_PLAN_COMPILE();
     if (control != nullptr) control->Check();
+    if (auto loaded = LoadPlanFromStore(plan_key, trace)) return loaded;
     const obs::TraceSpan span(trace, obs::Stage::kPlanCompile);
     const std::uint64_t start = MonotonicNowNs();
     auto entry = std::make_shared<const CachedPlan>(model, pattern, tracked);
@@ -404,6 +554,12 @@ std::shared_ptr<const Server::CachedPlan> Server::PlanFor(
     instruments_->compile_ns.Inc(elapsed);
     if (options_.latency_histograms) {
       instruments_->plan_compile_ns.Record(elapsed);
+    }
+    if (options_.store != nullptr) {
+      instruments_->store_writes.Inc();
+      options_.store->Put(store::RecordKind::kPlan, plan_key,
+                          store::EncodePlanPayload(entry->model, entry->pattern,
+                                                   entry->tracked, entry->plan));
     }
     return entry;
   };
@@ -428,6 +584,7 @@ std::shared_ptr<const Server::CachedCircuit> Server::CircuitFor(
     obs::TraceRecord* trace) {
   const auto compile = [&]() -> std::shared_ptr<const CachedCircuit> {
     if (control != nullptr) control->Check();
+    if (auto loaded = LoadCircuitFromStore(circuit_key, trace)) return loaded;
     // Circuits compile *from* plans, so a sweep warms the plan cache for
     // later point queries against the same (model, pattern) — and reuses a
     // plan such queries already compiled.
@@ -443,6 +600,11 @@ std::shared_ptr<const Server::CachedCircuit> Server::CircuitFor(
     instruments_->circuit_compile_ns.Inc(elapsed);
     if (options_.latency_histograms) {
       instruments_->circuit_compile_hist_ns.Record(elapsed);
+    }
+    if (options_.store != nullptr) {
+      instruments_->store_writes.Inc();
+      options_.store->Put(store::RecordKind::kCircuit, circuit_key,
+                          store::EncodeCircuitPayload(entry->circuit));
     }
     return entry;
   };
@@ -610,15 +772,16 @@ double Server::PatternProbability(const infer::LabeledRimModel& model,
   const InFlight guard(*this, 1);
   const std::uint64_t plan_key = PlanKey(model, pattern, kNoTracked);
   const std::uint64_t result_key = HashCombine(plan_key, kKeyPatternProb);
-  if (auto hit = result_cache_.Get(result_key)) return hit->probability;
+  if (auto hit = LookupResult(result_key)) return hit->probability;
   Request request;
   request.kind = Request::Kind::kPatternProb;
   request.model = &model;
   request.pattern = &pattern;
-  return result_cache_
-      .Put(result_key,
-           std::make_shared<const CachedResult>(Compute(request, plan_key)))
-      ->probability;
+  const std::shared_ptr<const CachedResult> value = result_cache_.Put(
+      result_key,
+      std::make_shared<const CachedResult>(Compute(request, plan_key)));
+  StoreResult(result_key, *value);
+  return value->probability;
 }
 
 std::optional<std::pair<infer::Matching, double>> Server::MostProbableTopMatching(
@@ -627,7 +790,7 @@ std::optional<std::pair<infer::Matching, double>> Server::MostProbableTopMatchin
   const InFlight guard(*this, 1);
   const std::uint64_t plan_key = PlanKey(model, pattern, kNoTracked);
   const std::uint64_t result_key = HashCombine(plan_key, kKeyTopMatching);
-  std::shared_ptr<const CachedResult> value = result_cache_.Get(result_key);
+  std::shared_ptr<const CachedResult> value = LookupResult(result_key);
   if (!value) {
     Request request;
     request.kind = Request::Kind::kTopMatching;
@@ -636,6 +799,7 @@ std::optional<std::pair<infer::Matching, double>> Server::MostProbableTopMatchin
     value = result_cache_.Put(
         result_key,
         std::make_shared<const CachedResult>(Compute(request, plan_key)));
+    StoreResult(result_key, *value);
   }
   if (!value->top_matching.has_value()) return std::nullopt;
   return std::make_pair(*value->top_matching, value->probability);
@@ -653,7 +817,7 @@ double Server::PatternMinMaxProbability(
   const std::uint64_t result_key =
       HashCombine(HashCombine(plan_key, kKeyMinMax), condition_fingerprint);
   if (cacheable) {
-    if (auto hit = result_cache_.Get(result_key)) return hit->probability;
+    if (auto hit = LookupResult(result_key)) return hit->probability;
   }
   const std::shared_ptr<const CachedPlan> plan =
       PlanFor(model, pattern, tracked, plan_key);
@@ -666,8 +830,9 @@ double Server::PatternMinMaxProbability(
   instruments_->execute_ns.Inc(elapsed);
   if (options_.latency_histograms) instruments_->dp_execute_ns.Record(elapsed);
   if (cacheable) {
-    result_cache_.Put(result_key, std::make_shared<const CachedResult>(
-                                      CachedResult{probability, std::nullopt}));
+    const CachedResult cached{probability, std::nullopt};
+    result_cache_.Put(result_key, std::make_shared<const CachedResult>(cached));
+    StoreResult(result_key, cached);
   }
   return probability;
 }
@@ -959,6 +1124,7 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
     // Copy, not move: the scatter loop below still reads this outcome.
     result_cache_.Put(units[misses[i]].result_key,
                       std::make_shared<const CachedResult>(outcomes[i].result));
+    StoreResult(units[misses[i]].result_key, outcomes[i].result);
   }
 
   // Scatter answers back in request order. Shed and invalid requests
@@ -1043,6 +1209,11 @@ ServerStats Server::Snapshot() const {
   stats.execute_ns = instruments_->execute_ns.Value();
   stats.circuit_compile_ns = instruments_->circuit_compile_ns.Value();
   stats.circuit_eval_ns = instruments_->circuit_eval_ns.Value();
+  stats.store_hits = instruments_->store_hits.Value();
+  stats.store_misses = instruments_->store_misses.Value();
+  stats.store_corrupt = instruments_->store_corrupt.Value();
+  stats.store_load_ns = instruments_->store_load_ns.Value();
+  stats.store_writes = instruments_->store_writes.Value();
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   stats.in_flight_peak = in_flight_peak_.load(std::memory_order_relaxed);
   stats.shed = instruments_->shed.Value();
@@ -1079,6 +1250,15 @@ void Server::SyncScrapeGauges() const {
       static_cast<std::int64_t>(circuit.evictions));
   in.traces_published.Set(
       static_cast<std::int64_t>(tracer_.total_published()));
+  if (options_.store != nullptr) {
+    const store::StoreStats st = options_.store->stats();
+    in.store_records.Set(static_cast<std::int64_t>(st.records));
+    in.store_segments.Set(static_cast<std::int64_t>(st.segments));
+    in.store_mapped_bytes.Set(static_cast<std::int64_t>(st.mapped_bytes));
+    in.store_disk_bytes.Set(static_cast<std::int64_t>(st.disk_bytes));
+    in.store_last_flush_age_ns.Set(
+        static_cast<std::int64_t>(st.last_flush_age_ns));
+  }
 }
 
 namespace {

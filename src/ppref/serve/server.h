@@ -96,6 +96,10 @@
 #include "ppref/serve/lru_cache.h"
 #include "ppref/serve/stats.h"
 
+namespace ppref::store {
+class Store;
+}
+
 namespace ppref::serve {
 
 /// Server tuning knobs.
@@ -146,6 +150,16 @@ struct ServerOptions {
   Degradation degradation = Degradation::kNone;
   /// Sample budget of one Monte-Carlo fallback.
   unsigned degraded_samples = 4096;
+
+  /// Optional persistent store (ppref/store/) backing all three caches.
+  /// Borrowed; must outlive the server. When set, a cache miss consults the
+  /// store before computing (mmap-served records make a restarted server
+  /// warm from disk), and freshly computed plans / circuits / exact results
+  /// are written behind for the next restart. A store record that fails to
+  /// decode counts as a miss plus a corruption counter — never an error on
+  /// the serving path. nullptr (the default) preserves the purely
+  /// in-memory behavior bit for bit.
+  store::Store* store = nullptr;
 
   // Observability (see ppref/obs/):
 
@@ -333,8 +347,20 @@ class Server {
   /// Heuristic retry-after hint: observed mean per-request busy time.
   std::uint64_t RetryAfterHintNs() const;
 
-  /// Result-cache probe (respects forced-miss fault injection).
+  /// Result-cache probe (respects forced-miss fault injection). On an LRU
+  /// miss with a store configured, consults the store and promotes a decoded
+  /// record into the cache.
   std::shared_ptr<const CachedResult> LookupResult(std::uint64_t result_key);
+
+  // Store integration (no-ops when options_.store is null). The Load*
+  // helpers return nullptr on miss or failed decode — the caller computes
+  // as if the store did not exist.
+  std::shared_ptr<const CachedPlan> LoadPlanFromStore(
+      std::uint64_t plan_key, obs::TraceRecord* trace);
+  std::shared_ptr<const CachedCircuit> LoadCircuitFromStore(
+      std::uint64_t circuit_key, obs::TraceRecord* trace);
+  /// Write-behind of one exact answer.
+  void StoreResult(std::uint64_t result_key, const CachedResult& result);
 
   /// Looks up or compiles the plan for (model, pattern, tracked), timing
   /// compilation into the compile instruments. Single-flight per key; a

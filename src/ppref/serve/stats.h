@@ -62,6 +62,19 @@ struct ServerStats {
   /// Nanoseconds spent executing DPs (result-cache misses).
   std::uint64_t execute_ns = 0;
 
+  // Persistent store (all zero unless `ServerOptions::store` is set):
+
+  /// Store records loaded and decoded on a cache miss (warm-from-disk).
+  std::uint64_t store_hits = 0;
+  /// Cache misses the store could not answer either.
+  std::uint64_t store_misses = 0;
+  /// Store payloads that failed to decode (treated as misses).
+  std::uint64_t store_corrupt = 0;
+  /// Nanoseconds spent decoding store records.
+  std::uint64_t store_load_ns = 0;
+  /// Records written behind to the store (plans, circuits, exact results).
+  std::uint64_t store_writes = 0;
+
   /// Requests currently being served (admitted, not yet answered).
   std::uint64_t in_flight = 0;
   /// High-water mark of `in_flight`.

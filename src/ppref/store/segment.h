@@ -1,0 +1,125 @@
+/// \file segment.h
+/// \brief One PPST segment file: append-only writer and mmap'ed reader.
+///
+/// Segments are the store's unit of durability (format.h). A `SegmentWriter`
+/// appends CRC'd records to a fresh file and fsyncs on demand; once sealed,
+/// the file never changes and a `MappedSegment` serves its records straight
+/// out of an `mmap` — record payloads are 16-byte aligned in the mapping, so
+/// flat payloads (circuit node arenas) are borrowed, not copied.
+///
+/// Recovery contract (`MappedSegment::Open`):
+///   - a file shorter than the file header is an empty torn stub: it opens
+///     successfully with zero records and `valid_bytes() == 0` (the store
+///     deletes such stubs);
+///   - a bad magic or format version is `Status::kInternal` — the file is
+///     not ours to truncate, and the caller must refuse to serve from it
+///     (never abort: a corrupted store degrades to cold start);
+///   - records are scanned front to back; the first record whose header
+///     shape, kind, reserved bytes, or CRC32 fails to validate ends the
+///     valid prefix, the file is truncated to it, and everything before it
+///     is served. A torn tail from a crash mid-append is exactly this case.
+
+#ifndef PPREF_STORE_SEGMENT_H_
+#define PPREF_STORE_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ppref/common/status.h"
+#include "ppref/store/format.h"
+
+namespace ppref::store {
+
+/// One decoded record location inside a mapped segment. `payload` points
+/// into the mapping and stays valid while the segment is alive.
+struct RecordView {
+  RecordKind kind;
+  std::uint64_t key;
+  const char* payload;
+  std::uint32_t size;
+};
+
+/// Serializes one record (header + payload + alignment padding) and appends
+/// it to `out`. `out.size()` must be record-aligned on entry (it is after
+/// any previous AppendRecord). Shared by the writer and by tests that craft
+/// segment images byte by byte.
+void AppendRecord(std::string& out, RecordKind kind, std::uint64_t key,
+                  std::string_view payload);
+
+/// An immutable, mmap'ed segment. Thread-safe after construction (readers
+/// only touch const state); destruction unmaps, so lookups hand out a
+/// shared_ptr keep-alive to the segment alongside any borrowed payload.
+class MappedSegment {
+ public:
+  /// Opens, validates, scans, and truncates a torn tail (see file comment).
+  static StatusOr<std::shared_ptr<MappedSegment>> Open(std::string path);
+
+  ~MappedSegment();
+
+  MappedSegment(const MappedSegment&) = delete;
+  MappedSegment& operator=(const MappedSegment&) = delete;
+
+  /// All valid records, in file (= append) order.
+  const std::vector<RecordView>& records() const { return records_; }
+
+  /// Bytes of the valid prefix (what the file holds after truncation).
+  std::uint64_t valid_bytes() const { return valid_bytes_; }
+
+  /// Bytes discarded from the tail at open (0 for a clean file).
+  std::uint64_t torn_bytes() const { return torn_bytes_; }
+
+  /// Resident mapping size (== valid_bytes, 0 for an empty stub).
+  std::uint64_t mapped_bytes() const { return map_size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit MappedSegment(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  const char* map_ = nullptr;
+  std::uint64_t map_size_ = 0;
+  std::uint64_t valid_bytes_ = 0;
+  std::uint64_t torn_bytes_ = 0;
+  std::vector<RecordView> records_;
+};
+
+/// The append-only active segment. Single-writer (the store's flush thread);
+/// `Append` buffers nothing — each record is written through to the file —
+/// while `Sync` batches the fsync cost across a flush cycle.
+class SegmentWriter {
+ public:
+  /// Creates the file (must not exist) and writes the file header.
+  static StatusOr<std::unique_ptr<SegmentWriter>> Create(std::string path);
+
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Appends one record. kInternal on a short write (disk full).
+  Status Append(RecordKind kind, std::uint64_t key, std::string_view payload);
+
+  /// fsyncs everything appended so far.
+  Status Sync();
+
+  /// Bytes written, file header included.
+  std::uint64_t bytes() const { return bytes_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentWriter(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd), bytes_(kFileHeaderBytes) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace ppref::store
+
+#endif  // PPREF_STORE_SEGMENT_H_

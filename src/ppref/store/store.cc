@@ -1,0 +1,388 @@
+#include "ppref/store/store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ppref/common/clock.h"
+
+namespace ppref::store {
+
+namespace {
+
+constexpr const char kSegmentPrefix[] = "seg-";
+constexpr const char kSegmentSuffix[] = ".ppst";
+
+/// Parses "seg-000042.ppst" -> 42; nullopt for anything else.
+std::optional<std::uint64_t> ParseSegmentName(const std::string& name) {
+  const std::size_t prefix_len = sizeof(kSegmentPrefix) - 1;
+  const std::size_t suffix_len = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kSegmentPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSegmentSuffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty()) return std::nullopt;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+/// Bytes one record occupies on disk (header + payload + padding).
+std::uint64_t RecordDiskBytes(std::uint64_t payload_size) {
+  return AlignRecordOffset(kRecordHeaderBytes + payload_size);
+}
+
+}  // namespace
+
+std::string Store::SegmentPath(std::uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.ppst",
+                static_cast<unsigned long long>(seq));
+  return options_.dir + "/" + name;
+}
+
+StatusOr<std::unique_ptr<Store>> Store::Open(StoreOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("store directory must be set");
+  }
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create store directory " + options.dir +
+                            ": " + std::strerror(errno));
+  }
+
+  auto store = std::unique_ptr<Store>(new Store(std::move(options)));
+
+  // Enumerate existing segments in sequence order (age order): the index
+  // is last-write-wins, so newer segments must be indexed after older ones.
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  DIR* dir = ::opendir(store->options_.dir.c_str());
+  if (dir == nullptr) {
+    return Status::Internal("cannot open store directory " +
+                            store->options_.dir + ": " + std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (const auto seq = ParseSegmentName(name); seq.has_value()) {
+      found.emplace_back(*seq, store->options_.dir + "/" + name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(found.begin(), found.end());
+
+  for (const auto& [seq, path] : found) {
+    StatusOr<std::shared_ptr<MappedSegment>> segment =
+        MappedSegment::Open(path);
+    if (!segment.ok()) return segment.status();  // bad magic/version etc.
+    store->stats_.torn_bytes_recovered += (*segment)->torn_bytes();
+    store->next_seq_ = std::max(store->next_seq_, seq + 1);
+    if ((*segment)->records().empty()) {
+      // A stub from a crash before the first flush, or a drained-empty
+      // active segment: nothing to serve, reclaim the file.
+      ::unlink(path.c_str());
+      continue;
+    }
+    store->sealed_.push_back(*segment);
+    store->IndexSegment(*segment);
+  }
+
+  if (Status status = store->StartActiveLocked(); !status.ok()) return status;
+
+  {
+    std::lock_guard<std::mutex> lock(store->stats_mu_);
+    store->stats_.segments = store->sealed_.size() + 1;
+    std::uint64_t mapped = 0;
+    for (const auto& segment : store->sealed_) mapped += segment->valid_bytes();
+    store->stats_.mapped_bytes = mapped;
+    store->stats_.disk_bytes = mapped + kFileHeaderBytes;
+  }
+
+  store->flush_thread_ = std::thread(&Store::FlushThreadMain, store.get());
+  return store;
+}
+
+Store::~Store() {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flush_thread_.joinable()) flush_thread_.join();
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  FlushLocked(/*sync=*/true);  // final durability point
+}
+
+void Store::IndexSegment(const std::shared_ptr<MappedSegment>& segment) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (const RecordView& record : segment->records()) {
+    Entry entry;
+    entry.owner = segment;
+    entry.data = record.payload;
+    entry.size = record.size;
+    entry.owned = false;
+    entry.kind = record.kind;
+    entry.key = record.key;
+    index_[IndexKey(record.kind, record.key)] = std::move(entry);
+  }
+}
+
+std::optional<Store::Fetch> Store::Get(RecordKind kind, std::uint64_t key) {
+  std::optional<Fetch> fetch;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    const auto it = index_.find(IndexKey(kind, key));
+    if (it != index_.end() && it->second.kind == kind &&
+        it->second.key == key) {
+      fetch = Fetch{std::string_view(it->second.data, it->second.size),
+                    it->second.owner};
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (fetch.has_value()) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  return fetch;
+}
+
+void Store::Put(RecordKind kind, std::uint64_t key, std::string payload) {
+  if (payload.size() > kMaxPayloadBytes) return;  // cannot be represented
+  auto shared = std::make_shared<const std::string>(std::move(payload));
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    Entry entry;
+    entry.owner = shared;
+    entry.data = shared->data();
+    entry.size = static_cast<std::uint32_t>(shared->size());
+    entry.owned = true;
+    entry.kind = kind;
+    entry.key = key;
+    inserted = index_.try_emplace(IndexKey(kind, key), std::move(entry)).second;
+    if (inserted) pending_.push_back(Pending{kind, key, shared});
+  }
+  if (!inserted) return;  // content-addressed: an existing record is equal
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.writes;
+  }
+  flush_cv_.notify_one();
+}
+
+Status Store::Flush() {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return FlushLocked(/*sync=*/true);
+}
+
+Status Store::FlushLocked(bool sync) {
+  const std::uint64_t start_ns = MonotonicNowNs();
+  std::vector<Pending> batch;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    batch.swap(pending_);
+  }
+
+  if (active_ == nullptr) {
+    // A previous seal failed to restart the writer (e.g. disk full); try
+    // again now rather than dropping the batch on the floor.
+    if (Status status = StartActiveLocked(); !status.ok()) {
+      std::lock_guard<std::mutex> lock(index_mu_);
+      for (Pending& record : batch) pending_.push_back(std::move(record));
+      return status;
+    }
+  }
+
+  Status status = Status::Ok();
+  for (const Pending& record : batch) {
+    status = active_->Append(record.kind, record.key, *record.payload);
+    if (!status.ok()) break;
+  }
+  if (status.ok() && (sync || (options_.fsync && !batch.empty()))) {
+    // An explicit Flush (the drain path) always syncs, catching batches a
+    // fsync-disabled store wrote earlier.
+    status = active_->Sync();
+  }
+
+  if (status.ok() && active_->bytes() > options_.seal_bytes) {
+    status = SealActiveLocked();
+  }
+  if (status.ok() && options_.max_bytes != 0) {
+    std::uint64_t sealed_bytes = 0;
+    for (const auto& segment : sealed_) sealed_bytes += segment->valid_bytes();
+    if (sealed_bytes > options_.max_bytes) status = CompactLocked();
+  }
+
+  const std::uint64_t end_ns = MonotonicNowNs();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!batch.empty()) {
+      ++stats_.flushes;
+      stats_.flush_ns += end_ns - start_ns;
+    }
+    last_flush_mono_ns_ = end_ns;
+    stats_.segments = sealed_.size() + (active_ != nullptr ? 1 : 0);
+    std::uint64_t mapped = 0;
+    for (const auto& segment : sealed_) mapped += segment->valid_bytes();
+    stats_.mapped_bytes = mapped;
+    stats_.disk_bytes =
+        mapped + (active_ != nullptr ? active_->bytes() : 0);
+  }
+  return status;
+}
+
+Status Store::StartActiveLocked() {
+  StatusOr<std::unique_ptr<SegmentWriter>> writer =
+      SegmentWriter::Create(SegmentPath(next_seq_));
+  if (!writer.ok()) return writer.status();
+  ++next_seq_;
+  active_ = std::move(writer).value();
+  return Status::Ok();
+}
+
+Status Store::SealActiveLocked() {
+  if (Status status = active_->Sync(); !status.ok()) return status;
+  const std::string path = active_->path();
+  active_.reset();  // close before mapping
+  StatusOr<std::shared_ptr<MappedSegment>> segment = MappedSegment::Open(path);
+  if (!segment.ok()) {
+    // The records stay served from their owned copies; just restart a
+    // fresh active segment and carry on.
+    return StartActiveLocked();
+  }
+  sealed_.push_back(*segment);
+  // Re-point the sealed records at the mapping so the heap copies drop.
+  IndexSegment(*segment);
+  return StartActiveLocked();
+}
+
+Status Store::CompactLocked() {
+  // Gather live sealed records, newest segment first, and keep them up to
+  // the budget; the oldest records beyond it are dropped (insertion age is
+  // the store's eviction order — the LRUs above provide recency).
+  struct Live {
+    RecordKind kind;
+    std::uint64_t key;
+    std::string_view payload;
+  };
+  std::vector<Live> keep;
+  std::uint64_t kept_bytes = kFileHeaderBytes;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (auto segment = sealed_.rbegin(); segment != sealed_.rend();
+         ++segment) {
+      for (const RecordView& record : (*segment)->records()) {
+        const auto it = index_.find(IndexKey(record.kind, record.key));
+        if (it == index_.end() || it->second.data != record.payload) {
+          continue;  // superseded (a newer segment's copy is indexed)
+        }
+        const std::uint64_t bytes = RecordDiskBytes(record.size);
+        if (options_.max_bytes != 0 &&
+            kept_bytes + bytes > options_.max_bytes) {
+          ++dropped;
+          continue;
+        }
+        kept_bytes += bytes;
+        keep.push_back(Live{record.kind, record.key,
+                            std::string_view(record.payload, record.size)});
+      }
+    }
+  }
+
+  StatusOr<std::unique_ptr<SegmentWriter>> created =
+      SegmentWriter::Create(SegmentPath(next_seq_));
+  if (!created.ok()) return created.status();
+  ++next_seq_;
+  std::unique_ptr<SegmentWriter> writer = std::move(created).value();
+  for (const Live& record : keep) {
+    if (Status status = writer->Append(record.kind, record.key, record.payload);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (Status status = writer->Sync(); !status.ok()) return status;
+  const std::string compacted_path = writer->path();
+  writer.reset();  // close before mapping
+
+  StatusOr<std::shared_ptr<MappedSegment>> segment =
+      MappedSegment::Open(compacted_path);
+  if (!segment.ok()) return segment.status();
+
+  // Swap: re-point kept records at the new mapping, erase dropped ones,
+  // unlink the old files. Readers holding a Fetch keep old mappings alive.
+  std::vector<std::shared_ptr<MappedSegment>> old;
+  old.swap(sealed_);
+  sealed_.push_back(*segment);
+  IndexSegment(*segment);
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (auto it = index_.begin(); it != index_.end();) {
+      bool stale = false;
+      if (!it->second.owned) {
+        for (const auto& old_segment : old) {
+          if (it->second.owner.get() == old_segment.get()) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      it = stale ? index_.erase(it) : std::next(it);
+    }
+  }
+  for (const auto& old_segment : old) {
+    ::unlink(old_segment->path().c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.compactions;
+    stats_.dropped_records += dropped;
+  }
+  return Status::Ok();
+}
+
+void Store::FlushThreadMain() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (!stop_) {
+    flush_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.flush_interval_ms),
+                       [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> io_lock(io_mu_);
+      FlushLocked(/*sync=*/false);
+    }
+    lock.lock();
+  }
+}
+
+StoreStats Store::stats() const {
+  StoreStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+    if (last_flush_mono_ns_ != 0) {
+      snapshot.last_flush_age_ns = MonotonicNowNs() - last_flush_mono_ns_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    snapshot.records = index_.size();
+  }
+  return snapshot;
+}
+
+}  // namespace ppref::store

@@ -1,0 +1,193 @@
+/// \file store.h
+/// \brief `store::Store` — a crash-safe persistent record store over a
+/// directory of PPST segments, keyed by 64-bit content fingerprints.
+///
+/// Layout: zero or more *sealed* segments (immutable, served via `mmap`)
+/// plus one *active* segment the background flush thread appends to. Every
+/// `Open` recovers each existing file (scan + torn-tail truncation,
+/// segment.h) and starts a fresh active segment — files are never
+/// re-appended after a restart, which keeps recovery a pure read-side
+/// concern.
+///
+/// Write path: `Put` is write-behind — it stores an owned copy in the
+/// in-memory index (so the record is immediately readable) and queues the
+/// bytes for the flush thread, which appends a batch and pays one fsync for
+/// all of it. `Flush` runs the same cycle synchronously (the SIGTERM drain
+/// path). When the active segment outgrows `seal_bytes` it is sealed:
+/// fsynced, re-opened as a mapping, and its records re-indexed out of the
+/// mapping so the owned heap copies drop — long-running servers converge to
+/// serving everything off the page cache.
+///
+/// Compaction: when `max_bytes` is set and sealed segments outgrow it, live
+/// sealed records are rewritten into one fresh segment (newest first; the
+/// oldest records are dropped if even the live set exceeds the budget) and
+/// the old files are unlinked. Readers holding a `Fetch` keep the old
+/// mapping alive through its shared_ptr — unlinking is safe mid-read.
+/// Dead/superseded records (duplicate keys across segments) are dropped by
+/// construction: the index is last-write-wins in scan order.
+///
+/// Content-addressing contract: a key is a fingerprint of the record's
+/// semantic content (serve/fingerprint.h), so two writes under one key
+/// carry identical bytes, and model changes invalidate by simply missing.
+
+#ifndef PPREF_STORE_STORE_H_
+#define PPREF_STORE_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ppref/common/status.h"
+#include "ppref/store/format.h"
+#include "ppref/store/segment.h"
+
+namespace ppref::store {
+
+struct StoreOptions {
+  /// Directory of segment files; created (one level) when missing.
+  std::string dir;
+  /// Compaction budget over sealed segment bytes; 0 = unbounded.
+  std::uint64_t max_bytes = 0;
+  /// Seal the active segment once it exceeds this many bytes.
+  std::uint64_t seal_bytes = 64ull * 1024 * 1024;
+  /// Background flush cadence.
+  std::uint64_t flush_interval_ms = 50;
+  /// fsync flushed batches. Tests may disable for speed; `Flush()` (the
+  /// drain path) always syncs.
+  bool fsync = true;
+};
+
+/// Point-in-time store statistics (monitoring consistency).
+struct StoreStats {
+  std::uint64_t hits = 0;            // Get found a record
+  std::uint64_t misses = 0;          // Get found nothing
+  std::uint64_t writes = 0;          // records accepted by Put
+  std::uint64_t flushes = 0;         // flush cycles that wrote anything
+  std::uint64_t flush_ns = 0;        // cumulative time inside flush cycles
+  std::uint64_t last_flush_age_ns = 0;  // now - end of last flush (0: never)
+  std::uint64_t records = 0;         // live records in the index
+  std::uint64_t segments = 0;        // sealed + active files
+  std::uint64_t mapped_bytes = 0;    // bytes served via mmap
+  std::uint64_t disk_bytes = 0;      // total bytes on disk (incl. active)
+  std::uint64_t torn_bytes_recovered = 0;  // truncated at Open
+  std::uint64_t compactions = 0;
+  std::uint64_t dropped_records = 0;  // evicted by the compaction budget
+};
+
+/// See file comment. Thread-safe: any thread may Get/Put/Flush concurrently.
+class Store {
+ public:
+  /// Opens (and recovers) `options.dir`. kInternal when the directory
+  /// cannot be created or a segment file is not ours (bad magic/version) —
+  /// never aborts; the caller decides whether to serve without a store.
+  static StatusOr<std::unique_ptr<Store>> Open(StoreOptions options);
+
+  /// Stops the flush thread after a final (synced) flush.
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// A fetched record: payload bytes plus a keep-alive owner (the mapped
+  /// segment or the owned copy) that must outlive every use of `bytes`.
+  struct Fetch {
+    std::string_view bytes;
+    std::shared_ptr<const void> owner;
+  };
+
+  /// Looks up (kind, key). The returned view stays valid while `owner` is
+  /// held, across compactions and sealing.
+  std::optional<Fetch> Get(RecordKind kind, std::uint64_t key);
+
+  /// Write-behind insert: immediately readable, durable after the next
+  /// flush cycle (or `Flush`). A key already present is ignored — records
+  /// are content-addressed, so a re-Put carries the same bytes.
+  void Put(RecordKind kind, std::uint64_t key, std::string payload);
+
+  /// Synchronously drains pending writes and fsyncs (drain path).
+  Status Flush();
+
+  StoreStats stats() const;
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  explicit Store(StoreOptions options) : options_(std::move(options)) {}
+
+  /// (kind, key) composite index key; kinds live in disjoint planes.
+  static std::uint64_t IndexKey(RecordKind kind, std::uint64_t key) {
+    // Mix the kind into the high bits; fingerprints occupy the full 64-bit
+    // space, so planes are separated by the XOR of a kind-salted constant.
+    return key ^ (static_cast<std::uint64_t>(kind) * 0x9E3779B97F4A7C15ull);
+  }
+
+  struct Entry {
+    std::shared_ptr<const void> owner;  // MappedSegment or owned string
+    const char* data = nullptr;
+    std::uint32_t size = 0;
+    bool owned = false;  // still an in-memory copy (active segment record)
+    RecordKind kind = RecordKind::kPlan;  // guards IndexKey XOR collisions
+    std::uint64_t key = 0;                // and names the record for compaction
+  };
+
+  struct Pending {
+    RecordKind kind;
+    std::uint64_t key;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  /// Indexes a mapped segment's records (last-write-wins in file order).
+  void IndexSegment(const std::shared_ptr<MappedSegment>& segment);
+
+  /// One flush cycle: drain pending, append, fsync (when `sync`), seal or
+  /// compact as thresholds dictate. Caller holds io_mu_.
+  Status FlushLocked(bool sync);
+
+  /// Seals the active segment and starts a new one. Caller holds io_mu_.
+  Status SealActiveLocked();
+
+  /// Rewrites live sealed records into one fresh segment within budget and
+  /// unlinks the old files. Caller holds io_mu_.
+  Status CompactLocked();
+
+  Status StartActiveLocked();
+
+  void FlushThreadMain();
+
+  std::string SegmentPath(std::uint64_t seq) const;
+
+  StoreOptions options_;
+
+  /// Index + pending-queue lock (fast; never held across IO).
+  mutable std::mutex index_mu_;
+  std::unordered_map<std::uint64_t, Entry> index_;
+  std::vector<Pending> pending_;
+
+  /// IO lock: the writer, sealing, compaction (slow; one holder at a time).
+  std::mutex io_mu_;
+  std::unique_ptr<SegmentWriter> active_;
+  std::vector<std::shared_ptr<MappedSegment>> sealed_;  // open order = age
+  std::uint64_t next_seq_ = 1;
+
+  std::thread flush_thread_;
+  std::condition_variable flush_cv_;
+  std::mutex flush_mu_;
+  bool stop_ = false;
+
+  // Statistics (relaxed atomics would be overkill: all updates happen under
+  // one of the two locks; reads copy under index_mu_).
+  mutable std::mutex stats_mu_;
+  StoreStats stats_;
+  std::uint64_t last_flush_mono_ns_ = 0;
+};
+
+}  // namespace ppref::store
+
+#endif  // PPREF_STORE_STORE_H_

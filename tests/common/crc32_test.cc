@@ -1,0 +1,56 @@
+#include "ppref/common/crc32.h"
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace ppref {
+namespace {
+
+TEST(Crc32Test, CheckValue) {
+  // The ISO-HDLC check value: CRC-32("123456789").
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, KnownVectors) {
+  // Independently computed with the reflected 0xEDB88320 polynomial.
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+  const std::string quick = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Crc32(quick.data(), quick.size()), 0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "payload bytes fed in arbitrary chunk sizes";
+  const std::uint32_t expected = Crc32(data.data(), data.size());
+  for (std::size_t chunk = 1; chunk <= data.size(); ++chunk) {
+    std::uint32_t state = Crc32Init();
+    for (std::size_t pos = 0; pos < data.size(); pos += chunk) {
+      const std::size_t n = std::min(chunk, data.size() - pos);
+      state = Crc32Update(state, data.data() + pos, n);
+    }
+    EXPECT_EQ(Crc32Final(state), expected) << "chunk size " << chunk;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data(64, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 31 + 7);
+  }
+  const std::uint32_t clean = Crc32(data.data(), data.size());
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(corrupt.data(), corrupt.size()), clean)
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppref

@@ -11,10 +11,13 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "ppref/infer/top_prob.h"
 #include "ppref/net/client.h"
 #include "ppref/serve/workload.h"
 
@@ -25,8 +28,9 @@ namespace {
 /// teardown asserting exit 0.
 class ServedProcess {
  public:
-  /// `extra` are additional argv flags.
-  bool Spawn(std::vector<std::string> extra) {
+  /// `extra` are additional argv flags. When `log_path` is non-empty the
+  /// child's stdout is redirected there (the drain log-line assertions).
+  bool Spawn(std::vector<std::string> extra, const std::string& log_path = "") {
     port_file_ = ::testing::TempDir() + "ppref_served_port_" +
                  std::to_string(getpid()) + "_" + std::to_string(++counter_);
     std::remove(port_file_.c_str());
@@ -38,6 +42,10 @@ class ServedProcess {
     pid_ = fork();
     if (pid_ < 0) return false;
     if (pid_ == 0) {
+      if (!log_path.empty()) {
+        std::FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+        if (log == nullptr) _exit(126);  // fd 1 survives the exec below
+      }
       std::vector<char*> argv;
       argv.reserve(args.size() + 1);
       for (std::string& arg : args) argv.push_back(arg.data());
@@ -194,6 +202,107 @@ TEST(NetE2eTest, HealthzFlipsTo503DuringDrainWindow) {
   // so the deterministic contract asserted here is the graceful exit 0;
   // the draining-healthz branch itself is unit-level logic in ExecuteHttp.
   daemon.TerminateAndExpectCleanExit();
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::string out;
+  if (std::FILE* file = std::fopen(path.c_str(), "r")) {
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      out.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+  return out;
+}
+
+std::string LastLine(const std::string& text) {
+  std::size_t end = text.size();
+  while (end > 0 && text[end - 1] == '\n') --end;
+  const std::size_t start = text.rfind('\n', end == 0 ? 0 : end - 1);
+  return text.substr(start == std::string::npos ? 0 : start + 1,
+                     end - (start == std::string::npos ? 0 : start + 1));
+}
+
+TEST(NetE2eTest, DrainWithoutStoreExitsZeroWithUnchangedLogLine) {
+  // The storeless drain contract: no --store-dir means no flush work, the
+  // pre-store final log line, and exit 0 — a deployment that never opts
+  // into persistence must be byte-for-byte unaffected.
+  const std::string log = ::testing::TempDir() + "ppref_served_nostore.log";
+  std::remove(log.c_str());
+  ServedProcess daemon;
+  ASSERT_TRUE(daemon.Spawn({}, log)) << "daemon failed to start";
+  StatusOr<HttpResult> healthy =
+      HttpFetch("127.0.0.1", daemon.port(), "GET", "/healthz");
+  ASSERT_TRUE(healthy.ok());
+  daemon.TerminateAndExpectCleanExit();
+  EXPECT_EQ(LastLine(ReadWholeFile(log)), "ppref_served: drained, exiting");
+  std::remove(log.c_str());
+}
+
+TEST(NetE2eTest, DrainWithStoreReportsFlushDurationAndWarmRestartHits) {
+  const std::string store_dir =
+      ::testing::TempDir() + "ppref_served_store_e2e";
+  const std::string cleanup = "rm -rf '" + store_dir + "'";
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+  const std::string log = ::testing::TempDir() + "ppref_served_store.log";
+  std::remove(log.c_str());
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(2);
+  const double expected =
+      infer::PatternProb(workload.models[0], workload.patterns[0]);
+
+  // First lifetime: answer one query, drain; the final log line must
+  // report the store flush duration.
+  {
+    ServedProcess daemon;
+    ASSERT_TRUE(daemon.Spawn({"--store-dir", store_dir}, log))
+        << "daemon failed to start";
+    StatusOr<Client> connected = Client::Connect("127.0.0.1", daemon.port());
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    Client client = std::move(connected).value();
+    WireRequest request(1, serve::Request::Kind::kPatternProb, 0,
+                        workload.models[0], workload.patterns[0]);
+    StatusOr<WireResponse> response = client.Call(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->probability, expected);
+    daemon.TerminateAndExpectCleanExit();
+    const std::string last = LastLine(ReadWholeFile(log));
+    EXPECT_NE(last.find("ppref_served: drained, store flushed in "),
+              std::string::npos)
+        << "final log line was: " << last;
+    EXPECT_NE(last.find("ms, exiting"), std::string::npos);
+  }
+
+  // Second lifetime, same directory: the answer comes off disk.
+  ServedProcess daemon;
+  ASSERT_TRUE(daemon.Spawn({"--store-dir", store_dir}))
+      << "daemon failed to restart";
+  StatusOr<Client> connected = Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+  WireRequest request(2, serve::Request::Kind::kPatternProb, 0,
+                      workload.models[0], workload.patterns[0]);
+  StatusOr<WireResponse> response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->probability, expected);
+
+  StatusOr<HttpResult> metrics =
+      HttpFetch("127.0.0.1", daemon.port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const std::size_t hits_at =
+      metrics->body.find("\nppref_serve_store_hits_total ");
+  ASSERT_NE(hits_at, std::string::npos) << "no store instruments in /metrics";
+  const double hits = std::strtod(
+      metrics->body.c_str() + hits_at +
+          std::strlen("\nppref_serve_store_hits_total "),
+      nullptr);
+  EXPECT_GE(hits, 1.0) << "warm restart answered without touching the store";
+
+  daemon.TerminateAndExpectCleanExit();
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+  std::remove(log.c_str());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "ppref/common/crc32.h"
 
 namespace ppref::net {
 namespace {
@@ -139,6 +140,52 @@ TEST(NetFrameTest, ValidatesTrailingHeaderEagerly) {
   EXPECT_EQ(frame.body, "ok");
   EXPECT_FALSE(assembler.Next(&frame));
   EXPECT_EQ(assembler.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrameTest, SingleByteCorruptionSweepNeverCrashesAndCrcCatchesBody) {
+  // Framing does not checksum bodies: header corruption is the assembler's
+  // problem (sticky kInvalidArgument), body corruption is the application
+  // layer's (the persistent store CRCs every record payload for exactly
+  // this reason). This sweep pins both halves: every single-byte corruption
+  // of a frame either fails cleanly at Feed, stays incomplete, or delivers
+  // a body whose CRC-32 no longer matches the original.
+  const std::string body = "record payload protected by the layer above";
+  const std::uint32_t clean_crc = Crc32(body.data(), body.size());
+  const std::string wire = EncodeFrame(FrameType::kRequest, body);
+
+  for (std::size_t at = 0; at < wire.size(); ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = wire;
+      corrupt[at] = static_cast<char>(corrupt[at] ^ (1 << bit));
+      FrameAssembler assembler(/*max_body=*/1 << 20);
+      const Status fed = assembler.Feed(corrupt.data(), corrupt.size());
+      if (!fed.ok()) {
+        EXPECT_EQ(fed.code(), StatusCode::kInvalidArgument);
+        continue;
+      }
+      Frame frame;
+      if (!assembler.Next(&frame)) continue;  // corrupted body_len: short
+      if (at >= kFrameHeaderBytes) {
+        // A delivered frame with a flipped body byte: the application CRC
+        // must detect it — this is the store's record-integrity model.
+        EXPECT_NE(Crc32(frame.body.data(), frame.body.size()), clean_crc)
+            << "undetected body corruption at offset " << at;
+      }
+    }
+  }
+}
+
+TEST(NetFrameTest, TruncationSweepIsAlwaysIncompleteNeverWrong) {
+  const std::string body = "short body";
+  const std::string wire = EncodeFrame(FrameType::kPing, body);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    FrameAssembler assembler;
+    ASSERT_TRUE(assembler.Feed(wire.data(), n).ok()) << "prefix " << n;
+    Frame frame;
+    EXPECT_FALSE(assembler.Next(&frame)) << "frame from a " << n
+                                         << "-byte prefix";
+    EXPECT_EQ(assembler.pending_bytes(), n);
+  }
 }
 
 TEST(NetFrameTest, SurvivesManyFramesWithCompaction) {

@@ -8,7 +8,12 @@
 /// this.
 ///
 /// Usage:
-///   ppref_net_smoke --port P [--host H]
+///   ppref_net_smoke --port P [--host H] [--expect-store-hits]
+///
+/// `--expect-store-hits` additionally asserts that the daemon's /metrics
+/// report at least one persistent-store hit — the check a warm-restart
+/// smoke runs against a daemon restarted on an existing --store-dir (the
+/// queries above are then answered from disk, not recomputed).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,11 +34,16 @@ using namespace ppref;
 struct Options {
   std::string host = "127.0.0.1";
   int port = 0;
+  bool expect_store_hits = false;
 };
 
 bool ParseArgs(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--expect-store-hits") {
+      options.expect_store_hits = true;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for %s\n", flag.c_str());
       return false;
@@ -226,8 +236,26 @@ int main(int argc, char** argv) {
     return Fail("metrics", "missing expected instruments");
   }
 
+  // 7. Warm-restart assertion: the queries above must have been answered
+  // from the persistent store, not recomputed.
+  if (options.expect_store_hits) {
+    // The sample line, not the "# HELP" comment naming the same metric.
+    const char* name = "\nppref_serve_store_hits_total ";
+    const std::size_t hits_at = metrics->body.find(name);
+    if (hits_at == std::string::npos) {
+      return Fail("store hits", "no store instruments in /metrics");
+    }
+    const double hits = std::strtod(
+        metrics->body.c_str() + hits_at + std::strlen(name), nullptr);
+    if (hits < 1.0) {
+      return Fail("store hits",
+                  "expected warm-from-disk answers, saw 0 store hits");
+    }
+  }
+
   std::printf("ppref_net_smoke: healthz, ping, binary query (bit-identical), "
               "json query (bit-identical), json sweep (bit-identical), "
-              "metrics — all ok\n");
+              "metrics%s — all ok\n",
+              options.expect_store_hits ? ", store hits" : "");
   return 0;
 }

@@ -11,6 +11,12 @@
 ///               [--circuit-cache N] [--sweep-points N] [--shards N]
 ///               [--verify N] [--trace-sample PERMYRIAD]
 ///               [--metrics-out FILE] [--trace-out FILE]
+///               [--store-dir DIR] [--store-max-bytes N]
+///
+/// `--store-dir` backs the server's caches with a persistent store: a
+/// second run against the same directory serves repeat queries warm from
+/// disk (the verification still checks every sampled answer bit-identical
+/// against serial inference, which is exactly the warm-restart contract).
 ///
 /// `--sweep-points N` additionally runs a φ-parameter sweep of N points over
 /// each unique model through the circuit path (`PatternProbSweep`), checking
@@ -26,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +42,7 @@
 #include "ppref/rim/rim_model.h"
 #include "ppref/serve/server.h"
 #include "ppref/serve/workload.h"
+#include "ppref/store/store.h"
 
 namespace {
 
@@ -49,6 +57,8 @@ struct Options {
   std::size_t sweep_points = 0;
   std::string metrics_out;
   std::string trace_out;
+  std::string store_dir;
+  std::uint64_t store_max_bytes = 0;
   serve::ServerOptions server;
 };
 
@@ -58,7 +68,8 @@ void PrintUsage(const char* argv0) {
       "          [--threads T] [--plan-cache N] [--result-cache N]\n"
       "          [--circuit-cache N] [--sweep-points N] [--shards N]\n"
       "          [--verify N] [--trace-sample PERMYRIAD]\n"
-      "          [--metrics-out FILE] [--trace-out FILE]\n",
+      "          [--metrics-out FILE] [--trace-out FILE]\n"
+      "          [--store-dir DIR] [--store-max-bytes N]\n",
       argv0);
 }
 
@@ -77,6 +88,10 @@ bool ParseArgs(int argc, char** argv, Options& options) {
     }
     if (flag == "--trace-out") {
       options.trace_out = argv[++i];
+      continue;
+    }
+    if (flag == "--store-dir") {
+      options.store_dir = argv[++i];
       continue;
     }
     const unsigned long long value = std::strtoull(argv[++i], nullptr, 10);
@@ -104,6 +119,8 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.server.cache_shards = static_cast<unsigned>(value);
     } else if (flag == "--trace-sample") {
       options.server.trace_sample_permyriad = static_cast<unsigned>(value);
+    } else if (flag == "--store-max-bytes") {
+      options.store_max_bytes = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -133,6 +150,22 @@ int main(int argc, char** argv) {
       serve::MakeSyntheticWorkload(options.unique);
   std::vector<serve::Request> trace =
       serve::MakeSyntheticTrace(workload, options.requests, options.seed);
+
+  std::unique_ptr<store::Store> store;
+  if (!options.store_dir.empty()) {
+    store::StoreOptions store_options;
+    store_options.dir = options.store_dir;
+    store_options.max_bytes = options.store_max_bytes;
+    auto opened = store::Store::Open(std::move(store_options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open store %s: %s\n",
+                   options.store_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 2;
+    }
+    store = std::move(opened).value();
+    options.server.store = store.get();
+  }
 
   serve::Server server(options.server);
   std::vector<serve::Response> answers;
@@ -260,6 +293,18 @@ int main(int argc, char** argv) {
   std::printf("%-26s %12.2f\n", "circuit eval [ms]",
               Milliseconds(stats.circuit_eval_ns));
   std::printf("%-26s %12llu\n", "in-flight peak", static_cast<unsigned long long>(stats.in_flight_peak));
+  if (store != nullptr) {
+    const store::StoreStats st = store->stats();
+    std::printf("%-26s %6llu / %llu (%llu corrupt)\n", "store hit/miss",
+                static_cast<unsigned long long>(stats.store_hits),
+                static_cast<unsigned long long>(stats.store_misses),
+                static_cast<unsigned long long>(stats.store_corrupt));
+    std::printf("%-26s %12llu\n", "store writes",
+                static_cast<unsigned long long>(stats.store_writes));
+    std::printf("%-26s %6llu records in %llu segments\n", "store on disk",
+                static_cast<unsigned long long>(st.records),
+                static_cast<unsigned long long>(st.segments));
+  }
   std::printf("\nverified %zu sampled answers and %zu sweep points against "
               "serial inference: %s\n",
               checked, sweep_checked,

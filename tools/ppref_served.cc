@@ -8,6 +8,7 @@
 ///                [--degraded-samples N] [--conn-deadline-ms N]
 ///                [--max-connections N] [--plan-cache N] [--result-cache N]
 ///                [--circuit-cache N] [--shards N]
+///                [--store-dir DIR] [--store-max-bytes N]
 ///
 /// `--port 0` (the default) binds an ephemeral port; `--port-file` writes
 /// the bound port as a decimal line once listening, which is how scripted
@@ -15,15 +16,25 @@
 /// for a fixed port. SIGTERM and SIGINT begin a graceful drain: the listen
 /// socket closes, in-flight requests finish and flush, then the process
 /// exits 0.
+///
+/// `--store-dir` opens (recovering if needed) a persistent plan/circuit/
+/// result store backing the server's caches: a restarted daemon pointed at
+/// the same directory answers repeat queries warm from disk. The drain path
+/// flushes the store after the last connection closes and reports the flush
+/// duration in the final log line. Without the flag the daemon is purely
+/// in-memory, exactly as before.
 
 #include <signal.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "ppref/common/clock.h"
 #include "ppref/net/daemon.h"
+#include "ppref/store/store.h"
 
 namespace {
 
@@ -38,6 +49,8 @@ void HandleSignal(int) {
 struct Options {
   int port = 0;
   std::string port_file;
+  std::string store_dir;
+  std::uint64_t store_max_bytes = 0;
   net::DaemonOptions daemon;
 };
 
@@ -48,7 +61,8 @@ void PrintUsage(const char* argv0) {
       "          [--max-pattern-nodes N] [--degrade mc|none]\n"
       "          [--degraded-samples N] [--conn-deadline-ms N]\n"
       "          [--max-connections N] [--plan-cache N] [--result-cache N]\n"
-      "          [--circuit-cache N] [--shards N]\n",
+      "          [--circuit-cache N] [--shards N]\n"
+      "          [--store-dir DIR] [--store-max-bytes N]\n",
       argv0);
 }
 
@@ -62,6 +76,10 @@ bool ParseArgs(int argc, char** argv, Options& options) {
     }
     if (flag == "--port-file") {
       options.port_file = argv[++i];
+      continue;
+    }
+    if (flag == "--store-dir") {
+      options.store_dir = argv[++i];
       continue;
     }
     if (flag == "--degrade") {
@@ -108,6 +126,8 @@ bool ParseArgs(int argc, char** argv, Options& options) {
     } else if (flag == "--shards") {
       options.daemon.server_options.cache_shards =
           static_cast<unsigned>(value);
+    } else if (flag == "--store-max-bytes") {
+      options.store_max_bytes = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -123,6 +143,28 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, options)) {
     PrintUsage(argv[0]);
     return 2;
+  }
+
+  // The store outlives the daemon (the server borrows it), and its
+  // destructor runs a final synced flush after the drain log below.
+  std::unique_ptr<store::Store> store;
+  if (!options.store_dir.empty()) {
+    store::StoreOptions store_options;
+    store_options.dir = options.store_dir;
+    store_options.max_bytes = options.store_max_bytes;
+    auto opened = store::Store::Open(std::move(store_options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "ppref_served: cannot open store: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(opened).value();
+    options.daemon.server_options.store = store.get();
+    const store::StoreStats st = store->stats();
+    std::printf("ppref_served: store %s: %llu records in %llu segments\n",
+                options.store_dir.c_str(),
+                static_cast<unsigned long long>(st.records),
+                static_cast<unsigned long long>(st.segments));
   }
 
   options.daemon.port = options.port;
@@ -156,6 +198,18 @@ int main(int argc, char** argv) {
   }
 
   daemon.Join();
+  if (store != nullptr) {
+    const std::uint64_t start = MonotonicNowNs();
+    const Status flushed = store->Flush();
+    const double ms = static_cast<double>(MonotonicNowNs() - start) / 1e6;
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "ppref_served: store flush: %s\n",
+                   flushed.ToString().c_str());
+    }
+    std::printf("ppref_served: drained, store flushed in %.2f ms, exiting\n",
+                ms);
+    return flushed.ok() ? 0 : 1;
+  }
   std::printf("ppref_served: drained, exiting\n");
   return 0;
 }

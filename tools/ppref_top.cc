@@ -204,6 +204,35 @@ void Render(const Metrics& metrics) {
   RenderCounterRow(metrics, "circuit evictions",
                    "ppref_serve_circuit_cache_evictions");
 
+  // Persistent store (rows appear once a server with a --store-dir has
+  // scraped; a storeless server leaves the counters at zero).
+  if (metrics.count("ppref_serve_store_hits_total") != 0) {
+    const double hits = ScalarOr0(metrics, "ppref_serve_store_hits_total");
+    const double misses = ScalarOr0(metrics, "ppref_serve_store_misses_total");
+    const double probes = hits + misses;
+    std::printf("\n== store ==\n");
+    if (probes > 0.0) {
+      std::printf("  %-24s %13.1f%%\n", "hit ratio", 100.0 * hits / probes);
+    }
+    RenderCounterRow(metrics, "hits", "ppref_serve_store_hits_total");
+    RenderCounterRow(metrics, "misses", "ppref_serve_store_misses_total");
+    RenderCounterRow(metrics, "corrupt", "ppref_serve_store_corrupt_total");
+    RenderCounterRow(metrics, "writes", "ppref_serve_store_writes_total");
+    RenderCounterRow(metrics, "records", "ppref_serve_store_records");
+    RenderCounterRow(metrics, "segments", "ppref_serve_store_segments");
+    RenderCounterRow(metrics, "mmap'd bytes",
+                     "ppref_serve_store_mapped_bytes");
+    RenderCounterRow(metrics, "disk bytes", "ppref_serve_store_disk_bytes");
+    std::printf("  %-24s %14s\n", "load time",
+                FormatNs(ScalarOr0(metrics,
+                                   "ppref_serve_store_load_ns_total"))
+                    .c_str());
+    std::printf("  %-24s %14s\n", "last flush age",
+                FormatNs(ScalarOr0(metrics,
+                                   "ppref_serve_store_last_flush_age_ns"))
+                    .c_str());
+  }
+
   // Per-stage latency table. Stage sums are shares of the total stage time
   // — where a request's wall clock actually goes.
   static const struct {
