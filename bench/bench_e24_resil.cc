@@ -1,0 +1,450 @@
+/// \file bench_e24_resil.cc
+/// \brief Experiment E24 — network-edge resilience: what do retries,
+/// hedging, and the crash-restart supervisor cost, and what do they buy?
+///
+/// Four phases, every answer checked bit-identical to a local
+/// `infer::PatternProb` oracle:
+///
+///   supervisor     ppref_supervise + ppref_served --store-dir on a stable
+///                  listen socket. Cold answers, then kill -9 of the daemon
+///                  (pid from --pid-file) mid-flight; the time from the
+///                  kill to the first warm answer through the restarted
+///                  daemon is the headline number, and the warm answers
+///                  must be bit-identical (store replay, not recompute).
+///   baseline       ResilientClient straight at an in-process daemon, no
+///                  faults: p50/p99 and goodput with the policy layer on
+///                  the happy path (one fresh connection per call).
+///   chaos          the same client through the chaos proxy with ~13%
+///                  injected faults (accept-RST, mid-stream RST, frame
+///                  corruption). Gate: 100% success, answers bit-identical
+///                  — the retries absorb every fault.
+///   hedging        a stall-heavy path (10% of connections freeze 50ms)
+///                  with a clean replica as the second endpoint. The same
+///                  trace with hedging off (sticky on the slow path — a
+///                  stall is not a transport failure, so no failover),
+///                  then with a 10ms hedge threshold that sends the
+///                  straggler's double to the replica. Gate: hedged p99.9
+///                  < unhedged p99.9 — the tail is the point.
+///
+/// This process forks (the supervisor phase) strictly before any
+/// in-process daemon/proxy threads start. Emits `BENCH_resil.json`.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/net/client.h"
+#include "ppref/net/daemon.h"
+#include "ppref/net/http.h"
+#include "ppref/resil/chaos_proxy.h"
+#include "ppref/resil/client.h"
+#include "ppref/serve/workload.h"
+
+using namespace ppref;
+using namespace ppref::bench;
+
+namespace {
+
+constexpr std::size_t kUniquePairs = 16;
+constexpr std::size_t kBaselineRequests = 2000;
+constexpr std::size_t kChaosRequests = 2000;
+constexpr std::size_t kHedgeRequests = 1000;
+
+struct LatencyRow {
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double goodput = 0;  // successful requests / s over the replay window
+  std::size_t failures = 0;
+  std::size_t mismatches = 0;
+  std::uint64_t attempts = 0;  // total attempts including retries/hedges
+};
+
+double PercentileUs(std::vector<std::uint64_t> ns, double q) {
+  if (ns.empty()) return 0;
+  const std::size_t index =
+      std::min(ns.size() - 1,
+               static_cast<std::size_t>(q * static_cast<double>(ns.size())));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(index),
+                   ns.end());
+  return static_cast<double>(ns[index]) / 1000.0;
+}
+
+/// Replays `count` requests through `client`, verifying each against the
+/// oracle; latencies are per-Call wall time.
+LatencyRow Replay(resil::ResilientClient& client,
+                  const serve::SyntheticWorkload& workload,
+                  const std::vector<double>& oracle, std::size_t count,
+                  std::uint64_t id_base) {
+  LatencyRow row;
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(count);
+  const std::uint64_t window_start = MonotonicNowNs();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pair = i % kUniquePairs;
+    net::WireRequest request(id_base + i, serve::Request::Kind::kPatternProb,
+                             0, workload.models[pair],
+                             workload.patterns[pair]);
+    resil::CallStats stats;
+    const std::uint64_t start = MonotonicNowNs();
+    StatusOr<net::WireResponse> response =
+        client.Call(std::move(request), &stats);
+    const std::uint64_t stop = MonotonicNowNs();
+    row.attempts += stats.attempts;
+    if (!response.ok() || !response.value().status.ok()) {
+      ++row.failures;
+      continue;
+    }
+    if (response.value().probability != oracle[pair]) ++row.mismatches;
+    latencies.push_back(stop - start);
+  }
+  const double window_ms =
+      static_cast<double>(MonotonicNowNs() - window_start) / 1e6;
+  row.goodput = 1000.0 * static_cast<double>(latencies.size()) / window_ms;
+  row.p50_us = PercentileUs(latencies, 0.50);
+  row.p99_us = PercentileUs(latencies, 0.99);
+  row.p999_us = PercentileUs(latencies, 0.999);
+  return row;
+}
+
+resil::ResilOptions ClientOptions(int port, std::uint64_t seed) {
+  resil::ResilOptions options;
+  options.endpoints = {{"127.0.0.1", port}};
+  options.total_deadline_ms = 10000;
+  options.max_attempts = 8;
+  options.backoff.base_ms = 1;
+  options.backoff.cap_ms = 8;
+  options.backoff.seed = seed;
+  options.retry_budget.initial_tokens = 1e9;
+  options.retry_budget.max_tokens = 1e9;
+  return options;
+}
+
+bool WaitForFileValue(const std::string& path, long long* value) {
+  for (int i = 0; i < 500; ++i) {
+    if (std::FILE* in = std::fopen(path.c_str(), "r")) {
+      long long parsed = 0;
+      const int fields = std::fscanf(in, "%lld", &parsed);
+      std::fclose(in);
+      if (fields == 1 && parsed > 0) {
+        *value = parsed;
+        return true;
+      }
+    }
+    usleep(20 * 1000);
+  }
+  return false;
+}
+
+/// Scrapes one counter from GET /metrics (Prometheus text lines).
+double ScrapeCounter(int port, const std::string& name) {
+  auto result =
+      net::HttpFetch("127.0.0.1", port, "GET", "/metrics", "", 2000, 2000);
+  if (!result.ok()) return -1;
+  const std::string& body = result.value().body;
+  std::size_t at = 0;
+  while (at < body.size()) {
+    std::size_t end = body.find('\n', at);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(at, end - at);
+    at = end + 1;
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::strtod(line.c_str() + name.size() + 1, nullptr);
+    }
+  }
+  return -1;
+}
+
+struct SupervisorResult {
+  bool ok = false;
+  double cold_ms = 0;            // first cold answer after supervisor start
+  double first_warm_ms = 0;      // kill -9 -> first answer from the restart
+  bool warm_bit_identical = false;
+  double store_hits = 0;
+};
+
+/// The supervisor phase forks/execs; it must run before any threads exist
+/// in this process.
+SupervisorResult RunSupervisorPhase(const serve::SyntheticWorkload& workload,
+                                    const std::vector<double>& oracle) {
+  SupervisorResult result;
+  const std::string tag = std::to_string(getpid());
+  const std::string store_dir = "/tmp/ppref_bench_e24_store." + tag;
+  const std::string port_file = "/tmp/ppref_bench_e24_port." + tag;
+  const std::string pid_file = "/tmp/ppref_bench_e24_pid." + tag;
+  const std::string cleanup =
+      "rm -rf '" + store_dir + "' '" + port_file + "' '" + pid_file + "'";
+  [[maybe_unused]] int rc = std::system(cleanup.c_str());
+
+  const pid_t supervisor = fork();
+  if (supervisor < 0) return result;
+  if (supervisor == 0) {
+    execl(PPREF_SUPERVISE_PATH, PPREF_SUPERVISE_PATH, "--daemon",
+          PPREF_SERVED_PATH, "--port-file", port_file.c_str(), "--pid-file",
+          pid_file.c_str(), "--health-interval-ms", "100",
+          "--backoff-base-ms", "50", "--", "--store-dir", store_dir.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  long long port = 0;
+  long long daemon_pid = 0;
+  if (!WaitForFileValue(port_file, &port) ||
+      !WaitForFileValue(pid_file, &daemon_pid)) {
+    kill(supervisor, SIGKILL);
+    return result;
+  }
+
+  auto call = [&](std::size_t pair, std::uint64_t id,
+                  double* answer) -> bool {
+    resil::ResilOptions options =
+        ClientOptions(static_cast<int>(port), /*seed=*/id);
+    options.total_deadline_ms = 30000;
+    options.max_attempts = 30;
+    options.attempt_timeout_ms = 1000;
+    options.backoff.base_ms = 20;
+    options.backoff.cap_ms = 200;
+    resil::ResilientClient client(std::move(options));
+    StatusOr<net::WireResponse> response =
+        client.Call(net::WireRequest(id, serve::Request::Kind::kPatternProb,
+                                     0, workload.models[pair],
+                                     workload.patterns[pair]));
+    if (!response.ok() || !response.value().status.ok()) return false;
+    *answer = response.value().probability;
+    return true;
+  };
+
+  bool ok = true;
+  std::vector<double> cold(4, 0.0);
+  const double cold_ms = TimeMs([&] {
+    for (std::size_t q = 0; q < 4 && ok; ++q) ok = call(q, q + 1, &cold[q]);
+  });
+
+  // The kill: daemon gone mid-service, supervisor restarts it, the store
+  // makes the replacement answer warm.
+  kill(static_cast<pid_t>(daemon_pid), SIGKILL);
+  std::vector<double> warm(4, 0.0);
+  const double first_warm_ms =
+      TimeMs([&] { ok = ok && call(0, 101, &warm[0]); });
+  for (std::size_t q = 1; q < 4 && ok; ++q) ok = call(q, 101 + q, &warm[q]);
+
+  result.warm_bit_identical = ok;
+  for (std::size_t q = 0; q < 4; ++q) {
+    if (cold[q] != oracle[q] || warm[q] != oracle[q]) {
+      result.warm_bit_identical = false;
+    }
+  }
+  result.store_hits =
+      ScrapeCounter(static_cast<int>(port), "ppref_serve_store_hits_total");
+  result.cold_ms = cold_ms;
+  result.first_warm_ms = first_warm_ms;
+
+  kill(supervisor, SIGTERM);
+  int status = 0;
+  waitpid(supervisor, &status, 0);
+  result.ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  rc = std::system(cleanup.c_str());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E24", "network-edge resilience: retries, hedging, supervisor");
+
+  const serve::SyntheticWorkload workload =
+      serve::MakeSyntheticWorkload(kUniquePairs);
+  std::vector<double> oracle(kUniquePairs);
+  for (std::size_t i = 0; i < kUniquePairs; ++i) {
+    oracle[i] = infer::PatternProb(workload.models[i], workload.patterns[i]);
+  }
+
+  // Phase 1 (forks; must precede all thread creation): supervisor kill -9.
+  const SupervisorResult sup = RunSupervisorPhase(workload, oracle);
+  std::printf("supervisor: cold %0.1f ms, kill-9 -> first warm answer "
+              "%0.1f ms, store hits %.0f, bit-identical %s, clean exit %s\n",
+              sup.cold_ms, sup.first_warm_ms, sup.store_hits,
+              sup.warm_bit_identical ? "yes" : "NO", sup.ok ? "yes" : "NO");
+
+  // Phase 2: baseline — the policy layer on a fault-free loopback.
+  net::DaemonOptions daemon_options;
+  daemon_options.port = 0;
+  daemon_options.workers = 2;
+  net::Daemon daemon(std::move(daemon_options));
+  if (!daemon.Start().ok()) {
+    std::fprintf(stderr, "daemon start failed\n");
+    return 1;
+  }
+
+  // Warmup: the first touch of each pair pays the DP compute; every
+  // measured phase below is the warm serving path.
+  resil::ResilientClient warmup_client(
+      ClientOptions(daemon.port(), /*seed=*/100));
+  for (std::size_t i = 0; i < kUniquePairs; ++i) {
+    net::WireRequest request(i + 1, serve::Request::Kind::kPatternProb, 0,
+                             workload.models[i], workload.patterns[i]);
+    if (!warmup_client.Call(std::move(request)).ok()) {
+      std::fprintf(stderr, "warmup failed\n");
+      return 1;
+    }
+  }
+
+  resil::ResilientClient baseline_client(
+      ClientOptions(daemon.port(), /*seed=*/101));
+  const LatencyRow baseline = Replay(baseline_client, workload, oracle,
+                                     kBaselineRequests, /*id_base=*/1000);
+
+  // Phase 3: ~13% faults through the chaos proxy; retries must absorb all.
+  resil::ChaosScenario chaos;
+  chaos.seed = 20260808;
+  chaos.accept_reset_permille = 70;
+  chaos.mid_rst_permille = 40;
+  chaos.rst_after_bytes = 16;
+  chaos.corrupt_permille = 20;
+  chaos.corrupt_offset = 1;
+  resil::ChaosProxyOptions chaos_options;
+  chaos_options.upstream_port = daemon.port();
+  chaos_options.scenario = chaos;
+  resil::ChaosProxy chaos_proxy(std::move(chaos_options));
+  if (!chaos_proxy.Start().ok()) {
+    std::fprintf(stderr, "chaos proxy start failed\n");
+    return 1;
+  }
+  resil::ResilientClient chaos_client(
+      ClientOptions(chaos_proxy.port(), /*seed=*/202));
+  const LatencyRow under_chaos = Replay(chaos_client, workload, oracle,
+                                        kChaosRequests, /*id_base=*/100000);
+  const resil::ChaosProxy::Stats chaos_stats = chaos_proxy.stats();
+  chaos_proxy.Stop();
+
+  // Phase 4: stall-heavy tail, hedging off vs on.
+  resil::ChaosScenario stalls;
+  stalls.seed = 31337;
+  stalls.stall_permille = 100;
+  stalls.stall_ms = 50;
+  stalls.stall_after_bytes = 8;
+  resil::ChaosProxyOptions stall_options;
+  stall_options.upstream_port = daemon.port();
+  stall_options.scenario = stalls;
+  resil::ChaosProxy stall_proxy(std::move(stall_options));
+  if (!stall_proxy.Start().ok()) {
+    std::fprintf(stderr, "stall proxy start failed\n");
+    return 1;
+  }
+  // Both clients see the same endpoint list: the stall path first, the
+  // clean replica second. Without hedging the client stays sticky on the
+  // slow path (a stall eventually answers, so there is no failover); with
+  // hedging the straggler's double lands on the replica.
+  const std::vector<resil::Endpoint> stall_endpoints = {
+      {"127.0.0.1", stall_proxy.port()}, {"127.0.0.1", daemon.port()}};
+  resil::ResilOptions unhedged_options =
+      ClientOptions(stall_proxy.port(), /*seed=*/303);
+  unhedged_options.endpoints = stall_endpoints;
+  resil::ResilientClient unhedged_client(std::move(unhedged_options));
+  const LatencyRow unhedged = Replay(unhedged_client, workload, oracle,
+                                     kHedgeRequests, /*id_base=*/200000);
+  resil::ResilOptions hedged_options =
+      ClientOptions(stall_proxy.port(), /*seed=*/404);
+  hedged_options.endpoints = stall_endpoints;
+  hedged_options.hedge_after_ms = 10;
+  resil::ResilientClient hedged_client(std::move(hedged_options));
+  const LatencyRow hedged = Replay(hedged_client, workload, oracle,
+                                   kHedgeRequests, /*id_base=*/300000);
+  stall_proxy.Stop();
+  daemon.Stop();
+
+  std::printf("\n%-22s %10s %10s %10s %12s %9s\n", "phase", "p50[us]",
+              "p99[us]", "p99.9[us]", "goodput[r/s]", "attempts");
+  const auto print_row = [](const char* name, const LatencyRow& row) {
+    std::printf("%-22s %10.1f %10.1f %10.1f %12.0f %9llu\n", name, row.p50_us,
+                row.p99_us, row.p999_us, row.goodput,
+                static_cast<unsigned long long>(row.attempts));
+  };
+  print_row("baseline (no faults)", baseline);
+  print_row("chaos (~13% faults)", under_chaos);
+  print_row("stalls, hedging off", unhedged);
+  print_row("stalls, hedging on", hedged);
+  std::printf("chaos proxy: %llu conns, %llu resets, %llu mid-RSTs, "
+              "%llu corruptions\n",
+              static_cast<unsigned long long>(chaos_stats.connections),
+              static_cast<unsigned long long>(chaos_stats.accept_resets),
+              static_cast<unsigned long long>(chaos_stats.mid_rsts),
+              static_cast<unsigned long long>(chaos_stats.corruptions));
+
+  // Gates.
+  const bool gate_chaos = under_chaos.failures == 0 &&
+                          under_chaos.mismatches == 0 &&
+                          baseline.failures == 0 && baseline.mismatches == 0;
+  const bool gate_hedge = hedged.failures == 0 && hedged.mismatches == 0 &&
+                          unhedged.failures == 0 &&
+                          hedged.p999_us < unhedged.p999_us;
+  const bool gate_sup = sup.ok && sup.warm_bit_identical &&
+                        sup.store_hits > 0;
+  if (!gate_chaos) {
+    std::fprintf(stderr,
+                 "GATE FAILED: chaos phase failures=%zu mismatches=%zu\n",
+                 under_chaos.failures, under_chaos.mismatches);
+  }
+  if (!gate_hedge) {
+    std::fprintf(stderr,
+                 "GATE FAILED: hedging p99.9 %.1fus !< unhedged %.1fus\n",
+                 hedged.p999_us, unhedged.p999_us);
+  }
+  if (!gate_sup) {
+    std::fprintf(stderr, "GATE FAILED: supervisor phase\n");
+  }
+
+  FILE* json = std::fopen("BENCH_resil.json", "w");
+  if (json != nullptr) {
+    const auto row_json = [json](const char* name, const LatencyRow& row,
+                                 const char* tail) {
+      std::fprintf(json,
+                   "  \"%s\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                   "\"p999_us\": %.1f, \"goodput_rps\": %.0f, "
+                   "\"failures\": %zu, \"attempts\": %llu}%s\n",
+                   name, row.p50_us, row.p99_us, row.p999_us, row.goodput,
+                   row.failures,
+                   static_cast<unsigned long long>(row.attempts), tail);
+    };
+    std::fprintf(json,
+                 "{\n"
+                 "  \"experiment\": \"e24_resil\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"utc_date\": \"%s\",\n"
+                 "  \"requests\": {\"baseline\": %zu, \"chaos\": %zu, "
+                 "\"hedge\": %zu},\n",
+                 GitSha().c_str(), UtcDate().c_str(), kBaselineRequests,
+                 kChaosRequests, kHedgeRequests);
+    row_json("baseline", baseline, ",");
+    row_json("chaos", under_chaos, ",");
+    row_json("stalls_unhedged", unhedged, ",");
+    row_json("stalls_hedged", hedged, ",");
+    std::fprintf(json,
+                 "  \"chaos_faults\": {\"accept_resets\": %llu, "
+                 "\"mid_rsts\": %llu, \"corruptions\": %llu},\n"
+                 "  \"supervisor\": {\"cold_ms\": %.1f, "
+                 "\"first_warm_answer_ms\": %.1f, \"store_hits\": %.0f},\n"
+                 "  \"hedging_p999_win\": %.3f,\n"
+                 "  \"bit_identical\": %s\n"
+                 "}\n",
+                 static_cast<unsigned long long>(chaos_stats.accept_resets),
+                 static_cast<unsigned long long>(chaos_stats.mid_rsts),
+                 static_cast<unsigned long long>(chaos_stats.corruptions),
+                 sup.cold_ms, sup.first_warm_ms, sup.store_hits,
+                 unhedged.p999_us > 0 ? unhedged.p999_us / hedged.p999_us
+                                      : 0.0,
+                 gate_chaos && gate_sup ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_resil.json\n");
+  }
+  return gate_chaos && gate_hedge && gate_sup ? 0 : 1;
+}

@@ -1,71 +1,13 @@
 #include "ppref/net/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
-
 #include "ppref/net/codec.h"
+#include "ppref/net/internal/io.h"
 
 namespace ppref::net {
 
-namespace {
-
-Status Errno(const char* what) {
-  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
-}
-
-/// Waits for the fd to become readable/writable within the timeout.
-Status PollFor(int fd, short events, std::uint64_t timeout_ms,
-               const char* what) {
-  pollfd p{};
-  p.fd = fd;
-  p.events = events;
-  const int timeout =
-      timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms);
-  while (true) {
-    const int rc = poll(&p, 1, timeout);
-    if (rc > 0) return Status::Ok();
-    if (rc == 0) {
-      return Status::DeadlineExceeded(std::string(what) + ": io timeout");
-    }
-    if (errno != EINTR) return Errno("poll");
-  }
-}
-
-int ConnectTcp(const std::string& host, int port, Status* status) {
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(static_cast<std::uint16_t>(port));
-  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
-  if (inet_pton(AF_INET, numeric.c_str(), &address.sin_addr) != 1) {
-    *status = Status::InvalidArgument("bad host " + host +
-                                      " (numeric IPv4 required)");
-    return -1;
-  }
-  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    *status = Errno("socket");
-    return -1;
-  }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
-      0) {
-    *status = Errno("connect");
-    close(fd);
-    return -1;
-  }
-  const int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  *status = Status::Ok();
-  return fd;
-}
-
-}  // namespace
+namespace internal_io = ::ppref::net::internal;
 
 Client::Client(int fd, Options options)
     : fd_(fd), options_(options), assembler_(options.max_frame_body) {}
@@ -96,58 +38,41 @@ Client::~Client() {
 
 StatusOr<Client> Client::Connect(const std::string& host, int port,
                                  Options options) {
-  Status status;
-  const int fd = ConnectTcp(host, port, &status);
-  if (fd < 0) return status;
-  return Client(fd, options);
+  StatusOr<int> fd = internal_io::ConnectTcp(
+      host, port, internal_io::DeadlineAfterMs(options.total_deadline_ms));
+  if (!fd.ok()) return fd.status();
+  return Client(*fd, options);
 }
 
 Client Client::FromFd(int fd, Options options) { return Client(fd, options); }
 
-Status Client::WriteAll(std::string_view bytes) {
-  std::size_t offset = 0;
-  while (offset < bytes.size()) {
-    Status ready = PollFor(fd_, POLLOUT, options_.io_timeout_ms, "write");
-    if (!ready.ok()) return ready;
-    const ssize_t n = send(fd_, bytes.data() + offset, bytes.size() - offset,
-                           MSG_NOSIGNAL);
-    if (n > 0) {
-      offset += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
-      continue;
-    }
-    return Errno("send");
-  }
-  return Status::Ok();
+Status Client::WriteAll(std::string_view bytes, std::uint64_t deadline_ns) {
+  return internal_io::WriteFull(fd_, bytes, options_.io_timeout_ms,
+                                deadline_ns);
 }
 
-StatusOr<Frame> Client::ReadFrame() {
+StatusOr<Frame> Client::ReadFrame(std::uint64_t deadline_ns) {
   Frame frame;
   while (true) {
     if (assembler_.Next(&frame)) return frame;
-    Status ready = PollFor(fd_, POLLIN, options_.io_timeout_ms, "read");
-    if (!ready.ok()) return ready;
     char buffer[65536];
-    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
-    if (n > 0) {
-      Status fed = assembler_.Feed(buffer, static_cast<std::size_t>(n));
-      if (!fed.ok()) return fed;
-      continue;
-    }
-    if (n == 0) return Status::Internal("connection closed by peer");
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    return Errno("recv");
+    StatusOr<std::size_t> n = internal_io::ReadSome(
+        fd_, buffer, sizeof(buffer), options_.io_timeout_ms, deadline_ns);
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::Internal("connection closed by peer");
+    Status fed = assembler_.Feed(buffer, *n);
+    if (!fed.ok()) return fed;
   }
 }
 
 StatusOr<WireResponse> Client::Call(const WireRequest& request) {
+  const std::uint64_t deadline =
+      internal_io::DeadlineAfterMs(options_.total_deadline_ms);
   const std::string body = EncodeRequest(request);
-  Status written = WriteAll(EncodeFrame(FrameType::kRequest, body));
+  Status written = WriteAll(EncodeFrame(FrameType::kRequest, body), deadline);
   if (!written.ok()) return written;
   while (true) {
-    StatusOr<Frame> frame = ReadFrame();
+    StatusOr<Frame> frame = ReadFrame(deadline);
     if (!frame.ok()) return frame.status();
     if (frame->type == FrameType::kPong) continue;
     if (frame->type != FrameType::kResponse) {
@@ -163,11 +88,14 @@ StatusOr<WireResponse> Client::Call(const WireRequest& request) {
 }
 
 StatusOr<WireSweepResponse> Client::CallSweep(const WireSweepRequest& request) {
+  const std::uint64_t deadline =
+      internal_io::DeadlineAfterMs(options_.total_deadline_ms);
   const std::string body = EncodeSweepRequest(request);
-  Status written = WriteAll(EncodeFrame(FrameType::kSweepRequest, body));
+  Status written =
+      WriteAll(EncodeFrame(FrameType::kSweepRequest, body), deadline);
   if (!written.ok()) return written;
   while (true) {
-    StatusOr<Frame> frame = ReadFrame();
+    StatusOr<Frame> frame = ReadFrame(deadline);
     if (!frame.ok()) return frame.status();
     if (frame->type == FrameType::kPong) continue;
     if (frame->type != FrameType::kSweepResponse) {
@@ -183,15 +111,19 @@ StatusOr<WireSweepResponse> Client::CallSweep(const WireSweepRequest& request) {
 }
 
 Status Client::Ping() {
+  const std::uint64_t deadline =
+      internal_io::DeadlineAfterMs(options_.total_deadline_ms);
   char payload[8];
   const std::uint64_t token = ++ping_counter_;
   for (int i = 0; i < 8; ++i) {
     payload[i] = static_cast<char>((token >> (8 * i)) & 0xff);
   }
-  Status written = WriteAll(
-      EncodeFrame(FrameType::kPing, std::string_view(payload, sizeof(payload))));
+  Status written =
+      WriteAll(EncodeFrame(FrameType::kPing,
+                           std::string_view(payload, sizeof(payload))),
+               deadline);
   if (!written.ok()) return written;
-  StatusOr<Frame> frame = ReadFrame();
+  StatusOr<Frame> frame = ReadFrame(deadline);
   if (!frame.ok()) return frame.status();
   if (frame->type != FrameType::kPong ||
       frame->body != std::string_view(payload, sizeof(payload))) {
@@ -204,14 +136,19 @@ StatusOr<HttpResult> HttpFetch(const std::string& host, int port,
                                const std::string& method,
                                const std::string& target,
                                const std::string& body,
-                               std::uint64_t io_timeout_ms) {
-  Status status;
-  const int fd = ConnectTcp(host, port, &status);
-  if (fd < 0) return status;
+                               std::uint64_t io_timeout_ms,
+                               std::uint64_t total_deadline_ms,
+                               const std::string& extra_headers) {
+  const std::uint64_t deadline =
+      internal_io::DeadlineAfterMs(total_deadline_ms);
+  StatusOr<int> connected = internal_io::ConnectTcp(host, port, deadline);
+  if (!connected.ok()) return connected.status();
+  const int fd = *connected;
 
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: " + host + "\r\n";
   request += "Connection: close\r\n";
+  request += extra_headers;
   if (!body.empty()) {
     request += "Content-Type: application/json\r\n";
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
@@ -219,43 +156,24 @@ StatusOr<HttpResult> HttpFetch(const std::string& host, int port,
   request += "\r\n";
   request += body;
 
-  std::size_t offset = 0;
-  while (offset < request.size()) {
-    Status ready = PollFor(fd, POLLOUT, io_timeout_ms, "write");
-    if (!ready.ok()) {
-      close(fd);
-      return ready;
-    }
-    const ssize_t n = send(fd, request.data() + offset,
-                           request.size() - offset, MSG_NOSIGNAL);
-    if (n > 0) {
-      offset += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
-      continue;
-    }
+  Status written =
+      internal_io::WriteFull(fd, request, io_timeout_ms, deadline);
+  if (!written.ok()) {
     close(fd);
-    return Errno("send");
+    return written;
   }
 
   std::string raw;
   while (true) {
-    Status ready = PollFor(fd, POLLIN, io_timeout_ms, "read");
-    if (!ready.ok()) {
-      close(fd);
-      return ready;
-    }
     char buffer[65536];
-    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
-    if (n > 0) {
-      raw.append(buffer, static_cast<std::size_t>(n));
-      continue;
+    StatusOr<std::size_t> n = internal_io::ReadSome(
+        fd, buffer, sizeof(buffer), io_timeout_ms, deadline);
+    if (!n.ok()) {
+      close(fd);
+      return n.status();
     }
-    if (n == 0) break;  // daemon closed: response complete
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    close(fd);
-    return Errno("recv");
+    if (*n == 0) break;  // daemon closed: response complete
+    raw.append(buffer, *n);
   }
   close(fd);
 

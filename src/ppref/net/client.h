@@ -26,6 +26,13 @@ namespace ppref::net {
 struct ClientOptions {
   /// Per-poll bound on any single read/write; 0 = block forever.
   std::uint64_t io_timeout_ms = 30000;
+  /// Total wall-clock budget for one operation (Connect, Call, CallSweep,
+  /// Ping), measured from its entry; 0 = no total bound. The per-poll
+  /// `io_timeout_ms` catches a silent peer, but a peer that dribbles one
+  /// byte per poll resets that clock forever — this budget converts such a
+  /// stall into `kDeadlineExceeded`. The resilient client sets it to the
+  /// per-attempt slice of the request deadline.
+  std::uint64_t total_deadline_ms = 0;
   /// Frame body cap for responses (mirrors the daemon's request cap).
   std::size_t max_frame_body = kDefaultMaxBodyBytes;
 };
@@ -67,11 +74,17 @@ class Client {
 
   int fd() const { return fd_; }
 
+  /// Adjusts the per-operation total budget for subsequent operations (the
+  /// resilient client re-budgets the remaining attempt time after connect).
+  void set_total_deadline_ms(std::uint64_t ms) {
+    options_.total_deadline_ms = ms;
+  }
+
  private:
   Client(int fd, Options options);
 
-  Status WriteAll(std::string_view bytes);
-  StatusOr<Frame> ReadFrame();
+  Status WriteAll(std::string_view bytes, std::uint64_t deadline_ns);
+  StatusOr<Frame> ReadFrame(std::uint64_t deadline_ns);
 
   int fd_ = -1;
   Options options_;
@@ -88,11 +101,18 @@ struct HttpResult {
 /// Connects, sends one `Connection: close` HTTP/1.1 request, reads to EOF,
 /// returns the parsed status code and body. `body` non-empty implies a
 /// Content-Length header and `application/json` content type.
+/// `total_deadline_ms` (0 = none) bounds the whole exchange including the
+/// connect, so a blackholed daemon surfaces as `kDeadlineExceeded` instead
+/// of a per-poll-refreshed hang. `extra_headers`, when non-empty, is spliced
+/// verbatim into the header block and must be complete CRLF-terminated
+/// header lines (e.g. "x-ppref-idempotency-key: 7\r\n").
 StatusOr<HttpResult> HttpFetch(const std::string& host, int port,
                                const std::string& method,
                                const std::string& target,
                                const std::string& body = "",
-                               std::uint64_t io_timeout_ms = 30000);
+                               std::uint64_t io_timeout_ms = 30000,
+                               std::uint64_t total_deadline_ms = 0,
+                               const std::string& extra_headers = "");
 
 }  // namespace ppref::net
 

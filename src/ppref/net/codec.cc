@@ -101,10 +101,11 @@ std::string EncodeRequest(const WireRequest& request) {
   Writer w;
   w.U64(request.id);
   w.U8(static_cast<std::uint8_t>(request.kind));
-  w.U8(0);
+  w.U8(request.idempotency_key != 0 ? kRequestFlagIdempotencyKey : 0);
   w.U8(0);
   w.U8(0);
   w.U64(request.deadline_ns);
+  if (request.idempotency_key != 0) w.U64(request.idempotency_key);
 
   const rim::RimModel& model = request.model.model();
   const unsigned m = model.size();
@@ -140,17 +141,26 @@ StatusOr<WireRequest> DecodeRequest(std::string_view body) {
   Reader r(body);
   std::uint64_t id = 0;
   std::uint8_t kind = 0;
+  std::uint8_t flags = 0;
   std::uint64_t deadline_ns = 0;
-  std::uint8_t reserved[3];
-  if (!r.U64(&id) || !r.U8(&kind) || !r.U8(&reserved[0]) ||
-      !r.U8(&reserved[1]) || !r.U8(&reserved[2]) || !r.U64(&deadline_ns)) {
+  std::uint8_t reserved[2];
+  if (!r.U64(&id) || !r.U8(&kind) || !r.U8(&flags) || !r.U8(&reserved[0]) ||
+      !r.U8(&reserved[1]) || !r.U64(&deadline_ns)) {
     return Malformed("truncated preamble");
   }
   if (kind > static_cast<std::uint8_t>(serve::Request::Kind::kTopMatching)) {
     return Malformed("unknown request kind");
   }
-  if (reserved[0] != 0 || reserved[1] != 0 || reserved[2] != 0) {
+  if ((flags & ~kRequestFlagIdempotencyKey) != 0) {
+    return Malformed("unknown request flags");
+  }
+  if (reserved[0] != 0 || reserved[1] != 0) {
     return Malformed("nonzero reserved bytes");
+  }
+  std::uint64_t idempotency_key = 0;
+  if ((flags & kRequestFlagIdempotencyKey) != 0) {
+    if (!r.U64(&idempotency_key)) return Malformed("truncated preamble");
+    if (idempotency_key == 0) return Malformed("zero idempotency key");
   }
 
   // Model: reference ranking. Must be a permutation of 0..m-1 — the Ranking
@@ -236,13 +246,28 @@ StatusOr<WireRequest> DecodeRequest(std::string_view body) {
 
   if (!r.AtEnd()) return Malformed("trailing bytes");
 
-  return WireRequest(
+  WireRequest request(
       id, static_cast<serve::Request::Kind>(kind), deadline_ns,
       infer::LabeledRimModel(
           rim::RimModel(rim::Ranking(std::move(order)),
                         rim::InsertionFunction(std::move(rows))),
           std::move(labeling)),
       std::move(pattern));
+  request.idempotency_key = idempotency_key;
+  return request;
+}
+
+std::uint64_t PeekIdempotencyKey(std::string_view body) {
+  // Preamble: id(8) kind(1) flags(1) reserved(2) deadline(8) [key(8)].
+  if (body.size() < 28) return 0;
+  const auto flags = static_cast<std::uint8_t>(body[9]);
+  if ((flags & kRequestFlagIdempotencyKey) == 0) return 0;
+  std::uint64_t key = 0;
+  for (int i = 0; i < 8; ++i) {
+    key |= static_cast<std::uint64_t>(static_cast<unsigned char>(body[20 + i]))
+           << (8 * i);
+  }
+  return key;
 }
 
 // ---------------------------------------------------------------------------

@@ -7,8 +7,9 @@
 ///
 /// ### Request body (FrameType::kRequest)
 /// ```
-/// u64 id            u8 kind            u8[3] reserved (0)
+/// u64 id            u8 kind            u8 flags           u8[2] reserved (0)
 /// u64 deadline_ns
+/// [u64 idempotency_key]                        (iff flags bit 0)
 /// u32 m             u32[m] reference order (a permutation of 0..m-1)
 /// f64[1+2+…+m] insertion rows, row t carrying t+1 entries
 /// per item: u32 label_count, u32[label_count] labels
@@ -78,8 +79,19 @@ inline constexpr unsigned kMaxWireNodes = 64;
 inline constexpr unsigned kMaxWireLabelsPerItem = 64;
 inline constexpr unsigned kMaxWirePoints = 8192;
 
+/// Flags-byte bits of the request preamble. Undefined bits must be zero
+/// (decode error) — they are the format's forward-compatibility reserve.
+inline constexpr std::uint8_t kRequestFlagIdempotencyKey = 0x01;
+
 /// Request body bytes (frame it with FrameType::kRequest).
 std::string EncodeRequest(const WireRequest& request);
+
+/// Best-effort extraction of the idempotency key from an *encoded* request
+/// body, without decoding (the daemon claims its dedup slot before the
+/// expensive decode+evaluate). Returns 0 — "unkeyed" — when the body is too
+/// short or the flag is unset; a body that lies about the flag fails the
+/// full decode afterwards.
+std::uint64_t PeekIdempotencyKey(std::string_view body);
 
 /// Parses and fully validates a request body. kInvalidArgument on any
 /// malformed input; never aborts, throws, or over-reads.

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "ppref/common/hash.h"
 #include "ppref/common/parallel.h"
 #include "ppref/net/codec.h"
 #include "ppref/obs/metrics.h"
@@ -48,6 +49,28 @@ std::uint64_t PeekId(std::string_view body, std::size_t offset) {
           << (8 * i);
   }
   return id;
+}
+
+/// Protocol-plane tags folded into idempotency-table keys: the binary and
+/// HTTP planes retain different byte encodings of the same logical answer,
+/// so their keys must never alias.
+constexpr std::uint64_t kIdemPlaneBinary = 0x62696e5050524631ull;  // "binPPRF1"
+constexpr std::uint64_t kIdemPlaneHttp = 0x6874745050524631ull;    // "httPPRF1"
+
+/// Strict decimal u64 parse for the idempotency HTTP header; false on
+/// empty, non-digit, overflow, or zero.
+bool ParseHeaderKey(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~0ull - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  if (value == 0) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -160,6 +183,17 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
     server_ = owned_server_.get();
   }
   instruments_ = std::make_unique<Instruments>(server_->registry());
+  if (options_.idempotency_capacity > 0) {
+    IdempotencyTable::Options idem_options;
+    idem_options.capacity = options_.idempotency_capacity;
+    idem_options.registry = &server_->registry();
+    idempotency_ = std::make_unique<IdempotencyTable>(idem_options);
+  }
+}
+
+IdempotencyTable::Stats Daemon::idempotency_stats() const {
+  return idempotency_ != nullptr ? idempotency_->stats()
+                                 : IdempotencyTable::Stats{};
 }
 
 Daemon::~Daemon() {
@@ -751,22 +785,74 @@ void Daemon::WorkerLoop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
+
+    // Idempotent re-execution: a keyed request claims its table slot before
+    // the expensive decode+evaluate. A replayed or coalesced retry costs no
+    // serve-layer work at all; a waiter produces *no* completion here — the
+    // owner's Publish fans the bytes out to every parked waiter.
+    std::uint64_t idem_key = 0;
+    if (idempotency_ != nullptr) {
+      if (job.http) {
+        const std::string* header =
+            job.request.Header("x-ppref-idempotency-key");
+        std::uint64_t raw = 0;
+        if (job.request.method == "POST" && job.request.target == "/query" &&
+            header != nullptr && ParseHeaderKey(*header, &raw)) {
+          idem_key = HashCombine(kIdemPlaneHttp, raw);
+        }
+      } else if (!job.sweep) {
+        const std::uint64_t raw = PeekIdempotencyKey(job.body);
+        if (raw != 0) {
+          // The wire id is folded in so retained bytes echo the id their
+          // requester sent (retries reuse id + key; see wire.h).
+          idem_key = HashCombine(HashCombine(kIdemPlaneBinary, raw),
+                                 PeekId(job.body, 0));
+        }
+      }
+    }
+    const bool http_close = job.http;  // HTTP is one-shot (Connection: close)
+    if (idem_key != 0) {
+      IdempotencyTable::Claim claim =
+          idempotency_->Begin(idem_key, job.conn_id);
+      if (claim.role == IdempotencyTable::Role::kReplay) {
+        Completion completion;
+        completion.conn_id = job.conn_id;
+        completion.bytes = std::move(claim.replay_bytes);
+        completion.close_after = http_close;
+        PushCompletion(std::move(completion));
+        continue;
+      }
+      if (claim.role == IdempotencyTable::Role::kWaiter) continue;
+    }
+
     Completion completion;
     completion.conn_id = job.conn_id;
+    bool retain = false;
     if (job.http) {
-      completion.bytes =
-          ExecuteHttp(job.request, drain_.load(std::memory_order_acquire));
-      completion.close_after = true;  // HTTP is one-shot (Connection: close)
+      completion.bytes = ExecuteHttp(
+          job.request, drain_.load(std::memory_order_acquire), &retain);
+      completion.close_after = true;
     } else {
-      completion.bytes =
-          job.sweep ? ExecuteBinarySweep(job.body) : ExecuteBinary(job.body);
+      completion.bytes = job.sweep ? ExecuteBinarySweep(job.body)
+                                   : ExecuteBinary(job.body, &retain);
       completion.close_after = false;
+    }
+    if (idem_key != 0) {
+      const std::vector<std::uint64_t> waiters =
+          idempotency_->Publish(idem_key, completion.bytes, retain);
+      for (std::uint64_t waiter : waiters) {
+        Completion coalesced;
+        coalesced.conn_id = waiter;
+        coalesced.bytes = completion.bytes;
+        coalesced.close_after = http_close;
+        PushCompletion(std::move(coalesced));
+      }
     }
     PushCompletion(std::move(completion));
   }
 }
 
-std::string Daemon::ExecuteBinary(const std::string& body) {
+std::string Daemon::ExecuteBinary(const std::string& body, bool* retain_idem) {
   StatusOr<WireRequest> request = DecodeRequest(body);
   WireResponse response;
   if (!request.ok()) {
@@ -777,6 +863,13 @@ std::string Daemon::ExecuteBinary(const std::string& body) {
   } else {
     response = WireResponse::From(request->id,
                                   server_->Evaluate(request->ToRequest()));
+  }
+  // Terminal answers replay bit-identically: exact OK answers, and degraded
+  // approximate ones (seeded MC — *the* answer for this request, so a retry
+  // must see the same bits). Transient refusals (shed, empty-handed
+  // deadline) must not be pinned — a later retry deserves a fresh attempt.
+  if (retain_idem != nullptr) {
+    *retain_idem = response.status.ok() || response.approximate;
   }
   return EncodeFrame(FrameType::kResponse, EncodeResponse(response));
 }
@@ -802,7 +895,9 @@ std::string Daemon::ExecuteBinarySweep(const std::string& body) {
   return EncodeFrame(FrameType::kSweepResponse, EncodeSweepResponse(response));
 }
 
-std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining) {
+std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining,
+                                bool* retain_idem) {
+  if (retain_idem != nullptr) *retain_idem = false;
   if (request.method == "GET") {
     if (request.target == "/healthz") {
       if (draining) {
@@ -871,6 +966,9 @@ std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining) {
   }
   const WireResponse response =
       WireResponse::From(wire->id, server_->Evaluate(wire->ToRequest()));
+  if (retain_idem != nullptr) {
+    *retain_idem = response.status.ok() || response.approximate;
+  }
   return RenderHttpResponse(200, "OK", "application/json",
                             JsonFromWireResponse(response));
 }

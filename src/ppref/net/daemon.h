@@ -68,6 +68,7 @@
 #include <vector>
 
 #include "ppref/common/status.h"
+#include "ppref/net/dedup.h"
 #include "ppref/net/frame.h"
 #include "ppref/net/http.h"
 #include "ppref/serve/server.h"
@@ -97,6 +98,11 @@ struct DaemonOptions {
   std::size_t max_frame_body = kDefaultMaxBodyBytes;
   /// HTTP request cap handed to each connection's HttpAccumulator.
   std::size_t max_http_bytes = kDefaultMaxHttpBytes;
+  /// Retained entries in the idempotency table (net/dedup.h): keyed
+  /// requests single-flight while in flight and replay bit-identical bytes
+  /// afterwards, until FIFO-evicted past this bound. 0 disables idempotent
+  /// re-execution (keys are then ignored).
+  std::size_t idempotency_capacity = 4096;
   /// The serve layer configuration for the daemon-owned server (ignored
   /// when `server` is set).
   serve::ServerOptions server_options;
@@ -147,6 +153,9 @@ class Daemon {
   serve::Server& server() { return *server_; }
   const serve::Server& server() const { return *server_; }
 
+  /// Idempotency-table totals (zeros when disabled). Thread-safe.
+  IdempotencyTable::Stats idempotency_stats() const;
+
  private:
   struct Connection;
   struct Job;
@@ -172,10 +181,13 @@ class Daemon {
   void CloseExpiredConnections();
   int NextTimeoutMs() const;
 
-  // Worker-side request execution (no connection access).
-  std::string ExecuteBinary(const std::string& body);
+  // Worker-side request execution (no connection access). `retain_idem`
+  // (when non-null) reports whether the produced bytes are a terminal
+  // answer safe to retain for idempotent replay.
+  std::string ExecuteBinary(const std::string& body, bool* retain_idem);
   std::string ExecuteBinarySweep(const std::string& body);
-  std::string ExecuteHttp(const HttpRequest& request, bool draining);
+  std::string ExecuteHttp(const HttpRequest& request, bool draining,
+                          bool* retain_idem);
 
   void PushJob(Job job);
   void PushCompletion(Completion completion);
@@ -185,6 +197,7 @@ class Daemon {
   std::unique_ptr<serve::Server> owned_server_;
   serve::Server* server_ = nullptr;
   std::unique_ptr<Instruments> instruments_;
+  std::unique_ptr<IdempotencyTable> idempotency_;
 
   int epoll_fd_ = -1;
   int listen_fd_ = -1;

@@ -1,0 +1,91 @@
+#include "ppref/net/dedup.h"
+
+#include <utility>
+
+#include "ppref/obs/metrics.h"
+
+namespace ppref::net {
+
+IdempotencyTable::IdempotencyTable(Options options)
+    : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.registry != nullptr) {
+    owner_counter_ = &options_.registry->GetCounter(
+        "ppref_net_idem_owner_total",
+        "Keyed requests executed as the owning (first) attempt");
+    coalesced_counter_ = &options_.registry->GetCounter(
+        "ppref_net_idem_coalesced_total",
+        "Keyed requests coalesced onto an in-flight execution");
+    replayed_counter_ = &options_.registry->GetCounter(
+        "ppref_net_idem_replayed_total",
+        "Keyed requests answered from retained response bytes");
+    evicted_counter_ = &options_.registry->GetCounter(
+        "ppref_net_idem_evicted_total",
+        "Retained idempotency entries dropped by the capacity bound");
+  }
+}
+
+IdempotencyTable::Claim IdempotencyTable::Begin(std::uint64_t key,
+                                                std::uint64_t waiter_token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  Claim claim;
+  if (inserted) {
+    claim.role = Role::kOwner;
+    ++stats_.owner;
+    if (owner_counter_ != nullptr) owner_counter_->Inc();
+    return claim;
+  }
+  if (it->second.done) {
+    claim.role = Role::kReplay;
+    claim.replay_bytes = it->second.bytes;
+    ++stats_.replayed;
+    if (replayed_counter_ != nullptr) replayed_counter_->Inc();
+    return claim;
+  }
+  it->second.waiters.push_back(waiter_token);
+  claim.role = Role::kWaiter;
+  ++stats_.coalesced;
+  if (coalesced_counter_ != nullptr) coalesced_counter_->Inc();
+  return claim;
+}
+
+std::vector<std::uint64_t> IdempotencyTable::Publish(std::uint64_t key,
+                                                     std::string bytes,
+                                                     bool retain) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.done) {
+    // Publish without a live in-flight entry is an owner-contract violation;
+    // tolerate it (nothing to deliver) rather than abort a server.
+    return {};
+  }
+  std::vector<std::uint64_t> waiters = std::move(it->second.waiters);
+  if (!retain) {
+    entries_.erase(it);
+    return waiters;
+  }
+  it->second.done = true;
+  it->second.bytes = std::move(bytes);
+  it->second.waiters.clear();
+  retained_fifo_.push_back(key);
+  ++retained_count_;
+  while (retained_count_ > options_.capacity && !retained_fifo_.empty()) {
+    const std::uint64_t victim = retained_fifo_.front();
+    retained_fifo_.pop_front();
+    auto victim_it = entries_.find(victim);
+    if (victim_it == entries_.end() || !victim_it->second.done) continue;
+    entries_.erase(victim_it);
+    --retained_count_;
+    ++stats_.evicted;
+    if (evicted_counter_ != nullptr) evicted_counter_->Inc();
+  }
+  return waiters;
+}
+
+IdempotencyTable::Stats IdempotencyTable::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ppref::net

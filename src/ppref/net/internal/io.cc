@@ -1,0 +1,175 @@
+#include "ppref/net/internal/io.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "ppref/common/clock.h"
+
+namespace ppref::net::internal {
+
+namespace {
+
+/// Milliseconds until `deadline_ns`, clamped into poll()'s int argument.
+/// Returns -1 for "no bound". A past deadline yields 0 so poll still makes
+/// one non-blocking readiness check before the caller reports expiry.
+int PollTimeoutMs(std::uint64_t step_timeout_ms, std::uint64_t deadline_ns) {
+  std::uint64_t bound_ms = step_timeout_ms;  // 0 = unbounded
+  if (deadline_ns != 0) {
+    const std::uint64_t now = MonotonicNowNs();
+    const std::uint64_t left_ms =
+        now >= deadline_ns ? 0 : (deadline_ns - now + 999'999) / 1'000'000;
+    bound_ms = bound_ms == 0 ? left_ms : std::min(bound_ms, left_ms);
+    if (bound_ms == 0) return 0;  // deadline already passed
+  }
+  if (bound_ms == 0) return -1;
+  const std::uint64_t cap = 1u << 30;  // keep well inside int range
+  return static_cast<int>(std::min(bound_ms, cap));
+}
+
+bool DeadlinePassed(std::uint64_t deadline_ns) {
+  return deadline_ns != 0 && MonotonicNowNs() >= deadline_ns;
+}
+
+}  // namespace
+
+void IgnoreSigpipe() { signal(SIGPIPE, SIG_IGN); }
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+std::uint64_t DeadlineAfterMs(std::uint64_t ms) {
+  return ms == 0 ? 0 : MonotonicNowNs() + ms * 1'000'000;
+}
+
+Status PollFor(int fd, short events, std::uint64_t step_timeout_ms,
+               std::uint64_t deadline_ns, const char* what) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  while (true) {
+    if (DeadlinePassed(deadline_ns)) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      ": deadline exceeded");
+    }
+    const int rc = poll(&p, 1, PollTimeoutMs(step_timeout_ms, deadline_ns));
+    if (rc > 0) return Status::Ok();
+    if (rc == 0) {
+      if (DeadlinePassed(deadline_ns)) {
+        return Status::DeadlineExceeded(std::string(what) +
+                                        ": deadline exceeded");
+      }
+      return Status::DeadlineExceeded(std::string(what) + ": io timeout");
+    }
+    if (errno != EINTR) return ErrnoStatus("poll");
+  }
+}
+
+Status WriteFull(int fd, std::string_view bytes, std::uint64_t step_timeout_ms,
+                 std::uint64_t deadline_ns, const char* what) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    Status ready = PollFor(fd, POLLOUT, step_timeout_ms, deadline_ns, what);
+    if (!ready.ok()) return ready;
+    const ssize_t n = send(fd, bytes.data() + offset, bytes.size() - offset,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return ErrnoStatus(what);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::size_t> ReadSome(int fd, void* out, std::size_t capacity,
+                               std::uint64_t step_timeout_ms,
+                               std::uint64_t deadline_ns, const char* what) {
+  while (true) {
+    Status ready = PollFor(fd, POLLIN, step_timeout_ms, deadline_ns, what);
+    if (!ready.ok()) return ready;
+    const ssize_t n = recv(fd, out, capacity, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoStatus(what);
+  }
+}
+
+Status ReadFull(int fd, void* out, std::size_t size,
+                std::uint64_t step_timeout_ms, std::uint64_t deadline_ns,
+                const char* what) {
+  std::size_t offset = 0;
+  char* bytes = static_cast<char*>(out);
+  while (offset < size) {
+    StatusOr<std::size_t> n = ReadSome(fd, bytes + offset, size - offset,
+                                       step_timeout_ms, deadline_ns, what);
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::Internal("connection closed by peer");
+    offset += *n;
+  }
+  return Status::Ok();
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, int port,
+                         std::uint64_t deadline_ns) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host " + host +
+                                   " (numeric IPv4 required)");
+  }
+  const int fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  // Non-blocking connect + poll: an EINTR during the wait resumes the same
+  // in-progress connect instead of failing a restarted blocking connect
+  // with EALREADY, and the deadline bounds a silently dropped SYN.
+  if (connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
+      Status status = ErrnoStatus("connect");
+      close(fd);
+      return status;
+    }
+    Status ready = PollFor(fd, POLLOUT, 0, deadline_ns, "connect");
+    if (!ready.ok()) {
+      close(fd);
+      return ready;
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+        error != 0) {
+      if (error != 0) errno = error;
+      Status status = ErrnoStatus("connect");
+      close(fd);
+      return status;
+    }
+  }
+  const int flags = fcntl(fd, F_GETFL);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    Status status = ErrnoStatus("fcntl");
+    close(fd);
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace ppref::net::internal

@@ -1,0 +1,85 @@
+/// \file io.h
+/// \brief `ppref::net::internal` — the shared blocking-socket IO helpers.
+///
+/// Every raw `read`/`write`/`connect` call site in the blocking half of the
+/// network stack (`net::Client`, `HttpFetch`, the supervisor's health
+/// probes) funnels through these helpers, which pin down the three
+/// contracts that used to be re-implemented (and re-missed) per call site:
+///
+///  1. **EINTR and short transfers never surface.** Loops retry interrupted
+///     syscalls and partial reads/writes until the transfer completes or a
+///     bound fires.
+///  2. **`SIGPIPE` cannot kill the process.** All writes go through
+///     `send(…, MSG_NOSIGNAL)`; a dead peer is a returned `Status`, never a
+///     signal. Tools additionally call `IgnoreSigpipe()` at startup so any
+///     stray `write(2)` (stdout pipes, third-party code) is covered too.
+///  3. **Two-level timeouts.** Each helper takes a per-step poll bound
+///     (`step_timeout_ms`, 0 = unbounded) *and* an absolute monotonic
+///     deadline (`deadline_ns` on the `MonotonicNowNs` clock, 0 = none).
+///     The step bound catches a silent peer; the deadline catches a
+///     dribbling one — a peer that trickles one byte per poll can extend a
+///     step-bounded loop forever, which is exactly the stalled-daemon hang
+///     the resilience layer must convert into `kDeadlineExceeded`.
+///
+/// The epoll planes (daemon, chaos proxy) keep their own non-blocking
+/// loops — their EINTR/EAGAIN handling is part of the event-loop state
+/// machine — but share the same MSG_NOSIGNAL discipline.
+
+#ifndef PPREF_NET_INTERNAL_IO_H_
+#define PPREF_NET_INTERNAL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ppref/common/status.h"
+
+namespace ppref::net::internal {
+
+/// Process-wide `signal(SIGPIPE, SIG_IGN)`. Idempotent; call it from any
+/// main() that writes to sockets or pipes.
+void IgnoreSigpipe();
+
+/// `Status::Internal` carrying `what: strerror(errno)`.
+Status ErrnoStatus(const char* what);
+
+/// `MonotonicNowNs() + ms * 1e6`, or 0 (no deadline) when `ms` is 0.
+std::uint64_t DeadlineAfterMs(std::uint64_t ms);
+
+/// Waits until `fd` is ready for `events` (POLLIN / POLLOUT). Retries
+/// EINTR. Returns kDeadlineExceeded when the per-step bound or the absolute
+/// deadline fires first.
+Status PollFor(int fd, short events, std::uint64_t step_timeout_ms,
+               std::uint64_t deadline_ns, const char* what);
+
+/// Writes all of `bytes` (send + MSG_NOSIGNAL), polling for writability
+/// between short writes. A closed peer surfaces as a Status, never SIGPIPE.
+Status WriteFull(int fd, std::string_view bytes,
+                 std::uint64_t step_timeout_ms, std::uint64_t deadline_ns,
+                 const char* what = "write");
+
+/// Reads exactly `size` bytes into `out`. Peer EOF before `size` bytes is
+/// kInternal ("connection closed by peer").
+Status ReadFull(int fd, void* out, std::size_t size,
+                std::uint64_t step_timeout_ms, std::uint64_t deadline_ns,
+                const char* what = "read");
+
+/// Reads up to `capacity` bytes (at least one poll-bounded attempt).
+/// Returns the byte count; 0 means the peer closed cleanly.
+StatusOr<std::size_t> ReadSome(int fd, void* out, std::size_t capacity,
+                               std::uint64_t step_timeout_ms,
+                               std::uint64_t deadline_ns,
+                               const char* what = "read");
+
+/// Connects a TCP socket to a numeric IPv4 `host` (or "localhost"), with
+/// TCP_NODELAY set, bounded by `deadline_ns` (0 = the kernel's own connect
+/// timeout). EINTR-safe: the connect is non-blocking + poll + SO_ERROR, so
+/// an interrupted wait resumes instead of failing with EALREADY. On success
+/// the returned fd is in blocking mode.
+StatusOr<int> ConnectTcp(const std::string& host, int port,
+                         std::uint64_t deadline_ns);
+
+}  // namespace ppref::net::internal
+
+#endif  // PPREF_NET_INTERNAL_IO_H_

@@ -50,6 +50,12 @@ struct WireRequest {
   /// Per-request deadline in nanoseconds, measured from daemon dispatch;
   /// 0 = the server's default.
   std::uint64_t deadline_ns = 0;
+  /// Client-chosen idempotency key; 0 = unkeyed. All attempts (retries,
+  /// hedges) of one logical request must carry the same key *and* the same
+  /// `id`: the daemon single-flights and replays by (key, id), so retries
+  /// coalesce onto the first execution and replayed bytes echo the right
+  /// correlation id. See net/dedup.h for the lifecycle.
+  std::uint64_t idempotency_key = 0;
   infer::LabeledRimModel model;
   infer::LabelPattern pattern;
 

@@ -1,0 +1,54 @@
+#include "ppref/resil/backoff.h"
+
+#include <algorithm>
+
+namespace ppref::resil {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Backoff::Backoff(BackoffOptions options)
+    : options_(options), state_(options.seed), prev_ms_(options.base_ms) {
+  if (options_.base_ms == 0) options_.base_ms = 1;
+  if (options_.cap_ms < options_.base_ms) options_.cap_ms = options_.base_ms;
+  prev_ms_ = options_.base_ms;
+}
+
+std::uint64_t Backoff::NextDelayMs() {
+  // uniform(base, prev * 3): the walk's upper bound grows from the previous
+  // *drawn* delay, not a deterministic doubling — that is the decorrelation.
+  const std::uint64_t upper = std::max(options_.base_ms, prev_ms_ * 3);
+  const std::uint64_t span = upper - options_.base_ms + 1;
+  const std::uint64_t draw =
+      options_.base_ms + SplitMix64(&state_) % span;
+  prev_ms_ = std::min(options_.cap_ms, draw);
+  return prev_ms_;
+}
+
+void Backoff::Reset() { prev_ms_ = options_.base_ms; }
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options), tokens_(options.initial_tokens) {}
+
+bool RetryBudget::TrySpend() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tokens_ < options_.cost_per_retry) return false;
+  tokens_ -= options_.cost_per_retry;
+  return true;
+}
+
+void RetryBudget::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tokens_ = std::min(options_.max_tokens, tokens_ + options_.tokens_per_success);
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tokens_;
+}
+
+}  // namespace ppref::resil

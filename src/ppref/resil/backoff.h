@@ -1,0 +1,96 @@
+/// \file backoff.h
+/// \brief `ppref::resil` — retry pacing primitives: decorrelated-jitter
+/// backoff and the token-bucket retry budget.
+///
+/// Both exist to keep a fleet of retrying clients from synchronizing into a
+/// retry storm against a browning-out daemon:
+///
+/// **Decorrelated jitter.** Plain exponential backoff with full jitter
+/// still correlates clients that failed at the same instant. Decorrelated
+/// jitter draws each delay from `uniform(base, prev * 3)`, capped — the
+/// delay sequence itself is the random walk, so two clients that start in
+/// lockstep diverge after one step. Delays are produced by a splitmix64
+/// stream seeded per client: deterministic for tests, distinct across
+/// clients by seed.
+///
+/// **Retry budget.** Backoff spaces retries out; the budget bounds how many
+/// there can *be*. Each retry spends one token; each success drips a
+/// configurable fraction of a token back (classic 10%: sustained retry
+/// traffic is bounded at ~10% of successful traffic, so retries can absorb
+/// a blip but cannot double load on a daemon that is already shedding).
+/// An empty bucket means fail fast — return the last error now, because
+/// adding load is the one thing guaranteed to make overload worse.
+
+#ifndef PPREF_RESIL_BACKOFF_H_
+#define PPREF_RESIL_BACKOFF_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace ppref::resil {
+
+/// The splitmix64 step: deterministic, seed-stable, good enough jitter.
+std::uint64_t SplitMix64(std::uint64_t* state);
+
+struct BackoffOptions {
+  /// Lower bound of every delay (and the first draw's upper bound seed).
+  std::uint64_t base_ms = 5;
+  /// Upper clamp on any delay.
+  std::uint64_t cap_ms = 2000;
+  /// Jitter stream seed; same seed → same delay sequence.
+  std::uint64_t seed = 1;
+};
+
+/// Decorrelated-jitter delay sequence. Not thread-safe: one instance per
+/// logical call sequence (the resilient client owns one per Call).
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions options = {});
+
+  /// The next delay: `min(cap, uniform(base, prev * 3))`.
+  std::uint64_t NextDelayMs();
+
+  /// Restarts the sequence (prev := base) without reseeding the stream.
+  void Reset();
+
+ private:
+  BackoffOptions options_;
+  std::uint64_t state_;
+  std::uint64_t prev_ms_;
+};
+
+struct RetryBudgetOptions {
+  /// Tokens in the bucket at construction (burst allowance).
+  double initial_tokens = 10.0;
+  /// Bucket capacity; success refills saturate here.
+  double max_tokens = 10.0;
+  /// Tokens returned per recorded success (0.1 = retries bounded at ~10%
+  /// of success throughput in steady state).
+  double tokens_per_success = 0.1;
+  /// Cost of one retry.
+  double cost_per_retry = 1.0;
+};
+
+/// Token-bucket retry budget. Thread-safe (hedge threads and the caller
+/// both touch it).
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetOptions options = {});
+
+  /// Spends one retry's cost if available; false = no budget, fail fast.
+  bool TrySpend();
+
+  /// Drips `tokens_per_success` back (saturating at `max_tokens`).
+  void RecordSuccess();
+
+  double tokens() const;
+
+ private:
+  RetryBudgetOptions options_;
+  mutable std::mutex mutex_;
+  double tokens_;
+};
+
+}  // namespace ppref::resil
+
+#endif  // PPREF_RESIL_BACKOFF_H_

@@ -1,0 +1,540 @@
+#include "ppref/resil/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "ppref/resil/backoff.h"
+
+namespace ppref::resil {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+/// Both per-connection fds map into epoll user data as (id << 1) | side.
+constexpr std::uint64_t kSideClient = 0;
+constexpr std::uint64_t kSideUpstream = 1;
+
+/// Stop reading a side once this much is buffered for the other.
+constexpr std::size_t kBackpressureBytes = 4u << 20;
+
+void SetLingerReset(int fd) {
+  // SO_LINGER{on, 0}: close() discards the send queue and emits RST
+  // instead of FIN — the canonical way to inject a connection reset.
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+}
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+struct ChaosProxy::Conn {
+  std::uint64_t id = 0;
+  int client_fd = -1;
+  int upstream_fd = -1;
+  Fate fate = Fate::kNormal;
+  bool upstream_connected = false;
+  bool client_eof = false;
+  bool upstream_eof = false;
+  bool mid_rst_fired = false;
+  bool corrupt_done = false;
+  bool stall_done = false;
+  bool stalled = false;
+  Clock::time_point stall_until;
+
+  std::string to_upstream;
+  std::size_t to_upstream_off = 0;
+  std::string to_client;
+  std::size_t to_client_off = 0;
+
+  std::size_t c2u_count = 0;    // client bytes read
+  std::size_t u2c_count = 0;    // upstream bytes read (corruption offset)
+  std::size_t u2c_written = 0;  // bytes delivered to the client
+
+  std::uint32_t client_events = 0;
+  std::uint32_t upstream_events = 0;
+
+  std::size_t to_upstream_pending() const {
+    return to_upstream.size() - to_upstream_off;
+  }
+  std::size_t to_client_pending() const {
+    return to_client.size() - to_client_off;
+  }
+};
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(std::move(options)) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  if (started_.exchange(true)) return Status::Internal("already started");
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+  epoll_event wake_event{};
+  wake_event.events = EPOLLIN;
+  wake_event.data.u64 = kWakeTag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_event);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(options_.listen_port));
+  if (inet_pton(AF_INET, options_.listen_address.c_str(), &address.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad listen address " +
+                                   options_.listen_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+           sizeof(address)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(listen_fd_, 128) != 0) return Errno("listen");
+  socklen_t length = sizeof(address);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+  epoll_event listen_event{};
+  listen_event.events = EPOLLIN;
+  listen_event.data.u64 = kListenTag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_event);
+
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void ChaosProxy::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  if (wake_fd_ >= 0) close(wake_fd_);
+  wake_fd_ = -1;
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  epoll_fd_ = -1;
+}
+
+ChaosProxy::Stats ChaosProxy::stats() const {
+  Stats out;
+  out.connections = stats_.connections.load();
+  out.accept_resets = stats_.accept_resets.load();
+  out.mid_rsts = stats_.mid_rsts.load();
+  out.corruptions = stats_.corruptions.load();
+  out.blackholes = stats_.blackholes.load();
+  out.stalls = stats_.stalls.load();
+  out.bytes_client_to_upstream = stats_.bytes_c2u.load();
+  out.bytes_upstream_to_client = stats_.bytes_u2c.load();
+  return out;
+}
+
+ChaosProxy::Fate ChaosProxy::DrawFate(std::uint64_t conn_index) const {
+  const ChaosScenario& s = options_.scenario;
+  std::uint64_t state = s.seed ^ (conn_index * 0x9e3779b97f4a7c15ull);
+  const unsigned draw = static_cast<unsigned>(SplitMix64(&state) % 1000);
+  unsigned edge = s.accept_reset_permille;
+  if (draw < edge) return Fate::kAcceptReset;
+  edge += s.mid_rst_permille;
+  if (draw < edge) return Fate::kMidRst;
+  edge += s.corrupt_permille;
+  if (draw < edge) return Fate::kCorrupt;
+  edge += s.blackhole_permille;
+  if (draw < edge) return Fate::kBlackhole;
+  edge += s.stall_permille;
+  if (draw < edge) return Fate::kStall;
+  return Fate::kNormal;
+}
+
+void ChaosProxy::Loop() {
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int ready = epoll_wait(epoll_fd_, events, 64, NextTimeoutMs());
+    if (ready < 0 && errno != EINTR) break;
+    for (int i = 0; i < ready; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptReady();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      const std::uint64_t conn_id = tag >> 1;
+      auto it = conns_.find(conn_id);
+      if (it == conns_.end()) continue;
+      Conn& conn = *it->second;
+      if ((tag & 1) == kSideUpstream) {
+        HandleUpstreamEvent(conn, events[i].events);
+      } else {
+        if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+          HandleClientReadable(conn);
+        }
+        if (conns_.find(conn_id) != conns_.end() &&
+            (events[i].events & EPOLLOUT) != 0) {
+          FlushToClient(conn);
+        }
+      }
+      if (conns_.find(conn_id) != conns_.end()) UpdateInterest(conn);
+    }
+    // Resume stalled connections whose hold expired.
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> resumed;
+    for (auto& [id, conn] : conns_) {
+      if (conn->stalled && now >= conn->stall_until) {
+        conn->stalled = false;
+        resumed.push_back(id);
+      }
+    }
+    for (std::uint64_t id : resumed) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      FlushToClient(*it->second);
+      if (conns_.find(id) != conns_.end()) UpdateInterest(*it->second);
+    }
+  }
+  // Teardown on the loop thread: connection state is single-owner here.
+  for (auto& [id, conn] : conns_) {
+    if (conn->client_fd >= 0) close(conn->client_fd);
+    if (conn->upstream_fd >= 0) close(conn->upstream_fd);
+  }
+  conns_.clear();
+}
+
+int ChaosProxy::NextTimeoutMs() const {
+  int best = 500;
+  const Clock::time_point now = Clock::now();
+  for (const auto& [id, conn] : conns_) {
+    if (!conn->stalled) continue;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          conn->stall_until - now)
+                          .count();
+    best = std::max(0, std::min<int>(best, static_cast<int>(left)));
+  }
+  return best;
+}
+
+void ChaosProxy::AcceptReady() {
+  while (true) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) return;
+    stats_.connections.fetch_add(1);
+    const Fate fate = DrawFate(accepted_count_++);
+    if (fate == Fate::kAcceptReset) {
+      stats_.accept_resets.fetch_add(1);
+      SetLingerReset(fd);
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->client_fd = fd;
+    conn->fate = fate;
+    if (fate == Fate::kBlackhole) {
+      stats_.blackholes.fetch_add(1);
+    } else {
+      // Begin the upstream connect; completion (or failure) arrives as
+      // EPOLLOUT on the upstream fd.
+      conn->upstream_fd =
+          socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+      sockaddr_in address{};
+      address.sin_family = AF_INET;
+      address.sin_port =
+          htons(static_cast<std::uint16_t>(options_.upstream_port));
+      const std::string numeric = options_.upstream_host == "localhost"
+                                      ? "127.0.0.1"
+                                      : options_.upstream_host;
+      bool dial_failed =
+          conn->upstream_fd < 0 ||
+          inet_pton(AF_INET, numeric.c_str(), &address.sin_addr) != 1;
+      if (!dial_failed) {
+        const int rc =
+            connect(conn->upstream_fd, reinterpret_cast<sockaddr*>(&address),
+                    sizeof(address));
+        dial_failed = rc != 0 && errno != EINPROGRESS && errno != EINTR;
+        conn->upstream_connected = rc == 0;
+      }
+      if (dial_failed) {
+        SetLingerReset(fd);
+        close(fd);
+        if (conn->upstream_fd >= 0) close(conn->upstream_fd);
+        continue;
+      }
+      setsockopt(conn->upstream_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+      epoll_event up_event{};
+      up_event.events = conn->upstream_connected ? EPOLLIN : EPOLLOUT;
+      up_event.data.u64 = (conn->id << 1) | kSideUpstream;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->upstream_fd, &up_event);
+      conn->upstream_events = up_event.events;
+    }
+    epoll_event client_event{};
+    client_event.events = EPOLLIN;
+    client_event.data.u64 = (conn->id << 1) | kSideClient;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &client_event);
+    conn->client_events = EPOLLIN;
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void ChaosProxy::HandleClientReadable(Conn& conn) {
+  // Flush helpers can close + erase the connection; every use of `conn`
+  // after one must be guarded by re-finding this id.
+  const std::uint64_t id = conn.id;
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = recv(conn.client_fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      if (conn.fate == Fate::kBlackhole) continue;  // swallow
+      std::size_t usable = static_cast<std::size_t>(n);
+      if (conn.fate == Fate::kMidRst && !conn.mid_rst_fired) {
+        const std::size_t threshold = options_.scenario.rst_after_bytes;
+        if (conn.c2u_count + usable >= threshold) {
+          // Forward only the bytes below the threshold, then tear the
+          // connection: the daemon sees a torn frame + EOF, the client RST.
+          usable = threshold > conn.c2u_count ? threshold - conn.c2u_count : 0;
+          conn.to_upstream.append(buffer, usable);
+          conn.c2u_count += usable;
+          conn.mid_rst_fired = true;
+          stats_.mid_rsts.fetch_add(1);
+          FlushToUpstream(conn);
+          auto it = conns_.find(id);
+          if (it != conns_.end()) ResetClient(*it->second);
+          return;
+        }
+      }
+      conn.to_upstream.append(buffer, usable);
+      conn.c2u_count += usable;
+      stats_.bytes_c2u.fetch_add(usable);
+      FlushToUpstream(conn);
+      if (conns_.find(id) == conns_.end()) return;
+      if (conn.to_upstream_pending() > kBackpressureBytes) return;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    // Client EOF or error. A blackhole holds the socket open on EOF only if
+    // the peer half-closed; a full close surfaces as error later — either
+    // way once the client is done there is nothing left to swallow.
+    if (n < 0) {
+      CloseConn(conn.id);
+      return;
+    }
+    conn.client_eof = true;
+    if (conn.fate == Fate::kBlackhole) {
+      CloseConn(conn.id);
+      return;
+    }
+    if (conn.to_upstream_pending() == 0 && conn.upstream_connected) {
+      shutdown(conn.upstream_fd, SHUT_WR);
+    }
+    if (conn.upstream_eof && conn.to_client_pending() == 0) {
+      CloseConn(conn.id);
+    }
+    return;
+  }
+}
+
+void ChaosProxy::HandleUpstreamEvent(Conn& conn, std::uint32_t events) {
+  const std::uint64_t id = conn.id;  // guard: flushes can erase the conn
+  if (!conn.upstream_connected) {
+    if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) == 0) return;
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (getsockopt(conn.upstream_fd, SOL_SOCKET, SO_ERROR, &error, &len) !=
+            0 ||
+        error != 0) {
+      ResetClient(conn);
+      return;
+    }
+    conn.upstream_connected = true;
+    FlushToUpstream(conn);
+    if (conns_.find(id) == conns_.end()) return;
+    if (conn.client_eof && conn.to_upstream_pending() == 0) {
+      shutdown(conn.upstream_fd, SHUT_WR);
+    }
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    FlushToUpstream(conn);
+    if (conns_.find(id) == conns_.end()) return;
+  }
+  if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) return;
+
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = recv(conn.upstream_fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      // Corruption: one bit of the stream flips at the configured offset.
+      if (conn.fate == Fate::kCorrupt && !conn.corrupt_done) {
+        const std::size_t offset = options_.scenario.corrupt_offset;
+        if (offset >= conn.u2c_count &&
+            offset < conn.u2c_count + static_cast<std::size_t>(n)) {
+          buffer[offset - conn.u2c_count] ^= 0x20;
+          conn.corrupt_done = true;
+          stats_.corruptions.fetch_add(1);
+        }
+      }
+      conn.u2c_count += static_cast<std::size_t>(n);
+      conn.to_client.append(buffer, static_cast<std::size_t>(n));
+      stats_.bytes_u2c.fetch_add(static_cast<std::size_t>(n));
+      FlushToClient(conn);
+      if (conns_.find(id) == conns_.end()) return;
+      if (conn.to_client_pending() > kBackpressureBytes) return;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn.upstream_eof = true;
+    if (conn.to_client_pending() == 0 && !conn.stalled) CloseConn(conn.id);
+    return;
+  }
+}
+
+void ChaosProxy::FlushToUpstream(Conn& conn) {
+  if (!conn.upstream_connected || conn.upstream_fd < 0) return;
+  while (conn.to_upstream_pending() > 0) {
+    const ssize_t n = send(conn.upstream_fd,
+                           conn.to_upstream.data() + conn.to_upstream_off,
+                           conn.to_upstream_pending(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.to_upstream_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Upstream died mid-write: the client learns via reset.
+    ResetClient(conn);
+    return;
+  }
+  if (conn.to_upstream_pending() == 0) {
+    conn.to_upstream.clear();
+    conn.to_upstream_off = 0;
+    if (conn.client_eof) shutdown(conn.upstream_fd, SHUT_WR);
+  }
+}
+
+void ChaosProxy::FlushToClient(Conn& conn) {
+  if (conn.stalled) return;
+  while (conn.to_client_pending() > 0) {
+    std::size_t chunk = conn.to_client_pending();
+    if (conn.fate == Fate::kStall && !conn.stall_done) {
+      // Deliver only the pre-stall prefix, then hold everything for
+      // stall_ms — a partial write followed by silence.
+      const std::size_t threshold = options_.scenario.stall_after_bytes;
+      if (conn.u2c_written >= threshold) {
+        conn.stall_done = true;
+        conn.stalled = true;
+        conn.stall_until =
+            Clock::now() +
+            std::chrono::milliseconds(options_.scenario.stall_ms);
+        stats_.stalls.fetch_add(1);
+        return;
+      }
+      chunk = std::min(chunk, threshold - conn.u2c_written);
+    }
+    const ssize_t n =
+        send(conn.client_fd, conn.to_client.data() + conn.to_client_off, chunk,
+             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.to_client_off += static_cast<std::size_t>(n);
+      conn.u2c_written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn.id);
+    return;
+  }
+  if (conn.to_client_pending() == 0) {
+    conn.to_client.clear();
+    conn.to_client_off = 0;
+    if (conn.upstream_eof) CloseConn(conn.id);
+  }
+}
+
+void ChaosProxy::UpdateInterest(Conn& conn) {
+  std::uint32_t client_want = 0;
+  if (!conn.client_eof && conn.to_upstream_pending() <= kBackpressureBytes) {
+    client_want |= EPOLLIN;
+  }
+  if (conn.to_client_pending() > 0 && !conn.stalled) client_want |= EPOLLOUT;
+  if (client_want != conn.client_events) {
+    epoll_event event{};
+    event.events = client_want;
+    event.data.u64 = (conn.id << 1) | kSideClient;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.client_fd, &event);
+    conn.client_events = client_want;
+  }
+  if (conn.upstream_fd < 0) return;
+  std::uint32_t upstream_want = 0;
+  if (!conn.upstream_connected) {
+    upstream_want = EPOLLOUT;
+  } else {
+    if (!conn.upstream_eof && conn.to_client_pending() <= kBackpressureBytes) {
+      upstream_want |= EPOLLIN;
+    }
+    if (conn.to_upstream_pending() > 0) upstream_want |= EPOLLOUT;
+  }
+  if (upstream_want != conn.upstream_events) {
+    epoll_event event{};
+    event.events = upstream_want;
+    event.data.u64 = (conn.id << 1) | kSideUpstream;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.upstream_fd, &event);
+    conn.upstream_events = upstream_want;
+  }
+}
+
+void ChaosProxy::ResetClient(Conn& conn) {
+  SetLingerReset(conn.client_fd);
+  CloseConn(conn.id);
+}
+
+void ChaosProxy::CloseConn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (conn.client_fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.client_fd, nullptr);
+    close(conn.client_fd);
+  }
+  if (conn.upstream_fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.upstream_fd, nullptr);
+    close(conn.upstream_fd);
+  }
+  conns_.erase(it);
+}
+
+}  // namespace ppref::resil

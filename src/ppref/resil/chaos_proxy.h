@@ -1,0 +1,156 @@
+/// \file chaos_proxy.h
+/// \brief `ppref::resil` — a seeded TCP chaos proxy for deterministic
+/// network-fault injection.
+///
+/// The proxy sits between a client and the daemon and misbehaves on
+/// purpose. Each accepted connection draws a *fate* from a splitmix64
+/// stream seeded by `(scenario.seed, connection index)` — the same seed and
+/// arrival order always produce the same fault sequence, which is what lets
+/// ctest drive every retry/hedge/failover branch of the resilient client
+/// deterministically and lets the chaos gate assert bit-identical answers
+/// under ≥10% faults.
+///
+/// Fates (drawn by cumulative permille thresholds, in this order):
+///   accept-reset   SO_LINGER{1,0} + close right after accept → the client
+///                  sees RST before it can write (connect-level failure).
+///   mid-RST        forward the first `rst_after_bytes` client bytes, then
+///                  RST the client and close the upstream → a torn write /
+///                  torn response mid-request.
+///   corrupt        flip one bit of the upstream→client stream at
+///                  `corrupt_offset` → exercises frame/app-layer integrity
+///                  checks (the client must treat it as transport failure).
+///   blackhole      accept and swallow: never connect upstream, read and
+///                  discard forever, answer nothing → only a client-side
+///                  deadline gets out of this one.
+///   stall          forward `stall_after_bytes` of the response, then hold
+///                  the rest for `stall_ms` → a partial write with a
+///                  latency spike (tail-latency fodder for hedging).
+///   normal         faithful byte-for-byte forwarding.
+///
+/// Single epoll thread, same ownership discipline as net::Daemon: all
+/// connection state lives on that thread, `Stop()` wakes it via eventfd.
+
+#ifndef PPREF_RESIL_CHAOS_PROXY_H_
+#define PPREF_RESIL_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "ppref/common/status.h"
+
+namespace ppref::resil {
+
+/// Fault mix. Permilles are cumulative draws out of 1000 per connection;
+/// their sum must be ≤ 1000 (the remainder is the normal fate).
+struct ChaosScenario {
+  std::uint64_t seed = 1;
+  unsigned accept_reset_permille = 0;
+  unsigned mid_rst_permille = 0;
+  /// Client bytes forwarded before the mid-RST fires.
+  std::size_t rst_after_bytes = 16;
+  unsigned corrupt_permille = 0;
+  /// Byte offset in the upstream→client stream whose bit 5 is flipped.
+  std::size_t corrupt_offset = 1;
+  unsigned blackhole_permille = 0;
+  unsigned stall_permille = 0;
+  /// Stall length and how many response bytes escape before it.
+  std::uint64_t stall_ms = 100;
+  std::size_t stall_after_bytes = 8;
+};
+
+struct ChaosProxyOptions {
+  std::string listen_address = "127.0.0.1";
+  /// 0 = ephemeral; read the outcome from `port()`.
+  int listen_port = 0;
+  std::string upstream_host = "127.0.0.1";
+  int upstream_port = 0;
+  ChaosScenario scenario;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds, listens, and spawns the epoll thread.
+  Status Start();
+
+  /// The bound listen port after Start().
+  int port() const { return port_; }
+
+  /// Closes everything and joins the thread. Idempotent; ~ChaosProxy calls
+  /// it.
+  void Stop();
+
+  /// Injection totals (monotonic, thread-safe).
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t accept_resets = 0;
+    std::uint64_t mid_rsts = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t blackholes = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t bytes_client_to_upstream = 0;
+    std::uint64_t bytes_upstream_to_client = 0;
+  };
+  Stats stats() const;
+
+ private:
+  enum class Fate : std::uint8_t {
+    kNormal,
+    kAcceptReset,
+    kMidRst,
+    kCorrupt,
+    kBlackhole,
+    kStall,
+  };
+  struct Conn;
+
+  void Loop();
+  void AcceptReady();
+  Fate DrawFate(std::uint64_t conn_index) const;
+  void HandleClientReadable(Conn& conn);
+  void HandleUpstreamEvent(Conn& conn, std::uint32_t events);
+  void FlushToUpstream(Conn& conn);
+  void FlushToClient(Conn& conn);
+  void UpdateInterest(Conn& conn);
+  void ResetClient(Conn& conn);
+  void CloseConn(std::uint64_t id);
+  int NextTimeoutMs() const;
+
+  ChaosProxyOptions options_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t accepted_count_ = 0;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> accept_resets{0};
+    std::atomic<std::uint64_t> mid_rsts{0};
+    std::atomic<std::uint64_t> corruptions{0};
+    std::atomic<std::uint64_t> blackholes{0};
+    std::atomic<std::uint64_t> stalls{0};
+    std::atomic<std::uint64_t> bytes_c2u{0};
+    std::atomic<std::uint64_t> bytes_u2c{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace ppref::resil
+
+#endif  // PPREF_RESIL_CHAOS_PROXY_H_

@@ -1,0 +1,342 @@
+#include "ppref/resil/client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "ppref/common/check.h"
+#include "ppref/common/clock.h"
+#include "ppref/obs/metrics.h"
+
+namespace ppref::resil {
+
+namespace {
+
+std::uint64_t CeilNsToMs(std::uint64_t ns) { return (ns + 999'999) / 1'000'000; }
+
+/// A response the caller should get back as-is: a success, a degraded
+/// approximate answer (seeded — *the* answer), or a deterministic failure a
+/// retry cannot fix.
+bool TerminalResponse(const net::WireResponse& response) {
+  if (response.status.ok() || response.approximate) return true;
+  switch (response.status.code()) {
+    case StatusCode::kResourceExhausted:  // shed — retry after the hint
+    case StatusCode::kDeadlineExceeded:   // empty-handed timeout — retry
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+struct ResilientClient::Instruments {
+  explicit Instruments(obs::MetricsRegistry& r)
+      : calls(r.GetCounter("ppref_resil_calls_total",
+                           "Logical calls through the resilient client")),
+        failures(r.GetCounter("ppref_resil_call_failures_total",
+                              "Calls that exhausted every recovery path")),
+        attempts(r.GetCounter("ppref_resil_attempts_total",
+                              "Individual attempts (first tries, retries, "
+                              "and hedges)")),
+        retries(r.GetCounter("ppref_resil_retries_total",
+                             "Attempts after the first for one call")),
+        failovers(r.GetCounter("ppref_resil_failovers_total",
+                               "Endpoint advances after transport failure")),
+        hedges(r.GetCounter("ppref_resil_hedges_total",
+                            "Hedged second attempts launched")),
+        hedge_wins(r.GetCounter("ppref_resil_hedge_wins_total",
+                                "Calls answered by the hedge attempt")),
+        budget_exhausted(
+            r.GetCounter("ppref_resil_budget_exhausted_total",
+                         "Retries refused by the empty retry budget")),
+        retry_after_waits(
+            r.GetCounter("ppref_resil_retry_after_waits_total",
+                         "Waits extended to honor a retry_after_ns hint")) {}
+
+  obs::Counter& calls;
+  obs::Counter& failures;
+  obs::Counter& attempts;
+  obs::Counter& retries;
+  obs::Counter& failovers;
+  obs::Counter& hedges;
+  obs::Counter& hedge_wins;
+  obs::Counter& budget_exhausted;
+  obs::Counter& retry_after_waits;
+};
+
+struct ResilientClient::AttemptOutcome {
+  Status transport = Status::Ok();  // non-ok ⇔ no response arrived
+  std::optional<net::WireResponse> response;
+};
+
+struct ResilientClient::HedgeState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int launched = 0;
+  int finished = 0;
+  /// (attempt index, outcome) in completion order; index 1 is the hedge.
+  std::vector<std::pair<int, AttemptOutcome>> results;
+};
+
+ResilientClient::ResilientClient(ResilOptions options)
+    : options_(std::move(options)),
+      budget_(options_.retry_budget),
+      key_state_(options_.backoff.seed ^ 0x70707265665f6964ull) {
+  PPREF_CHECK_MSG(!options_.endpoints.empty(),
+                  "ResilientClient needs at least one endpoint");
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  if (options_.registry != nullptr) {
+    instruments_ = std::make_unique<Instruments>(*options_.registry);
+  }
+}
+
+ResilientClient::~ResilientClient() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void ResilientClient::SleepMs(std::uint64_t ms) {
+  if (options_.sleep_ms_fn) {
+    options_.sleep_ms_fn(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void ResilientClient::ReapFinishedThreads() {
+  // Joining a still-running loser would block the call path, so only
+  // threads whose done flag flipped get joined here; the destructor joins
+  // the rest unconditionally.
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  std::size_t index = 0;
+  while (index < done_flags_.size()) {
+    if (done_flags_[index]->load(std::memory_order_acquire)) {
+      if (threads_[index].joinable()) threads_[index].join();
+      threads_.erase(threads_.begin() + static_cast<std::ptrdiff_t>(index));
+      done_flags_.erase(done_flags_.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+    } else {
+      ++index;
+    }
+  }
+}
+
+ResilientClient::AttemptOutcome ResilientClient::AttemptOnce(
+    std::size_t endpoint_index, const net::WireRequest& request,
+    std::uint64_t budget_ms) {
+  const Endpoint& endpoint =
+      options_.endpoints[endpoint_index % options_.endpoints.size()];
+  net::ClientOptions client_options;
+  client_options.io_timeout_ms = options_.io_timeout_ms;
+  client_options.total_deadline_ms = budget_ms;
+
+  const std::uint64_t started_ns = MonotonicNowNs();
+  StatusOr<net::Client> client =
+      options_.dial_fn
+          ? options_.dial_fn(endpoint, client_options)
+          : net::Client::Connect(endpoint.host, endpoint.port, client_options);
+  AttemptOutcome outcome;
+  if (!client.ok()) {
+    outcome.transport = client.status();
+    return outcome;
+  }
+  if (budget_ms != 0) {
+    // Re-budget the round-trip with whatever the connect left over, so the
+    // whole attempt — not each phase — fits in `budget_ms`.
+    const std::uint64_t elapsed_ms =
+        CeilNsToMs(MonotonicNowNs() - started_ns);
+    client.value().set_total_deadline_ms(
+        budget_ms > elapsed_ms ? budget_ms - elapsed_ms : 1);
+  }
+  StatusOr<net::WireResponse> response = client.value().Call(request);
+  if (!response.ok()) {
+    outcome.transport = response.status();
+    return outcome;
+  }
+  outcome.response = std::move(*response);
+  return outcome;
+}
+
+void ResilientClient::SpawnAttempt(std::shared_ptr<HedgeState> state,
+                                   int index, std::size_t endpoint_index,
+                                   net::WireRequest request,
+                                   std::uint64_t budget_ms) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    ++state->launched;
+  }
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread thread([this, state, index, endpoint_index,
+                      request = std::move(request), budget_ms, done] {
+    AttemptOutcome outcome = AttemptOnce(endpoint_index, request, budget_ms);
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->results.emplace_back(index, std::move(outcome));
+      ++state->finished;
+    }
+    state->cv.notify_all();
+    done->store(true, std::memory_order_release);
+  });
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  threads_.push_back(std::move(thread));
+  done_flags_.push_back(std::move(done));
+}
+
+ResilientClient::AttemptOutcome ResilientClient::HedgedAttempt(
+    std::size_t endpoint_index, const net::WireRequest& request,
+    std::uint64_t budget_ms, CallStats* stats) {
+  auto state = std::make_shared<HedgeState>();
+  SpawnAttempt(state, 0, endpoint_index, request, budget_ms);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  const bool answered_fast = state->cv.wait_for(
+      lock, std::chrono::milliseconds(options_.hedge_after_ms),
+      [&] { return state->finished > 0; });
+  if (!answered_fast) {
+    lock.unlock();
+    const std::uint64_t secondary_budget =
+        budget_ms == 0
+            ? 0
+            : (budget_ms > options_.hedge_after_ms
+                   ? budget_ms - options_.hedge_after_ms
+                   : 1);
+    SpawnAttempt(state, 1,
+                 (endpoint_index + 1) % options_.endpoints.size(), request,
+                 secondary_budget);
+    if (instruments_ != nullptr) instruments_->hedges.Inc();
+    if (instruments_ != nullptr) instruments_->attempts.Inc();
+    if (stats != nullptr) ++stats->hedges;
+    lock.lock();
+  }
+  // First usable (response-bearing) outcome wins; if every launched attempt
+  // died in transport, take the first failure and let the caller fail over.
+  state->cv.wait(lock, [&] {
+    if (state->finished >= state->launched) return true;
+    for (const auto& [index, outcome] : state->results) {
+      if (outcome.response.has_value()) return true;
+    }
+    return false;
+  });
+  const std::pair<int, AttemptOutcome>* chosen = nullptr;
+  for (const auto& entry : state->results) {
+    if (entry.second.response.has_value()) {
+      chosen = &entry;
+      break;
+    }
+  }
+  if (chosen == nullptr) chosen = &state->results.front();
+  if (chosen->first == 1) {
+    if (instruments_ != nullptr) instruments_->hedge_wins.Inc();
+    if (stats != nullptr) stats->hedge_won = true;
+  }
+  return chosen->second;
+}
+
+StatusOr<net::WireResponse> ResilientClient::Call(net::WireRequest request,
+                                                  CallStats* stats) {
+  ReapFinishedThreads();
+  if (instruments_ != nullptr) instruments_->calls.Inc();
+  if (request.idempotency_key == 0) {
+    std::uint64_t key = 0;
+    while (key == 0) key = SplitMix64(&key_state_);
+    request.idempotency_key = key;
+  }
+
+  const std::uint64_t deadline_ns =
+      options_.total_deadline_ms == 0
+          ? 0
+          : MonotonicNowNs() + options_.total_deadline_ms * 1'000'000;
+  Backoff backoff(options_.backoff);
+  Status last_transport =
+      Status::DeadlineExceeded("resil: no attempt completed");
+  std::optional<net::WireResponse> last_response;
+
+  for (unsigned attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    // Budget slice: an equal share of what is left, so the final attempt is
+    // never starved by earlier slow ones.
+    std::uint64_t budget_ms = options_.attempt_timeout_ms;
+    if (deadline_ns != 0) {
+      const std::uint64_t now = MonotonicNowNs();
+      if (now >= deadline_ns) break;
+      const std::uint64_t remaining_ms = CeilNsToMs(deadline_ns - now);
+      const unsigned attempts_left = options_.max_attempts - attempt;
+      std::uint64_t slice = remaining_ms / attempts_left;
+      if (slice == 0) slice = 1;
+      budget_ms = budget_ms == 0 ? slice : std::min(budget_ms, slice);
+    }
+
+    if (stats != nullptr) ++stats->attempts;
+    if (instruments_ != nullptr) {
+      instruments_->attempts.Inc();
+      if (attempt > 0) instruments_->retries.Inc();
+    }
+
+    AttemptOutcome outcome =
+        options_.hedge_after_ms > 0
+            ? HedgedAttempt(endpoint_index_, request, budget_ms, stats)
+            : AttemptOnce(endpoint_index_, request, budget_ms);
+
+    std::uint64_t hint_ns = 0;
+    if (outcome.response.has_value()) {
+      net::WireResponse& response = *outcome.response;
+      if (TerminalResponse(response)) {
+        budget_.RecordSuccess();
+        return std::move(response);
+      }
+      hint_ns = response.retry_after_ns;
+      last_response = std::move(response);
+    } else {
+      last_transport = outcome.transport;
+      // A torn or unreachable endpoint: advance round-robin so the next
+      // attempt (and subsequent Calls) land elsewhere.
+      if (options_.endpoints.size() > 1) {
+        endpoint_index_ = (endpoint_index_ + 1) % options_.endpoints.size();
+        if (stats != nullptr) ++stats->failovers;
+        if (instruments_ != nullptr) instruments_->failovers.Inc();
+      }
+    }
+
+    if (attempt + 1 == options_.max_attempts) break;
+    if (!budget_.TrySpend()) {
+      if (instruments_ != nullptr) instruments_->budget_exhausted.Inc();
+      break;
+    }
+
+    std::uint64_t wait_ms = backoff.NextDelayMs();
+    if (hint_ns != 0) {
+      // Never re-admit earlier than the daemon's own capacity estimate.
+      const std::uint64_t hint_ms = CeilNsToMs(hint_ns);
+      if (hint_ms > wait_ms) {
+        wait_ms = hint_ms;
+        if (instruments_ != nullptr) instruments_->retry_after_waits.Inc();
+      }
+      if (stats != nullptr) stats->retry_after_hint_ns = hint_ns;
+    }
+    if (deadline_ns != 0) {
+      const std::uint64_t now = MonotonicNowNs();
+      if (now >= deadline_ns ||
+          wait_ms >= CeilNsToMs(deadline_ns - now)) {
+        break;  // the wait alone would blow the budget
+      }
+    }
+    if (stats != nullptr) stats->waited_ms += wait_ms;
+    SleepMs(wait_ms);
+  }
+
+  if (instruments_ != nullptr) instruments_->failures.Inc();
+  if (last_response.has_value()) return std::move(*last_response);
+  return last_transport;
+}
+
+}  // namespace ppref::resil

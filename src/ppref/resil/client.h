@@ -1,0 +1,163 @@
+/// \file client.h
+/// \brief `ppref::resil` — the resilient client: retries, failover,
+/// deadline budgeting, retry-after admission, and hedging around
+/// `net::Client`.
+///
+/// `net::Client` is one socket and one attempt; this wrapper is the policy
+/// layer that makes the client→daemon path survive a misbehaving network
+/// and a browning-out daemon:
+///
+/// - **Multi-endpoint failover.** A transport failure (connect refused,
+///   torn connection, per-attempt timeout) advances to the next endpoint
+///   round-robin; the endpoint that answers stays sticky across Calls.
+/// - **Deadline budgeting.** Each Call has one total wall-clock budget.
+///   Every attempt gets `remaining / attempts_left` of it (or the explicit
+///   per-attempt cap if smaller), so early attempts cannot eat the whole
+///   budget and the last attempt still has time to succeed.
+/// - **Backoff + retry-after.** Retries are spaced by decorrelated jitter
+///   (backoff.h) and *never* re-admit earlier than the daemon's
+///   `retry_after_ns` hint when one came back with `kResourceExhausted` —
+///   the hint is the daemon's own estimate of when capacity frees up.
+/// - **Retry budget.** Every retry spends a token (backoff.h); an empty
+///   bucket fails fast with the last error instead of adding load.
+/// - **Hedging.** With `hedge_after_ms > 0`, an attempt that has not
+///   answered within the threshold gets a second, concurrent attempt on the
+///   next endpoint; first usable answer wins. Hedges are tail-latency
+///   insurance and are safe because of idempotency keys (below).
+/// - **Idempotency.** Every Call is assigned a key (if the caller did not
+///   set one); all attempts — retries and hedges — carry the same key and
+///   wire id, so the daemon single-flights them and replays are
+///   bit-identical (net/dedup.h). Degraded seeded-MC answers included: a
+///   retried request gets *the* answer, not *an* answer.
+///
+/// Every decision is observable: `ppref_resil_*` counters when a registry
+/// is configured, and a per-call `CallStats` out-param for tests.
+
+#ifndef PPREF_RESIL_CLIENT_H_
+#define PPREF_RESIL_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppref/common/status.h"
+#include "ppref/net/client.h"
+#include "ppref/net/wire.h"
+#include "ppref/resil/backoff.h"
+
+namespace ppref::obs {
+class MetricsRegistry;
+}  // namespace ppref::obs
+
+namespace ppref::resil {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+struct ResilOptions {
+  /// Failover set, tried round-robin on transport failure. At least one.
+  std::vector<Endpoint> endpoints;
+  /// Total wall-clock budget per Call (connect + all attempts + waits);
+  /// 0 = unbounded (discouraged — a blackholed endpoint then costs the full
+  /// per-attempt io timeout per attempt).
+  std::uint64_t total_deadline_ms = 2000;
+  /// Attempts per Call (1 = no retries).
+  unsigned max_attempts = 4;
+  /// Hard cap on a single attempt; 0 = derive from the remaining budget
+  /// (`remaining / attempts_left`).
+  std::uint64_t attempt_timeout_ms = 0;
+  /// Per-poll IO bound inside an attempt (net::ClientOptions).
+  std::uint64_t io_timeout_ms = 30000;
+  /// Hedge threshold: a pending attempt older than this spawns one
+  /// concurrent second attempt on the next endpoint. 0 = hedging off.
+  std::uint64_t hedge_after_ms = 0;
+  /// Backoff between retries (the `seed` also feeds idempotency-key
+  /// generation — two clients must not share a seed).
+  BackoffOptions backoff;
+  /// Retry-storm bound; see backoff.h.
+  RetryBudgetOptions retry_budget;
+  /// Counters land here when set (ppref_resil_*).
+  obs::MetricsRegistry* registry = nullptr;
+
+  // --- test seams (production leaves these unset) ---
+  /// Replaces real sleeping between retries.
+  std::function<void(std::uint64_t)> sleep_ms_fn;
+  /// Replaces Client::Connect; receives the endpoint and the per-attempt
+  /// client options (deadline already budgeted).
+  std::function<StatusOr<net::Client>(const Endpoint&,
+                                      const net::ClientOptions&)>
+      dial_fn;
+};
+
+/// Per-Call decision record, for tests and tracing.
+struct CallStats {
+  unsigned attempts = 0;
+  unsigned failovers = 0;
+  unsigned hedges = 0;
+  bool hedge_won = false;
+  std::uint64_t waited_ms = 0;          // total backoff/retry-after sleeps
+  std::uint64_t retry_after_hint_ns = 0;  // last hint honored
+};
+
+/// Thread-compatible (one Call at a time per instance); hedge threads are
+/// internal and joined by the destructor.
+class ResilientClient {
+ public:
+  explicit ResilientClient(ResilOptions options);
+  ~ResilientClient();
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// Executes one logical request to completion or terminal failure.
+  /// Assigns `request.idempotency_key` when zero. Returns the daemon's
+  /// WireResponse (possibly carrying a non-OK application status — e.g. the
+  /// kResourceExhausted a budget-empty client fails fast with), or the last
+  /// transport Status when no attempt produced a response.
+  StatusOr<net::WireResponse> Call(net::WireRequest request,
+                                   CallStats* stats = nullptr);
+
+  /// Tokens left in the retry budget (observability).
+  double retry_budget_tokens() const { return budget_.tokens(); }
+
+ private:
+  struct Instruments;
+  struct AttemptOutcome;
+  struct HedgeState;
+
+  AttemptOutcome AttemptOnce(std::size_t endpoint_index,
+                             const net::WireRequest& request,
+                             std::uint64_t budget_ms);
+  AttemptOutcome HedgedAttempt(std::size_t endpoint_index,
+                               const net::WireRequest& request,
+                               std::uint64_t budget_ms, CallStats* stats);
+  void SpawnAttempt(std::shared_ptr<HedgeState> state, int index,
+                    std::size_t endpoint_index, net::WireRequest request,
+                    std::uint64_t budget_ms);
+  void ReapFinishedThreads();
+  void SleepMs(std::uint64_t ms);
+
+  ResilOptions options_;
+  RetryBudget budget_;
+  std::uint64_t key_state_;  // splitmix stream for idempotency keys
+  std::size_t endpoint_index_ = 0;
+  std::unique_ptr<Instruments> instruments_;
+
+  /// Hedge attempt threads; done_flags_[i] belongs to threads_[i]. A losing
+  /// hedge runs to completion in the background; its thread is joined at
+  /// the next Call (ReapFinishedThreads) or in the destructor.
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+  std::vector<std::shared_ptr<std::atomic<bool>>> done_flags_;
+};
+
+}  // namespace ppref::resil
+
+#endif  // PPREF_RESIL_CLIENT_H_

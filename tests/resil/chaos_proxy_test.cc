@@ -1,0 +1,259 @@
+/// \file chaos_proxy_test.cc
+/// \brief The chaos proxy against a real in-process daemon over loopback
+/// TCP: every fate observable from the client side, deterministic under a
+/// fixed seed, and the resilient client surviving a mixed-fault scenario
+/// with bit-identical answers.
+
+#include "ppref/resil/chaos_proxy.h"
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "ppref/common/clock.h"
+#include "ppref/net/client.h"
+#include "ppref/net/daemon.h"
+#include "ppref/resil/client.h"
+#include "ppref/serve/workload.h"
+
+namespace ppref::resil {
+namespace {
+
+/// A daemon on an ephemeral loopback port plus a proxy in front of it.
+struct Rig {
+  explicit Rig(ChaosScenario scenario, net::DaemonOptions daemon_options =
+                                           net::DaemonOptions()) {
+    daemon_options.port = 0;
+    daemon_options.workers = 2;
+    daemon = std::make_unique<net::Daemon>(std::move(daemon_options));
+    EXPECT_TRUE(daemon->Start().ok());
+    ChaosProxyOptions proxy_options;
+    proxy_options.upstream_port = daemon->port();
+    proxy_options.scenario = scenario;
+    proxy = std::make_unique<ChaosProxy>(std::move(proxy_options));
+    EXPECT_TRUE(proxy->Start().ok());
+  }
+
+  ~Rig() {
+    proxy->Stop();
+    daemon->Stop();
+  }
+
+  std::unique_ptr<net::Daemon> daemon;
+  std::unique_ptr<ChaosProxy> proxy;
+};
+
+net::WireRequest MakeRequest(std::uint64_t id = 1) {
+  static const serve::SyntheticWorkload* workload =
+      new serve::SyntheticWorkload(serve::MakeSyntheticWorkload(4, /*base_items=*/8));
+  return net::WireRequest(id, serve::Request::Kind::kPatternProb, 0,
+                          workload->models[id % 4],
+                          workload->patterns[id % 4]);
+}
+
+TEST(ResilChaosProxyTest, TransparentWhenFaultFree) {
+  Rig rig(ChaosScenario{});
+
+  // Bounds a hang, not the compute: TSan + parallel ctest makes cold DP slow.
+  net::ClientOptions options;
+  options.total_deadline_ms = 60000;
+  StatusOr<net::Client> direct =
+      net::Client::Connect("127.0.0.1", rig.daemon->port(), options);
+  ASSERT_TRUE(direct.ok());
+  StatusOr<net::WireResponse> expected = direct.value().Call(MakeRequest(3));
+  ASSERT_TRUE(expected.ok());
+
+  StatusOr<net::Client> proxied =
+      net::Client::Connect("127.0.0.1", rig.proxy->port(), options);
+  ASSERT_TRUE(proxied.ok());
+  StatusOr<net::WireResponse> actual = proxied.value().Call(MakeRequest(3));
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(actual.value().probability, expected.value().probability);
+
+  const ChaosProxy::Stats stats = rig.proxy->stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_GT(stats.bytes_client_to_upstream, 0u);
+  EXPECT_GT(stats.bytes_upstream_to_client, 0u);
+  EXPECT_EQ(stats.accept_resets + stats.mid_rsts + stats.corruptions +
+                stats.blackholes + stats.stalls,
+            0u);
+}
+
+TEST(ResilChaosProxyTest, AcceptResetSurfacesAsTransportError) {
+  ChaosScenario scenario;
+  scenario.accept_reset_permille = 1000;
+  Rig rig(scenario);
+  net::ClientOptions options;
+  options.total_deadline_ms = 5000;
+  StatusOr<net::Client> client =
+      net::Client::Connect("127.0.0.1", rig.proxy->port(), options);
+  // The RST may land during connect or on the first round-trip.
+  if (client.ok()) {
+    EXPECT_FALSE(client.value().Call(MakeRequest()).ok());
+  }
+  EXPECT_GE(rig.proxy->stats().accept_resets, 1u);
+}
+
+TEST(ResilChaosProxyTest, MidRstTearsTheConnection) {
+  ChaosScenario scenario;
+  scenario.mid_rst_permille = 1000;
+  scenario.rst_after_bytes = 16;
+  Rig rig(scenario);
+  net::ClientOptions options;
+  options.total_deadline_ms = 5000;
+  StatusOr<net::Client> client =
+      net::Client::Connect("127.0.0.1", rig.proxy->port(), options);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client.value().Call(MakeRequest()).ok());
+  EXPECT_GE(rig.proxy->stats().mid_rsts, 1u);
+}
+
+TEST(ResilChaosProxyTest, CorruptionIsATransportFailureNotAWrongAnswer) {
+  ChaosScenario scenario;
+  scenario.corrupt_permille = 1000;
+  scenario.corrupt_offset = 1;  // inside the response frame magic
+  Rig rig(scenario);
+  net::ClientOptions options;
+  options.total_deadline_ms = 5000;
+  StatusOr<net::Client> client =
+      net::Client::Connect("127.0.0.1", rig.proxy->port(), options);
+  ASSERT_TRUE(client.ok());
+  StatusOr<net::WireResponse> response = client.value().Call(MakeRequest());
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(rig.proxy->stats().corruptions, 1u);
+}
+
+TEST(ResilChaosProxyTest, BlackholeSurfacesAsDeadlineExceededNotAHang) {
+  // The satellite regression: the total deadline must convert an endpoint
+  // that answers nothing into kDeadlineExceeded on time, even though every
+  // single poll step stays under io_timeout_ms.
+  ChaosScenario scenario;
+  scenario.blackhole_permille = 1000;
+  Rig rig(scenario);
+  net::ClientOptions options;
+  options.io_timeout_ms = 30000;
+  options.total_deadline_ms = 300;
+  const std::uint64_t start = MonotonicNowNs();
+  StatusOr<net::Client> client =
+      net::Client::Connect("127.0.0.1", rig.proxy->port(), options);
+  Status failure = Status::Ok();
+  if (client.ok()) {
+    failure = client.value().Call(MakeRequest()).status();
+  } else {
+    failure = client.status();
+  }
+  const std::uint64_t elapsed_ms = (MonotonicNowNs() - start) / 1000000;
+  EXPECT_EQ(failure.code(), StatusCode::kDeadlineExceeded)
+      << failure.ToString();
+  EXPECT_LT(elapsed_ms, 5000u);
+  EXPECT_EQ(rig.proxy->stats().blackholes, 1u);
+}
+
+TEST(ResilChaosProxyTest, HttpBlackholeAlsoHitsTheDeadline) {
+  ChaosScenario scenario;
+  scenario.blackhole_permille = 1000;
+  Rig rig(scenario);
+  const std::uint64_t start = MonotonicNowNs();
+  StatusOr<net::HttpResult> result =
+      net::HttpFetch("127.0.0.1", rig.proxy->port(), "GET", "/healthz", "",
+                     /*io_timeout_ms=*/30000, /*total_deadline_ms=*/300);
+  const std::uint64_t elapsed_ms = (MonotonicNowNs() - start) / 1000000;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed_ms, 5000u);
+}
+
+TEST(ResilChaosProxyTest, StallDelaysButStillDelivers) {
+  ChaosScenario scenario;
+  scenario.stall_permille = 1000;
+  scenario.stall_ms = 80;
+  scenario.stall_after_bytes = 8;
+  Rig rig(scenario);
+  net::ClientOptions options;
+  options.total_deadline_ms = 60000;
+  StatusOr<net::Client> client =
+      net::Client::Connect("127.0.0.1", rig.proxy->port(), options);
+  ASSERT_TRUE(client.ok());
+  const std::uint64_t start = MonotonicNowNs();
+  StatusOr<net::WireResponse> response = client.value().Call(MakeRequest(2));
+  const std::uint64_t elapsed_ms = (MonotonicNowNs() - start) / 1000000;
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_GE(elapsed_ms, scenario.stall_ms);
+  EXPECT_EQ(rig.proxy->stats().stalls, 1u);
+}
+
+TEST(ResilChaosProxyTest, SameSeedSameFateSequence) {
+  ChaosScenario scenario;
+  scenario.seed = 424242;
+  scenario.accept_reset_permille = 300;
+  scenario.blackhole_permille = 200;
+  net::ClientOptions options;
+  options.total_deadline_ms = 200;
+  ChaosProxy::Stats runs[2];
+  for (int run = 0; run < 2; ++run) {
+    Rig rig(scenario);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      StatusOr<net::Client> client =
+          net::Client::Connect("127.0.0.1", rig.proxy->port(), options);
+      if (client.ok()) (void)client.value().Call(MakeRequest(i + 1));
+    }
+    // Stop() joins the proxy thread, so the stats are final.
+    rig.proxy->Stop();
+    runs[run] = rig.proxy->stats();
+  }
+  EXPECT_EQ(runs[0].connections, runs[1].connections);
+  EXPECT_EQ(runs[0].accept_resets, runs[1].accept_resets);
+  EXPECT_EQ(runs[0].blackholes, runs[1].blackholes);
+  EXPECT_GE(runs[0].accept_resets, 1u);
+  EXPECT_GE(runs[0].blackholes, 1u);
+}
+
+TEST(ResilChaosProxyTest, ResilientClientSurvivesMixedChaosBitIdentical) {
+  // 30 sequential calls through 30% injected faults: every call must still
+  // succeed (retries absorb the faults) and every answer must equal the
+  // direct, fault-free one.
+  ChaosScenario scenario;
+  scenario.seed = 7;
+  scenario.accept_reset_permille = 150;
+  scenario.mid_rst_permille = 75;
+  scenario.corrupt_permille = 75;
+  Rig rig(scenario);
+
+  net::ClientOptions direct_options;
+  direct_options.total_deadline_ms = 60000;
+
+  ResilOptions options;
+  options.endpoints = {{"127.0.0.1", rig.proxy->port()}};
+  options.total_deadline_ms = 60000;
+  options.max_attempts = 8;
+  options.backoff.base_ms = 1;
+  options.backoff.cap_ms = 10;
+  options.retry_budget.initial_tokens = 100;
+  options.retry_budget.max_tokens = 100;
+  ResilientClient client(std::move(options));
+
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    StatusOr<net::Client> direct =
+        net::Client::Connect("127.0.0.1", rig.daemon->port(), direct_options);
+    ASSERT_TRUE(direct.ok());
+    StatusOr<net::WireResponse> expected =
+        direct.value().Call(MakeRequest(i));
+    ASSERT_TRUE(expected.ok());
+
+    CallStats stats;
+    StatusOr<net::WireResponse> actual = client.Call(MakeRequest(i), &stats);
+    ASSERT_TRUE(actual.ok())
+        << "call " << i << ": " << actual.status().ToString();
+    ASSERT_TRUE(actual.value().status.ok()) << actual.value().status.ToString();
+    EXPECT_EQ(actual.value().probability, expected.value().probability)
+        << "call " << i;
+  }
+  const ChaosProxy::Stats stats = rig.proxy->stats();
+  EXPECT_GE(stats.accept_resets + stats.mid_rsts + stats.corruptions, 1u);
+  // Retries mean the daemon executed keyed requests at most once each; the
+  // corrupt retries were replays, not recomputes.
+  EXPECT_EQ(rig.daemon->idempotency_stats().owner, 30u);
+}
+
+}  // namespace
+}  // namespace ppref::resil

@@ -1,0 +1,373 @@
+/// \file client_test.cc
+/// \brief ResilientClient policy, driven through the dial/sleep test seams
+/// against scripted in-process servers on socketpairs: retries, failover,
+/// retry-after admission, retry-budget fail-fast, deadline budgeting,
+/// idempotency-key stability, and hedging.
+
+#include "ppref/resil/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ppref/common/clock.h"
+#include "ppref/net/codec.h"
+#include "ppref/net/frame.h"
+#include "ppref/serve/workload.h"
+
+namespace ppref::resil {
+namespace {
+
+using net::Client;
+using net::DecodeRequest;
+using net::EncodeFrame;
+using net::EncodeResponse;
+using net::Frame;
+using net::FrameAssembler;
+using net::FrameType;
+using net::WireRequest;
+using net::WireResponse;
+
+/// What one scripted attempt does when the client dials it.
+struct Script {
+  /// Fail the dial itself (connect refused).
+  bool refuse = false;
+  /// Read the request, then close without answering (torn connection).
+  bool tear = false;
+  /// Delay before answering, to lose hedges deterministically.
+  std::uint64_t delay_ms = 0;
+  /// Response template; `id` is echoed from the request.
+  Status status = Status::Ok();
+  double probability = 0.0;
+  bool approximate = false;
+  std::uint64_t retry_after_ns = 0;
+};
+
+/// A scripted endpoint: each dial consumes the next Script. Serving threads
+/// are joined on destruction; requests seen are recorded for inspection.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::vector<Script> scripts)
+      : scripts_(std::move(scripts)) {}
+
+  ~ScriptedServer() {
+    for (std::thread& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  StatusOr<Client> Dial(const net::ClientOptions& options) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t index = dials_++;
+    const Script script = index < scripts_.size() ? scripts_[index]
+                                                  : scripts_.back();
+    if (script.refuse) {
+      return Status::Internal("connect: scripted refusal");
+    }
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    threads_.emplace_back([this, script, fd = fds[1]] { Serve(fd, script); });
+    return Client::FromFd(fds[0], options);
+  }
+
+  std::vector<WireRequest> seen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seen_;
+  }
+
+  std::size_t dials() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dials_;
+  }
+
+ private:
+  void Serve(int fd, const Script& script) {
+    FrameAssembler assembler;
+    Frame frame;
+    char buffer[65536];
+    bool got = false;
+    while (!got) {
+      pollfd p{fd, POLLIN, 0};
+      if (poll(&p, 1, 10000) <= 0) break;
+      const ssize_t n = read(fd, buffer, sizeof(buffer));
+      if (n <= 0) break;
+      if (!assembler.Feed(buffer, static_cast<std::size_t>(n)).ok()) break;
+      got = assembler.Next(&frame);
+    }
+    std::uint64_t id = 0;
+    if (got) {
+      StatusOr<WireRequest> request = DecodeRequest(frame.body);
+      if (request.ok()) {
+        id = request.value().id;
+        std::lock_guard<std::mutex> lock(mutex_);
+        seen_.push_back(std::move(request).value());
+      }
+    }
+    if (!script.tear && got) {
+      if (script.delay_ms > 0) {
+        usleep(static_cast<useconds_t>(script.delay_ms) * 1000);
+      }
+      WireResponse response;
+      response.id = id;
+      response.status = script.status;
+      response.probability = script.probability;
+      response.approximate = script.approximate;
+      response.retry_after_ns = script.retry_after_ns;
+      const std::string bytes =
+          EncodeFrame(FrameType::kResponse, EncodeResponse(response));
+      (void)!send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    }
+    close(fd);
+  }
+
+  std::mutex mutex_;
+  std::vector<Script> scripts_;
+  std::size_t dials_ = 0;
+  std::vector<WireRequest> seen_;
+  std::vector<std::thread> threads_;
+};
+
+WireRequest MakeRequest(std::uint64_t id = 1) {
+  static const serve::SyntheticWorkload* workload =
+      new serve::SyntheticWorkload(serve::MakeSyntheticWorkload(1));
+  return WireRequest(id, serve::Request::Kind::kPatternProb, 0,
+                     workload->models[0], workload->patterns[0]);
+}
+
+/// Options wired to `server` with recorded (not slept) retry waits.
+ResilOptions TestOptions(ScriptedServer& server,
+                         std::vector<std::uint64_t>* sleeps) {
+  ResilOptions options;
+  options.endpoints = {{"test", 1}};
+  options.total_deadline_ms = 30000;
+  options.backoff.base_ms = 1;
+  options.backoff.cap_ms = 4;
+  options.dial_fn = [&server](const Endpoint&,
+                              const net::ClientOptions& client_options) {
+    return server.Dial(client_options);
+  };
+  options.sleep_ms_fn = [sleeps](std::uint64_t ms) {
+    if (sleeps != nullptr) sleeps->push_back(ms);
+  };
+  return options;
+}
+
+TEST(ResilClientTest, FirstAttemptSuccessIsOneAttempt) {
+  ScriptedServer server(std::vector<Script>{{.probability = 0.25}});
+  std::vector<std::uint64_t> sleeps;
+  ResilientClient client(TestOptions(server, &sleeps));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(11), &stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().status.ok());
+  EXPECT_EQ(response.value().id, 11u);
+  EXPECT_EQ(response.value().probability, 0.25);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(ResilClientTest, TornConnectionRetriesAndSucceeds) {
+  ScriptedServer server({{.tear = true}, {.probability = 0.5}});
+  std::vector<std::uint64_t> sleeps;
+  ResilientClient client(TestOptions(server, &sleeps));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(12), &stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().probability, 0.5);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(sleeps.size(), 1u);  // one backoff between the attempts
+}
+
+TEST(ResilClientTest, AllAttemptsSameKeyAndId) {
+  ScriptedServer server(
+      {{.tear = true}, {.tear = true}, {.probability = 0.5}});
+  ResilientClient client(TestOptions(server, nullptr));
+  StatusOr<WireResponse> response = client.Call(MakeRequest(77));
+  ASSERT_TRUE(response.ok());
+  const std::vector<WireRequest> seen = server.seen();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_NE(seen[0].idempotency_key, 0u);  // auto-assigned
+  for (const WireRequest& request : seen) {
+    EXPECT_EQ(request.idempotency_key, seen[0].idempotency_key);
+    EXPECT_EQ(request.id, 77u);
+  }
+}
+
+TEST(ResilClientTest, DistinctCallsGetDistinctKeys) {
+  ScriptedServer server(std::vector<Script>{{.probability = 0.5}});
+  ResilientClient client(TestOptions(server, nullptr));
+  ASSERT_TRUE(client.Call(MakeRequest(1)).ok());
+  ASSERT_TRUE(client.Call(MakeRequest(2)).ok());
+  const std::vector<WireRequest> seen = server.seen();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_NE(seen[0].idempotency_key, seen[1].idempotency_key);
+}
+
+TEST(ResilClientTest, CallerProvidedKeyIsPreserved) {
+  ScriptedServer server(std::vector<Script>{{.probability = 0.5}});
+  ResilientClient client(TestOptions(server, nullptr));
+  WireRequest request = MakeRequest(9);
+  request.idempotency_key = 0x1234;
+  ASSERT_TRUE(client.Call(std::move(request)).ok());
+  ASSERT_EQ(server.seen().size(), 1u);
+  EXPECT_EQ(server.seen()[0].idempotency_key, 0x1234u);
+}
+
+TEST(ResilClientTest, FailoverAdvancesEndpointOnTransportFailure) {
+  ScriptedServer server({{.refuse = true}, {.probability = 0.5}});
+  std::vector<std::uint64_t> sleeps;
+  ResilOptions options = TestOptions(server, &sleeps);
+  options.endpoints = {{"a", 1}, {"b", 2}};
+  ResilientClient client(std::move(options));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(), &stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.failovers, 1u);
+}
+
+TEST(ResilClientTest, ExhaustedAttemptsReturnLastTransportError) {
+  ScriptedServer server(std::vector<Script>{{.refuse = true}});
+  ResilOptions options = TestOptions(server, nullptr);
+  options.max_attempts = 3;
+  ResilientClient client(std::move(options));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(), &stats);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(server.dials(), 3u);
+}
+
+TEST(ResilClientTest, WaitsAtLeastTheRetryAfterHint) {
+  // The daemon's hint (50ms) dominates the ~1-4ms backoff draw: the client
+  // must wait at least the hint before re-admitting.
+  Script busy;
+  busy.status = Status::ResourceExhausted("shed");
+  busy.retry_after_ns = 50ull * 1000 * 1000;
+  ScriptedServer server({busy, {.probability = 0.5}});
+  std::vector<std::uint64_t> sleeps;
+  ResilientClient client(TestOptions(server, &sleeps));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(), &stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().status.ok());
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.retry_after_hint_ns, busy.retry_after_ns);
+  ASSERT_EQ(sleeps.size(), 1u);
+  EXPECT_GE(sleeps[0], 50u);
+  EXPECT_GE(stats.waited_ms, 50u);
+}
+
+TEST(ResilClientTest, EmptyRetryBudgetFailsFastWithResourceExhausted) {
+  // No tokens: the shed response comes straight back — no wait, no retry,
+  // no extra load on a daemon that is already refusing work.
+  Script busy;
+  busy.status = Status::ResourceExhausted("shed");
+  busy.retry_after_ns = 50ull * 1000 * 1000;
+  ScriptedServer server({busy});
+  std::vector<std::uint64_t> sleeps;
+  ResilOptions options = TestOptions(server, &sleeps);
+  options.retry_budget.initial_tokens = 0;
+  ResilientClient client(std::move(options));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(), &stats);
+  ASSERT_TRUE(response.ok());  // a response *was* received...
+  EXPECT_EQ(response.value().status.code(),
+            StatusCode::kResourceExhausted);  // ...carrying the shed status
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_EQ(stats.waited_ms, 0u);
+}
+
+TEST(ResilClientTest, TerminalApplicationErrorIsNotRetried) {
+  Script bad;
+  bad.status = Status::InvalidArgument("malformed");
+  ScriptedServer server({bad});
+  ResilientClient client(TestOptions(server, nullptr));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(), &stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(ResilClientTest, ApproximateAnswerIsTerminal) {
+  // A degraded answer is an answer — retrying it would trade a valid
+  // approximate result for more load.
+  Script degraded;
+  degraded.probability = 0.125;
+  degraded.approximate = true;
+  degraded.status = Status::Ok();
+  ScriptedServer server({degraded});
+  ResilientClient client(TestOptions(server, nullptr));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(), &stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().approximate);
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(ResilClientTest, HedgeFiresAfterThresholdAndWins) {
+  // Primary answers after 300ms; hedge threshold is 20ms and the hedge
+  // endpoint answers immediately — the hedge must win.
+  ScriptedServer server({{.delay_ms = 300, .probability = 0.5},
+                         {.delay_ms = 0, .probability = 0.5}});
+  ResilOptions options = TestOptions(server, nullptr);
+  options.endpoints = {{"a", 1}, {"b", 2}};
+  options.hedge_after_ms = 20;
+  ResilientClient client(std::move(options));
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(88), &stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().probability, 0.5);
+  EXPECT_EQ(stats.hedges, 1u);
+  EXPECT_TRUE(stats.hedge_won);
+  // Both attempts carried the same key: the daemon side would have
+  // single-flighted them.
+  const std::vector<WireRequest> seen = server.seen();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].idempotency_key, seen[1].idempotency_key);
+}
+
+TEST(ResilClientTest, FastPrimaryNeverHedges) {
+  ScriptedServer server(std::vector<Script>{{.probability = 0.5}});
+  ResilOptions options = TestOptions(server, nullptr);
+  options.endpoints = {{"a", 1}, {"b", 2}};
+  options.hedge_after_ms = 5000;
+  ResilientClient client(std::move(options));
+  CallStats stats;
+  ASSERT_TRUE(client.Call(MakeRequest(), &stats).ok());
+  EXPECT_EQ(stats.hedges, 0u);
+  EXPECT_FALSE(stats.hedge_won);
+  EXPECT_EQ(server.dials(), 1u);
+}
+
+TEST(ResilClientTest, TotalDeadlineBoundsABlackholedEndpoint) {
+  // The scripted server reads the request and answers only after 3s — far
+  // past the budget; only the deadline gets the client out. Two attempts,
+  // 300ms total: the Call must come back ~on budget with kDeadlineExceeded.
+  ScriptedServer slow({{.delay_ms = 3000, .probability = 0.5}});
+  ResilOptions options = TestOptions(slow, nullptr);
+  options.total_deadline_ms = 300;
+  options.max_attempts = 2;
+  options.io_timeout_ms = 30000;  // per-poll bound alone would hang longer
+  ResilientClient client(std::move(options));
+  const std::uint64_t start = MonotonicNowNs();
+  CallStats stats;
+  StatusOr<WireResponse> response = client.Call(MakeRequest(), &stats);
+  const std::uint64_t elapsed_ms = (MonotonicNowNs() - start) / 1000000;
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed_ms, 2000u);  // bounded by the budget, not io_timeout
+}
+
+}  // namespace
+}  // namespace ppref::resil

@@ -1,0 +1,308 @@
+/// \file resil_e2e_test.cc
+/// \brief The resilience acceptance gates against the real binaries:
+///
+/// **Chaos gate** — the real `ppref_served` behind an in-process seeded
+/// chaos proxy injecting >10% connection faults (accept-resets, mid-stream
+/// RSTs, corruption, partial-write stalls) over a 10,000-request run. The
+/// resilient client must deliver 100% success, every answer bit-identical
+/// to the fault-free run, and the daemon's idempotency counters must prove
+/// zero recomputes (owner == logical requests).
+///
+/// **Supervisor gate** — `ppref_supervise` owning the listen socket, the
+/// daemon kill-9'd mid-service with a persistent store, and the next query
+/// succeeding against the restarted incarnation, answered warm
+/// (store_hits > 0) and bit-identical.
+///
+/// Fork/exec lives here, not in resil_test: fork is TSan-hostile, so the
+/// TSan stages run the in-process suites and this binary runs under ASan
+/// and the plain tree only.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ppref/net/client.h"
+#include "ppref/resil/chaos_proxy.h"
+#include "ppref/resil/client.h"
+#include "ppref/serve/workload.h"
+
+namespace ppref::resil {
+namespace {
+
+/// Fork/exec + port-file rendezvous for one of our tool binaries.
+class ToolProcess {
+ public:
+  bool Spawn(const char* binary, std::vector<std::string> extra) {
+    port_file_ = ::testing::TempDir() + "resil_e2e_port_" +
+                 std::to_string(getpid()) + "_" + std::to_string(++counter_);
+    std::remove(port_file_.c_str());
+    std::vector<std::string> args = {binary, "--port", "0", "--port-file",
+                                     port_file_};
+    for (std::string& flag : extra) args.push_back(std::move(flag));
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      execv(binary, argv.data());
+      _exit(127);
+    }
+    for (int i = 0; i < 500; ++i) {
+      if (std::FILE* file = std::fopen(port_file_.c_str(), "r")) {
+        const int got = std::fscanf(file, "%d", &port_);
+        std::fclose(file);
+        if (got == 1 && port_ > 0) return true;
+      }
+      usleep(20 * 1000);
+    }
+    return false;
+  }
+
+  int port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+  void TerminateAndExpectCleanExit() {
+    if (pid_ <= 0) return;
+    kill(pid_, SIGTERM);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid_, &status, 0), pid_);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    pid_ = -1;
+    std::remove(port_file_.c_str());
+  }
+
+  ~ToolProcess() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+ private:
+  static int counter_;
+  pid_t pid_ = -1;
+  int port_ = 0;
+  std::string port_file_;
+};
+
+int ToolProcess::counter_ = 0;
+
+/// Scrapes one counter's value from the daemon's Prometheus /metrics text.
+double ScrapeCounter(int port, const std::string& name) {
+  StatusOr<net::HttpResult> result =
+      net::HttpFetch("127.0.0.1", port, "GET", "/metrics", "", 10000, 10000);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return -1.0;
+  const std::string& text = result.value().body;
+  std::size_t at = 0;
+  while ((at = text.find(name, at)) != std::string::npos) {
+    const std::size_t line_start = text.rfind('\n', at) + 1;
+    if (text[line_start] == '#' ||
+        text.compare(line_start, name.size(), name) != 0) {
+      at += name.size();
+      continue;
+    }
+    const std::size_t space = text.find(' ', at);
+    if (space == std::string::npos) break;
+    return std::strtod(text.c_str() + space + 1, nullptr);
+  }
+  ADD_FAILURE() << name << " not found in /metrics";
+  return -1.0;
+}
+
+constexpr std::size_t kGateRequests = 10000;
+
+TEST(ResilE2eTest, ChaosGateTenThousandRequestsBitIdenticalZeroRecompute) {
+  ToolProcess daemon;
+  ASSERT_TRUE(daemon.Spawn(PPREF_SERVED_PATH, {"--idem-capacity", "16384"}));
+
+  // >10% of connections take a fault: 7% accept-reset, 4% mid-RST, 2%
+  // corrupt (the replay driver: the daemon answered, the client never saw
+  // it), 2% partial-write stall. No blackholes here — they only burn the
+  // client deadline and are covered by the in-process suite.
+  ChaosScenario scenario;
+  scenario.seed = 20260808;
+  scenario.accept_reset_permille = 70;
+  scenario.mid_rst_permille = 40;
+  scenario.rst_after_bytes = 16;
+  scenario.corrupt_permille = 20;
+  scenario.corrupt_offset = 1;
+  scenario.stall_permille = 20;
+  scenario.stall_ms = 5;
+  scenario.stall_after_bytes = 8;
+  ChaosProxyOptions proxy_options;
+  proxy_options.upstream_port = daemon.port();
+  proxy_options.scenario = scenario;
+  ChaosProxy proxy(std::move(proxy_options));
+  ASSERT_TRUE(proxy.Start().ok());
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(64, /*base_items=*/8);
+  auto request_at = [&](std::size_t i) {
+    return net::WireRequest(i + 1, serve::Request::Kind::kPatternProb, 0,
+                            workload.models[i % workload.models.size()],
+                            workload.patterns[i % workload.patterns.size()]);
+  };
+
+  // Phase 1: fault-free baseline, straight at the daemon.
+  const double owner_before = ScrapeCounter(daemon.port(),
+                                            "ppref_net_idem_owner_total");
+  std::vector<double> baseline(kGateRequests);
+  {
+    ResilOptions options;
+    options.endpoints = {{"127.0.0.1", daemon.port()}};
+    options.total_deadline_ms = 10000;
+    // The backoff seed also seeds the idempotency-key stream; the two
+    // phases must not share one or phase 2 would replay phase 1's entries.
+    options.backoff.seed = 1000;
+    ResilientClient client(std::move(options));
+    for (std::size_t i = 0; i < kGateRequests; ++i) {
+      StatusOr<net::WireResponse> response = client.Call(request_at(i));
+      ASSERT_TRUE(response.ok()) << i << ": " << response.status().ToString();
+      ASSERT_TRUE(response.value().status.ok());
+      baseline[i] = response.value().probability;
+    }
+  }
+  const double owner_baseline = ScrapeCounter(daemon.port(),
+                                              "ppref_net_idem_owner_total");
+  EXPECT_EQ(owner_baseline - owner_before,
+            static_cast<double>(kGateRequests));
+
+  // Phase 2: the same run through the chaos proxy.
+  std::size_t total_retries = 0;
+  {
+    ResilOptions options;
+    options.endpoints = {{"127.0.0.1", proxy.port()}};
+    options.total_deadline_ms = 20000;
+    options.max_attempts = 10;
+    options.backoff.base_ms = 1;
+    options.backoff.cap_ms = 8;
+    options.backoff.seed = 2000;  // distinct key stream from phase 1
+    // The gate retries ~10% of 10k requests; give the bucket room so the
+    // budget never converts an injected fault into a user-visible failure.
+    options.retry_budget.initial_tokens = 1e9;
+    options.retry_budget.max_tokens = 1e9;
+    ResilientClient client(std::move(options));
+    for (std::size_t i = 0; i < kGateRequests; ++i) {
+      CallStats stats;
+      StatusOr<net::WireResponse> response =
+          client.Call(request_at(i), &stats);
+      ASSERT_TRUE(response.ok()) << i << ": " << response.status().ToString();
+      ASSERT_TRUE(response.value().status.ok())
+          << i << ": " << response.value().status.ToString();
+      // 100% success and bit-identical to the fault-free answer.
+      ASSERT_EQ(response.value().probability, baseline[i]) << "request " << i;
+      total_retries += stats.attempts - 1;
+    }
+  }
+
+  // The injected fault volume is real: >=10% of the gate's requests.
+  const ChaosProxy::Stats chaos = proxy.stats();
+  const std::uint64_t faults = chaos.accept_resets + chaos.mid_rsts +
+                               chaos.corruptions + chaos.stalls;
+  EXPECT_GE(faults, kGateRequests / 10) << "chaos mix too gentle";
+  EXPECT_GE(chaos.stalls, 1u);
+  EXPECT_GE(chaos.mid_rsts, 1u);
+  EXPECT_GE(total_retries, 1u);
+
+  // Zero recomputes: every logical request executed exactly once; the
+  // corrupt-response retries were replays of retained bytes.
+  const double owner_chaos = ScrapeCounter(daemon.port(),
+                                           "ppref_net_idem_owner_total");
+  EXPECT_EQ(owner_chaos - owner_baseline, static_cast<double>(kGateRequests))
+      << "daemon recomputed a retried request";
+  const double replayed = ScrapeCounter(daemon.port(),
+                                        "ppref_net_idem_replayed_total");
+  EXPECT_GE(replayed, 1.0);
+
+  proxy.Stop();
+  daemon.TerminateAndExpectCleanExit();
+}
+
+TEST(ResilE2eTest, SupervisorKillNineRestartsWarmAndBitIdentical) {
+  const std::string store_dir =
+      ::testing::TempDir() + "resil_supervise_store_" +
+      std::to_string(getpid());
+
+  ToolProcess supervisor;
+  const std::string pid_file = ::testing::TempDir() + "resil_supervise_pid_" +
+                               std::to_string(getpid());
+  ASSERT_TRUE(supervisor.Spawn(
+      PPREF_SUPERVISE_PATH,
+      {"--daemon", PPREF_SERVED_PATH, "--pid-file", pid_file,
+       "--health-interval-ms", "100", "--backoff-base-ms", "50",
+       "--max-restarts", "0", "--", "--store-dir", store_dir,
+       "--idem-capacity", "1024"}));
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(4, /*base_items=*/8);
+  auto call = [&](std::uint64_t id, std::uint64_t deadline_ms) {
+    ResilOptions options;
+    options.endpoints = {{"127.0.0.1", supervisor.port()}};
+    options.total_deadline_ms = deadline_ms;
+    options.max_attempts = 20;
+    options.attempt_timeout_ms = 1000;
+    options.backoff.base_ms = 20;
+    options.backoff.cap_ms = 200;
+    ResilientClient client(std::move(options));
+    return client.Call(net::WireRequest(
+        id, serve::Request::Kind::kPatternProb, 0,
+        workload.models[id % 4], workload.patterns[id % 4]));
+  };
+
+  // Populate: a few distinct queries against incarnation 1 (computed cold,
+  // written to the store as they complete).
+  std::vector<double> cold(4);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    StatusOr<net::WireResponse> response = call(id, 15000);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response.value().status.ok());
+    cold[id - 1] = response.value().probability;
+  }
+
+  // Read the daemon's pid from the supervisor and kill -9 it.
+  pid_t daemon_pid = 0;
+  {
+    std::FILE* file = std::fopen(pid_file.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    long long value = 0;
+    ASSERT_EQ(std::fscanf(file, "%lld", &value), 1);
+    std::fclose(file);
+    daemon_pid = static_cast<pid_t>(value);
+  }
+  ASSERT_GT(daemon_pid, 0);
+  ASSERT_EQ(kill(daemon_pid, SIGKILL), 0);
+
+  // The same queries immediately after the kill: the resilient client rides
+  // out the restart window (its connects queue in the supervisor-held
+  // listen backlog) and the answers must come back bit-identical.
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    StatusOr<net::WireResponse> response = call(id, 30000);
+    ASSERT_TRUE(response.ok())
+        << "post-kill call " << id << ": " << response.status().ToString();
+    ASSERT_TRUE(response.value().status.ok());
+    EXPECT_EQ(response.value().probability, cold[id - 1]);
+  }
+
+  // The replacement incarnation answered warm from the persistent store:
+  // kill -9 skipped the drain flush, but completed Puts live in the page
+  // cache and recovery replays the segments.
+  EXPECT_GT(ScrapeCounter(supervisor.port(), "ppref_serve_store_hits_total"),
+            0.0);
+
+  supervisor.TerminateAndExpectCleanExit();
+  std::remove(pid_file.c_str());
+  [[maybe_unused]] int rc =
+      std::system(("rm -rf " + store_dir).c_str());
+}
+
+}  // namespace
+}  // namespace ppref::resil

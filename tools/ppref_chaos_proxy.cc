@@ -1,0 +1,167 @@
+/// \file ppref_chaos_proxy.cc
+/// \brief A seeded TCP fault-injection proxy in front of `ppref_served`.
+///
+/// Usage:
+///   ppref_chaos_proxy --upstream-port P [--upstream-host H]
+///                     [--port P] [--port-file FILE] [--seed N]
+///                     [--accept-reset N] [--mid-rst N] [--rst-after N]
+///                     [--corrupt N] [--corrupt-offset N]
+///                     [--blackhole N] [--stall N] [--stall-ms N]
+///                     [--stall-after N]
+///
+/// Fault rates are permille (out of 1000) per accepted connection; the same
+/// `--seed` and connection arrival order reproduce the same fault sequence.
+/// `--port 0` (default) binds ephemeral; `--port-file` writes the bound
+/// port once listening. SIGTERM/SIGINT stop the proxy and print the
+/// injection totals.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ppref/net/internal/io.h"
+#include "ppref/resil/chaos_proxy.h"
+
+namespace {
+
+using namespace ppref;
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s --upstream-port P [--upstream-host H]\n"
+      "          [--port P] [--port-file FILE] [--seed N]\n"
+      "          [--accept-reset N] [--mid-rst N] [--rst-after N]\n"
+      "          [--corrupt N] [--corrupt-offset N]\n"
+      "          [--blackhole N] [--stall N] [--stall-ms N]\n"
+      "          [--stall-after N]\n"
+      "fault rates are permille per connection\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::internal::IgnoreSigpipe();
+  resil::ChaosProxyOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      PrintUsage(argv[0]);
+      return 2;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+    if (flag == "--upstream-host") {
+      options.upstream_host = argv[++i];
+      continue;
+    }
+    if (flag == "--port-file") {
+      port_file = argv[++i];
+      continue;
+    }
+    const unsigned long long value = std::strtoull(argv[++i], nullptr, 10);
+    if (flag == "--upstream-port") {
+      options.upstream_port = static_cast<int>(value);
+    } else if (flag == "--port") {
+      options.listen_port = static_cast<int>(value);
+    } else if (flag == "--seed") {
+      options.scenario.seed = value;
+    } else if (flag == "--accept-reset") {
+      options.scenario.accept_reset_permille = static_cast<unsigned>(value);
+    } else if (flag == "--mid-rst") {
+      options.scenario.mid_rst_permille = static_cast<unsigned>(value);
+    } else if (flag == "--rst-after") {
+      options.scenario.rst_after_bytes = value;
+    } else if (flag == "--corrupt") {
+      options.scenario.corrupt_permille = static_cast<unsigned>(value);
+    } else if (flag == "--corrupt-offset") {
+      options.scenario.corrupt_offset = value;
+    } else if (flag == "--blackhole") {
+      options.scenario.blackhole_permille = static_cast<unsigned>(value);
+    } else if (flag == "--stall") {
+      options.scenario.stall_permille = static_cast<unsigned>(value);
+    } else if (flag == "--stall-ms") {
+      options.scenario.stall_ms = value;
+    } else if (flag == "--stall-after") {
+      options.scenario.stall_after_bytes = value;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.upstream_port <= 0) {
+    std::fprintf(stderr, "--upstream-port is required\n");
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  const unsigned total = options.scenario.accept_reset_permille +
+                         options.scenario.mid_rst_permille +
+                         options.scenario.corrupt_permille +
+                         options.scenario.blackhole_permille +
+                         options.scenario.stall_permille;
+  if (total > 1000) {
+    std::fprintf(stderr, "fault permilles sum to %u > 1000\n", total);
+    return 2;
+  }
+
+  resil::ChaosProxy proxy(options);
+  const Status started = proxy.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "ppref_chaos_proxy: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::printf("ppref_chaos_proxy: %s:%d -> %s:%d (seed %llu)\n",
+              options.listen_address.c_str(), proxy.port(),
+              options.upstream_host.c_str(), options.upstream_port,
+              static_cast<unsigned long long>(options.scenario.seed));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    if (std::FILE* out = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(out, "%d\n", proxy.port());
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  while (!g_stop.load()) usleep(50 * 1000);
+  proxy.Stop();
+
+  const resil::ChaosProxy::Stats stats = proxy.stats();
+  std::printf(
+      "ppref_chaos_proxy: %llu conns: %llu accept-resets, %llu mid-rsts, "
+      "%llu corruptions, %llu blackholes, %llu stalls; %llu B up, %llu B "
+      "down\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.accept_resets),
+      static_cast<unsigned long long>(stats.mid_rsts),
+      static_cast<unsigned long long>(stats.corruptions),
+      static_cast<unsigned long long>(stats.blackholes),
+      static_cast<unsigned long long>(stats.stalls),
+      static_cast<unsigned long long>(stats.bytes_client_to_upstream),
+      static_cast<unsigned long long>(stats.bytes_upstream_to_client));
+  return 0;
+}

@@ -9,6 +9,13 @@
 ///                [--max-connections N] [--plan-cache N] [--result-cache N]
 ///                [--circuit-cache N] [--shards N]
 ///                [--store-dir DIR] [--store-max-bytes N]
+///                [--listen-fd N] [--idem-capacity N]
+///
+/// `--listen-fd N` adopts an already-bound, already-listening socket instead
+/// of binding one — this is how `ppref_supervise` keeps the port stable
+/// across daemon restarts (clients reconnect to the same address and hit the
+/// replacement process). `--idem-capacity` sizes the idempotent-replay
+/// window (0 disables request deduplication).
 ///
 /// `--port 0` (the default) binds an ephemeral port; `--port-file` writes
 /// the bound port as a decimal line once listening, which is how scripted
@@ -34,6 +41,7 @@
 
 #include "ppref/common/clock.h"
 #include "ppref/net/daemon.h"
+#include "ppref/net/internal/io.h"
 #include "ppref/store/store.h"
 
 namespace {
@@ -62,7 +70,8 @@ void PrintUsage(const char* argv0) {
       "          [--degraded-samples N] [--conn-deadline-ms N]\n"
       "          [--max-connections N] [--plan-cache N] [--result-cache N]\n"
       "          [--circuit-cache N] [--shards N]\n"
-      "          [--store-dir DIR] [--store-max-bytes N]\n",
+      "          [--store-dir DIR] [--store-max-bytes N]\n"
+      "          [--listen-fd N] [--idem-capacity N]\n",
       argv0);
 }
 
@@ -128,6 +137,10 @@ bool ParseArgs(int argc, char** argv, Options& options) {
           static_cast<unsigned>(value);
     } else if (flag == "--store-max-bytes") {
       options.store_max_bytes = value;
+    } else if (flag == "--listen-fd") {
+      options.daemon.listen_fd = static_cast<int>(value);
+    } else if (flag == "--idem-capacity") {
+      options.daemon.idempotency_capacity = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -139,6 +152,7 @@ bool ParseArgs(int argc, char** argv, Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  net::internal::IgnoreSigpipe();
   Options options;
   if (!ParseArgs(argc, argv, options)) {
     PrintUsage(argv[0]);

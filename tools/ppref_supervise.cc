@@ -1,0 +1,324 @@
+/// \file ppref_supervise.cc
+/// \brief Crash-restart supervisor for `ppref_served`.
+///
+/// Usage:
+///   ppref_supervise --daemon PATH [--port P] [--port-file FILE]
+///                   [--pid-file FILE] [--health-interval-ms N]
+///                   [--probe-deadline-ms N] [--unhealthy-after N]
+///                   [--backoff-base-ms N] [--backoff-cap-ms N]
+///                   [--healthy-reset-ms N] [--max-restarts N]
+///                   [-- daemon args...]
+///
+/// The supervisor owns the listen socket: it binds and listens once, then
+/// fork/execs the daemon with `--listen-fd`, so the address survives the
+/// daemon dying — clients (and the resilient client's failover list) keep
+/// one stable endpoint while the process behind it is replaced. Pending
+/// connects queue in the listen backlog during a restart and are accepted
+/// by the replacement, which, started with `--store-dir`, answers them warm
+/// from the persistent store.
+///
+/// Liveness is `waitpid`; health is GET /healthz through the shared socket
+/// every `--health-interval-ms`. `--unhealthy-after` consecutive probe
+/// failures (default 15) count as a hang: the daemon is SIGKILLed and
+/// restarted. Crash-loop protection is exponential backoff between
+/// restarts, doubling from `--backoff-base-ms` to `--backoff-cap-ms` and
+/// reset once an incarnation stays healthy for `--healthy-reset-ms`.
+/// `--pid-file` is rewritten for every incarnation. SIGTERM/SIGINT forward
+/// to the daemon and wait for its graceful drain. `--max-restarts` (0 =
+/// unlimited) bounds total restarts, mostly for tests.
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ppref/common/clock.h"
+#include "ppref/net/client.h"
+#include "ppref/net/internal/io.h"
+
+namespace {
+
+using namespace ppref;
+
+std::atomic<int> g_signal{0};
+
+void HandleSignal(int signum) { g_signal.store(signum); }
+
+struct Options {
+  std::string daemon_path;
+  int port = 0;
+  std::string port_file;
+  std::string pid_file;
+  std::uint64_t health_interval_ms = 200;
+  std::uint64_t probe_deadline_ms = 1000;
+  unsigned unhealthy_after = 15;
+  std::uint64_t backoff_base_ms = 100;
+  std::uint64_t backoff_cap_ms = 5000;
+  std::uint64_t healthy_reset_ms = 5000;
+  std::uint64_t max_restarts = 0;
+  std::vector<std::string> daemon_args;
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s --daemon PATH [--port P] [--port-file FILE]\n"
+      "          [--pid-file FILE] [--health-interval-ms N]\n"
+      "          [--probe-deadline-ms N] [--unhealthy-after N]\n"
+      "          [--backoff-base-ms N] [--backoff-cap-ms N]\n"
+      "          [--healthy-reset-ms N] [--max-restarts N]\n"
+      "          [-- daemon args...]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--") {
+      for (++i; i < argc; ++i) options.daemon_args.emplace_back(argv[i]);
+      return !options.daemon_path.empty();
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    if (flag == "--daemon") {
+      options.daemon_path = argv[++i];
+      continue;
+    }
+    if (flag == "--port-file") {
+      options.port_file = argv[++i];
+      continue;
+    }
+    if (flag == "--pid-file") {
+      options.pid_file = argv[++i];
+      continue;
+    }
+    const unsigned long long value = std::strtoull(argv[++i], nullptr, 10);
+    if (flag == "--port") {
+      options.port = static_cast<int>(value);
+    } else if (flag == "--health-interval-ms") {
+      options.health_interval_ms = value;
+    } else if (flag == "--probe-deadline-ms") {
+      options.probe_deadline_ms = value;
+    } else if (flag == "--unhealthy-after") {
+      options.unhealthy_after = static_cast<unsigned>(value);
+    } else if (flag == "--backoff-base-ms") {
+      options.backoff_base_ms = value;
+    } else if (flag == "--backoff-cap-ms") {
+      options.backoff_cap_ms = value;
+    } else if (flag == "--healthy-reset-ms") {
+      options.healthy_reset_ms = value;
+    } else if (flag == "--max-restarts") {
+      options.max_restarts = value;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (options.daemon_path.empty()) {
+    std::fprintf(stderr, "--daemon is required\n");
+    return false;
+  }
+  return true;
+}
+
+void WriteFileLine(const std::string& path, long long value) {
+  if (path.empty()) return;
+  if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+    std::fprintf(out, "%lld\n", value);
+    std::fclose(out);
+  }
+}
+
+/// Binds + listens; the fd is intentionally inheritable (no CLOEXEC) so the
+/// exec'd daemon can adopt it.
+int BindListenSocket(int port, int* bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0 ||
+      listen(fd, 128) != 0) {
+    close(fd);
+    return -1;
+  }
+  socklen_t length = sizeof(address);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length);
+  *bound_port = ntohs(address.sin_port);
+  return fd;
+}
+
+pid_t SpawnDaemon(const Options& options, int listen_fd) {
+  const pid_t parent = getpid();
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child: exec the daemon with the inherited listen socket. A daemon must
+  // never outlive its supervisor — if the supervisor is killed ungracefully
+  // (SIGKILL skips the SIGTERM forwarding), the orphan would keep the
+  // inherited stdio pipes open and squat on the endpoint forever. PDEATHSIG
+  // survives execv; the getppid() re-check closes the race where the
+  // supervisor died between fork and prctl.
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (getppid() != parent) _exit(126);
+  std::vector<std::string> args;
+  args.push_back(options.daemon_path);
+  args.push_back("--listen-fd");
+  args.push_back(std::to_string(listen_fd));
+  for (const std::string& arg : options.daemon_args) args.push_back(arg);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(options.daemon_path.c_str(), argv.data());
+  std::fprintf(stderr, "ppref_supervise: exec %s: %s\n",
+               options.daemon_path.c_str(), std::strerror(errno));
+  _exit(127);
+}
+
+bool ProbeHealthy(int port, std::uint64_t deadline_ms) {
+  auto result = net::HttpFetch("127.0.0.1", port, "GET", "/healthz", "",
+                               deadline_ms, deadline_ms);
+  return result.ok() && result.value().status_code == 200;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::internal::IgnoreSigpipe();
+  Options options;
+  if (!ParseArgs(argc, argv, options)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  int port = 0;
+  const int listen_fd = BindListenSocket(options.port, &port);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "ppref_supervise: cannot bind 127.0.0.1:%d: %s\n",
+                 options.port, std::strerror(errno));
+    return 1;
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::printf("ppref_supervise: 127.0.0.1:%d -> %s\n", port,
+              options.daemon_path.c_str());
+  std::fflush(stdout);
+  if (!options.port_file.empty()) WriteFileLine(options.port_file, port);
+
+  std::uint64_t restarts = 0;
+  std::uint64_t backoff_ms = options.backoff_base_ms;
+  int exit_code = 0;
+  while (true) {
+    const std::uint64_t born_ns = MonotonicNowNs();
+    const pid_t pid = SpawnDaemon(options, listen_fd);
+    if (pid < 0) {
+      std::fprintf(stderr, "ppref_supervise: fork: %s\n",
+                   std::strerror(errno));
+      exit_code = 1;
+      break;
+    }
+    WriteFileLine(options.pid_file, pid);
+    std::printf("ppref_supervise: daemon pid %d (restarts %llu)\n",
+                static_cast<int>(pid),
+                static_cast<unsigned long long>(restarts));
+    std::fflush(stdout);
+
+    unsigned unhealthy_streak = 0;
+    std::uint64_t last_probe_ns = 0;
+    bool child_exited = false;
+    int child_status = 0;
+    while (true) {
+      const int forwarded = g_signal.exchange(0);
+      if (forwarded != 0) {
+        std::printf("ppref_supervise: forwarding signal %d, draining\n",
+                    forwarded);
+        std::fflush(stdout);
+        kill(pid, forwarded);
+        waitpid(pid, &child_status, 0);
+        close(listen_fd);
+        return 0;
+      }
+      const pid_t reaped = waitpid(pid, &child_status, WNOHANG);
+      if (reaped == pid) {
+        child_exited = true;
+        break;
+      }
+      const std::uint64_t now_ns = MonotonicNowNs();
+      if (now_ns - last_probe_ns >=
+          options.health_interval_ms * 1000 * 1000) {
+        last_probe_ns = now_ns;
+        if (ProbeHealthy(port, options.probe_deadline_ms)) {
+          unhealthy_streak = 0;
+          if (now_ns - born_ns >= options.healthy_reset_ms * 1000 * 1000) {
+            backoff_ms = options.backoff_base_ms;
+          }
+        } else if (++unhealthy_streak >= options.unhealthy_after) {
+          std::printf(
+              "ppref_supervise: %u failed probes, killing pid %d\n",
+              unhealthy_streak, static_cast<int>(pid));
+          std::fflush(stdout);
+          kill(pid, SIGKILL);
+          waitpid(pid, &child_status, 0);
+          child_exited = true;
+          break;
+        }
+      }
+      usleep(10 * 1000);
+    }
+
+    if (child_exited) {
+      // A graceful exit after SIGTERM never reaches here (handled above),
+      // so any exit is a crash from the supervisor's point of view.
+      if (WIFSIGNALED(child_status)) {
+        std::printf("ppref_supervise: daemon killed by signal %d\n",
+                    WTERMSIG(child_status));
+      } else {
+        std::printf("ppref_supervise: daemon exited with status %d\n",
+                    WEXITSTATUS(child_status));
+      }
+      std::fflush(stdout);
+    }
+    ++restarts;
+    if (options.max_restarts != 0 && restarts > options.max_restarts) {
+      std::fprintf(stderr, "ppref_supervise: restart limit reached\n");
+      exit_code = 1;
+      break;
+    }
+    std::printf("ppref_supervise: restarting in %llu ms\n",
+                static_cast<unsigned long long>(backoff_ms));
+    std::fflush(stdout);
+    const std::uint64_t wake_ns =
+        MonotonicNowNs() + backoff_ms * 1000 * 1000;
+    while (MonotonicNowNs() < wake_ns) {
+      if (g_signal.load() != 0) {
+        close(listen_fd);
+        return 0;
+      }
+      usleep(5 * 1000);
+    }
+    backoff_ms = std::min(backoff_ms * 2, options.backoff_cap_ms);
+  }
+  close(listen_fd);
+  return exit_code;
+}

@@ -233,6 +233,37 @@ void Render(const Metrics& metrics) {
                     .c_str());
   }
 
+  // Idempotent re-execution (rows appear once a keyed request has been
+  // seen; retries/hedges dedup here instead of recomputing).
+  if (ScalarOr0(metrics, "ppref_net_idem_owner_total") > 0.0 ||
+      ScalarOr0(metrics, "ppref_net_idem_replayed_total") > 0.0) {
+    std::printf("\n== idempotency ==\n");
+    RenderCounterRow(metrics, "owned executions",
+                     "ppref_net_idem_owner_total");
+    RenderCounterRow(metrics, "coalesced in-flight",
+                     "ppref_net_idem_coalesced_total");
+    RenderCounterRow(metrics, "replayed", "ppref_net_idem_replayed_total");
+    RenderCounterRow(metrics, "evicted", "ppref_net_idem_evicted_total");
+  }
+
+  // Resilient-client counters, for endpoints that embed one and export its
+  // registry (the daemon itself does not dial anyone).
+  if (ScalarOr0(metrics, "ppref_resil_calls_total") > 0.0) {
+    std::printf("\n== resilient client ==\n");
+    RenderCounterRow(metrics, "calls", "ppref_resil_calls_total");
+    RenderCounterRow(metrics, "call failures",
+                     "ppref_resil_call_failures_total");
+    RenderCounterRow(metrics, "attempts", "ppref_resil_attempts_total");
+    RenderCounterRow(metrics, "retries", "ppref_resil_retries_total");
+    RenderCounterRow(metrics, "failovers", "ppref_resil_failovers_total");
+    RenderCounterRow(metrics, "hedges", "ppref_resil_hedges_total");
+    RenderCounterRow(metrics, "hedge wins", "ppref_resil_hedge_wins_total");
+    RenderCounterRow(metrics, "budget refusals",
+                     "ppref_resil_budget_exhausted_total");
+    RenderCounterRow(metrics, "retry-after waits",
+                     "ppref_resil_retry_after_waits_total");
+  }
+
   // Per-stage latency table. Stage sums are shares of the total stage time
   // — where a request's wall clock actually goes.
   static const struct {
