@@ -1,0 +1,247 @@
+/// \file bench_e25_hard.cc
+/// \brief E25: the hard-query tier — variance-adaptive Monte Carlo with
+/// shared world pools, and consensus top-k.
+///
+/// Three phases over one m=24 Mallows model and an 8-query batch of
+/// 2-chain patterns:
+///
+///   pooling     the same fixed world budget answered per-query (8 solo
+///               runs, each drawing its own worlds) vs. pooled (one shared
+///               stream, every world evaluated against all 8 queries).
+///               Worlds cost O(m^2) to draw and O(k*m) to evaluate, so the
+///               pool amortizes almost all of the work.
+///   adaptivity  the same batch under a CI half-width target: the adaptive
+///               stop spends a small prefix of the sample cap per query and
+///               still lands inside its reported error.
+///   consensus   one consensus top-k ranking (footrule-optimal Hungarian
+///               assignment over sampled position counts) with distance
+///               statistics, replayed for determinism.
+///
+/// Three hard gates, exit 1 on any: (1) the pooled batch must be >= 2x
+/// faster than per-query sampling; (2) every estimate (fixed and adaptive)
+/// must lie within 5 standard errors (+1e-3) of the exact DP answer; (3)
+/// replaying pooled, solo, and consensus runs at the same seeds must
+/// reproduce every answer bit for bit, and pooled == solo bitwise. Emits
+/// `BENCH_hard.json`.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppref/hard/consensus.h"
+#include "ppref/hard/estimator.h"
+#include "ppref/hard/world_pool.h"
+#include "ppref/infer/matching.h"
+#include "ppref/infer/top_prob.h"
+#include "ppref/rim/sampler.h"
+
+namespace {
+
+using namespace ppref;
+using namespace ppref::bench;
+
+constexpr unsigned kM = 24;            // items
+constexpr unsigned kQueries = 8;       // batch size
+constexpr unsigned kSamples = 16384;   // fixed world budget per query
+constexpr std::uint64_t kSeed = 2025;
+
+hard::AdaptiveOptions FixedOptions() {
+  hard::AdaptiveOptions options;
+  options.target_half_width = 0.0;  // fixed budget: every run spends the cap
+  options.max_samples = kSamples;
+  options.seed = kSeed;
+  options.threads = 1;
+  return options;
+}
+
+hard::AdaptiveEstimate Solo(const infer::LabeledRimModel& model,
+                            const infer::LabelPattern& pattern,
+                            const hard::AdaptiveOptions& options) {
+  return hard::EstimateBernoulliAdaptive(
+      options, [&](Rng& rng, unsigned begin, unsigned end) {
+        unsigned hits = 0;
+        for (unsigned s = begin; s < end; ++s) {
+          const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+          if (infer::Matches(pattern, model.labeling(), tau)) ++hits;
+        }
+        return hits;
+      });
+}
+
+bool BitEqual(const hard::AdaptiveEstimate& a,
+              const hard::AdaptiveEstimate& b) {
+  return a.estimate == b.estimate && a.std_error == b.std_error &&
+         a.n_samples == b.n_samples && a.target_met == b.target_met &&
+         a.deadline_limited == b.deadline_limited;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E25", "hard tier: shared world pools + adaptive MC + consensus");
+
+  // One model, four single-item labels; eight distinct 2-chain patterns.
+  // Single-item labels keep the existential match selective, so every query
+  // has a probability bounded away from 0 and 1 and the estimator actually
+  // has variance to adapt to.
+  const infer::LabeledRimModel model = LabeledMallows(kM, 0.7,
+                                                      SpreadLabeling(kM, 4, 1));
+  const unsigned chain_labels[kQueries][2] = {{0, 1}, {1, 0}, {0, 2}, {2, 0},
+                                              {1, 2}, {2, 1}, {0, 3}, {3, 0}};
+  std::vector<infer::LabelPattern> patterns(kQueries);
+  for (unsigned q = 0; q < kQueries; ++q) {
+    const unsigned above = patterns[q].AddNode(chain_labels[q][0]);
+    const unsigned below = patterns[q].AddNode(chain_labels[q][1]);
+    patterns[q].AddEdge(above, below);
+  }
+  std::vector<const infer::LabelPattern*> pointers;
+  for (const auto& pattern : patterns) pointers.push_back(&pattern);
+
+  std::vector<double> exact(kQueries);
+  for (unsigned q = 0; q < kQueries; ++q) {
+    exact[q] = infer::PatternProb(model, patterns[q]);
+  }
+
+  // --- Phase 1: pooling speedup at a fixed budget --------------------------
+  const hard::AdaptiveOptions fixed = FixedOptions();
+  std::vector<hard::AdaptiveEstimate> solo(kQueries);
+  const double solo_ms = TimeMs([&] {
+    for (unsigned q = 0; q < kQueries; ++q) {
+      solo[q] = Solo(model, patterns[q], fixed);
+    }
+  });
+  std::vector<hard::AdaptiveEstimate> pooled;
+  const double pooled_ms = TimeMs([&] {
+    pooled = hard::EstimatePatternProbsPooled(model, pointers, fixed);
+  });
+  const double speedup = solo_ms / pooled_ms;
+  std::printf("  8-query batch, %u worlds each: solo %.1fms, pooled %.1fms "
+              "(%.2fx)\n",
+              kSamples, solo_ms, pooled_ms, speedup);
+
+  bool pooled_equals_solo = true;
+  double max_abs_error = 0.0;
+  for (unsigned q = 0; q < kQueries; ++q) {
+    pooled_equals_solo = pooled_equals_solo && BitEqual(pooled[q], solo[q]);
+    const double abs_error = std::abs(pooled[q].estimate - exact[q]);
+    max_abs_error = std::max(max_abs_error, abs_error);
+    if (abs_error > 5.0 * pooled[q].std_error + 1e-3) {
+      std::printf("  GATE FAIL: query %u estimate %.6f vs exact %.6f "
+                  "outside 5 sigma (se %.6f)\n",
+                  q, pooled[q].estimate, exact[q], pooled[q].std_error);
+      return 1;
+    }
+  }
+
+  // --- Phase 2: adaptive early stop ----------------------------------------
+  hard::AdaptiveOptions adaptive = FixedOptions();
+  adaptive.target_half_width = 0.01;
+  adaptive.max_samples = 1u << 18;
+  const std::vector<hard::AdaptiveEstimate> tuned =
+      hard::EstimatePatternProbsPooled(model, pointers, adaptive);
+  std::uint64_t adaptive_worlds = 0;
+  for (unsigned q = 0; q < kQueries; ++q) {
+    adaptive_worlds = std::max(adaptive_worlds, tuned[q].n_samples);
+    if (!tuned[q].target_met) {
+      std::printf("  GATE FAIL: adaptive query %u never met its target\n", q);
+      return 1;
+    }
+    if (std::abs(tuned[q].estimate - exact[q]) >
+        5.0 * tuned[q].std_error + 1e-3) {
+      std::printf("  GATE FAIL: adaptive query %u outside 5 sigma\n", q);
+      return 1;
+    }
+  }
+  std::printf("  adaptive (target 0.01): pool stopped after %llu of %u "
+              "worlds\n",
+              static_cast<unsigned long long>(adaptive_worlds),
+              adaptive.max_samples);
+
+  // --- Phase 3: consensus top-k --------------------------------------------
+  hard::ConsensusOptions consensus_options;
+  consensus_options.samples = 4096;
+  consensus_options.seed = kSeed;
+  hard::ConsensusResult consensus;
+  const double consensus_ms = TimeMs([&] {
+    consensus = hard::ConsensusRanking(model.model(), consensus_options);
+  });
+  std::printf("  consensus over %u worlds in %.1fms: mean footrule %.2f "
+              "(se %.3f), mean kendall %.2f (se %.3f)\n",
+              consensus_options.samples, consensus_ms,
+              consensus.mean_footrule, consensus.footrule_std_error,
+              consensus.mean_kendall, consensus.kendall_std_error);
+
+  // --- Gate: bit-identical seeded replay ------------------------------------
+  const std::vector<hard::AdaptiveEstimate> replay =
+      hard::EstimatePatternProbsPooled(model, pointers, fixed);
+  bool replay_identical = true;
+  for (unsigned q = 0; q < kQueries; ++q) {
+    replay_identical = replay_identical && BitEqual(replay[q], pooled[q]);
+  }
+  const hard::ConsensusResult consensus_replay =
+      hard::ConsensusRanking(model.model(), consensus_options);
+  const bool consensus_identical =
+      consensus_replay.ranking == consensus.ranking &&
+      consensus_replay.mean_footrule == consensus.mean_footrule &&
+      consensus_replay.footrule_std_error == consensus.footrule_std_error &&
+      consensus_replay.mean_kendall == consensus.mean_kendall &&
+      consensus_replay.kendall_std_error == consensus.kendall_std_error;
+
+  const bool gates_ok = speedup >= 2.0 && pooled_equals_solo &&
+                        replay_identical && consensus_identical;
+
+  std::FILE* json = std::fopen("BENCH_hard.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"experiment\": \"e25_hard_tier\",\n");
+    std::fprintf(json, "  \"git_sha\": \"%s\",\n", GitSha().c_str());
+    std::fprintf(json, "  \"utc_date\": \"%s\",\n", UtcDate().c_str());
+    std::fprintf(json, "  \"m\": %u,\n", kM);
+    std::fprintf(json, "  \"queries\": %u,\n", kQueries);
+    std::fprintf(json, "  \"samples\": %u,\n", kSamples);
+    std::fprintf(json, "  \"solo_ms\": %.3f,\n", solo_ms);
+    std::fprintf(json, "  \"pooled_ms\": %.3f,\n", pooled_ms);
+    std::fprintf(json, "  \"speedup\": %.3f,\n", speedup);
+    std::fprintf(json, "  \"max_abs_error\": %.6f,\n", max_abs_error);
+    std::fprintf(json, "  \"adaptive_target\": %.3f,\n",
+                 adaptive.target_half_width);
+    std::fprintf(json, "  \"adaptive_worlds\": %llu,\n",
+                 static_cast<unsigned long long>(adaptive_worlds));
+    std::fprintf(json, "  \"adaptive_cap\": %u,\n", adaptive.max_samples);
+    std::fprintf(json, "  \"consensus_samples\": %u,\n",
+                 consensus_options.samples);
+    std::fprintf(json, "  \"consensus_ms\": %.3f,\n", consensus_ms);
+    std::fprintf(json, "  \"consensus_mean_footrule\": %.4f,\n",
+                 consensus.mean_footrule);
+    std::fprintf(json, "  \"consensus_mean_kendall\": %.4f,\n",
+                 consensus.mean_kendall);
+    std::fprintf(json, "  \"pooled_equals_solo\": %s,\n",
+                 pooled_equals_solo ? "true" : "false");
+    std::fprintf(json, "  \"replay_identical\": %s,\n",
+                 replay_identical && consensus_identical ? "true" : "false");
+    std::fprintf(json, "  \"gates_ok\": %s\n", gates_ok ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+  }
+
+  if (speedup < 2.0) {
+    std::printf("  GATE FAIL: pooled speedup %.2fx < 2x\n", speedup);
+    return 1;
+  }
+  if (!pooled_equals_solo) {
+    std::printf("  GATE FAIL: pooled answers differ from solo runs\n");
+    return 1;
+  }
+  if (!replay_identical || !consensus_identical) {
+    std::printf("  GATE FAIL: seeded replay was not bit-identical\n");
+    return 1;
+  }
+  std::printf("  gates: speedup %.2fx >= 2x, all estimates in 5 sigma, "
+              "replay bit-identical — ok\n",
+              speedup);
+  return 0;
+}

@@ -5,8 +5,10 @@
 #      where ASan turns any codec over-read into a hard failure).
 #   2. TSan build (thread sanitizer is incompatible with ASan, so it is a
 #      separate tree); run the concurrent serve-layer, obs, net, circuit,
-#      and resilience suites (`Serve*` / `Obs*` / `Net*` / `Circuit*` /
-#      `Resil*`) — the tests that exercise cross-thread synchronization
+#      resilience, and hard-tier suites (`Serve*` / `Obs*` / `Net*` /
+#      `Circuit*` / `Resil*` / `Hard*`, the last covering the block-parallel
+#      adaptive sampler and shared world pools)
+#      — the tests that exercise cross-thread synchronization
 #      directly (batch fan-out, sharded caches — including the
 #      structure-keyed circuit cache behind concurrent sweeps — the metric
 #      shard merge, the trace ring, the daemon's IO-thread/worker handoff
@@ -23,9 +25,10 @@
 #   5. Daemon smoke: start the real ppref_served on an ephemeral port (from
 #      the ASan tree, so the daemon itself runs sanitized), health-check +
 #      binary query + JSON query + HTTP /sweep (a circuit-backed
-#      param-sweep, each point verified bit-identical) + /metrics via
-#      ppref_net_smoke, then SIGTERM and require a graceful drain with
-#      exit 0.
+#      param-sweep, each point verified bit-identical) + HTTP /hard and
+#      /consensus (one hard-tier adaptive estimate and one consensus top-k,
+#      each replayed byte-equal) + /metrics via ppref_net_smoke, then
+#      SIGTERM and require a graceful drain with exit 0.
 #   6. Warm-restart smoke: the same daemon started with --store-dir,
 #      queried, SIGTERMed (the drain flushes the store), then restarted on
 #      the same directory and re-queried with --expect-store-hits — the
@@ -67,22 +70,24 @@ cmake -B "$TSAN_DIR" -S . -DPPREF_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebI
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target serve_test --target obs_test \
   --target net_test --target circuit_test --target store_test \
-  --target resil_test
-ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit|^Store|^Resil'
-stage_done "tsan serve+obs+net+circuit+store+resil"
+  --target resil_test --target hard_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit|^Store|^Resil|^Hard'
+stage_done "tsan serve+obs+net+circuit+store+resil+hard"
 
 cmake -B "$CHAOS_DIR" -S . -DPPREF_SANITIZE=thread -DPPREF_FAULT_INJECTION=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPPREF_BUILD_BENCHMARKS=OFF -DPPREF_BUILD_EXAMPLES=OFF
 cmake --build "$CHAOS_DIR" -j "$(nproc)" --target serve_test --target obs_test \
   --target net_test --target circuit_test --target store_test \
-  --target resil_test
-ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit|^Store|^Resil'
-stage_done "tsan+chaos serve+obs+net+circuit+store+resil"
+  --target resil_test --target hard_test
+ctest --test-dir "$CHAOS_DIR" --output-on-failure -R '^Serve|^Obs|^Net|^Circuit|^Store|^Resil|^Hard'
+stage_done "tsan+chaos serve+obs+net+circuit+store+resil+hard"
 
-# Store crash-recovery: fork-based kill-9 tests only run un-TSan'd.
-ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^Store|^CrashStore'
-stage_done "asan store crash-recovery"
+# Store crash-recovery (fork-based kill-9 tests only run un-TSan'd) plus
+# the hard-tier suites, whose seeded parallel sampling ASan checks for
+# over-reads in the block-reduction buffers.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^Store|^CrashStore|^Hard'
+stage_done "asan store crash-recovery + hard tier"
 
 # Daemon smoke: end-to-end over real TCP with the ASan-built binaries.
 PORT_FILE="$(mktemp)"

@@ -1,0 +1,187 @@
+#include "ppref/hard/consensus.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "ppref/common/check.h"
+#include "ppref/hard/estimator.h"
+#include "ppref/hard/sampler.h"
+#include "ppref/rim/kendall.h"
+#include "ppref/rim/sampler.h"
+
+namespace ppref::hard {
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+}  // namespace
+
+std::vector<unsigned> MinCostAssignment(
+    const std::vector<std::vector<std::int64_t>>& cost,
+    const RunControl* control) {
+  const std::size_t n = cost.size();
+  PPREF_CHECK(n > 0);
+  for (const auto& row : cost) PPREF_CHECK(row.size() == n);
+
+  // Hungarian algorithm with potentials, 1-indexed internal arrays; the
+  // classic O(n³) shortest-augmenting-path formulation. Every tie breaks to
+  // the smallest column index, so the assignment is deterministic.
+  std::vector<std::int64_t> u(n + 1, 0);
+  std::vector<std::int64_t> v(n + 1, 0);
+  std::vector<std::size_t> match(n + 1, 0);  // column -> assigned row
+  std::vector<std::size_t> way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (control != nullptr) control->Check();
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = match[j0];
+      std::int64_t delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j] != 0) continue;
+        const std::int64_t reduced = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (reduced < minv[j]) {
+          minv[j] = reduced;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j] != 0) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<unsigned> assignment(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    assignment[match[j] - 1] = static_cast<unsigned>(j - 1);
+  }
+  return assignment;
+}
+
+ConsensusResult ConsensusRanking(const rim::RimModel& model,
+                                 const ConsensusOptions& options) {
+  PPREF_CHECK(options.samples > 0);
+  PPREF_CHECK(options.block_samples > 0);
+  const unsigned m = model.size();
+  const unsigned blocks =
+      SeededBlockCount(options.samples, options.block_samples);
+
+  // Pass 1: per-block position-count matrices counts[i][p], merged in block
+  // order (integer adds — thread-count invariant).
+  std::vector<std::vector<std::uint64_t>> counts(
+      m, std::vector<std::uint64_t>(m, 0));
+  {
+    std::vector<std::vector<std::uint32_t>> block_counts(
+        blocks, std::vector<std::uint32_t>(std::size_t{m} * m, 0));
+    RunSeededBlocks(0, blocks, options.samples, options.block_samples,
+                    options.seed, options.threads, options.control,
+                    [&](const SampleBlock& block, Rng& rng) {
+                      std::vector<std::uint32_t>& local =
+                          block_counts[block.index];
+                      for (unsigned s = block.begin; s < block.end; ++s) {
+                        const rim::Ranking tau = rim::SampleRanking(model, rng);
+                        for (unsigned p = 0; p < m; ++p) {
+                          ++local[std::size_t{tau.At(p)} * m + p];
+                        }
+                      }
+                    });
+    for (const auto& local : block_counts) {
+      for (unsigned i = 0; i < m; ++i) {
+        for (unsigned p = 0; p < m; ++p) {
+          counts[i][p] += local[std::size_t{i} * m + p];
+        }
+      }
+    }
+  }
+
+  // Footrule-optimal consensus = min-cost assignment of items to positions
+  // with cost(i, j) = Σ_p counts[i][p]·|p − j|. Bounded: Σ_p counts[i][p] is
+  // the sample count, so each cell is ≤ samples · (m−1) — far inside int64.
+  std::vector<std::vector<std::int64_t>> cost(
+      m, std::vector<std::int64_t>(m, 0));
+  for (unsigned i = 0; i < m; ++i) {
+    for (unsigned j = 0; j < m; ++j) {
+      std::int64_t total = 0;
+      for (unsigned p = 0; p < m; ++p) {
+        if (counts[i][p] == 0) continue;
+        total += static_cast<std::int64_t>(counts[i][p]) *
+                 std::abs(static_cast<std::int64_t>(p) -
+                          static_cast<std::int64_t>(j));
+      }
+      cost[i][j] = total;
+    }
+  }
+  const std::vector<unsigned> position_of =
+      MinCostAssignment(cost, options.control);
+  std::vector<rim::ItemId> order(m, 0);
+  for (unsigned i = 0; i < m; ++i) {
+    order[position_of[i]] = static_cast<rim::ItemId>(i);
+  }
+  const rim::Ranking consensus(order);
+
+  // Pass 2: replay the identical worlds (same per-block seeds) and Welford
+  // the two distances to the consensus, merging accumulators in block order.
+  struct BlockStats {
+    WelfordAccumulator footrule;
+    WelfordAccumulator kendall;
+  };
+  std::vector<BlockStats> block_stats(blocks);
+  RunSeededBlocks(
+      0, blocks, options.samples, options.block_samples, options.seed,
+      options.threads, options.control,
+      [&](const SampleBlock& block, Rng& rng) {
+        BlockStats& stats = block_stats[block.index];
+        for (unsigned s = block.begin; s < block.end; ++s) {
+          const rim::Ranking tau = rim::SampleRanking(model, rng);
+          std::uint64_t footrule = 0;
+          for (unsigned i = 0; i < m; ++i) {
+            const auto item = static_cast<rim::ItemId>(i);
+            const std::int64_t diff =
+                static_cast<std::int64_t>(tau.PositionOf(item)) -
+                static_cast<std::int64_t>(consensus.PositionOf(item));
+            footrule += static_cast<std::uint64_t>(std::abs(diff));
+          }
+          stats.footrule.Add(static_cast<double>(footrule));
+          stats.kendall.Add(
+              static_cast<double>(rim::KendallTau(tau, consensus)));
+        }
+      });
+  WelfordAccumulator footrule;
+  WelfordAccumulator kendall;
+  for (const BlockStats& stats : block_stats) {
+    footrule.Merge(stats.footrule);
+    kendall.Merge(stats.kendall);
+  }
+
+  ConsensusResult result;
+  result.ranking = std::move(order);
+  result.mean_footrule = footrule.mean();
+  result.footrule_std_error = footrule.std_error();
+  result.mean_kendall = kendall.mean();
+  result.kendall_std_error = kendall.std_error();
+  result.n_samples = footrule.count();
+  return result;
+}
+
+}  // namespace ppref::hard

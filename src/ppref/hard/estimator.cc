@@ -1,0 +1,99 @@
+#include "ppref/hard/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ppref/common/check.h"
+#include "ppref/hard/sampler.h"
+
+namespace ppref::hard {
+
+BernoulliEstimate EstimateFromBernoulliCount(std::uint64_t hits,
+                                             std::uint64_t samples) {
+  PPREF_CHECK(samples > 0);
+  BernoulliEstimate result;
+  const double p =
+      static_cast<double>(hits) / static_cast<double>(samples);
+  result.estimate = p;
+  result.std_error = std::sqrt(p * (1.0 - p) / static_cast<double>(samples));
+  return result;
+}
+
+void WelfordAccumulator::Merge(const WelfordAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n_a + n_b;
+  mean_ += delta * (n_b / total);
+  m2_ += other.m2_ + delta * delta * (n_a * n_b / total);
+  count_ += other.count_;
+}
+
+double WelfordAccumulator::std_error() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(count_));
+}
+
+unsigned AdaptiveRoundBlocks(unsigned round) {
+  if (round == 0) return 1;
+  const unsigned doubling = round - 1 < 5 ? 1u << (round - 1) : 32u;
+  return doubling;
+}
+
+AdaptiveEstimate EstimateBernoulliAdaptive(
+    const AdaptiveOptions& options,
+    const std::function<unsigned(Rng&, unsigned, unsigned)>& block_hits) {
+  PPREF_CHECK(options.max_samples > 0);
+  PPREF_CHECK(options.block_samples > 0);
+  const unsigned total_blocks =
+      SeededBlockCount(options.max_samples, options.block_samples);
+
+  AdaptiveEstimate out;
+  std::uint64_t hits = 0;
+  unsigned next_block = 0;
+  unsigned round = 0;
+  while (next_block < total_blocks) {
+    const unsigned count =
+        std::min(AdaptiveRoundBlocks(round), total_blocks - next_block);
+    std::vector<unsigned> round_hits(count, 0);
+    RunSeededBlocks(next_block, count, options.max_samples,
+                    options.block_samples, options.seed, options.threads,
+                    options.control,
+                    [&](const SampleBlock& block, Rng& rng) {
+                      round_hits[block.index - next_block] =
+                          block_hits(rng, block.begin, block.end);
+                    });
+    for (const unsigned h : round_hits) hits += h;
+    next_block += count;
+    ++round;
+
+    const std::uint64_t n =
+        SeededBlockAt(next_block - 1, options.max_samples,
+                      options.block_samples)
+            .end;
+    const BernoulliEstimate point = EstimateFromBernoulliCount(hits, n);
+    out.estimate = point.estimate;
+    out.std_error = point.std_error;
+    out.n_samples = n;
+
+    if (options.target_half_width > 0.0 && n >= options.min_samples &&
+        options.z * point.std_error <= options.target_half_width) {
+      out.target_met = true;
+      break;
+    }
+    if (next_block < total_blocks && options.budget != nullptr &&
+        options.budget->Expired()) {
+      out.deadline_limited = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ppref::hard

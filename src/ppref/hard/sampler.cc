@@ -1,0 +1,22 @@
+#include "ppref/hard/sampler.h"
+
+#include <vector>
+
+namespace ppref::hard {
+
+unsigned SeededBlockHits(
+    unsigned samples, unsigned block_samples, std::uint64_t seed,
+    unsigned threads, const RunControl* control,
+    const std::function<unsigned(Rng&, unsigned, unsigned)>& block_hits) {
+  const unsigned blocks = SeededBlockCount(samples, block_samples);
+  std::vector<unsigned> hits(blocks, 0);
+  RunSeededBlocks(0, blocks, samples, block_samples, seed, threads, control,
+                  [&](const SampleBlock& block, Rng& rng) {
+                    hits[block.index] = block_hits(rng, block.begin, block.end);
+                  });
+  unsigned total = 0;
+  for (const unsigned h : hits) total += h;
+  return total;
+}
+
+}  // namespace ppref::hard

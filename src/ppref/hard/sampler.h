@@ -1,0 +1,87 @@
+/// \file sampler.h
+/// \brief `ppref::hard` — the seeded block-sampling core shared by every
+/// Monte-Carlo estimator in the tree.
+///
+/// All sampling in this codebase follows one discipline, and this header is
+/// its single implementation point: draws are partitioned into fixed-size
+/// blocks, block `b` runs on a private `Rng(HashCombine(seed, b))` stream,
+/// blocks execute in parallel but reduce in block-index order. An estimate
+/// is therefore a pure function of (seed, sample budget, block size) — never
+/// of the thread count — which is what lets caches replay it, lets the
+/// adaptive estimator (estimator.h) stop at any block boundary without
+/// perturbing the draws before it, and lets the world pool (world_pool.h)
+/// prove its answers bit-identical to per-query sampling.
+///
+/// `infer/monte_carlo` (block size 1024, ranking worlds) and
+/// `ppd/monte_carlo_evaluator` (block size 256, database worlds) both run on
+/// this core, so there is exactly one thread-invariance proof point.
+
+#ifndef PPREF_HARD_SAMPLER_H_
+#define PPREF_HARD_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "ppref/common/deadline.h"
+#include "ppref/common/hash.h"
+#include "ppref/common/parallel.h"
+#include "ppref/common/random.h"
+
+namespace ppref::hard {
+
+/// One block of the sample space: absolute block index plus the half-open
+/// sample range it covers under the run's total budget.
+struct SampleBlock {
+  unsigned index = 0;
+  unsigned begin = 0;
+  unsigned end = 0;
+};
+
+/// Number of blocks a budget of `samples` draws occupies at `block_samples`
+/// per block (the final block may be short).
+inline unsigned SeededBlockCount(unsigned samples, unsigned block_samples) {
+  return (samples + block_samples - 1) / block_samples;
+}
+
+/// The sample range of absolute block `b` under a total budget of `samples`.
+inline SampleBlock SeededBlockAt(unsigned b, unsigned samples,
+                                 unsigned block_samples) {
+  SampleBlock block;
+  block.index = b;
+  block.begin = b * block_samples;
+  const unsigned end = block.begin + block_samples;
+  block.end = end < samples ? end : samples;
+  return block;
+}
+
+/// Runs blocks [first_block, first_block + block_count) in parallel, each on
+/// its own `Rng(HashCombine(seed, b))` stream. `body(block, rng)` must write
+/// its reduction state into a slot owned by `block.index` — the caller
+/// merges slots in index order, which is what keeps the reduction
+/// thread-count-invariant. `control`, when non-null, is polled once per
+/// block (throwing Check()).
+template <typename Body>
+void RunSeededBlocks(unsigned first_block, unsigned block_count,
+                     unsigned samples, unsigned block_samples,
+                     std::uint64_t seed, unsigned threads,
+                     const RunControl* control, Body&& body) {
+  ParallelFor(block_count, ClampThreads(threads), [&](std::size_t i) {
+    if (control != nullptr) control->Check();
+    const unsigned b = first_block + static_cast<unsigned>(i);
+    const SampleBlock block = SeededBlockAt(b, samples, block_samples);
+    Rng rng(HashCombine(seed, b));
+    body(block, rng);
+  });
+}
+
+/// The fixed-budget Bernoulli reduction both `infer::PatternProbMonteCarlo`
+/// and `ppd`'s world sampler are built on: every block counts its hits via
+/// `block_hits(rng, begin, end)`, and the counts sum in block-index order.
+unsigned SeededBlockHits(
+    unsigned samples, unsigned block_samples, std::uint64_t seed,
+    unsigned threads, const RunControl* control,
+    const std::function<unsigned(Rng&, unsigned, unsigned)>& block_hits);
+
+}  // namespace ppref::hard
+
+#endif  // PPREF_HARD_SAMPLER_H_

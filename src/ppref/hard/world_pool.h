@@ -1,0 +1,44 @@
+/// \file world_pool.h
+/// \brief `ppref::hard` — shared world pools: amortize RIM sampling across a
+/// batch of hard queries against the same model.
+///
+/// Sampling a ranking world is O(m²); evaluating one pattern against a
+/// drawn world is O(k·m). A batch of hard queries over one model therefore
+/// wastes almost all of its time re-drawing the same worlds. The pool runs
+/// the adaptive round schedule of estimator.h once, draws each world once,
+/// and evaluates every still-active query against it.
+///
+/// ## The sharing rule (what makes pooled answers provably bit-identical)
+/// A drawn world consumes the block's RNG stream; evaluating queries against
+/// it consumes nothing. So block b of a pooled run contains *exactly* the
+/// worlds block b of a per-query run would draw, every query sees identical
+/// per-block hit counts, and — because the round schedule and the stopping
+/// rule are query-local functions of (options, own hits) — every query
+/// stops at the same round with the same (estimate, std_error, n_samples)
+/// as a solo adaptive run at the same seed. A query whose precision target
+/// is met simply leaves the evaluation set; the worlds keep flowing for the
+/// others.
+
+#ifndef PPREF_HARD_WORLD_POOL_H_
+#define PPREF_HARD_WORLD_POOL_H_
+
+#include <vector>
+
+#include "ppref/hard/estimator.h"
+#include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/pattern.h"
+
+namespace ppref::hard {
+
+/// Adaptive estimates of Pr(g_q | σ, Π, λ) for every pattern in `patterns`,
+/// from one shared stream of sampled worlds. Options apply per query (each
+/// query has its own stopping decision); `options.budget` expiry marks every
+/// still-unconverged query `deadline_limited`. Result order = input order.
+std::vector<AdaptiveEstimate> EstimatePatternProbsPooled(
+    const infer::LabeledRimModel& model,
+    const std::vector<const infer::LabelPattern*>& patterns,
+    const AdaptiveOptions& options);
+
+}  // namespace ppref::hard
+
+#endif  // PPREF_HARD_WORLD_POOL_H_

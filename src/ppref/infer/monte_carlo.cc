@@ -1,13 +1,11 @@
 #include "ppref/infer/monte_carlo.h"
 
-#include <algorithm>
-#include <cmath>
 #include <map>
 #include <vector>
 
 #include "ppref/common/check.h"
-#include "ppref/common/hash.h"
-#include "ppref/common/parallel.h"
+#include "ppref/hard/estimator.h"
+#include "ppref/hard/sampler.h"
 #include "ppref/infer/matching.h"
 #include "ppref/rim/sampler.h"
 
@@ -20,35 +18,26 @@ namespace {
 constexpr unsigned kMcBlockSamples = 1024;
 
 McEstimate FromBernoulliCount(unsigned hits, unsigned samples) {
+  const hard::BernoulliEstimate point =
+      hard::EstimateFromBernoulliCount(hits, samples);
   McEstimate result;
-  const double p = static_cast<double>(hits) / samples;
-  result.estimate = p;
-  result.std_error = std::sqrt(p * (1.0 - p) / samples);
+  result.estimate = point.estimate;
+  result.std_error = point.std_error;
   return result;
 }
 
 /// Runs `block_hits(rng, begin, end)` over the fixed block decomposition of
-/// `options.samples` draws and returns the summed hit count. Blocks fan out
-/// over ClampThreads(options.threads) workers; each uses its own generator
-/// seeded from (options.seed, block index), so the total is thread-count
-/// independent (integer addition commutes).
+/// `options.samples` draws and returns the summed hit count — the shared
+/// seeded-block core (hard/sampler.h), which fans blocks over
+/// ClampThreads(options.threads) workers with per-block generators seeded
+/// from (options.seed, block index) and reduces in block order, so the
+/// total is thread-count independent.
 unsigned BlockedHits(
     const McOptions& options,
     const std::function<unsigned(Rng&, unsigned, unsigned)>& block_hits) {
   PPREF_CHECK(options.samples > 0);
-  const unsigned blocks =
-      (options.samples + kMcBlockSamples - 1) / kMcBlockSamples;
-  std::vector<unsigned> hits(blocks, 0);
-  ParallelFor(blocks, ClampThreads(options.threads), [&](std::size_t b) {
-    if (options.control != nullptr) options.control->Check();
-    Rng rng(HashCombine(options.seed, b));
-    const unsigned begin = static_cast<unsigned>(b) * kMcBlockSamples;
-    const unsigned end = std::min(options.samples, begin + kMcBlockSamples);
-    hits[b] = block_hits(rng, begin, end);
-  });
-  unsigned total = 0;
-  for (unsigned h : hits) total += h;
-  return total;
+  return hard::SeededBlockHits(options.samples, kMcBlockSamples, options.seed,
+                               options.threads, options.control, block_hits);
 }
 
 }  // namespace
@@ -123,23 +112,22 @@ McTopMatching TopMatchingMonteCarlo(const LabeledRimModel& model,
                                     const McOptions& options) {
   PPREF_CHECK(options.samples > 0);
   const unsigned blocks =
-      (options.samples + kMcBlockSamples - 1) / kMcBlockSamples;
+      hard::SeededBlockCount(options.samples, kMcBlockSamples);
   // Per-block histograms over realized top matchings, merged in block order.
   // std::map keys are ordered, so the modal pick (ties to the smallest γ)
   // is deterministic in (seed, samples) and thread-count independent.
   std::vector<std::map<Matching, unsigned>> histograms(blocks);
-  ParallelFor(blocks, ClampThreads(options.threads), [&](std::size_t b) {
-    if (options.control != nullptr) options.control->Check();
-    Rng rng(HashCombine(options.seed, b));
-    const unsigned begin = static_cast<unsigned>(b) * kMcBlockSamples;
-    const unsigned end = std::min(options.samples, begin + kMcBlockSamples);
-    for (unsigned s = begin; s < end; ++s) {
-      const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
-      const std::optional<Matching> top =
-          TopMatching(pattern, model.labeling(), tau);
-      if (top.has_value()) ++histograms[b][*top];
-    }
-  });
+  hard::RunSeededBlocks(
+      0, blocks, options.samples, kMcBlockSamples, options.seed,
+      options.threads, options.control,
+      [&](const hard::SampleBlock& block, Rng& rng) {
+        for (unsigned s = block.begin; s < block.end; ++s) {
+          const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+          const std::optional<Matching> top =
+              TopMatching(pattern, model.labeling(), tau);
+          if (top.has_value()) ++histograms[block.index][*top];
+        }
+      });
   std::map<Matching, unsigned> merged;
   for (const auto& histogram : histograms) {
     for (const auto& [gamma, count] : histogram) merged[gamma] += count;
@@ -152,9 +140,10 @@ McTopMatching TopMatchingMonteCarlo(const LabeledRimModel& model,
       result.matching = gamma;
     }
   }
-  result.frequency = static_cast<double>(best) / options.samples;
-  result.std_error = std::sqrt(result.frequency * (1.0 - result.frequency) /
-                               options.samples);
+  const hard::BernoulliEstimate frequency =
+      hard::EstimateFromBernoulliCount(best, options.samples);
+  result.frequency = frequency.estimate;
+  result.std_error = frequency.std_error;
   return result;
 }
 

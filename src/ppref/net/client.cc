@@ -110,6 +110,54 @@ StatusOr<WireSweepResponse> Client::CallSweep(const WireSweepRequest& request) {
   }
 }
 
+StatusOr<WireHardResponse> Client::CallHard(const WireHardRequest& request) {
+  const std::uint64_t deadline =
+      internal_io::DeadlineAfterMs(options_.total_deadline_ms);
+  const std::string body = EncodeHardRequest(request);
+  Status written =
+      WriteAll(EncodeFrame(FrameType::kHardRequest, body), deadline);
+  if (!written.ok()) return written;
+  while (true) {
+    StatusOr<Frame> frame = ReadFrame(deadline);
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kPong) continue;
+    if (frame->type != FrameType::kHardResponse) {
+      return Status::Internal("unexpected frame type from server");
+    }
+    StatusOr<WireHardResponse> response = DecodeHardResponse(frame->body);
+    if (!response.ok()) return response.status();
+    if (response->id != request.id) {
+      return Status::Internal("response id mismatch");
+    }
+    return response;
+  }
+}
+
+StatusOr<WireConsensusResponse> Client::CallConsensus(
+    const WireConsensusRequest& request) {
+  const std::uint64_t deadline =
+      internal_io::DeadlineAfterMs(options_.total_deadline_ms);
+  const std::string body = EncodeConsensusRequest(request);
+  Status written =
+      WriteAll(EncodeFrame(FrameType::kConsensusRequest, body), deadline);
+  if (!written.ok()) return written;
+  while (true) {
+    StatusOr<Frame> frame = ReadFrame(deadline);
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kPong) continue;
+    if (frame->type != FrameType::kConsensusResponse) {
+      return Status::Internal("unexpected frame type from server");
+    }
+    StatusOr<WireConsensusResponse> response =
+        DecodeConsensusResponse(frame->body);
+    if (!response.ok()) return response.status();
+    if (response->id != request.id) {
+      return Status::Internal("response id mismatch");
+    }
+    return response;
+  }
+}
+
 Status Client::Ping() {
   const std::uint64_t deadline =
       internal_io::DeadlineAfterMs(options_.total_deadline_ms);

@@ -69,6 +69,15 @@ class Client {
   /// same single-outstanding-request discipline as Call.
   StatusOr<WireSweepResponse> CallSweep(const WireSweepRequest& request);
 
+  /// Sends one hard-tier adaptive-estimate request and blocks for its
+  /// answer, under the same discipline as Call.
+  StatusOr<WireHardResponse> CallHard(const WireHardRequest& request);
+
+  /// Sends one consensus top-k request and blocks for its answer, under the
+  /// same discipline as Call.
+  StatusOr<WireConsensusResponse> CallConsensus(
+      const WireConsensusRequest& request);
+
   /// Round-trips a ping frame.
   Status Ping();
 

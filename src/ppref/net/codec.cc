@@ -445,4 +445,182 @@ StatusOr<WireSweepResponse> DecodeSweepResponse(std::string_view body) {
   return response;
 }
 
+// ---------------------------------------------------------------------------
+// Hard request / response
+
+std::string EncodeHardRequest(const WireHardRequest& request) {
+  std::string base =
+      EncodeRequest(WireRequest(request.id, serve::Request::Kind::kPatternProb,
+                                request.deadline_ns, request.model,
+                                request.pattern));
+  Writer w;
+  w.U32(static_cast<std::uint32_t>(base.size()));
+  w.Bytes(base);
+  w.F64(request.target_half_width);
+  return w.Take();
+}
+
+StatusOr<WireHardRequest> DecodeHardRequest(std::string_view body) {
+  Reader r(body);
+  std::uint32_t base_len = 0;
+  std::string base;
+  if (!r.U32(&base_len) || !r.Bytes(base_len, &base)) {
+    return Malformed("truncated hard base request");
+  }
+  StatusOr<WireRequest> decoded = DecodeRequest(base);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->kind != serve::Request::Kind::kPatternProb) {
+    return Malformed("hard base request kind must be pattern_prob");
+  }
+  double target = 0.0;
+  if (!r.F64(&target)) return Malformed("truncated hard target");
+  // `!(x >= 0 && x <= 1)` rather than the complement so NaN fails too.
+  if (!(target >= 0.0 && target <= 1.0)) {
+    return Malformed("hard target not in [0, 1]");
+  }
+  if (!r.AtEnd()) return Malformed("trailing bytes");
+
+  return WireHardRequest(decoded->id, decoded->deadline_ns, target,
+                         std::move(decoded->model),
+                         std::move(decoded->pattern));
+}
+
+std::string EncodeHardResponse(const WireHardResponse& response) {
+  Writer w;
+  w.U64(response.id);
+  w.U8(static_cast<std::uint8_t>(response.status.code()));
+  w.U8(response.target_met ? 1 : 0);
+  w.U8(response.deadline_limited ? 1 : 0);
+  w.U8(0);
+  w.U32(static_cast<std::uint32_t>(response.status.message().size()));
+  w.Bytes(response.status.message());
+  w.F64(response.estimate);
+  w.F64(response.std_error);
+  w.U64(response.n_samples);
+  return w.Take();
+}
+
+StatusOr<WireHardResponse> DecodeHardResponse(std::string_view body) {
+  Reader r(body);
+  WireHardResponse response;
+  std::uint8_t code = 0;
+  std::uint8_t target_met = 0;
+  std::uint8_t deadline_limited = 0;
+  std::uint8_t reserved = 0;
+  std::uint32_t message_len = 0;
+  std::string message;
+  if (!r.U64(&response.id) || !r.U8(&code) || !r.U8(&target_met) ||
+      !r.U8(&deadline_limited) || !r.U8(&reserved) || !r.U32(&message_len) ||
+      !r.Bytes(message_len, &message) || !r.F64(&response.estimate) ||
+      !r.F64(&response.std_error) || !r.U64(&response.n_samples)) {
+    return Status::InvalidArgument("malformed hard response body");
+  }
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal) ||
+      target_met > 1 || deadline_limited > 1 || reserved != 0) {
+    return Status::InvalidArgument("malformed hard response body");
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("malformed hard response body");
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  response.target_met = target_met != 0;
+  response.deadline_limited = deadline_limited != 0;
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Consensus request / response
+
+std::string EncodeConsensusRequest(const WireConsensusRequest& request) {
+  std::string base =
+      EncodeRequest(WireRequest(request.id, serve::Request::Kind::kPatternProb,
+                                request.deadline_ns, request.model,
+                                infer::LabelPattern()));
+  Writer w;
+  w.U32(static_cast<std::uint32_t>(base.size()));
+  w.Bytes(base);
+  w.U32(request.top_k);
+  return w.Take();
+}
+
+StatusOr<WireConsensusRequest> DecodeConsensusRequest(std::string_view body) {
+  Reader r(body);
+  std::uint32_t base_len = 0;
+  std::string base;
+  if (!r.U32(&base_len) || !r.Bytes(base_len, &base)) {
+    return Malformed("truncated consensus base request");
+  }
+  StatusOr<WireRequest> decoded = DecodeRequest(base);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->kind != serve::Request::Kind::kPatternProb) {
+    return Malformed("consensus base request kind must be pattern_prob");
+  }
+  if (decoded->pattern.NodeCount() != 0) {
+    return Malformed("consensus base pattern must be empty");
+  }
+  std::uint32_t top_k = 0;
+  if (!r.U32(&top_k)) return Malformed("truncated consensus top_k");
+  if (top_k == 0 || top_k > kMaxWireItems) {
+    return Malformed("consensus top_k out of range");
+  }
+  if (!r.AtEnd()) return Malformed("trailing bytes");
+
+  return WireConsensusRequest(decoded->id, decoded->deadline_ns, top_k,
+                              std::move(decoded->model));
+}
+
+std::string EncodeConsensusResponse(const WireConsensusResponse& response) {
+  Writer w;
+  w.U64(response.id);
+  w.U8(static_cast<std::uint8_t>(response.status.code()));
+  w.U8(0);
+  w.U8(0);
+  w.U8(0);
+  w.U32(static_cast<std::uint32_t>(response.status.message().size()));
+  w.Bytes(response.status.message());
+  w.U32(static_cast<std::uint32_t>(response.ranking.size()));
+  for (rim::ItemId item : response.ranking) w.U32(item);
+  w.F64(response.mean_footrule);
+  w.F64(response.footrule_std_error);
+  w.F64(response.mean_kendall);
+  w.F64(response.kendall_std_error);
+  w.U64(response.n_samples);
+  return w.Take();
+}
+
+StatusOr<WireConsensusResponse> DecodeConsensusResponse(std::string_view body) {
+  Reader r(body);
+  WireConsensusResponse response;
+  std::uint8_t code = 0;
+  std::uint8_t reserved[3];
+  std::uint32_t message_len = 0;
+  std::string message;
+  std::uint32_t ranking_len = 0;
+  if (!r.U64(&response.id) || !r.U8(&code) || !r.U8(&reserved[0]) ||
+      !r.U8(&reserved[1]) || !r.U8(&reserved[2]) || !r.U32(&message_len) ||
+      !r.Bytes(message_len, &message) || !r.U32(&ranking_len)) {
+    return Status::InvalidArgument("malformed consensus response body");
+  }
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal) ||
+      reserved[0] != 0 || reserved[1] != 0 || reserved[2] != 0 ||
+      ranking_len > kMaxWireItems) {
+    return Status::InvalidArgument("malformed consensus response body");
+  }
+  response.ranking.resize(ranking_len);
+  for (std::uint32_t i = 0; i < ranking_len; ++i) {
+    if (!r.U32(&response.ranking[i])) {
+      return Status::InvalidArgument("malformed consensus response body");
+    }
+  }
+  if (!r.F64(&response.mean_footrule) ||
+      !r.F64(&response.footrule_std_error) ||
+      !r.F64(&response.mean_kendall) || !r.F64(&response.kendall_std_error) ||
+      !r.U64(&response.n_samples)) {
+    return Status::InvalidArgument("malformed consensus response body");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("malformed consensus response body");
+  }
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  return response;
+}
+
 }  // namespace ppref::net

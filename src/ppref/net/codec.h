@@ -43,6 +43,41 @@
 /// u32 count         f64[count] probabilities
 /// ```
 ///
+/// ### Hard request body (FrameType::kHardRequest)
+/// ```
+/// u32 base_len      bytes base         — a standard request body
+///                                        (kind must be pattern_prob; its
+///                                        id/deadline govern the query)
+/// f64 target_half_width                — in [0, 1]; 0 = server default
+/// ```
+///
+/// ### Hard response body (FrameType::kHardResponse)
+/// ```
+/// u64 id
+/// u8 status_code    u8 target_met      u8 deadline_limited   u8 reserved (0)
+/// u32 message_len   bytes message
+/// f64 estimate      f64 std_error      u64 n_samples
+/// ```
+///
+/// ### Consensus request body (FrameType::kConsensusRequest)
+/// ```
+/// u32 base_len      bytes base         — a standard request body with an
+///                                        *empty* pattern (kind must be
+///                                        pattern_prob; id/deadline govern)
+/// u32 top_k                            — >= 1
+/// ```
+///
+/// ### Consensus response body (FrameType::kConsensusResponse)
+/// ```
+/// u64 id
+/// u8 status_code    u8[3] reserved (0)
+/// u32 message_len   bytes message
+/// u32 ranking_len   u32[ranking_len] items
+/// f64 mean_footrule f64 footrule_std_error
+/// f64 mean_kendall  f64 kendall_std_error
+/// u64 n_samples
+/// ```
+///
 /// ## The no-abort contract
 /// `DecodeRequest` is the daemon's trust boundary. The model constructors it
 /// ultimately calls (`Ranking`, `InsertionFunction`, `LabelPattern::AddNode`
@@ -117,6 +152,34 @@ std::string EncodeSweepResponse(const WireSweepResponse& response);
 
 /// Parses a sweep response body (client side).
 StatusOr<WireSweepResponse> DecodeSweepResponse(std::string_view body);
+
+/// Hard request body bytes (frame it with FrameType::kHardRequest).
+std::string EncodeHardRequest(const WireHardRequest& request);
+
+/// Parses and fully validates a hard request body: the embedded base request
+/// under DecodeRequest's rules plus the target range check. Same no-abort
+/// contract.
+StatusOr<WireHardRequest> DecodeHardRequest(std::string_view body);
+
+/// Hard response body bytes (frame it with FrameType::kHardResponse).
+std::string EncodeHardResponse(const WireHardResponse& response);
+
+/// Parses a hard response body (client side).
+StatusOr<WireHardResponse> DecodeHardResponse(std::string_view body);
+
+/// Consensus request body bytes (frame it with FrameType::kConsensusRequest).
+std::string EncodeConsensusRequest(const WireConsensusRequest& request);
+
+/// Parses and fully validates a consensus request body. The embedded base
+/// must carry an empty pattern (there is exactly one wire form of each
+/// consensus query). Same no-abort contract.
+StatusOr<WireConsensusRequest> DecodeConsensusRequest(std::string_view body);
+
+/// Consensus response body bytes (frame with FrameType::kConsensusResponse).
+std::string EncodeConsensusResponse(const WireConsensusResponse& response);
+
+/// Parses a consensus response body (client side).
+StatusOr<WireConsensusResponse> DecodeConsensusResponse(std::string_view body);
 
 }  // namespace ppref::net
 

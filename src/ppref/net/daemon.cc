@@ -111,9 +111,12 @@ struct Daemon::Connection {
 };
 
 struct Daemon::Job {
+  /// Which binary request family the body carries (ignored when http).
+  enum class Kind : std::uint8_t { kEvaluate, kSweep, kHard, kConsensus };
+
   std::uint64_t conn_id = 0;
   bool http = false;
-  bool sweep = false;    // binary kSweepRequest (ignored when http)
+  Kind kind = Kind::kEvaluate;
   std::string body;      // binary request frame body
   HttpRequest request;   // http request
 };
@@ -146,6 +149,12 @@ struct Daemon::Instruments {
         requests_sweep(r.GetCounter("ppref_net_requests_sweep_total",
                                     "Parameter-sweep requests dispatched "
                                     "(binary and HTTP)")),
+        requests_hard(r.GetCounter("ppref_net_requests_hard_total",
+                                   "Hard-tier adaptive-estimate requests "
+                                   "dispatched (binary and HTTP)")),
+        requests_consensus(r.GetCounter("ppref_net_requests_consensus_total",
+                                        "Consensus top-k requests dispatched "
+                                        "(binary and HTTP)")),
         shed_draining(r.GetCounter(
             "ppref_net_shed_draining_total",
             "Requests refused because the daemon was draining")),
@@ -165,6 +174,8 @@ struct Daemon::Instruments {
   obs::Counter& requests_binary;
   obs::Counter& requests_http;
   obs::Counter& requests_sweep;
+  obs::Counter& requests_hard;
+  obs::Counter& requests_consensus;
   obs::Counter& shed_draining;
   obs::Counter& bytes_rx;
   obs::Counter& bytes_tx;
@@ -611,7 +622,55 @@ void Daemon::DispatchBinary(Connection& connection, Frame frame) {
       Job job;
       job.conn_id = connection.id;
       job.http = false;
-      job.sweep = true;
+      job.kind = Job::Kind::kSweep;
+      job.body = std::move(frame.body);
+      PushJob(std::move(job));
+      return;
+    }
+    case FrameType::kHardRequest: {
+      if (drain_.load(std::memory_order_acquire)) {
+        // Like a sweep, the body opens with a u32 base length, so the
+        // embedded base request's id sits at bytes 4..12.
+        instruments_->shed_draining.Inc();
+        WireHardResponse response;
+        response.id = PeekId(frame.body, 4);
+        response.status = Status::ResourceExhausted("daemon draining");
+        QueueOutput(connection,
+                    EncodeFrame(FrameType::kHardResponse,
+                                EncodeHardResponse(response)),
+                    /*close_after=*/false);
+        return;
+      }
+      instruments_->requests_binary.Inc();
+      instruments_->requests_hard.Inc();
+      ++connection.in_flight;
+      Job job;
+      job.conn_id = connection.id;
+      job.http = false;
+      job.kind = Job::Kind::kHard;
+      job.body = std::move(frame.body);
+      PushJob(std::move(job));
+      return;
+    }
+    case FrameType::kConsensusRequest: {
+      if (drain_.load(std::memory_order_acquire)) {
+        instruments_->shed_draining.Inc();
+        WireConsensusResponse response;
+        response.id = PeekId(frame.body, 4);
+        response.status = Status::ResourceExhausted("daemon draining");
+        QueueOutput(connection,
+                    EncodeFrame(FrameType::kConsensusResponse,
+                                EncodeConsensusResponse(response)),
+                    /*close_after=*/false);
+        return;
+      }
+      instruments_->requests_binary.Inc();
+      instruments_->requests_consensus.Inc();
+      ++connection.in_flight;
+      Job job;
+      job.conn_id = connection.id;
+      job.http = false;
+      job.kind = Job::Kind::kConsensus;
       job.body = std::move(frame.body);
       PushJob(std::move(job));
       return;
@@ -619,6 +678,8 @@ void Daemon::DispatchBinary(Connection& connection, Frame frame) {
     case FrameType::kResponse:
     case FrameType::kPong:
     case FrameType::kSweepResponse:
+    case FrameType::kHardResponse:
+    case FrameType::kConsensusResponse:
       // Clients send requests and pings; anything else is a violation.
       instruments_->bad_frames.Inc();
       CloseConnection(connection.id);
@@ -800,7 +861,7 @@ void Daemon::WorkerLoop() {
             header != nullptr && ParseHeaderKey(*header, &raw)) {
           idem_key = HashCombine(kIdemPlaneHttp, raw);
         }
-      } else if (!job.sweep) {
+      } else if (job.kind == Job::Kind::kEvaluate) {
         const std::uint64_t raw = PeekIdempotencyKey(job.body);
         if (raw != 0) {
           // The wire id is folded in so retained bytes echo the id their
@@ -833,8 +894,20 @@ void Daemon::WorkerLoop() {
           job.request, drain_.load(std::memory_order_acquire), &retain);
       completion.close_after = true;
     } else {
-      completion.bytes = job.sweep ? ExecuteBinarySweep(job.body)
-                                   : ExecuteBinary(job.body, &retain);
+      switch (job.kind) {
+        case Job::Kind::kEvaluate:
+          completion.bytes = ExecuteBinary(job.body, &retain);
+          break;
+        case Job::Kind::kSweep:
+          completion.bytes = ExecuteBinarySweep(job.body);
+          break;
+        case Job::Kind::kHard:
+          completion.bytes = ExecuteBinaryHard(job.body);
+          break;
+        case Job::Kind::kConsensus:
+          completion.bytes = ExecuteBinaryConsensus(job.body);
+          break;
+      }
       completion.close_after = false;
     }
     if (idem_key != 0) {
@@ -895,6 +968,58 @@ std::string Daemon::ExecuteBinarySweep(const std::string& body) {
   return EncodeFrame(FrameType::kSweepResponse, EncodeSweepResponse(response));
 }
 
+std::string Daemon::ExecuteBinaryHard(const std::string& body) {
+  StatusOr<WireHardRequest> request = DecodeHardRequest(body);
+  WireHardResponse response;
+  if (!request.ok()) {
+    response.id = PeekId(body, 4);  // id of the length-prefixed base request
+    response.status = request.status();
+  } else {
+    response.id = request->id;
+    serve::RequestControl control;
+    control.deadline_ns = request->deadline_ns;
+    StatusOr<serve::HardEstimate> estimate = server_->HardPatternProb(
+        request->model, request->pattern, request->target_half_width, control);
+    if (estimate.ok()) {
+      response.estimate = estimate->estimate;
+      response.std_error = estimate->std_error;
+      response.n_samples = estimate->n_samples;
+      response.target_met = estimate->target_met;
+      response.deadline_limited = estimate->deadline_limited;
+    } else {
+      response.status = estimate.status();
+    }
+  }
+  return EncodeFrame(FrameType::kHardResponse, EncodeHardResponse(response));
+}
+
+std::string Daemon::ExecuteBinaryConsensus(const std::string& body) {
+  StatusOr<WireConsensusRequest> request = DecodeConsensusRequest(body);
+  WireConsensusResponse response;
+  if (!request.ok()) {
+    response.id = PeekId(body, 4);
+    response.status = request.status();
+  } else {
+    response.id = request->id;
+    serve::RequestControl control;
+    control.deadline_ns = request->deadline_ns;
+    StatusOr<serve::ConsensusAnswer> answer =
+        server_->ConsensusTopK(request->model, request->top_k, control);
+    if (answer.ok()) {
+      response.ranking = std::move(answer->ranking);
+      response.mean_footrule = answer->mean_footrule;
+      response.footrule_std_error = answer->footrule_std_error;
+      response.mean_kendall = answer->mean_kendall;
+      response.kendall_std_error = answer->kendall_std_error;
+      response.n_samples = answer->n_samples;
+    } else {
+      response.status = answer.status();
+    }
+  }
+  return EncodeFrame(FrameType::kConsensusResponse,
+                     EncodeConsensusResponse(response));
+}
+
 std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining,
                                 bool* retain_idem) {
   if (retain_idem != nullptr) *retain_idem = false;
@@ -921,7 +1046,8 @@ std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining,
     return RenderHttpResponse(405, "Method Not Allowed", "text/plain",
                               "method not allowed\n");
   }
-  if (request.target != "/query" && request.target != "/sweep") {
+  if (request.target != "/query" && request.target != "/sweep" &&
+      request.target != "/hard" && request.target != "/consensus") {
     return RenderHttpResponse(404, "Not Found", "text/plain", "not found\n");
   }
 
@@ -955,6 +1081,63 @@ std::string Daemon::ExecuteHttp(const HttpRequest& request, bool draining,
     }
     return RenderHttpResponse(200, "OK", "application/json",
                               JsonFromWireSweepResponse(response));
+  }
+
+  if (request.target == "/hard") {
+    instruments_->requests_hard.Inc();
+    StatusOr<WireHardRequest> wire = HardRequestFromJson(*document);
+    if (!wire.ok()) {
+      return RenderHttpResponse(
+          400, "Bad Request", "application/json",
+          "{\"status\":\"INVALID_ARGUMENT\",\"message\":" +
+              JsonQuote(wire.status().message()) + "}");
+    }
+    WireHardResponse response;
+    response.id = wire->id;
+    serve::RequestControl control;
+    control.deadline_ns = wire->deadline_ns;
+    StatusOr<serve::HardEstimate> estimate = server_->HardPatternProb(
+        wire->model, wire->pattern, wire->target_half_width, control);
+    if (estimate.ok()) {
+      response.estimate = estimate->estimate;
+      response.std_error = estimate->std_error;
+      response.n_samples = estimate->n_samples;
+      response.target_met = estimate->target_met;
+      response.deadline_limited = estimate->deadline_limited;
+    } else {
+      response.status = estimate.status();
+    }
+    return RenderHttpResponse(200, "OK", "application/json",
+                              JsonFromWireHardResponse(response));
+  }
+
+  if (request.target == "/consensus") {
+    instruments_->requests_consensus.Inc();
+    StatusOr<WireConsensusRequest> wire = ConsensusRequestFromJson(*document);
+    if (!wire.ok()) {
+      return RenderHttpResponse(
+          400, "Bad Request", "application/json",
+          "{\"status\":\"INVALID_ARGUMENT\",\"message\":" +
+              JsonQuote(wire.status().message()) + "}");
+    }
+    WireConsensusResponse response;
+    response.id = wire->id;
+    serve::RequestControl control;
+    control.deadline_ns = wire->deadline_ns;
+    StatusOr<serve::ConsensusAnswer> answer =
+        server_->ConsensusTopK(wire->model, wire->top_k, control);
+    if (answer.ok()) {
+      response.ranking = std::move(answer->ranking);
+      response.mean_footrule = answer->mean_footrule;
+      response.footrule_std_error = answer->footrule_std_error;
+      response.mean_kendall = answer->mean_kendall;
+      response.kendall_std_error = answer->kendall_std_error;
+      response.n_samples = answer->n_samples;
+    } else {
+      response.status = answer.status();
+    }
+    return RenderHttpResponse(200, "OK", "application/json",
+                              JsonFromWireConsensusResponse(response));
   }
 
   StatusOr<WireRequest> wire = WireRequestFromJson(*document);

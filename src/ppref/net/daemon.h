@@ -186,6 +186,8 @@ class Daemon {
   // answer safe to retain for idempotent replay.
   std::string ExecuteBinary(const std::string& body, bool* retain_idem);
   std::string ExecuteBinarySweep(const std::string& body);
+  std::string ExecuteBinaryHard(const std::string& body);
+  std::string ExecuteBinaryConsensus(const std::string& body);
   std::string ExecuteHttp(const HttpRequest& request, bool draining,
                           bool* retain_idem);
 

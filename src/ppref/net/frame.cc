@@ -27,7 +27,7 @@ std::uint32_t GetU32(const char* p) {
 
 bool KnownType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         type <= static_cast<std::uint8_t>(FrameType::kSweepResponse);
+         type <= static_cast<std::uint8_t>(FrameType::kConsensusResponse);
 }
 
 /// Validates one complete 12-byte header prefix.

@@ -61,6 +61,10 @@ enum class FrameType : std::uint8_t {
   kPong = 4,
   kSweepRequest = 5,
   kSweepResponse = 6,
+  kHardRequest = 7,
+  kHardResponse = 8,
+  kConsensusRequest = 9,
+  kConsensusResponse = 10,
 };
 
 /// One complete frame, body owned.

@@ -421,6 +421,92 @@ std::string JsonFromWireSweepResponse(const WireSweepResponse& response) {
   return out;
 }
 
+StatusOr<WireHardRequest> HardRequestFromJson(const JsonValue& root) {
+  StatusOr<WireRequest> base = WireRequestFromJson(root);
+  if (!base.ok()) return base.status();
+  if (base->kind != serve::Request::Kind::kPatternProb) {
+    return Bad("\"kind\" must be \"pattern_prob\" for a hard query");
+  }
+  double target = 0.0;
+  if (const JsonValue* target_value = root.Find("target")) {
+    if (!target_value->IsNumber() ||
+        !(target_value->number >= 0.0 && target_value->number <= 1.0)) {
+      return Bad("\"target\" must be a number in [0, 1]");
+    }
+    target = target_value->number;
+  }
+  return WireHardRequest(base->id, base->deadline_ns, target,
+                         std::move(base->model), std::move(base->pattern));
+}
+
+std::string JsonFromWireHardResponse(const WireHardResponse& response) {
+  std::string out = "{";
+  out += "\"id\":" + std::to_string(response.id);
+  out += ",\"status\":" + JsonQuote(StatusCodeName(response.status.code()));
+  out += ",\"message\":" + JsonQuote(response.status.message());
+  out += ",\"estimate\":" + FormatDouble(response.estimate);
+  out += ",\"std_error\":" + FormatDouble(response.std_error);
+  out += ",\"n_samples\":" + std::to_string(response.n_samples);
+  out += ",\"target_met\":";
+  out += response.target_met ? "true" : "false";
+  out += ",\"deadline_limited\":";
+  out += response.deadline_limited ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+StatusOr<WireConsensusRequest> ConsensusRequestFromJson(const JsonValue& root) {
+  if (!root.IsObject()) return Bad("document must be an object");
+  std::uint64_t top_k = 0;
+  if (!AsIndex(root.Find("top_k"), kMaxWireItems + 1ull, &top_k) ||
+      top_k == 0) {
+    return Bad("\"top_k\" must be a positive integer");
+  }
+  // The shared model rules come from the /query mapper; a missing "pattern"
+  // means the empty pattern (a consensus query is about the model alone).
+  JsonValue patched = root;
+  if (patched.Find("pattern") == nullptr) {
+    JsonValue nodes;
+    nodes.kind = JsonValue::Kind::kArray;
+    JsonValue pattern;
+    pattern.kind = JsonValue::Kind::kObject;
+    pattern.object.emplace_back("nodes", std::move(nodes));
+    patched.object.emplace_back("pattern", std::move(pattern));
+  }
+  StatusOr<WireRequest> base = WireRequestFromJson(patched);
+  if (!base.ok()) return base.status();
+  if (base->kind != serve::Request::Kind::kPatternProb) {
+    return Bad("\"kind\" must be \"pattern_prob\" for consensus");
+  }
+  if (base->pattern.NodeCount() != 0) {
+    return Bad("consensus takes no pattern");
+  }
+  return WireConsensusRequest(base->id, base->deadline_ns,
+                              static_cast<std::uint32_t>(top_k),
+                              std::move(base->model));
+}
+
+std::string JsonFromWireConsensusResponse(
+    const WireConsensusResponse& response) {
+  std::string out = "{";
+  out += "\"id\":" + std::to_string(response.id);
+  out += ",\"status\":" + JsonQuote(StatusCodeName(response.status.code()));
+  out += ",\"message\":" + JsonQuote(response.status.message());
+  out += ",\"ranking\":[";
+  for (std::size_t i = 0; i < response.ranking.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(response.ranking[i]);
+  }
+  out += "]";
+  out += ",\"mean_footrule\":" + FormatDouble(response.mean_footrule);
+  out += ",\"footrule_std_error\":" + FormatDouble(response.footrule_std_error);
+  out += ",\"mean_kendall\":" + FormatDouble(response.mean_kendall);
+  out += ",\"kendall_std_error\":" + FormatDouble(response.kendall_std_error);
+  out += ",\"n_samples\":" + std::to_string(response.n_samples);
+  out += "}";
+  return out;
+}
+
 std::string JsonFromWireResponse(const WireResponse& response) {
   std::string out = "{";
   out += "\"id\":" + std::to_string(response.id);

@@ -16,6 +16,9 @@
 ///   GET  /metrics.json   the same instruments as JSON
 ///   POST /query          one JSON query (schema below) → JSON answer
 ///   POST /sweep          one query shape + a dispersion grid → JSON answers
+///   POST /hard           one query shape + a precision target → adaptive
+///                        Monte-Carlo estimate with its standard error
+///   POST /consensus      a model + "top_k" → consensus ranking prefix
 ///
 /// ## /query JSON schema
 /// ```json
@@ -48,6 +51,26 @@
 /// seeds the compiled circuit; every answer is for the re-bound entry.
 /// Answer: `{"id":…,"status":"OK","message":"","probabilities":[…]}` in
 /// request order, `%.17g`.
+///
+/// ## /hard JSON schema
+/// The /query schema (kind absent or "pattern_prob") plus one optional key:
+/// ```json
+/// "target": 0.01
+/// ```
+/// — the requested 95%-CI half-width in [0, 1]; absent or 0 = the server's
+/// default target. Answer: `{"id":…,"status":"OK","message":"",
+/// "estimate":…,"std_error":…,"n_samples":…,"target_met":…,
+/// "deadline_limited":…}`.
+///
+/// ## /consensus JSON schema
+/// The /query "model" (plus optional id/deadline_us; "pattern" absent or
+/// empty) and one required key:
+/// ```json
+/// "top_k": 3
+/// ```
+/// Answer: `{"id":…,"status":"OK","message":"","ranking":[…],
+/// "mean_footrule":…,"footrule_std_error":…,"mean_kendall":…,
+/// "kendall_std_error":…,"n_samples":…}`.
 
 #ifndef PPREF_NET_HTTP_H_
 #define PPREF_NET_HTTP_H_
@@ -134,6 +157,20 @@ StatusOr<WireSweepRequest> SweepRequestFromJson(const JsonValue& root);
 
 /// The /sweep response body for an answer (doubles as %.17g).
 std::string JsonFromWireSweepResponse(const WireSweepResponse& response);
+
+/// Maps a parsed /hard JSON document onto an owned hard request. The /query
+/// rules apply to the shared keys; "target" must be a number in [0, 1].
+StatusOr<WireHardRequest> HardRequestFromJson(const JsonValue& root);
+
+/// The /hard response body for an answer (doubles as %.17g).
+std::string JsonFromWireHardResponse(const WireHardResponse& response);
+
+/// Maps a parsed /consensus JSON document onto an owned consensus request.
+/// "pattern" may be absent (or empty); "top_k" must be a positive integer.
+StatusOr<WireConsensusRequest> ConsensusRequestFromJson(const JsonValue& root);
+
+/// The /consensus response body for an answer (doubles as %.17g).
+std::string JsonFromWireConsensusResponse(const WireConsensusResponse& response);
 
 }  // namespace ppref::net
 

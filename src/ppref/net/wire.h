@@ -29,6 +29,7 @@
 #include "ppref/infer/labeled_rim.h"
 #include "ppref/infer/matching.h"
 #include "ppref/infer/pattern.h"
+#include "ppref/rim/ranking.h"
 #include "ppref/serve/server.h"
 
 namespace ppref::net {
@@ -100,6 +101,76 @@ struct WireSweepResponse {
   std::uint64_t id = 0;
   Status status;
   std::vector<double> probabilities;
+};
+
+/// One hard-tier query: the shape of a pattern-probability `WireRequest`
+/// plus a requested confidence-interval half-width. The daemon answers it
+/// with the adaptive Monte-Carlo estimator instead of the exact DP — the
+/// tier for models too large to scan exactly.
+struct WireHardRequest {
+  WireHardRequest(std::uint64_t id, std::uint64_t deadline_ns,
+                  double target_half_width, infer::LabeledRimModel model,
+                  infer::LabelPattern pattern)
+      : id(id),
+        deadline_ns(deadline_ns),
+        target_half_width(target_half_width),
+        model(std::move(model)),
+        pattern(std::move(pattern)) {}
+
+  std::uint64_t id = 0;
+  /// Deadline from daemon dispatch; 0 = server default. Besides stopping the
+  /// run, the deadline *value* coarsens the effective precision target, so a
+  /// tight budget yields an honest wide-error answer instead of an error.
+  std::uint64_t deadline_ns = 0;
+  /// Requested 95%-CI half-width in [0, 1]; 0 = the server's default target.
+  double target_half_width = 0.0;
+  infer::LabeledRimModel model;
+  infer::LabelPattern pattern;
+};
+
+/// The hard-tier answer: a point estimate with its standard error and the
+/// sampling disposition (how many worlds, and why sampling stopped).
+struct WireHardResponse {
+  std::uint64_t id = 0;
+  Status status;
+  double estimate = 0.0;
+  double std_error = 0.0;
+  std::uint64_t n_samples = 0;
+  /// The precision target was reached before the sample cap.
+  bool target_met = false;
+  /// The deadline budget expired mid-run; the answer is honest but coarser
+  /// than asked, and the server never caches it.
+  bool deadline_limited = false;
+};
+
+/// One consensus top-k query: a model and how many items of the consensus
+/// ranking to return. No pattern — the query is about the model itself.
+struct WireConsensusRequest {
+  WireConsensusRequest(std::uint64_t id, std::uint64_t deadline_ns,
+                       std::uint32_t top_k, infer::LabeledRimModel model)
+      : id(id),
+        deadline_ns(deadline_ns),
+        top_k(top_k),
+        model(std::move(model)) {}
+
+  std::uint64_t id = 0;
+  std::uint64_t deadline_ns = 0;
+  /// Prefix length of the consensus ranking to return (>= 1; clamped to m).
+  std::uint32_t top_k = 0;
+  infer::LabeledRimModel model;
+};
+
+/// The consensus answer: the top-k prefix of the footrule-optimal consensus
+/// ranking plus the estimated mean distances from a random world to it.
+struct WireConsensusResponse {
+  std::uint64_t id = 0;
+  Status status;
+  std::vector<rim::ItemId> ranking;
+  double mean_footrule = 0.0;
+  double footrule_std_error = 0.0;
+  double mean_kendall = 0.0;
+  double kendall_std_error = 0.0;
+  std::uint64_t n_samples = 0;
 };
 
 /// One answer: `serve::Response` plus the echoed request id.

@@ -26,6 +26,8 @@ const char* StageName(Stage stage) {
       return "circuit_eval";
     case Stage::kStoreLoad:
       return "store_load";
+    case Stage::kHardSample:
+      return "hard_sample";
   }
   return "unknown";
 }

@@ -50,8 +50,9 @@ enum class Stage : std::uint8_t {
   kCircuitCompile,  // compiling an arithmetic circuit (circuit-cache miss)
   kCircuitEval,     // evaluating a cached circuit over a parameter sweep
   kStoreLoad,       // loading + decoding a record from the persistent store
+  kHardSample,      // hard-tier adaptive / consensus world sampling
 };
-inline constexpr unsigned kStageCount = 11;
+inline constexpr unsigned kStageCount = 12;
 
 /// Stable lower_snake_case stage names for exposition.
 const char* StageName(Stage stage);

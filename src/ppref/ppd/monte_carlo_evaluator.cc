@@ -1,13 +1,11 @@
 #include "ppref/ppd/monte_carlo_evaluator.h"
 
-#include <algorithm>
-#include <cmath>
 #include <vector>
 
 #include "ppref/common/check.h"
-#include "ppref/common/hash.h"
-#include "ppref/common/parallel.h"
 #include "ppref/db/preference_instance.h"
+#include "ppref/hard/estimator.h"
+#include "ppref/hard/sampler.h"
 #include "ppref/query/eval.h"
 #include "ppref/rim/sampler.h"
 
@@ -38,10 +36,11 @@ bool SampleWorldAndEvaluate(const RimPpd& ppd,
 }
 
 infer::McEstimate FromBernoulliCount(unsigned hits, unsigned samples) {
+  const hard::BernoulliEstimate point =
+      hard::EstimateFromBernoulliCount(hits, samples);
   infer::McEstimate estimate;
-  estimate.estimate = static_cast<double>(hits) / samples;
-  estimate.std_error =
-      std::sqrt(estimate.estimate * (1.0 - estimate.estimate) / samples);
+  estimate.estimate = point.estimate;
+  estimate.std_error = point.std_error;
   return estimate;
 }
 
@@ -64,25 +63,19 @@ infer::McEstimate EstimateBoolean(const RimPpd& ppd,
                                   const infer::McOptions& options) {
   PPREF_CHECK(query.IsBoolean());
   PPREF_CHECK(options.samples > 0);
-  // Same fixed block decomposition as infer's McOptions entry points: block
-  // b draws its worlds from Rng(HashCombine(seed, b)), so the estimate is
-  // a function of (seed, samples) only, never of the thread count.
-  constexpr unsigned kBlockSamples = 256;  // worlds are costlier than rankings
-  const unsigned blocks = (options.samples + kBlockSamples - 1) / kBlockSamples;
-  std::vector<unsigned> hits(blocks, 0);
-  ParallelFor(blocks, ClampThreads(options.threads), [&](std::size_t b) {
-    if (options.control != nullptr) options.control->Check();
-    Rng rng(HashCombine(options.seed, b));
-    const unsigned begin = static_cast<unsigned>(b) * kBlockSamples;
-    const unsigned end = std::min(options.samples, begin + kBlockSamples);
-    unsigned h = 0;
-    for (unsigned s = begin; s < end; ++s) {
-      if (SampleWorldAndEvaluate(ppd, query, rng)) ++h;
-    }
-    hits[b] = h;
-  });
-  unsigned total = 0;
-  for (unsigned h : hits) total += h;
+  // The shared seeded-block core (hard/sampler.h), at a smaller block size
+  // because database worlds are costlier to materialize than rankings. The
+  // estimate stays a function of (seed, samples) only, never thread count.
+  constexpr unsigned kBlockSamples = 256;
+  const unsigned total = hard::SeededBlockHits(
+      options.samples, kBlockSamples, options.seed, options.threads,
+      options.control, [&](Rng& rng, unsigned begin, unsigned end) {
+        unsigned h = 0;
+        for (unsigned s = begin; s < end; ++s) {
+          if (SampleWorldAndEvaluate(ppd, query, rng)) ++h;
+        }
+        return h;
+      });
   return FromBernoulliCount(total, options.samples);
 }
 

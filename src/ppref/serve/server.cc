@@ -11,11 +11,16 @@
 #include "ppref/common/fault_injection.h"
 #include "ppref/common/hash.h"
 #include "ppref/common/parallel.h"
+#include "ppref/hard/consensus.h"
+#include "ppref/hard/estimator.h"
+#include "ppref/hard/world_pool.h"
 #include "ppref/infer/internal/dp_plan.h"
+#include "ppref/infer/matching.h"
 #include "ppref/infer/monte_carlo.h"
 #include "ppref/infer/top_prob.h"
 #include "ppref/infer/top_prob_minmax.h"
 #include "ppref/obs/export.h"
+#include "ppref/rim/sampler.h"
 #include "ppref/serve/fingerprint.h"
 #include "ppref/store/codec.h"
 #include "ppref/store/store.h"
@@ -34,7 +39,21 @@ enum : std::uint64_t {
   kKeyMinMax = 0x5053ull,
   kKeyMcSeed = 0x5054ull,
   kKeySweep = 0x5055ull,
+  kKeyHard = 0x5056ull,
+  kKeyConsensus = 0x5057ull,
 };
+
+/// The hard tier's deadline → precision mapping: a tight deadline buys a
+/// deterministically coarser answer. A pure function of the deadline
+/// *value* (never the clock), so repeating the request reproduces the
+/// identical estimate. 0 = no floor.
+double DeadlineTargetFloor(std::uint64_t deadline_ns) {
+  if (deadline_ns == 0) return 0.0;
+  if (deadline_ns < 1'000'000) return 0.05;     // < 1ms
+  if (deadline_ns < 10'000'000) return 0.02;    // < 10ms
+  if (deadline_ns < 100'000'000) return 0.01;   // < 100ms
+  return 0.0;
+}
 
 const std::vector<infer::LabelId> kNoTracked;
 
@@ -119,6 +138,23 @@ struct Server::CachedResult {
   std::optional<infer::Matching> top_matching;
 };
 
+/// A memoized hard-tier answer. The key's domain tag decides which half is
+/// meaningful: adaptive estimates fill the scalar fields, consensus entries
+/// fill `ranking` (full length m — truncation to k happens per response)
+/// and the distance statistics. Only answers that are exact functions of
+/// the seed are ever inserted, so `deadline_limited` has no field here.
+struct Server::CachedHard {
+  double estimate = 0.0;
+  double std_error = 0.0;
+  std::uint64_t n_samples = 0;
+  bool target_met = false;
+  std::vector<rim::ItemId> ranking;
+  double mean_footrule = 0.0;
+  double footrule_std_error = 0.0;
+  double mean_kendall = 0.0;
+  double kendall_std_error = 0.0;
+};
+
 /// The terminal disposition of one guarded computation: a status, the
 /// answer (exact or approximate), and whether the answer may be published
 /// to the result cache (only exact kOk answers are).
@@ -153,6 +189,14 @@ struct Server::Instruments {
   obs::Counter& degraded;
   obs::Counter& internal_errors;
 
+  // Hard-query tier.
+  obs::Counter& hard_requests;
+  obs::Counter& hard_batches;
+  obs::Counter& hard_samples;
+  obs::Counter& hard_target_met;
+  obs::Counter& hard_deadline_limited;
+  obs::Counter& consensus_requests;
+
   // Persistent-store counters (all stay zero without a configured store).
   obs::Counter& store_hits;
   obs::Counter& store_misses;
@@ -175,6 +219,10 @@ struct Server::Instruments {
   obs::Gauge& circuit_cache_misses;
   obs::Gauge& circuit_cache_insertions;
   obs::Gauge& circuit_cache_evictions;
+  obs::Gauge& hard_cache_hits;
+  obs::Gauge& hard_cache_misses;
+  obs::Gauge& hard_cache_insertions;
+  obs::Gauge& hard_cache_evictions;
   obs::Gauge& traces_published;
   obs::Gauge& store_records;
   obs::Gauge& store_segments;
@@ -194,6 +242,8 @@ struct Server::Instruments {
   obs::Histogram& scatter_ns;
   obs::Histogram& circuit_compile_hist_ns;
   obs::Histogram& circuit_point_ns;
+  obs::Histogram& hard_sample_ns;
+  obs::Histogram& consensus_ns;
 
   explicit Instruments(obs::MetricsRegistry& r)
       : requests(r.GetCounter("ppref_serve_requests_total",
@@ -236,6 +286,23 @@ struct Server::Instruments {
         internal_errors(
             r.GetCounter("ppref_serve_internal_errors_total",
                          "Unexpected exceptions mapped to kInternal")),
+        hard_requests(r.GetCounter(
+            "ppref_hard_requests_total",
+            "Hard adaptive-estimate queries accepted (pooled patterns "
+            "count singly)")),
+        hard_batches(r.GetCounter("ppref_hard_batches_total",
+                                  "Pooled hard batches accepted")),
+        hard_samples(r.GetCounter(
+            "ppref_hard_samples_total",
+            "Worlds sampled by the hard tier (summed n_samples)")),
+        hard_target_met(r.GetCounter(
+            "ppref_hard_target_met_total",
+            "Hard answers that reached their precision target")),
+        hard_deadline_limited(r.GetCounter(
+            "ppref_hard_deadline_limited_total",
+            "Hard answers stopped early by a deadline budget")),
+        consensus_requests(r.GetCounter("ppref_hard_consensus_requests_total",
+                                        "Consensus top-k queries accepted")),
         store_hits(r.GetCounter(
             "ppref_serve_store_hits_total",
             "Cache misses answered by decoding a persistent-store record")),
@@ -282,6 +349,14 @@ struct Server::Instruments {
         circuit_cache_evictions(
             r.GetGauge("ppref_serve_circuit_cache_evictions",
                        "Circuit cache evictions")),
+        hard_cache_hits(
+            r.GetGauge("ppref_hard_cache_hits", "Hard cache hits")),
+        hard_cache_misses(
+            r.GetGauge("ppref_hard_cache_misses", "Hard cache misses")),
+        hard_cache_insertions(r.GetGauge("ppref_hard_cache_insertions",
+                                         "Hard cache insertions")),
+        hard_cache_evictions(r.GetGauge("ppref_hard_cache_evictions",
+                                        "Hard cache evictions")),
         traces_published(
             r.GetGauge("ppref_serve_traces_published",
                        "Trace records ever published (including "
@@ -322,7 +397,13 @@ struct Server::Instruments {
                            "Arithmetic-circuit compilation")),
         circuit_point_ns(
             r.GetHistogram("ppref_serve_stage_circuit_eval_ns",
-                           "Cached-circuit evaluation, per sweep point")) {}
+                           "Cached-circuit evaluation, per sweep point")),
+        hard_sample_ns(
+            r.GetHistogram("ppref_hard_stage_sample_ns",
+                           "Adaptive Monte-Carlo sampling, per hard query")),
+        consensus_ns(r.GetHistogram(
+            "ppref_hard_stage_consensus_ns",
+            "Consensus sampling + footrule aggregation, per query")) {}
 };
 
 /// Scoped in-flight depth accounting: admission increments, completion
@@ -371,6 +452,7 @@ Server::Server(ServerOptions options)
       plan_cache_(options.plan_cache_capacity, options.cache_shards),
       result_cache_(options.result_cache_capacity, options.cache_shards),
       circuit_cache_(options.circuit_cache_capacity, options.cache_shards),
+      hard_cache_(options.hard_cache_capacity, options.cache_shards),
       owned_registry_(options.registry == nullptr
                           ? std::make_unique<obs::MetricsRegistry>()
                           : nullptr),
@@ -668,36 +750,62 @@ Server::CachedResult Server::Compute(const Request& request,
 }
 
 Server::Outcome Server::Degrade(const Request& request,
-                                std::uint64_t result_key, Status status,
+                                std::uint64_t result_key,
+                                std::uint64_t deadline_ns, Status status,
                                 obs::TraceRecord* trace) {
   instruments_->degraded.Inc();
   Outcome outcome;
   outcome.status = std::move(status);
   outcome.approximate = true;
   // Seeded from the request fingerprint: repeating the request reproduces
-  // the identical approximate answer (the McOptions block decomposition
-  // makes the estimate thread-count independent, and threads=1 keeps the
+  // the identical approximate answer (the seeded block decomposition makes
+  // the estimate thread-count independent, and threads=1 keeps the
   // fallback from competing with healthy exact work for cores). The
   // fallback honors cancellation but deliberately not the already-blown
   // deadline — it is the bounded-cost answer served *because* the deadline
-  // fired, sized by degraded_samples rather than time.
-  infer::McOptions mc;
-  mc.samples = std::max(1u, options_.degraded_samples);
-  mc.threads = 1;
-  mc.seed = HashCombine(result_key, kKeyMcSeed);
+  // fired, sized by degraded_samples rather than time. The deadline still
+  // matters deterministically: its *value* maps to a precision target, so a
+  // request with a near-dead deadline stops sampling as soon as the CI
+  // half-width reaches the (coarse) floor instead of always spending the
+  // full budget — an honest, wider-std_error answer. No deadline (size
+  // guard degrades) disables the precision stop, which reduces bit-exactly
+  // to the fixed-budget estimate.
   RunControl cancel_only;
   cancel_only.cancel = request.control.cancel;
-  mc.control = request.control.cancel != nullptr ? &cancel_only : nullptr;
+  const RunControl* control =
+      request.control.cancel != nullptr ? &cancel_only : nullptr;
   const obs::TraceSpan span(trace, obs::Stage::kMcFallback);
   const bool timed = options_.latency_histograms;
   const std::uint64_t start = timed ? MonotonicNowNs() : 0;
   try {
     if (request.kind == Request::Kind::kPatternProb) {
-      const infer::McEstimate estimate =
-          infer::PatternProbMonteCarlo(*request.model, *request.pattern, mc);
+      hard::AdaptiveOptions adaptive;
+      adaptive.target_half_width = DeadlineTargetFloor(deadline_ns);
+      adaptive.z = options_.hard_z;
+      adaptive.min_samples = options_.hard_min_samples;
+      adaptive.max_samples = std::max(1u, options_.degraded_samples);
+      adaptive.threads = 1;
+      adaptive.seed = HashCombine(result_key, kKeyMcSeed);
+      adaptive.control = control;
+      const infer::LabeledRimModel& model = *request.model;
+      const infer::LabelPattern& pattern = *request.pattern;
+      const hard::AdaptiveEstimate estimate = hard::EstimateBernoulliAdaptive(
+          adaptive, [&](Rng& rng, unsigned begin, unsigned end) {
+            unsigned hits = 0;
+            for (unsigned s = begin; s < end; ++s) {
+              const rim::Ranking tau = rim::SampleRanking(model.model(), rng);
+              if (infer::Matches(pattern, model.labeling(), tau)) ++hits;
+            }
+            return hits;
+          });
       outcome.result.probability = estimate.estimate;
       outcome.std_error = estimate.std_error;
     } else {
+      infer::McOptions mc;
+      mc.samples = std::max(1u, options_.degraded_samples);
+      mc.threads = 1;
+      mc.seed = HashCombine(result_key, kKeyMcSeed);
+      mc.control = control;
       const infer::McTopMatching top =
           infer::TopMatchingMonteCarlo(*request.model, *request.pattern, mc);
       outcome.result.probability = top.frequency;
@@ -716,10 +824,13 @@ Server::Outcome Server::Degrade(const Request& request,
 Server::Outcome Server::ComputeGuarded(const Request& request,
                                        std::uint64_t plan_key,
                                        std::uint64_t result_key,
+                                       std::uint64_t deadline_ns,
                                        const RunControl* control,
                                        obs::TraceRecord* trace) {
   // Size guard first: an over-budget pattern is refused (or degraded)
-  // *before* any exponential work starts.
+  // *before* any exponential work starts. The size-guard fallback carries
+  // no deadline mapping — the pattern, not time pressure, is the problem —
+  // so it always spends the full degraded budget, deterministically.
   if (options_.max_pattern_nodes != 0 &&
       request.pattern->NodeCount() > options_.max_pattern_nodes) {
     Status status = Status::ResourceExhausted(
@@ -727,7 +838,8 @@ Server::Outcome Server::ComputeGuarded(const Request& request,
         " nodes, over the server limit of " +
         std::to_string(options_.max_pattern_nodes));
     if (options_.degradation == ServerOptions::Degradation::kMonteCarlo) {
-      return Degrade(request, result_key, std::move(status), trace);
+      return Degrade(request, result_key, /*deadline_ns=*/0, std::move(status),
+                     trace);
     }
     Outcome outcome;
     outcome.status = std::move(status);
@@ -748,7 +860,8 @@ Server::Outcome Server::ComputeGuarded(const Request& request,
     instruments_->deadline_exceeded.Inc();
     Status status = Status::DeadlineExceeded(e.what());
     if (options_.degradation == ServerOptions::Degradation::kMonteCarlo) {
-      return Degrade(request, result_key, std::move(status), trace);
+      return Degrade(request, result_key, deadline_ns, std::move(status),
+                     trace);
     }
     Outcome outcome;
     outcome.status = std::move(status);
@@ -978,6 +1091,315 @@ StatusOr<std::vector<double>> Server::PatternProbSweep(
   }
 }
 
+double Server::EffectiveHardTarget(double target_half_width,
+                                   std::uint64_t deadline_ns) const {
+  const double requested = target_half_width > 0.0
+                               ? target_half_width
+                               : options_.hard_default_target;
+  return std::max(requested, DeadlineTargetFloor(deadline_ns));
+}
+
+std::uint64_t Server::HardSeed(const infer::LabeledRimModel& model) const {
+  // A function of the model *structure and parameters* plus the block
+  // decomposition only — never of any pattern — so every hard query against
+  // one model draws the identical world stream, which is what lets pooled
+  // and solo answers share cache entries bit for bit.
+  StreamHash hash;
+  hash.Mix(FingerprintModel(model.model()));
+  hash.Mix(kKeyHard);
+  hash.Mix(options_.hard_max_samples);
+  hash.Mix(options_.hard_block_samples);
+  return HashCombine(hash.digest(), kKeyMcSeed);
+}
+
+std::uint64_t Server::HardKey(std::uint64_t plan_key,
+                              double effective_target) const {
+  StreamHash hash;
+  hash.Mix(plan_key);
+  hash.Mix(kKeyHard);
+  hash.MixDouble(effective_target);
+  hash.MixDouble(options_.hard_z);
+  hash.Mix(options_.hard_min_samples);
+  hash.Mix(options_.hard_max_samples);
+  hash.Mix(options_.hard_block_samples);
+  return hash.digest();
+}
+
+StatusOr<HardEstimate> Server::HardPatternProb(
+    const infer::LabeledRimModel& model, const infer::LabelPattern& pattern,
+    double target_half_width, const RequestControl& control) {
+  std::vector<const infer::LabelPattern*> patterns{&pattern};
+  StatusOr<std::vector<HardEstimate>> pooled =
+      HardPatternProbBatch(model, patterns, target_half_width, control);
+  if (!pooled.ok()) return pooled.status();
+  return std::move(pooled->front());
+}
+
+StatusOr<std::vector<HardEstimate>> Server::HardPatternProbBatch(
+    const infer::LabeledRimModel& model,
+    const std::vector<const infer::LabelPattern*>& patterns,
+    double target_half_width, const RequestControl& control) {
+  instruments_->requests.Inc();
+  instruments_->hard_batches.Inc();
+  instruments_->hard_requests.Inc(patterns.size());
+
+  // Validation: every pattern passes the shared request checks against the
+  // one model. A bad pattern fails the whole batch — partial pooled batches
+  // would silently change which queries share the world stream's cost.
+  for (std::size_t q = 0; q < patterns.size(); ++q) {
+    Request probe;
+    probe.kind = Request::Kind::kPatternProb;
+    probe.model = &model;
+    probe.pattern = patterns[q];
+    if (Status status = Validate(probe); !status.ok()) {
+      instruments_->invalid.Inc();
+      return Status::InvalidArgument("patterns[" + std::to_string(q) +
+                                     "]: " + status.message());
+    }
+  }
+  if (patterns.empty()) return std::vector<HardEstimate>{};
+
+  // One admission slot covers the whole pooled batch — the expensive part
+  // (the shared world stream) is drawn once, however many queries ride it.
+  if (TryAdmit(1) == 0) {
+    instruments_->shed.Inc();
+    return Status::ResourceExhausted(
+        "shed by admission control (server full); retry after " +
+        std::to_string(RetryAfterHintNs()) + "ns");
+  }
+  const AdmissionRelease release(*this, 1);
+
+  const std::uint64_t deadline_ns = control.deadline_ns != 0
+                                        ? control.deadline_ns
+                                        : options_.default_deadline_ns;
+  const double target = EffectiveHardTarget(target_half_width, deadline_ns);
+
+  // Per-query keys and cache probes. Pooled answers are bit-identical to
+  // solo ones (the world stream is seeded from the model alone and each
+  // query's stopping rule is query-local), so cached and freshly pooled
+  // answers mix freely; only the misses sample.
+  std::vector<std::uint64_t> keys(patterns.size());
+  std::vector<HardEstimate> answers(patterns.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t q = 0; q < patterns.size(); ++q) {
+    keys[q] = HardKey(PlanKey(model, *patterns[q], kNoTracked), target);
+    if (const auto hit = hard_cache_.Get(keys[q])) {
+      answers[q].estimate = hit->estimate;
+      answers[q].std_error = hit->std_error;
+      answers[q].n_samples = hit->n_samples;
+      answers[q].target_met = hit->target_met;
+      continue;
+    }
+    misses.push_back(q);
+  }
+  if (misses.empty()) return answers;
+
+  // Deterministic trace sampling, keyed on the first miss's hard key.
+  obs::TraceRecord trace_storage;
+  obs::TraceRecord* trace = nullptr;
+  if (tracer_.sample_permyriad() > 0 &&
+      tracer_.ShouldSample(keys[misses.front()])) {
+    trace = &trace_storage;
+    trace->fingerprint = keys[misses.front()];
+    trace->start_ns = MonotonicNowNs();
+  }
+
+  hard::AdaptiveOptions adaptive;
+  adaptive.target_half_width = target;
+  adaptive.z = options_.hard_z;
+  adaptive.min_samples = options_.hard_min_samples;
+  adaptive.max_samples = std::max(1u, options_.hard_max_samples);
+  adaptive.block_samples = std::max(1u, options_.hard_block_samples);
+  adaptive.threads = effective_threads_;
+  adaptive.seed = HardSeed(model);
+  RunControl cancel_only;
+  cancel_only.cancel = control.cancel;
+  adaptive.control = control.cancel != nullptr ? &cancel_only : nullptr;
+  // The deadline is the non-throwing between-rounds budget: expiry yields
+  // honest deadline-limited answers, not an exception.
+  Deadline budget;
+  if (deadline_ns != 0) budget = Deadline::After(deadline_ns);
+  adaptive.budget = &budget;
+
+  std::vector<const infer::LabelPattern*> miss_patterns;
+  miss_patterns.reserve(misses.size());
+  for (const std::size_t q : misses) miss_patterns.push_back(patterns[q]);
+
+  try {
+    std::vector<hard::AdaptiveEstimate> pooled;
+    {
+      const obs::TraceSpan span(trace, obs::Stage::kHardSample);
+      const bool timed = options_.latency_histograms;
+      const std::uint64_t start = timed ? MonotonicNowNs() : 0;
+      pooled = hard::EstimatePatternProbsPooled(model, miss_patterns, adaptive);
+      if (timed) {
+        instruments_->hard_sample_ns.Record(MonotonicNowNs() - start);
+      }
+    }
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      const hard::AdaptiveEstimate& estimate = pooled[i];
+      const std::size_t q = misses[i];
+      answers[q].estimate = estimate.estimate;
+      answers[q].std_error = estimate.std_error;
+      answers[q].n_samples = estimate.n_samples;
+      answers[q].target_met = estimate.target_met;
+      answers[q].deadline_limited = estimate.deadline_limited;
+      instruments_->hard_samples.Inc(estimate.n_samples);
+      if (estimate.target_met) instruments_->hard_target_met.Inc();
+      if (estimate.deadline_limited) {
+        // Honest but wall-clock dependent — never cached.
+        instruments_->hard_deadline_limited.Inc();
+        continue;
+      }
+      CachedHard cached;
+      cached.estimate = estimate.estimate;
+      cached.std_error = estimate.std_error;
+      cached.n_samples = estimate.n_samples;
+      cached.target_met = estimate.target_met;
+      hard_cache_.Put(keys[q],
+                      std::make_shared<const CachedHard>(std::move(cached)));
+    }
+    if (trace != nullptr) {
+      trace->end_ns = MonotonicNowNs();
+      trace->status_code = static_cast<std::uint8_t>(StatusCode::kOk);
+      tracer_.Publish(*trace);
+    }
+    return answers;
+  } catch (const CancelledError& e) {
+    instruments_->cancelled.Inc();
+    return Status::Cancelled(e.what());
+  } catch (const DeadlineExceededError& e) {
+    instruments_->deadline_exceeded.Inc();
+    return Status::DeadlineExceeded(e.what());
+  } catch (const std::exception& e) {
+    instruments_->internal_errors.Inc();
+    return Status::Internal(e.what());
+  } catch (...) {
+    instruments_->internal_errors.Inc();
+    return Status::Internal("unknown exception during hard sampling");
+  }
+}
+
+StatusOr<ConsensusAnswer> Server::ConsensusTopK(
+    const infer::LabeledRimModel& model, unsigned top_k,
+    const RequestControl& control) {
+  instruments_->requests.Inc();
+  instruments_->consensus_requests.Inc();
+
+  const unsigned m = model.model().size();
+  if (m == 0) {
+    instruments_->invalid.Inc();
+    return Status::InvalidArgument("consensus over an empty model");
+  }
+  if (top_k == 0) {
+    instruments_->invalid.Inc();
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  // Size guard: the exact footrule aggregation is O(m³) (Hungarian) with an
+  // O(m²) count matrix — a model over the limit is refused before any work.
+  if (options_.max_consensus_items != 0 && m > options_.max_consensus_items) {
+    return Status::ResourceExhausted(
+        "model has " + std::to_string(m) +
+        " items, over the consensus limit of " +
+        std::to_string(options_.max_consensus_items));
+  }
+
+  if (TryAdmit(1) == 0) {
+    instruments_->shed.Inc();
+    return Status::ResourceExhausted(
+        "shed by admission control (server full); retry after " +
+        std::to_string(RetryAfterHintNs()) + "ns");
+  }
+  const AdmissionRelease release(*this, 1);
+
+  // The cache key covers the full consensus computation (model + sampling
+  // budget), never top_k: the cached entry holds the full-length consensus
+  // and each response truncates its own k.
+  StreamHash key_hash;
+  key_hash.Mix(FingerprintModel(model.model()));
+  key_hash.Mix(kKeyConsensus);
+  key_hash.Mix(options_.consensus_samples);
+  key_hash.Mix(options_.hard_block_samples);
+  const std::uint64_t key = key_hash.digest();
+
+  const auto truncate = [&](const CachedHard& cached) {
+    ConsensusAnswer answer;
+    answer.ranking.assign(
+        cached.ranking.begin(),
+        cached.ranking.begin() +
+            std::min<std::size_t>(top_k, cached.ranking.size()));
+    answer.mean_footrule = cached.mean_footrule;
+    answer.footrule_std_error = cached.footrule_std_error;
+    answer.mean_kendall = cached.mean_kendall;
+    answer.kendall_std_error = cached.kendall_std_error;
+    answer.n_samples = cached.n_samples;
+    return answer;
+  };
+  if (const auto hit = hard_cache_.Get(key)) return truncate(*hit);
+
+  obs::TraceRecord trace_storage;
+  obs::TraceRecord* trace = nullptr;
+  if (tracer_.sample_permyriad() > 0 && tracer_.ShouldSample(key)) {
+    trace = &trace_storage;
+    trace->fingerprint = key;
+    trace->start_ns = MonotonicNowNs();
+  }
+
+  const std::uint64_t deadline_ns = control.deadline_ns != 0
+                                        ? control.deadline_ns
+                                        : options_.default_deadline_ns;
+  RunControl run;
+  if (deadline_ns != 0) run.deadline = Deadline::After(deadline_ns);
+  run.cancel = control.cancel;
+  const bool has_control = deadline_ns != 0 || control.cancel != nullptr;
+
+  hard::ConsensusOptions consensus;
+  consensus.samples = std::max(1u, options_.consensus_samples);
+  consensus.block_samples = std::max(1u, options_.hard_block_samples);
+  consensus.threads = effective_threads_;
+  consensus.seed = HashCombine(key, kKeyMcSeed);
+  consensus.control = has_control ? &run : nullptr;
+
+  try {
+    hard::ConsensusResult result;
+    {
+      const obs::TraceSpan span(trace, obs::Stage::kHardSample);
+      const bool timed = options_.latency_histograms;
+      const std::uint64_t start = timed ? MonotonicNowNs() : 0;
+      result = hard::ConsensusRanking(model.model(), consensus);
+      if (timed) instruments_->consensus_ns.Record(MonotonicNowNs() - start);
+    }
+    instruments_->hard_samples.Inc(result.n_samples);
+    CachedHard cached;
+    cached.ranking = std::move(result.ranking);
+    cached.mean_footrule = result.mean_footrule;
+    cached.footrule_std_error = result.footrule_std_error;
+    cached.mean_kendall = result.mean_kendall;
+    cached.kendall_std_error = result.kendall_std_error;
+    cached.n_samples = result.n_samples;
+    const std::shared_ptr<const CachedHard> value = hard_cache_.Put(
+        key, std::make_shared<const CachedHard>(std::move(cached)));
+    if (trace != nullptr) {
+      trace->end_ns = MonotonicNowNs();
+      trace->status_code = static_cast<std::uint8_t>(StatusCode::kOk);
+      tracer_.Publish(*trace);
+    }
+    return truncate(*value);
+  } catch (const CancelledError& e) {
+    instruments_->cancelled.Inc();
+    return Status::Cancelled(e.what());
+  } catch (const DeadlineExceededError& e) {
+    instruments_->deadline_exceeded.Inc();
+    return Status::DeadlineExceeded(e.what());
+  } catch (const std::exception& e) {
+    instruments_->internal_errors.Inc();
+    return Status::Internal(e.what());
+  } catch (...) {
+    instruments_->internal_errors.Inc();
+    return Status::Internal("unknown exception during consensus");
+  }
+}
+
 /// One unique computation within a batch: distinct (result key, deadline,
 /// cancellation token). Two byte-identical requests with different stop
 /// conditions must not share a slot — one's tight deadline would decide the
@@ -986,6 +1408,9 @@ struct Server::Unit {
   std::uint64_t result_key = 0;
   std::uint64_t plan_key = 0;
   std::size_t first_request = 0;
+  /// The resolved deadline *value* (0 = none); the degradation fallback
+  /// maps it to its precision target.
+  std::uint64_t deadline_ns = 0;
   bool has_control = false;
   RunControl control;
   /// Trace record for sampled units: written only by the single worker that
@@ -1061,6 +1486,7 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
       unit.result_key = result_key;
       unit.plan_key = plan_key;
       unit.first_request = i;
+      unit.deadline_ns = deadline_ns;
       unit.has_control =
           deadline_ns != 0 || request.control.cancel != nullptr;
       if (deadline_ns != 0) unit.control.deadline = Deadline::After(deadline_ns);
@@ -1110,6 +1536,7 @@ std::vector<Response> Server::EvaluateBatch(const std::vector<Request>& requests
         }
         outcomes[i] = ComputeGuarded(requests[unit.first_request],
                                      unit.plan_key, unit.result_key,
+                                     unit.deadline_ns,
                                      unit.has_control ? &unit.control : nullptr,
                                      trace);
         if (unit_timed) unit.worker_end_ns = MonotonicNowNs();
@@ -1199,11 +1626,18 @@ ServerStats Server::Snapshot() const {
   stats.plan_cache = plan_cache_.stats();
   stats.result_cache = result_cache_.stats();
   stats.circuit_cache = circuit_cache_.stats();
+  stats.hard_cache = hard_cache_.stats();
   stats.requests = instruments_->requests.Value();
   stats.batches = instruments_->batches.Value();
   stats.batch_deduped = instruments_->batch_deduped.Value();
   stats.sweep_requests = instruments_->sweep_requests.Value();
   stats.sweep_points = instruments_->sweep_points.Value();
+  stats.hard_requests = instruments_->hard_requests.Value();
+  stats.hard_batches = instruments_->hard_batches.Value();
+  stats.hard_samples = instruments_->hard_samples.Value();
+  stats.hard_target_met = instruments_->hard_target_met.Value();
+  stats.hard_deadline_limited = instruments_->hard_deadline_limited.Value();
+  stats.consensus_requests = instruments_->consensus_requests.Value();
   stats.circuit_compiles = instruments_->circuit_compiles.Value();
   stats.compile_ns = instruments_->compile_ns.Value();
   stats.execute_ns = instruments_->execute_ns.Value();
@@ -1248,6 +1682,11 @@ void Server::SyncScrapeGauges() const {
       static_cast<std::int64_t>(circuit.insertions));
   in.circuit_cache_evictions.Set(
       static_cast<std::int64_t>(circuit.evictions));
+  const CacheStats hard = hard_cache_.stats();
+  in.hard_cache_hits.Set(static_cast<std::int64_t>(hard.hits));
+  in.hard_cache_misses.Set(static_cast<std::int64_t>(hard.misses));
+  in.hard_cache_insertions.Set(static_cast<std::int64_t>(hard.insertions));
+  in.hard_cache_evictions.Set(static_cast<std::int64_t>(hard.evictions));
   in.traces_published.Set(
       static_cast<std::int64_t>(tracer_.total_published()));
   if (options_.store != nullptr) {
@@ -1311,6 +1750,7 @@ void Server::ClearCaches() {
   plan_cache_.Clear();
   result_cache_.Clear();
   circuit_cache_.Clear();
+  hard_cache_.Clear();
 }
 
 }  // namespace ppref::serve

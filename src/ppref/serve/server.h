@@ -22,6 +22,13 @@
 ///     circuit per parameter vector — every point after the first skips
 ///     both plan compilation and the DP scan, and each point's answer is
 ///     bit-identical to a fresh DP run at that Π.
+///  4. **Hard cache** (sharded LRU): the hard tier's adaptive Monte-Carlo
+///     estimates and consensus rankings (`HardPatternProb`,
+///     `HardPatternProbBatch`, `ConsensusTopK`), keyed on the request
+///     fingerprint *and* the full sampling configuration. Only answers that
+///     are exact functions of the seed (precision target met, or the sample
+///     cap) are inserted; deadline-limited answers are honest but
+///     wall-clock dependent and never cached.
 ///
 /// `EvaluateBatch` additionally dedups identical requests *within* a batch,
 /// fans the unique work over a worker pool, and scatters answers back in
@@ -93,6 +100,7 @@
 #include "ppref/infer/pattern.h"
 #include "ppref/obs/metrics.h"
 #include "ppref/obs/trace.h"
+#include "ppref/rim/ranking.h"
 #include "ppref/serve/lru_cache.h"
 #include "ppref/serve/stats.h"
 
@@ -150,6 +158,33 @@ struct ServerOptions {
   Degradation degradation = Degradation::kNone;
   /// Sample budget of one Monte-Carlo fallback.
   unsigned degraded_samples = 4096;
+
+  // Hard-query tier (ppref/hard/): variance-adaptive Monte Carlo with a
+  // precision target, pooled world sharing, and consensus rankings.
+
+  /// Total hard-tier answer budget (adaptive estimates and consensus
+  /// rankings share one cache). Entries are small; consensus entries hold
+  /// one length-m ranking.
+  std::size_t hard_cache_capacity = 1024;
+  /// CI half-width target applied when a hard request does not name its
+  /// own (callers pass <= 0 for "server default"). <= 0 disables the
+  /// precision stop: every hard run spends hard_max_samples.
+  double hard_default_target = 0.01;
+  /// Normal quantile of the hard tier's confidence interval (two-sided 95%).
+  double hard_z = 1.959963984540054;
+  /// The precision stop is not evaluated below this many samples.
+  unsigned hard_min_samples = 256;
+  /// Hard sample cap; also fixes the seeded block decomposition.
+  unsigned hard_max_samples = 1u << 18;
+  /// Samples per seeded block of the hard tier.
+  unsigned hard_block_samples = 1024;
+  /// Fixed world budget of one consensus ranking (an argmin, not a mean, so
+  /// the budget is part of the cache key rather than a stop rule).
+  unsigned consensus_samples = 4096;
+  /// Size guard for consensus queries: the exact footrule aggregation is
+  /// O(m³), so models with more items are refused (kResourceExhausted).
+  /// 0 = unlimited.
+  unsigned max_consensus_items = 256;
 
   /// Optional persistent store (ppref/store/) backing all three caches.
   /// Borrowed; must outlive the server. When set, a cache miss consults the
@@ -228,6 +263,35 @@ struct Response {
   std::uint64_t retry_after_ns = 0;
 };
 
+/// A hard-tier answer: an adaptive Monte-Carlo estimate with the error it
+/// actually achieved and what stopped the sampling.
+struct HardEstimate {
+  double estimate = 0.0;
+  double std_error = 0.0;
+  /// Worlds this estimate consumed (a prefix of the seeded block stream).
+  std::uint64_t n_samples = 0;
+  /// The precision target was reached before the sample cap.
+  bool target_met = false;
+  /// The deadline budget stopped sampling first; the estimate is honest
+  /// (std_error reflects what was achieved) but wall-clock dependent, so it
+  /// was not cached and a retry may answer differently.
+  bool deadline_limited = false;
+};
+
+/// A consensus top-k answer: the footrule-optimal consensus order truncated
+/// to k, with the sampled distance statistics to the full consensus.
+struct ConsensusAnswer {
+  /// Best item first, length min(k, m).
+  std::vector<rim::ItemId> ranking;
+  /// Mean footrule distance of a sampled world to the consensus, with the
+  /// standard error of that mean; same under Kendall's tau.
+  double mean_footrule = 0.0;
+  double footrule_std_error = 0.0;
+  double mean_kendall = 0.0;
+  double kendall_std_error = 0.0;
+  std::uint64_t n_samples = 0;
+};
+
 /// A concurrent query server over the exact inference engine. See the file
 /// comment for the caching, determinism, fault-tolerance, and thread-safety
 /// contracts.
@@ -283,6 +347,46 @@ class Server {
       const std::vector<std::vector<double>>& params,
       const RequestControl& control = {});
 
+  /// Hard tier: Pr(g | σ, Π, λ) by variance-adaptive seeded Monte Carlo
+  /// (ppref/hard/), for patterns past the exact DP's budget. Sampling stops
+  /// once the `z · std_error` CI half-width reaches `target_half_width`
+  /// (<= 0 = the server's hard_default_target), at the sample cap, or —
+  /// honestly, with the wider error actually achieved — when the request's
+  /// deadline expires between sampling rounds. The request's deadline also
+  /// *coarsens* the effective target deterministically (a near-dead
+  /// deadline buys a cheaper answer), so a repeated request reproduces the
+  /// identical estimate. Deterministic answers (target met or cap) are
+  /// cached; deadline-limited ones never are.
+  ///
+  /// Full serving-boundary contract: never throws; validation, admission
+  /// shedding, and cancellation come back as the returned status.
+  StatusOr<HardEstimate> HardPatternProb(const infer::LabeledRimModel& model,
+                                         const infer::LabelPattern& pattern,
+                                         double target_half_width = 0.0,
+                                         const RequestControl& control = {});
+
+  /// The pooled form: adaptive estimates for every pattern in `patterns`
+  /// against *one shared stream* of sampled worlds (each world is drawn
+  /// once and evaluated against every still-unconverged query). Every
+  /// element is bit-identical to the corresponding HardPatternProb answer —
+  /// the world stream is seeded from the model alone, and each query's
+  /// stopping decision is query-local — so pooled and solo answers share
+  /// cache entries. Answers come back in input order.
+  StatusOr<std::vector<HardEstimate>> HardPatternProbBatch(
+      const infer::LabeledRimModel& model,
+      const std::vector<const infer::LabelPattern*>& patterns,
+      double target_half_width = 0.0, const RequestControl& control = {});
+
+  /// Consensus top-k: the ranking minimizing the expected Spearman-footrule
+  /// distance to a random world of the model (exact on the sampled
+  /// empirical distribution — Hungarian assignment, no heuristic), truncated
+  /// to the best `top_k` items, with sampled footrule and Kendall distance
+  /// statistics. Deterministic in (model, server sampling options); the full
+  /// consensus is cached, so asking for different k re-truncates a hit.
+  StatusOr<ConsensusAnswer> ConsensusTopK(const infer::LabeledRimModel& model,
+                                          unsigned top_k,
+                                          const RequestControl& control = {});
+
   /// Serves a batch: admits up to the in-flight budget (shedding the rest),
   /// validates each request, dedups byte-identical requests, resolves
   /// result-cache hits, fans the remaining unique work over the worker
@@ -329,6 +433,7 @@ class Server {
   struct CachedPlan;
   struct CachedResult;
   struct CachedCircuit;
+  struct CachedHard;
   struct Outcome;
   struct Unit;
   struct Instruments;
@@ -390,15 +495,37 @@ class Server {
 
   /// Compute wrapped in the failure policy: catches stop exceptions, applies
   /// the degradation policy, maps everything to a terminal Outcome. Never
-  /// throws.
+  /// throws. `deadline_ns` is the request's resolved deadline *value* (0 =
+  /// none) — the degradation fallback derives its precision target from it.
   Outcome ComputeGuarded(const Request& request, std::uint64_t plan_key,
-                         std::uint64_t result_key, const RunControl* control,
-                         obs::TraceRecord* trace);
+                         std::uint64_t result_key, std::uint64_t deadline_ns,
+                         const RunControl* control, obs::TraceRecord* trace);
 
   /// The Monte-Carlo fallback of the degradation policy; `status` is the
-  /// triggering (non-OK) status the outcome keeps.
+  /// triggering (non-OK) status the outcome keeps. Routed through the
+  /// adaptive estimator: `deadline_ns` maps to a deterministic precision
+  /// target, so a near-dead deadline yields a coarser (wider std_error) but
+  /// reproducible answer; 0 reproduces the fixed-budget estimate bit for
+  /// bit.
   Outcome Degrade(const Request& request, std::uint64_t result_key,
-                  Status status, obs::TraceRecord* trace);
+                  std::uint64_t deadline_ns, Status status,
+                  obs::TraceRecord* trace);
+
+  /// The effective hard-tier precision target of one request: the caller's
+  /// target (or hard_default_target), coarsened by the deadline floor. A
+  /// pure function of its arguments — it feeds both the sampler and the
+  /// hard cache key.
+  double EffectiveHardTarget(double target_half_width,
+                             std::uint64_t deadline_ns) const;
+
+  /// The hard tier's sampling seed: a pure function of the model and the
+  /// block decomposition only (never of the pattern), so every query over
+  /// one model — solo or pooled — consumes the identical world stream.
+  std::uint64_t HardSeed(const infer::LabeledRimModel& model) const;
+
+  /// The per-query hard cache key: plan key (model, pattern) mixed with the
+  /// full sampling configuration.
+  std::uint64_t HardKey(std::uint64_t plan_key, double effective_target) const;
 
   /// Refreshes the scrape-time gauges (in-flight depth, cache counters,
   /// trace totals) from their sources.
@@ -414,6 +541,7 @@ class Server {
   ShardedLruCache<CachedPlan> plan_cache_;
   ShardedLruCache<CachedResult> result_cache_;
   ShardedLruCache<CachedCircuit> circuit_cache_;
+  ShardedLruCache<CachedHard> hard_cache_;
 
   /// Owned when options_.registry is null.
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;

@@ -37,6 +37,10 @@ struct ServerStats {
   /// (Π excluded) — a hit answers a whole parameter sweep without touching
   /// the DP again.
   CacheStats circuit_cache;
+  /// Hard-tier cache: adaptive Monte-Carlo estimates and consensus rankings,
+  /// keyed on (fingerprint, sampling configuration). Only deterministic
+  /// answers (target met or budget cap) are ever inserted.
+  CacheStats hard_cache;
 
   /// Requests accepted, via any entry point (batch requests count singly).
   std::uint64_t requests = 0;
@@ -49,6 +53,22 @@ struct ServerStats {
   std::uint64_t sweep_requests = 0;
   /// Parameter points evaluated against a cached circuit.
   std::uint64_t sweep_points = 0;
+
+  // Hard-query tier (ppref/hard/):
+
+  /// Hard adaptive-estimate queries accepted (each pattern of a pooled
+  /// batch counts once).
+  std::uint64_t hard_requests = 0;
+  /// Pooled hard batches accepted via HardPatternProbBatch.
+  std::uint64_t hard_batches = 0;
+  /// Worlds consumed by freshly sampled hard answers (cache hits add none).
+  std::uint64_t hard_samples = 0;
+  /// Hard answers that reached their precision target before the cap.
+  std::uint64_t hard_target_met = 0;
+  /// Hard answers stopped early by a deadline budget (never cached).
+  std::uint64_t hard_deadline_limited = 0;
+  /// Consensus top-k queries accepted via ConsensusTopK.
+  std::uint64_t consensus_requests = 0;
 
   /// Circuits compiled by this server (circuit-cache misses).
   std::uint64_t circuit_compiles = 0;

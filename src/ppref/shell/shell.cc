@@ -1,5 +1,6 @@
 #include "ppref/shell/shell.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "ppref/common/check.h"
 #include "ppref/db/csv.h"
 #include "ppref/infer/labeled_rim.h"
+#include "ppref/infer/labeling.h"
 #include "ppref/ppd/analytics.h"
 #include "ppref/ppd/approx.h"
 #include "ppref/ppd/evaluator.h"
@@ -132,6 +134,10 @@ bool Shell::Execute(const std::string& line) {
       CommandApprox(args);
     } else if (command == "\\sweep") {
       CommandSweep(args);
+    } else if (command == "\\hard") {
+      CommandHard(args);
+    } else if (command == "\\consensus") {
+      CommandConsensus(args);
     } else if (command == "\\sessions") {
       CommandSessions(args);
     } else if (command == "\\analytics") {
@@ -188,6 +194,10 @@ void Shell::CommandHelp() {
           "  \\approx eps delta Q() :- ..  Hoeffding-guaranteed estimate\n"
           "  \\sweep p1,p2,.. Q() :- ..    confidence at each dispersion phi,\n"
           "                               one cached circuit per session\n"
+          "  \\hard target Q() :- ..       adaptive Monte-Carlo estimate to a\n"
+          "                               CI half-width target (hard tier)\n"
+          "  \\consensus P k               top-k consensus ranking per session\n"
+          "                               (footrule-optimal, sampled worlds)\n"
           "  \\split Q() :- ...            exact non-itemwise eval by\n"
           "                               grounding join variables\n"
           "  \\analytics P                 winner probs + consensus order\n"
@@ -431,6 +441,100 @@ void Shell::CommandSweep(const std::string& args) {
        << after.circuit_compiles - before.circuit_compiles << " compiled, "
        << after.circuit_cache.hits - before.circuit_cache.hits
        << " cache hits)\n";
+}
+
+void Shell::CommandHard(const std::string& args) {
+  // "<target> Q() :- ..." — per-session adaptive Monte-Carlo estimates to a
+  // 95%-CI half-width target, combined into the Boolean confidence
+  // 1 - prod_s (1 - p_s) with first-order error propagation.
+  std::istringstream stream(args);
+  double target = 0.0;
+  stream >> target;
+  if (!stream || !(target >= 0.0 && target <= 1.0)) {
+    out_ << "error: usage: \\hard <target in [0, 1]> Q() :- ...\n";
+    return;
+  }
+  std::string query_text;
+  std::getline(stream, query_text);
+  const auto q = query::ParseQuery(query_text, ppd_->schema());
+  if (!q.IsBoolean()) {
+    out_ << "error: \\hard expects a Boolean query\n";
+    return;
+  }
+  if (q.PAtoms().empty() || !query::IsItemwise(q)) {
+    out_ << "error: \\hard needs an itemwise query with p-atoms; use \\query "
+            "instead\n";
+    return;
+  }
+
+  if (server_ == nullptr) {
+    server_ = std::make_unique<serve::Server>(serve::ServerOptions{});
+  }
+
+  const auto reductions = ppd::ReduceItemwise(*ppd_, q);
+  double none_match = 1.0;
+  double variance = 0.0;  // first-order: sum over s of (prod_{t!=s})^2 se_s^2
+  std::uint64_t samples = 0;
+  std::vector<std::pair<double, double>> estimates;  // (p_s, se_s)
+  for (const auto& reduction : reductions) {
+    if (!reduction.satisfiable || reduction.reflexive_preference) continue;
+    const infer::LabeledRimModel labeled(reduction.model->model(),
+                                         reduction.labeling);
+    const StatusOr<serve::HardEstimate> estimate =
+        server_->HardPatternProb(labeled, reduction.pattern, target);
+    if (!estimate.ok()) {
+      out_ << "error: " << estimate.status().ToString() << "\n";
+      return;
+    }
+    estimates.emplace_back(estimate->estimate, estimate->std_error);
+    samples += estimate->n_samples;
+    none_match *= 1.0 - estimate->estimate;
+  }
+  for (std::size_t s = 0; s < estimates.size(); ++s) {
+    double others = 1.0;
+    for (std::size_t t = 0; t < estimates.size(); ++t) {
+      if (t != s) others *= 1.0 - estimates[t].first;
+    }
+    variance += others * others * estimates[s].second * estimates[s].second;
+  }
+  out_ << "conf ~ " << 1.0 - none_match << " (se ~ " << std::sqrt(variance)
+       << ", target " << target << ", " << estimates.size() << " sessions, "
+       << samples << " worlds)\n";
+}
+
+void Shell::CommandConsensus(const std::string& args) {
+  // "P k" — for each session of p-symbol P, the footrule-optimal consensus
+  // ranking over sampled worlds, truncated to its first k items, with the
+  // estimated mean footrule/Kendall distance from a random world.
+  std::istringstream stream(args);
+  std::string symbol;
+  unsigned top_k = 0;
+  stream >> symbol >> top_k;
+  if (symbol.empty() || top_k == 0) {
+    out_ << "error: usage: \\consensus <p-symbol> <k>\n";
+    return;
+  }
+  if (server_ == nullptr) {
+    server_ = std::make_unique<serve::Server>(serve::ServerOptions{});
+  }
+  for (const auto& [session, model] : ppd_->PInstance(symbol).sessions()) {
+    const infer::LabeledRimModel labeled(model.model(),
+                                         infer::ItemLabeling(model.size()));
+    const StatusOr<serve::ConsensusAnswer> answer =
+        server_->ConsensusTopK(labeled, top_k);
+    if (!answer.ok()) {
+      out_ << "error: " << answer.status().ToString() << "\n";
+      return;
+    }
+    out_ << "  " << db::ToString(session) << " ->";
+    for (rim::ItemId id : answer->ranking) {
+      out_ << " " << model.ItemOf(id).ToString();
+    }
+    out_ << "  (mean footrule " << answer->mean_footrule << " +- "
+         << answer->footrule_std_error << ", mean kendall "
+         << answer->mean_kendall << " +- " << answer->kendall_std_error << ", "
+         << answer->n_samples << " worlds)\n";
+  }
 }
 
 void Shell::CommandSessions(const std::string& args) {

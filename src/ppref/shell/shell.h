@@ -18,6 +18,10 @@
 ///   \approx 0.05 0.01 Q() :- ...
 ///   \sweep 0.1,0.5,0.9 Q() :- ...   (confidence at each dispersion, via one
 ///                                    cached arithmetic circuit per session)
+///   \hard 0.01 Q() :- ...           (adaptive Monte-Carlo estimate with a
+///                                    CI half-width target — the hard tier)
+///   \consensus Polls 3              (top-k consensus ranking per session
+///                                    under footrule/Kendall distance)
 ///   \split Q() :- ...               (exact non-itemwise eval, splitting.h)
 ///   \analytics Polls                (winner probabilities + consensus)
 ///   \sessions Polls
@@ -68,6 +72,8 @@ class Shell {
   void CommandUnion(const std::string& args);
   void CommandApprox(const std::string& args);
   void CommandSweep(const std::string& args);
+  void CommandHard(const std::string& args);
+  void CommandConsensus(const std::string& args);
   void CommandSessions(const std::string& args);
   void CommandSave();
 

@@ -1,0 +1,160 @@
+/// \file consensus_test.cc
+/// \brief hard::consensus contract tests: the Hungarian assignment is exact
+/// against brute force, the consensus ranking is the true footrule minimizer
+/// of its own sample (replayed independently), a concentrated model's
+/// consensus is its reference order, and everything is deterministic across
+/// thread counts.
+
+#include "ppref/hard/consensus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "ppref/common/hash.h"
+#include "ppref/common/random.h"
+#include "ppref/hard/sampler.h"
+#include "ppref/rim/mallows.h"
+#include "ppref/rim/ranking.h"
+#include "ppref/rim/sampler.h"
+#include "test_util.h"
+
+namespace ppref::hard {
+namespace {
+
+std::int64_t AssignmentCost(const std::vector<std::vector<std::int64_t>>& cost,
+                            const std::vector<unsigned>& assignment) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    total += cost[i][assignment[i]];
+  }
+  return total;
+}
+
+TEST(HardConsensusTest, MinCostAssignmentMatchesBruteForce) {
+  Rng rng(79);
+  for (unsigned n = 1; n <= 5; ++n) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<std::vector<std::int64_t>> cost(
+          n, std::vector<std::int64_t>(n, 0));
+      for (auto& row : cost) {
+        for (auto& cell : row) {
+          cell = static_cast<std::int64_t>(rng.NextIndex(1000));
+        }
+      }
+      const std::vector<unsigned> assignment = MinCostAssignment(cost);
+      // A permutation of the columns.
+      std::vector<char> seen(n, 0);
+      for (unsigned j : assignment) {
+        ASSERT_LT(j, n);
+        ASSERT_EQ(seen[j], 0);
+        seen[j] = 1;
+      }
+      // Brute-force optimum over all n! assignments.
+      std::vector<unsigned> perm(n);
+      std::iota(perm.begin(), perm.end(), 0u);
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      do {
+        best = std::min(best, AssignmentCost(cost, perm));
+      } while (std::next_permutation(perm.begin(), perm.end()));
+      EXPECT_EQ(AssignmentCost(cost, assignment), best)
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(HardConsensusTest, ConsensusIsFootruleMinimizerOfItsSample) {
+  // Replay the exact worlds ConsensusRanking draws (same seeded block
+  // decomposition) and check its ranking attains the brute-force minimum of
+  // the total footrule distance over all 4! candidate orders.
+  Rng setup(83);
+  const rim::RimModel model(ppref::testing::RandomReference(4, setup),
+                            rim::InsertionFunction::Random(4, setup));
+  ConsensusOptions options;
+  options.samples = 512;
+  options.block_samples = 128;
+  options.seed = 89;
+  const ConsensusResult result = ConsensusRanking(model, options);
+  ASSERT_EQ(result.ranking.size(), 4u);
+  EXPECT_EQ(result.n_samples, 512u);
+
+  std::vector<rim::Ranking> worlds;
+  const unsigned blocks = SeededBlockCount(options.samples,
+                                           options.block_samples);
+  for (unsigned b = 0; b < blocks; ++b) {
+    const SampleBlock block = SeededBlockAt(b, options.samples,
+                                            options.block_samples);
+    Rng rng(HashCombine(options.seed, b));
+    for (unsigned s = block.begin; s < block.end; ++s) {
+      worlds.push_back(rim::SampleRanking(model, rng));
+    }
+  }
+  ASSERT_EQ(worlds.size(), 512u);
+
+  const auto total_footrule = [&](const rim::Ranking& candidate) {
+    std::int64_t total = 0;
+    for (const rim::Ranking& tau : worlds) {
+      for (unsigned i = 0; i < 4; ++i) {
+        const auto item = static_cast<rim::ItemId>(i);
+        total += std::abs(static_cast<std::int64_t>(tau.PositionOf(item)) -
+                          static_cast<std::int64_t>(
+                              candidate.PositionOf(item)));
+      }
+    }
+    return total;
+  };
+  std::vector<rim::ItemId> order = {0, 1, 2, 3};
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  do {
+    best = std::min(best, total_footrule(rim::Ranking(order)));
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(total_footrule(rim::Ranking(result.ranking)), best);
+  // And the reported mean is that total over the sample count.
+  EXPECT_NEAR(result.mean_footrule,
+              static_cast<double>(total_footrule(rim::Ranking(result.ranking)))
+                  / 512.0,
+              1e-9);
+}
+
+TEST(HardConsensusTest, ConcentratedModelRecoversItsReference) {
+  // phi -> 0 Mallows puts almost all mass on the reference order, so the
+  // consensus is the reference and both mean distances are near zero.
+  const rim::Ranking reference({3, 0, 2, 1, 4});
+  const rim::MallowsModel mallows(reference, 0.01);
+  ConsensusOptions options;
+  options.samples = 1024;
+  options.seed = 97;
+  const ConsensusResult result = ConsensusRanking(mallows.rim(), options);
+  EXPECT_EQ(rim::Ranking(result.ranking), reference);
+  EXPECT_LT(result.mean_footrule, 0.5);
+  EXPECT_LT(result.mean_kendall, 0.5);
+}
+
+TEST(HardConsensusTest, ConsensusIsThreadCountInvariant) {
+  Rng setup(101);
+  const rim::RimModel model(ppref::testing::RandomReference(7, setup),
+                            rim::InsertionFunction::Random(7, setup));
+  ConsensusOptions options;
+  options.samples = 4096;
+  options.seed = 103;
+  options.threads = 1;
+  const ConsensusResult serial = ConsensusRanking(model, options);
+  options.threads = 4;
+  const ConsensusResult parallel = ConsensusRanking(model, options);
+  options.threads = 0;  // auto
+  const ConsensusResult automatic = ConsensusRanking(model, options);
+  EXPECT_EQ(serial.ranking, parallel.ranking);
+  EXPECT_EQ(serial.mean_footrule, parallel.mean_footrule);
+  EXPECT_EQ(serial.footrule_std_error, parallel.footrule_std_error);
+  EXPECT_EQ(serial.mean_kendall, parallel.mean_kendall);
+  EXPECT_EQ(serial.kendall_std_error, parallel.kendall_std_error);
+  EXPECT_EQ(serial.ranking, automatic.ranking);
+  EXPECT_EQ(serial.mean_kendall, automatic.mean_kendall);
+}
+
+}  // namespace
+}  // namespace ppref::hard

@@ -7,6 +7,7 @@
 #include "ppref/net/codec.h"
 
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -257,6 +258,134 @@ TEST(NetCodecTest, SweepResponseRoundTrips) {
   EXPECT_EQ(decoded->probabilities, response.probabilities);
 }
 
+// --- hard / consensus codec ------------------------------------------------
+
+WireHardRequest SampleHardRequest() {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(3);
+  return WireHardRequest(91, 7'000'000, 0.015, workload.models[1],
+                         workload.patterns[1]);
+}
+
+WireConsensusRequest SampleConsensusRequest() {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(3);
+  return WireConsensusRequest(92, 9'000'000, 3, workload.models[2]);
+}
+
+TEST(NetCodecTest, HardRequestRoundTripsBitIdentical) {
+  const WireHardRequest request = SampleHardRequest();
+  StatusOr<WireHardRequest> decoded =
+      DecodeHardRequest(EncodeHardRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->deadline_ns, request.deadline_ns);
+  std::uint64_t bits_a, bits_b;
+  std::memcpy(&bits_a, &request.target_half_width, 8);
+  std::memcpy(&bits_b, &decoded->target_half_width, 8);
+  EXPECT_EQ(bits_a, bits_b);
+  EXPECT_EQ(decoded->model.model().size(), request.model.model().size());
+  EXPECT_EQ(decoded->pattern.NodeCount(), request.pattern.NodeCount());
+}
+
+TEST(NetCodecTest, HardRequestRejectsBadTarget) {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(1);
+  for (double target : {-0.5, 1.5,
+                        std::numeric_limits<double>::quiet_NaN()}) {
+    WireHardRequest request(1, 0, target, workload.models[0],
+                            workload.patterns[0]);
+    EXPECT_EQ(DecodeHardRequest(EncodeHardRequest(request)).status().code(),
+              StatusCode::kInvalidArgument)
+        << target;
+  }
+  // 0 (server default) and the boundaries are legal.
+  for (double target : {0.0, 1.0}) {
+    WireHardRequest request(1, 0, target, workload.models[0],
+                            workload.patterns[0]);
+    EXPECT_TRUE(DecodeHardRequest(EncodeHardRequest(request)).ok()) << target;
+  }
+}
+
+TEST(NetCodecTest, HardResponseRoundTripsAllFields) {
+  WireHardResponse response;
+  response.id = 0xfeedf00dull;
+  response.status = Status::ResourceExhausted("shed");
+  response.estimate = 0.12345678901234567;
+  response.std_error = 2.5e-3;
+  response.n_samples = 123456;
+  response.target_met = true;
+  response.deadline_limited = true;
+  StatusOr<WireHardResponse> decoded =
+      DecodeHardResponse(EncodeHardResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, response.id);
+  EXPECT_EQ(decoded->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->status.message(), "shed");
+  EXPECT_EQ(decoded->estimate, response.estimate);
+  EXPECT_EQ(decoded->std_error, response.std_error);
+  EXPECT_EQ(decoded->n_samples, response.n_samples);
+  EXPECT_TRUE(decoded->target_met);
+  EXPECT_TRUE(decoded->deadline_limited);
+}
+
+TEST(NetCodecTest, ConsensusRequestRoundTripsBitIdentical) {
+  const WireConsensusRequest request = SampleConsensusRequest();
+  StatusOr<WireConsensusRequest> decoded =
+      DecodeConsensusRequest(EncodeConsensusRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->deadline_ns, request.deadline_ns);
+  EXPECT_EQ(decoded->top_k, request.top_k);
+  EXPECT_EQ(decoded->model.model().size(), request.model.model().size());
+}
+
+TEST(NetCodecTest, ConsensusRequestRejectsZeroTopK) {
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(1);
+  const WireConsensusRequest request(1, 0, 0, workload.models[0]);
+  EXPECT_EQ(
+      DecodeConsensusRequest(EncodeConsensusRequest(request)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, ConsensusRequestRejectsNonEmptyBasePattern) {
+  // The wire form embeds a standard request with an *empty* pattern; a
+  // non-empty one means the bytes were not produced by the consensus
+  // encoder, so the decoder must refuse rather than silently ignore it.
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(1);
+  WireRequest base(1, serve::Request::Kind::kPatternProb, 0,
+                   workload.models[0], workload.patterns[0]);
+  const std::string base_bytes = EncodeRequest(base);
+  std::string bytes;
+  const std::uint32_t base_len = static_cast<std::uint32_t>(base_bytes.size());
+  bytes.append(reinterpret_cast<const char*>(&base_len), 4);
+  bytes += base_bytes;
+  const std::uint32_t top_k = 2;
+  bytes.append(reinterpret_cast<const char*>(&top_k), 4);
+  EXPECT_EQ(DecodeConsensusRequest(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetCodecTest, ConsensusResponseRoundTripsAllFields) {
+  WireConsensusResponse response;
+  response.id = 0xabcdefull;
+  response.status = Status::Ok();
+  response.ranking = {4, 0, 2};
+  response.mean_footrule = 3.5;
+  response.footrule_std_error = 0.125;
+  response.mean_kendall = 2.25;
+  response.kendall_std_error = 0.0625;
+  response.n_samples = 4096;
+  StatusOr<WireConsensusResponse> decoded =
+      DecodeConsensusResponse(EncodeConsensusResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, response.id);
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->ranking, response.ranking);
+  EXPECT_EQ(decoded->mean_footrule, response.mean_footrule);
+  EXPECT_EQ(decoded->footrule_std_error, response.footrule_std_error);
+  EXPECT_EQ(decoded->mean_kendall, response.mean_kendall);
+  EXPECT_EQ(decoded->kendall_std_error, response.kendall_std_error);
+  EXPECT_EQ(decoded->n_samples, response.n_samples);
+}
+
 // --- fuzzers ---------------------------------------------------------------
 
 TEST(NetFuzzTest, RequestDecoderSurvivesTruncationEverywhere) {
@@ -322,6 +451,53 @@ TEST(NetFuzzTest, SweepDecoderSurvivesRandomCorruption) {
           static_cast<char>(rng.NextIndex(256));
     }
     StatusOr<WireSweepRequest> decoded = DecodeSweepRequest(bytes);
+    if (!decoded.ok()) {
+      ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetFuzzTest, HardDecoderSurvivesTruncationAndCorruption) {
+  const std::string pristine = EncodeHardRequest(SampleHardRequest());
+  for (std::size_t cut = 0; cut < pristine.size(); ++cut) {
+    StatusOr<WireHardRequest> decoded =
+        DecodeHardRequest(pristine.substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  Rng rng(1717);
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes = pristine;
+    const std::size_t mutations = 1 + rng.NextIndex(4);
+    for (std::size_t k = 0; k < mutations; ++k) {
+      bytes[rng.NextIndex(bytes.size())] =
+          static_cast<char>(rng.NextIndex(256));
+    }
+    StatusOr<WireHardRequest> decoded = DecodeHardRequest(bytes);
+    if (!decoded.ok()) {
+      ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetFuzzTest, ConsensusDecoderSurvivesTruncationAndCorruption) {
+  const std::string pristine =
+      EncodeConsensusRequest(SampleConsensusRequest());
+  for (std::size_t cut = 0; cut < pristine.size(); ++cut) {
+    StatusOr<WireConsensusRequest> decoded =
+        DecodeConsensusRequest(pristine.substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  Rng rng(1919);
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes = pristine;
+    const std::size_t mutations = 1 + rng.NextIndex(4);
+    for (std::size_t k = 0; k < mutations; ++k) {
+      bytes[rng.NextIndex(bytes.size())] =
+          static_cast<char>(rng.NextIndex(256));
+    }
+    StatusOr<WireConsensusRequest> decoded = DecodeConsensusRequest(bytes);
     if (!decoded.ok()) {
       ASSERT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
     }

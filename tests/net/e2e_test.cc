@@ -19,6 +19,8 @@
 #include "gtest/gtest.h"
 #include "ppref/infer/top_prob.h"
 #include "ppref/net/client.h"
+#include "ppref/net/codec.h"
+#include "ppref/serve/server.h"
 #include "ppref/serve/workload.h"
 
 namespace ppref::net {
@@ -184,6 +186,186 @@ TEST(NetE2eTest, DegradedAnswersAreBitIdenticalToo) {
     if (over_wire->approximate) ++degraded;
   }
   EXPECT_GT(degraded, 0u) << "deadline never degraded anything";
+
+  daemon.TerminateAndExpectCleanExit();
+}
+
+/// Renders a /query-shaped JSON document for `model` (+ optional pattern),
+/// rows spelled as %.17g so the daemon rebuilds the exact bits.
+std::string ModelQueryJson(const infer::LabeledRimModel& model,
+                           const infer::LabelPattern& pattern,
+                           std::uint64_t id) {
+  char scratch[64];
+  std::string json =
+      "{\"id\": " + std::to_string(id) + ", \"kind\": \"pattern_prob\", "
+      "\"model\": {";
+  const rim::RimModel& rim = model.model();
+  json += "\"reference\": [";
+  for (unsigned p = 0; p < rim.size(); ++p) {
+    if (p != 0) json += ", ";
+    json += std::to_string(rim.reference().At(p));
+  }
+  json += "], \"insertion\": {\"rows\": [";
+  for (unsigned t = 0; t < rim.size(); ++t) {
+    if (t != 0) json += ", ";
+    json += "[";
+    const std::vector<double>& row = rim.insertion().Row(t);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j != 0) json += ", ";
+      std::snprintf(scratch, sizeof(scratch), "%.17g", row[j]);
+      json += scratch;
+    }
+    json += "]";
+  }
+  json += "]}, \"labels\": [";
+  for (unsigned item = 0; item < model.labeling().item_count(); ++item) {
+    if (item != 0) json += ", ";
+    json += "[";
+    const auto& labels = model.labeling().LabelsOf(item);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) json += ", ";
+      json += std::to_string(labels[i]);
+    }
+    json += "]";
+  }
+  json += "]}, \"pattern\": {\"nodes\": [";
+  for (unsigned node = 0; node < pattern.NodeCount(); ++node) {
+    if (node != 0) json += ", ";
+    json += std::to_string(pattern.NodeLabel(node));
+  }
+  json += "], \"edges\": [";
+  bool first = true;
+  for (unsigned node = 0; node < pattern.NodeCount(); ++node) {
+    for (unsigned child : pattern.Children(node)) {
+      if (!first) json += ", ";
+      first = false;
+      json += "[" + std::to_string(node) + ", " + std::to_string(child) +
+              "]";
+    }
+  }
+  json += "]}}";
+  return json;
+}
+
+TEST(NetE2eTest, HardServedEndToEndBitIdenticalWithByteEqualReplay) {
+  // The hard tier through the real daemon: the binary answer must be
+  // bit-identical to an in-process server (sampling is seeded by the model
+  // alone), the HTTP answer must replay byte-equal, and both planes must
+  // agree with each other.
+  ServedProcess daemon;
+  ASSERT_TRUE(daemon.Spawn({})) << "daemon failed to start";
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(3);
+  serve::Server oracle{serve::ServerOptions{}};
+
+  StatusOr<Client> connected = Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+
+  const WireHardRequest request(1, 0, 0.02, workload.models[0],
+                                workload.patterns[0]);
+  StatusOr<WireHardResponse> over_wire = client.CallHard(request);
+  ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+  ASSERT_TRUE(over_wire->status.ok()) << over_wire->status.ToString();
+
+  const StatusOr<serve::HardEstimate> in_process =
+      oracle.HardPatternProb(workload.models[0], workload.patterns[0], 0.02);
+  ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+  EXPECT_EQ(over_wire->estimate, in_process->estimate);
+  EXPECT_EQ(over_wire->std_error, in_process->std_error);
+  EXPECT_EQ(over_wire->n_samples, in_process->n_samples);
+  EXPECT_EQ(over_wire->target_met, in_process->target_met);
+  EXPECT_FALSE(over_wire->deadline_limited);
+
+  // Binary replay: the second answer re-encodes to the identical bytes.
+  const WireHardRequest replay(2, 0, 0.02, workload.models[0],
+                               workload.patterns[0]);
+  StatusOr<WireHardResponse> again = client.CallHard(replay);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  WireHardResponse normalized = *again;
+  normalized.id = over_wire->id;
+  EXPECT_EQ(EncodeHardResponse(normalized), EncodeHardResponse(*over_wire));
+
+  // HTTP plane: same query as JSON, twice; byte-equal bodies, and the
+  // estimate matches the binary plane bit for bit (%.17g round-trips).
+  std::string json =
+      ModelQueryJson(workload.models[0], workload.patterns[0], 7);
+  json.pop_back();
+  json += ", \"target\": 0.02}";
+  StatusOr<HttpResult> first =
+      HttpFetch("127.0.0.1", daemon.port(), "POST", "/hard", json);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->status_code, 200) << first->body;
+  StatusOr<HttpResult> second =
+      HttpFetch("127.0.0.1", daemon.port(), "POST", "/hard", json);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->body, second->body);
+  const std::size_t at = first->body.find("\"estimate\":");
+  ASSERT_NE(at, std::string::npos) << first->body;
+  const double http_estimate = std::strtod(
+      first->body.c_str() + at + std::strlen("\"estimate\":"), nullptr);
+  EXPECT_EQ(http_estimate, over_wire->estimate);
+
+  daemon.TerminateAndExpectCleanExit();
+}
+
+TEST(NetE2eTest, ConsensusServedEndToEndBitIdenticalWithByteEqualReplay) {
+  ServedProcess daemon;
+  ASSERT_TRUE(daemon.Spawn({})) << "daemon failed to start";
+
+  const serve::SyntheticWorkload workload = serve::MakeSyntheticWorkload(3);
+  serve::Server oracle{serve::ServerOptions{}};
+
+  StatusOr<Client> connected = Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+
+  const WireConsensusRequest request(1, 0, 3, workload.models[1]);
+  StatusOr<WireConsensusResponse> over_wire = client.CallConsensus(request);
+  ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+  ASSERT_TRUE(over_wire->status.ok()) << over_wire->status.ToString();
+
+  const StatusOr<serve::ConsensusAnswer> in_process =
+      oracle.ConsensusTopK(workload.models[1], 3);
+  ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+  EXPECT_EQ(over_wire->ranking, in_process->ranking);
+  EXPECT_EQ(over_wire->mean_footrule, in_process->mean_footrule);
+  EXPECT_EQ(over_wire->footrule_std_error, in_process->footrule_std_error);
+  EXPECT_EQ(over_wire->mean_kendall, in_process->mean_kendall);
+  EXPECT_EQ(over_wire->kendall_std_error, in_process->kendall_std_error);
+  EXPECT_EQ(over_wire->n_samples, in_process->n_samples);
+
+  // Binary replay: identical bytes modulo the echoed id.
+  const WireConsensusRequest replay(2, 0, 3, workload.models[1]);
+  StatusOr<WireConsensusResponse> again = client.CallConsensus(replay);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  WireConsensusResponse normalized = *again;
+  normalized.id = over_wire->id;
+  EXPECT_EQ(EncodeConsensusResponse(normalized),
+            EncodeConsensusResponse(*over_wire));
+
+  // HTTP plane: consensus takes no pattern; byte-equal replay.
+  std::string json =
+      ModelQueryJson(workload.models[1], infer::LabelPattern(), 9);
+  json.pop_back();
+  json += ", \"top_k\": 3}";
+  StatusOr<HttpResult> first =
+      HttpFetch("127.0.0.1", daemon.port(), "POST", "/consensus", json);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->status_code, 200) << first->body;
+  StatusOr<HttpResult> second =
+      HttpFetch("127.0.0.1", daemon.port(), "POST", "/consensus", json);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->body, second->body);
+  // The HTTP ranking is the binary one.
+  std::string expected_ranking = "\"ranking\":[";
+  for (std::size_t i = 0; i < over_wire->ranking.size(); ++i) {
+    if (i != 0) expected_ranking += ",";
+    expected_ranking += std::to_string(over_wire->ranking[i]);
+  }
+  expected_ranking += "]";
+  EXPECT_NE(first->body.find(expected_ranking), std::string::npos)
+      << first->body;
 
   daemon.TerminateAndExpectCleanExit();
 }

@@ -3,7 +3,9 @@
 /// health-check, binary ping, one binary query verified bit-identical
 /// against local inference, the same query over HTTP/JSON, one HTTP
 /// parameter sweep (each point checked against a fresh DP at that
-/// dispersion), and a /metrics scrape. Exits 0 iff every step passed —
+/// dispersion), one hard-tier adaptive estimate and one consensus top-k
+/// (each replayed byte-equal), and a /metrics scrape. Exits 0 iff every
+/// step passed —
 /// check.sh's daemon stage and any post-deploy sanity script run exactly
 /// this.
 ///
@@ -223,7 +225,65 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 6. Metrics exposition includes both serve- and net-layer instruments.
+  // 6. One hard-tier adaptive estimate over HTTP, issued twice: the answer
+  // must be a sane probability and the replay byte-equal (sampling is seeded
+  // by the model alone, and the second call is served from the hard cache).
+  std::string hard_json = QueryJson(workload.models[0], workload.patterns[0]);
+  hard_json.pop_back();  // trailing '}' — reopen to append the CI target
+  hard_json += ", \"target\": 0.02}";
+  StatusOr<net::HttpResult> hard =
+      net::HttpFetch(options.host, options.port, "POST", "/hard", hard_json);
+  if (!hard.ok()) return Fail("http hard", hard.status().ToString());
+  if (hard->status_code != 200) {
+    return Fail("http hard", "status " + std::to_string(hard->status_code) +
+                                 ": " + hard->body);
+  }
+  const std::size_t est_at = hard->body.find("\"estimate\":");
+  if (est_at == std::string::npos) {
+    return Fail("http hard", "no estimate in " + hard->body);
+  }
+  const double estimate = std::strtod(
+      hard->body.c_str() + est_at + std::strlen("\"estimate\":"), nullptr);
+  if (!(estimate >= 0.0 && estimate <= 1.0)) {
+    return Fail("http hard", "estimate outside [0, 1]: " + hard->body);
+  }
+  StatusOr<net::HttpResult> hard_replay =
+      net::HttpFetch(options.host, options.port, "POST", "/hard", hard_json);
+  if (!hard_replay.ok()) {
+    return Fail("http hard replay", hard_replay.status().ToString());
+  }
+  if (hard_replay->status_code != 200 || hard_replay->body != hard->body) {
+    return Fail("http hard replay", "answer not byte-equal");
+  }
+
+  // 7. One consensus top-k query over HTTP (no pattern — the query ranks the
+  // model's own items), also replayed byte-equal.
+  std::string consensus_json =
+      QueryJson(workload.models[0], infer::LabelPattern());
+  consensus_json.pop_back();  // trailing '}' — reopen to append top_k
+  consensus_json += ", \"top_k\": 2}";
+  StatusOr<net::HttpResult> consensus = net::HttpFetch(
+      options.host, options.port, "POST", "/consensus", consensus_json);
+  if (!consensus.ok()) return Fail("http consensus", consensus.status().ToString());
+  if (consensus->status_code != 200) {
+    return Fail("http consensus",
+                "status " + std::to_string(consensus->status_code) + ": " +
+                    consensus->body);
+  }
+  if (consensus->body.find("\"ranking\":[") == std::string::npos) {
+    return Fail("http consensus", "no ranking in " + consensus->body);
+  }
+  StatusOr<net::HttpResult> consensus_replay = net::HttpFetch(
+      options.host, options.port, "POST", "/consensus", consensus_json);
+  if (!consensus_replay.ok()) {
+    return Fail("http consensus replay", consensus_replay.status().ToString());
+  }
+  if (consensus_replay->status_code != 200 ||
+      consensus_replay->body != consensus->body) {
+    return Fail("http consensus replay", "answer not byte-equal");
+  }
+
+  // 8. Metrics exposition includes both serve- and net-layer instruments.
   StatusOr<net::HttpResult> metrics =
       net::HttpFetch(options.host, options.port, "GET", "/metrics");
   if (!metrics.ok()) return Fail("metrics", metrics.status().ToString());
@@ -232,11 +292,16 @@ int main(int argc, char** argv) {
       metrics->body.find("ppref_net_requests_binary_total") ==
           std::string::npos ||
       metrics->body.find("ppref_net_requests_sweep_total") ==
-          std::string::npos) {
+          std::string::npos ||
+      metrics->body.find("ppref_net_requests_hard_total") ==
+          std::string::npos ||
+      metrics->body.find("ppref_net_requests_consensus_total") ==
+          std::string::npos ||
+      metrics->body.find("ppref_hard_requests_total") == std::string::npos) {
     return Fail("metrics", "missing expected instruments");
   }
 
-  // 7. Warm-restart assertion: the queries above must have been answered
+  // 9. Warm-restart assertion: the queries above must have been answered
   // from the persistent store, not recomputed.
   if (options.expect_store_hits) {
     // The sample line, not the "# HELP" comment naming the same metric.
@@ -255,7 +320,8 @@ int main(int argc, char** argv) {
 
   std::printf("ppref_net_smoke: healthz, ping, binary query (bit-identical), "
               "json query (bit-identical), json sweep (bit-identical), "
-              "metrics%s — all ok\n",
+              "json hard (byte-equal replay), json consensus (byte-equal "
+              "replay), metrics%s — all ok\n",
               options.expect_store_hits ? ", store hits" : "");
   return 0;
 }

@@ -204,6 +204,25 @@ void Render(const Metrics& metrics) {
   RenderCounterRow(metrics, "circuit evictions",
                    "ppref_serve_circuit_cache_evictions");
 
+  // Hard-query tier (rows appear once a hard or consensus query has been
+  // served; an untouched tier stays hidden).
+  if (ScalarOr0(metrics, "ppref_hard_requests_total") > 0.0 ||
+      ScalarOr0(metrics, "ppref_hard_consensus_requests_total") > 0.0) {
+    std::printf("\n== hard tier ==\n");
+    RenderCounterRow(metrics, "hard requests", "ppref_hard_requests_total");
+    RenderCounterRow(metrics, "hard batches", "ppref_hard_batches_total");
+    RenderCounterRow(metrics, "consensus requests",
+                     "ppref_hard_consensus_requests_total");
+    RenderCounterRow(metrics, "worlds sampled", "ppref_hard_samples_total");
+    RenderCounterRow(metrics, "target met", "ppref_hard_target_met_total");
+    RenderCounterRow(metrics, "deadline limited",
+                     "ppref_hard_deadline_limited_total");
+    RenderCounterRow(metrics, "hard cache hits", "ppref_hard_cache_hits");
+    RenderCounterRow(metrics, "hard cache misses", "ppref_hard_cache_misses");
+    RenderCounterRow(metrics, "hard cache evictions",
+                     "ppref_hard_cache_evictions");
+  }
+
   // Persistent store (rows appear once a server with a --store-dir has
   // scraped; a storeless server leaves the counters at zero).
   if (metrics.count("ppref_serve_store_hits_total") != 0) {
@@ -278,15 +297,21 @@ void Render(const Metrics& metrics) {
       {"mc fallback", "ppref_serve_stage_mc_fallback_ns"},
       {"circuit compile", "ppref_serve_stage_circuit_compile_ns"},
       {"circuit eval", "ppref_serve_stage_circuit_eval_ns"},
+      {"hard sample", "ppref_hard_stage_sample_ns"},
+      {"consensus", "ppref_hard_stage_consensus_ns"},
       {"scatter", "ppref_serve_stage_scatter_ns"},
       {"batch e2e", "ppref_serve_batch_latency_ns"},
       {"request e2e", "ppref_serve_request_latency_ns"},
+  };
+  const auto is_stage_name = [](const char* name) {
+    return std::strncmp(name, "ppref_serve_stage_", 18) == 0 ||
+           std::strncmp(name, "ppref_hard_stage_", 17) == 0;
   };
   double stage_total = 0.0;
   for (const auto& stage : kStages) {
     const auto it = metrics.find(stage.name);
     if (it == metrics.end() || !it->second.is_histogram) continue;
-    if (std::strncmp(stage.name, "ppref_serve_stage_", 18) == 0) {
+    if (is_stage_name(stage.name)) {
       stage_total += it->second.sum;
     }
   }
@@ -297,8 +322,7 @@ void Render(const Metrics& metrics) {
     const auto it = metrics.find(stage.name);
     if (it == metrics.end() || !it->second.is_histogram) continue;
     const Metric& metric = it->second;
-    const bool is_stage =
-        std::strncmp(stage.name, "ppref_serve_stage_", 18) == 0;
+    const bool is_stage = is_stage_name(stage.name);
     const double share =
         is_stage && stage_total > 0.0 ? 100.0 * metric.sum / stage_total : 0.0;
     std::printf("  %-16s %10.0f %10s %10s %10s %10s ", stage.label,
